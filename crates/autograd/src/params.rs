@@ -1,0 +1,182 @@
+//! External parameter storage shared by successive tapes.
+
+use vitcod_tensor::Matrix;
+
+/// Opaque handle to a parameter registered in a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+struct ParamSlot {
+    name: String,
+    value: Matrix,
+    grad: Matrix,
+}
+
+/// Holds trainable parameters, their accumulated gradients and their names.
+///
+/// Parameters outlive any single [`crate::Tape`]: each forward pass imports
+/// them as leaf nodes, and after `backward` the tape flushes gradients back
+/// here via [`crate::Tape::write_grads`]. Optimizers then mutate the stored
+/// values in place.
+///
+/// # Example
+///
+/// ```
+/// use vitcod_autograd::ParamStore;
+/// use vitcod_tensor::Matrix;
+///
+/// let mut store = ParamStore::new();
+/// let id = store.register("bias", Matrix::zeros(1, 4));
+/// assert_eq!(store.value(id).shape(), (1, 4));
+/// assert_eq!(store.name(id), "bias");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    slots: Vec<ParamSlot>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let (r, c) = value.shape();
+        self.slots.push(ParamSlot {
+            name: name.into(),
+            value,
+            grad: Matrix::zeros(r, c),
+        });
+        ParamId(self.slots.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.slots.iter().map(|s| s.value.len()).sum()
+    }
+
+    /// Current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.slots[id.0].value
+    }
+
+    /// Mutable access to a parameter's value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.slots[id.0].value
+    }
+
+    /// Accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.slots[id.0].grad
+    }
+
+    /// Name the parameter was registered under.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.slots[id.0].name
+    }
+
+    /// Adds `g` into the stored gradient of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape does not match the parameter shape.
+    pub fn accumulate_grad(&mut self, id: ParamId, g: &Matrix) {
+        self.slots[id.0].grad.add_assign(g);
+    }
+
+    /// Resets all gradients to zero; call once per optimization step.
+    pub fn zero_grads(&mut self) {
+        for s in &mut self.slots {
+            s.grad.map_inplace(|_| 0.0);
+        }
+    }
+
+    /// Iterator over all parameter handles.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> + '_ {
+        (0..self.slots.len()).map(ParamId)
+    }
+
+    /// Global L2 norm of all gradients, for gradient clipping.
+    pub fn grad_norm(&self) -> f32 {
+        self.slots
+            .iter()
+            .map(|s| {
+                let n = s.grad.frobenius_norm();
+                n * n
+            })
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so the global norm does not exceed `max_norm`.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let s = max_norm / norm;
+            for slot in &mut self.slots {
+                slot.grad.map_inplace(|v| v * s);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::zeros(2, 2));
+        let b = store.register("b", Matrix::zeros(1, 3));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.num_scalars(), 7);
+        assert_eq!(store.name(a), "a");
+        assert_eq!(store.value(b).shape(), (1, 3));
+    }
+
+    #[test]
+    fn grads_accumulate_and_zero() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::zeros(1, 2));
+        store.accumulate_grad(a, &Matrix::filled(1, 2, 1.0));
+        store.accumulate_grad(a, &Matrix::filled(1, 2, 2.0));
+        assert_eq!(store.grad(a), &Matrix::filled(1, 2, 3.0));
+        store.zero_grads();
+        assert_eq!(store.grad(a), &Matrix::zeros(1, 2));
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::zeros(1, 2));
+        store.accumulate_grad(a, &Matrix::from_rows(&[&[3.0, 4.0]]));
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 1.0).abs() < 1e-5);
+        // Direction preserved.
+        let g = store.grad(a);
+        assert!((g.get(0, 0) / g.get(0, 1) - 0.75).abs() < 1e-5);
+    }
+
+    #[test]
+    fn clip_grad_norm_leaves_small_grads_alone() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::zeros(1, 2));
+        store.accumulate_grad(a, &Matrix::from_rows(&[&[0.3, 0.4]]));
+        store.clip_grad_norm(1.0);
+        assert!((store.grad_norm() - 0.5).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,1053 @@
+//! The autograd tape: forward operator recording and reverse accumulation.
+
+use vitcod_tensor::{gelu, gelu_grad, Matrix};
+
+use crate::params::{ParamId, ParamStore};
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(usize);
+
+/// Recorded operator. Parents are earlier tape nodes, so a single reverse
+/// sweep in index order is a valid topological traversal.
+#[derive(Debug, Clone)]
+enum OpKind {
+    /// Leaf: constant input or imported parameter.
+    Leaf { param: Option<ParamId> },
+    MatMul { a: Var, b: Var },
+    Add { a: Var, b: Var },
+    Sub { a: Var, b: Var },
+    Hadamard { a: Var, b: Var },
+    Scale { a: Var, s: f32 },
+    /// Broadcast-add a `1 × c` bias to every row of `a`.
+    AddBias { a: Var, bias: Var },
+    Gelu { a: Var },
+    Relu { a: Var },
+    /// Row-wise LayerNorm with `1 × c` gamma/beta; caches normalized rows
+    /// and inverse std-dev for the backward pass.
+    LayerNorm {
+        a: Var,
+        gamma: Var,
+        beta: Var,
+        normed: Matrix,
+        inv_std: Vec<f32>,
+    },
+    /// Fused masked softmax attention: `softmax(Q·Kᵀ·scale + maskbias) · V`.
+    /// Caches the probability matrix for the backward pass.
+    MaskedAttention {
+        q: Var,
+        k: Var,
+        v: Var,
+        scale: f32,
+        probs: Matrix,
+    },
+    /// Mixes the head dimension: input `n × (h·dk)`, weight `h_in × h_out`,
+    /// output `n × (h_out·dk)`. This is the ViTCoD auto-encoder primitive.
+    HeadMix { a: Var, w: Var, dk: usize },
+    /// Column-slice `a[:, c0..c1]` (per-head views of fused projections).
+    SliceCols { a: Var, c0: usize },
+    /// Column-concatenation of several nodes (re-fusing heads).
+    ConcatCols { parts: Vec<Var> },
+    /// Mean over rows producing a `1 × c` pooled representation.
+    MeanRows { a: Var },
+    /// Single row extracted as `1 × c` (class-token readout).
+    RowSlice { a: Var, r: usize },
+    /// Mean softmax cross-entropy between `logits` rows and integer targets;
+    /// caches probabilities.
+    CrossEntropy {
+        logits: Var,
+        targets: Vec<usize>,
+        probs: Matrix,
+    },
+    /// Mean squared error against a constant target.
+    MseConst { a: Var, target: Matrix },
+    /// Sum of two scalar losses (weighted).
+    WeightedSum { a: Var, b: Var, wa: f32, wb: f32 },
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: OpKind,
+}
+
+/// Records a forward computation and replays it backwards for gradients.
+///
+/// All operator methods panic on shape mismatches — inside a model the
+/// shapes are structural invariants, so a mismatch is a bug, not an input
+/// error.
+///
+/// See the [crate-level documentation](crate) for a complete example.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tape({} nodes)", self.nodes.len())
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn push(&mut self, value: Matrix, op: OpKind) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Current value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// Gradient of the last `backward` root with respect to node `v`, if
+    /// the node participated in the backward sweep.
+    pub fn grad(&self, v: Var) -> Option<&Matrix> {
+        self.nodes[v.0].grad.as_ref()
+    }
+
+    /// Records a constant (non-trainable) input.
+    pub fn constant(&mut self, value: Matrix) -> Var {
+        self.push(value, OpKind::Leaf { param: None })
+    }
+
+    /// Imports a parameter from `store` as a leaf node.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        self.push(store.value(id).clone(), OpKind::Leaf { param: Some(id) })
+    }
+
+    /// Matrix product `a · b`.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(value, OpKind::MatMul { a, b })
+    }
+
+    /// Elementwise sum `a + b`.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = &self.nodes[a.0].value + &self.nodes[b.0].value;
+        self.push(value, OpKind::Add { a, b })
+    }
+
+    /// Elementwise difference `a - b`.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = &self.nodes[a.0].value - &self.nodes[b.0].value;
+        self.push(value, OpKind::Sub { a, b })
+    }
+
+    /// Elementwise product `a ⊙ b`.
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let value = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(value, OpKind::Hadamard { a, b })
+    }
+
+    /// Scalar multiple `a * s`.
+    pub fn scale(&mut self, a: Var, s: f32) -> Var {
+        let value = self.nodes[a.0].value.scale(s);
+        self.push(value, OpKind::Scale { a, s })
+    }
+
+    /// Adds a `1 × c` bias row to every row of `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bias` is not `1 × a.cols()`.
+    pub fn add_bias(&mut self, a: Var, bias: Var) -> Var {
+        let (_, c) = self.nodes[a.0].value.shape();
+        assert_eq!(
+            self.nodes[bias.0].value.shape(),
+            (1, c),
+            "bias must be 1 x cols"
+        );
+        let mut value = self.nodes[a.0].value.clone();
+        let brow = self.nodes[bias.0].value.row(0).to_vec();
+        for r in 0..value.rows() {
+            for (x, b) in value.row_mut(r).iter_mut().zip(brow.iter()) {
+                *x += b;
+            }
+        }
+        self.push(value, OpKind::AddBias { a, bias })
+    }
+
+    /// GELU nonlinearity.
+    pub fn gelu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.map(gelu);
+        self.push(value, OpKind::Gelu { a })
+    }
+
+    /// ReLU nonlinearity.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.nodes[a.0].value.relu();
+        self.push(value, OpKind::Relu { a })
+    }
+
+    /// Row-wise LayerNorm with learnable `1 × c` gamma and beta.
+    pub fn layernorm(&mut self, a: Var, gamma: Var, beta: Var) -> Var {
+        const EPS: f32 = 1e-5;
+        let x = &self.nodes[a.0].value;
+        let g = self.nodes[gamma.0].value.row(0).to_vec();
+        let b = self.nodes[beta.0].value.row(0).to_vec();
+        assert_eq!(g.len(), x.cols(), "gamma length mismatch");
+        assert_eq!(b.len(), x.cols(), "beta length mismatch");
+        let mut normed = Matrix::zeros(x.rows(), x.cols());
+        let mut out = Matrix::zeros(x.rows(), x.cols());
+        let mut inv_std = Vec::with_capacity(x.rows());
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let n = row.len() as f32;
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let inv = 1.0 / (var + EPS).sqrt();
+            inv_std.push(inv);
+            for c in 0..row.len() {
+                let xn = (row[c] - mean) * inv;
+                normed.set(r, c, xn);
+                out.set(r, c, xn * g[c] + b[c]);
+            }
+        }
+        self.push(
+            out,
+            OpKind::LayerNorm {
+                a,
+                gamma,
+                beta,
+                normed,
+                inv_std,
+            },
+        )
+    }
+
+    /// Fused masked softmax attention for one head:
+    /// `softmax(q·kᵀ·scale + maskbias) · v`.
+    ///
+    /// `mask_bias`, when provided, is added to the scores before softmax;
+    /// ViTCoD's fixed sparse masks use `0.0` for kept positions and
+    /// `f32::NEG_INFINITY` for pruned ones, which the softmax maps to an
+    /// exact zero probability (and hence an exactly-zero gradient).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q`/`k`/`v` shapes are inconsistent or the mask is not
+    /// `q.rows() × k.rows()`.
+    pub fn masked_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        scale: f32,
+        mask_bias: Option<&Matrix>,
+    ) -> Var {
+        let qv = &self.nodes[q.0].value;
+        let kv = &self.nodes[k.0].value;
+        let vv = &self.nodes[v.0].value;
+        assert_eq!(qv.cols(), kv.cols(), "q/k feature dims differ");
+        assert_eq!(kv.rows(), vv.rows(), "k/v token counts differ");
+        let mut scores = qv.matmul_nt(kv).scale(scale);
+        if let Some(m) = mask_bias {
+            assert_eq!(
+                m.shape(),
+                (qv.rows(), kv.rows()),
+                "mask shape must be q.rows x k.rows"
+            );
+            for r in 0..scores.rows() {
+                for c in 0..scores.cols() {
+                    let b = m.get(r, c);
+                    if b == f32::NEG_INFINITY {
+                        scores.set(r, c, f32::NEG_INFINITY);
+                    } else {
+                        scores.set(r, c, scores.get(r, c) + b);
+                    }
+                }
+            }
+        }
+        let probs = scores.softmax_rows();
+        let out = probs.matmul(vv);
+        self.push(
+            out,
+            OpKind::MaskedAttention {
+                q,
+                k,
+                v,
+                scale,
+                probs,
+            },
+        )
+    }
+
+    /// Attention probabilities of the most recent [`Self::masked_attention`]
+    /// node `attn`; used to extract averaged attention maps for the
+    /// split-and-conquer algorithm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attn` is not a masked-attention node.
+    pub fn attention_probs(&self, attn: Var) -> &Matrix {
+        match &self.nodes[attn.0].op {
+            OpKind::MaskedAttention { probs, .. } => probs,
+            other => panic!("attention_probs on non-attention node: {other:?}"),
+        }
+    }
+
+    /// Head-dimension mixing (the auto-encoder primitive): with input
+    /// `n × (h_in·dk)` and weight `h_in × h_out`, produces
+    /// `n × (h_out·dk)` where output head `j` is `Σᵢ W[i, j] · head i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a.cols()` is not a multiple of `dk` equal to
+    /// `w.rows() · dk`.
+    pub fn head_mix(&mut self, a: Var, w: Var, dk: usize) -> Var {
+        let av = &self.nodes[a.0].value;
+        let wv = &self.nodes[w.0].value;
+        let (h_in, h_out) = wv.shape();
+        assert_eq!(av.cols(), h_in * dk, "input cols must equal h_in * dk");
+        let value = head_mix_forward(av, wv, dk, h_in, h_out);
+        self.push(value, OpKind::HeadMix { a, w, dk })
+    }
+
+    /// Column slice `a[:, c0..c1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or reversed.
+    pub fn slice_cols(&mut self, a: Var, c0: usize, c1: usize) -> Var {
+        let av = &self.nodes[a.0].value;
+        let value = av.submatrix(0, av.rows(), c0, c1);
+        self.push(value, OpKind::SliceCols { a, c0 })
+    }
+
+    /// Concatenates nodes along columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or row counts differ.
+    pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        assert!(!parts.is_empty(), "concat_cols requires at least one part");
+        let mats: Vec<&Matrix> = parts.iter().map(|p| &self.nodes[p.0].value).collect();
+        let value = Matrix::hcat(&mats);
+        self.push(
+            value,
+            OpKind::ConcatCols {
+                parts: parts.to_vec(),
+            },
+        )
+    }
+
+    /// Mean over rows, producing `1 × cols` (mean-pooled readout).
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let av = &self.nodes[a.0].value;
+        let mut out = Matrix::zeros(1, av.cols());
+        for r in 0..av.rows() {
+            for c in 0..av.cols() {
+                out.set(0, c, out.get(0, c) + av.get(r, c));
+            }
+        }
+        let inv = 1.0 / av.rows() as f32;
+        out.map_inplace(|v| v * inv);
+        self.push(out, OpKind::MeanRows { a })
+    }
+
+    /// Extracts row `r` as a `1 × cols` node (class-token readout).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_slice(&mut self, a: Var, r: usize) -> Var {
+        let av = &self.nodes[a.0].value;
+        let value = av.submatrix(r, r + 1, 0, av.cols());
+        self.push(value, OpKind::RowSlice { a, r })
+    }
+
+    /// Mean softmax cross-entropy of `logits` rows against integer class
+    /// `targets`; returns a `1 × 1` scalar node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != logits.rows()` or a target index is out
+    /// of range.
+    pub fn cross_entropy(&mut self, logits: Var, targets: &[usize]) -> Var {
+        let lv = &self.nodes[logits.0].value;
+        assert_eq!(targets.len(), lv.rows(), "one target per logits row");
+        let probs = lv.softmax_rows();
+        let mut loss = 0.0;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < lv.cols(), "target {t} out of range");
+            loss -= probs.get(r, t).max(1e-12).ln();
+        }
+        loss /= targets.len() as f32;
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            OpKind::CrossEntropy {
+                logits,
+                targets: targets.to_vec(),
+                probs,
+            },
+        )
+    }
+
+    /// Mean of all elements as a `1 × 1` scalar node (composite of
+    /// [`Self::mean_rows`] and a constant averaging matmul).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let cols = self.nodes[a.0].value.cols();
+        let pooled = self.mean_rows(a);
+        let ones = self.constant(Matrix::filled(cols, 1, 1.0 / cols as f32));
+        self.matmul(pooled, ones)
+    }
+
+    /// Mean squared error between two tape nodes, `mean((a − b)²)`, as a
+    /// `1 × 1` scalar node. Gradients flow into both operands — this is
+    /// the form used for the auto-encoder reconstruction loss where both
+    /// the original and the reconstructed Q/K are differentiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mse_between(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let sq = self.hadamard(d, d);
+        self.mean_all(sq)
+    }
+
+    /// Mean squared error between `a` and a constant `target`; returns a
+    /// `1 × 1` scalar node. This is the differentiable surrogate for the
+    /// paper's `‖Q − Q′‖₀` reconstruction loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes differ.
+    pub fn mse_loss(&mut self, a: Var, target: &Matrix) -> Var {
+        let av = &self.nodes[a.0].value;
+        assert_eq!(av.shape(), target.shape(), "mse target shape mismatch");
+        let diff = av - target;
+        let loss = diff.as_slice().iter().map(|v| v * v).sum::<f32>() / av.len() as f32;
+        self.push(
+            Matrix::from_vec(1, 1, vec![loss]),
+            OpKind::MseConst {
+                a,
+                target: target.clone(),
+            },
+        )
+    }
+
+    /// Weighted sum of two scalar nodes: `wa·a + wb·b` (total loss
+    /// `L = L_CE + L_Recons` in the paper's Eq. 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either node is not `1 × 1`.
+    pub fn weighted_sum(&mut self, a: Var, b: Var, wa: f32, wb: f32) -> Var {
+        assert_eq!(self.nodes[a.0].value.shape(), (1, 1), "a must be scalar");
+        assert_eq!(self.nodes[b.0].value.shape(), (1, 1), "b must be scalar");
+        let val = wa * self.nodes[a.0].value.get(0, 0) + wb * self.nodes[b.0].value.get(0, 0);
+        self.push(
+            Matrix::from_vec(1, 1, vec![val]),
+            OpKind::WeightedSum { a, b, wa, wb },
+        )
+    }
+
+    /// Scalar value of a `1 × 1` node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is not `1 × 1`.
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = &self.nodes[v.0].value;
+        assert_eq!(m.shape(), (1, 1), "scalar() on non-scalar node");
+        m.get(0, 0)
+    }
+
+    fn add_grad(&mut self, v: Var, g: Matrix) {
+        match &mut self.nodes[v.0].grad {
+            Some(existing) => existing.add_assign(&g),
+            slot @ None => *slot = Some(g),
+        }
+    }
+
+    /// Runs reverse-mode accumulation from scalar node `root`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `root` is not `1 × 1`.
+    pub fn backward(&mut self, root: Var) {
+        assert_eq!(
+            self.nodes[root.0].value.shape(),
+            (1, 1),
+            "backward root must be scalar"
+        );
+        for n in &mut self.nodes {
+            n.grad = None;
+        }
+        self.nodes[root.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+
+        for i in (0..self.nodes.len()).rev() {
+            let Some(gout) = self.nodes[i].grad.clone() else {
+                continue;
+            };
+            // Ops are cloned cheaply except for cached matrices, which are
+            // needed by the backward formulas anyway.
+            let op = self.nodes[i].op.clone();
+            match op {
+                OpKind::Leaf { .. } => {}
+                OpKind::MatMul { a, b } => {
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    self.add_grad(a, gout.matmul_nt(&bv));
+                    self.add_grad(b, av.matmul_tn(&gout));
+                }
+                OpKind::Add { a, b } => {
+                    self.add_grad(a, gout.clone());
+                    self.add_grad(b, gout);
+                }
+                OpKind::Sub { a, b } => {
+                    self.add_grad(a, gout.clone());
+                    self.add_grad(b, gout.scale(-1.0));
+                }
+                OpKind::Hadamard { a, b } => {
+                    let av = self.nodes[a.0].value.clone();
+                    let bv = self.nodes[b.0].value.clone();
+                    self.add_grad(a, gout.hadamard(&bv));
+                    self.add_grad(b, gout.hadamard(&av));
+                }
+                OpKind::Scale { a, s } => {
+                    self.add_grad(a, gout.scale(s));
+                }
+                OpKind::AddBias { a, bias } => {
+                    let mut gbias = Matrix::zeros(1, gout.cols());
+                    for r in 0..gout.rows() {
+                        for c in 0..gout.cols() {
+                            gbias.set(0, c, gbias.get(0, c) + gout.get(r, c));
+                        }
+                    }
+                    self.add_grad(a, gout);
+                    self.add_grad(bias, gbias);
+                }
+                OpKind::Gelu { a } => {
+                    let av = self.nodes[a.0].value.clone();
+                    let mut g = gout;
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            g.set(r, c, g.get(r, c) * gelu_grad(av.get(r, c)));
+                        }
+                    }
+                    self.add_grad(a, g);
+                }
+                OpKind::Relu { a } => {
+                    let av = self.nodes[a.0].value.clone();
+                    let mut g = gout;
+                    for r in 0..g.rows() {
+                        for c in 0..g.cols() {
+                            if av.get(r, c) <= 0.0 {
+                                g.set(r, c, 0.0);
+                            }
+                        }
+                    }
+                    self.add_grad(a, g);
+                }
+                OpKind::LayerNorm {
+                    a,
+                    gamma,
+                    beta,
+                    normed,
+                    inv_std,
+                } => {
+                    let gvec = self.nodes[gamma.0].value.row(0).to_vec();
+                    let rows = gout.rows();
+                    let cols = gout.cols();
+                    let mut ggamma = Matrix::zeros(1, cols);
+                    let mut gbeta = Matrix::zeros(1, cols);
+                    let mut gx = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        let n = cols as f32;
+                        // dy-hat = gout * gamma
+                        let mut dxhat = vec![0.0f32; cols];
+                        let mut sum_dxhat = 0.0;
+                        let mut sum_dxhat_xhat = 0.0;
+                        for c in 0..cols {
+                            let go = gout.get(r, c);
+                            let xh = normed.get(r, c);
+                            ggamma.set(0, c, ggamma.get(0, c) + go * xh);
+                            gbeta.set(0, c, gbeta.get(0, c) + go);
+                            let d = go * gvec[c];
+                            dxhat[c] = d;
+                            sum_dxhat += d;
+                            sum_dxhat_xhat += d * xh;
+                        }
+                        for c in 0..cols {
+                            let xh = normed.get(r, c);
+                            let v = inv_std[r] / n
+                                * (n * dxhat[c] - sum_dxhat - xh * sum_dxhat_xhat);
+                            gx.set(r, c, v);
+                        }
+                    }
+                    self.add_grad(a, gx);
+                    self.add_grad(gamma, ggamma);
+                    self.add_grad(beta, gbeta);
+                }
+                OpKind::MaskedAttention {
+                    q,
+                    k,
+                    v,
+                    scale,
+                    probs,
+                } => {
+                    let qv = self.nodes[q.0].value.clone();
+                    let kv = self.nodes[k.0].value.clone();
+                    let vv = self.nodes[v.0].value.clone();
+                    // dV = Pᵀ · dO
+                    let gv = probs.matmul_tn(&gout);
+                    // dP = dO · Vᵀ
+                    let dp = gout.matmul_nt(&vv);
+                    // dS = P ⊙ (dP − rowsum(dP ⊙ P))
+                    let mut ds = Matrix::zeros(dp.rows(), dp.cols());
+                    for r in 0..dp.rows() {
+                        let mut dot = 0.0;
+                        for c in 0..dp.cols() {
+                            dot += dp.get(r, c) * probs.get(r, c);
+                        }
+                        for c in 0..dp.cols() {
+                            ds.set(r, c, probs.get(r, c) * (dp.get(r, c) - dot));
+                        }
+                    }
+                    // dQ = dS · K · scale ; dK = dSᵀ · Q · scale
+                    let gq = ds.matmul(&kv).scale(scale);
+                    let gk = ds.matmul_tn(&qv).scale(scale);
+                    self.add_grad(q, gq);
+                    self.add_grad(k, gk);
+                    self.add_grad(v, gv);
+                }
+                OpKind::HeadMix { a, w, dk } => {
+                    let av = self.nodes[a.0].value.clone();
+                    let wv = self.nodes[w.0].value.clone();
+                    let (h_in, h_out) = wv.shape();
+                    let n = av.rows();
+                    // d_in[t, i·dk+f] = Σⱼ gout[t, j·dk+f] · W[i, j]
+                    let mut ga = Matrix::zeros(n, h_in * dk);
+                    // dW[i, j] = Σ_{t,f} in[t, i·dk+f] · gout[t, j·dk+f]
+                    let mut gw = Matrix::zeros(h_in, h_out);
+                    for t in 0..n {
+                        for i in 0..h_in {
+                            for j in 0..h_out {
+                                let wij = wv.get(i, j);
+                                let mut acc = 0.0;
+                                for f in 0..dk {
+                                    let go = gout.get(t, j * dk + f);
+                                    ga.set(t, i * dk + f, ga.get(t, i * dk + f) + go * wij);
+                                    acc += av.get(t, i * dk + f) * go;
+                                }
+                                gw.set(i, j, gw.get(i, j) + acc);
+                            }
+                        }
+                    }
+                    self.add_grad(a, ga);
+                    self.add_grad(w, gw);
+                }
+                OpKind::SliceCols { a, c0 } => {
+                    let (rows, cols) = self.nodes[a.0].value.shape();
+                    let mut g = Matrix::zeros(rows, cols);
+                    for r in 0..gout.rows() {
+                        for c in 0..gout.cols() {
+                            g.set(r, c0 + c, gout.get(r, c));
+                        }
+                    }
+                    self.add_grad(a, g);
+                }
+                OpKind::ConcatCols { parts } => {
+                    let mut off = 0;
+                    for p in parts {
+                        let pc = self.nodes[p.0].value.cols();
+                        let g = gout.submatrix(0, gout.rows(), off, off + pc);
+                        self.add_grad(p, g);
+                        off += pc;
+                    }
+                }
+                OpKind::MeanRows { a } => {
+                    let rows = self.nodes[a.0].value.rows();
+                    let inv = 1.0 / rows as f32;
+                    let mut g = Matrix::zeros(rows, gout.cols());
+                    for r in 0..rows {
+                        for c in 0..gout.cols() {
+                            g.set(r, c, gout.get(0, c) * inv);
+                        }
+                    }
+                    self.add_grad(a, g);
+                }
+                OpKind::RowSlice { a, r } => {
+                    let (rows, cols) = self.nodes[a.0].value.shape();
+                    let mut g = Matrix::zeros(rows, cols);
+                    for c in 0..cols {
+                        g.set(r, c, gout.get(0, c));
+                    }
+                    self.add_grad(a, g);
+                }
+                OpKind::CrossEntropy {
+                    logits,
+                    targets,
+                    probs,
+                } => {
+                    let gscale = gout.get(0, 0) / targets.len() as f32;
+                    let mut g = probs.clone();
+                    for (r, &t) in targets.iter().enumerate() {
+                        g.set(r, t, g.get(r, t) - 1.0);
+                    }
+                    g.map_inplace(|v| v * gscale);
+                    self.add_grad(logits, g);
+                }
+                OpKind::MseConst { a, target } => {
+                    let av = self.nodes[a.0].value.clone();
+                    let gscale = gout.get(0, 0) * 2.0 / av.len() as f32;
+                    let g = (&av - &target).scale(gscale);
+                    self.add_grad(a, g);
+                }
+                OpKind::WeightedSum { a, b, wa, wb } => {
+                    self.add_grad(a, gout.scale(wa));
+                    self.add_grad(b, gout.scale(wb));
+                }
+            }
+        }
+    }
+
+    /// Flushes accumulated leaf gradients back into `store`.
+    ///
+    /// Multiple imports of the same parameter within one tape all
+    /// contribute, as do successive tapes between `store.zero_grads()`
+    /// calls (gradient accumulation across a mini-batch).
+    pub fn write_grads(&self, store: &mut ParamStore) {
+        for n in &self.nodes {
+            if let (OpKind::Leaf { param: Some(id) }, Some(g)) = (&n.op, &n.grad) {
+                store.accumulate_grad(*id, g);
+            }
+        }
+    }
+}
+
+fn head_mix_forward(a: &Matrix, w: &Matrix, dk: usize, h_in: usize, h_out: usize) -> Matrix {
+    let n = a.rows();
+    let mut out = Matrix::zeros(n, h_out * dk);
+    for t in 0..n {
+        for j in 0..h_out {
+            for i in 0..h_in {
+                let wij = w.get(i, j);
+                if wij == 0.0 {
+                    continue;
+                }
+                for f in 0..dk {
+                    out.set(t, j * dk + f, out.get(t, j * dk + f) + a.get(t, i * dk + f) * wij);
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitcod_tensor::Initializer;
+
+    /// Central finite-difference check of `d loss / d param` for the
+    /// parameter `id`, where `build` constructs the loss from a fresh tape.
+    fn gradcheck(
+        store: &mut ParamStore,
+        id: ParamId,
+        build: &mut dyn FnMut(&mut Tape, &ParamStore) -> Var,
+        tol: f32,
+    ) {
+        let mut tape = Tape::new();
+        let loss = build(&mut tape, store);
+        tape.backward(loss);
+        store.zero_grads();
+        tape.write_grads(store);
+        let analytic = store.grad(id).clone();
+
+        let (rows, cols) = store.value(id).shape();
+        let h = 1e-2f32;
+        for r in 0..rows {
+            for c in 0..cols {
+                let orig = store.value(id).get(r, c);
+                store.value_mut(id).set(r, c, orig + h);
+                let mut tp = Tape::new();
+                let lp_var = build(&mut tp, store);
+                let lp = tp.scalar(lp_var);
+                store.value_mut(id).set(r, c, orig - h);
+                let mut tm = Tape::new();
+                let lm_var = build(&mut tm, store);
+                let lm = tm.scalar(lm_var);
+                store.value_mut(id).set(r, c, orig);
+                let fd = (lp - lm) / (2.0 * h);
+                let an = analytic.get(r, c);
+                assert!(
+                    (fd - an).abs() <= tol * (1.0 + fd.abs().max(an.abs())),
+                    "grad mismatch at ({r},{c}): fd={fd} analytic={an}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_matmul_chain() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Initializer::Normal { std: 0.5 }.sample(3, 2, 1));
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[1.5, 0.3, -0.7]]);
+        let target = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        gradcheck(
+            &mut store,
+            w,
+            &mut |tape, store| {
+                let xv = tape.constant(x.clone());
+                let wv = tape.param(store, w);
+                let y = tape.matmul(xv, wv);
+                tape.mse_loss(y, &target)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_bias_and_gelu() {
+        let mut store = ParamStore::new();
+        let b = store.register("b", Initializer::Normal { std: 0.5 }.sample(1, 3, 2));
+        let x = Matrix::from_rows(&[&[0.5, -1.0, 2.0], &[0.1, 0.2, 0.3]]);
+        let target = Matrix::zeros(2, 3);
+        gradcheck(
+            &mut store,
+            b,
+            &mut |tape, store| {
+                let xv = tape.constant(x.clone());
+                let bv = tape.param(store, b);
+                let y = tape.add_bias(xv, bv);
+                let g = tape.gelu(y);
+                tape.mse_loss(g, &target)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_layernorm_gamma_and_input() {
+        let mut store = ParamStore::new();
+        let g = store.register("g", Matrix::filled(1, 4, 1.2));
+        let x = store.register("x", Initializer::Normal { std: 1.0 }.sample(2, 4, 3));
+        let beta = Matrix::filled(1, 4, 0.1);
+        let target = Matrix::zeros(2, 4);
+        for id in [g, x] {
+            gradcheck(
+                &mut store,
+                id,
+                &mut |tape, store| {
+                    let xv = tape.param(store, x);
+                    let gv = tape.param(store, g);
+                    let bv = tape.constant(beta.clone());
+                    let y = tape.layernorm(xv, gv, bv);
+                    tape.mse_loss(y, &target)
+                },
+                5e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn gradcheck_masked_attention_all_inputs() {
+        let mut store = ParamStore::new();
+        let q = store.register("q", Initializer::Normal { std: 0.7 }.sample(3, 4, 4));
+        let k = store.register("k", Initializer::Normal { std: 0.7 }.sample(3, 4, 5));
+        let v = store.register("v", Initializer::Normal { std: 0.7 }.sample(3, 4, 6));
+        // Fixed sparse mask: prune position (0, 2) and (2, 0).
+        let mut mask = Matrix::zeros(3, 3);
+        mask.set(0, 2, f32::NEG_INFINITY);
+        mask.set(2, 0, f32::NEG_INFINITY);
+        let target = Matrix::zeros(3, 4);
+        for id in [q, k, v] {
+            gradcheck(
+                &mut store,
+                id,
+                &mut |tape, store| {
+                    let qv = tape.param(store, q);
+                    let kv = tape.param(store, k);
+                    let vv = tape.param(store, v);
+                    let o = tape.masked_attention(qv, kv, vv, 0.5, Some(&mask));
+                    tape.mse_loss(o, &target)
+                },
+                5e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn masked_attention_pruned_positions_have_zero_prob() {
+        let mut tape = Tape::new();
+        let q = tape.constant(Initializer::Normal { std: 1.0 }.sample(4, 8, 7));
+        let k = tape.constant(Initializer::Normal { std: 1.0 }.sample(4, 8, 8));
+        let v = tape.constant(Initializer::Normal { std: 1.0 }.sample(4, 8, 9));
+        let mut mask = Matrix::zeros(4, 4);
+        mask.set(1, 3, f32::NEG_INFINITY);
+        let attn = tape.masked_attention(q, k, v, 0.35, Some(&mask));
+        let p = tape.attention_probs(attn);
+        assert_eq!(p.get(1, 3), 0.0);
+        // Every row still sums to one.
+        for r in 0..4 {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn gradcheck_head_mix() {
+        let dk = 3;
+        let mut store = ParamStore::new();
+        let w = store.register("w", Initializer::Normal { std: 0.6 }.sample(4, 2, 10));
+        let x = Initializer::Normal { std: 1.0 }.sample(2, 4 * dk, 11);
+        let target = Matrix::zeros(2, 2 * dk);
+        gradcheck(
+            &mut store,
+            w,
+            &mut |tape, store| {
+                let xv = tape.constant(x.clone());
+                let wv = tape.param(store, w);
+                let y = tape.head_mix(xv, wv, dk);
+                tape.mse_loss(y, &target)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn head_mix_identity_weight_is_noop() {
+        let dk = 2;
+        let mut tape = Tape::new();
+        let x = Initializer::Normal { std: 1.0 }.sample(3, 3 * dk, 12);
+        let xv = tape.constant(x.clone());
+        let wv = tape.constant(Matrix::identity(3));
+        let y = tape.head_mix(xv, wv, dk);
+        assert!(tape.value(y).max_abs_diff(&x) < 1e-6);
+    }
+
+    #[test]
+    fn gradcheck_cross_entropy() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Initializer::Normal { std: 0.8 }.sample(3, 4, 13));
+        let x = Matrix::from_rows(&[&[1.0, -0.5, 0.25], &[0.0, 2.0, -1.0]]);
+        let targets = vec![2usize, 0usize];
+        gradcheck(
+            &mut store,
+            w,
+            &mut |tape, store| {
+                let xv = tape.constant(x.clone());
+                let wv = tape.param(store, w);
+                let logits = tape.matmul(xv, wv);
+                tape.cross_entropy(logits, &targets)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_slice_concat_mean() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Initializer::Normal { std: 0.5 }.sample(2, 6, 14));
+        let x = Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 0.25], &[2.0, 0.0]]);
+        let target = Matrix::zeros(1, 6);
+        gradcheck(
+            &mut store,
+            w,
+            &mut |tape, store| {
+                let xv = tape.constant(x.clone());
+                let wv = tape.param(store, w);
+                let y = tape.matmul(xv, wv);
+                let h0 = tape.slice_cols(y, 0, 3);
+                let h1 = tape.slice_cols(y, 3, 6);
+                let cat = tape.concat_cols(&[h1, h0]);
+                let pooled = tape.mean_rows(cat);
+                tape.mse_loss(pooled, &target)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn gradcheck_weighted_sum_combines_losses() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Initializer::Normal { std: 0.5 }.sample(2, 2, 15));
+        let x = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let t1 = Matrix::from_rows(&[&[0.5, 0.5]]);
+        let t2 = Matrix::from_rows(&[&[1.0, -1.0]]);
+        gradcheck(
+            &mut store,
+            w,
+            &mut |tape, store| {
+                let xv = tape.constant(x.clone());
+                let wv = tape.param(store, w);
+                let y = tape.matmul(xv, wv);
+                let l1 = tape.mse_loss(y, &t1);
+                let l2 = tape.mse_loss(y, &t2);
+                tape.weighted_sum(l1, l2, 1.0, 0.5)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn shared_param_grads_accumulate() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Matrix::filled(1, 1, 2.0));
+        let mut tape = Tape::new();
+        let w1 = tape.param(&store, w);
+        let w2 = tape.param(&store, w);
+        // loss = (w * w) via two imports: d/dw = 2w = 4.
+        let prod = tape.hadamard(w1, w2);
+        let loss = tape.mse_loss(prod, &Matrix::zeros(1, 1));
+        tape.backward(loss);
+        store.zero_grads();
+        tape.write_grads(&mut store);
+        // loss = w^2 squared error to 0 => (w^2)^2; d/dw = 4 w^3 = 32.
+        assert!((store.grad(w).get(0, 0) - 32.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relu_and_row_slice_backward() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Initializer::Normal { std: 0.9 }.sample(3, 3, 16));
+        let x = Matrix::from_rows(&[&[1.0, -2.0, 0.5], &[0.3, 0.1, -0.2]]);
+        let target = Matrix::zeros(1, 3);
+        gradcheck(
+            &mut store,
+            w,
+            &mut |tape, store| {
+                let xv = tape.constant(x.clone());
+                let wv = tape.param(store, w);
+                let y = tape.matmul(xv, wv);
+                let a = tape.relu(y);
+                let r0 = tape.row_slice(a, 0);
+                tape.mse_loss(r0, &target)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn backward_requires_scalar_root() {
+        let mut tape = Tape::new();
+        let x = tape.constant(Matrix::zeros(2, 2));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            tape.backward(x);
+        }));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! Analytic roofline models of the general computing platforms.
+//!
+//! The paper measures real devices; we have none, so each platform is a
+//! roofline: published peak throughput and memory bandwidth, derated by
+//! an *effective utilization* for unfused small-batch attention kernels,
+//! plus a per-layer framework/kernel-launch overhead. The utilization
+//! constants are stated here and recorded in EXPERIMENTS.md; they are
+//! the calibration knobs of this substitution and sit well inside
+//! publicly reported ranges for batch-1 Transformer inference.
+
+use vitcod_model::ViTConfig;
+use vitcod_sim::{LatencyBreakdown, PhaseCycles, SimReport, TrafficStats};
+
+/// Roofline model of a general-purpose platform running **dense**
+/// attention (commodity hardware cannot exploit ViTCoD's fine-grained
+/// sparsity, which is the paper's premise for these baselines).
+///
+/// # Example
+///
+/// ```
+/// use vitcod_baselines::GeneralPlatform;
+/// use vitcod_model::ViTConfig;
+///
+/// let cpu = GeneralPlatform::cpu_xeon_6230r();
+/// let gpu = GeneralPlatform::gpu_2080ti();
+/// let model = ViTConfig::deit_base();
+/// assert!(cpu.simulate_attention(&model).latency_s
+///         > gpu.simulate_attention(&model).latency_s);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneralPlatform {
+    /// Platform label.
+    pub name: &'static str,
+    /// Peak throughput in GMAC/s at the precision the platform would use.
+    pub peak_gmacs: f64,
+    /// Peak DRAM bandwidth, GB/s.
+    pub bandwidth_gbps: f64,
+    /// Effective compute utilization for batch-1 attention kernels.
+    pub compute_eff: f64,
+    /// Effective bandwidth utilization.
+    pub mem_eff: f64,
+    /// Framework/launch overhead charged per transformer layer, seconds.
+    pub per_layer_overhead_s: f64,
+    /// Bytes per element (fp32 on CPU, fp16 on the GPUs).
+    pub bytes_per_elem: usize,
+    /// Board/package power while busy, watts (for energy comparisons).
+    pub busy_watts: f64,
+    /// Hardware-resource scale factor for a peak-throughput-comparable
+    /// ViTCoD configuration (paper: "when benchmarking with GPUs w/
+    /// larger batch size, we scale up the accelerators' hardware
+    /// resource to have a comparable peak throughput").
+    pub comparable_vitcod_scale: usize,
+}
+
+impl GeneralPlatform {
+    /// Intel Xeon Gold 6230R: 26 cores, AVX-512 FMA @ ~2.1 GHz base
+    /// (~875 GMAC/s fp32), 6-channel DDR4 (~140 GB/s). Batch-1 attention
+    /// in a framework runs at ~1 % of peak (unfused ops, permutes,
+    /// softmax, Python dispatch).
+    pub fn cpu_xeon_6230r() -> Self {
+        Self {
+            name: "CPU (Xeon 6230R)",
+            peak_gmacs: 875.0,
+            bandwidth_gbps: 140.0,
+            compute_eff: 0.010,
+            mem_eff: 0.30,
+            per_layer_overhead_s: 100e-6,
+            bytes_per_elem: 4,
+            busy_watts: 150.0,
+            comparable_vitcod_scale: 1,
+        }
+    }
+
+    /// Nvidia Jetson Xavier NX (EdgeGPU): ~845 GFLOP/s fp16 GPU
+    /// (~422 GMAC/s), 51.2 GB/s LPDDR4x. Small kernels at ~3.5 %
+    /// effective utilization (matches the Fig. 4-style profiling where
+    /// attention dominates latency far beyond its FLOPs share).
+    pub fn edgegpu_xavier_nx() -> Self {
+        Self {
+            name: "EdgeGPU (Xavier NX)",
+            peak_gmacs: 422.0,
+            bandwidth_gbps: 51.2,
+            compute_eff: 0.032,
+            mem_eff: 0.40,
+            per_layer_overhead_s: 60e-6,
+            bytes_per_elem: 2,
+            busy_watts: 15.0,
+            comparable_vitcod_scale: 1,
+        }
+    }
+
+    /// Nvidia RTX 2080 Ti: 13.4 TFLOP/s fp32 (~6.7 TMAC/s), 616 GB/s
+    /// GDDR6, evaluated at a larger batch per the paper, with ~10 %
+    /// effective utilization for unfused attention and a 26× scaled
+    /// ViTCoD partner configuration (26 × 256 GOPS ≈ 6.7 TMAC/s).
+    pub fn gpu_2080ti() -> Self {
+        Self {
+            name: "GPU (RTX 2080 Ti)",
+            peak_gmacs: 6700.0,
+            bandwidth_gbps: 616.0,
+            compute_eff: 0.10,
+            mem_eff: 0.55,
+            per_layer_overhead_s: 30e-6,
+            bytes_per_elem: 4,
+            busy_watts: 250.0,
+            comparable_vitcod_scale: 26,
+        }
+    }
+
+    /// Nvidia Jetson TX2 (the EdgeGPU used for the Fig. 4 latency
+    /// breakdown): ~665 GFLOP/s fp16 (~332 GMAC/s), 59.7 GB/s.
+    pub fn edgegpu_tx2() -> Self {
+        Self {
+            name: "EdgeGPU (TX2)",
+            peak_gmacs: 332.0,
+            bandwidth_gbps: 59.7,
+            compute_eff: 0.030,
+            mem_eff: 0.40,
+            per_layer_overhead_s: 70e-6,
+            bytes_per_elem: 2,
+            busy_watts: 15.0,
+            comparable_vitcod_scale: 1,
+        }
+    }
+
+    /// The three comparison platforms of Fig. 15, in paper order.
+    pub fn all() -> Vec<GeneralPlatform> {
+        vec![
+            Self::cpu_xeon_6230r(),
+            Self::edgegpu_xavier_nx(),
+            Self::gpu_2080ti(),
+        ]
+    }
+
+    /// Effective compute throughput in GMAC/s.
+    pub fn effective_gmacs(&self) -> f64 {
+        self.peak_gmacs * self.compute_eff
+    }
+
+    /// Effective bandwidth in GB/s.
+    pub fn effective_bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps * self.mem_eff
+    }
+
+    /// Latency of one dense attention-core pass (`Q·Kᵀ`, softmax,
+    /// `S·V`), all stages and layers, batch 1.
+    pub fn simulate_attention(&self, model: &ViTConfig) -> SimReport {
+        let mut latency = 0.0f64;
+        let mut macs = 0u64;
+        let mut dram = 0u64;
+        let mut compute_s = 0.0f64;
+        for st in &model.stages {
+            let n = st.tokens as u64;
+            let d = st.dim as u64;
+            let h = st.heads as u64;
+            let layer_macs = 2 * n * n * d;
+            // Unfused attention materialises S: write after QK, read and
+            // write around softmax, read for SV — plus Q/K/V in, out.
+            let s_bytes = n * n * h * self.bytes_per_elem as u64;
+            let qkv_bytes = 4 * n * d * self.bytes_per_elem as u64;
+            let layer_bytes = 4 * s_bytes + qkv_bytes;
+            let t_compute = layer_macs as f64 / (self.effective_gmacs() * 1e9);
+            let t_mem = layer_bytes as f64 / (self.effective_bandwidth_gbps() * 1e9);
+            let t_layer = t_compute.max(t_mem) + self.per_layer_overhead_s;
+            latency += t_layer * st.depth as f64;
+            compute_s += t_compute * st.depth as f64;
+            macs += layer_macs * st.depth as u64;
+            dram += layer_bytes * st.depth as u64;
+        }
+        self.report(model, "core-attention", latency, compute_s, macs, dram)
+    }
+
+    /// Latency of the full dense model (attention + projections + MLPs +
+    /// stem), batch 1.
+    pub fn simulate_end_to_end(&self, model: &ViTConfig) -> SimReport {
+        let attn = self.simulate_attention(model);
+        let mut latency = attn.latency_s;
+        let mut macs = attn.macs;
+        let mut dram = attn.traffic.dram_read_bytes;
+        let mut compute_s =
+            attn.breakdown.compute_cycles as f64 / 1e9; // stored as ns, see report()
+        for st in &model.stages {
+            let n = st.tokens as u64;
+            let d = st.dim as u64;
+            let hidden = (st.dim * model.mlp_ratio) as u64;
+            let layer_macs = 4 * n * d * d + 2 * n * d * hidden;
+            let weight_bytes = (4 * d * d + 2 * d * hidden) * self.bytes_per_elem as u64;
+            let act_bytes = 8 * n * d * self.bytes_per_elem as u64;
+            let t_compute = layer_macs as f64 / (self.effective_gmacs() * 1e9);
+            let t_mem =
+                (weight_bytes + act_bytes) as f64 / (self.effective_bandwidth_gbps() * 1e9);
+            // Dense GEMMs run far closer to peak than attention; grant
+            // them 8x the attention efficiency, capped at 60 %.
+            let gemm_eff_boost = (8.0f64).min(0.6 / self.compute_eff);
+            let t_layer = (t_compute / gemm_eff_boost).max(t_mem) + self.per_layer_overhead_s;
+            latency += t_layer * st.depth as f64;
+            compute_s += (t_compute / gemm_eff_boost) * st.depth as f64;
+            macs += layer_macs * st.depth as u64;
+            dram += (weight_bytes + act_bytes) * st.depth as u64;
+        }
+        if model.stem_macs > 0 {
+            latency += model.stem_macs as f64 / (self.effective_gmacs() * 8.0 * 1e9);
+            macs += model.stem_macs;
+        }
+        self.report(model, "end-to-end", latency, compute_s, macs, dram)
+    }
+
+    fn report(
+        &self,
+        model: &ViTConfig,
+        kind: &str,
+        latency_s: f64,
+        compute_s: f64,
+        macs: u64,
+        dram_bytes: u64,
+    ) -> SimReport {
+        // Cycle fields are expressed in nanoseconds for these analytic
+        // models (no native clock); ratios remain meaningful.
+        let to_ns = |s: f64| (s * 1e9) as u64;
+        SimReport {
+            platform: self.name.to_string(),
+            workload: format!("{} [{}]", model.name, kind),
+            total_cycles: to_ns(latency_s),
+            latency_s,
+            phases: PhaseCycles::default(),
+            breakdown: LatencyBreakdown {
+                compute_cycles: to_ns(compute_s.min(latency_s)),
+                preprocess_cycles: 0,
+                data_movement_cycles: to_ns((latency_s - compute_s).max(0.0)),
+            },
+            traffic: TrafficStats {
+                dram_read_bytes: dram_bytes,
+                ..Default::default()
+            },
+            macs,
+            energy_j: self.busy_watts * latency_s,
+            utilization: (macs as f64 / (self.peak_gmacs * 1e9 * latency_s)).min(1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_ordering_cpu_slowest_gpu_fastest() {
+        let model = ViTConfig::deit_base();
+        let cpu = GeneralPlatform::cpu_xeon_6230r().simulate_attention(&model);
+        let edge = GeneralPlatform::edgegpu_xavier_nx().simulate_attention(&model);
+        let gpu = GeneralPlatform::gpu_2080ti().simulate_attention(&model);
+        assert!(cpu.latency_s > edge.latency_s);
+        assert!(edge.latency_s > gpu.latency_s);
+    }
+
+    #[test]
+    fn attention_latency_in_plausible_band() {
+        // Batch-1 DeiT-Base attention on a 2080 Ti lands in the
+        // hundreds-of-microseconds to few-ms band.
+        let gpu = GeneralPlatform::gpu_2080ti().simulate_attention(&ViTConfig::deit_base());
+        assert!(
+            (1e-4..2e-2).contains(&gpu.latency_s),
+            "gpu attention latency {}",
+            gpu.latency_s
+        );
+        let cpu = GeneralPlatform::cpu_xeon_6230r().simulate_attention(&ViTConfig::deit_base());
+        assert!(
+            (5e-3..0.5).contains(&cpu.latency_s),
+            "cpu attention latency {}",
+            cpu.latency_s
+        );
+    }
+
+    #[test]
+    fn end_to_end_slower_than_attention() {
+        for p in GeneralPlatform::all() {
+            let m = ViTConfig::deit_small();
+            assert!(p.simulate_end_to_end(&m).latency_s > p.simulate_attention(&m).latency_s);
+        }
+    }
+
+    #[test]
+    fn attention_dominates_edge_latency_share() {
+        // Fig. 4: self-attention is >= 50 % of end-to-end latency on an
+        // EdgeGPU despite its small FLOPs share.
+        let p = GeneralPlatform::edgegpu_tx2();
+        let m = ViTConfig::deit_small();
+        let attn = p.simulate_attention(&m).latency_s;
+        let e2e = p.simulate_end_to_end(&m).latency_s;
+        assert!(
+            attn / e2e > 0.4,
+            "attention share {:.2} too small",
+            attn / e2e
+        );
+    }
+
+    #[test]
+    fn bigger_models_take_longer() {
+        let p = GeneralPlatform::edgegpu_xavier_nx();
+        let tiny = p.simulate_attention(&ViTConfig::deit_tiny()).latency_s;
+        let base = p.simulate_attention(&ViTConfig::deit_base()).latency_s;
+        assert!(base > tiny);
+    }
+
+    #[test]
+    fn energy_scales_with_latency_and_power() {
+        let p = GeneralPlatform::cpu_xeon_6230r();
+        let r = p.simulate_attention(&ViTConfig::deit_base());
+        assert!((r.energy_j - 150.0 * r.latency_s).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_below_one() {
+        for p in GeneralPlatform::all() {
+            let r = p.simulate_attention(&ViTConfig::deit_base());
+            assert!(r.utilization <= 1.0);
+            assert!(r.utilization > 0.0);
+        }
+    }
+}

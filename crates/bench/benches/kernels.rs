@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks of the numerical kernels underpinning the
+//! reproduction (matmul flavours, softmax, autograd attention).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vitcod_autograd::Tape;
+use vitcod_tensor::{Initializer, Matrix};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for &n in &[32usize, 64, 128] {
+        let a = Initializer::Normal { std: 1.0 }.sample(n, n, 1);
+        let b = Initializer::Normal { std: 1.0 }.sample(n, n, 2);
+        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_nt(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
+            bench.iter(|| a.matmul_tn(&b))
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax_layernorm(c: &mut Criterion) {
+    let m = Initializer::Normal { std: 1.0 }.sample(197, 197, 3);
+    c.bench_function("softmax_rows_197", |b| b.iter(|| m.softmax_rows()));
+    let x = Initializer::Normal { std: 1.0 }.sample(197, 192, 4);
+    let gamma = vec![1.0f32; 192];
+    let beta = vec![0.0f32; 192];
+    c.bench_function("layernorm_rows_197x192", |b| {
+        b.iter(|| x.layernorm_rows(&gamma, &beta, 1e-5))
+    });
+}
+
+fn bench_autograd_attention(c: &mut Criterion) {
+    let q = Initializer::Normal { std: 1.0 }.sample(64, 32, 5);
+    let k = Initializer::Normal { std: 1.0 }.sample(64, 32, 6);
+    let v = Initializer::Normal { std: 1.0 }.sample(64, 32, 7);
+    let mut mask = Matrix::zeros(64, 64);
+    for r in 0..64 {
+        for col in 0..64 {
+            if (r as i64 - col as i64).abs() > 3 && col != 0 {
+                mask.set(r, col, f32::NEG_INFINITY);
+            }
+        }
+    }
+    c.bench_function("masked_attention_fwd_bwd_64x32", |b| {
+        b.iter(|| {
+            let mut tape = Tape::new();
+            let qv = tape.constant(q.clone());
+            let kv = tape.constant(k.clone());
+            let vv = tape.constant(v.clone());
+            let o = tape.masked_attention(qv, kv, vv, 0.176, Some(&mask));
+            let loss = tape.mse_loss(o, &Matrix::zeros(64, 32));
+            tape.backward(loss);
+            tape.scalar(loss)
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_matmul,
+    bench_softmax_layernorm,
+    bench_autograd_attention
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion benchmarks of the accelerator simulators themselves: how
+//! fast a full model simulation runs, per platform, per sparsity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vitcod_baselines::{GeneralPlatform, SangerSim, SpAttenSim};
+use vitcod_bench::build_program;
+use vitcod_model::ViTConfig;
+use vitcod_sim::{AcceleratorConfig, ViTCoDAccelerator};
+
+fn bench_vitcod_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vitcod_simulate");
+    let acc = ViTCoDAccelerator::new(AcceleratorConfig::vitcod_paper());
+    for &s in &[0.6f64, 0.9] {
+        let model = ViTConfig::deit_base();
+        let program = build_program(&model, s, true);
+        group.bench_with_input(
+            BenchmarkId::new("deit_base_attention", format!("{:.0}%", s * 100.0)),
+            &program,
+            |b, p| b.iter(|| acc.simulate_attention(p)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("deit_base_end_to_end", format!("{:.0}%", s * 100.0)),
+            &program,
+            |b, p| b.iter(|| acc.simulate_end_to_end(p, &model)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_baseline_simulation(c: &mut Criterion) {
+    let model = ViTConfig::deit_base();
+    let hw = AcceleratorConfig::vitcod_paper();
+    let spatten = SpAttenSim::new(hw);
+    let sanger = SangerSim::new(hw);
+    c.bench_function("spatten_simulate_deit_base", |b| {
+        b.iter(|| spatten.simulate_attention(&model, 0.9))
+    });
+    c.bench_function("sanger_simulate_deit_base", |b| {
+        b.iter(|| sanger.simulate_attention(&model, 0.9))
+    });
+    c.bench_function("cpu_platform_model_deit_base", |b| {
+        let cpu = GeneralPlatform::cpu_xeon_6230r();
+        b.iter(|| cpu.simulate_attention(&model))
+    });
+}
+
+fn bench_program_compilation(c: &mut Criterion) {
+    c.bench_function("compile_deit_base_90pct", |b| {
+        b.iter(|| build_program(&ViTConfig::deit_base(), 0.9, true))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_vitcod_simulation,
+    bench_baseline_simulation,
+    bench_program_compilation
+);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Design-choice ablation (paper Sec. V-A, Fig. 11): S-stationary vs
+//! K-stationary SDDMM dataflows across sparsity levels.
+//!
+//! S-stationary maps attention scores spatially onto PEs (full Q/K reuse
+//! but idle PEs at pruned positions and large partial-sum registers);
+//! K-stationary keeps K resident, maps the feature dimension spatially
+//! and enumerates only the kept positions via the CSC index.
+
+use vitcod_bench::polarize;
+use vitcod_model::ViTConfig;
+use vitcod_sim::{s_stationary_sddmm_cycles, sparser_sddmm_cycles, AcceleratorConfig};
+
+fn main() {
+    let cfg = AcceleratorConfig::vitcod_paper();
+    let model = ViTConfig::deit_base();
+    println!("Dataflow ablation — DeiT-Base SDDMM, 64 lines x 8 MACs, per layer-head mean\n");
+    println!(
+        "{:>9} {:>18} {:>18} {:>12}",
+        "sparsity", "S-stationary(cyc)", "K-stationary(cyc)", "K adv."
+    );
+    for s in [0.0f64, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95] {
+        let density = (1.0 - s).max(1e-3);
+        let s_cycles = s_stationary_sddmm_cycles(
+            model.tokens,
+            model.head_dim(),
+            density,
+            cfg.mac_lines,
+            cfg.macs_per_line,
+        );
+        // K-stationary on real polarized masks: mean over all heads.
+        let k_cycles = if s == 0.0 {
+            vitcod_sim::denser_sddmm_cycles(
+                model.tokens,
+                model.tokens,
+                model.head_dim(),
+                cfg.mac_lines,
+                cfg.macs_per_line,
+            )
+        } else {
+            let heads = polarize(&model, s);
+            let mut total = 0u64;
+            let mut count = 0u64;
+            for ph in heads.iter().flatten() {
+                let w = ph.workload();
+                let dense_part = vitcod_sim::denser_sddmm_cycles(
+                    w.tokens,
+                    w.denser_cols,
+                    model.head_dim(),
+                    cfg.mac_lines,
+                    cfg.macs_per_line,
+                );
+                let col_nnz: Vec<usize> = ph
+                    .polarized_mask()
+                    .col_nnz()
+                    .into_iter()
+                    .skip(w.denser_cols)
+                    .collect();
+                let sparse_part = sparser_sddmm_cycles(
+                    &col_nnz,
+                    model.head_dim(),
+                    cfg.mac_lines,
+                    cfg.macs_per_line,
+                );
+                total += dense_part + sparse_part;
+                count += 1;
+            }
+            total / count.max(1)
+        };
+        println!(
+            "{:>8.0}% {:>18} {:>18} {:>11.2}x",
+            s * 100.0,
+            s_cycles,
+            k_cycles,
+            s_cycles as f64 / k_cycles as f64
+        );
+    }
+    println!("\npaper: K-stationary suits ViTCoD's high-sparsity polarized patterns (only paired");
+    println!("       Q/K multiply, small buffers); S-stationary wins only near-dense, which is");
+    println!("       why Sanger adopts it for medium-sparsity NLP and ViTCoD does not.");
+}

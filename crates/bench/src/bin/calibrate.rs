@@ -1,0 +1,54 @@
+//! Internal calibration probe: prints raw latencies and speedup ratios
+//! of every platform on every model so modelling constants can be sanity
+//! checked against the paper's headline numbers. Not a paper artifact.
+
+use vitcod_baselines::{GeneralPlatform, SangerSim, SpAttenSim};
+use vitcod_bench::{geomean, vitcod_attention};
+use vitcod_model::ViTConfig;
+use vitcod_sim::AcceleratorConfig;
+
+fn main() {
+    let models = ViTConfig::classification_models();
+    let spatten = SpAttenSim::new(AcceleratorConfig::vitcod_paper());
+    let sanger = SangerSim::new(AcceleratorConfig::vitcod_paper());
+    let sparsity = 0.9;
+
+    let mut cpu_r = vec![];
+    let mut edge_r = vec![];
+    let mut gpu_r = vec![];
+    let mut spat_r = vec![];
+    let mut sang_r = vec![];
+
+    println!("model, vitcod_us, cpu_ms, edge_ms, gpu_ms(b), spatten_us, sanger_us");
+    for m in &models {
+        let vit = vitcod_attention(m, sparsity, true, 1);
+        let cpu = GeneralPlatform::cpu_xeon_6230r().simulate_attention(m);
+        let edge = GeneralPlatform::edgegpu_xavier_nx().simulate_attention(m);
+        let gpu_platform = GeneralPlatform::gpu_2080ti();
+        let gpu = gpu_platform.simulate_attention(m);
+        let vit_scaled = vitcod_attention(m, sparsity, true, gpu_platform.comparable_vitcod_scale);
+        let spat = spatten.simulate_attention(m, sparsity);
+        let sang = sanger.simulate_attention(m, sparsity);
+        println!(
+            "{}, {:.1}, {:.2}, {:.2}, {:.3}, {:.1}, {:.1}",
+            m.name,
+            vit.latency_s * 1e6,
+            cpu.latency_s * 1e3,
+            edge.latency_s * 1e3,
+            gpu.latency_s * 1e3,
+            spat.latency_s * 1e6,
+            sang.latency_s * 1e6
+        );
+        cpu_r.push(cpu.latency_s / vit.latency_s);
+        edge_r.push(edge.latency_s / vit.latency_s);
+        gpu_r.push(gpu.latency_s / vit_scaled.latency_s);
+        spat_r.push(spat.latency_s / vit.latency_s);
+        sang_r.push(sang.latency_s / vit.latency_s);
+    }
+    println!("\nspeedups (geomean over 6 models) @90% sparsity, paper targets in ():");
+    println!("  vs CPU     {:8.1}x   (235.3x)", geomean(&cpu_r));
+    println!("  vs EdgeGPU {:8.1}x   (142.9x)", geomean(&edge_r));
+    println!("  vs GPU     {:8.1}x   (86.0x)", geomean(&gpu_r));
+    println!("  vs SpAtten {:8.1}x   (10.1x)", geomean(&spat_r));
+    println!("  vs Sanger  {:8.1}x   (6.8x)", geomean(&sang_r));
+}

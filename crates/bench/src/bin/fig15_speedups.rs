@@ -1,0 +1,128 @@
+//! Fig. 15: (a) core-attention speedups at 90% sparsity and (b)
+//! end-to-end ViT speedups, normalized to CPU, for seven models across
+//! CPU / EdgeGPU / GPU / SpAtten / Sanger / ViTCoD.
+
+use vitcod_baselines::{GeneralPlatform, SangerSim, SpAttenSim};
+use vitcod_bench::{geomean, vitcod_attention, vitcod_end_to_end};
+use vitcod_model::ViTConfig;
+use vitcod_sim::AcceleratorConfig;
+
+fn main() {
+    let models = ViTConfig::all_paper_models();
+    let class_models = ViTConfig::classification_models();
+    let spatten = SpAttenSim::new(AcceleratorConfig::vitcod_paper());
+    let sanger = SangerSim::new(AcceleratorConfig::vitcod_paper());
+    let cpu = GeneralPlatform::cpu_xeon_6230r();
+    let edge = GeneralPlatform::edgegpu_xavier_nx();
+    let gpu = GeneralPlatform::gpu_2080ti();
+
+    println!("Fig. 15(a) — core attention speedups over CPU (sparsity per model: 90% DeiT/Strided, 80% LeViT)\n");
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "model", "CPU", "EdgeGPU", "GPU", "SpAtten", "Sanger", "ViTCoD"
+    );
+    for m in &models {
+        let s = m.paper_sparsity;
+        let c = cpu.simulate_attention(m).latency_s;
+        let e = edge.simulate_attention(m).latency_s;
+        let g = gpu.simulate_attention(m).latency_s;
+        let sp = spatten.simulate_attention(m, s).latency_s;
+        let sa = sanger.simulate_attention(m, s).latency_s;
+        let v = vitcod_attention(m, s, true, 1).latency_s;
+        println!(
+            "{:<16} {:>8.2} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            m.name,
+            1.0,
+            c / e,
+            c / g,
+            c / sp,
+            c / sa,
+            c / v
+        );
+    }
+
+    // Headline geomeans at 90% over the six classification models.
+    let mut r_cpu = vec![];
+    let mut r_edge = vec![];
+    let mut r_gpu = vec![];
+    let mut r_spat = vec![];
+    let mut r_sang = vec![];
+    for m in &class_models {
+        let v = vitcod_attention(m, 0.9, true, 1).latency_s;
+        let v_scaled = vitcod_attention(m, 0.9, true, gpu.comparable_vitcod_scale).latency_s;
+        r_cpu.push(cpu.simulate_attention(m).latency_s / v);
+        r_edge.push(edge.simulate_attention(m).latency_s / v);
+        r_gpu.push(gpu.simulate_attention(m).latency_s / v_scaled);
+        r_spat.push(spatten.simulate_attention(m, 0.9).latency_s / v);
+        r_sang.push(sanger.simulate_attention(m, 0.9).latency_s / v);
+    }
+    println!("\nViTCoD core-attention speedups @90% (geomean over DeiT+LeViT; GPU pairing uses the");
+    println!("peak-throughput-comparable scaled ViTCoD, per the paper's protocol):");
+    println!("  vs CPU     {:7.1}x   paper: 235.3x", geomean(&r_cpu));
+    println!("  vs EdgeGPU {:7.1}x   paper: 142.9x", geomean(&r_edge));
+    println!("  vs GPU     {:7.1}x   paper: 86.0x", geomean(&r_gpu));
+    println!("  vs SpAtten {:7.1}x   paper: 10.1x", geomean(&r_spat));
+    println!("  vs Sanger  {:7.1}x   paper: 6.8x", geomean(&r_sang));
+
+    // 80% sparsity comparison vs the attention accelerators.
+    let mut r_spat80 = vec![];
+    let mut r_sang80 = vec![];
+    for m in &class_models {
+        let v = vitcod_attention(m, 0.8, true, 1).latency_s;
+        r_spat80.push(spatten.simulate_attention(m, 0.8).latency_s / v);
+        r_sang80.push(sanger.simulate_attention(m, 0.8).latency_s / v);
+    }
+    println!("\n@80% sparsity:");
+    println!("  vs SpAtten {:7.1}x   paper: 4.8x", geomean(&r_spat80));
+    println!("  vs Sanger  {:7.1}x   paper: 3.2x", geomean(&r_sang80));
+
+    println!("\nFig. 15(b) — end-to-end ViT speedups over CPU\n");
+    println!(
+        "{:<16} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "model", "CPU", "EdgeGPU", "GPU", "SpAtten", "Sanger", "ViTCoD"
+    );
+    let mut e_cpu = vec![];
+    let mut e_edge = vec![];
+    let mut e_spat = vec![];
+    let mut e_sang = vec![];
+    for m in &models {
+        let s = m.paper_sparsity;
+        let c = cpu.simulate_end_to_end(m).latency_s;
+        let e = edge.simulate_end_to_end(m).latency_s;
+        let g = gpu.simulate_end_to_end(m).latency_s;
+        let sp = spatten.simulate_end_to_end(m, s).latency_s;
+        let sa = sanger.simulate_end_to_end(m, s).latency_s;
+        let v = vitcod_end_to_end(m, s, true, 1).latency_s;
+        println!(
+            "{:<16} {:>8.2} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>9.1}",
+            m.name,
+            1.0,
+            c / e,
+            c / g,
+            c / sp,
+            c / sa,
+            c / v
+        );
+        e_cpu.push(c / v);
+        e_edge.push(e / v);
+        e_spat.push(sp / v);
+        e_sang.push(sa / v);
+    }
+    println!("\nViTCoD end-to-end speedups (geomean over all seven models):");
+    println!("  vs CPU     {:7.1}x   paper: 33.8x", geomean(&e_cpu));
+    println!("  vs EdgeGPU {:7.1}x   paper: 5.6x", geomean(&e_edge));
+    println!("  vs SpAtten {:7.1}x   paper: 3.1x", geomean(&e_spat));
+    println!("  vs Sanger  {:7.1}x   paper: 2.1x", geomean(&e_sang));
+
+    // ViTCoD hardware with vs without ViTCoD techniques.
+    let mut with_vs_without = vec![];
+    for m in &class_models {
+        let dense = vitcod_end_to_end(m, 0.0, false, 1).latency_s;
+        let full = vitcod_end_to_end(m, m.paper_sparsity, true, 1).latency_s;
+        with_vs_without.push(dense / full);
+    }
+    println!(
+        "\nViTCoD hardware w/ vs w/o ViTCoD techniques (end-to-end): {:.1}x   paper: ~1.8x",
+        geomean(&with_vs_without)
+    );
+}

@@ -1,0 +1,14 @@
+//! Fig. 16: layout floorplan of the ViTCoD accelerator.
+
+use vitcod_sim::{floorplan, total_area_mm2, AcceleratorConfig};
+
+fn main() {
+    let cfg = AcceleratorConfig::vitcod_paper();
+    println!("Fig. 16 — ViTCoD accelerator floorplan (28 nm-class area model)\n");
+    println!("{:<42} {:>10}", "component", "area (mm^2)");
+    for p in floorplan(&cfg) {
+        println!("{:<42} {:>10.3}", p.name, p.area_mm2);
+    }
+    println!("{:<42} {:>10.3}", "TOTAL", total_area_mm2(&cfg));
+    println!("\npaper: total area 3 mm^2 with 320 KB SRAM and 512 MACs at 500 MHz, 323.9 mW.");
+}

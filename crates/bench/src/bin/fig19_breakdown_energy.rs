@@ -1,0 +1,100 @@
+//! Fig. 19: (a) normalized latency and latency breakdown
+//! (computation / preprocess / data movement) for Sanger vs ViTCoD's two
+//! innovations, (b) normalized energy efficiency against all five
+//! baselines, and the sparsity-averaged speedups.
+
+use vitcod_baselines::{GeneralPlatform, SangerSim, SpAttenSim};
+use vitcod_bench::{geomean, vitcod_attention};
+use vitcod_model::ViTConfig;
+use vitcod_sim::{AcceleratorConfig, SimReport};
+
+fn main() {
+    let models = ViTConfig::classification_models();
+    let sanger = SangerSim::new(AcceleratorConfig::vitcod_paper());
+    let spatten = SpAttenSim::new(AcceleratorConfig::vitcod_paper());
+
+    // (a) Latency breakdown on DeiT-Base @90%.
+    println!("Fig. 19(a) — latency breakdown, DeiT-Base core attention @90% sparsity\n");
+    println!(
+        "{:<28} {:>12} {:>8} {:>12} {:>14}",
+        "design", "latency(us)", "comp%", "preprocess%", "data-move%"
+    );
+    let m = ViTConfig::deit_base();
+    let sang = sanger.simulate_attention(&m, 0.9);
+    print_breakdown("Sanger", &sang);
+    let sc_only = vitcod_attention(&m, 0.9, false, 1);
+    print_breakdown("ViTCoD (split&conquer)", &sc_only);
+    let full = vitcod_attention(&m, 0.9, true, 1);
+    print_breakdown("ViTCoD (S&C + auto-encoder)", &full);
+
+    println!(
+        "\n  S&C over Sanger: {:.1}x (paper: 2.7x); AE adds a further {:.1}x (paper: 2.5x)",
+        sang.latency_s / sc_only.latency_s,
+        sc_only.latency_s / full.latency_s
+    );
+    println!(
+        "  data-movement share: {:.0}% -> {:.0}% after AE (paper: 50% -> 28%)",
+        sc_only.breakdown.data_movement_fraction() * 100.0,
+        full.breakdown.data_movement_fraction() * 100.0
+    );
+
+    // (b) Energy efficiency @90%, geomean over the six models.
+    println!("\nFig. 19(b) — normalized energy efficiency @90% sparsity (geomean over 6 models)\n");
+    let mut e_cpu = vec![];
+    let mut e_edge = vec![];
+    let mut e_gpu = vec![];
+    let mut e_spat = vec![];
+    let mut e_sang = vec![];
+    for m in &models {
+        let v = vitcod_attention(m, 0.9, true, 1);
+        e_cpu.push(v.energy_efficiency_over(&GeneralPlatform::cpu_xeon_6230r().simulate_attention(m)));
+        e_edge.push(v.energy_efficiency_over(&GeneralPlatform::edgegpu_xavier_nx().simulate_attention(m)));
+        e_gpu.push(v.energy_efficiency_over(&GeneralPlatform::gpu_2080ti().simulate_attention(m)));
+        e_spat.push(v.energy_efficiency_over(&spatten.simulate_attention(m, 0.9)));
+        e_sang.push(v.energy_efficiency_over(&sanger.simulate_attention(m, 0.9)));
+    }
+    println!("  vs CPU     {:>9.1}x", geomean(&e_cpu));
+    println!("  vs EdgeGPU {:>9.1}x", geomean(&e_edge));
+    println!("  vs GPU     {:>9.1}x", geomean(&e_gpu));
+    println!("  vs SpAtten {:>9.1}x", geomean(&e_spat));
+    println!("  vs Sanger  {:>9.1}x   paper: 9.8x (most competitive baseline)", geomean(&e_sang));
+
+    // Sparsity-averaged speedups across {60,70,80,90}%.
+    println!("\nAveraged core-attention speedups across 60/70/80/90% sparsity (geomean over models):\n");
+    let sparsities = [0.6, 0.7, 0.8, 0.9];
+    let gpu = GeneralPlatform::gpu_2080ti();
+    let mut r = vec![vec![]; 5];
+    for m in &models {
+        for &s in &sparsities {
+            let v = vitcod_attention(m, s, true, 1).latency_s;
+            let v_scaled = vitcod_attention(m, s, true, gpu.comparable_vitcod_scale).latency_s;
+            r[0].push(GeneralPlatform::cpu_xeon_6230r().simulate_attention(m).latency_s / v);
+            r[1].push(GeneralPlatform::edgegpu_xavier_nx().simulate_attention(m).latency_s / v);
+            r[2].push(gpu.simulate_attention(m).latency_s / v_scaled);
+            r[3].push(spatten.simulate_attention(m, s).latency_s / v);
+            r[4].push(sanger.simulate_attention(m, s).latency_s / v);
+        }
+    }
+    let labels = ["CPU", "EdgeGPU", "GPU", "SpAtten", "Sanger"];
+    let paper = [127.2, 77.0, 46.5, 6.8, 4.3];
+    for i in 0..5 {
+        println!(
+            "  vs {:<8} {:>8.1}x   paper: {:.1}x",
+            labels[i],
+            geomean(&r[i]),
+            paper[i]
+        );
+    }
+}
+
+fn print_breakdown(name: &str, r: &SimReport) {
+    let t = r.breakdown.total().max(1) as f64;
+    println!(
+        "{:<28} {:>12.1} {:>7.0}% {:>11.0}% {:>13.0}%",
+        name,
+        r.latency_s * 1e6,
+        r.breakdown.compute_cycles as f64 / t * 100.0,
+        r.breakdown.preprocess_cycles as f64 / t * 100.0,
+        r.breakdown.data_movement_cycles as f64 / t * 100.0
+    );
+}

@@ -1,0 +1,96 @@
+//! Fig. 1: accuracy-vs-sparsity for ViTs with *fixed* sparse attention
+//! masks, contrasted against NLP Transformers needing *dynamic* masks.
+//!
+//! ViT curves are measured: reduced DeiT-Small/Base twins are trained
+//! from scratch on the synthetic vision task (the documented ImageNet
+//! substitution), pruned with fixed information-based masks at each
+//! sparsity level, and finetuned. NLP curves are the reference series
+//! the paper aggregates from the literature (BLEU on IWSLT EN→DE with
+//! dynamic sparse attention, reproduced here as the published trend
+//! since no NLP training stack is in scope).
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vitcod_autograd::ParamStore;
+use vitcod_core::{SplitConquer, SplitConquerConfig};
+use vitcod_model::{
+    SyntheticTask, SyntheticTaskConfig, TrainConfig, Trainer, ViTConfig, VisionTransformer,
+};
+
+fn main() {
+    let task = SyntheticTask::generate(SyntheticTaskConfig::default());
+    let sparsities = [0.10, 0.30, 0.50, 0.70, 0.90, 0.95];
+
+    println!("Fig. 1 — accuracy vs attention sparsity (fixed masks on ViTs, measured on the synthetic task)\n");
+    for name in ["DeiT-Small", "DeiT-Base"] {
+        let base_cfg = match name {
+            "DeiT-Small" => ViTConfig::deit_small(),
+            _ => ViTConfig::deit_base(),
+        }
+        .reduced_for_training();
+
+        // "Pretrained" dense model (seed varied per model).
+        let mut store = ParamStore::new();
+        let seed = 0xF161 ^ name.len() as u64;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let vit = VisionTransformer::new(
+            &base_cfg,
+            task.config.in_dim,
+            task.config.num_classes,
+            &mut store,
+            &mut rng,
+        );
+        let mut base = Trainer::new(vit, store);
+        base.train(
+            &task,
+            &TrainConfig {
+                epochs: 14,
+                ..Default::default()
+            },
+        );
+        let dense_acc = base.evaluate(&task.test);
+        println!("{name} (reduced twin) — dense accuracy {:.1}%", dense_acc * 100.0);
+        println!("  {:>9} {:>10} {:>9}", "sparsity", "accuracy", "drop");
+
+        let maps = base.averaged_attention_maps(&task);
+        for &s in &sparsities {
+            let sc = SplitConquer::new(SplitConquerConfig::with_sparsity(s));
+            let heads = sc.apply(&maps);
+            let plan = SplitConquer::to_sparsity_plan(&heads);
+            let mut finetuned = base.clone();
+            finetuned.model_mut().set_sparsity_plan(plan);
+            finetuned.train(
+                &task,
+                &TrainConfig {
+                    epochs: 6,
+                    lr: 1e-3,
+                    ..Default::default()
+                },
+            );
+            let acc = finetuned.evaluate(&task.test);
+            println!(
+                "  {:>8.0}% {:>9.1}% {:>8.1}%",
+                s * 100.0,
+                acc * 100.0,
+                (dense_acc - acc) * 100.0
+            );
+        }
+        println!();
+    }
+
+    println!("NLP Transformer reference (paper Fig. 1; BLEU on IWSLT EN→DE, dynamic sparse attention):");
+    println!("  {:>9} {:>18}", "sparsity", "BLEU (best method)");
+    // Trend the paper plots: near-lossless to ~50-70%, collapsing beyond.
+    for (s, bleu) in [
+        (0.10, 34.5),
+        (0.30, 34.2),
+        (0.50, 33.8),
+        (0.70, 31.5),
+        (0.90, 25.0),
+        (0.95, 22.0),
+    ] {
+        println!("  {:>8.0}% {:>18.1}", s * 100.0, bleu);
+    }
+    println!("\npaper: ViTs tolerate 90–95% *fixed* sparsity with <=1.5% accuracy drop, while NLP");
+    println!("       Transformers lose BLEU rapidly past ~50–70% even with dynamic masks.");
+}

@@ -1,0 +1,36 @@
+//! Fig. 4: FLOPs (top) and EdgeGPU latency (bottom) breakdowns of the
+//! seven evaluated models, split into self-attention vs MLP vs rest.
+
+use vitcod_baselines::GeneralPlatform;
+use vitcod_model::ViTConfig;
+
+fn main() {
+    println!("Fig. 4 — FLOPs and measured-latency breakdowns (EdgeGPU TX2-class model)\n");
+    println!(
+        "{:<16} {:>10} {:>9} {:>9} {:>9} | {:>12} {:>9} {:>14}",
+        "model", "GMACs", "SA%", "MLP%", "other%", "latency(ms)", "SA-lat%", "QK/SV%of-SA"
+    );
+    let edge = GeneralPlatform::edgegpu_tx2();
+    for m in ViTConfig::all_paper_models() {
+        let f = m.flops();
+        let total = f.total() as f64;
+        let sa = f.self_attention() as f64 / total * 100.0;
+        let mlp = f.mlp_macs as f64 / total * 100.0;
+        let other = 100.0 - sa - mlp;
+        let attn_lat = edge.simulate_attention(&m).latency_s;
+        let e2e_lat = edge.simulate_end_to_end(&m).latency_s;
+        println!(
+            "{:<16} {:>10.2} {:>8.1}% {:>8.1}% {:>8.1}% | {:>12.2} {:>8.1}% {:>13.1}%",
+            m.name,
+            total / 1e9,
+            sa,
+            mlp,
+            other,
+            e2e_lat * 1e3,
+            attn_lat / e2e_lat * 100.0,
+            f.core_fraction_of_attention() * 100.0
+        );
+    }
+    println!("\npaper: self-attention is not FLOPs-dominant yet accounts for >50% of EdgeGPU latency");
+    println!("       (up to 69% on LeViT-128); Q.K^T / S.V matmuls occupy up to 53% of SA latency.");
+}

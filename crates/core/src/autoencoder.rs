@@ -1,0 +1,184 @@
+//! Data-movement accounting of the learnable Q/K auto-encoder
+//! (paper Sec. IV-C and the roofline analysis of Fig. 3).
+
+use vitcod_model::AutoEncoderSpec;
+
+/// Algorithm-level description of the auto-encoder: how many heads are
+/// mixed down to how many, and the traffic/compute consequences.
+///
+/// The trainable weights themselves live in
+/// [`vitcod_model::VisionTransformer`]; this type carries what the
+/// *hardware* needs — the compression ratio that shrinks Q/K off-chip
+/// traffic and the extra encode/decode MACs it costs.
+///
+/// # Example
+///
+/// ```
+/// use vitcod_core::AutoEncoderConfig;
+///
+/// let ae = AutoEncoderConfig::new(12, 6);
+/// assert_eq!(ae.ratio(), 0.5);
+/// // Moving 197x64 Q and K per head at 1 byte: AE halves it.
+/// let dense = ae.qk_traffic_bytes_dense(197, 64, 1);
+/// assert_eq!(ae.qk_traffic_bytes_compressed(197, 64, 1), dense / 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoEncoderConfig {
+    heads: usize,
+    compressed_heads: usize,
+}
+
+impl AutoEncoderConfig {
+    /// Creates a config compressing `heads` down to `compressed_heads`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= compressed_heads <= heads`.
+    pub fn new(heads: usize, compressed_heads: usize) -> Self {
+        assert!(
+            (1..=heads).contains(&compressed_heads),
+            "compressed heads must be in 1..=heads"
+        );
+        Self {
+            heads,
+            compressed_heads,
+        }
+    }
+
+    /// The paper's default 50 % compression.
+    pub fn half(heads: usize) -> Self {
+        Self::new(heads, (heads / 2).max(1))
+    }
+
+    /// Builds from the model-side spec.
+    pub fn from_spec(spec: AutoEncoderSpec, heads: usize) -> Self {
+        Self::new(heads, spec.compressed_heads)
+    }
+
+    /// Original head count.
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Compressed head count.
+    pub fn compressed_heads(&self) -> usize {
+        self.compressed_heads
+    }
+
+    /// Compression ratio `compressed / original` (0.5 in the paper).
+    pub fn ratio(&self) -> f64 {
+        self.compressed_heads as f64 / self.heads as f64
+    }
+
+    /// Off-chip bytes to move Q *and* K for all heads without the AE:
+    /// `2 · n · heads · dk · bytes`.
+    pub fn qk_traffic_bytes_dense(&self, tokens: usize, head_dim: usize, bytes: usize) -> u64 {
+        2 * (tokens as u64) * (self.heads as u64) * (head_dim as u64) * (bytes as u64)
+    }
+
+    /// Off-chip bytes with the AE: only the compressed heads travel.
+    pub fn qk_traffic_bytes_compressed(
+        &self,
+        tokens: usize,
+        head_dim: usize,
+        bytes: usize,
+    ) -> u64 {
+        2 * (tokens as u64) * (self.compressed_heads as u64) * (head_dim as u64) * (bytes as u64)
+    }
+
+    /// Bytes saved per layer by the AE.
+    pub fn traffic_saved_bytes(&self, tokens: usize, head_dim: usize, bytes: usize) -> u64 {
+        self.qk_traffic_bytes_dense(tokens, head_dim, bytes)
+            - self.qk_traffic_bytes_compressed(tokens, head_dim, bytes)
+    }
+
+    /// Extra MACs for encoding *and* decoding Q and K once each:
+    /// encode is `n · dk · heads · compressed`, decode mirrors it, and
+    /// both Q and K pass through — `4 · n · dk · h · h_c` total.
+    pub fn codec_macs(&self, tokens: usize, head_dim: usize) -> u64 {
+        4 * (tokens as u64)
+            * (head_dim as u64)
+            * (self.heads as u64)
+            * (self.compressed_heads as u64)
+    }
+
+    /// On-chip weight footprint of the encoder+decoder for Q and K, in
+    /// parameters: `4 · h · h_c` (tiny — e.g. 288 for 12→6 — which is why
+    /// the accelerator pins them on chip).
+    pub fn codec_params(&self) -> usize {
+        4 * self.heads * self.compressed_heads
+    }
+
+    /// The paper's headline trade: MACs added per byte of traffic saved.
+    /// Low values mean the trade is profitable on bandwidth-bound
+    /// workloads.
+    pub fn macs_per_byte_saved(&self, tokens: usize, head_dim: usize, bytes: usize) -> f64 {
+        let saved = self.traffic_saved_bytes(tokens, head_dim, bytes);
+        if saved == 0 {
+            return f64::INFINITY;
+        }
+        self.codec_macs(tokens, head_dim) as f64 / saved as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn half_compression_ratio() {
+        let ae = AutoEncoderConfig::half(12);
+        assert_eq!(ae.compressed_heads(), 6);
+        assert_eq!(ae.ratio(), 0.5);
+        // Odd head count rounds down but never to zero.
+        assert_eq!(AutoEncoderConfig::half(3).compressed_heads(), 1);
+        assert_eq!(AutoEncoderConfig::half(1).compressed_heads(), 1);
+    }
+
+    #[test]
+    fn traffic_accounting_consistent() {
+        let ae = AutoEncoderConfig::new(12, 6);
+        let dense = ae.qk_traffic_bytes_dense(197, 64, 1);
+        let comp = ae.qk_traffic_bytes_compressed(197, 64, 1);
+        assert_eq!(dense, 2 * 197 * 12 * 64);
+        assert_eq!(comp * 2, dense);
+        assert_eq!(ae.traffic_saved_bytes(197, 64, 1), dense - comp);
+    }
+
+    #[test]
+    fn codec_macs_scale_with_dims() {
+        let ae = AutoEncoderConfig::new(12, 6);
+        assert_eq!(ae.codec_macs(197, 64), 4 * 197 * 64 * 12 * 6);
+        assert_eq!(ae.codec_params(), 4 * 12 * 6);
+    }
+
+    #[test]
+    fn trade_is_profitable_for_vit_scale() {
+        // For DeiT-Base-like dims, the AE should cost only a few MACs per
+        // byte saved — far cheaper than DRAM access energy/latency.
+        let ae = AutoEncoderConfig::half(12);
+        let mpb = ae.macs_per_byte_saved(197, 64, 1);
+        assert!(mpb < 50.0, "macs per byte saved: {mpb}");
+    }
+
+    #[test]
+    fn from_spec_round_trips() {
+        let spec = AutoEncoderSpec { compressed_heads: 4 };
+        let ae = AutoEncoderConfig::from_spec(spec, 8);
+        assert_eq!(ae.compressed_heads(), 4);
+        assert_eq!(ae.heads(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "compressed heads")]
+    fn zero_compression_rejected() {
+        AutoEncoderConfig::new(8, 0);
+    }
+
+    #[test]
+    fn no_compression_saves_nothing() {
+        let ae = AutoEncoderConfig::new(8, 8);
+        assert_eq!(ae.traffic_saved_bytes(100, 32, 1), 0);
+        assert_eq!(ae.macs_per_byte_saved(100, 32, 1), f64::INFINITY);
+    }
+}

@@ -1,0 +1,232 @@
+//! Sparse index formats for the accelerator's sparser engine.
+//!
+//! The ViTCoD accelerator pre-loads the fixed sparse attention indexes in
+//! **CSC** (compressed sparse column) form, which matches its
+//! K-stationary dataflow: the SDDMM produces attention scores column by
+//! column, so walking one CSC column enumerates exactly the Q rows that
+//! pair with the currently-resident K vector (paper Sec. V-B).
+
+use crate::mask::AttentionMask;
+
+/// Compressed-sparse-column index structure of an attention mask.
+///
+/// # Example
+///
+/// ```
+/// use vitcod_core::{AttentionMask, CscMatrix};
+///
+/// let mut m = AttentionMask::empty(3);
+/// m.keep(0, 1);
+/// m.keep(2, 1);
+/// let csc = CscMatrix::from_mask(&m);
+/// assert_eq!(csc.col_rows(1), &[0, 2]);
+/// assert_eq!(csc.nnz(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CscMatrix {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+}
+
+impl CscMatrix {
+    /// Builds the CSC index of `mask`.
+    pub fn from_mask(mask: &AttentionMask) -> Self {
+        let n = mask.size();
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::with_capacity(mask.nnz());
+        col_ptr.push(0);
+        for k in 0..n {
+            for q in 0..n {
+                if mask.is_kept(q, k) {
+                    row_idx.push(q as u32);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        Self {
+            n,
+            col_ptr,
+            row_idx,
+        }
+    }
+
+    /// Token count `n`.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Row indices of column `k`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.size()`.
+    pub fn col_rows(&self, k: usize) -> &[u32] {
+        assert!(k < self.n, "column {k} out of bounds");
+        // Casting back and forth keeps the storage compact (u32 covers
+        // any realistic token count) while the API stays usize-friendly.
+        let lo = self.col_ptr[k];
+        let hi = self.col_ptr[k + 1];
+        &self.row_idx[lo..hi]
+    }
+
+    /// Non-zero count of column `k`.
+    pub fn col_nnz(&self, k: usize) -> usize {
+        self.col_rows(k).len()
+    }
+
+    /// Size of the index structure in bytes: `(n + 1)` column pointers
+    /// (4 B each) plus one 4-byte row index per non-zero. This is what
+    /// the accelerator's 20 KB index buffer must hold per tile.
+    pub fn index_bytes(&self) -> usize {
+        (self.col_ptr.len() + self.row_idx.len()) * 4
+    }
+
+    /// Reconstructs the boolean mask (for round-trip tests).
+    pub fn to_mask(&self) -> AttentionMask {
+        let mut m = AttentionMask::empty(self.n);
+        for k in 0..self.n {
+            for &q in self.col_rows(k) {
+                m.keep(q as usize, k);
+            }
+        }
+        m
+    }
+}
+
+/// Coordinate-format index (the rejected design alternative; kept for the
+/// paper's CSC-vs-COO storage comparison).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CooMatrix {
+    n: usize,
+    /// `(row, col)` coordinates of non-zeros.
+    coords: Vec<(u32, u32)>,
+}
+
+impl CooMatrix {
+    /// Builds the COO index of `mask` in row-major order.
+    pub fn from_mask(mask: &AttentionMask) -> Self {
+        let coords = mask
+            .iter_kept()
+            .map(|(q, k)| (q as u32, k as u32))
+            .collect();
+        Self {
+            n: mask.size(),
+            coords,
+        }
+    }
+
+    /// Token count `n`.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// `(row, col)` coordinate list.
+    pub fn coords(&self) -> &[(u32, u32)] {
+        &self.coords
+    }
+
+    /// Bytes needed: two 4-byte coordinates per non-zero — always at
+    /// least as large as CSC for the same mask once `nnz ≥ n + 1`.
+    pub fn index_bytes(&self) -> usize {
+        self.coords.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_mask() -> AttentionMask {
+        let mut m = AttentionMask::empty(5);
+        for q in 0..5 {
+            m.keep(q, q);
+            m.keep(q, 0);
+        }
+        m.keep(1, 4);
+        m
+    }
+
+    #[test]
+    fn csc_round_trip() {
+        let m = sample_mask();
+        let csc = CscMatrix::from_mask(&m);
+        assert_eq!(csc.to_mask(), m);
+        assert_eq!(csc.nnz(), m.nnz());
+    }
+
+    #[test]
+    fn csc_columns_ascending() {
+        let csc = CscMatrix::from_mask(&sample_mask());
+        for k in 0..5 {
+            let rows = csc.col_rows(k);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "column {k} not sorted");
+        }
+    }
+
+    #[test]
+    fn csc_column_zero_is_global() {
+        let csc = CscMatrix::from_mask(&sample_mask());
+        assert_eq!(csc.col_nnz(0), 5);
+        assert_eq!(csc.col_rows(0), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_and_dense_extremes() {
+        let e = CscMatrix::from_mask(&AttentionMask::empty(4));
+        assert_eq!(e.nnz(), 0);
+        for k in 0..4 {
+            assert!(e.col_rows(k).is_empty());
+        }
+        let d = CscMatrix::from_mask(&AttentionMask::dense(4));
+        assert_eq!(d.nnz(), 16);
+    }
+
+    #[test]
+    fn coo_matches_mask_iteration() {
+        let m = sample_mask();
+        let coo = CooMatrix::from_mask(&m);
+        assert_eq!(coo.nnz(), m.nnz());
+        for &(q, k) in coo.coords() {
+            assert!(m.is_kept(q as usize, k as usize));
+        }
+    }
+
+    #[test]
+    fn csc_beats_coo_storage_on_sparse_masks() {
+        // 90 % sparse 64-token mask.
+        let mut m = AttentionMask::empty(64);
+        for q in 0..64 {
+            m.keep(q, q);
+            m.keep(q, 0);
+            m.keep(q, (q + 1) % 64);
+            m.keep(q, (q + 63) % 64);
+            m.keep(q, 32);
+            m.keep(q, 17);
+        }
+        let csc = CscMatrix::from_mask(&m);
+        let coo = CooMatrix::from_mask(&m);
+        assert!(
+            csc.index_bytes() < coo.index_bytes(),
+            "csc {} vs coo {}",
+            csc.index_bytes(),
+            coo.index_bytes()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn csc_col_out_of_bounds_panics() {
+        CscMatrix::from_mask(&AttentionMask::empty(2)).col_rows(2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Image export of attention maps and masks.
+//!
+//! The paper's Fig. 8 is a grid of 144 attention-map images; this module
+//! writes portable graymap (PGM, P2/ASCII) images of [`Matrix`] heat
+//! maps and [`AttentionMask`]s so the reproduction can emit the same
+//! visual artifacts without an image-library dependency. PGM opens in
+//! any image viewer and converts losslessly to PNG.
+
+use std::fmt::Write as _;
+
+use vitcod_tensor::Matrix;
+
+use crate::mask::AttentionMask;
+
+/// Renders a matrix as an ASCII PGM heat map; values are min-max
+/// normalised to `0..=255` (255 = largest value = darkest attention in
+/// most viewers' inverted palettes).
+///
+/// # Example
+///
+/// ```
+/// use vitcod_core::matrix_to_pgm;
+/// use vitcod_tensor::Matrix;
+///
+/// let pgm = matrix_to_pgm(&Matrix::identity(2));
+/// assert!(pgm.starts_with("P2\n2 2\n255\n"));
+/// ```
+pub fn matrix_to_pgm(m: &Matrix) -> String {
+    let (lo, hi) = m
+        .as_slice()
+        .iter()
+        .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let span = (hi - lo).max(f32::EPSILON);
+    let mut out = String::with_capacity(m.len() * 4 + 32);
+    let _ = writeln!(out, "P2\n{} {}\n255", m.cols(), m.rows());
+    for r in 0..m.rows() {
+        let row: Vec<String> = m
+            .row(r)
+            .iter()
+            .map(|&v| (((v - lo) / span) * 255.0).round().to_string())
+            .collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+    out
+}
+
+/// Renders a mask as a binary PGM (kept = 255, pruned = 0).
+pub fn mask_to_pgm(mask: &AttentionMask) -> String {
+    let n = mask.size();
+    let mut out = String::with_capacity(n * n * 4 + 32);
+    let _ = writeln!(out, "P2\n{n} {n}\n255");
+    for q in 0..n {
+        let row: Vec<&str> = (0..n)
+            .map(|k| if mask.is_kept(q, k) { "255" } else { "0" })
+            .collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+    out
+}
+
+/// Tiles many equally-sized masks into one mosaic PGM with a 1-pixel
+/// separator (the Fig. 8 all-heads grid).
+///
+/// # Panics
+///
+/// Panics if `masks` is empty, `cols == 0`, or sizes differ.
+pub fn mask_grid_to_pgm(masks: &[&AttentionMask], cols: usize) -> String {
+    assert!(!masks.is_empty(), "need at least one mask");
+    assert!(cols > 0, "need at least one column");
+    let n = masks[0].size();
+    assert!(
+        masks.iter().all(|m| m.size() == n),
+        "all masks must share a size"
+    );
+    let rows = masks.len().div_ceil(cols);
+    let width = cols * n + cols - 1;
+    let height = rows * n + rows - 1;
+    let mut pixels = vec![128u8; width * height]; // separator gray
+    for (idx, mask) in masks.iter().enumerate() {
+        let gr = idx / cols;
+        let gc = idx % cols;
+        let y0 = gr * (n + 1);
+        let x0 = gc * (n + 1);
+        for q in 0..n {
+            for k in 0..n {
+                pixels[(y0 + q) * width + (x0 + k)] =
+                    if mask.is_kept(q, k) { 255 } else { 0 };
+            }
+        }
+    }
+    let mut out = String::with_capacity(pixels.len() * 4 + 32);
+    let _ = writeln!(out, "P2\n{width} {height}\n255");
+    for y in 0..height {
+        let row: Vec<String> = (0..width)
+            .map(|x| pixels[y * width + x].to_string())
+            .collect();
+        let _ = writeln!(out, "{}", row.join(" "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_header(pgm: &str) -> (usize, usize) {
+        let mut lines = pgm.lines();
+        assert_eq!(lines.next(), Some("P2"));
+        let dims: Vec<usize> = lines
+            .next()
+            .unwrap()
+            .split_whitespace()
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert_eq!(lines.next(), Some("255"));
+        (dims[0], dims[1])
+    }
+
+    #[test]
+    fn matrix_pgm_normalises_to_full_range() {
+        let m = Matrix::from_rows(&[&[1.0, 3.0], &[2.0, 1.0]]);
+        let pgm = matrix_to_pgm(&m);
+        assert_eq!(parse_header(&pgm), (2, 2));
+        let body: Vec<&str> = pgm.lines().skip(3).collect();
+        assert_eq!(body[0], "0 255");
+    }
+
+    #[test]
+    fn constant_matrix_does_not_divide_by_zero() {
+        let pgm = matrix_to_pgm(&Matrix::filled(2, 2, 7.0));
+        assert!(pgm.lines().skip(3).all(|l| l == "0 0"));
+    }
+
+    #[test]
+    fn mask_pgm_is_binary() {
+        let mut mask = AttentionMask::empty(3);
+        mask.keep(0, 0);
+        mask.keep(2, 1);
+        let pgm = mask_to_pgm(&mask);
+        assert_eq!(parse_header(&pgm), (3, 3));
+        for line in pgm.lines().skip(3) {
+            for tok in line.split_whitespace() {
+                assert!(tok == "0" || tok == "255");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_dimensions_include_separators() {
+        let a = AttentionMask::dense(4);
+        let b = AttentionMask::empty(4);
+        let pgm = mask_grid_to_pgm(&[&a, &b, &a], 2);
+        // 2 cols x 2 rows of 4px tiles + 1px separators: 9 x 9.
+        assert_eq!(parse_header(&pgm), (9, 9));
+        assert!(pgm.contains("128"), "separator gray missing");
+    }
+
+    #[test]
+    #[should_panic(expected = "share a size")]
+    fn grid_rejects_mixed_sizes() {
+        let a = AttentionMask::dense(4);
+        let b = AttentionMask::dense(5);
+        mask_grid_to_pgm(&[&a, &b], 2);
+    }
+
+    #[test]
+    fn pixel_count_matches_dimensions() {
+        let mask = AttentionMask::dense(6);
+        let pgm = mask_to_pgm(&mask);
+        let pixels: usize = pgm
+            .lines()
+            .skip(3)
+            .map(|l| l.split_whitespace().count())
+            .sum();
+        assert_eq!(pixels, 36);
+    }
+}

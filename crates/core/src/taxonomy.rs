@@ -1,0 +1,204 @@
+//! Table I: the taxonomy of representative sparse accelerators.
+//!
+//! This module encodes the paper's comparison table as data so the
+//! benchmark harness can regenerate it verbatim.
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaxonomyRow {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// Application field.
+    pub field: &'static str,
+    /// Workloads handled.
+    pub workloads: &'static str,
+    /// Dataflow.
+    pub dataflow: &'static str,
+    /// Sparsity pattern (static vs dynamic).
+    pub sparsity_pattern: &'static str,
+    /// Pattern regularity.
+    pub regularity: &'static str,
+    /// Off-chip traffic level.
+    pub offchip_traffic: &'static str,
+    /// Bandwidth requirement.
+    pub bandwidth: &'static str,
+    /// Supported sparsity level.
+    pub sparsity: &'static str,
+    /// Whether it is an algorithm & hardware co-design.
+    pub codesign: bool,
+}
+
+/// The seven accelerators of Table I, in paper order.
+pub fn rows() -> Vec<TaxonomyRow> {
+    vec![
+        TaxonomyRow {
+            name: "OuterSpace",
+            field: "Tensor Algebra",
+            workloads: "SpGEMM",
+            dataflow: "Outer-product (Input-stationary)",
+            sparsity_pattern: "Static",
+            regularity: "Unstructured",
+            offchip_traffic: "High",
+            bandwidth: "Medium",
+            sparsity: "High~Ultra High",
+            codesign: true,
+        },
+        TaxonomyRow {
+            name: "ExTensor",
+            field: "Tensor Algebra",
+            workloads: "SpGEMM",
+            dataflow: "Hybrid Outer & Inner-product (Input- & Output-stationary)",
+            sparsity_pattern: "Static",
+            regularity: "Unstructured",
+            offchip_traffic: "Low~Medium",
+            bandwidth: "Medium~High",
+            sparsity: "High~Ultra High",
+            codesign: false,
+        },
+        TaxonomyRow {
+            name: "SpArch",
+            field: "Tensor Algebra",
+            workloads: "SpGEMM",
+            dataflow: "Condensed Outer-product (Input-stationary)",
+            sparsity_pattern: "Static",
+            regularity: "Unstructured",
+            offchip_traffic: "Low~Medium",
+            bandwidth: "Low",
+            sparsity: "High~Ultra High",
+            codesign: false,
+        },
+        TaxonomyRow {
+            name: "Gamma",
+            field: "Tensor Algebra",
+            workloads: "SpGEMM",
+            dataflow: "Gustavson(Row)-stationary",
+            sparsity_pattern: "Static",
+            regularity: "Unstructured",
+            offchip_traffic: "Low",
+            bandwidth: "Low",
+            sparsity: "High~Ultra High",
+            codesign: false,
+        },
+        TaxonomyRow {
+            name: "SpAtten",
+            field: "NLP Transformer",
+            workloads: "Sparse Attention: SDDMM; SpMM",
+            dataflow: "Top-k Selection",
+            sparsity_pattern: "Dynamic & Input-dependent",
+            regularity: "Coarse-grained & Structured",
+            offchip_traffic: "Medium",
+            bandwidth: "Medium~High",
+            sparsity: "Low",
+            codesign: true,
+        },
+        TaxonomyRow {
+            name: "Sanger",
+            field: "NLP Transformer",
+            workloads: "Sparse Attention: SDDMM; SpMM",
+            dataflow: "S-stationary",
+            sparsity_pattern: "Dynamic & Input-dependent",
+            regularity: "Fine-grained & Structured",
+            offchip_traffic: "High",
+            bandwidth: "Medium~High",
+            sparsity: "Medium",
+            codesign: true,
+        },
+        TaxonomyRow {
+            name: "ViTCoD (Ours)",
+            field: "ViT",
+            workloads: "Sparse Attention: SDDMM; SpMM",
+            dataflow: "K-stationary; Output-stationary",
+            sparsity_pattern: "Static",
+            regularity: "Denser & Sparser",
+            offchip_traffic: "Low",
+            bandwidth: "Low",
+            sparsity: "High",
+            codesign: true,
+        },
+    ]
+}
+
+/// Renders the table as aligned plain text (the harness's Table I
+/// output).
+pub fn render() -> String {
+    let rows = rows();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<16} {:<32} {:<28} {:<26} {:<28} {:<12} {:<13} {:<16} {}\n",
+        "Accelerator",
+        "Field",
+        "Workloads",
+        "Dataflow",
+        "Sparsity Pattern",
+        "Regularity",
+        "Traffic",
+        "Bandwidth",
+        "Sparsity",
+        "Co-design"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<14} {:<16} {:<32} {:<28} {:<26} {:<28} {:<12} {:<13} {:<16} {}\n",
+            r.name,
+            r.field,
+            r.workloads,
+            truncate(r.dataflow, 28),
+            r.sparsity_pattern,
+            r.regularity,
+            r.offchip_traffic,
+            r.bandwidth,
+            r.sparsity,
+            if r.codesign { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+fn truncate(s: &str, max: usize) -> String {
+    if s.len() <= max {
+        s.to_string()
+    } else {
+        format!("{}…", &s[..max.saturating_sub(1)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_seven_rows_ending_with_vitcod() {
+        let r = rows();
+        assert_eq!(r.len(), 7);
+        assert_eq!(r.last().unwrap().name, "ViTCoD (Ours)");
+    }
+
+    #[test]
+    fn vitcod_row_matches_paper_claims() {
+        let r = rows();
+        let v = r.last().unwrap();
+        assert_eq!(v.sparsity_pattern, "Static");
+        assert_eq!(v.offchip_traffic, "Low");
+        assert_eq!(v.bandwidth, "Low");
+        assert!(v.codesign);
+        assert!(v.dataflow.contains("K-stationary"));
+    }
+
+    #[test]
+    fn only_attention_accelerators_handle_sddmm() {
+        for r in rows() {
+            let is_attention = r.workloads.contains("SDDMM");
+            let is_transformer_or_vit = r.field.contains("Transformer") || r.field == "ViT";
+            assert_eq!(is_attention, is_transformer_or_vit, "{}", r.name);
+        }
+    }
+
+    #[test]
+    fn render_contains_all_names() {
+        let s = render();
+        for r in rows() {
+            assert!(s.contains(r.name), "{} missing from render", r.name);
+        }
+        assert!(s.lines().count() >= 8);
+    }
+}

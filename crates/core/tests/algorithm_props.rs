@@ -1,0 +1,146 @@
+//! Property-based tests of the split-and-conquer algorithm invariants.
+
+use proptest::prelude::*;
+use vitcod_core::{
+    prune_info, prune_to_sparsity, reorder_global_tokens, AttentionMask, CscMatrix,
+    PruneCriterion, SplitConquer, SplitConquerConfig,
+};
+use vitcod_tensor::Matrix;
+
+fn attention_map(n: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(0.0f32..1.0, n * n)
+        .prop_map(move |v| Matrix::from_vec(n, n, v).softmax_rows())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn prune_info_retains_requested_mass(map in attention_map(20), theta in 0.2f64..0.95) {
+        let mask = prune_info(&map, theta);
+        prop_assert!(
+            mask.retained_information(&map) >= theta - 1e-4,
+            "retained {} < theta {theta}",
+            mask.retained_information(&map)
+        );
+    }
+
+    #[test]
+    fn prune_info_is_monotone(map in attention_map(16)) {
+        let low = prune_info(&map, 0.3);
+        let high = prune_info(&map, 0.8);
+        // Everything kept at theta=0.3 is kept at theta=0.8 (per-row
+        // prefix property of the descending sort).
+        for (q, k) in low.iter_kept() {
+            prop_assert!(high.is_kept(q, k), "({q},{k}) lost when raising theta");
+        }
+    }
+
+    #[test]
+    fn prune_masks_never_leave_empty_rows(map in attention_map(14), s in 0.1f64..0.95) {
+        let by_sparsity = prune_to_sparsity(&map, s);
+        prop_assert!(by_sparsity.row_nnz().iter().all(|&c| c >= 1));
+        let by_info = prune_info(&map, 1.0 - s);
+        prop_assert!(by_info.row_nnz().iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn reorder_polarization_is_non_negative(map in attention_map(24), s in 0.6f64..0.95) {
+        let mask = prune_to_sparsity(&map, s);
+        let r = reorder_global_tokens(&mask, None);
+        if r.num_global > 0 && r.num_global < 24 {
+            prop_assert!(
+                r.polarization() >= 0.0,
+                "denser block must be at least as dense as the residue"
+            );
+        }
+    }
+
+    #[test]
+    fn reorder_then_inverse_restores_mask(map in attention_map(16), s in 0.5f64..0.9) {
+        let mask = prune_to_sparsity(&map, s);
+        let r = reorder_global_tokens(&mask, None);
+        let mut inv = vec![0usize; 16];
+        for (i, &p) in r.perm.iter().enumerate() {
+            inv[p] = i;
+        }
+        prop_assert_eq!(r.mask.permute_symmetric(&inv), mask);
+    }
+
+    #[test]
+    fn sparser_csc_plus_denser_block_cover_polarized_mask(
+        map in attention_map(20), s in 0.6f64..0.95
+    ) {
+        let sc = SplitConquer::new(SplitConquerConfig::with_sparsity(s));
+        let ph = sc.apply_one(0, 0, &map);
+        let csc = ph.sparser_csc();
+        let w = ph.workload();
+        // CSC covers exactly the residue.
+        prop_assert_eq!(csc.nnz(), w.sparser_nnz);
+        // Denser block + residue = everything.
+        prop_assert_eq!(w.denser_nnz + w.sparser_nnz, ph.polarized_mask().nnz());
+        // And the original pruned mask has the same kept count.
+        prop_assert_eq!(ph.pruned.nnz(), ph.polarized_mask().nnz());
+    }
+
+    #[test]
+    fn csc_col_walk_is_row_sorted(mask_bits in proptest::collection::vec(any::<bool>(), 144)) {
+        let mut mask = AttentionMask::empty(12);
+        for (i, b) in mask_bits.iter().enumerate() {
+            if *b {
+                mask.keep(i / 12, i % 12);
+            }
+        }
+        let csc = CscMatrix::from_mask(&mask);
+        for k in 0..12 {
+            let rows = csc.col_rows(k);
+            prop_assert!(rows.windows(2).all(|w| w[0] < w[1]));
+        }
+        prop_assert_eq!(csc.to_mask(), mask);
+    }
+
+    #[test]
+    fn both_criteria_agree_on_structure(map in attention_map(18)) {
+        // Info-threshold and sparsity-target pruning at matched budgets
+        // keep strongly overlapping sets (the same heavy entries).
+        let by_info = prune_info(&map, 0.7);
+        let s = by_info.sparsity();
+        if s > 0.05 && s < 0.95 {
+            let by_sparsity = prune_to_sparsity(&map, s);
+            let overlap = by_info
+                .iter_kept()
+                .filter(|&(q, k)| by_sparsity.is_kept(q, k))
+                .count();
+            let frac = overlap as f64 / by_info.nnz() as f64;
+            prop_assert!(frac > 0.5, "criteria overlap only {frac:.2}");
+        }
+    }
+
+    #[test]
+    fn compile_conserves_macs(map in attention_map(22), s in 0.6f64..0.9) {
+        use vitcod_core::compile_model;
+        use vitcod_model::{StageConfig, ViTConfig, ModelFamily};
+        let stage = StageConfig { tokens: 22, dim: 44, heads: 2, depth: 1 };
+        let cfg = ViTConfig {
+            name: "prop", family: ModelFamily::DeiT, tokens: 22, dim: 44,
+            heads: 2, depth: 1, mlp_ratio: 4, stages: vec![stage],
+            stem_macs: 0, paper_sparsity: s,
+        };
+        let crit = SplitConquerConfig {
+            criterion: PruneCriterion::TargetSparsity(s),
+            theta_d: None,
+        };
+        let sc = SplitConquer::new(crit);
+        let heads = sc.apply(&[vec![map.clone(), map.clone()]]);
+        let program = compile_model(&cfg, &heads, None);
+        // SpMM MACs = nnz * dk for every head.
+        for layer in &program.layers {
+            for h in &layer.heads {
+                prop_assert_eq!(
+                    h.spmm_denser_macs() + h.spmm_sparser_macs(),
+                    ((h.denser_nnz + h.sparser_nnz) * h.head_dim) as u64
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,328 @@
+//! Architectural configurations for the seven evaluated models.
+
+use std::fmt;
+
+/// The family a configuration belongs to; decides the non-attention parts
+/// of FLOPs accounting (LeViT carries early convolutions, Strided
+/// Transformer processes pose sequences).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelFamily {
+    /// Plain ViT trained with distillation (DeiT-Tiny/Small/Base).
+    DeiT,
+    /// Multi-stage mobile ViT hybrid (LeViT-128/192/256).
+    LeViT,
+    /// Strided Transformer for 3D human-pose estimation.
+    Strided,
+}
+
+impl fmt::Display for ModelFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelFamily::DeiT => write!(f, "DeiT"),
+            ModelFamily::LeViT => write!(f, "LeViT"),
+            ModelFamily::Strided => write!(f, "Strided Transformer"),
+        }
+    }
+}
+
+/// One pyramid stage of a multi-stage model (LeViT); plain ViTs have a
+/// single stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageConfig {
+    /// Tokens processed by this stage (including any class token).
+    pub tokens: usize,
+    /// Embedding dimension.
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Transformer blocks in this stage.
+    pub depth: usize,
+}
+
+impl StageConfig {
+    /// Per-head feature dimension `dim / heads`.
+    pub fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+}
+
+/// Architectural description of an evaluated model.
+///
+/// The aggregate `tokens`/`dim`/`heads`/`depth` fields describe the first
+/// (or only) stage — the stage ViTCoD's attention experiments target —
+/// while `stages` carries the full pyramid for FLOPs accounting.
+///
+/// # Example
+///
+/// ```
+/// let cfgs = vitcod_model::ViTConfig::all_paper_models();
+/// assert_eq!(cfgs.len(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViTConfig {
+    /// Human-readable model name as used in the paper's figures.
+    pub name: &'static str,
+    /// Model family.
+    pub family: ModelFamily,
+    /// Input tokens of the primary stage (e.g. 197 for DeiT at 224²/16²).
+    pub tokens: usize,
+    /// Embedding dimension of the primary stage.
+    pub dim: usize,
+    /// Attention heads of the primary stage.
+    pub heads: usize,
+    /// Transformer blocks across all stages.
+    pub depth: usize,
+    /// MLP expansion ratio (4 for DeiT; 2 for LeViT's reduced MLPs).
+    pub mlp_ratio: usize,
+    /// All pyramid stages.
+    pub stages: Vec<StageConfig>,
+    /// FLOPs of non-transformer layers (LeViT's early convolutions), in
+    /// multiply-accumulates.
+    pub stem_macs: u64,
+    /// Attention sparsity (fraction of pruned entries) at which the paper
+    /// reports ≤1% accuracy drop for this model: 0.90 for DeiT, 0.80 for
+    /// LeViT, 0.90 for Strided.
+    pub paper_sparsity: f64,
+}
+
+impl ViTConfig {
+    /// DeiT-Tiny: 192-dim, 3 heads, 12 blocks, 197 tokens.
+    pub fn deit_tiny() -> Self {
+        Self::deit("DeiT-Tiny", 192, 3)
+    }
+
+    /// DeiT-Small: 384-dim, 6 heads, 12 blocks, 197 tokens.
+    pub fn deit_small() -> Self {
+        Self::deit("DeiT-Small", 384, 6)
+    }
+
+    /// DeiT-Base: 768-dim, 12 heads, 12 blocks, 197 tokens.
+    pub fn deit_base() -> Self {
+        Self::deit("DeiT-Base", 768, 12)
+    }
+
+    fn deit(name: &'static str, dim: usize, heads: usize) -> Self {
+        let stage = StageConfig {
+            tokens: 197,
+            dim,
+            heads,
+            depth: 12,
+        };
+        Self {
+            name,
+            family: ModelFamily::DeiT,
+            tokens: stage.tokens,
+            dim,
+            heads,
+            depth: 12,
+            mlp_ratio: 4,
+            stages: vec![stage],
+            stem_macs: 0,
+            paper_sparsity: 0.90,
+        }
+    }
+
+    /// LeViT-128: stages (196, 128, 4, 4), (49, 256, 8, 4), (16, 384, 12, 4).
+    pub fn levit_128() -> Self {
+        Self::levit("LeViT-128", [128, 256, 384], [4, 8, 12])
+    }
+
+    /// LeViT-192: stages with dims 192/288/384 and heads 3/6/6 (head
+    /// counts rounded from LeViT's fixed-key-dim scheme so that stage
+    /// dims divide evenly).
+    pub fn levit_192() -> Self {
+        Self::levit("LeViT-192", [192, 288, 384], [3, 6, 6])
+    }
+
+    /// LeViT-256: stages with dims 256/384/512 and heads 4/6/8.
+    pub fn levit_256() -> Self {
+        Self::levit("LeViT-256", [256, 384, 512], [4, 6, 8])
+    }
+
+    fn levit(name: &'static str, dims: [usize; 3], heads: [usize; 3]) -> Self {
+        let token_counts = [196, 49, 16];
+        let stages: Vec<StageConfig> = (0..3)
+            .map(|i| StageConfig {
+                tokens: token_counts[i],
+                dim: dims[i],
+                heads: heads[i],
+                depth: 4,
+            })
+            .collect();
+        // LeViT's convolutional stem: 4 stride-2 3x3 convs from 3 channels
+        // to dims[0], on a 224x224 input. < 7% of total FLOPs per the paper.
+        let stem_macs = levit_stem_macs(dims[0]);
+        Self {
+            name,
+            family: ModelFamily::LeViT,
+            tokens: token_counts[0],
+            dim: dims[0],
+            heads: heads[0],
+            depth: 12,
+            mlp_ratio: 2,
+            stages,
+            stem_macs,
+            paper_sparsity: 0.80,
+        }
+    }
+
+    /// Strided Transformer (3D human pose, Human3.6M): 351 input frames,
+    /// 256-dim, 8 heads, 3 encoder + 3 strided blocks.
+    pub fn strided_transformer() -> Self {
+        let stage = StageConfig {
+            tokens: 351,
+            dim: 256,
+            heads: 8,
+            depth: 6,
+        };
+        Self {
+            name: "StridedTrans.",
+            family: ModelFamily::Strided,
+            tokens: stage.tokens,
+            dim: stage.dim,
+            heads: stage.heads,
+            depth: stage.depth,
+            mlp_ratio: 4,
+            stages: vec![stage],
+            stem_macs: 0,
+            paper_sparsity: 0.90,
+        }
+    }
+
+    /// All seven models in the paper's Fig. 15 order.
+    pub fn all_paper_models() -> Vec<ViTConfig> {
+        vec![
+            Self::strided_transformer(),
+            Self::deit_tiny(),
+            Self::deit_small(),
+            Self::deit_base(),
+            Self::levit_128(),
+            Self::levit_192(),
+            Self::levit_256(),
+        ]
+    }
+
+    /// The six DeiT + LeViT classification models (the paper's "six ViT
+    /// models" used for averaged speedups).
+    pub fn classification_models() -> Vec<ViTConfig> {
+        vec![
+            Self::deit_tiny(),
+            Self::deit_small(),
+            Self::deit_base(),
+            Self::levit_128(),
+            Self::levit_192(),
+            Self::levit_256(),
+        ]
+    }
+
+    /// Per-head feature dimension of the primary stage.
+    pub fn head_dim(&self) -> usize {
+        self.dim / self.heads
+    }
+
+    /// A reduced, trainable twin of this configuration for the synthetic
+    /// training substrate: same head count and depth *shape* but shrunk
+    /// dims/tokens so the from-scratch training experiments finish in
+    /// seconds. Downscaling preserves the ratios the algorithm cares
+    /// about (heads, tokens-per-global-token, mlp ratio).
+    pub fn reduced_for_training(&self) -> ViTConfig {
+        let heads = (self.heads / 2).clamp(2, 6);
+        let dim = heads * 8;
+        let tokens = 17; // 4x4 patch grid + class token
+        let depth = 2;
+        let stage = StageConfig {
+            tokens,
+            dim,
+            heads,
+            depth,
+        };
+        ViTConfig {
+            name: self.name,
+            family: self.family,
+            tokens,
+            dim,
+            heads,
+            depth,
+            mlp_ratio: self.mlp_ratio,
+            stages: vec![stage],
+            stem_macs: 0,
+            paper_sparsity: self.paper_sparsity,
+        }
+    }
+}
+
+fn levit_stem_macs(out_dim: usize) -> u64 {
+    // Four stride-2 3x3 convolutions: 224->112->56->28->14, channel
+    // progression 3 -> d/8 -> d/4 -> d/2 -> d.
+    let chans = [3, out_dim / 8, out_dim / 4, out_dim / 2, out_dim];
+    let sizes = [112u64, 56, 28, 14];
+    let mut macs = 0u64;
+    for i in 0..4 {
+        macs += sizes[i] * sizes[i] * 9 * chans[i] as u64 * chans[i + 1] as u64;
+    }
+    macs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deit_configs_match_published_architecture() {
+        let t = ViTConfig::deit_tiny();
+        assert_eq!((t.dim, t.heads, t.depth, t.tokens), (192, 3, 12, 197));
+        let s = ViTConfig::deit_small();
+        assert_eq!((s.dim, s.heads), (384, 6));
+        let b = ViTConfig::deit_base();
+        assert_eq!((b.dim, b.heads), (768, 12));
+        assert_eq!(b.head_dim(), 64);
+    }
+
+    #[test]
+    fn levit_has_three_stages_with_decreasing_tokens() {
+        for cfg in [
+            ViTConfig::levit_128(),
+            ViTConfig::levit_192(),
+            ViTConfig::levit_256(),
+        ] {
+            assert_eq!(cfg.stages.len(), 3);
+            assert!(cfg.stages.windows(2).all(|w| w[0].tokens > w[1].tokens));
+            assert!(cfg.stem_macs > 0);
+            assert_eq!(cfg.paper_sparsity, 0.80);
+        }
+    }
+
+    #[test]
+    fn all_paper_models_has_seven_entries() {
+        let models = ViTConfig::all_paper_models();
+        assert_eq!(models.len(), 7);
+        let names: Vec<_> = models.iter().map(|m| m.name).collect();
+        assert!(names.contains(&"DeiT-Base"));
+        assert!(names.contains(&"LeViT-256"));
+        assert!(names.contains(&"StridedTrans."));
+    }
+
+    #[test]
+    fn head_dims_divide_evenly() {
+        for cfg in ViTConfig::all_paper_models() {
+            for st in &cfg.stages {
+                assert_eq!(st.dim % st.heads, 0, "{}: stage dims", cfg.name);
+                assert!(st.head_dim() >= 16);
+            }
+        }
+    }
+
+    #[test]
+    fn reduced_config_is_small_and_consistent() {
+        let r = ViTConfig::deit_base().reduced_for_training();
+        assert!(r.tokens <= 32);
+        assert_eq!(r.dim % r.heads, 0);
+        assert_eq!(r.stages.len(), 1);
+    }
+
+    #[test]
+    fn family_display_is_nonempty() {
+        assert_eq!(ModelFamily::DeiT.to_string(), "DeiT");
+        assert!(!ModelFamily::Strided.to_string().is_empty());
+    }
+}

@@ -1,0 +1,179 @@
+//! FLOPs accounting behind the paper's Fig. 4 breakdown.
+
+use crate::config::ViTConfig;
+
+/// Per-component multiply-accumulate counts for one inference pass.
+///
+/// The categories mirror the paper's Fig. 4: the self-attention (SA)
+/// module is further split into the linear Q/K/V/output projections and
+/// the quadratic `Q·Kᵀ` / `S·V` matrix multiplications, which is the part
+/// ViTCoD's sparsity attacks.
+///
+/// # Example
+///
+/// ```
+/// use vitcod_model::ViTConfig;
+/// let f = ViTConfig::deit_small().flops();
+/// assert!(f.total() > 0);
+/// assert!(f.attention_fraction() > 0.0 && f.attention_fraction() < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlopsBreakdown {
+    /// Q/K/V generation and attention output projections (MACs).
+    pub qkv_proj_macs: u64,
+    /// `S = Q·Kᵀ` score computation (MACs). SDDMM under sparsity.
+    pub qk_macs: u64,
+    /// `V′ = S·V` aggregation (MACs). SpMM under sparsity.
+    pub sv_macs: u64,
+    /// Softmax work, counted as one op per attention entry.
+    pub softmax_ops: u64,
+    /// MLP block MACs.
+    pub mlp_macs: u64,
+    /// Convolutional stem (LeViT) MACs.
+    pub stem_macs: u64,
+}
+
+impl FlopsBreakdown {
+    /// Total MAC-equivalent operations.
+    pub fn total(&self) -> u64 {
+        self.qkv_proj_macs
+            + self.qk_macs
+            + self.sv_macs
+            + self.softmax_ops
+            + self.mlp_macs
+            + self.stem_macs
+    }
+
+    /// Everything inside the self-attention module (projections +
+    /// score/aggregation matmuls + softmax).
+    pub fn self_attention(&self) -> u64 {
+        self.qkv_proj_macs + self.qk_macs + self.sv_macs + self.softmax_ops
+    }
+
+    /// The quadratic core (`Q·Kᵀ` and `S·V`) ViTCoD accelerates.
+    pub fn attention_core(&self) -> u64 {
+        self.qk_macs + self.sv_macs
+    }
+
+    /// Self-attention share of total FLOPs (the top bars of Fig. 4).
+    pub fn attention_fraction(&self) -> f64 {
+        self.self_attention() as f64 / self.total() as f64
+    }
+
+    /// Core `Q·Kᵀ`/`S·V` share *within* the self-attention module (the
+    /// paper reports up to 53 % of SA latency for these matmuls).
+    pub fn core_fraction_of_attention(&self) -> f64 {
+        self.attention_core() as f64 / self.self_attention() as f64
+    }
+}
+
+impl ViTConfig {
+    /// Computes the dense-inference FLOPs breakdown for this model,
+    /// summing over all pyramid stages.
+    pub fn flops(&self) -> FlopsBreakdown {
+        let mut out = FlopsBreakdown {
+            stem_macs: self.stem_macs,
+            ..FlopsBreakdown::default()
+        };
+        for st in &self.stages {
+            let n = st.tokens as u64;
+            let d = st.dim as u64;
+            let per_block_qkv = 4 * n * d * d; // Q, K, V and output proj
+            let per_block_qk = n * n * d; // all heads together: n·n·dk·h = n·n·d
+            let per_block_sv = n * n * d;
+            let per_block_softmax = st.heads as u64 * n * n;
+            let per_block_mlp = 2 * n * d * d * self.mlp_ratio as u64;
+            let blocks = st.depth as u64;
+            out.qkv_proj_macs += blocks * per_block_qkv;
+            out.qk_macs += blocks * per_block_qk;
+            out.sv_macs += blocks * per_block_sv;
+            out.softmax_ops += blocks * per_block_softmax;
+            out.mlp_macs += blocks * per_block_mlp;
+        }
+        out
+    }
+
+    /// FLOPs of the attention core under an attention-map sparsity ratio
+    /// `sparsity` ∈ [0, 1]: only `(1 − sparsity)` of the `Q·Kᵀ` and `S·V`
+    /// work remains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sparsity` is outside `[0, 1]`.
+    pub fn sparse_attention_core_macs(&self, sparsity: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&sparsity), "sparsity must be in [0,1]");
+        let dense = self.flops().attention_core();
+        ((dense as f64) * (1.0 - sparsity)).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deit_base_flops_close_to_published() {
+        // DeiT-Base is published as ~17.6 "GFLOPs" at 224x224, where the
+        // vision literature counts one MAC as one FLOP.
+        let f = ViTConfig::deit_base().flops();
+        let gmacs = f.total() as f64 / 1e9;
+        assert!(
+            (15.0..20.0).contains(&gmacs),
+            "DeiT-Base total {gmacs:.2} GMACs out of expected band"
+        );
+    }
+
+    #[test]
+    fn mlp_dominates_flops_but_attention_is_substantial() {
+        // Fig. 4 top: for DeiT, MLP FLOPs > SA FLOPs, yet SA remains a
+        // substantial share. LeViT's reduced MLP ratio (2 vs 4) makes its
+        // SA share even larger.
+        for cfg in ViTConfig::classification_models() {
+            let f = cfg.flops();
+            if cfg.family == crate::ModelFamily::DeiT {
+                assert!(f.mlp_macs > f.self_attention(), "{}", cfg.name);
+            }
+            assert!(f.attention_fraction() > 0.15, "{}", cfg.name);
+        }
+    }
+
+    #[test]
+    fn qk_and_sv_are_symmetric() {
+        let f = ViTConfig::deit_small().flops();
+        assert_eq!(f.qk_macs, f.sv_macs);
+    }
+
+    #[test]
+    fn sparsity_scales_core_macs_linearly() {
+        let cfg = ViTConfig::deit_tiny();
+        let dense = cfg.sparse_attention_core_macs(0.0);
+        let ninety = cfg.sparse_attention_core_macs(0.9);
+        assert_eq!(dense, cfg.flops().attention_core());
+        let ratio = ninety as f64 / dense as f64;
+        assert!((ratio - 0.1).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sparsity")]
+    fn sparsity_out_of_range_panics() {
+        ViTConfig::deit_tiny().sparse_attention_core_macs(1.5);
+    }
+
+    #[test]
+    fn levit_stem_is_small_fraction() {
+        // Paper: early convolutions account for < 7 % of FLOPs.
+        for cfg in [ViTConfig::levit_128(), ViTConfig::levit_256()] {
+            let f = cfg.flops();
+            let frac = f.stem_macs as f64 / f.total() as f64;
+            assert!(frac < 0.30, "{}: stem fraction {frac:.3}", cfg.name);
+            assert!(frac > 0.0);
+        }
+    }
+
+    #[test]
+    fn strided_attention_heavier_than_deit_tiny() {
+        // 351 tokens vs 197 tokens: quadratic term grows.
+        let strided = ViTConfig::strided_transformer().flops();
+        assert!(strided.attention_fraction() > ViTConfig::deit_tiny().flops().attention_fraction() * 0.8);
+    }
+}

@@ -1,0 +1,548 @@
+//! A trainable Vision Transformer with fixed sparse attention masks and
+//! ViTCoD auto-encoder modules.
+
+use rand::Rng;
+use vitcod_autograd::{LayerNorm, Linear, ParamId, ParamStore, Tape, Var};
+use vitcod_tensor::Matrix;
+
+use crate::config::ViTConfig;
+
+/// Specification of the ViTCoD auto-encoder (AE) modules inserted into
+/// every attention layer (paper Sec. IV-C).
+///
+/// The AE compresses Q and K along the *head* dimension: `heads` input
+/// heads are linearly mixed down to `compressed_heads` (the paper uses a
+/// 50 % ratio, e.g. 12 → 6) before being written to off-chip memory, and
+/// mixed back up when reloaded. Training minimises the reconstruction
+/// error jointly with the task loss (Eq. 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AutoEncoderSpec {
+    /// Number of compressed heads (must be `>= 1` and `<= heads`).
+    pub compressed_heads: usize,
+}
+
+impl AutoEncoderSpec {
+    /// The paper's default 50 % compression (rounding down, minimum 1).
+    pub fn half(heads: usize) -> Self {
+        Self {
+            compressed_heads: (heads / 2).max(1),
+        }
+    }
+
+    /// Compression ratio relative to `heads`.
+    pub fn ratio(&self, heads: usize) -> f64 {
+        self.compressed_heads as f64 / heads as f64
+    }
+}
+
+/// Fixed sparse attention masks, one per `[layer][head]`.
+///
+/// Each mask is an `n × n` 0/1 matrix (`1.0` = keep). `None` means the
+/// head stays dense. Masks are produced by `vitcod-core`'s
+/// split-and-conquer algorithm and stay fixed during finetuning and
+/// inference (the paper's central premise for ViTs).
+pub type SparsityPlan = Vec<Vec<Option<Matrix>>>;
+
+/// Output of one forward pass.
+#[derive(Debug)]
+pub struct VitOutput {
+    /// Class logits node, `1 × num_classes`.
+    pub logits: Var,
+    /// Summed Q/K reconstruction loss node if AE modules are active.
+    pub recon_loss: Option<Var>,
+    /// Attention-node handles per `[layer][head]`, for extracting
+    /// probability maps via [`Tape::attention_probs`].
+    pub attention_nodes: Vec<Vec<Var>>,
+}
+
+#[derive(Clone)]
+struct AeParams {
+    enc_q: ParamId,
+    dec_q: ParamId,
+    enc_k: ParamId,
+    dec_k: ParamId,
+}
+
+#[derive(Clone)]
+struct Block {
+    ln1: LayerNorm,
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    ln2: LayerNorm,
+    fc1: Linear,
+    fc2: Linear,
+    ae: Option<AeParams>,
+}
+
+/// A small trainable ViT (DeiT-style: pre-norm blocks, class-token
+/// readout) used for the paper's algorithm-level experiments.
+///
+/// Token row 0 is the class-token slot; its content is learned through
+/// the positional embedding. Sparse masks and AE modules can be attached
+/// after construction, mirroring the paper's two-step pipeline
+/// (insert AE → finetune → split-and-conquer → finetune).
+///
+/// # Example
+///
+/// ```
+/// use rand::SeedableRng;
+/// use vitcod_autograd::{ParamStore, Tape};
+/// use vitcod_model::{ViTConfig, VisionTransformer};
+/// use vitcod_tensor::Matrix;
+///
+/// let cfg = ViTConfig::deit_tiny().reduced_for_training();
+/// let mut store = ParamStore::new();
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0);
+/// let vit = VisionTransformer::new(&cfg, 8, 4, &mut store, &mut rng);
+/// let mut tape = Tape::new();
+/// let out = vit.forward(&mut tape, &store, &Matrix::zeros(17, 8));
+/// assert_eq!(tape.value(out.logits).shape(), (1, 4));
+/// ```
+#[derive(Clone)]
+pub struct VisionTransformer {
+    cfg: ViTConfig,
+    in_dim: usize,
+    num_classes: usize,
+    patch_embed: Linear,
+    pos_embed: ParamId,
+    blocks: Vec<Block>,
+    final_ln: LayerNorm,
+    head: Linear,
+    masks: Option<SparsityPlan>,
+    ae_spec: Option<AutoEncoderSpec>,
+}
+
+impl std::fmt::Debug for VisionTransformer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "VisionTransformer({}, {} blocks, {} heads, masks={}, ae={:?})",
+            self.cfg.name,
+            self.blocks.len(),
+            self.cfg.heads,
+            self.masks.is_some(),
+            self.ae_spec
+        )
+    }
+}
+
+impl VisionTransformer {
+    /// Builds a ViT for `cfg` that consumes `in_dim`-dimensional patch
+    /// tokens and predicts `num_classes` classes, registering all
+    /// parameters in `store`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg.dim` is not divisible by `cfg.heads`.
+    pub fn new<R: Rng>(
+        cfg: &ViTConfig,
+        in_dim: usize,
+        num_classes: usize,
+        store: &mut ParamStore,
+        rng: &mut R,
+    ) -> Self {
+        assert_eq!(cfg.dim % cfg.heads, 0, "dim must divide into heads");
+        let patch_embed = Linear::new(store, "patch_embed", in_dim, cfg.dim, rng);
+        let pos_embed = store.register(
+            "pos_embed",
+            vitcod_tensor::Initializer::Normal { std: 0.02 }.sample_with(cfg.tokens, cfg.dim, rng),
+        );
+        let blocks = (0..cfg.depth)
+            .map(|l| {
+                let p = |s: &str| format!("block{l}.{s}");
+                Block {
+                    ln1: LayerNorm::new(store, &p("ln1"), cfg.dim),
+                    wq: Linear::new(store, &p("wq"), cfg.dim, cfg.dim, rng),
+                    wk: Linear::new(store, &p("wk"), cfg.dim, cfg.dim, rng),
+                    wv: Linear::new(store, &p("wv"), cfg.dim, cfg.dim, rng),
+                    wo: Linear::new(store, &p("wo"), cfg.dim, cfg.dim, rng),
+                    ln2: LayerNorm::new(store, &p("ln2"), cfg.dim),
+                    fc1: Linear::new(store, &p("fc1"), cfg.dim, cfg.dim * cfg.mlp_ratio, rng),
+                    fc2: Linear::new(store, &p("fc2"), cfg.dim * cfg.mlp_ratio, cfg.dim, rng),
+                    ae: None,
+                }
+            })
+            .collect();
+        let final_ln = LayerNorm::new(store, "final_ln", cfg.dim);
+        let head = Linear::new(store, "head", cfg.dim, num_classes, rng);
+        Self {
+            cfg: cfg.clone(),
+            in_dim,
+            num_classes,
+            patch_embed,
+            pos_embed,
+            blocks,
+            final_ln,
+            head,
+            masks: None,
+            ae_spec: None,
+        }
+    }
+
+    /// Model configuration.
+    pub fn config(&self) -> &ViTConfig {
+        &self.cfg
+    }
+
+    /// Number of classes predicted.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Raw patch feature dimension consumed.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Whether AE modules are installed.
+    pub fn has_auto_encoder(&self) -> bool {
+        self.ae_spec.is_some()
+    }
+
+    /// Whether a sparsity plan is installed.
+    pub fn has_masks(&self) -> bool {
+        self.masks.is_some()
+    }
+
+    /// Installs the ViTCoD auto-encoder modules (paper Fig. 10, Step 1),
+    /// registering fresh encoder/decoder weights initialised close to a
+    /// head-identity so finetuning starts from a near-lossless state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `spec.compressed_heads` is zero or exceeds the head
+    /// count.
+    pub fn insert_auto_encoder<R: Rng>(
+        &mut self,
+        spec: AutoEncoderSpec,
+        store: &mut ParamStore,
+        rng: &mut R,
+    ) {
+        let h = self.cfg.heads;
+        assert!(
+            spec.compressed_heads >= 1 && spec.compressed_heads <= h,
+            "compressed heads must be in 1..=heads"
+        );
+        for (l, block) in self.blocks.iter_mut().enumerate() {
+            let mk = |store: &mut ParamStore, name: String, rows: usize, cols: usize, rng: &mut R| {
+                // Partial-identity init: head j maps mostly to compressed
+                // slot j % hc, plus small noise for symmetry breaking.
+                let mut m = Matrix::zeros(rows, cols);
+                for i in 0..rows {
+                    for j in 0..cols {
+                        let base = if i % cols.max(1) == j || j % rows.max(1) == i {
+                            0.7
+                        } else {
+                            0.0
+                        };
+                        m.set(i, j, base + rng.gen_range(-0.05..0.05));
+                    }
+                }
+                store.register(name, m)
+            };
+            block.ae = Some(AeParams {
+                enc_q: mk(store, format!("block{l}.ae.enc_q"), h, spec.compressed_heads, rng),
+                dec_q: mk(store, format!("block{l}.ae.dec_q"), spec.compressed_heads, h, rng),
+                enc_k: mk(store, format!("block{l}.ae.enc_k"), h, spec.compressed_heads, rng),
+                dec_k: mk(store, format!("block{l}.ae.dec_k"), spec.compressed_heads, h, rng),
+            });
+        }
+        self.ae_spec = Some(spec);
+    }
+
+    /// Installs fixed sparse attention masks (paper Fig. 10, Step 2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan's layer/head structure or mask shapes do not
+    /// match the model.
+    pub fn set_sparsity_plan(&mut self, plan: SparsityPlan) {
+        assert_eq!(plan.len(), self.blocks.len(), "plan must cover all layers");
+        for (l, layer) in plan.iter().enumerate() {
+            assert_eq!(layer.len(), self.cfg.heads, "layer {l} must cover all heads");
+            for m in layer.iter().flatten() {
+                assert_eq!(
+                    m.shape(),
+                    (self.cfg.tokens, self.cfg.tokens),
+                    "mask must be tokens x tokens"
+                );
+            }
+        }
+        self.masks = Some(plan);
+    }
+
+    /// Removes any installed sparsity plan (back to dense attention).
+    pub fn clear_sparsity_plan(&mut self) {
+        self.masks = None;
+    }
+
+    /// Runs a forward pass for a single sample of raw tokens
+    /// (`tokens × in_dim`, row 0 being the class-token slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens` does not have the configured shape.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, tokens: &Matrix) -> VitOutput {
+        assert_eq!(
+            tokens.shape(),
+            (self.cfg.tokens, self.in_dim),
+            "input token shape mismatch"
+        );
+        let dk = self.cfg.head_dim();
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let x0 = tape.constant(tokens.clone());
+        let embedded = self.patch_embed.forward(tape, store, x0);
+        let pos = tape.param(store, self.pos_embed);
+        let mut x = tape.add(embedded, pos);
+
+        let mut recon_total: Option<Var> = None;
+        let mut attention_nodes = Vec::with_capacity(self.blocks.len());
+
+        for (l, block) in self.blocks.iter().enumerate() {
+            let normed = block.ln1.forward(tape, store, x);
+            let mut q = block.wq.forward(tape, store, normed);
+            let mut k = block.wk.forward(tape, store, normed);
+            let v = block.wv.forward(tape, store, normed);
+
+            if let Some(ae) = &block.ae {
+                let (q2, rq) = apply_ae(tape, store, q, ae.enc_q, ae.dec_q, dk);
+                let (k2, rk) = apply_ae(tape, store, k, ae.enc_k, ae.dec_k, dk);
+                q = q2;
+                k = k2;
+                let layer_recon = tape.weighted_sum(rq, rk, 1.0, 1.0);
+                recon_total = Some(match recon_total {
+                    Some(acc) => tape.weighted_sum(acc, layer_recon, 1.0, 1.0),
+                    None => layer_recon,
+                });
+            }
+
+            let mut head_outputs = Vec::with_capacity(self.cfg.heads);
+            let mut layer_nodes = Vec::with_capacity(self.cfg.heads);
+            for hidx in 0..self.cfg.heads {
+                let c0 = hidx * dk;
+                let qh = tape.slice_cols(q, c0, c0 + dk);
+                let kh = tape.slice_cols(k, c0, c0 + dk);
+                let vh = tape.slice_cols(v, c0, c0 + dk);
+                let bias = self.mask_bias(l, hidx);
+                let attn = tape.masked_attention(qh, kh, vh, scale, bias.as_ref());
+                layer_nodes.push(attn);
+                head_outputs.push(attn);
+            }
+            attention_nodes.push(layer_nodes);
+            let cat = tape.concat_cols(&head_outputs);
+            let projected = block.wo.forward(tape, store, cat);
+            x = tape.add(x, projected);
+
+            let normed2 = block.ln2.forward(tape, store, x);
+            let h1 = block.fc1.forward(tape, store, normed2);
+            let act = tape.gelu(h1);
+            let h2 = block.fc2.forward(tape, store, act);
+            x = tape.add(x, h2);
+        }
+
+        let cls = tape.row_slice(x, 0);
+        let normed = self.final_ln.forward(tape, store, cls);
+        let logits = self.head.forward(tape, store, normed);
+        VitOutput {
+            logits,
+            recon_loss: recon_total,
+            attention_nodes,
+        }
+    }
+
+    /// Builds the additive mask bias for `(layer, head)`: `0` where kept,
+    /// `-inf` where pruned; `None` when the head is dense.
+    fn mask_bias(&self, layer: usize, head: usize) -> Option<Matrix> {
+        let mask = self.masks.as_ref()?.get(layer)?.get(head)?.as_ref()?;
+        let mut bias = Matrix::zeros(mask.rows(), mask.cols());
+        for r in 0..mask.rows() {
+            for c in 0..mask.cols() {
+                if mask.get(r, c) == 0.0 {
+                    bias.set(r, c, f32::NEG_INFINITY);
+                }
+            }
+        }
+        Some(bias)
+    }
+
+    /// Averaged per-head attention maps over `samples`, the statistic the
+    /// split-and-conquer algorithm consumes ("extract averaged attention
+    /// maps by forwarding the pretrained models on all training samples").
+    ///
+    /// Returns `[layer][head]` matrices of shape `tokens × tokens`.
+    pub fn averaged_attention_maps(
+        &self,
+        store: &ParamStore,
+        samples: &[crate::Sample],
+    ) -> Vec<Vec<Matrix>> {
+        let n = self.cfg.tokens;
+        let mut acc: Vec<Vec<Matrix>> = (0..self.blocks.len())
+            .map(|_| (0..self.cfg.heads).map(|_| Matrix::zeros(n, n)).collect())
+            .collect();
+        for s in samples {
+            let mut tape = Tape::new();
+            let out = self.forward(&mut tape, store, &s.tokens);
+            for (l, layer_nodes) in out.attention_nodes.iter().enumerate() {
+                for (h, &node) in layer_nodes.iter().enumerate() {
+                    acc[l][h].add_assign(tape.attention_probs(node));
+                }
+            }
+        }
+        let inv = 1.0 / samples.len().max(1) as f32;
+        for layer in &mut acc {
+            for m in layer {
+                m.map_inplace(|v| v * inv);
+            }
+        }
+        acc
+    }
+}
+
+/// Applies one AE (encode → decode) to a fused `n × (h·dk)` Q or K
+/// matrix; returns the reconstruction and its MSE against the input.
+fn apply_ae(
+    tape: &mut Tape,
+    store: &ParamStore,
+    x: Var,
+    enc: ParamId,
+    dec: ParamId,
+    dk: usize,
+) -> (Var, Var) {
+    let enc_w = tape.param(store, enc);
+    let dec_w = tape.param(store, dec);
+    let compressed = tape.head_mix(x, enc_w, dk);
+    let recovered = tape.head_mix(compressed, dec_w, dk);
+    let recon = tape.mse_between(recovered, x);
+    (recovered, recon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn tiny_model() -> (VisionTransformer, ParamStore) {
+        let cfg = ViTConfig::deit_tiny().reduced_for_training();
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let vit = VisionTransformer::new(&cfg, 8, 4, &mut store, &mut rng);
+        (vit, store)
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let (vit, store) = tiny_model();
+        let mut tape = Tape::new();
+        let tokens = Matrix::zeros(vit.config().tokens, 8);
+        let out = vit.forward(&mut tape, &store, &tokens);
+        assert_eq!(tape.value(out.logits).shape(), (1, 4));
+        assert!(out.recon_loss.is_none());
+        assert_eq!(out.attention_nodes.len(), vit.config().depth);
+        assert_eq!(out.attention_nodes[0].len(), vit.config().heads);
+    }
+
+    #[test]
+    fn attention_probs_rows_sum_to_one() {
+        let (vit, store) = tiny_model();
+        let mut tape = Tape::new();
+        let tokens = vitcod_tensor::Initializer::Normal { std: 1.0 }.sample(
+            vit.config().tokens,
+            8,
+            7,
+        );
+        let out = vit.forward(&mut tape, &store, &tokens);
+        let p = tape.attention_probs(out.attention_nodes[0][0]);
+        for r in 0..p.rows() {
+            let s: f32 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn ae_insertion_adds_recon_loss_and_keeps_logits_shape() {
+        let (mut vit, mut store) = tiny_model();
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        vit.insert_auto_encoder(AutoEncoderSpec::half(vit.config().heads), &mut store, &mut rng);
+        assert!(vit.has_auto_encoder());
+        let mut tape = Tape::new();
+        let tokens = Matrix::zeros(vit.config().tokens, 8);
+        let out = vit.forward(&mut tape, &store, &tokens);
+        assert!(out.recon_loss.is_some());
+        assert!(tape.scalar(out.recon_loss.unwrap()) >= 0.0);
+        assert_eq!(tape.value(out.logits).shape(), (1, 4));
+    }
+
+    #[test]
+    fn sparsity_plan_zeroes_pruned_probabilities() {
+        let (mut vit, store) = tiny_model();
+        let n = vit.config().tokens;
+        // Keep only the diagonal plus the class-token column.
+        let mut mask = Matrix::zeros(n, n);
+        for i in 0..n {
+            mask.set(i, i, 1.0);
+            mask.set(i, 0, 1.0);
+        }
+        let plan: SparsityPlan = (0..vit.config().depth)
+            .map(|_| (0..vit.config().heads).map(|_| Some(mask.clone())).collect())
+            .collect();
+        vit.set_sparsity_plan(plan);
+        let mut tape = Tape::new();
+        let tokens = vitcod_tensor::Initializer::Normal { std: 1.0 }.sample(n, 8, 11);
+        let out = vit.forward(&mut tape, &store, &tokens);
+        let p = tape.attention_probs(out.attention_nodes[1][0]);
+        for r in 0..n {
+            for c in 0..n {
+                if r != c && c != 0 {
+                    assert_eq!(p.get(r, c), 0.0, "pruned ({r},{c}) must be zero");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "plan must cover all layers")]
+    fn bad_plan_rejected() {
+        let (mut vit, _) = tiny_model();
+        vit.set_sparsity_plan(vec![]);
+    }
+
+    #[test]
+    fn averaged_attention_maps_have_correct_shape_and_normalisation() {
+        let (vit, store) = tiny_model();
+        let task = crate::SyntheticTask::generate(crate::SyntheticTaskConfig {
+            train_samples: 4,
+            test_samples: 1,
+            ..Default::default()
+        });
+        let maps = vit.averaged_attention_maps(&store, &task.train);
+        assert_eq!(maps.len(), vit.config().depth);
+        assert_eq!(maps[0].len(), vit.config().heads);
+        let m = &maps[0][0];
+        assert_eq!(m.shape(), (vit.config().tokens, vit.config().tokens));
+        for r in 0..m.rows() {
+            let s: f32 = m.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-3, "averaged row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn clear_sparsity_plan_restores_dense() {
+        let (mut vit, _) = tiny_model();
+        let n = vit.config().tokens;
+        let plan: SparsityPlan = (0..vit.config().depth)
+            .map(|_| {
+                (0..vit.config().heads)
+                    .map(|_| Some(Matrix::identity(n)))
+                    .collect()
+            })
+            .collect();
+        vit.set_sparsity_plan(plan);
+        assert!(vit.has_masks());
+        vit.clear_sparsity_plan();
+        assert!(!vit.has_masks());
+    }
+}

@@ -1,0 +1,121 @@
+//! Area/floorplan model (paper Fig. 16: 3 mm² total in 28 nm).
+
+use crate::config::AcceleratorConfig;
+
+/// One floorplan component with its estimated area.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorplanComponent {
+    /// Component label matching Fig. 16.
+    pub name: &'static str,
+    /// Estimated area in mm².
+    pub area_mm2: f64,
+}
+
+/// SRAM density for a 28 nm-class process, mm² per KB (compiled SRAM with
+/// peripheral overhead).
+const SRAM_MM2_PER_KB: f64 = 0.0045;
+
+/// Area of one 8-bit MAC plus its pipeline registers and share of
+/// control, mm².
+const MAC_MM2: f64 = 0.0018;
+
+/// Fixed overhead: controllers, NoC wiring, softmax/activation units.
+const OVERHEAD_MM2: f64 = 0.18;
+
+/// Estimates the floorplan of `cfg`, mirroring the paper's Fig. 16
+/// component list (input/QKSV memory, output memory, weight memory,
+/// index memory, MAC lines, encoder/decoder engines).
+///
+/// The constants are chosen so the paper configuration lands near its
+/// reported 3 mm²; components scale correctly with the configuration.
+///
+/// # Example
+///
+/// ```
+/// use vitcod_sim::{floorplan, AcceleratorConfig};
+///
+/// let parts = floorplan(&AcceleratorConfig::vitcod_paper());
+/// let total: f64 = parts.iter().map(|p| p.area_mm2).sum();
+/// assert!((total - 3.0).abs() < 0.5, "total {total} mm2");
+/// ```
+pub fn floorplan(cfg: &AcceleratorConfig) -> Vec<FloorplanComponent> {
+    let kb = |bytes: usize| bytes as f64 / 1024.0;
+    let macs = cfg.total_macs() as f64;
+    // The codec engines reuse a slice of the MAC lines (paper: "encoder
+    // and decoder have their own PE/MAC lines ... also used to process
+    // other denser/sparser workloads"); book 10% of the array to them.
+    let mac_area = macs * MAC_MM2;
+    vec![
+        FloorplanComponent {
+            name: "Q/K/S/V or Input Memory",
+            area_mm2: kb(cfg.sram.act_buffer_bytes) * SRAM_MM2_PER_KB,
+        },
+        FloorplanComponent {
+            name: "Output Memory",
+            area_mm2: kb(cfg.sram.output_buffer_bytes) * SRAM_MM2_PER_KB,
+        },
+        FloorplanComponent {
+            name: "Weight Memory",
+            area_mm2: kb(cfg.sram.weight_buffer_bytes) * SRAM_MM2_PER_KB,
+        },
+        FloorplanComponent {
+            name: "Index Memory",
+            area_mm2: kb(cfg.sram.index_buffer_bytes) * SRAM_MM2_PER_KB,
+        },
+        FloorplanComponent {
+            name: "MAC Lines (Denser/Sparser Engines)",
+            area_mm2: mac_area * 0.9,
+        },
+        FloorplanComponent {
+            name: "Encoder/Decoder Engines",
+            area_mm2: mac_area * 0.1,
+        },
+        FloorplanComponent {
+            name: "Control + SoftMax/Activation Units",
+            area_mm2: OVERHEAD_MM2,
+        },
+    ]
+}
+
+/// Total estimated area in mm².
+pub fn total_area_mm2(cfg: &AcceleratorConfig) -> f64 {
+    floorplan(cfg).iter().map(|p| p.area_mm2).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_about_three_mm2() {
+        let total = total_area_mm2(&AcceleratorConfig::vitcod_paper());
+        assert!((2.4..3.6).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn components_cover_fig16_labels() {
+        let parts = floorplan(&AcceleratorConfig::vitcod_paper());
+        let names: Vec<_> = parts.iter().map(|p| p.name).collect();
+        assert!(names.iter().any(|n| n.contains("Index Memory")));
+        assert!(names.iter().any(|n| n.contains("Encoder/Decoder")));
+        assert!(names.iter().any(|n| n.contains("MAC Lines")));
+        assert!(parts.iter().all(|p| p.area_mm2 > 0.0));
+    }
+
+    #[test]
+    fn area_scales_with_macs() {
+        let base = total_area_mm2(&AcceleratorConfig::vitcod_paper());
+        let big = total_area_mm2(&AcceleratorConfig::vitcod_paper().scaled(2));
+        assert!(big > base * 1.2);
+    }
+
+    #[test]
+    fn memory_area_tracks_buffer_sizes() {
+        let cfg = AcceleratorConfig::vitcod_paper();
+        let parts = floorplan(&cfg);
+        let act = parts.iter().find(|p| p.name.contains("Input")).unwrap();
+        let idx = parts.iter().find(|p| p.name.contains("Index")).unwrap();
+        // 128KB vs 20KB.
+        assert!(act.area_mm2 > 5.0 * idx.area_mm2);
+    }
+}

@@ -1,0 +1,222 @@
+//! SRAM residency checking.
+//!
+//! The paper fixes a 320 KB partition (Sec. VI-A); whether a layer's
+//! working set actually *fits* that partition decides between full
+//! operand reuse and the refetch traffic the cycle model charges. This
+//! module computes per-layer buffer demands for a compiled program and
+//! reports occupancies and spills — the compiler-side feasibility check
+//! behind the resource-allocation stage of Sec. V-B.
+
+use vitcod_core::AcceleratorProgram;
+
+use crate::config::AcceleratorConfig;
+
+/// Byte demand of one attention layer against the SRAM partition.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferDemand {
+    /// Q operand bytes (all heads; compressed when the AE is active).
+    pub q_bytes: usize,
+    /// K operand bytes (compressed when the AE is active).
+    pub k_bytes: usize,
+    /// V operand bytes.
+    pub v_bytes: usize,
+    /// Sparse attention-score bytes held between SDDMM and SpMM.
+    pub s_bytes: usize,
+    /// Output accumulator bytes.
+    pub out_bytes: usize,
+    /// CSC index bytes.
+    pub index_bytes: usize,
+}
+
+impl BufferDemand {
+    /// Total activation-class bytes (Q + K + V + S), competing for the
+    /// activation global buffer.
+    pub fn act_bytes(&self) -> usize {
+        self.q_bytes + self.k_bytes + self.v_bytes + self.s_bytes
+    }
+}
+
+/// Fit report of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BufferReport {
+    /// Layer index.
+    pub layer: usize,
+    /// Raw demand.
+    pub demand: BufferDemand,
+    /// Activation-buffer occupancy (demand / capacity); > 1 spills.
+    pub act_occupancy: f64,
+    /// Index-buffer occupancy.
+    pub index_occupancy: f64,
+    /// Output-buffer occupancy.
+    pub output_occupancy: f64,
+    /// Buffers whose demand exceeds capacity.
+    pub spills: Vec<&'static str>,
+}
+
+impl BufferReport {
+    /// Whether the whole layer working set is resident.
+    pub fn fits(&self) -> bool {
+        self.spills.is_empty()
+    }
+}
+
+/// Checks every layer of `program` against `cfg`'s SRAM partition.
+///
+/// # Example
+///
+/// ```
+/// use vitcod_core::{compile_model, AutoEncoderConfig, SplitConquer, SplitConquerConfig};
+/// use vitcod_model::{AttentionStats, ViTConfig};
+/// use vitcod_sim::{check_buffers, AcceleratorConfig};
+///
+/// let m = ViTConfig::deit_tiny();
+/// let stats = AttentionStats::for_model(&m, 0);
+/// let sc = SplitConquer::new(SplitConquerConfig::with_sparsity(0.9));
+/// let p = compile_model(&m, &sc.apply(&stats.maps),
+///                       Some(AutoEncoderConfig::half(m.heads)));
+/// let reports = check_buffers(&AcceleratorConfig::vitcod_paper(), &p);
+/// assert_eq!(reports.len(), 12);
+/// ```
+pub fn check_buffers(cfg: &AcceleratorConfig, program: &AcceleratorProgram) -> Vec<BufferReport> {
+    let bytes = cfg.bytes_per_elem;
+    let n = program.tokens;
+    let d = program.heads * program.head_dim;
+    let qk_ratio = program
+        .auto_encoder
+        .map(|ae| ae.ratio())
+        .unwrap_or(1.0);
+    program
+        .layers
+        .iter()
+        .map(|layer| {
+            let nnz: usize = layer
+                .heads
+                .iter()
+                .map(|h| h.denser_nnz + h.sparser_nnz)
+                .sum();
+            // Indexes stream per head (the engine walks one head's CSC
+            // at a time, double-buffered), so the residency unit is the
+            // largest single head's index.
+            let index_entries: usize = layer
+                .heads
+                .iter()
+                .map(|h| h.sparser_nnz + n + 1)
+                .max()
+                .unwrap_or(0);
+            let demand = BufferDemand {
+                q_bytes: ((n * d * bytes) as f64 * qk_ratio).round() as usize,
+                k_bytes: ((n * d * bytes) as f64 * qk_ratio).round() as usize,
+                v_bytes: n * d * bytes,
+                // One byte per kept score plus a 2-byte row tag.
+                s_bytes: nnz * (bytes + 2),
+                out_bytes: n * d * bytes,
+                index_bytes: index_entries * 2,
+            };
+            let act_occupancy = demand.act_bytes() as f64 / cfg.sram.act_buffer_bytes as f64;
+            let index_occupancy =
+                demand.index_bytes as f64 / cfg.sram.index_buffer_bytes as f64;
+            let output_occupancy =
+                demand.out_bytes as f64 / cfg.sram.output_buffer_bytes as f64;
+            let mut spills = Vec::new();
+            if act_occupancy > 1.0 {
+                spills.push("activation");
+            }
+            if index_occupancy > 1.0 {
+                spills.push("index");
+            }
+            if output_occupancy > 1.0 {
+                spills.push("output");
+            }
+            BufferReport {
+                layer: layer.layer,
+                demand,
+                act_occupancy,
+                index_occupancy,
+                output_occupancy,
+                spills,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitcod_core::{compile_model, AutoEncoderConfig, SplitConquer, SplitConquerConfig};
+    use vitcod_model::{AttentionStats, ViTConfig};
+
+    fn program(model: &ViTConfig, sparsity: f64, ae: bool) -> AcceleratorProgram {
+        let stats = AttentionStats::for_model(model, 12);
+        let sc = SplitConquer::new(SplitConquerConfig::with_sparsity(sparsity));
+        let ae_cfg = ae.then(|| AutoEncoderConfig::half(model.heads));
+        compile_model(model, &sc.apply(&stats.maps), ae_cfg)
+    }
+
+    #[test]
+    fn deit_tiny_with_ae_fits_at_90pct() {
+        let m = ViTConfig::deit_tiny();
+        let reports = check_buffers(
+            &AcceleratorConfig::vitcod_paper(),
+            &program(&m, 0.9, true),
+        );
+        assert!(
+            reports.iter().all(|r| r.fits()),
+            "spills: {:?}",
+            reports.iter().flat_map(|r| r.spills.clone()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn deit_base_without_ae_spills_activation_buffer() {
+        // 197 x 768 Q+K+V at 1 B/elem = 454 KB > 128 KB: this is exactly
+        // why the cycle model charges Q refetch traffic without the AE.
+        let m = ViTConfig::deit_base();
+        let reports = check_buffers(
+            &AcceleratorConfig::vitcod_paper(),
+            &program(&m, 0.9, false),
+        );
+        assert!(reports.iter().all(|r| r.spills.contains(&"activation")));
+    }
+
+    #[test]
+    fn ae_halves_qk_demand() {
+        let m = ViTConfig::deit_base();
+        let with = check_buffers(&AcceleratorConfig::vitcod_paper(), &program(&m, 0.9, true));
+        let without =
+            check_buffers(&AcceleratorConfig::vitcod_paper(), &program(&m, 0.9, false));
+        assert_eq!(with[0].demand.q_bytes * 2, without[0].demand.q_bytes);
+        assert!(with[0].act_occupancy < without[0].act_occupancy);
+    }
+
+    #[test]
+    fn index_buffer_fits_only_at_high_sparsity() {
+        // Matches the ablation_formats finding: at 60% the residue's CSC
+        // exceeds 20 KB; at 95% it fits comfortably.
+        let m = ViTConfig::deit_base();
+        let dense_ish = check_buffers(
+            &AcceleratorConfig::vitcod_paper(),
+            &program(&m, 0.6, true),
+        );
+        let sparse = check_buffers(
+            &AcceleratorConfig::vitcod_paper(),
+            &program(&m, 0.95, true),
+        );
+        assert!(dense_ish.iter().any(|r| r.index_occupancy > 1.0));
+        assert!(
+            sparse.iter().all(|r| r.index_occupancy < dense_ish[0].index_occupancy),
+            "index demand must shrink with sparsity"
+        );
+    }
+
+    #[test]
+    fn occupancies_are_positive_and_demand_consistent() {
+        let m = ViTConfig::deit_small();
+        for r in check_buffers(&AcceleratorConfig::vitcod_paper(), &program(&m, 0.8, true)) {
+            assert!(r.act_occupancy > 0.0);
+            assert_eq!(
+                r.demand.act_bytes(),
+                r.demand.q_bytes + r.demand.k_bytes + r.demand.v_bytes + r.demand.s_bytes
+            );
+        }
+    }
+}

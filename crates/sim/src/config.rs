@@ -1,0 +1,234 @@
+//! Hardware configuration mirroring the paper's Sec. VI-A platform setup.
+
+/// SRAM buffer partition (paper: 320 KB total — Act GB0/GB1 of 256 KB
+/// holding a 128 KB Q/K/S/V-or-input buffer, a 20 KB index buffer and a
+/// 108 KB output buffer, plus a 64 KB weight global buffer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SramConfig {
+    /// Q/K/S/V or input activation buffer, bytes.
+    pub act_buffer_bytes: usize,
+    /// CSC index buffer, bytes.
+    pub index_buffer_bytes: usize,
+    /// Output buffer, bytes.
+    pub output_buffer_bytes: usize,
+    /// Weight global buffer, bytes.
+    pub weight_buffer_bytes: usize,
+}
+
+impl SramConfig {
+    /// The paper's 320 KB partition.
+    pub fn vitcod_paper() -> Self {
+        Self {
+            act_buffer_bytes: 128 * 1024,
+            index_buffer_bytes: 20 * 1024,
+            output_buffer_bytes: 108 * 1024,
+            weight_buffer_bytes: 64 * 1024,
+        }
+    }
+
+    /// Total on-chip SRAM in bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.act_buffer_bytes
+            + self.index_buffer_bytes
+            + self.output_buffer_bytes
+            + self.weight_buffer_bytes
+    }
+}
+
+/// Energy cost constants standing in for the paper's post-layout 28 nm
+/// numbers. Values follow the widely used Horowitz ISSCC'14 scaling
+/// table (8-bit ops, 28-45 nm class): an 8-bit MAC ≈ 0.3 pJ, SRAM access
+/// ≈ 1 pJ/byte at these capacities, DRAM ≈ 40 pJ/byte.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per MAC operation, picojoules.
+    pub mac_pj: f64,
+    /// Energy per SRAM byte accessed, picojoules.
+    pub sram_pj_per_byte: f64,
+    /// Energy per DRAM byte transferred, picojoules.
+    pub dram_pj_per_byte: f64,
+    /// Static power, watts (paper: 323.9 mW total at 500 MHz; we book a
+    /// third of it as static/clock overhead).
+    pub static_watts: f64,
+}
+
+impl EnergyModel {
+    /// Defaults documented above.
+    pub fn cmos_28nm() -> Self {
+        Self {
+            mac_pj: 0.3,
+            sram_pj_per_byte: 1.0,
+            dram_pj_per_byte: 40.0,
+            static_watts: 0.2,
+        }
+    }
+}
+
+/// How MAC lines are divided between the denser and sparser engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeAllocation {
+    /// The paper's design: per-layer allocation proportional to each
+    /// engine's workload size (Sec. V-B, "we allocate hardware resource
+    /// to each engine proportional to its assigned workload size").
+    #[default]
+    DynamicProportional,
+    /// Ablation: a fixed 50/50 split regardless of workload.
+    StaticEven,
+}
+
+/// Full accelerator configuration.
+///
+/// # Example
+///
+/// ```
+/// let cfg = vitcod_sim::AcceleratorConfig::vitcod_paper();
+/// assert_eq!(cfg.total_macs(), 512);
+/// assert_eq!(cfg.sram.total_bytes(), 320 * 1024);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcceleratorConfig {
+    /// Number of MAC lines (paper: 64).
+    pub mac_lines: usize,
+    /// MACs per line (paper: 8).
+    pub macs_per_line: usize,
+    /// Core clock, Hz (paper: 500 MHz).
+    pub freq_hz: f64,
+    /// DRAM bandwidth, bytes/s (paper: DDR4-2400, 76.8 GB/s).
+    pub dram_bw_bytes_per_sec: f64,
+    /// Bytes per activation element (8-bit quantized inference).
+    pub bytes_per_elem: usize,
+    /// SRAM partition.
+    pub sram: SramConfig,
+    /// Energy constants.
+    pub energy: EnergyModel,
+    /// Denser/sparser engine line-partition policy.
+    pub pe_allocation: PeAllocation,
+    /// Images per weight fetch in end-to-end simulation: each layer's
+    /// weights stream from DRAM once per batch of this size and are
+    /// reused across it; all end-to-end numbers are per image.
+    pub weight_reuse_batch: u64,
+}
+
+impl AcceleratorConfig {
+    /// The paper's platform: 512 MACs @ 500 MHz, 320 KB SRAM,
+    /// 76.8 GB/s DRAM, 8-bit activations.
+    pub fn vitcod_paper() -> Self {
+        Self {
+            mac_lines: 64,
+            macs_per_line: 8,
+            freq_hz: 500e6,
+            dram_bw_bytes_per_sec: 76.8e9,
+            bytes_per_elem: 1,
+            sram: SramConfig::vitcod_paper(),
+            energy: EnergyModel::cmos_28nm(),
+            pe_allocation: PeAllocation::DynamicProportional,
+            weight_reuse_batch: 8,
+        }
+    }
+
+    /// Total MAC units.
+    pub fn total_macs(&self) -> usize {
+        self.mac_lines * self.macs_per_line
+    }
+
+    /// Peak compute throughput in MACs per second.
+    pub fn peak_macs_per_sec(&self) -> f64 {
+        self.total_macs() as f64 * self.freq_hz
+    }
+
+    /// Peak compute in GOPS counting one MAC as one op (the paper's
+    /// Fig. 3 "comp roof" of 256 GOPS = 512 MACs × 0.5 GHz).
+    pub fn peak_gops(&self) -> f64 {
+        self.peak_macs_per_sec() / 1e9
+    }
+
+    /// DRAM bytes transferable per core cycle.
+    pub fn dram_bytes_per_cycle(&self) -> f64 {
+        self.dram_bw_bytes_per_sec / self.freq_hz
+    }
+
+    /// Converts cycles at the core clock into seconds.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz
+    }
+
+    /// A scaled copy with `factor`× the MAC lines and DRAM bandwidth,
+    /// used for the paper's "scale up the accelerators' hardware
+    /// resource to have a comparable peak throughput" GPU comparison.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor == 0`.
+    pub fn scaled(&self, factor: usize) -> Self {
+        assert!(factor > 0, "scale factor must be positive");
+        Self {
+            mac_lines: self.mac_lines * factor,
+            dram_bw_bytes_per_sec: self.dram_bw_bytes_per_sec * factor as f64,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers() {
+        let c = AcceleratorConfig::vitcod_paper();
+        assert_eq!(c.total_macs(), 512);
+        assert_eq!(c.peak_gops(), 256.0);
+        assert_eq!(c.sram.total_bytes(), 327_680);
+        assert!((c.dram_bytes_per_cycle() - 153.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cycles_to_seconds_at_500mhz() {
+        let c = AcceleratorConfig::vitcod_paper();
+        assert!((c.cycles_to_seconds(500_000_000) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaled_multiplies_compute_and_bandwidth() {
+        let c = AcceleratorConfig::vitcod_paper().scaled(4);
+        assert_eq!(c.total_macs(), 2048);
+        assert_eq!(c.dram_bw_bytes_per_sec, 4.0 * 76.8e9);
+        // Compute-to-bandwidth ratio unchanged.
+        let base = AcceleratorConfig::vitcod_paper();
+        let r0 = base.peak_macs_per_sec() / base.dram_bw_bytes_per_sec;
+        let r1 = c.peak_macs_per_sec() / c.dram_bw_bytes_per_sec;
+        assert!((r0 - r1).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_zero_panics() {
+        AcceleratorConfig::vitcod_paper().scaled(0);
+    }
+
+    #[test]
+    fn energy_constants_positive() {
+        let e = EnergyModel::cmos_28nm();
+        assert!(e.mac_pj > 0.0);
+        assert!(e.dram_pj_per_byte > e.sram_pj_per_byte);
+    }
+
+    #[test]
+    fn default_policy_is_dynamic_with_batch_8() {
+        let c = AcceleratorConfig::vitcod_paper();
+        assert_eq!(c.pe_allocation, PeAllocation::DynamicProportional);
+        assert_eq!(c.weight_reuse_batch, 8);
+    }
+
+    #[test]
+    fn scaled_preserves_policy_and_batch() {
+        let c = AcceleratorConfig {
+            pe_allocation: PeAllocation::StaticEven,
+            weight_reuse_batch: 4,
+            ..AcceleratorConfig::vitcod_paper()
+        }
+        .scaled(2);
+        assert_eq!(c.pe_allocation, PeAllocation::StaticEven);
+        assert_eq!(c.weight_reuse_batch, 4);
+    }
+}

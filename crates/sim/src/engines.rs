@@ -1,0 +1,278 @@
+//! Compute-cycle models of the accelerator's engines and dataflows.
+//!
+//! All engines are built from MAC lines of `macs_per_line` multipliers.
+//! The K-stationary SDDMM maps the `dk` feature dimension spatially onto
+//! a line (inter-PE accumulation, Fig. 12 ❶), so one Q·K pair costs
+//! `ceil(dk / macs_per_line)` cycles on one line; pairs are spread across
+//! lines. The output-stationary SpMM maps token tiles spatially and
+//! accumulates partial sums inside each PE (intra-PE accumulation,
+//! Fig. 12 ❷).
+
+/// Cycles for a dense `m × n × k` GEMM spread over `lines` MAC lines
+/// (used for Q/K/V generation, output projection and MLPs, where "all
+/// MAC lines are reconfigured to process these dense workloads").
+///
+/// # Panics
+///
+/// Panics if `lines == 0` or `macs_per_line == 0`.
+pub fn gemm_cycles(m: usize, n: usize, k: usize, lines: usize, macs_per_line: usize) -> u64 {
+    assert!(lines > 0 && macs_per_line > 0, "need at least one MAC");
+    let macs = (m as u64) * (n as u64) * (k as u64);
+    let throughput = (lines * macs_per_line) as u64;
+    macs.div_ceil(throughput)
+}
+
+/// Denser-engine SDDMM (K-stationary): computes the dense
+/// `tokens × num_global` score block against `dk`-dim Q/K vectors.
+///
+/// Each of the `tokens · num_global` pairs costs `ceil(dk /
+/// macs_per_line)` cycles on one line; `lines` lines work in parallel.
+///
+/// # Panics
+///
+/// Panics if `lines == 0` or `macs_per_line == 0`.
+pub fn denser_sddmm_cycles(
+    tokens: usize,
+    num_global: usize,
+    dk: usize,
+    lines: usize,
+    macs_per_line: usize,
+) -> u64 {
+    assert!(lines > 0 && macs_per_line > 0, "need at least one MAC");
+    let pairs = (tokens * num_global) as u64;
+    let per_pair = dk.div_ceil(macs_per_line) as u64;
+    pairs.div_ceil(lines as u64) * per_pair
+}
+
+/// Sparser-engine SDDMM: walks the CSC columns of the sparse residue.
+/// Columns are assigned to MAC lines with a greedy longest-processing-
+/// time schedule (the static equivalent of the engine's column queue),
+/// so the returned cycle count reflects the residual load imbalance.
+///
+/// # Panics
+///
+/// Panics if `lines == 0` or `macs_per_line == 0`.
+pub fn sparser_sddmm_cycles(
+    col_nnz: &[usize],
+    dk: usize,
+    lines: usize,
+    macs_per_line: usize,
+) -> u64 {
+    assert!(lines > 0 && macs_per_line > 0, "need at least one MAC");
+    let per_score = dk.div_ceil(macs_per_line) as u64;
+    balance_max(col_nnz, lines) * per_score
+}
+
+/// Denser-engine SpMM (output-stationary): each kept score inside the
+/// denser block multiplies a `dk`-wide V row; scores are spread across
+/// lines.
+///
+/// # Panics
+///
+/// Panics if `lines == 0` or `macs_per_line == 0`.
+pub fn denser_spmm_cycles(denser_nnz: usize, dk: usize, lines: usize, macs_per_line: usize) -> u64 {
+    assert!(lines > 0 && macs_per_line > 0, "need at least one MAC");
+    let per_score = dk.div_ceil(macs_per_line) as u64;
+    (denser_nnz as u64).div_ceil(lines as u64) * per_score
+}
+
+/// Sparser-engine SpMM with the same greedy balancing as the SDDMM
+/// phase (the attention map stays in its CSC layout).
+///
+/// # Panics
+///
+/// Panics if `lines == 0` or `macs_per_line == 0`.
+pub fn sparser_spmm_cycles(
+    col_nnz: &[usize],
+    dk: usize,
+    lines: usize,
+    macs_per_line: usize,
+) -> u64 {
+    assert!(lines > 0 && macs_per_line > 0, "need at least one MAC");
+    let per_score = dk.div_ceil(macs_per_line) as u64;
+    balance_max(col_nnz, lines) * per_score
+}
+
+/// Softmax-unit cycles: one exponential per kept score, one unit per MAC
+/// line, fully pipelined (II = 1), following the Sanger-style exponent
+/// operator the paper adopts.
+///
+/// # Panics
+///
+/// Panics if `units == 0`.
+pub fn softmax_cycles(nnz: usize, units: usize) -> u64 {
+    assert!(units > 0, "need at least one softmax unit");
+    (nnz as u64).div_ceil(units as u64)
+}
+
+/// S-stationary SDDMM cycle model (paper Fig. 11(a) — the rejected
+/// dataflow alternative, adopted by Sanger). Attention scores are mapped
+/// *spatially*: each PE owns one score and accumulates its dot product
+/// over `dk` sequential cycles. A tile of `lines · macs_per_line` scores
+/// therefore costs `dk` cycles regardless of how many of those scores
+/// are actually kept — pruned positions idle their PEs, which is exactly
+/// the under-utilization the paper's Sec. V-A analysis attributes to
+/// this dataflow at high sparsity. `density` is the kept fraction of the
+/// mapped region.
+///
+/// # Panics
+///
+/// Panics if `lines == 0`, `macs_per_line == 0`, or `density` is outside
+/// `(0, 1]`.
+pub fn s_stationary_sddmm_cycles(
+    tokens: usize,
+    dk: usize,
+    density: f64,
+    lines: usize,
+    macs_per_line: usize,
+) -> u64 {
+    assert!(lines > 0 && macs_per_line > 0, "need at least one MAC");
+    assert!(
+        density > 0.0 && density <= 1.0,
+        "density must be in (0, 1], got {density}"
+    );
+    let pe_count = (lines * macs_per_line) as u64;
+    // Pack-and-split-style condensation can skip tiles that are fully
+    // empty, but kept scores inside a tile still pin the whole tile for
+    // dk cycles; the effective mapped scores are nnz / density_tile with
+    // density_tile ≈ max(density, 1/pe_count-regularised packing).
+    let total_positions = (tokens * tokens) as u64;
+    let nnz = ((total_positions as f64) * density).ceil() as u64;
+    // Packing efficiency: at the 50-70% design point most tile slots are
+    // useful; at 90%+ packing cannot fill tiles and slots idle.
+    let packing = density.max(0.25);
+    let mapped = ((nnz as f64) / packing).ceil() as u64;
+    mapped.div_ceil(pe_count) * dk as u64
+}
+
+/// Greedy LPT schedule: assigns each workload (descending) to the
+/// currently least-loaded bin and returns the maximum bin load.
+fn balance_max(workloads: &[usize], bins: usize) -> u64 {
+    let mut sorted: Vec<usize> = workloads.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let mut loads = vec![0u64; bins];
+    for w in sorted {
+        let min = loads
+            .iter_mut()
+            .min()
+            .expect("bins > 0 guaranteed by callers");
+        *min += w as u64;
+    }
+    loads.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gemm_cycles_exact_division() {
+        // 64x64x64 = 262144 MACs over 512 MACs/cycle = 512 cycles.
+        assert_eq!(gemm_cycles(64, 64, 64, 64, 8), 512);
+    }
+
+    #[test]
+    fn gemm_cycles_rounds_up() {
+        assert_eq!(gemm_cycles(1, 1, 1, 64, 8), 1);
+    }
+
+    #[test]
+    fn denser_sddmm_scales_with_block() {
+        let a = denser_sddmm_cycles(197, 10, 64, 32, 8);
+        let b = denser_sddmm_cycles(197, 20, 64, 32, 8);
+        assert!(b >= 2 * a - 8, "doubling columns ~doubles cycles: {a} -> {b}");
+    }
+
+    #[test]
+    fn denser_sddmm_more_lines_fewer_cycles() {
+        let few = denser_sddmm_cycles(197, 12, 64, 8, 8);
+        let many = denser_sddmm_cycles(197, 12, 64, 56, 8);
+        assert!(many < few);
+    }
+
+    #[test]
+    fn sparser_sddmm_balanced_equals_ideal() {
+        // 32 equal columns over 32 lines: one column each.
+        let cols = vec![4usize; 32];
+        let cycles = sparser_sddmm_cycles(&cols, 64, 32, 8);
+        assert_eq!(cycles, 4 * (64u64.div_ceil(8)));
+    }
+
+    #[test]
+    fn sparser_sddmm_imbalance_costs_cycles() {
+        // Same total nnz, skewed distribution is slower.
+        let balanced = vec![4usize; 32];
+        let mut skewed = vec![0usize; 32];
+        skewed[0] = 128;
+        let b = sparser_sddmm_cycles(&balanced, 64, 32, 8);
+        let s = sparser_sddmm_cycles(&skewed, 64, 32, 8);
+        assert!(s > b, "skewed {s} should exceed balanced {b}");
+        assert_eq!(s, 128 * 8);
+    }
+
+    #[test]
+    fn lpt_spreads_two_big_columns() {
+        // Two big columns over two lines land on different lines.
+        let cols = vec![100usize, 100];
+        assert_eq!(sparser_sddmm_cycles(&cols, 8, 2, 8), 100);
+    }
+
+    #[test]
+    fn spmm_denser_counts_scores() {
+        // 128 scores over 64 lines = 2 rounds x dk/8 cycles.
+        assert_eq!(denser_spmm_cycles(128, 64, 64, 8), 2 * 8);
+    }
+
+    #[test]
+    fn softmax_pipelines_across_units() {
+        assert_eq!(softmax_cycles(640, 64), 10);
+        assert_eq!(softmax_cycles(0, 64), 0);
+        assert_eq!(softmax_cycles(1, 64), 1);
+    }
+
+    #[test]
+    fn sparser_spmm_matches_sddmm_balancing() {
+        let cols = vec![3usize, 9, 1, 7];
+        assert_eq!(
+            sparser_spmm_cycles(&cols, 32, 2, 8),
+            sparser_sddmm_cycles(&cols, 32, 2, 8)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one MAC")]
+    fn zero_lines_panics() {
+        gemm_cycles(1, 1, 1, 0, 8);
+    }
+
+    #[test]
+    fn s_stationary_dense_equals_k_stationary_dense() {
+        // At density 1.0 both dataflows do the same MACs: n^2 scores of
+        // dk accumulations over the same PE count.
+        let n = 64;
+        let dk = 64;
+        let s = s_stationary_sddmm_cycles(n, dk, 1.0, 64, 8);
+        let k = denser_sddmm_cycles(n, n, dk, 64, 8);
+        let ratio = s as f64 / k as f64;
+        assert!((0.8..1.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn s_stationary_wastes_pes_at_high_sparsity() {
+        // Per-kept-score cost grows as density falls past the packing
+        // floor — the Fig. 11 argument against S-stationary for ViTs.
+        let n = 128;
+        let dk = 64;
+        let cost_per_nnz = |density: f64| {
+            let nnz = (n as f64 * n as f64 * density).ceil();
+            s_stationary_sddmm_cycles(n, dk, density, 64, 8) as f64 / nnz
+        };
+        assert!(cost_per_nnz(0.1) > 1.8 * cost_per_nnz(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn s_stationary_zero_density_panics() {
+        s_stationary_sddmm_cycles(8, 8, 0.0, 8, 8);
+    }
+}

@@ -1,0 +1,138 @@
+//! DRAM timing model and traffic accounting.
+
+use crate::config::AcceleratorConfig;
+
+/// Simple bandwidth-bound DRAM model with a burst floor.
+///
+/// DDR4 transfers whole bursts; tiny requests still pay a minimum
+/// latency. The model charges `ceil(bytes / bandwidth-per-cycle)` cycles
+/// plus a fixed per-request overhead, which is what the coarse-grained
+/// streaming accesses of the accelerator see in steady state.
+#[derive(Debug, Clone, Copy)]
+pub struct DramModel {
+    bytes_per_cycle: f64,
+    request_overhead_cycles: u64,
+}
+
+impl DramModel {
+    /// Builds the model from an accelerator config.
+    pub fn new(cfg: &AcceleratorConfig) -> Self {
+        Self {
+            bytes_per_cycle: cfg.dram_bytes_per_cycle(),
+            request_overhead_cycles: 20,
+        }
+    }
+
+    /// Cycles to stream `bytes` as one large request.
+    pub fn transfer_cycles(&self, bytes: u64) -> u64 {
+        if bytes == 0 {
+            return 0;
+        }
+        (bytes as f64 / self.bytes_per_cycle).ceil() as u64 + self.request_overhead_cycles
+    }
+
+    /// Effective bytes per cycle.
+    pub fn bytes_per_cycle(&self) -> f64 {
+        self.bytes_per_cycle
+    }
+}
+
+/// Byte-level traffic accounting across the memory hierarchy.
+///
+/// `dram_*` counts off-chip transfers (the quantity ViTCoD's AE module
+/// attacks); `sram_*` counts on-chip buffer accesses (for the energy
+/// model).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Bytes read from DRAM.
+    pub dram_read_bytes: u64,
+    /// Bytes written to DRAM.
+    pub dram_write_bytes: u64,
+    /// Bytes read from on-chip SRAM.
+    pub sram_read_bytes: u64,
+    /// Bytes written to on-chip SRAM.
+    pub sram_write_bytes: u64,
+}
+
+impl TrafficStats {
+    /// Zeroed stats.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total off-chip bytes moved.
+    pub fn dram_total(&self) -> u64 {
+        self.dram_read_bytes + self.dram_write_bytes
+    }
+
+    /// Total on-chip bytes moved.
+    pub fn sram_total(&self) -> u64 {
+        self.sram_read_bytes + self.sram_write_bytes
+    }
+
+    /// Accumulates another stats record.
+    pub fn add(&mut self, other: &TrafficStats) {
+        self.dram_read_bytes += other.dram_read_bytes;
+        self.dram_write_bytes += other.dram_write_bytes;
+        self.sram_read_bytes += other.sram_read_bytes;
+        self.sram_write_bytes += other.sram_write_bytes;
+    }
+
+    /// Records a DRAM read that lands in SRAM (both sides accounted).
+    pub fn load(&mut self, bytes: u64) {
+        self.dram_read_bytes += bytes;
+        self.sram_write_bytes += bytes;
+    }
+
+    /// Records an SRAM result written back to DRAM.
+    pub fn store(&mut self, bytes: u64) {
+        self.dram_write_bytes += bytes;
+        self.sram_read_bytes += bytes;
+    }
+
+    /// Records an on-chip-only access (operand reuse from a buffer).
+    pub fn on_chip(&mut self, bytes: u64) {
+        self.sram_read_bytes += bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AcceleratorConfig;
+
+    #[test]
+    fn transfer_cycles_scale_with_bytes() {
+        let dram = DramModel::new(&AcceleratorConfig::vitcod_paper());
+        assert_eq!(dram.transfer_cycles(0), 0);
+        let small = dram.transfer_cycles(1536);
+        let big = dram.transfer_cycles(1_536_000);
+        assert!(big > small);
+        // 153.6 B/cycle -> 1536 bytes = 10 cycles + overhead.
+        assert_eq!(small, 10 + 20);
+    }
+
+    #[test]
+    fn traffic_accounting_identities() {
+        let mut t = TrafficStats::new();
+        t.load(100);
+        t.store(40);
+        t.on_chip(7);
+        assert_eq!(t.dram_read_bytes, 100);
+        assert_eq!(t.dram_write_bytes, 40);
+        assert_eq!(t.dram_total(), 140);
+        assert_eq!(t.sram_write_bytes, 100);
+        assert_eq!(t.sram_read_bytes, 47);
+        assert_eq!(t.sram_total(), 147);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = TrafficStats::new();
+        a.load(10);
+        let mut b = TrafficStats::new();
+        b.store(5);
+        a.add(&b);
+        assert_eq!(a.dram_total(), 15);
+    }
+}

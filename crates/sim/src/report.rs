@@ -1,0 +1,193 @@
+//! Simulation result types.
+
+use crate::memory::TrafficStats;
+
+/// Cycle totals per execution phase (compute-side view).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseCycles {
+    /// SDDMM (`S = Q·Kᵀ`) cycles across both engines.
+    pub sddmm: u64,
+    /// SpMM (`V′ = S·V`) cycles across both engines.
+    pub spmm: u64,
+    /// Softmax-unit cycles.
+    pub softmax: u64,
+    /// Encoder/decoder engine cycles (AE codec).
+    pub codec: u64,
+    /// Dense linear layers (Q/K/V generation, projections, MLPs) when
+    /// simulating end to end.
+    pub linear: u64,
+}
+
+impl PhaseCycles {
+    /// Sum of all compute phases.
+    pub fn total(&self) -> u64 {
+        self.sddmm + self.spmm + self.softmax + self.codec + self.linear
+    }
+
+    /// Accumulates another record.
+    pub fn add(&mut self, other: &PhaseCycles) {
+        self.sddmm += other.sddmm;
+        self.spmm += other.spmm;
+        self.softmax += other.softmax;
+        self.codec += other.codec;
+        self.linear += other.linear;
+    }
+}
+
+/// The latency decomposition of Fig. 19: computation, preprocessing
+/// (index/config loading) and data movements, where data movement cycles
+/// count the *exposed* (non-overlapped) portion plus the overlapped
+/// transfer time the paper reports as "overlapped computations and data
+/// movements".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Pure compute cycles on the critical path.
+    pub compute_cycles: u64,
+    /// Preprocess cycles (sparse-index loading, reconfiguration).
+    pub preprocess_cycles: u64,
+    /// Data-movement cycles on the critical path.
+    pub data_movement_cycles: u64,
+}
+
+impl LatencyBreakdown {
+    /// Critical-path total.
+    pub fn total(&self) -> u64 {
+        self.compute_cycles + self.preprocess_cycles + self.data_movement_cycles
+    }
+
+    /// Fraction of total latency spent in data movement.
+    pub fn data_movement_fraction(&self) -> f64 {
+        let t = self.total();
+        if t == 0 {
+            return 0.0;
+        }
+        self.data_movement_cycles as f64 / t as f64
+    }
+
+    /// Accumulates another record.
+    pub fn add(&mut self, other: &LatencyBreakdown) {
+        self.compute_cycles += other.compute_cycles;
+        self.preprocess_cycles += other.preprocess_cycles;
+        self.data_movement_cycles += other.data_movement_cycles;
+    }
+}
+
+/// Complete result of one simulation.
+#[derive(Debug, Clone, Default)]
+pub struct SimReport {
+    /// Simulated platform/configuration label.
+    pub platform: String,
+    /// Workload label (model name).
+    pub workload: String,
+    /// End-to-end cycles on the critical path.
+    pub total_cycles: u64,
+    /// Wall-clock latency in seconds at the configured frequency.
+    pub latency_s: f64,
+    /// Compute-phase cycle totals (not critical-path; for utilization).
+    pub phases: PhaseCycles,
+    /// Fig. 19-style latency decomposition.
+    pub breakdown: LatencyBreakdown,
+    /// Memory-traffic accounting.
+    pub traffic: TrafficStats,
+    /// Total MAC operations executed.
+    pub macs: u64,
+    /// Dynamic + static energy in joules.
+    pub energy_j: f64,
+    /// Average MAC-array utilization in [0, 1].
+    pub utilization: f64,
+}
+
+impl SimReport {
+    /// Speedup of `self` relative to `baseline` (>1 means `self` is
+    /// faster).
+    pub fn speedup_over(&self, baseline: &SimReport) -> f64 {
+        baseline.latency_s / self.latency_s
+    }
+
+    /// Energy efficiency (inferences per joule) relative to `baseline`.
+    pub fn energy_efficiency_over(&self, baseline: &SimReport) -> f64 {
+        baseline.energy_j / self.energy_j
+    }
+
+    /// Effective throughput in GOPS (MACs/s ÷ 1e9).
+    pub fn effective_gops(&self) -> f64 {
+        if self.latency_s == 0.0 {
+            return 0.0;
+        }
+        self.macs as f64 / self.latency_s / 1e9
+    }
+
+    /// Arithmetic intensity seen at DRAM (MACs per DRAM byte).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.traffic.dram_total();
+        if bytes == 0 {
+            return f64::INFINITY;
+        }
+        self.macs as f64 / bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_totals_add_up() {
+        let mut p = PhaseCycles {
+            sddmm: 10,
+            spmm: 20,
+            softmax: 5,
+            codec: 2,
+            linear: 0,
+        };
+        assert_eq!(p.total(), 37);
+        p.add(&PhaseCycles {
+            linear: 3,
+            ..Default::default()
+        });
+        assert_eq!(p.total(), 40);
+    }
+
+    #[test]
+    fn breakdown_fractions() {
+        let b = LatencyBreakdown {
+            compute_cycles: 50,
+            preprocess_cycles: 10,
+            data_movement_cycles: 40,
+        };
+        assert_eq!(b.total(), 100);
+        assert!((b.data_movement_fraction() - 0.4).abs() < 1e-12);
+        assert_eq!(LatencyBreakdown::default().data_movement_fraction(), 0.0);
+    }
+
+    #[test]
+    fn speedup_and_efficiency() {
+        let fast = SimReport {
+            latency_s: 1e-3,
+            energy_j: 0.5,
+            ..Default::default()
+        };
+        let slow = SimReport {
+            latency_s: 1e-2,
+            energy_j: 5.0,
+            ..Default::default()
+        };
+        assert!((fast.speedup_over(&slow) - 10.0).abs() < 1e-9);
+        assert!((fast.energy_efficiency_over(&slow) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gops_and_intensity() {
+        let r = SimReport {
+            latency_s: 1.0,
+            macs: 2_000_000_000,
+            traffic: TrafficStats {
+                dram_read_bytes: 1_000_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        assert!((r.effective_gops() - 2.0).abs() < 1e-9);
+        assert!((r.arithmetic_intensity() - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,147 @@
+//! Roofline model (paper Fig. 3).
+
+use crate::config::AcceleratorConfig;
+use crate::report::SimReport;
+
+/// A roofline defined by a compute roof (GOPS, counting one MAC as one
+/// op, matching the paper's 256 GOPS axis) and a bandwidth roof (GB/s).
+///
+/// # Example
+///
+/// ```
+/// use vitcod_sim::{AcceleratorConfig, Roofline};
+///
+/// let r = Roofline::from_config(&AcceleratorConfig::vitcod_paper());
+/// assert_eq!(r.peak_gops(), 256.0);
+/// // The ridge point where bandwidth stops limiting performance:
+/// assert!((r.ridge_intensity() - 256.0 / 76.8).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    peak_gops: f64,
+    bandwidth_gbps: f64,
+}
+
+impl Roofline {
+    /// Builds a roofline from explicit roofs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either roof is non-positive.
+    pub fn new(peak_gops: f64, bandwidth_gbps: f64) -> Self {
+        assert!(peak_gops > 0.0 && bandwidth_gbps > 0.0, "roofs must be positive");
+        Self {
+            peak_gops,
+            bandwidth_gbps,
+        }
+    }
+
+    /// The ViTCoD accelerator's roofline.
+    pub fn from_config(cfg: &AcceleratorConfig) -> Self {
+        Self::new(cfg.peak_gops(), cfg.dram_bw_bytes_per_sec / 1e9)
+    }
+
+    /// Compute roof in GOPS.
+    pub fn peak_gops(&self) -> f64 {
+        self.peak_gops
+    }
+
+    /// Bandwidth roof in GB/s.
+    pub fn bandwidth_gbps(&self) -> f64 {
+        self.bandwidth_gbps
+    }
+
+    /// Attainable GOPS at arithmetic intensity `ops_per_byte`.
+    pub fn attainable_gops(&self, ops_per_byte: f64) -> f64 {
+        (self.bandwidth_gbps * ops_per_byte).min(self.peak_gops)
+    }
+
+    /// Intensity at which the workload stops being bandwidth bound.
+    pub fn ridge_intensity(&self) -> f64 {
+        self.peak_gops / self.bandwidth_gbps
+    }
+
+    /// Whether a workload of this intensity is bandwidth bound.
+    pub fn is_bandwidth_bound(&self, ops_per_byte: f64) -> bool {
+        ops_per_byte < self.ridge_intensity()
+    }
+
+    /// Places a simulated workload on the roofline.
+    pub fn place(&self, name: &str, report: &SimReport) -> RooflinePoint {
+        RooflinePoint {
+            name: name.to_string(),
+            ops_per_byte: report.arithmetic_intensity(),
+            achieved_gops: report.effective_gops(),
+            attainable_gops: self.attainable_gops(report.arithmetic_intensity()),
+        }
+    }
+}
+
+/// One workload plotted on the roofline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RooflinePoint {
+    /// Workload label (e.g. "Dense ViTs").
+    pub name: String,
+    /// Arithmetic intensity at DRAM, ops per byte.
+    pub ops_per_byte: f64,
+    /// Achieved performance in GOPS.
+    pub achieved_gops: f64,
+    /// Roofline-attainable performance at this intensity.
+    pub attainable_gops: f64,
+}
+
+impl RooflinePoint {
+    /// Fraction of the attainable roof actually achieved.
+    pub fn roof_fraction(&self) -> f64 {
+        if self.attainable_gops == 0.0 {
+            return 0.0;
+        }
+        (self.achieved_gops / self.attainable_gops).min(1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attainable_is_min_of_roofs() {
+        let r = Roofline::new(256.0, 76.8);
+        // Below the ridge: bandwidth-limited.
+        assert!((r.attainable_gops(1.0) - 76.8).abs() < 1e-9);
+        // Above the ridge: compute-limited.
+        assert_eq!(r.attainable_gops(100.0), 256.0);
+    }
+
+    #[test]
+    fn ridge_separates_regimes() {
+        let r = Roofline::new(256.0, 76.8);
+        let ridge = r.ridge_intensity();
+        assert!(r.is_bandwidth_bound(ridge * 0.9));
+        assert!(!r.is_bandwidth_bound(ridge * 1.1));
+    }
+
+    #[test]
+    fn place_reads_report() {
+        let r = Roofline::new(256.0, 76.8);
+        let report = SimReport {
+            latency_s: 1.0,
+            macs: 76_800_000_000,
+            traffic: crate::memory::TrafficStats {
+                dram_read_bytes: 76_800_000_000,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let p = r.place("unit", &report);
+        assert!((p.ops_per_byte - 1.0).abs() < 1e-9);
+        assert!((p.achieved_gops - 76.8).abs() < 1e-9);
+        assert!((p.roof_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_roof_rejected() {
+        Roofline::new(0.0, 1.0);
+    }
+}

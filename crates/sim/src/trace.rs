@@ -1,0 +1,200 @@
+//! Execution traces: per-layer phase occupancy and an ASCII timeline
+//! renderer, for inspecting where cycles go (the textual analogue of a
+//! waveform viewer on the RTL).
+
+/// Cycle occupancy of one simulated attention layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LayerTrace {
+    /// Layer index.
+    pub layer: usize,
+    /// Denser-engine busy cycles (SDDMM + SpMM).
+    pub denser_cycles: u64,
+    /// Sparser-engine busy cycles (SDDMM + SpMM).
+    pub sparser_cycles: u64,
+    /// Softmax-unit cycles.
+    pub softmax_cycles: u64,
+    /// Encoder/decoder engine cycles.
+    pub codec_cycles: u64,
+    /// DRAM-transfer cycles (data phase).
+    pub memory_cycles: u64,
+    /// Preprocess cycles (index streaming + reconfiguration).
+    pub preprocess_cycles: u64,
+    /// Critical-path cycles of the layer after overlap.
+    pub total_cycles: u64,
+    /// MAC lines granted to the denser engine.
+    pub denser_lines: usize,
+    /// MAC lines granted to the sparser engine.
+    pub sparser_lines: usize,
+}
+
+impl LayerTrace {
+    /// Which resource bounds this layer: `"compute"` when the engines
+    /// outlast the memory phase, `"memory"` otherwise.
+    pub fn bound_by(&self) -> &'static str {
+        let compute = self.denser_cycles.max(self.sparser_cycles) + self.softmax_cycles;
+        if compute >= self.memory_cycles.max(self.codec_cycles) {
+            "compute"
+        } else {
+            "memory"
+        }
+    }
+
+    /// Engine balance: `min/max` of the two engines' busy cycles
+    /// (1.0 = perfectly balanced; the dynamic PE allocation maximises
+    /// this).
+    pub fn engine_balance(&self) -> f64 {
+        let max = self.denser_cycles.max(self.sparser_cycles);
+        let min = self.denser_cycles.min(self.sparser_cycles);
+        if max == 0 {
+            return 1.0;
+        }
+        min as f64 / max as f64
+    }
+}
+
+/// A whole run's layer traces.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    /// Per-layer records in execution order.
+    pub layers: Vec<LayerTrace>,
+}
+
+impl ExecutionTrace {
+    /// Sum of layer critical paths.
+    pub fn total_cycles(&self) -> u64 {
+        self.layers.iter().map(|l| l.total_cycles).sum()
+    }
+
+    /// Fraction of layers that are memory-bound.
+    pub fn memory_bound_fraction(&self) -> f64 {
+        if self.layers.is_empty() {
+            return 0.0;
+        }
+        self.layers.iter().filter(|l| l.bound_by() == "memory").count() as f64
+            / self.layers.len() as f64
+    }
+
+    /// Mean engine balance across layers.
+    pub fn mean_engine_balance(&self) -> f64 {
+        if self.layers.is_empty() {
+            return 1.0;
+        }
+        self.layers.iter().map(|l| l.engine_balance()).sum::<f64>() / self.layers.len() as f64
+    }
+
+    /// Renders an ASCII timeline: one row per layer, bar lengths
+    /// proportional to cycles, engines and memory drawn in distinct
+    /// glyphs (`D` denser, `S` sparser, `M` memory, `P` preprocess).
+    pub fn render(&self, width: usize) -> String {
+        let max = self
+            .layers
+            .iter()
+            .map(|l| l.total_cycles)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<6} {:<width$} {:>10} {:>8} {:>8}\n",
+            "layer",
+            "timeline (D denser | S sparser | M memory | P preprocess)",
+            "cycles",
+            "bound",
+            "balance",
+            width = width
+        ));
+        for l in &self.layers {
+            let bar = |c: u64| (c as usize * width / max as usize).min(width);
+            let d = bar(l.denser_cycles);
+            let s = bar(l.sparser_cycles);
+            let m = bar(l.memory_cycles);
+            let p = bar(l.preprocess_cycles);
+            let mut line = vec![' '; width];
+            for (glyph, len) in [('M', m), ('S', s), ('D', d), ('P', p)] {
+                for cell in line.iter_mut().take(len) {
+                    if *cell == ' ' || glyph == 'D' {
+                        *cell = glyph;
+                    }
+                }
+            }
+            // Overlap regions: denser and sparser run concurrently; show
+            // the shorter engine's tail with its own glyph.
+            let overlap = d.min(s);
+            for (i, cell) in line.iter_mut().enumerate().take(overlap) {
+                let _ = i;
+                *cell = '#';
+            }
+            out.push_str(&format!(
+                "{:<6} {:<width$} {:>10} {:>8} {:>8.2}\n",
+                l.layer,
+                line.iter().collect::<String>(),
+                l.total_cycles,
+                l.bound_by(),
+                l.engine_balance(),
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_layer(denser: u64, sparser: u64, memory: u64) -> LayerTrace {
+        LayerTrace {
+            layer: 0,
+            denser_cycles: denser,
+            sparser_cycles: sparser,
+            softmax_cycles: 5,
+            codec_cycles: 0,
+            memory_cycles: memory,
+            preprocess_cycles: 3,
+            total_cycles: denser.max(sparser).max(memory) + 8,
+            denser_lines: 32,
+            sparser_lines: 32,
+        }
+    }
+
+    #[test]
+    fn bound_by_classifies() {
+        assert_eq!(sample_layer(100, 80, 20).bound_by(), "compute");
+        assert_eq!(sample_layer(10, 10, 500).bound_by(), "memory");
+    }
+
+    #[test]
+    fn engine_balance_range() {
+        assert_eq!(sample_layer(100, 100, 0).engine_balance(), 1.0);
+        assert_eq!(sample_layer(100, 50, 0).engine_balance(), 0.5);
+        assert_eq!(sample_layer(0, 0, 0).engine_balance(), 1.0);
+    }
+
+    #[test]
+    fn trace_aggregates() {
+        let t = ExecutionTrace {
+            layers: vec![sample_layer(100, 90, 20), sample_layer(10, 10, 400)],
+        };
+        assert_eq!(t.total_cycles(), 108 + 408);
+        assert!((t.memory_bound_fraction() - 0.5).abs() < 1e-9);
+        assert!(t.mean_engine_balance() > 0.9);
+    }
+
+    #[test]
+    fn render_has_one_row_per_layer() {
+        let t = ExecutionTrace {
+            layers: vec![sample_layer(50, 40, 30), sample_layer(20, 60, 10)],
+        };
+        let s = t.render(40);
+        assert_eq!(s.lines().count(), 3); // header + 2 layers
+        assert!(s.contains('#'), "overlap glyph missing");
+    }
+
+    #[test]
+    fn empty_trace_is_benign() {
+        let t = ExecutionTrace::default();
+        assert_eq!(t.total_cycles(), 0);
+        assert_eq!(t.memory_bound_fraction(), 0.0);
+        assert_eq!(t.mean_engine_balance(), 1.0);
+    }
+}

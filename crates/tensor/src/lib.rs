@@ -1,0 +1,43 @@
+//! Dense matrix kernels for the ViTCoD reproduction.
+//!
+//! This crate provides the numerical substrate used everywhere else in the
+//! workspace: a row-major [`Matrix`] of `f32` with the linear-algebra and
+//! neural-network primitives a Vision Transformer needs (matrix
+//! multiplication in all transpose flavours, row softmax, LayerNorm, GELU),
+//! plus seeded random initialisation so every experiment in the repository
+//! is reproducible bit-for-bit.
+//!
+//! The crate is deliberately free of `unsafe` and of external BLAS
+//! dependencies: the ViTCoD paper's experiments are small enough (hundreds
+//! of tokens, hundreds of feature dimensions) that a cache-friendly naive
+//! kernel is sufficient, and keeping the kernels readable makes the
+//! simulator's operation counts auditable against them.
+//!
+//! # Example
+//!
+//! ```
+//! use vitcod_tensor::Matrix;
+//!
+//! let q = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+//! let k = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! // S = Q * K^T, the SDDMM left operand of self-attention.
+//! let s = q.matmul_nt(&k);
+//! assert_eq!(s.get(0, 1), 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod init;
+mod matrix;
+mod ops;
+mod quant;
+mod stats;
+
+pub use error::ShapeError;
+pub use init::{Initializer, SeedableRngExt};
+pub use matrix::Matrix;
+pub use ops::{gelu, gelu_grad, relu, sigmoid, softmax_row};
+pub use quant::{QuantParams, QuantizedMatrix};
+pub use stats::{argmax, l2_norm, mean, variance};

@@ -1,0 +1,219 @@
+//! Scalar and row-wise neural-network primitives.
+
+use crate::Matrix;
+
+/// Gaussian Error Linear Unit, the ViT MLP non-linearity.
+///
+/// Uses the tanh approximation adopted by the original BERT/ViT codebases:
+/// `0.5 x (1 + tanh(sqrt(2/π)(x + 0.044715 x³)))`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(vitcod_tensor::gelu(0.0), 0.0);
+/// assert!(vitcod_tensor::gelu(3.0) > 2.9);
+/// ```
+pub fn gelu(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    0.5 * x * (1.0 + (SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x)).tanh())
+}
+
+/// Derivative of [`gelu`] with respect to its input.
+pub fn gelu_grad(x: f32) -> f32 {
+    const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+    let inner = SQRT_2_OVER_PI * (x + 0.044_715 * x * x * x);
+    let t = inner.tanh();
+    let sech2 = 1.0 - t * t;
+    0.5 * (1.0 + t) + 0.5 * x * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * 0.044_715 * x * x)
+}
+
+/// Rectified linear unit.
+pub fn relu(x: f32) -> f32 {
+    x.max(0.0)
+}
+
+/// Logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Numerically stable softmax over a single row, in place.
+///
+/// Entries equal to `f32::NEG_INFINITY` (masked-out attention positions)
+/// map to exactly `0.0`.
+///
+/// # Example
+///
+/// ```
+/// let mut row = [0.0_f32, 0.0, f32::NEG_INFINITY];
+/// vitcod_tensor::softmax_row(&mut row);
+/// assert!((row[0] - 0.5).abs() < 1e-6);
+/// assert_eq!(row[2], 0.0);
+/// ```
+pub fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    if max == f32::NEG_INFINITY {
+        // Fully masked row: define softmax as all zeros rather than NaN so
+        // pruned attention rows stay well-behaved.
+        row.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        if *v == f32::NEG_INFINITY {
+            *v = 0.0;
+        } else {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+    }
+    if sum > 0.0 {
+        row.iter_mut().for_each(|v| *v /= sum);
+    }
+}
+
+impl Matrix {
+    /// Applies a numerically stable softmax to each row.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use vitcod_tensor::Matrix;
+    /// let m = Matrix::from_rows(&[&[1.0, 1.0, 1.0]]).softmax_rows();
+    /// assert!((m.row(0)[0] - 1.0 / 3.0).abs() < 1e-6);
+    /// ```
+    pub fn softmax_rows(&self) -> Matrix {
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            softmax_row(out.row_mut(r));
+        }
+        out
+    }
+
+    /// LayerNorm over each row with learnable `gamma`/`beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma.len()` or `beta.len()` differ from `self.cols()`.
+    pub fn layernorm_rows(&self, gamma: &[f32], beta: &[f32], eps: f32) -> Matrix {
+        assert_eq!(gamma.len(), self.cols(), "gamma length mismatch");
+        assert_eq!(beta.len(), self.cols(), "beta length mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let n = row.len() as f32;
+            let mean = row.iter().sum::<f32>() / n;
+            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+            let inv = 1.0 / (var + eps).sqrt();
+            for (i, v) in row.iter_mut().enumerate() {
+                *v = (*v - mean) * inv * gamma[i] + beta[i];
+            }
+        }
+        out
+    }
+
+    /// Applies [`gelu`] elementwise.
+    pub fn gelu(&self) -> Matrix {
+        self.map(gelu)
+    }
+
+    /// Applies [`relu`] elementwise.
+    pub fn relu(&self) -> Matrix {
+        self.map(relu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gelu_reference_points() {
+        assert_eq!(gelu(0.0), 0.0);
+        assert!((gelu(1.0) - 0.8412).abs() < 1e-3);
+        assert!((gelu(-1.0) + 0.1588).abs() < 1e-3);
+        // Asymptotics: identity for large positive, zero for large negative.
+        assert!((gelu(10.0) - 10.0).abs() < 1e-3);
+        assert!(gelu(-10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gelu_grad_matches_finite_difference() {
+        for &x in &[-3.0_f32, -1.0, -0.1, 0.0, 0.5, 2.0, 4.0] {
+            let h = 1e-3;
+            let fd = (gelu(x + h) - gelu(x - h)) / (2.0 * h);
+            assert!(
+                (gelu_grad(x) - fd).abs() < 1e-2,
+                "x={x}: analytic {} vs fd {}",
+                gelu_grad(x),
+                fd
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_row_sums_to_one() {
+        let mut row = [1.0, 2.0, 3.0, 4.0];
+        softmax_row(&mut row);
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(row.windows(2).all(|w| w[0] < w[1]), "monotone in logits");
+    }
+
+    #[test]
+    fn softmax_handles_full_mask() {
+        let mut row = [f32::NEG_INFINITY; 3];
+        softmax_row(&mut row);
+        assert_eq!(row, [0.0; 3]);
+    }
+
+    #[test]
+    fn softmax_handles_partial_mask() {
+        let mut row = [0.0, f32::NEG_INFINITY, 0.0];
+        softmax_row(&mut row);
+        assert!((row[0] - 0.5).abs() < 1e-6);
+        assert_eq!(row[1], 0.0);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let mut a = [1.0, 2.0, 3.0];
+        let mut b = [101.0, 102.0, 103.0];
+        softmax_row(&mut a);
+        softmax_row(&mut b);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn layernorm_zero_mean_unit_var() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0, 4.0]]);
+        let gamma = vec![1.0; 4];
+        let beta = vec![0.0; 4];
+        let n = m.layernorm_rows(&gamma, &beta, 1e-5);
+        let row = n.row(0);
+        let mean: f32 = row.iter().sum::<f32>() / 4.0;
+        let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-6);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn layernorm_applies_gamma_beta() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let n = m.layernorm_rows(&[2.0, 2.0], &[1.0, 1.0], 1e-5);
+        let row = n.row(0);
+        // Normalised row is [-1, 1]; scaled by 2 and shifted by 1 -> [-1, 3].
+        assert!((row[0] + 1.0).abs() < 1e-2);
+        assert!((row[1] - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn relu_and_sigmoid_basics() {
+        assert_eq!(relu(-1.0), 0.0);
+        assert_eq!(relu(2.0), 2.0);
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!(sigmoid(10.0) > 0.999);
+    }
+}

@@ -1,0 +1,194 @@
+//! 8-bit quantization substrate.
+//!
+//! The ViTCoD accelerator computes on 8-bit operands (512 MACs in
+//! 3 mm²); this module provides the symmetric per-tensor quantization
+//! scheme its functional model uses: `x ≈ scale · q` with `q ∈ [-127,
+//! 127]`, i32 accumulation, and dequantized read-out.
+
+use crate::Matrix;
+
+/// Symmetric per-tensor quantization parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Real value represented by one integer step.
+    pub scale: f32,
+}
+
+impl QuantParams {
+    /// Derives the scale that maps the tensor's max magnitude to 127.
+    ///
+    /// Returns a scale of `1.0` for an all-zero tensor so quantization
+    /// stays invertible.
+    pub fn fit(m: &Matrix) -> Self {
+        let max = m.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        Self {
+            scale: if max == 0.0 { 1.0 } else { max / 127.0 },
+        }
+    }
+}
+
+/// A quantized matrix: i8 payload plus its [`QuantParams`].
+///
+/// # Example
+///
+/// ```
+/// use vitcod_tensor::{Matrix, QuantizedMatrix};
+///
+/// let m = Matrix::from_rows(&[&[1.0, -0.5], &[0.25, 0.0]]);
+/// let q = QuantizedMatrix::quantize(&m);
+/// let back = q.dequantize();
+/// assert!(m.max_abs_diff(&back) < 0.01);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<i8>,
+    params: QuantParams,
+}
+
+impl QuantizedMatrix {
+    /// Quantizes `m` with a fitted symmetric scale.
+    pub fn quantize(m: &Matrix) -> Self {
+        Self::quantize_with(m, QuantParams::fit(m))
+    }
+
+    /// Quantizes `m` with explicit parameters (saturating at ±127).
+    pub fn quantize_with(m: &Matrix, params: QuantParams) -> Self {
+        let data = m
+            .as_slice()
+            .iter()
+            .map(|&v| (v / params.scale).round().clamp(-127.0, 127.0) as i8)
+            .collect();
+        Self {
+            rows: m.rows(),
+            cols: m.cols(),
+            data,
+            params,
+        }
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Quantization parameters.
+    pub fn params(&self) -> QuantParams {
+        self.params
+    }
+
+    /// The raw i8 element at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get_raw(&self, r: usize, c: usize) -> i8 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Raw row slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_raw(&self, r: usize) -> &[i8] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Recovers the real-valued matrix.
+    pub fn dequantize(&self) -> Matrix {
+        let scale = self.params.scale;
+        Matrix::from_vec(
+            self.rows,
+            self.cols,
+            self.data.iter().map(|&q| q as f32 * scale).collect(),
+        )
+    }
+
+    /// Integer matrix product with i32 accumulation,
+    /// `self · rhsᵀ`, dequantized on read-out — the arithmetic the
+    /// accelerator's MAC lines perform for `S = Q·Kᵀ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions differ.
+    pub fn matmul_nt_dequant(&self, rhs: &QuantizedMatrix) -> Matrix {
+        assert_eq!(self.cols, rhs.cols, "inner dimensions differ");
+        let out_scale = self.params.scale * rhs.params.scale;
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a = self.row_raw(i);
+            for j in 0..rhs.rows {
+                let b = rhs.row_raw(j);
+                let mut acc: i32 = 0;
+                for (x, y) in a.iter().zip(b.iter()) {
+                    acc += (*x as i32) * (*y as i32);
+                }
+                out.set(i, j, acc as f32 * out_scale);
+            }
+        }
+        out
+    }
+
+    /// Memory footprint in bytes (1 byte per element).
+    pub fn bytes(&self) -> usize {
+        self.data.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Initializer;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let m = Initializer::Normal { std: 1.0 }.sample(16, 16, 1);
+        let q = QuantizedMatrix::quantize(&m);
+        let err = m.max_abs_diff(&q.dequantize());
+        assert!(err <= q.params().scale * 0.5 + 1e-7, "err {err}");
+    }
+
+    #[test]
+    fn zero_matrix_round_trips() {
+        let m = Matrix::zeros(3, 3);
+        let q = QuantizedMatrix::quantize(&m);
+        assert_eq!(q.dequantize(), m);
+        assert_eq!(q.params().scale, 1.0);
+    }
+
+    #[test]
+    fn saturation_clamps_outliers() {
+        let m = Matrix::from_rows(&[&[1.0, 100.0]]);
+        let q = QuantizedMatrix::quantize_with(&m, QuantParams { scale: 0.1 });
+        assert_eq!(q.get_raw(0, 1), 127);
+        assert_eq!(q.get_raw(0, 0), 10);
+    }
+
+    #[test]
+    fn quantized_matmul_close_to_fp32() {
+        let a = Initializer::Normal { std: 0.5 }.sample(8, 32, 2);
+        let b = Initializer::Normal { std: 0.5 }.sample(8, 32, 3);
+        let exact = a.matmul_nt(&b);
+        let approx = QuantizedMatrix::quantize(&a).matmul_nt_dequant(&QuantizedMatrix::quantize(&b));
+        let rel = exact.max_abs_diff(&approx) / exact.frobenius_norm().max(1e-6);
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn bytes_is_one_per_element() {
+        let m = Matrix::zeros(5, 7);
+        assert_eq!(QuantizedMatrix::quantize(&m).bytes(), 35);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn mismatched_matmul_panics() {
+        let a = QuantizedMatrix::quantize(&Matrix::zeros(2, 3));
+        let b = QuantizedMatrix::quantize(&Matrix::zeros(2, 4));
+        a.matmul_nt_dequant(&b);
+    }
+}

@@ -1,0 +1,78 @@
+//! Small statistics helpers shared across the workspace.
+
+/// Arithmetic mean of a slice; `0.0` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(vitcod_tensor::mean(&[1.0, 2.0, 3.0]), 2.0);
+/// ```
+pub fn mean(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f32>() / xs.len() as f32
+}
+
+/// Population variance of a slice; `0.0` for an empty slice.
+pub fn variance(xs: &[f32]) -> f32 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|v| (v - m) * (v - m)).sum::<f32>() / xs.len() as f32
+}
+
+/// Euclidean norm of a slice.
+pub fn l2_norm(xs: &[f32]) -> f32 {
+    xs.iter().map(|v| v * v).sum::<f32>().sqrt()
+}
+
+/// Index of the maximum element; ties resolve to the first maximum.
+///
+/// Returns `None` for an empty slice.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(vitcod_tensor::argmax(&[0.1, 0.9, 0.5]), Some(1));
+/// assert_eq!(vitcod_tensor::argmax::<f32>(&[]), None);
+/// ```
+pub fn argmax<T: PartialOrd + Copy>(xs: &[T]) -> Option<usize> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut best = 0;
+    for (i, v) in xs.iter().enumerate().skip(1) {
+        if *v > xs[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_variance_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[2.0, 4.0]), 1.0);
+        assert_eq!(variance(&[5.0, 5.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn l2_norm_known_value() {
+        assert_eq!(l2_norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn argmax_prefers_first_tie() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[7]), Some(0));
+    }
+}

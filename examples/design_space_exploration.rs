@@ -1,0 +1,58 @@
+//! Hardware design-space exploration: sweep MAC-line counts, DRAM
+//! bandwidth and the auto-encoder toggle for DeiT-Base at 90 % sparsity,
+//! reporting latency / energy / area so an architect can pick an
+//! operating point.
+//!
+//! Run with: `cargo run --example design_space_exploration --release`
+
+use vitcod::core::{compile_model, AutoEncoderConfig, SplitConquer, SplitConquerConfig};
+use vitcod::model::{AttentionStats, ViTConfig};
+use vitcod::sim::{total_area_mm2, AcceleratorConfig, ViTCoDAccelerator};
+
+fn main() {
+    let model = ViTConfig::deit_base();
+    let stats = AttentionStats::for_model(&model, 42);
+    let polarized = SplitConquer::new(SplitConquerConfig::with_sparsity(0.9)).apply(&stats.maps);
+
+    println!("Design-space exploration — DeiT-Base core attention @90% sparsity\n");
+    println!(
+        "{:>9} {:>10} {:>5} {:>13} {:>11} {:>10} {:>11}",
+        "MAC lines", "BW (GB/s)", "AE", "latency (us)", "energy (uJ)", "area(mm2)", "util"
+    );
+
+    let mut best: Option<(f64, String)> = None;
+    for &lines in &[16usize, 32, 64, 128] {
+        for &bw in &[38.4e9, 76.8e9, 153.6e9] {
+            for &ae in &[false, true] {
+                let cfg = AcceleratorConfig {
+                    mac_lines: lines,
+                    dram_bw_bytes_per_sec: bw,
+                    ..AcceleratorConfig::vitcod_paper()
+                };
+                let ae_cfg = ae.then(|| AutoEncoderConfig::half(model.heads));
+                let program = compile_model(&model, &polarized, ae_cfg);
+                let report = ViTCoDAccelerator::new(cfg).simulate_attention_scaled(&program, &model);
+                let area = total_area_mm2(&cfg);
+                println!(
+                    "{:>9} {:>10.1} {:>5} {:>13.1} {:>11.1} {:>10.2} {:>10.1}%",
+                    lines,
+                    bw / 1e9,
+                    if ae { "yes" } else { "no" },
+                    report.latency_s * 1e6,
+                    report.energy_j * 1e6,
+                    area,
+                    report.utilization * 100.0
+                );
+                // Objective: energy-delay product per mm^2.
+                let edp = report.latency_s * report.energy_j * area;
+                let label = format!("{lines} lines, {:.1} GB/s, AE={ae}", bw / 1e9);
+                if best.as_ref().map(|(b, _)| edp < *b).unwrap_or(true) {
+                    best = Some((edp, label));
+                }
+            }
+        }
+    }
+    let (edp, label) = best.unwrap();
+    println!("\nbest energy-delay-area product: {label} (EDP*area = {edp:.3e})");
+    println!("paper's operating point: 64 lines, 76.8 GB/s, AE=true (3 mm^2, 323.9 mW).");
+}

@@ -1,0 +1,42 @@
+//! Facade crate for the ViTCoD reproduction workspace.
+//!
+//! Re-exports every sub-crate under one roof so examples and downstream
+//! users write `vitcod::core::...` / `vitcod::sim::...` without tracking
+//! the individual packages:
+//!
+//! * [`tensor`] — dense matrix kernels and int8 quantization;
+//! * [`autograd`] — tape-based reverse-mode AD and optimizers;
+//! * [`model`] — ViT configurations, FLOPs accounting, the trainable
+//!   substrate and synthetic tasks;
+//! * [`core`] — the ViTCoD algorithm (split-and-conquer, auto-encoder
+//!   accounting, formats, pipeline, compiler interface);
+//! * [`sim`] — the cycle-level accelerator simulator, functional
+//!   dataflow executors, schedules, buffers, energy/area/roofline;
+//! * [`baselines`] — CPU/EdgeGPU/GPU platform models plus the SpAtten
+//!   and Sanger simulators.
+//!
+//! # Example
+//!
+//! ```
+//! use vitcod::core::{compile_model, SplitConquer, SplitConquerConfig};
+//! use vitcod::model::{AttentionStats, ViTConfig};
+//! use vitcod::sim::{AcceleratorConfig, ViTCoDAccelerator};
+//!
+//! let model = ViTConfig::deit_tiny();
+//! let stats = AttentionStats::for_model(&model, 0);
+//! let sc = SplitConquer::new(SplitConquerConfig::with_sparsity(0.9));
+//! let program = compile_model(&model, &sc.apply(&stats.maps), None);
+//! let report = ViTCoDAccelerator::new(AcceleratorConfig::vitcod_paper())
+//!     .simulate_attention(&program);
+//! assert!(report.total_cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use vitcod_autograd as autograd;
+pub use vitcod_baselines as baselines;
+pub use vitcod_core as core;
+pub use vitcod_model as model;
+pub use vitcod_sim as sim;
+pub use vitcod_tensor as tensor;

@@ -1,0 +1,80 @@
+//! Integration test: every stage of the stack is a pure function of its
+//! seeds — identical runs produce bit-identical artifacts.
+
+use vitcod::core::{compile_model, SplitConquer, SplitConquerConfig};
+use vitcod::model::{AttentionStats, SyntheticTask, SyntheticTaskConfig, ViTConfig};
+use vitcod::sim::{AcceleratorConfig, ViTCoDAccelerator};
+
+#[test]
+fn attention_stats_deterministic() {
+    let a = AttentionStats::for_model(&ViTConfig::deit_small(), 123);
+    let b = AttentionStats::for_model(&ViTConfig::deit_small(), 123);
+    for (l, h, m) in a.iter() {
+        assert_eq!(m, &b.maps[l][h]);
+    }
+}
+
+#[test]
+fn split_conquer_deterministic() {
+    let stats = AttentionStats::for_model(&ViTConfig::deit_tiny(), 7);
+    let sc = SplitConquer::new(SplitConquerConfig::with_sparsity(0.9));
+    let a = sc.apply(&stats.maps);
+    let b = sc.apply(&stats.maps);
+    for (la, lb) in a.iter().zip(b.iter()) {
+        for (ha, hb) in la.iter().zip(lb.iter()) {
+            assert_eq!(ha.reorder.perm, hb.reorder.perm);
+            assert_eq!(ha.pruned, hb.pruned);
+            assert_eq!(ha.num_global(), hb.num_global());
+        }
+    }
+}
+
+#[test]
+fn simulator_deterministic() {
+    let m = ViTConfig::deit_tiny();
+    let stats = AttentionStats::for_model(&m, 7);
+    let sc = SplitConquer::new(SplitConquerConfig::with_sparsity(0.9));
+    let program = compile_model(&m, &sc.apply(&stats.maps), None);
+    let acc = ViTCoDAccelerator::new(AcceleratorConfig::vitcod_paper());
+    let a = acc.simulate_attention(&program);
+    let b = acc.simulate_attention(&program);
+    assert_eq!(a.total_cycles, b.total_cycles);
+    assert_eq!(a.traffic, b.traffic);
+    assert_eq!(a.macs, b.macs);
+}
+
+#[test]
+fn synthetic_task_and_training_deterministic() {
+    use rand::SeedableRng;
+    use vitcod::autograd::ParamStore;
+    use vitcod::model::{TrainConfig, Trainer, VisionTransformer};
+
+    let mk = || {
+        let task = SyntheticTask::generate(SyntheticTaskConfig {
+            train_samples: 24,
+            test_samples: 12,
+            ..Default::default()
+        });
+        let cfg = ViTConfig::deit_tiny().reduced_for_training();
+        let mut store = ParamStore::new();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let vit =
+            VisionTransformer::new(&cfg, task.config.in_dim, task.config.num_classes, &mut store, &mut rng);
+        let mut trainer = Trainer::new(vit, store);
+        let traj = trainer.train(
+            &task,
+            &TrainConfig {
+                epochs: 2,
+                ..Default::default()
+            },
+        );
+        (traj, trainer.evaluate(&task.test))
+    };
+    let (ta, aa) = mk();
+    let (tb, ab) = mk();
+    assert_eq!(aa, ab);
+    for (ea, eb) in ta.epochs.iter().zip(tb.epochs.iter()) {
+        assert_eq!(ea.train_loss, eb.train_loss);
+        assert_eq!(ea.test_accuracy, eb.test_accuracy);
+    }
+}
