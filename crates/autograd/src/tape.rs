@@ -1,6 +1,12 @@
 //! The autograd tape: forward operator recording and reverse accumulation.
+//!
+//! All dense inner loops (GEMMs, bias broadcasts, activations, softmax
+//! and LayerNorm forward/backward, head-mixing, attention) are delegated
+//! to [`vitcod_tensor::kernels`], so the tape records *what* is computed
+//! while the kernel layer decides *how* (scalar reference vs blocked
+//! parallel — see [`vitcod_tensor::Backend`]).
 
-use vitcod_tensor::{gelu, gelu_grad, Matrix};
+use vitcod_tensor::{gelu, gelu_grad, kernels, Matrix};
 
 use crate::params::{ParamId, ParamStore};
 
@@ -13,16 +19,40 @@ pub struct Var(usize);
 #[derive(Debug, Clone)]
 enum OpKind {
     /// Leaf: constant input or imported parameter.
-    Leaf { param: Option<ParamId> },
-    MatMul { a: Var, b: Var },
-    Add { a: Var, b: Var },
-    Sub { a: Var, b: Var },
-    Hadamard { a: Var, b: Var },
-    Scale { a: Var, s: f32 },
+    Leaf {
+        param: Option<ParamId>,
+    },
+    MatMul {
+        a: Var,
+        b: Var,
+    },
+    Add {
+        a: Var,
+        b: Var,
+    },
+    Sub {
+        a: Var,
+        b: Var,
+    },
+    Hadamard {
+        a: Var,
+        b: Var,
+    },
+    Scale {
+        a: Var,
+        s: f32,
+    },
     /// Broadcast-add a `1 × c` bias to every row of `a`.
-    AddBias { a: Var, bias: Var },
-    Gelu { a: Var },
-    Relu { a: Var },
+    AddBias {
+        a: Var,
+        bias: Var,
+    },
+    Gelu {
+        a: Var,
+    },
+    Relu {
+        a: Var,
+    },
     /// Row-wise LayerNorm with `1 × c` gamma/beta; caches normalized rows
     /// and inverse std-dev for the backward pass.
     LayerNorm {
@@ -41,17 +71,42 @@ enum OpKind {
         scale: f32,
         probs: Matrix,
     },
+    /// Fused multi-head masked attention over head-fused `n × (h·dk)`
+    /// Q/K/V: heads fan out across worker threads in both passes. Caches
+    /// one probability matrix per head.
+    MultiHeadAttention {
+        q: Var,
+        k: Var,
+        v: Var,
+        dk: usize,
+        scale: f32,
+        probs: Vec<Matrix>,
+    },
     /// Mixes the head dimension: input `n × (h·dk)`, weight `h_in × h_out`,
     /// output `n × (h_out·dk)`. This is the ViTCoD auto-encoder primitive.
-    HeadMix { a: Var, w: Var, dk: usize },
+    HeadMix {
+        a: Var,
+        w: Var,
+        dk: usize,
+    },
     /// Column-slice `a[:, c0..c1]` (per-head views of fused projections).
-    SliceCols { a: Var, c0: usize },
+    SliceCols {
+        a: Var,
+        c0: usize,
+    },
     /// Column-concatenation of several nodes (re-fusing heads).
-    ConcatCols { parts: Vec<Var> },
+    ConcatCols {
+        parts: Vec<Var>,
+    },
     /// Mean over rows producing a `1 × c` pooled representation.
-    MeanRows { a: Var },
+    MeanRows {
+        a: Var,
+    },
     /// Single row extracted as `1 × c` (class-token readout).
-    RowSlice { a: Var, r: usize },
+    RowSlice {
+        a: Var,
+        r: usize,
+    },
     /// Mean softmax cross-entropy between `logits` rows and integer targets;
     /// caches probabilities.
     CrossEntropy {
@@ -60,9 +115,17 @@ enum OpKind {
         probs: Matrix,
     },
     /// Mean squared error against a constant target.
-    MseConst { a: Var, target: Matrix },
+    MseConst {
+        a: Var,
+        target: Matrix,
+    },
     /// Sum of two scalar losses (weighted).
-    WeightedSum { a: Var, b: Var, wa: f32, wb: f32 },
+    WeightedSum {
+        a: Var,
+        b: Var,
+        wa: f32,
+        wb: f32,
+    },
 }
 
 struct Node {
@@ -177,19 +240,13 @@ impl Tape {
             (1, c),
             "bias must be 1 x cols"
         );
-        let mut value = self.nodes[a.0].value.clone();
-        let brow = self.nodes[bias.0].value.row(0).to_vec();
-        for r in 0..value.rows() {
-            for (x, b) in value.row_mut(r).iter_mut().zip(brow.iter()) {
-                *x += b;
-            }
-        }
+        let value = kernels::add_bias(&self.nodes[a.0].value, self.nodes[bias.0].value.row(0));
         self.push(value, OpKind::AddBias { a, bias })
     }
 
     /// GELU nonlinearity.
     pub fn gelu(&mut self, a: Var) -> Var {
-        let value = self.nodes[a.0].value.map(gelu);
+        let value = kernels::map(&self.nodes[a.0].value, gelu);
         self.push(value, OpKind::Gelu { a })
     }
 
@@ -205,24 +262,7 @@ impl Tape {
         let x = &self.nodes[a.0].value;
         let g = self.nodes[gamma.0].value.row(0).to_vec();
         let b = self.nodes[beta.0].value.row(0).to_vec();
-        assert_eq!(g.len(), x.cols(), "gamma length mismatch");
-        assert_eq!(b.len(), x.cols(), "beta length mismatch");
-        let mut normed = Matrix::zeros(x.rows(), x.cols());
-        let mut out = Matrix::zeros(x.rows(), x.cols());
-        let mut inv_std = Vec::with_capacity(x.rows());
-        for r in 0..x.rows() {
-            let row = x.row(r);
-            let n = row.len() as f32;
-            let mean = row.iter().sum::<f32>() / n;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
-            let inv = 1.0 / (var + EPS).sqrt();
-            inv_std.push(inv);
-            for c in 0..row.len() {
-                let xn = (row[c] - mean) * inv;
-                normed.set(r, c, xn);
-                out.set(r, c, xn * g[c] + b[c]);
-            }
-        }
+        let (out, normed, inv_std) = kernels::layernorm_train_forward(x, &g, &b, EPS);
         self.push(
             out,
             OpKind::LayerNorm {
@@ -258,28 +298,7 @@ impl Tape {
         let qv = &self.nodes[q.0].value;
         let kv = &self.nodes[k.0].value;
         let vv = &self.nodes[v.0].value;
-        assert_eq!(qv.cols(), kv.cols(), "q/k feature dims differ");
-        assert_eq!(kv.rows(), vv.rows(), "k/v token counts differ");
-        let mut scores = qv.matmul_nt(kv).scale(scale);
-        if let Some(m) = mask_bias {
-            assert_eq!(
-                m.shape(),
-                (qv.rows(), kv.rows()),
-                "mask shape must be q.rows x k.rows"
-            );
-            for r in 0..scores.rows() {
-                for c in 0..scores.cols() {
-                    let b = m.get(r, c);
-                    if b == f32::NEG_INFINITY {
-                        scores.set(r, c, f32::NEG_INFINITY);
-                    } else {
-                        scores.set(r, c, scores.get(r, c) + b);
-                    }
-                }
-            }
-        }
-        let probs = scores.softmax_rows();
-        let out = probs.matmul(vv);
+        let (out, probs) = kernels::attention_head(qv, kv, vv, scale, mask_bias);
         self.push(
             out,
             OpKind::MaskedAttention {
@@ -288,6 +307,47 @@ impl Tape {
                 v,
                 scale,
                 probs,
+            },
+        )
+    }
+
+    /// Fused multi-head masked attention over head-fused `n × (h·dk)`
+    /// Q/K/V nodes: each of the `q.cols() / dk` heads attends over its
+    /// own `dk`-wide column stripe, with heads fanned out across worker
+    /// threads in both the forward and backward pass (see
+    /// [`vitcod_tensor::kernels::multi_head_attention`]).
+    ///
+    /// `masks[h]`, when present, is the additive bias for head `h`
+    /// (`0.0` kept, `-inf` pruned); pass an empty slice for all-dense
+    /// heads. Per-head probabilities are retrievable through
+    /// [`Self::head_probs`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if Q/K/V shapes differ, `q.cols()` is not a multiple of
+    /// `dk`, or `masks` is non-empty but does not cover every head.
+    pub fn multi_head_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        dk: usize,
+        scale: f32,
+        masks: &[Option<Matrix>],
+    ) -> Var {
+        let qv = &self.nodes[q.0].value;
+        let kv = &self.nodes[k.0].value;
+        let vv = &self.nodes[v.0].value;
+        let fwd = kernels::multi_head_attention(qv, kv, vv, dk, scale, masks);
+        self.push(
+            fwd.out,
+            OpKind::MultiHeadAttention {
+                q,
+                k,
+                v,
+                dk,
+                scale,
+                probs: fwd.probs,
             },
         )
     }
@@ -306,6 +366,38 @@ impl Tape {
         }
     }
 
+    /// Attention probabilities of head `head` of a
+    /// [`Self::multi_head_attention`] node (also accepts a single-head
+    /// [`Self::masked_attention`] node at `head == 0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attn` is not an attention node or `head` is out of
+    /// range.
+    pub fn head_probs(&self, attn: Var, head: usize) -> &Matrix {
+        match &self.nodes[attn.0].op {
+            OpKind::MultiHeadAttention { probs, .. } => probs
+                .get(head)
+                .unwrap_or_else(|| panic!("head {head} out of range ({} heads)", probs.len())),
+            OpKind::MaskedAttention { probs, .. } if head == 0 => probs,
+            other => panic!("head_probs on non-attention node: {other:?}"),
+        }
+    }
+
+    /// Number of heads recorded by an attention node (1 for the
+    /// single-head op).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attn` is not an attention node.
+    pub fn num_heads(&self, attn: Var) -> usize {
+        match &self.nodes[attn.0].op {
+            OpKind::MultiHeadAttention { probs, .. } => probs.len(),
+            OpKind::MaskedAttention { .. } => 1,
+            other => panic!("num_heads on non-attention node: {other:?}"),
+        }
+    }
+
     /// Head-dimension mixing (the auto-encoder primitive): with input
     /// `n × (h_in·dk)` and weight `h_in × h_out`, produces
     /// `n × (h_out·dk)` where output head `j` is `Σᵢ W[i, j] · head i`.
@@ -317,9 +409,7 @@ impl Tape {
     pub fn head_mix(&mut self, a: Var, w: Var, dk: usize) -> Var {
         let av = &self.nodes[a.0].value;
         let wv = &self.nodes[w.0].value;
-        let (h_in, h_out) = wv.shape();
-        assert_eq!(av.cols(), h_in * dk, "input cols must equal h_in * dk");
-        let value = head_mix_forward(av, wv, dk, h_in, h_out);
+        let value = kernels::head_mix(av, wv, dk);
         self.push(value, OpKind::HeadMix { a, w, dk })
     }
 
@@ -353,15 +443,7 @@ impl Tape {
 
     /// Mean over rows, producing `1 × cols` (mean-pooled readout).
     pub fn mean_rows(&mut self, a: Var) -> Var {
-        let av = &self.nodes[a.0].value;
-        let mut out = Matrix::zeros(1, av.cols());
-        for r in 0..av.rows() {
-            for c in 0..av.cols() {
-                out.set(0, c, out.get(0, c) + av.get(r, c));
-            }
-        }
-        let inv = 1.0 / av.rows() as f32;
-        out.map_inplace(|v| v * inv);
+        let out = kernels::mean_rows(&self.nodes[a.0].value);
         self.push(out, OpKind::MeanRows { a })
     }
 
@@ -530,35 +612,23 @@ impl Tape {
                     self.add_grad(a, gout.scale(s));
                 }
                 OpKind::AddBias { a, bias } => {
-                    let mut gbias = Matrix::zeros(1, gout.cols());
-                    for r in 0..gout.rows() {
-                        for c in 0..gout.cols() {
-                            gbias.set(0, c, gbias.get(0, c) + gout.get(r, c));
-                        }
-                    }
+                    let gbias = kernels::col_sums(&gout);
                     self.add_grad(a, gout);
                     self.add_grad(bias, gbias);
                 }
                 OpKind::Gelu { a } => {
-                    let av = self.nodes[a.0].value.clone();
-                    let mut g = gout;
-                    for r in 0..g.rows() {
-                        for c in 0..g.cols() {
-                            g.set(r, c, g.get(r, c) * gelu_grad(av.get(r, c)));
-                        }
-                    }
+                    let g =
+                        kernels::zip_map(&gout, &self.nodes[a.0].value, |g, x| g * gelu_grad(x));
                     self.add_grad(a, g);
                 }
                 OpKind::Relu { a } => {
-                    let av = self.nodes[a.0].value.clone();
-                    let mut g = gout;
-                    for r in 0..g.rows() {
-                        for c in 0..g.cols() {
-                            if av.get(r, c) <= 0.0 {
-                                g.set(r, c, 0.0);
-                            }
+                    let g = kernels::zip_map(&gout, &self.nodes[a.0].value, |g, x| {
+                        if x <= 0.0 {
+                            0.0
+                        } else {
+                            g
                         }
-                    }
+                    });
                     self.add_grad(a, g);
                 }
                 OpKind::LayerNorm {
@@ -569,34 +639,8 @@ impl Tape {
                     inv_std,
                 } => {
                     let gvec = self.nodes[gamma.0].value.row(0).to_vec();
-                    let rows = gout.rows();
-                    let cols = gout.cols();
-                    let mut ggamma = Matrix::zeros(1, cols);
-                    let mut gbeta = Matrix::zeros(1, cols);
-                    let mut gx = Matrix::zeros(rows, cols);
-                    for r in 0..rows {
-                        let n = cols as f32;
-                        // dy-hat = gout * gamma
-                        let mut dxhat = vec![0.0f32; cols];
-                        let mut sum_dxhat = 0.0;
-                        let mut sum_dxhat_xhat = 0.0;
-                        for c in 0..cols {
-                            let go = gout.get(r, c);
-                            let xh = normed.get(r, c);
-                            ggamma.set(0, c, ggamma.get(0, c) + go * xh);
-                            gbeta.set(0, c, gbeta.get(0, c) + go);
-                            let d = go * gvec[c];
-                            dxhat[c] = d;
-                            sum_dxhat += d;
-                            sum_dxhat_xhat += d * xh;
-                        }
-                        for c in 0..cols {
-                            let xh = normed.get(r, c);
-                            let v = inv_std[r] / n
-                                * (n * dxhat[c] - sum_dxhat - xh * sum_dxhat_xhat);
-                            gx.set(r, c, v);
-                        }
-                    }
+                    let (gx, ggamma, gbeta) =
+                        kernels::layernorm_backward(&gout, &normed, &inv_std, &gvec);
                     self.add_grad(a, gx);
                     self.add_grad(gamma, ggamma);
                     self.add_grad(beta, gbeta);
@@ -611,24 +655,26 @@ impl Tape {
                     let qv = self.nodes[q.0].value.clone();
                     let kv = self.nodes[k.0].value.clone();
                     let vv = self.nodes[v.0].value.clone();
-                    // dV = Pᵀ · dO
-                    let gv = probs.matmul_tn(&gout);
-                    // dP = dO · Vᵀ
-                    let dp = gout.matmul_nt(&vv);
-                    // dS = P ⊙ (dP − rowsum(dP ⊙ P))
-                    let mut ds = Matrix::zeros(dp.rows(), dp.cols());
-                    for r in 0..dp.rows() {
-                        let mut dot = 0.0;
-                        for c in 0..dp.cols() {
-                            dot += dp.get(r, c) * probs.get(r, c);
-                        }
-                        for c in 0..dp.cols() {
-                            ds.set(r, c, probs.get(r, c) * (dp.get(r, c) - dot));
-                        }
-                    }
-                    // dQ = dS · K · scale ; dK = dSᵀ · Q · scale
-                    let gq = ds.matmul(&kv).scale(scale);
-                    let gk = ds.matmul_tn(&qv).scale(scale);
+                    let (gq, gk, gv) =
+                        kernels::attention_head_backward(&qv, &kv, &vv, scale, &probs, &gout);
+                    self.add_grad(q, gq);
+                    self.add_grad(k, gk);
+                    self.add_grad(v, gv);
+                }
+                OpKind::MultiHeadAttention {
+                    q,
+                    k,
+                    v,
+                    dk,
+                    scale,
+                    probs,
+                } => {
+                    let qv = self.nodes[q.0].value.clone();
+                    let kv = self.nodes[k.0].value.clone();
+                    let vv = self.nodes[v.0].value.clone();
+                    let (gq, gk, gv) = kernels::multi_head_attention_backward(
+                        &qv, &kv, &vv, dk, scale, &probs, &gout,
+                    );
                     self.add_grad(q, gq);
                     self.add_grad(k, gk);
                     self.add_grad(v, gv);
@@ -636,26 +682,7 @@ impl Tape {
                 OpKind::HeadMix { a, w, dk } => {
                     let av = self.nodes[a.0].value.clone();
                     let wv = self.nodes[w.0].value.clone();
-                    let (h_in, h_out) = wv.shape();
-                    let n = av.rows();
-                    // d_in[t, i·dk+f] = Σⱼ gout[t, j·dk+f] · W[i, j]
-                    let mut ga = Matrix::zeros(n, h_in * dk);
-                    // dW[i, j] = Σ_{t,f} in[t, i·dk+f] · gout[t, j·dk+f]
-                    let mut gw = Matrix::zeros(h_in, h_out);
-                    for t in 0..n {
-                        for i in 0..h_in {
-                            for j in 0..h_out {
-                                let wij = wv.get(i, j);
-                                let mut acc = 0.0;
-                                for f in 0..dk {
-                                    let go = gout.get(t, j * dk + f);
-                                    ga.set(t, i * dk + f, ga.get(t, i * dk + f) + go * wij);
-                                    acc += av.get(t, i * dk + f) * go;
-                                }
-                                gw.set(i, j, gw.get(i, j) + acc);
-                            }
-                        }
-                    }
+                    let (ga, gw) = kernels::head_mix_backward(&av, &wv, dk, &gout);
                     self.add_grad(a, ga);
                     self.add_grad(w, gw);
                 }
@@ -680,13 +707,7 @@ impl Tape {
                 }
                 OpKind::MeanRows { a } => {
                     let rows = self.nodes[a.0].value.rows();
-                    let inv = 1.0 / rows as f32;
-                    let mut g = Matrix::zeros(rows, gout.cols());
-                    for r in 0..rows {
-                        for c in 0..gout.cols() {
-                            g.set(r, c, gout.get(0, c) * inv);
-                        }
-                    }
+                    let g = kernels::broadcast_row(&gout, rows, 1.0 / rows as f32);
                     self.add_grad(a, g);
                 }
                 OpKind::RowSlice { a, r } => {
@@ -736,25 +757,6 @@ impl Tape {
             }
         }
     }
-}
-
-fn head_mix_forward(a: &Matrix, w: &Matrix, dk: usize, h_in: usize, h_out: usize) -> Matrix {
-    let n = a.rows();
-    let mut out = Matrix::zeros(n, h_out * dk);
-    for t in 0..n {
-        for j in 0..h_out {
-            for i in 0..h_in {
-                let wij = w.get(i, j);
-                if wij == 0.0 {
-                    continue;
-                }
-                for f in 0..dk {
-                    out.set(t, j * dk + f, out.get(t, j * dk + f) + a.get(t, i * dk + f) * wij);
-                }
-            }
-        }
-    }
-    out
 }
 
 #[cfg(test)]
@@ -1039,6 +1041,73 @@ mod tests {
             },
             3e-2,
         );
+    }
+
+    #[test]
+    fn multi_head_attention_matches_per_head_graph() {
+        let (n, dk, heads) = (5, 3, 2);
+        let mut store = ParamStore::new();
+        let q = store.register(
+            "q",
+            Initializer::Normal { std: 0.8 }.sample(n, heads * dk, 20),
+        );
+        let k = store.register(
+            "k",
+            Initializer::Normal { std: 0.8 }.sample(n, heads * dk, 21),
+        );
+        let v = store.register(
+            "v",
+            Initializer::Normal { std: 0.8 }.sample(n, heads * dk, 22),
+        );
+        let mut mask = Matrix::zeros(n, n);
+        mask.set(0, 4, f32::NEG_INFINITY);
+        let masks = vec![Some(mask.clone()), None];
+        let target = Matrix::zeros(n, heads * dk);
+
+        // Fused op.
+        let mut fused = Tape::new();
+        let (qv, kv, vv) = (
+            fused.param(&store, q),
+            fused.param(&store, k),
+            fused.param(&store, v),
+        );
+        let attn = fused.multi_head_attention(qv, kv, vv, dk, 0.5, &masks);
+        assert_eq!(fused.num_heads(attn), heads);
+        let loss = fused.mse_loss(attn, &target);
+        fused.backward(loss);
+        store.zero_grads();
+        fused.write_grads(&mut store);
+        let fused_gq = store.grad(q).clone();
+        let fused_out = fused.value(attn).clone();
+        let fused_loss = fused.scalar(loss);
+
+        // Composed per-head graph (slice → attend → concat).
+        let mut composed = Tape::new();
+        let (qv, kv, vv) = (
+            composed.param(&store, q),
+            composed.param(&store, k),
+            composed.param(&store, v),
+        );
+        let mut outs = Vec::new();
+        for (h, mask) in masks.iter().enumerate() {
+            let c0 = h * dk;
+            let qh = composed.slice_cols(qv, c0, c0 + dk);
+            let kh = composed.slice_cols(kv, c0, c0 + dk);
+            let vh = composed.slice_cols(vv, c0, c0 + dk);
+            outs.push(composed.masked_attention(qh, kh, vh, 0.5, mask.as_ref()));
+        }
+        let cat = composed.concat_cols(&outs);
+        let loss2 = composed.mse_loss(cat, &target);
+        composed.backward(loss2);
+        store.zero_grads();
+        composed.write_grads(&mut store);
+
+        assert!(fused_out.max_abs_diff(composed.value(cat)) < 1e-6);
+        assert!((fused_loss - composed.scalar(loss2)).abs() < 1e-7);
+        assert!(fused_gq.max_abs_diff(store.grad(q)) < 1e-6);
+        // Head-probe API agrees with the per-head nodes.
+        assert_eq!(fused.head_probs(attn, 0), composed.attention_probs(outs[0]));
+        assert_eq!(fused.head_probs(attn, 0).get(0, 4), 0.0);
     }
 
     #[test]

@@ -177,8 +177,7 @@ impl GeneralPlatform {
         let mut latency = attn.latency_s;
         let mut macs = attn.macs;
         let mut dram = attn.traffic.dram_read_bytes;
-        let mut compute_s =
-            attn.breakdown.compute_cycles as f64 / 1e9; // stored as ns, see report()
+        let mut compute_s = attn.breakdown.compute_cycles as f64 / 1e9; // stored as ns, see report()
         for st in &model.stages {
             let n = st.tokens as u64;
             let d = st.dim as u64;
@@ -187,8 +186,7 @@ impl GeneralPlatform {
             let weight_bytes = (4 * d * d + 2 * d * hidden) * self.bytes_per_elem as u64;
             let act_bytes = 8 * n * d * self.bytes_per_elem as u64;
             let t_compute = layer_macs as f64 / (self.effective_gmacs() * 1e9);
-            let t_mem =
-                (weight_bytes + act_bytes) as f64 / (self.effective_bandwidth_gbps() * 1e9);
+            let t_mem = (weight_bytes + act_bytes) as f64 / (self.effective_bandwidth_gbps() * 1e9);
             // Dense GEMMs run far closer to peak than attention; grant
             // them 8x the attention efficiency, capped at 60 %.
             let gemm_eff_boost = (8.0f64).min(0.6 / self.compute_eff);

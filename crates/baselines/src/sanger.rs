@@ -101,8 +101,7 @@ impl SangerSim {
 
             for _ in 0..st.depth {
                 // Phase 1 — mask prediction: dense 4-bit Q·K^T.
-                let predict = (gemm_cycles(n, n, d, lines, mpl) as f64
-                    / self.prediction_speedup)
+                let predict = (gemm_cycles(n, n, d, lines, mpl) as f64 / self.prediction_speedup)
                     .ceil() as u64;
                 // Phase 2 — pack & split: stream the n^2 mask bits,
                 // binning non-zeros into balanced sub-rows.
@@ -124,8 +123,9 @@ impl SangerSim {
                 let out_bytes = (n * d) as u64 * bytes;
                 traffic.load(qk_bytes + pred_bytes + v_bytes);
                 traffic.store(out_bytes);
-                let mem =
-                    self.dram.transfer_cycles(qk_bytes + pred_bytes + v_bytes + out_bytes);
+                let mem = self
+                    .dram
+                    .transfer_cycles(qk_bytes + pred_bytes + v_bytes + out_bytes);
 
                 let compute = exec + softmax;
                 let preprocess = predict + pack;
@@ -146,7 +146,15 @@ impl SangerSim {
             }
         }
 
-        self.report(model, "core-attention", total_cycles, phases, breakdown, traffic, macs)
+        self.report(
+            model,
+            "core-attention",
+            total_cycles,
+            phases,
+            breakdown,
+            traffic,
+            macs,
+        )
     }
 
     /// End-to-end: identical dense linear layers plus Sanger's sparse
@@ -195,9 +203,18 @@ impl SangerSim {
             phases.linear += c;
             breakdown.compute_cycles += c;
         }
-        self.report(model, "end-to-end", total_cycles, phases, breakdown, traffic, macs)
+        self.report(
+            model,
+            "end-to-end",
+            total_cycles,
+            phases,
+            breakdown,
+            traffic,
+            macs,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &self,
         model: &ViTConfig,

@@ -107,16 +107,15 @@ impl SpAttenSim {
                 // Dense QK^T and SV on the kept tokens.
                 let qk = gemm_cycles(n_kept, n_kept, d, lines, mpl);
                 let sv = gemm_cycles(n_kept, d, n_kept, lines, mpl);
-                let compute =
-                    ((qk + sv) as f64 / self.utilization).ceil() as u64;
+                let compute = ((qk + sv) as f64 / self.utilization).ceil() as u64;
                 let softmax = softmax_cycles(n_kept * n_kept * st.heads, lines);
 
                 // Top-k ranking engine: cumulative importance scores are
                 // accumulated (n_kept^2 adds) and a quick-select runs per
                 // head; SpAtten's engine processes ~lines comparisons per
                 // cycle.
-                let topk = ((n_kept * n_kept + n_kept * st.heads) as u64)
-                    .div_ceil((lines * mpl) as u64);
+                let topk =
+                    ((n_kept * n_kept + n_kept * st.heads) as u64).div_ceil((lines * mpl) as u64);
 
                 // Traffic: Q/K/V for kept tokens in, output out. Dynamic
                 // pruning means indices/importance travel too.
@@ -127,8 +126,7 @@ impl SpAttenSim {
                 traffic.store(out_bytes);
                 let mem = self.dram.transfer_cycles(qkv_bytes + imp_bytes + out_bytes);
 
-                let layer_macs =
-                    (2 * n_kept * n_kept * d) as u64;
+                let layer_macs = (2 * n_kept * n_kept * d) as u64;
                 let compute_total = compute + softmax;
                 let cycles = compute_total.max(mem) + topk;
                 total_cycles += cycles;
@@ -146,7 +144,15 @@ impl SpAttenSim {
             }
         }
 
-        self.report(model, "core-attention", total_cycles, phases, breakdown, traffic, macs)
+        self.report(
+            model,
+            "core-attention",
+            total_cycles,
+            phases,
+            breakdown,
+            traffic,
+            macs,
+        )
     }
 
     /// End-to-end: dense linear layers (identical hardware to ViTCoD's
@@ -202,9 +208,18 @@ impl SpAttenSim {
             phases.linear += c;
             breakdown.compute_cycles += c;
         }
-        self.report(model, "end-to-end", total_cycles, phases, breakdown, traffic, macs)
+        self.report(
+            model,
+            "end-to-end",
+            total_cycles,
+            phases,
+            breakdown,
+            traffic,
+            macs,
+        )
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn report(
         &self,
         model: &ViTConfig,
@@ -250,7 +265,7 @@ mod tests {
         assert!((s.token_keep_fraction(0.0) - 1.0).abs() < 1e-12);
         // sqrt(0.1) = 0.316 < the coarse-granularity floor.
         assert_eq!(s.token_keep_fraction(0.9), 0.65);
-        assert!((s.token_keep_fraction(0.5) - 0.7071).abs() < 1e-3);
+        assert!((s.token_keep_fraction(0.5) - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
     }
 
     #[test]
@@ -270,7 +285,10 @@ mod tests {
     #[test]
     fn preprocess_overhead_is_nonzero() {
         let r = sim().simulate_attention(&ViTConfig::deit_small(), 0.9);
-        assert!(r.breakdown.preprocess_cycles > 0, "top-k engine must cost cycles");
+        assert!(
+            r.breakdown.preprocess_cycles > 0,
+            "top-k engine must cost cycles"
+        );
     }
 
     #[test]

@@ -1,69 +1,148 @@
-//! Criterion micro-benchmarks of the numerical kernels underpinning the
-//! reproduction (matmul flavours, softmax, autograd attention).
+//! Kernel-layer benchmark: Scalar reference vs Blocked parallel backend
+//! on the GEMM shapes a DeiT attention layer actually runs, plus the
+//! 1024³ acceptance shape.
+//!
+//! Run with `cargo bench -p vitcod-bench --bench kernels`; results are
+//! printed and recorded to `BENCH_kernels.json` at the workspace root so
+//! later PRs have a perf trajectory to compare against. Every timed pair
+//! is also checked for bit-identical results, enforcing the backend
+//! agreement contract at benchmark scale.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use vitcod_autograd::Tape;
-use vitcod_tensor::{Initializer, Matrix};
+use std::time::Instant;
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
-    for &n in &[32usize, 64, 128] {
-        let a = Initializer::Normal { std: 1.0 }.sample(n, n, 1);
-        let b = Initializer::Normal { std: 1.0 }.sample(n, n, 2);
-        group.bench_with_input(BenchmarkId::new("nn", n), &n, |bench, _| {
-            bench.iter(|| a.matmul(&b))
-        });
-        group.bench_with_input(BenchmarkId::new("nt", n), &n, |bench, _| {
-            bench.iter(|| a.matmul_nt(&b))
-        });
-        group.bench_with_input(BenchmarkId::new("tn", n), &n, |bench, _| {
-            bench.iter(|| a.matmul_tn(&b))
-        });
-    }
-    group.finish();
-}
+use vitcod_tensor::kernels::{matmul_with, num_threads, softmax_rows, Backend};
+use vitcod_tensor::Initializer;
 
-fn bench_softmax_layernorm(c: &mut Criterion) {
-    let m = Initializer::Normal { std: 1.0 }.sample(197, 197, 3);
-    c.bench_function("softmax_rows_197", |b| b.iter(|| m.softmax_rows()));
-    let x = Initializer::Normal { std: 1.0 }.sample(197, 192, 4);
-    let gamma = vec![1.0f32; 192];
-    let beta = vec![0.0f32; 192];
-    c.bench_function("layernorm_rows_197x192", |b| {
-        b.iter(|| x.layernorm_rows(&gamma, &beta, 1e-5))
-    });
-}
+/// (name, tokens, model dim) per DeiT variant: the QKV/output projections
+/// are `tokens × dim · dim × dim` GEMMs.
+const DEIT_SHAPES: &[(&str, usize, usize)] = &[
+    ("deit_tiny", 197, 192),
+    ("deit_small", 197, 384),
+    ("deit_base", 197, 768),
+];
 
-fn bench_autograd_attention(c: &mut Criterion) {
-    let q = Initializer::Normal { std: 1.0 }.sample(64, 32, 5);
-    let k = Initializer::Normal { std: 1.0 }.sample(64, 32, 6);
-    let v = Initializer::Normal { std: 1.0 }.sample(64, 32, 7);
-    let mut mask = Matrix::zeros(64, 64);
-    for r in 0..64 {
-        for col in 0..64 {
-            if (r as i64 - col as i64).abs() > 3 && col != 0 {
-                mask.set(r, col, f32::NEG_INFINITY);
-            }
+/// Times `f`, re-running until the measurement window fills (or a single
+/// run already exceeds it); returns the best observed seconds per run.
+fn time_best(window_s: f64, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let mut best = f64::INFINITY;
+    let mut spent = 0.0;
+    loop {
+        let t = Instant::now();
+        f();
+        let dt = t.elapsed().as_secs_f64();
+        best = best.min(dt);
+        spent += dt;
+        if spent >= window_s {
+            return best;
         }
     }
-    c.bench_function("masked_attention_fwd_bwd_64x32", |b| {
-        b.iter(|| {
-            let mut tape = Tape::new();
-            let qv = tape.constant(q.clone());
-            let kv = tape.constant(k.clone());
-            let vv = tape.constant(v.clone());
-            let o = tape.masked_attention(qv, kv, vv, 0.176, Some(&mask));
-            let loss = tape.mse_loss(o, &Matrix::zeros(64, 32));
-            tape.backward(loss);
-            tape.scalar(loss)
-        })
-    });
 }
 
-criterion_group!(
-    benches,
-    bench_matmul,
-    bench_softmax_layernorm,
-    bench_autograd_attention
-);
-criterion_main!(benches);
+struct Record {
+    name: String,
+    m: usize,
+    k: usize,
+    n: usize,
+    scalar_s: f64,
+    blocked_s: f64,
+}
+
+impl Record {
+    fn speedup(&self) -> f64 {
+        self.scalar_s / self.blocked_s
+    }
+
+    fn gflops(&self) -> f64 {
+        2.0 * (self.m * self.k * self.n) as f64 / self.blocked_s / 1e9
+    }
+}
+
+fn bench_gemm(name: &str, m: usize, k: usize, n: usize, window_s: f64) -> Record {
+    let a = Initializer::Normal { std: 1.0 }.sample(m, k, 1);
+    let b = Initializer::Normal { std: 1.0 }.sample(k, n, 2);
+    let blocked_out = matmul_with(Backend::Blocked, &a, &b);
+    let scalar_out = matmul_with(Backend::Scalar, &a, &b);
+    assert_eq!(
+        blocked_out, scalar_out,
+        "{name}: backends disagree at ({m},{k},{n})"
+    );
+    let blocked_s = time_best(window_s, || {
+        std::hint::black_box(matmul_with(Backend::Blocked, &a, &b));
+    });
+    let scalar_s = time_best(window_s, || {
+        std::hint::black_box(matmul_with(Backend::Scalar, &a, &b));
+    });
+    let rec = Record {
+        name: name.to_string(),
+        m,
+        k,
+        n,
+        scalar_s,
+        blocked_s,
+    };
+    println!(
+        "{:<28} ({m:>4}x{k:>4}x{n:>4})  scalar {:>9.3} ms  blocked {:>9.3} ms  speedup {:>5.1}x  {:>6.2} GFLOP/s",
+        rec.name,
+        scalar_s * 1e3,
+        blocked_s * 1e3,
+        rec.speedup(),
+        rec.gflops()
+    );
+    rec
+}
+
+fn main() {
+    println!(
+        "kernel benchmarks: {} worker thread(s), backends checked for bit-identical results\n",
+        num_threads()
+    );
+    let mut records = Vec::new();
+    for &(model, tokens, dim) in DEIT_SHAPES {
+        records.push(bench_gemm(&format!("{model}_proj"), tokens, dim, dim, 0.5));
+    }
+    // The acceptance shape: the blocked backend must beat scalar ≥ 4×.
+    let big = bench_gemm("gemm_1024", 1024, 1024, 1024, 0.0);
+    let big_speedup = big.speedup();
+    records.push(big);
+
+    // Softmax at attention-map scale (197 tokens), for the trajectory.
+    let s = Initializer::Normal { std: 1.0 }.sample(197, 197, 3);
+    let softmax_s = time_best(0.25, || {
+        std::hint::black_box(softmax_rows(&s));
+    });
+    println!(
+        "{:<28} (197x197)              blocked {:>9.3} ms",
+        "softmax_rows",
+        softmax_s * 1e3
+    );
+
+    let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    let mut json = String::from("{\n  \"bench\": \"kernels\",\n");
+    json.push_str(&format!("  \"threads\": {},\n", num_threads()));
+    json.push_str("  \"gemm\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"scalar_s\": {:.6}, \"blocked_s\": {:.6}, \"speedup\": {:.2}, \"blocked_gflops\": {:.2}}}{}\n",
+            r.name,
+            r.m,
+            r.k,
+            r.n,
+            r.scalar_s,
+            r.blocked_s,
+            r.speedup(),
+            r.gflops(),
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str(&format!("  \"softmax_rows_197_s\": {softmax_s:.6}\n}}\n"));
+    std::fs::write(json_path, json).expect("write BENCH_kernels.json");
+    println!("\nrecorded baseline to BENCH_kernels.json");
+
+    assert!(
+        big_speedup >= 4.0,
+        "blocked backend must beat the scalar reference by >= 4x on the \
+         1024^3 GEMM (got {big_speedup:.1}x)"
+    );
+}

@@ -40,7 +40,11 @@ fn main() {
             csc_bytes,
             coo_bytes,
             (1.0 - csc_bytes as f64 / coo_bytes as f64) * 100.0,
-            if csc_bytes <= index_buffer { "yes" } else { "NO" }
+            if csc_bytes <= index_buffer {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     println!("\nAlso: the CSC column walk enumerates, for each resident K vector, exactly the Q");

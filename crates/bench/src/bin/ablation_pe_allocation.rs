@@ -25,8 +25,10 @@ fn main() {
     for model in ViTConfig::classification_models() {
         for s in [0.8, 0.9] {
             let program = build_program(&model, s, true);
-            let dyn_r = ViTCoDAccelerator::new(dynamic_hw).simulate_attention_scaled(&program, &model);
-            let sta_r = ViTCoDAccelerator::new(static_hw).simulate_attention_scaled(&program, &model);
+            let dyn_r =
+                ViTCoDAccelerator::new(dynamic_hw).simulate_attention_scaled(&program, &model);
+            let sta_r =
+                ViTCoDAccelerator::new(static_hw).simulate_attention_scaled(&program, &model);
             println!(
                 "{:<14} {:>8.0}% {:>11.1} {:>11.1} {:>8.2}x",
                 model.name,

@@ -56,7 +56,9 @@ fn main() {
         r_spat.push(spatten.simulate_attention(m, 0.9).latency_s / v);
         r_sang.push(sanger.simulate_attention(m, 0.9).latency_s / v);
     }
-    println!("\nViTCoD core-attention speedups @90% (geomean over DeiT+LeViT; GPU pairing uses the");
+    println!(
+        "\nViTCoD core-attention speedups @90% (geomean over DeiT+LeViT; GPU pairing uses the"
+    );
     println!("peak-throughput-comparable scaled ViTCoD, per the paper's protocol):");
     println!("  vs CPU     {:7.1}x   paper: 235.3x", geomean(&r_cpu));
     println!("  vs EdgeGPU {:7.1}x   paper: 142.9x", geomean(&r_edge));

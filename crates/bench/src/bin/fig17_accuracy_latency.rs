@@ -13,7 +13,14 @@ fn main() {
     println!("          and attention-layer latency (full-scale simulator)\n");
     println!(
         "{:<12} {:>9} {:>10} {:>10} {:>7} {:>13} {:>13} {:>9}",
-        "model", "sparsity", "dense-acc", "vitcod-acc", "drop", "dense-lat(us)", "vitcod(us)", "saved"
+        "model",
+        "sparsity",
+        "dense-acc",
+        "vitcod-acc",
+        "drop",
+        "dense-lat(us)",
+        "vitcod(us)",
+        "saved"
     );
 
     for cfg in ViTConfig::classification_models() {

@@ -12,7 +12,9 @@ use vitcod_model::{
 
 fn main() {
     let task = SyntheticTask::generate(SyntheticTaskConfig::default());
-    println!("Fig. 18 — LeViT training trajectories with AE modules (reduced twins, synthetic task)\n");
+    println!(
+        "Fig. 18 — LeViT training trajectories with AE modules (reduced twins, synthetic task)\n"
+    );
     for cfg in [
         ViTConfig::levit_128(),
         ViTConfig::levit_192(),
@@ -59,7 +61,10 @@ fn main() {
         for e in traj.epochs.iter().step_by(2) {
             println!(
                 "  {:>5} {:>9.1}% {:>10.4} {:>12.6}",
-                e.epoch, e.test_accuracy * 100.0, e.train_loss, e.recon_loss
+                e.epoch,
+                e.test_accuracy * 100.0,
+                e.train_loss,
+                e.recon_loss
             );
         }
         let last = traj.epochs.last().unwrap();

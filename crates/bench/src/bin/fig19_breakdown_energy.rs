@@ -47,8 +47,12 @@ fn main() {
     let mut e_sang = vec![];
     for m in &models {
         let v = vitcod_attention(m, 0.9, true, 1);
-        e_cpu.push(v.energy_efficiency_over(&GeneralPlatform::cpu_xeon_6230r().simulate_attention(m)));
-        e_edge.push(v.energy_efficiency_over(&GeneralPlatform::edgegpu_xavier_nx().simulate_attention(m)));
+        e_cpu.push(
+            v.energy_efficiency_over(&GeneralPlatform::cpu_xeon_6230r().simulate_attention(m)),
+        );
+        e_edge.push(
+            v.energy_efficiency_over(&GeneralPlatform::edgegpu_xavier_nx().simulate_attention(m)),
+        );
         e_gpu.push(v.energy_efficiency_over(&GeneralPlatform::gpu_2080ti().simulate_attention(m)));
         e_spat.push(v.energy_efficiency_over(&spatten.simulate_attention(m, 0.9)));
         e_sang.push(v.energy_efficiency_over(&sanger.simulate_attention(m, 0.9)));
@@ -57,10 +61,15 @@ fn main() {
     println!("  vs EdgeGPU {:>9.1}x", geomean(&e_edge));
     println!("  vs GPU     {:>9.1}x", geomean(&e_gpu));
     println!("  vs SpAtten {:>9.1}x", geomean(&e_spat));
-    println!("  vs Sanger  {:>9.1}x   paper: 9.8x (most competitive baseline)", geomean(&e_sang));
+    println!(
+        "  vs Sanger  {:>9.1}x   paper: 9.8x (most competitive baseline)",
+        geomean(&e_sang)
+    );
 
     // Sparsity-averaged speedups across {60,70,80,90}%.
-    println!("\nAveraged core-attention speedups across 60/70/80/90% sparsity (geomean over models):\n");
+    println!(
+        "\nAveraged core-attention speedups across 60/70/80/90% sparsity (geomean over models):\n"
+    );
     let sparsities = [0.6, 0.7, 0.8, 0.9];
     let gpu = GeneralPlatform::gpu_2080ti();
     let mut r = vec![vec![]; 5];
@@ -68,8 +77,18 @@ fn main() {
         for &s in &sparsities {
             let v = vitcod_attention(m, s, true, 1).latency_s;
             let v_scaled = vitcod_attention(m, s, true, gpu.comparable_vitcod_scale).latency_s;
-            r[0].push(GeneralPlatform::cpu_xeon_6230r().simulate_attention(m).latency_s / v);
-            r[1].push(GeneralPlatform::edgegpu_xavier_nx().simulate_attention(m).latency_s / v);
+            r[0].push(
+                GeneralPlatform::cpu_xeon_6230r()
+                    .simulate_attention(m)
+                    .latency_s
+                    / v,
+            );
+            r[1].push(
+                GeneralPlatform::edgegpu_xavier_nx()
+                    .simulate_attention(m)
+                    .latency_s
+                    / v,
+            );
             r[2].push(gpu.simulate_attention(m).latency_s / v_scaled);
             r[3].push(spatten.simulate_attention(m, s).latency_s / v);
             r[4].push(sanger.simulate_attention(m, s).latency_s / v);

@@ -49,7 +49,10 @@ fn main() {
             },
         );
         let dense_acc = base.evaluate(&task.test);
-        println!("{name} (reduced twin) — dense accuracy {:.1}%", dense_acc * 100.0);
+        println!(
+            "{name} (reduced twin) — dense accuracy {:.1}%",
+            dense_acc * 100.0
+        );
         println!("  {:>9} {:>10} {:>9}", "sparsity", "accuracy", "drop");
 
         let maps = base.averaged_attention_maps(&task);
@@ -78,7 +81,9 @@ fn main() {
         println!();
     }
 
-    println!("NLP Transformer reference (paper Fig. 1; BLEU on IWSLT EN→DE, dynamic sparse attention):");
+    println!(
+        "NLP Transformer reference (paper Fig. 1; BLEU on IWSLT EN→DE, dynamic sparse attention):"
+    );
     println!("  {:>9} {:>18}", "sparsity", "BLEU (best method)");
     // Trend the paper plots: near-lossless to ~50-70%, collapsing beyond.
     for (s, bleu) in [

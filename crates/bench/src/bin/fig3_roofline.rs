@@ -31,10 +31,18 @@ fn main() {
             p.ops_per_byte,
             p.achieved_gops,
             p.attainable_gops,
-            if roof.is_bandwidth_bound(p.ops_per_byte) { "yes" } else { "no" }
+            if roof.is_bandwidth_bound(p.ops_per_byte) {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
-    println!("\npaper: sparse ViTs sit deep in the bandwidth-bound region (lower intensity than dense");
-    println!("       because pruning removes compute but Q/K must still stream); ViTCoD's auto-encoder");
+    println!(
+        "\npaper: sparse ViTs sit deep in the bandwidth-bound region (lower intensity than dense"
+    );
+    println!(
+        "       because pruning removes compute but Q/K must still stream); ViTCoD's auto-encoder"
+    );
     println!("       raises intensity back toward/past the ridge. Axis anchors in the paper: 0.6 / 3.9 ops per byte.");
 }

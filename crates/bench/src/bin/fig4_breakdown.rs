@@ -31,6 +31,10 @@ fn main() {
             f.core_fraction_of_attention() * 100.0
         );
     }
-    println!("\npaper: self-attention is not FLOPs-dominant yet accounts for >50% of EdgeGPU latency");
-    println!("       (up to 69% on LeViT-128); Q.K^T / S.V matmuls occupy up to 53% of SA latency.");
+    println!(
+        "\npaper: self-attention is not FLOPs-dominant yet accounts for >50% of EdgeGPU latency"
+    );
+    println!(
+        "       (up to 69% on LeViT-128); Q.K^T / S.V matmuls occupy up to 53% of SA latency."
+    );
 }

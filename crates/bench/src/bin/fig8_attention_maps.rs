@@ -25,7 +25,10 @@ fn main() {
         let both = reorder_global_tokens(&pruned, None);
 
         println!("--- layer {l}, head {h} ---");
-        println!("(a) prune only        (sparsity {:.1}%)", pruned.sparsity() * 100.0);
+        println!(
+            "(a) prune only        (sparsity {:.1}%)",
+            pruned.sparsity() * 100.0
+        );
         print_side_by_side(&[
             render_density(&pruned, 24),
             render_density(&reorder_only.mask, 24),

@@ -12,7 +12,9 @@ use vitcod_model::{
 
 fn main() {
     let task = SyntheticTask::generate(SyntheticTaskConfig::default());
-    println!("Fig. 9(b) — DeiT training trajectories with AE modules (reduced twins, synthetic task)\n");
+    println!(
+        "Fig. 9(b) — DeiT training trajectories with AE modules (reduced twins, synthetic task)\n"
+    );
     for cfg in [
         ViTConfig::deit_tiny(),
         ViTConfig::deit_small(),
@@ -69,7 +71,10 @@ fn run_model(task: &SyntheticTask, cfg: ViTConfig) {
     for e in &traj.epochs {
         println!(
             "  {:>5} {:>9.1}% {:>10.4} {:>12.6}",
-            e.epoch, e.test_accuracy * 100.0, e.train_loss, e.recon_loss
+            e.epoch,
+            e.test_accuracy * 100.0,
+            e.train_loss,
+            e.recon_loss
         );
     }
     let first = traj.epochs.first().unwrap();

@@ -28,11 +28,12 @@ fn main() {
         .get(1)
         .and_then(|n| model_by_name(n))
         .unwrap_or_else(ViTConfig::deit_base);
-    let sparsity: f64 = args
-        .get(2)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0.9);
-    let out_dir = PathBuf::from(args.get(3).cloned().unwrap_or_else(|| "workload_out".into()));
+    let sparsity: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.9);
+    let out_dir = PathBuf::from(
+        args.get(3)
+            .cloned()
+            .unwrap_or_else(|| "workload_out".into()),
+    );
 
     println!(
         "compiling {} at {:.0}% sparsity into {}",
@@ -45,7 +46,11 @@ fn main() {
     let stats = AttentionStats::for_model(&model, vitcod_bench::WORKLOAD_SEED);
     let sc = SplitConquer::new(SplitConquerConfig::with_sparsity(sparsity));
     let polarized = sc.apply(&stats.maps);
-    let program = compile_model(&model, &polarized, Some(AutoEncoderConfig::half(model.heads)));
+    let program = compile_model(
+        &model,
+        &polarized,
+        Some(AutoEncoderConfig::half(model.heads)),
+    );
 
     // 1. The compiled program artifact.
     let program_path = out_dir.join("program.vitcod");
@@ -66,8 +71,11 @@ fn main() {
         .map(|p| p.polarized_mask())
         .collect();
     let cols = model.heads;
-    fs::write(out_dir.join("masks_pruned.pgm"), mask_grid_to_pgm(&pruned, cols))
-        .expect("write pruned mosaic");
+    fs::write(
+        out_dir.join("masks_pruned.pgm"),
+        mask_grid_to_pgm(&pruned, cols),
+    )
+    .expect("write pruned mosaic");
     fs::write(
         out_dir.join("masks_polarized.pgm"),
         mask_grid_to_pgm(&reordered, cols),

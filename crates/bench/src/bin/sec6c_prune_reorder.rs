@@ -37,19 +37,23 @@ fn main() {
         for &s in &sparsities {
             // Full split-and-conquer.
             let both_sc = SplitConquer::new(SplitConquerConfig::with_sparsity(s));
-            let both =
-                acc.simulate_attention_scaled(&compile_model(m, &both_sc.apply(&stats.maps), None), m);
+            let both = acc
+                .simulate_attention_scaled(&compile_model(m, &both_sc.apply(&stats.maps), None), m);
             // Prune only: never classify columns as global.
             let prune_sc = SplitConquer::new(SplitConquerConfig {
                 criterion: PruneCriterion::TargetSparsity(s),
                 theta_d: Some(usize::MAX),
             });
-            let prune_only =
-                acc.simulate_attention_scaled(&compile_model(m, &prune_sc.apply(&stats.maps), None), m);
+            let prune_only = acc.simulate_attention_scaled(
+                &compile_model(m, &prune_sc.apply(&stats.maps), None),
+                m,
+            );
             // Reorder only: dense map, reordering alone (no pruning).
             let reorder_sc = SplitConquer::new(SplitConquerConfig::with_sparsity(0.0));
-            let reorder_only = acc
-                .simulate_attention_scaled(&compile_model(m, &reorder_sc.apply(&stats.maps), None), m);
+            let reorder_only = acc.simulate_attention_scaled(
+                &compile_model(m, &reorder_sc.apply(&stats.maps), None),
+                m,
+            );
 
             let pg = reorder_only.latency_s / both.latency_s;
             let rg = prune_only.latency_s / both.latency_s;
@@ -74,6 +78,9 @@ fn main() {
 
     println!("\npruning benefit   (vs reorder-only): avg {:.2}x (paper 5.14x), @90% {:.2}x (paper 8.14x)",
         geomean(&prune_gains), geomean(&prune_gains_90));
-    println!("reordering benefit (vs prune-only):  avg {:.2}x (paper 2.59x), @90% {:.2}x (paper 2.03x)",
-        geomean(&reorder_gains), geomean(&reorder_gains_90));
+    println!(
+        "reordering benefit (vs prune-only):  avg {:.2}x (paper 2.59x), @90% {:.2}x (paper 2.03x)",
+        geomean(&reorder_gains),
+        geomean(&reorder_gains_90)
+    );
 }

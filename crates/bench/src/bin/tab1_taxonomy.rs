@@ -1,7 +1,9 @@
 //! Table I: taxonomy of representative sparse accelerators.
 
 fn main() {
-    println!("Table I — A taxonomy for classifying and comparing representative sparse accelerators\n");
+    println!(
+        "Table I — A taxonomy for classifying and comparing representative sparse accelerators\n"
+    );
     print!("{}", vitcod_core::taxonomy::render());
     println!("\npaper: ViTCoD is the only *static*, denser&sparser-regular, low-traffic, low-bandwidth, high-sparsity co-design targeting ViTs.");
 }

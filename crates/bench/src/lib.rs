@@ -119,8 +119,8 @@ pub fn render_density(mask: &vitcod_core::AttentionMask, out: usize) -> String {
                 }
             }
             let density = kept as f64 / total.max(1) as f64;
-            let idx = ((density * (glyphs.len() - 1) as f64).round() as usize)
-                .min(glyphs.len() - 1);
+            let idx =
+                ((density * (glyphs.len() - 1) as f64).round() as usize).min(glyphs.len() - 1);
             s.push(glyphs[idx]);
         }
         s.push('\n');

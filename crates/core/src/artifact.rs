@@ -52,7 +52,11 @@ impl ParseArtifactError {
 
 impl fmt::Display for ParseArtifactError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid program artifact at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "invalid program artifact at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -112,9 +116,7 @@ pub fn load_program(text: &str) -> Result<AcceleratorProgram, ParseArtifactError
     let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
     let err = |line: usize, msg: &str| ParseArtifactError::new(line, msg);
 
-    let (ln, header) = lines
-        .next()
-        .ok_or_else(|| err(1, "empty artifact"))?;
+    let (ln, header) = lines.next().ok_or_else(|| err(1, "empty artifact"))?;
     if header != "vitcod-program v1" {
         return Err(err(ln, "unsupported header (expected 'vitcod-program v1')"));
     }
@@ -298,7 +300,9 @@ pub fn load_masks(text: &str) -> Result<Vec<Vec<crate::AttentionMask>>, ParseArt
     use crate::AttentionMask;
     let err = ParseArtifactError::new;
     let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l.trim()));
-    let (ln, header) = lines.next().ok_or_else(|| err(1, "empty artifact".into()))?;
+    let (ln, header) = lines
+        .next()
+        .ok_or_else(|| err(1, "empty artifact".into()))?;
     if header != "vitcod-masks v1" {
         return Err(err(ln, "unsupported header".into()));
     }
@@ -366,7 +370,10 @@ pub fn load_masks(text: &str) -> Result<Vec<Vec<crate::AttentionMask>>, ParseArt
                     num = 0;
                 }
                 other => {
-                    return Err(err(ln, format!("unexpected character '{other}' in RLE row")))
+                    return Err(err(
+                        ln,
+                        format!("unexpected character '{other}' in RLE row"),
+                    ))
                 }
             }
         }

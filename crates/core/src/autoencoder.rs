@@ -77,12 +77,7 @@ impl AutoEncoderConfig {
     }
 
     /// Off-chip bytes with the AE: only the compressed heads travel.
-    pub fn qk_traffic_bytes_compressed(
-        &self,
-        tokens: usize,
-        head_dim: usize,
-        bytes: usize,
-    ) -> u64 {
+    pub fn qk_traffic_bytes_compressed(&self, tokens: usize, head_dim: usize, bytes: usize) -> u64 {
         2 * (tokens as u64) * (self.compressed_heads as u64) * (head_dim as u64) * (bytes as u64)
     }
 
@@ -163,7 +158,9 @@ mod tests {
 
     #[test]
     fn from_spec_round_trips() {
-        let spec = AutoEncoderSpec { compressed_heads: 4 };
+        let spec = AutoEncoderSpec {
+            compressed_heads: 4,
+        };
         let ae = AutoEncoderConfig::from_spec(spec, 8);
         assert_eq!(ae.compressed_heads(), 4);
         assert_eq!(ae.heads(), 8);

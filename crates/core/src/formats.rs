@@ -170,7 +170,10 @@ mod tests {
         let csc = CscMatrix::from_mask(&sample_mask());
         for k in 0..5 {
             let rows = csc.col_rows(k);
-            assert!(rows.windows(2).all(|w| w[0] < w[1]), "column {k} not sorted");
+            assert!(
+                rows.windows(2).all(|w| w[0] < w[1]),
+                "column {k} not sorted"
+            );
         }
     }
 

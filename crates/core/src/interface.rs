@@ -66,8 +66,8 @@ impl PhaseWorkload {
             return 1.0;
         }
         let max = *self.sparser_col_nnz.iter().max().unwrap() as f64;
-        let mean = self.sparser_col_nnz.iter().sum::<usize>() as f64
-            / self.sparser_col_nnz.len() as f64;
+        let mean =
+            self.sparser_col_nnz.iter().sum::<usize>() as f64 / self.sparser_col_nnz.len() as f64;
         if mean == 0.0 {
             1.0
         } else {

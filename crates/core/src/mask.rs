@@ -110,9 +110,10 @@ impl AttentionMask {
     pub fn col_nnz(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.n];
         for q in 0..self.n {
-            for k in 0..self.n {
-                if self.bits[q * self.n + k] {
-                    counts[k] += 1;
+            let row = &self.bits[q * self.n..(q + 1) * self.n];
+            for (c, &bit) in counts.iter_mut().zip(row) {
+                if bit {
+                    *c += 1;
                 }
             }
         }

@@ -12,8 +12,7 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use vitcod_autograd::ParamStore;
 use vitcod_model::{
-    AutoEncoderSpec, SyntheticTask, TrainConfig, Trainer, Trajectory, ViTConfig,
-    VisionTransformer,
+    AutoEncoderSpec, SyntheticTask, TrainConfig, Trainer, Trajectory, ViTConfig, VisionTransformer,
 };
 
 use crate::split_conquer::{PolarizedHead, SplitConquer, SplitConquerConfig};

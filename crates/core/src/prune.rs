@@ -47,7 +47,11 @@ pub fn prune_info(a: &Matrix, theta_p: f64) -> AttentionMask {
         }
         // Argsort(A) in descending order (Alg. 1, line 1).
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&i, &j| row[j].partial_cmp(&row[i]).unwrap_or(std::cmp::Ordering::Equal));
+        order.sort_by(|&i, &j| {
+            row[j]
+                .partial_cmp(&row[i])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         let mut cum = 0.0f64;
         for (rank, &k) in order.iter().enumerate() {
             mask.keep(q, k);
@@ -94,9 +98,7 @@ pub fn prune_to_sparsity(a: &Matrix, sparsity: f64) -> AttentionMask {
     let keep_budget = (((n * n) as f64) * (1.0 - sparsity)).round().max(n as f64) as usize;
 
     // Global descending argsort of all entries.
-    let mut order: Vec<(usize, usize)> = (0..n)
-        .flat_map(|q| (0..n).map(move |k| (q, k)))
-        .collect();
+    let mut order: Vec<(usize, usize)> = (0..n).flat_map(|q| (0..n).map(move |k| (q, k))).collect();
     order.sort_by(|&(q1, k1), &(q2, k2)| {
         a.get(q2, k2)
             .partial_cmp(&a.get(q1, k1))

@@ -85,8 +85,7 @@ pub fn mask_grid_to_pgm(masks: &[&AttentionMask], cols: usize) -> String {
         let x0 = gc * (n + 1);
         for q in 0..n {
             for k in 0..n {
-                pixels[(y0 + q) * width + (x0 + k)] =
-                    if mask.is_kept(q, k) { 255 } else { 0 };
+                pixels[(y0 + q) * width + (x0 + k)] = if mask.is_kept(q, k) { 255 } else { 0 };
             }
         }
     }

@@ -218,12 +218,7 @@ impl SplitConquer {
     pub fn to_sparsity_plan(heads: &[Vec<PolarizedHead>]) -> vitcod_model::SparsityPlan {
         heads
             .iter()
-            .map(|layer| {
-                layer
-                    .iter()
-                    .map(|h| Some(h.pruned.to_matrix()))
-                    .collect()
-            })
+            .map(|layer| layer.iter().map(|h| Some(h.pruned.to_matrix())).collect())
             .collect()
     }
 

@@ -2,8 +2,8 @@
 
 use proptest::prelude::*;
 use vitcod_core::{
-    prune_info, prune_to_sparsity, reorder_global_tokens, AttentionMask, CscMatrix,
-    PruneCriterion, SplitConquer, SplitConquerConfig,
+    prune_info, prune_to_sparsity, reorder_global_tokens, AttentionMask, CscMatrix, PruneCriterion,
+    SplitConquer, SplitConquerConfig,
 };
 use vitcod_tensor::Matrix;
 

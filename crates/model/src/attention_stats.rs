@@ -106,9 +106,10 @@ impl AttentionStats {
 
     /// Flat iterator over `(layer, head, map)`.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, &Matrix)> {
-        self.maps.iter().enumerate().flat_map(|(l, heads)| {
-            heads.iter().enumerate().map(move |(h, m)| (l, h, m))
-        })
+        self.maps
+            .iter()
+            .enumerate()
+            .flat_map(|(l, heads)| heads.iter().enumerate().map(move |(h, m)| (l, h, m)))
     }
 
     /// Total number of heads across all layers.

@@ -174,6 +174,9 @@ mod tests {
     fn strided_attention_heavier_than_deit_tiny() {
         // 351 tokens vs 197 tokens: quadratic term grows.
         let strided = ViTConfig::strided_transformer().flops();
-        assert!(strided.attention_fraction() > ViTConfig::deit_tiny().flops().attention_fraction() * 0.8);
+        assert!(
+            strided.attention_fraction()
+                > ViTConfig::deit_tiny().flops().attention_fraction() * 0.8
+        );
     }
 }

@@ -169,8 +169,12 @@ fn gen_sample(
 
     // Smooth background: a low-frequency 2D sinusoid field with a random
     // phase/direction per feature, so adjacent patches are correlated.
-    let fx: Vec<f32> = (0..cfg.in_dim).map(|_| rng.gen_range(0.3f32..1.2)).collect();
-    let fy: Vec<f32> = (0..cfg.in_dim).map(|_| rng.gen_range(0.3f32..1.2)).collect();
+    let fx: Vec<f32> = (0..cfg.in_dim)
+        .map(|_| rng.gen_range(0.3f32..1.2))
+        .collect();
+    let fy: Vec<f32> = (0..cfg.in_dim)
+        .map(|_| rng.gen_range(0.3f32..1.2))
+        .collect();
     let phase: Vec<f32> = (0..cfg.in_dim)
         .map(|_| rng.gen_range(0.0f32..std::f32::consts::TAU))
         .collect();
@@ -193,8 +197,8 @@ fn gen_sample(
         }
     }
     for &a in &anchors {
-        for f in 0..cfg.in_dim {
-            let v = tokens.get(a + 1, f) + cfg.anchor_strength * protos[label][f];
+        for (f, &proto) in protos[label].iter().enumerate() {
+            let v = tokens.get(a + 1, f) + cfg.anchor_strength * proto;
             tokens.set(a + 1, f, v);
         }
     }
@@ -266,10 +270,13 @@ mod tests {
             let mut scores = vec![f32::NEG_INFINITY; task.config.num_classes];
             for (c, proto) in task.prototypes().iter().enumerate() {
                 for r in 1..s.tokens.rows() {
-                    let mut dot = 0.0;
-                    for f in 0..task.config.in_dim {
-                        dot += s.tokens.get(r, f) * proto[f];
-                    }
+                    let dot: f32 = s
+                        .tokens
+                        .row(r)
+                        .iter()
+                        .zip(proto.iter())
+                        .map(|(t, p)| t * p)
+                        .sum();
                     scores[c] = scores[c].max(dot);
                 }
             }

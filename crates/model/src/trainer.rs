@@ -147,11 +147,7 @@ impl Trainer {
     /// Installs ViTCoD auto-encoder modules into the wrapped model
     /// (borrow-splitting convenience over
     /// [`VisionTransformer::insert_auto_encoder`]).
-    pub fn insert_auto_encoder<R: rand::Rng>(
-        &mut self,
-        spec: crate::AutoEncoderSpec,
-        rng: &mut R,
-    ) {
+    pub fn insert_auto_encoder<R: rand::Rng>(&mut self, spec: crate::AutoEncoderSpec, rng: &mut R) {
         self.model.insert_auto_encoder(spec, &mut self.store, rng);
     }
 

@@ -50,9 +50,9 @@ pub struct VitOutput {
     pub logits: Var,
     /// Summed Q/K reconstruction loss node if AE modules are active.
     pub recon_loss: Option<Var>,
-    /// Attention-node handles per `[layer][head]`, for extracting
-    /// probability maps via [`Tape::attention_probs`].
-    pub attention_nodes: Vec<Vec<Var>>,
+    /// One fused multi-head attention node per layer; per-head
+    /// probability maps are extracted via [`Tape::head_probs`].
+    pub attention_nodes: Vec<Var>,
 }
 
 #[derive(Clone)]
@@ -226,27 +226,52 @@ impl VisionTransformer {
             "compressed heads must be in 1..=heads"
         );
         for (l, block) in self.blocks.iter_mut().enumerate() {
-            let mk = |store: &mut ParamStore, name: String, rows: usize, cols: usize, rng: &mut R| {
-                // Partial-identity init: head j maps mostly to compressed
-                // slot j % hc, plus small noise for symmetry breaking.
-                let mut m = Matrix::zeros(rows, cols);
-                for i in 0..rows {
-                    for j in 0..cols {
-                        let base = if i % cols.max(1) == j || j % rows.max(1) == i {
-                            0.7
-                        } else {
-                            0.0
-                        };
-                        m.set(i, j, base + rng.gen_range(-0.05..0.05));
+            let mk =
+                |store: &mut ParamStore, name: String, rows: usize, cols: usize, rng: &mut R| {
+                    // Partial-identity init: head j maps mostly to compressed
+                    // slot j % hc, plus small noise for symmetry breaking.
+                    let mut m = Matrix::zeros(rows, cols);
+                    for i in 0..rows {
+                        for j in 0..cols {
+                            let base = if i % cols.max(1) == j || j % rows.max(1) == i {
+                                0.7
+                            } else {
+                                0.0
+                            };
+                            m.set(i, j, base + rng.gen_range(-0.05..0.05));
+                        }
                     }
-                }
-                store.register(name, m)
-            };
+                    store.register(name, m)
+                };
             block.ae = Some(AeParams {
-                enc_q: mk(store, format!("block{l}.ae.enc_q"), h, spec.compressed_heads, rng),
-                dec_q: mk(store, format!("block{l}.ae.dec_q"), spec.compressed_heads, h, rng),
-                enc_k: mk(store, format!("block{l}.ae.enc_k"), h, spec.compressed_heads, rng),
-                dec_k: mk(store, format!("block{l}.ae.dec_k"), spec.compressed_heads, h, rng),
+                enc_q: mk(
+                    store,
+                    format!("block{l}.ae.enc_q"),
+                    h,
+                    spec.compressed_heads,
+                    rng,
+                ),
+                dec_q: mk(
+                    store,
+                    format!("block{l}.ae.dec_q"),
+                    spec.compressed_heads,
+                    h,
+                    rng,
+                ),
+                enc_k: mk(
+                    store,
+                    format!("block{l}.ae.enc_k"),
+                    h,
+                    spec.compressed_heads,
+                    rng,
+                ),
+                dec_k: mk(
+                    store,
+                    format!("block{l}.ae.dec_k"),
+                    spec.compressed_heads,
+                    h,
+                    rng,
+                ),
             });
         }
         self.ae_spec = Some(spec);
@@ -261,7 +286,11 @@ impl VisionTransformer {
     pub fn set_sparsity_plan(&mut self, plan: SparsityPlan) {
         assert_eq!(plan.len(), self.blocks.len(), "plan must cover all layers");
         for (l, layer) in plan.iter().enumerate() {
-            assert_eq!(layer.len(), self.cfg.heads, "layer {l} must cover all heads");
+            assert_eq!(
+                layer.len(),
+                self.cfg.heads,
+                "layer {l} must cover all heads"
+            );
             for m in layer.iter().flatten() {
                 assert_eq!(
                     m.shape(),
@@ -319,21 +348,13 @@ impl VisionTransformer {
                 });
             }
 
-            let mut head_outputs = Vec::with_capacity(self.cfg.heads);
-            let mut layer_nodes = Vec::with_capacity(self.cfg.heads);
-            for hidx in 0..self.cfg.heads {
-                let c0 = hidx * dk;
-                let qh = tape.slice_cols(q, c0, c0 + dk);
-                let kh = tape.slice_cols(k, c0, c0 + dk);
-                let vh = tape.slice_cols(v, c0, c0 + dk);
-                let bias = self.mask_bias(l, hidx);
-                let attn = tape.masked_attention(qh, kh, vh, scale, bias.as_ref());
-                layer_nodes.push(attn);
-                head_outputs.push(attn);
-            }
-            attention_nodes.push(layer_nodes);
-            let cat = tape.concat_cols(&head_outputs);
-            let projected = block.wo.forward(tape, store, cat);
+            // All heads attend in one fused op: the kernel layer fans the
+            // per-head column stripes out across worker threads instead of
+            // recording `heads` separate slice/attend/concat nodes.
+            let masks = self.layer_mask_biases(l);
+            let attn = tape.multi_head_attention(q, k, v, dk, scale, &masks);
+            attention_nodes.push(attn);
+            let projected = block.wo.forward(tape, store, attn);
             x = tape.add(x, projected);
 
             let normed2 = block.ln2.forward(tape, store, x);
@@ -357,15 +378,21 @@ impl VisionTransformer {
     /// `-inf` where pruned; `None` when the head is dense.
     fn mask_bias(&self, layer: usize, head: usize) -> Option<Matrix> {
         let mask = self.masks.as_ref()?.get(layer)?.get(head)?.as_ref()?;
-        let mut bias = Matrix::zeros(mask.rows(), mask.cols());
-        for r in 0..mask.rows() {
-            for c in 0..mask.cols() {
-                if mask.get(r, c) == 0.0 {
-                    bias.set(r, c, f32::NEG_INFINITY);
-                }
-            }
-        }
+        let mut bias = mask.clone();
+        bias.map_inplace(|kept| if kept == 0.0 { f32::NEG_INFINITY } else { 0.0 });
         Some(bias)
+    }
+
+    /// Additive mask biases for every head of `layer`; empty when the
+    /// model is fully dense (the fused attention op treats an empty slice
+    /// as "no masks").
+    fn layer_mask_biases(&self, layer: usize) -> Vec<Option<Matrix>> {
+        if self.masks.is_none() {
+            return Vec::new();
+        }
+        (0..self.cfg.heads)
+            .map(|h| self.mask_bias(layer, h))
+            .collect()
     }
 
     /// Averaged per-head attention maps over `samples`, the statistic the
@@ -385,9 +412,9 @@ impl VisionTransformer {
         for s in samples {
             let mut tape = Tape::new();
             let out = self.forward(&mut tape, store, &s.tokens);
-            for (l, layer_nodes) in out.attention_nodes.iter().enumerate() {
-                for (h, &node) in layer_nodes.iter().enumerate() {
-                    acc[l][h].add_assign(tape.attention_probs(node));
+            for (l, &node) in out.attention_nodes.iter().enumerate() {
+                for (h, m) in acc[l].iter_mut().enumerate() {
+                    m.add_assign(tape.head_probs(node, h));
                 }
             }
         }
@@ -442,20 +469,17 @@ mod tests {
         assert_eq!(tape.value(out.logits).shape(), (1, 4));
         assert!(out.recon_loss.is_none());
         assert_eq!(out.attention_nodes.len(), vit.config().depth);
-        assert_eq!(out.attention_nodes[0].len(), vit.config().heads);
+        assert_eq!(tape.num_heads(out.attention_nodes[0]), vit.config().heads);
     }
 
     #[test]
     fn attention_probs_rows_sum_to_one() {
         let (vit, store) = tiny_model();
         let mut tape = Tape::new();
-        let tokens = vitcod_tensor::Initializer::Normal { std: 1.0 }.sample(
-            vit.config().tokens,
-            8,
-            7,
-        );
+        let tokens =
+            vitcod_tensor::Initializer::Normal { std: 1.0 }.sample(vit.config().tokens, 8, 7);
         let out = vit.forward(&mut tape, &store, &tokens);
-        let p = tape.attention_probs(out.attention_nodes[0][0]);
+        let p = tape.head_probs(out.attention_nodes[0], 0);
         for r in 0..p.rows() {
             let s: f32 = p.row(r).iter().sum();
             assert!((s - 1.0).abs() < 1e-4, "row {r} sums to {s}");
@@ -466,7 +490,11 @@ mod tests {
     fn ae_insertion_adds_recon_loss_and_keeps_logits_shape() {
         let (mut vit, mut store) = tiny_model();
         let mut rng = ChaCha8Rng::seed_from_u64(5);
-        vit.insert_auto_encoder(AutoEncoderSpec::half(vit.config().heads), &mut store, &mut rng);
+        vit.insert_auto_encoder(
+            AutoEncoderSpec::half(vit.config().heads),
+            &mut store,
+            &mut rng,
+        );
         assert!(vit.has_auto_encoder());
         let mut tape = Tape::new();
         let tokens = Matrix::zeros(vit.config().tokens, 8);
@@ -487,13 +515,17 @@ mod tests {
             mask.set(i, 0, 1.0);
         }
         let plan: SparsityPlan = (0..vit.config().depth)
-            .map(|_| (0..vit.config().heads).map(|_| Some(mask.clone())).collect())
+            .map(|_| {
+                (0..vit.config().heads)
+                    .map(|_| Some(mask.clone()))
+                    .collect()
+            })
             .collect();
         vit.set_sparsity_plan(plan);
         let mut tape = Tape::new();
         let tokens = vitcod_tensor::Initializer::Normal { std: 1.0 }.sample(n, 8, 11);
         let out = vit.forward(&mut tape, &store, &tokens);
-        let p = tape.attention_probs(out.attention_nodes[1][0]);
+        let p = tape.head_probs(out.attention_nodes[1], 0);
         for r in 0..n {
             for c in 0..n {
                 if r != c && c != 0 {

@@ -125,7 +125,11 @@ impl ViTCoDAccelerator {
     /// Simulates the full model: linear layers (Q/K/V generation, output
     /// projection, MLPs, LeViT stem) on the reconfigured MAC lines plus
     /// the attention core of every stage.
-    pub fn simulate_end_to_end(&self, program: &AcceleratorProgram, model: &ViTConfig) -> SimReport {
+    pub fn simulate_end_to_end(
+        &self,
+        program: &AcceleratorProgram,
+        model: &ViTConfig,
+    ) -> SimReport {
         let attention = self.simulate_attention_scaled(program, model);
 
         let mut phases = attention.phases;
@@ -174,7 +178,15 @@ impl ViTCoDAccelerator {
             breakdown.compute_cycles += compute;
         }
 
-        self.finish_report(program, "end-to-end", total_cycles, phases, breakdown, traffic, macs)
+        self.finish_report(
+            program,
+            "end-to-end",
+            total_cycles,
+            phases,
+            breakdown,
+            traffic,
+            macs,
+        )
     }
 
     /// One attention layer: dynamic PE allocation, the two engines in
@@ -242,7 +254,11 @@ impl ViTCoDAccelerator {
             if denser_lines == 0 {
                 break;
             }
-            let l = if denser_alloc.parallel { *lines } else { denser_lines };
+            let l = if denser_alloc.parallel {
+                *lines
+            } else {
+                denser_lines
+            };
             if l == 0 {
                 continue;
             }
@@ -257,18 +273,18 @@ impl ViTCoDAccelerator {
             spmm += dp;
         }
 
-        let sparser_works: Vec<u64> = layer
-            .heads
-            .iter()
-            .map(|h| h.sparser_nnz as u64)
-            .collect();
+        let sparser_works: Vec<u64> = layer.heads.iter().map(|h| h.sparser_nnz as u64).collect();
         let sparser_alloc = proportional_lines(&sparser_works, sparser_lines);
         let mut sparser_cycles = 0u64;
         for (h, lines) in layer.heads.iter().zip(sparser_alloc.per_head.iter()) {
             if sparser_lines == 0 {
                 break;
             }
-            let l = if sparser_alloc.parallel { *lines } else { sparser_lines };
+            let l = if sparser_alloc.parallel {
+                *lines
+            } else {
+                sparser_lines
+            };
             if l == 0 {
                 continue;
             }
@@ -382,8 +398,11 @@ impl ViTCoDAccelerator {
         // the transfer, so it extends the memory phase only if slower.
         let codec_cycles = match program.auto_encoder {
             Some(ae) => {
-                let codec_macs =
-                    2 * (n as u64) * (dk as u64) * (ae.heads() as u64) * (ae.compressed_heads() as u64);
+                let codec_macs = 2
+                    * (n as u64)
+                    * (dk as u64)
+                    * (ae.heads() as u64)
+                    * (ae.compressed_heads() as u64);
                 codec_macs.div_ceil((lines * mpl) as u64)
             }
             None => 0,
@@ -391,10 +410,8 @@ impl ViTCoDAccelerator {
 
         // Bus occupancy: sequential streams at full rate, scattered
         // gathers at the derated burst efficiency.
-        let effective_bus_bytes = seq_bytes
-            + v_bytes
-            + out_bytes
-            + (scattered_bytes as f64 * SCATTER_BUS_PENALTY) as u64;
+        let effective_bus_bytes =
+            seq_bytes + v_bytes + out_bytes + (scattered_bytes as f64 * SCATTER_BUS_PENALTY) as u64;
         let data_cycles = self.dram.transfer_cycles(effective_bus_bytes);
         let mem_phase = data_cycles.max(codec_cycles);
         let preprocess = self.dram.transfer_cycles(index_bytes) + RECONFIG_CYCLES;
@@ -443,6 +460,7 @@ impl ViTCoDAccelerator {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn finish_report(
         &self,
         program: &AcceleratorProgram,
@@ -562,8 +580,7 @@ fn allocate_lines(total: usize, denser_work: u64, sparser_work: u64) -> (usize, 
     if sparser_work == 0 {
         return (total, 0);
     }
-    let mut denser =
-        ((denser_work as f64 / sum as f64) * total as f64).round() as usize;
+    let mut denser = ((denser_work as f64 / sum as f64) * total as f64).round() as usize;
     denser = denser.clamp(1, total - 1);
     (denser, total - denser)
 }

@@ -81,10 +81,7 @@ pub fn check_buffers(cfg: &AcceleratorConfig, program: &AcceleratorProgram) -> V
     let bytes = cfg.bytes_per_elem;
     let n = program.tokens;
     let d = program.heads * program.head_dim;
-    let qk_ratio = program
-        .auto_encoder
-        .map(|ae| ae.ratio())
-        .unwrap_or(1.0);
+    let qk_ratio = program.auto_encoder.map(|ae| ae.ratio()).unwrap_or(1.0);
     program
         .layers
         .iter()
@@ -113,10 +110,8 @@ pub fn check_buffers(cfg: &AcceleratorConfig, program: &AcceleratorProgram) -> V
                 index_bytes: index_entries * 2,
             };
             let act_occupancy = demand.act_bytes() as f64 / cfg.sram.act_buffer_bytes as f64;
-            let index_occupancy =
-                demand.index_bytes as f64 / cfg.sram.index_buffer_bytes as f64;
-            let output_occupancy =
-                demand.out_bytes as f64 / cfg.sram.output_buffer_bytes as f64;
+            let index_occupancy = demand.index_bytes as f64 / cfg.sram.index_buffer_bytes as f64;
+            let output_occupancy = demand.out_bytes as f64 / cfg.sram.output_buffer_bytes as f64;
             let mut spills = Vec::new();
             if act_occupancy > 1.0 {
                 spills.push("activation");
@@ -155,14 +150,14 @@ mod tests {
     #[test]
     fn deit_tiny_with_ae_fits_at_90pct() {
         let m = ViTConfig::deit_tiny();
-        let reports = check_buffers(
-            &AcceleratorConfig::vitcod_paper(),
-            &program(&m, 0.9, true),
-        );
+        let reports = check_buffers(&AcceleratorConfig::vitcod_paper(), &program(&m, 0.9, true));
         assert!(
             reports.iter().all(|r| r.fits()),
             "spills: {:?}",
-            reports.iter().flat_map(|r| r.spills.clone()).collect::<Vec<_>>()
+            reports
+                .iter()
+                .flat_map(|r| r.spills.clone())
+                .collect::<Vec<_>>()
         );
     }
 
@@ -171,10 +166,7 @@ mod tests {
         // 197 x 768 Q+K+V at 1 B/elem = 454 KB > 128 KB: this is exactly
         // why the cycle model charges Q refetch traffic without the AE.
         let m = ViTConfig::deit_base();
-        let reports = check_buffers(
-            &AcceleratorConfig::vitcod_paper(),
-            &program(&m, 0.9, false),
-        );
+        let reports = check_buffers(&AcceleratorConfig::vitcod_paper(), &program(&m, 0.9, false));
         assert!(reports.iter().all(|r| r.spills.contains(&"activation")));
     }
 
@@ -182,8 +174,7 @@ mod tests {
     fn ae_halves_qk_demand() {
         let m = ViTConfig::deit_base();
         let with = check_buffers(&AcceleratorConfig::vitcod_paper(), &program(&m, 0.9, true));
-        let without =
-            check_buffers(&AcceleratorConfig::vitcod_paper(), &program(&m, 0.9, false));
+        let without = check_buffers(&AcceleratorConfig::vitcod_paper(), &program(&m, 0.9, false));
         assert_eq!(with[0].demand.q_bytes * 2, without[0].demand.q_bytes);
         assert!(with[0].act_occupancy < without[0].act_occupancy);
     }
@@ -193,17 +184,13 @@ mod tests {
         // Matches the ablation_formats finding: at 60% the residue's CSC
         // exceeds 20 KB; at 95% it fits comfortably.
         let m = ViTConfig::deit_base();
-        let dense_ish = check_buffers(
-            &AcceleratorConfig::vitcod_paper(),
-            &program(&m, 0.6, true),
-        );
-        let sparse = check_buffers(
-            &AcceleratorConfig::vitcod_paper(),
-            &program(&m, 0.95, true),
-        );
+        let dense_ish = check_buffers(&AcceleratorConfig::vitcod_paper(), &program(&m, 0.6, true));
+        let sparse = check_buffers(&AcceleratorConfig::vitcod_paper(), &program(&m, 0.95, true));
         assert!(dense_ish.iter().any(|r| r.index_occupancy > 1.0));
         assert!(
-            sparse.iter().all(|r| r.index_occupancy < dense_ish[0].index_occupancy),
+            sparse
+                .iter()
+                .all(|r| r.index_occupancy < dense_ish[0].index_occupancy),
             "index demand must shrink with sparsity"
         );
     }

@@ -180,7 +180,10 @@ mod tests {
     fn denser_sddmm_scales_with_block() {
         let a = denser_sddmm_cycles(197, 10, 64, 32, 8);
         let b = denser_sddmm_cycles(197, 20, 64, 32, 8);
-        assert!(b >= 2 * a - 8, "doubling columns ~doubles cycles: {a} -> {b}");
+        assert!(
+            b >= 2 * a - 8,
+            "doubling columns ~doubles cycles: {a} -> {b}"
+        );
     }
 
     #[test]

@@ -11,7 +11,42 @@
 //! operands with i32 accumulation, as the MAC lines do.
 
 use vitcod_core::CscMatrix;
-use vitcod_tensor::{softmax_row, Matrix, QuantizedMatrix};
+use vitcod_tensor::{kernels, softmax_row, Matrix, QuantizedMatrix};
+
+/// Exclusive prefix sum of per-column non-zero counts: `off[k]` is the
+/// position of column `k`'s first value in a CSC-ordered values buffer.
+fn column_offsets(index: &CscMatrix) -> Vec<usize> {
+    let n = index.size();
+    let mut off = Vec::with_capacity(n + 1);
+    off.push(0usize);
+    for k in 0..n {
+        off.push(off[k] + index.col_nnz(k));
+    }
+    off
+}
+
+/// Partitions the CSC columns into contiguous ranges of roughly equal
+/// non-zero count, one per worker thread. Returns `(value_bounds,
+/// column_starts)`, both `segments + 1` long, suitable for
+/// [`kernels::par_segments`].
+fn column_partition(index: &CscMatrix, col_off: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let n = index.size();
+    let nnz = index.nnz();
+    let threads = kernels::num_threads().max(1);
+    let target = nnz.div_ceil(threads).max(1);
+    let mut value_bounds = vec![0usize];
+    let mut column_starts = vec![0usize];
+    for k in 0..n {
+        let seg_nnz = col_off[k + 1] - value_bounds.last().unwrap();
+        if seg_nnz >= target && k + 1 < n {
+            value_bounds.push(col_off[k + 1]);
+            column_starts.push(k + 1);
+        }
+    }
+    value_bounds.push(nnz);
+    column_starts.push(n);
+    (value_bounds, column_starts)
+}
 
 /// Sparse attention scores in CSC layout: one value per kept `(q, k)`
 /// position, column-major, aligned with a [`CscMatrix`] index.
@@ -61,13 +96,16 @@ impl SparseScores {
                 pos += 1;
             }
         }
-        let mut values = self.values.clone();
-        for positions in rows {
-            if positions.is_empty() {
-                continue;
-            }
-            let mut row: Vec<f32> = positions.iter().map(|&p| values[p]).collect();
+        // Per-row normalisation fans out across workers; the scatter back
+        // into column order stays sequential (it is O(nnz) copies).
+        let work_per_row = self.values.len() / n.max(1) + 1;
+        let softmaxed: Vec<Vec<f32>> = kernels::par_map_collect(n, work_per_row, |r| {
+            let mut row: Vec<f32> = rows[r].iter().map(|&p| self.values[p]).collect();
             softmax_row(&mut row);
+            row
+        });
+        let mut values = self.values.clone();
+        for (positions, row) in rows.into_iter().zip(softmaxed) {
             for (p, v) in positions.into_iter().zip(row) {
                 values[p] = v;
             }
@@ -84,6 +122,11 @@ impl SparseScores {
 /// CSC index, a `dk`-length dot product accumulates across the MAC line
 /// (inter-PE accumulation), emitting attention scores column by column.
 ///
+/// The CSC columns are partitioned into contiguous non-zero-balanced
+/// ranges and fanned out across worker threads, each writing its own
+/// disjoint slice of the values buffer (the software analogue of the
+/// accelerator distributing K columns over MAC lines).
+///
 /// `scale` is the `1/sqrt(dk)` attention scaling.
 ///
 /// # Panics
@@ -94,20 +137,25 @@ pub fn sddmm_k_stationary(q: &Matrix, k: &Matrix, index: &CscMatrix, scale: f32)
     assert_eq!(q.cols(), k.cols(), "q/k feature dims differ");
     assert_eq!(q.rows(), index.size(), "index size must match tokens");
     assert_eq!(k.rows(), index.size(), "index size must match tokens");
-    let n = index.size();
-    let mut values = Vec::with_capacity(index.nnz());
-    for col in 0..n {
-        // K column resident; related Q rows stream temporally.
-        let k_vec = k.row(col);
-        for &qi in index.col_rows(col) {
-            let q_vec = q.row(qi as usize);
-            let mut acc = 0.0f32;
-            for (a, b) in q_vec.iter().zip(k_vec.iter()) {
-                acc += a * b;
+    let col_off = column_offsets(index);
+    let (value_bounds, column_starts) = column_partition(index, &col_off);
+    let mut values = vec![0.0f32; index.nnz()];
+    kernels::par_segments(&mut values, &value_bounds, |seg, out| {
+        let mut pos = 0;
+        for col in column_starts[seg]..column_starts[seg + 1] {
+            // K column resident; related Q rows stream temporally.
+            let k_vec = k.row(col);
+            for &qi in index.col_rows(col) {
+                let q_vec = q.row(qi as usize);
+                let mut acc = 0.0f32;
+                for (a, b) in q_vec.iter().zip(k_vec.iter()) {
+                    acc += a * b;
+                }
+                out[pos] = acc * scale;
+                pos += 1;
             }
-            values.push(acc * scale);
         }
-    }
+    });
     SparseScores {
         index: index.clone(),
         values,
@@ -128,20 +176,25 @@ pub fn sddmm_k_stationary_int8(
 ) -> SparseScores {
     assert_eq!(q.shape().1, k.shape().1, "q/k feature dims differ");
     assert_eq!(q.shape().0, index.size(), "index size must match tokens");
-    let n = index.size();
     let out_scale = q.params().scale * k.params().scale * scale;
-    let mut values = Vec::with_capacity(index.nnz());
-    for col in 0..n {
-        let k_vec = k.row_raw(col);
-        for &qi in index.col_rows(col) {
-            let q_vec = q.row_raw(qi as usize);
-            let mut acc: i32 = 0;
-            for (a, b) in q_vec.iter().zip(k_vec.iter()) {
-                acc += (*a as i32) * (*b as i32);
+    let col_off = column_offsets(index);
+    let (value_bounds, column_starts) = column_partition(index, &col_off);
+    let mut values = vec![0.0f32; index.nnz()];
+    kernels::par_segments(&mut values, &value_bounds, |seg, out| {
+        let mut pos = 0;
+        for col in column_starts[seg]..column_starts[seg + 1] {
+            let k_vec = k.row_raw(col);
+            for &qi in index.col_rows(col) {
+                let q_vec = q.row_raw(qi as usize);
+                let mut acc: i32 = 0;
+                for (a, b) in q_vec.iter().zip(k_vec.iter()) {
+                    acc += (*a as i32) * (*b as i32);
+                }
+                out[pos] = acc as f32 * out_scale;
+                pos += 1;
             }
-            values.push(acc as f32 * out_scale);
         }
-    }
+    });
     SparseScores {
         index: index.clone(),
         values,
@@ -159,35 +212,51 @@ pub fn sddmm_k_stationary_int8(
 pub fn spmm_output_stationary(scores: &SparseScores, v: &Matrix) -> Matrix {
     let n = scores.index.size();
     assert_eq!(v.rows(), n, "V token count must match index");
-    let mut out = Matrix::zeros(n, v.cols());
-    let mut pos = 0;
-    for k in 0..n {
-        let v_row = v.row(k).to_vec();
-        for &q in scores.index.col_rows(k) {
-            let p = scores.values[pos];
-            pos += 1;
-            if p == 0.0 {
-                continue;
-            }
-            let out_row = out.row_mut(q as usize);
-            for (o, vv) in out_row.iter_mut().zip(v_row.iter()) {
-                *o += p * vv;
-            }
-        }
+    let cols = v.cols();
+    let mut out = Matrix::zeros(n, cols);
+    if cols == 0 {
+        return out;
     }
+    // Output rows stay resident (intra-PE accumulation) while the sparse
+    // probabilities and V rows stream through. Workers own disjoint
+    // output-row chunks, so every worker walks the full CSC stream and
+    // accumulates only the (q, k) pairs whose output row it owns — the
+    // index walk is duplicated per worker but the MACs are not.
+    let index = &scores.index;
+    let values = &scores.values;
+    let work_per_row = cols * (scores.values.len() / n.max(1) + 1);
+    kernels::for_each_row_chunk_weighted(
+        out.as_mut_slice(),
+        cols,
+        work_per_row,
+        |first_row, chunk| {
+            let chunk_rows = chunk.len() / cols;
+            let mut pos = 0;
+            for k in 0..n {
+                let v_row = v.row(k);
+                for &q in index.col_rows(k) {
+                    let p = values[pos];
+                    pos += 1;
+                    let q = q as usize;
+                    if p == 0.0 || q < first_row || q >= first_row + chunk_rows {
+                        continue;
+                    }
+                    let local = q - first_row;
+                    let out_row = &mut chunk[local * cols..(local + 1) * cols];
+                    for (o, vv) in out_row.iter_mut().zip(v_row.iter()) {
+                        *o += p * vv;
+                    }
+                }
+            }
+        },
+    );
     out
 }
 
 /// Executes one head's full sparse attention through the accelerator's
 /// dataflow: K-stationary SDDMM → sparse softmax → output-stationary
 /// SpMM.
-pub fn attention_head(
-    q: &Matrix,
-    k: &Matrix,
-    v: &Matrix,
-    index: &CscMatrix,
-    scale: f32,
-) -> Matrix {
+pub fn attention_head(q: &Matrix, k: &Matrix, v: &Matrix, index: &CscMatrix, scale: f32) -> Matrix {
     let scores = sddmm_k_stationary(q, k, index, scale);
     let probs = scores.softmax_rows();
     spmm_output_stationary(&probs, v)
@@ -210,30 +279,8 @@ pub fn auto_encoder_round_trip(
     let (h, hc) = enc.shape();
     assert_eq!(x.cols(), h * dk, "input cols must be heads * dk");
     assert_eq!(dec.shape(), (hc, h), "decoder must invert encoder shape");
-    let mix = |input: &Matrix, w: &Matrix| -> Matrix {
-        let (hin, hout) = w.shape();
-        let mut out = Matrix::zeros(input.rows(), hout * dk);
-        for t in 0..input.rows() {
-            for j in 0..hout {
-                for i in 0..hin {
-                    let wij = w.get(i, j);
-                    if wij == 0.0 {
-                        continue;
-                    }
-                    for f in 0..dk {
-                        out.set(
-                            t,
-                            j * dk + f,
-                            out.get(t, j * dk + f) + input.get(t, i * dk + f) * wij,
-                        );
-                    }
-                }
-            }
-        }
-        out
-    };
-    let compressed = mix(x, enc);
-    let recovered = mix(&compressed, dec);
+    let compressed = kernels::head_mix(x, enc, dk);
+    let recovered = kernels::head_mix(&compressed, dec, dk);
     (compressed, recovered)
 }
 
@@ -263,7 +310,13 @@ mod tests {
 
     /// Dense reference: masked softmax attention computed with plain
     /// matrix ops.
-    fn dense_reference(q: &Matrix, k: &Matrix, v: &Matrix, mask: &AttentionMask, scale: f32) -> Matrix {
+    fn dense_reference(
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        mask: &AttentionMask,
+        scale: f32,
+    ) -> Matrix {
         let mut scores = q.matmul_nt(k).scale(scale);
         for r in 0..scores.rows() {
             for c in 0..scores.cols() {
@@ -364,6 +417,19 @@ mod tests {
             }
         }
         assert!(out.row(3).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn forced_multithread_dataflow_is_identical() {
+        let (q, k, v) = random_qkv(33, 8, 90);
+        let map = q.matmul_nt(&k).softmax_rows();
+        let mask = prune_to_sparsity(&map, 0.7);
+        let index = CscMatrix::from_mask(&mask);
+        let sequential = attention_head(&q, &k, &v, &index, 0.3);
+        kernels::set_num_threads(4);
+        let parallel = attention_head(&q, &k, &v, &index, 0.3);
+        kernels::set_num_threads(0);
+        assert_eq!(sequential, parallel);
     }
 
     #[test]

@@ -29,7 +29,10 @@ impl Roofline {
     ///
     /// Panics if either roof is non-positive.
     pub fn new(peak_gops: f64, bandwidth_gbps: f64) -> Self {
-        assert!(peak_gops > 0.0 && bandwidth_gbps > 0.0, "roofs must be positive");
+        assert!(
+            peak_gops > 0.0 && bandwidth_gbps > 0.0,
+            "roofs must be positive"
+        );
         Self {
             peak_gops,
             bandwidth_gbps,

@@ -193,10 +193,7 @@ mod tests {
             w.tokens * w.num_global + w.sparser_nnz
         );
         // SpMM: kept scores only, both blocks.
-        assert_eq!(
-            s.scores_in_phase(Phase::Spmm),
-            w.denser_nnz + w.sparser_nnz
-        );
+        assert_eq!(s.scores_in_phase(Phase::Spmm), w.denser_nnz + w.sparser_nnz);
     }
 
     #[test]

@@ -70,7 +70,10 @@ impl ExecutionTrace {
         if self.layers.is_empty() {
             return 0.0;
         }
-        self.layers.iter().filter(|l| l.bound_by() == "memory").count() as f64
+        self.layers
+            .iter()
+            .filter(|l| l.bound_by() == "memory")
+            .count() as f64
             / self.layers.len() as f64
     }
 

@@ -29,7 +29,13 @@ fn tiny_model(tokens: usize, heads: usize, dk: usize) -> ViTConfig {
     }
 }
 
-fn program_for(tokens: usize, heads: usize, dk: usize, sparsity: f64, seed: u64) -> (ViTConfig, vitcod_core::AcceleratorProgram) {
+fn program_for(
+    tokens: usize,
+    heads: usize,
+    dk: usize,
+    sparsity: f64,
+    seed: u64,
+) -> (ViTConfig, vitcod_core::AcceleratorProgram) {
     let cfg = tiny_model(tokens, heads, dk);
     let stats = vitcod_model::AttentionStats::generate(AttentionStatsConfig {
         tokens,

@@ -1,0 +1,1291 @@
+//! The shared parallel kernel layer.
+//!
+//! Every dense hot path in the workspace — the autograd tape, the ViT
+//! forward/backward, the functional dataflow checks and the benchmark
+//! harness — routes its inner loops through this module instead of
+//! open-coding them. Kernels come in two selectable backends:
+//!
+//! * [`Backend::Scalar`] — textbook reference loops (`i–j–k` dot-product
+//!   GEMM, one row at a time for row-wise ops). Slow, obviously correct,
+//!   and the yardstick the simulator's operation counts are audited
+//!   against.
+//! * [`Backend::Blocked`] — cache-blocked, thread-parallel kernels. GEMMs
+//!   run in `i–k–j` order with the shared `k` dimension tiled into panels
+//!   of [`K_BLOCK`] rows so the right-hand panel stays cache-resident
+//!   while output rows stream; transposed flavours are reduced to the
+//!   same kernel via a tiled transpose. Row-wise ops (softmax, LayerNorm,
+//!   bias, elementwise maps) fan rows out across scoped threads.
+//!
+//! # Backend-selection contract
+//!
+//! The process-wide backend defaults to `Blocked` and can be switched at
+//! runtime with [`set_backend`] (or per call with the `*_with` variants).
+//! **Both backends produce bit-identical results**: every kernel
+//! accumulates each output element along ascending `k` in a single
+//! dependency chain, so blocking and row-parallelism reorder *independent*
+//! elements only, never the floating-point reduction itself. Property
+//! tests assert exact equality between backends; new kernels must either
+//! preserve the invariant or document a tolerance.
+//!
+//! Thread fan-out uses `std::thread::scope` (no work-stealing runtime and
+//! no `unsafe`): outputs are split into disjoint `&mut` chunks, one per
+//! worker. The worker count defaults to the machine's available
+//! parallelism, clamped by [`set_num_threads`] or the
+//! `VITCOD_NUM_THREADS` environment variable, and degrades to plain
+//! sequential execution when a kernel's work is too small to amortise a
+//! spawn.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crate::ops::softmax_row;
+use crate::Matrix;
+
+/// Number of `k` rows per cache panel in the blocked GEMM: a panel of the
+/// right-hand operand (`K_BLOCK × n` floats) is reused across every output
+/// row before the next panel is streamed in.
+pub const K_BLOCK: usize = 64;
+
+/// Tile edge for the blocked transpose.
+const TRANSPOSE_TILE: usize = 32;
+
+/// Minimum per-thread work (elements touched, or MACs for GEMM-shaped
+/// kernels) before a kernel fans out: a scoped-thread spawn/join costs
+/// tens of microseconds, so each worker must bring at least ~100 µs of
+/// compute for the fan-out to win.
+const MIN_WORK_PER_THREAD: usize = 128 * 1024;
+
+/// Kernel implementation selector. See the [module docs](self) for the
+/// agreement contract between the two.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Textbook reference loops; slow but auditable.
+    Scalar,
+    /// Cache-blocked, thread-parallel kernels (the default).
+    #[default]
+    Blocked,
+}
+
+static BACKEND: AtomicU8 = AtomicU8::new(1);
+
+/// Selects the process-wide kernel backend.
+pub fn set_backend(backend: Backend) {
+    BACKEND.store(backend as u8, Ordering::Relaxed);
+}
+
+/// Currently selected process-wide backend.
+pub fn backend() -> Backend {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => Backend::Scalar,
+        _ => Backend::Blocked,
+    }
+}
+
+static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Caps the worker-thread count (`0` restores the automatic default:
+/// `VITCOD_NUM_THREADS` if set, otherwise the machine's available
+/// parallelism).
+pub fn set_num_threads(n: usize) {
+    NUM_THREADS.store(n, Ordering::Relaxed);
+}
+
+/// Resolved worker-thread budget.
+pub fn num_threads() -> usize {
+    let configured = NUM_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    // The env fallback is resolved once: kernels sit on the hot path and
+    // must not take the environment lock per call.
+    static AUTO: OnceLock<usize> = OnceLock::new();
+    *AUTO.get_or_init(|| {
+        std::env::var("VITCOD_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Worker count for `items` units of `work_per_item` compute each,
+/// capped so every worker gets at least [`MIN_WORK_PER_THREAD`].
+fn effective_threads(items: usize, work_per_item: usize) -> usize {
+    if items == 0 {
+        return 1;
+    }
+    let total_work = items.saturating_mul(work_per_item.max(1));
+    num_threads()
+        .min(total_work / MIN_WORK_PER_THREAD + 1)
+        .min(items)
+        .max(1)
+}
+
+// ---------------------------------------------------------------------------
+// Parallel driving helpers
+// ---------------------------------------------------------------------------
+
+/// Runs `f(first_row, chunk)` over contiguous row chunks of a row-major
+/// buffer, in parallel when the total work warrants it.
+///
+/// `data.len()` must be a multiple of `cols`; each invocation receives a
+/// disjoint `&mut` window starting at row `first_row`. The work estimate
+/// assumes ~`cols` operations per row; kernels that do more per row
+/// (GEMM does `cols · k` MACs) should use
+/// [`for_each_row_chunk_weighted`] so wide-but-short outputs still fan
+/// out.
+pub fn for_each_row_chunk<T: Send>(
+    data: &mut [T],
+    cols: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    for_each_row_chunk_weighted(data, cols, cols, f)
+}
+
+/// [`for_each_row_chunk`] with an explicit per-row work estimate
+/// (elements touched or MACs), used to decide the fan-out.
+pub fn for_each_row_chunk_weighted<T: Send>(
+    data: &mut [T],
+    cols: usize,
+    work_per_row: usize,
+    f: impl Fn(usize, &mut [T]) + Sync,
+) {
+    if data.is_empty() || cols == 0 {
+        return;
+    }
+    debug_assert_eq!(
+        data.len() % cols,
+        0,
+        "buffer is not row-major of width cols"
+    );
+    let rows = data.len() / cols;
+    let threads = effective_threads(rows, work_per_row);
+    if threads <= 1 {
+        f(0, data);
+        return;
+    }
+    let rows_per = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (i, chunk) in data.chunks_mut(rows_per * cols).enumerate() {
+            let f = &f;
+            scope.spawn(move || f(i * rows_per, chunk));
+        }
+    });
+}
+
+/// Splits `data` at the ascending `bounds` (which must start at `0` and
+/// end at `data.len()`) and runs `f(segment_index, segment)` for each
+/// piece, in parallel when there is more than one worker available.
+///
+/// This is the driver for CSC-ordered workloads: the caller partitions a
+/// values buffer at column boundaries and each worker owns a disjoint
+/// column range.
+pub fn par_segments<T: Send>(data: &mut [T], bounds: &[usize], f: impl Fn(usize, &mut [T]) + Sync) {
+    assert!(bounds.len() >= 2, "need at least one segment");
+    assert_eq!(*bounds.first().unwrap(), 0, "bounds must start at 0");
+    assert_eq!(
+        *bounds.last().unwrap(),
+        data.len(),
+        "bounds must end at data.len()"
+    );
+    let segments = bounds.len() - 1;
+    if segments == 1 || num_threads() <= 1 {
+        let mut rest = data;
+        let mut offset = 0;
+        for (i, w) in bounds.windows(2).enumerate() {
+            let (seg, tail) = rest.split_at_mut(w[1] - offset);
+            f(i, seg);
+            rest = tail;
+            offset = w[1];
+        }
+        return;
+    }
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        let mut offset = 0;
+        for (i, w) in bounds.windows(2).enumerate() {
+            let (seg, tail) = rest.split_at_mut(w[1] - offset);
+            let f = &f;
+            scope.spawn(move || f(i, seg));
+            rest = tail;
+            offset = w[1];
+        }
+    });
+}
+
+/// Builds a `Vec` of `n` items where item `i` is `f(i)`, fanning the
+/// calls out across scoped threads when `n · work_per_item` justifies
+/// the spawns. Used to parallelise per-head and per-sample work that
+/// produces owned values.
+pub fn par_map_collect<T: Send, F: Fn(usize) -> T + Sync>(
+    n: usize,
+    work_per_item: usize,
+    f: F,
+) -> Vec<T> {
+    let threads = effective_threads(n, work_per_item);
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let per = n.div_ceil(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let f = &f;
+                let range = t * per..((t + 1) * per).min(n);
+                scope.spawn(move || range.map(f).collect::<Vec<T>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(n);
+        for handle in handles {
+            out.extend(handle.join().expect("kernel worker panicked"));
+        }
+        out
+    })
+}
+
+// ---------------------------------------------------------------------------
+// GEMM flavours
+// ---------------------------------------------------------------------------
+
+/// Matrix product `a · b` on the ambient backend.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_with(backend(), a, b)
+}
+
+/// Matrix product `a · b` on an explicit backend.
+pub fn matmul_with(backend: Backend, a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul inner dimensions differ: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    match backend {
+        Backend::Scalar => scalar_matmul(a, b),
+        Backend::Blocked => blocked_matmul(a, b),
+    }
+}
+
+/// Matrix product with a transposed right-hand side, `a · bᵀ`, on the
+/// ambient backend. This is attention's `S = Q · Kᵀ` layout: both
+/// operands token-major.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_nt_with(backend(), a, b)
+}
+
+/// `a · bᵀ` on an explicit backend.
+pub fn matmul_nt_with(backend: Backend, a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt inner dimensions differ: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    match backend {
+        Backend::Scalar => scalar_matmul_nt(a, b),
+        // Reduction to the blocked kernel: out[i][j] = Σ_k a[i,k]·bᵀ[k,j]
+        // visits k in the same ascending order as the direct dot product,
+        // so the transpose changes layout, not numerics.
+        Backend::Blocked => blocked_matmul(a, &transpose_with(Backend::Blocked, b)),
+    }
+}
+
+/// Matrix product with a transposed left-hand side, `aᵀ · b`, on the
+/// ambient backend.
+///
+/// # Panics
+///
+/// Panics if `a.rows() != b.rows()`.
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    matmul_tn_with(backend(), a, b)
+}
+
+/// `aᵀ · b` on an explicit backend.
+pub fn matmul_tn_with(backend: Backend, a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn inner dimensions differ: {:?} vs {:?}",
+        a.shape(),
+        b.shape()
+    );
+    match backend {
+        Backend::Scalar => scalar_matmul_tn(a, b),
+        Backend::Blocked => blocked_matmul(&transpose_with(Backend::Blocked, a), b),
+    }
+}
+
+/// Transpose on the ambient backend.
+pub fn transpose(a: &Matrix) -> Matrix {
+    transpose_with(backend(), a)
+}
+
+/// Transpose on an explicit backend. The blocked flavour walks
+/// [`TRANSPOSE_TILE`]-square tiles so both the source and destination are
+/// touched a cache line at a time, and fans output rows across threads.
+pub fn transpose_with(backend: Backend, a: &Matrix) -> Matrix {
+    let (rows, cols) = a.shape();
+    let mut out = Matrix::zeros(cols, rows);
+    if a.is_empty() {
+        return out;
+    }
+    match backend {
+        Backend::Scalar => {
+            let src = a.as_slice();
+            let dst = out.as_mut_slice();
+            for r in 0..rows {
+                for c in 0..cols {
+                    dst[c * rows + r] = src[r * cols + c];
+                }
+            }
+        }
+        Backend::Blocked => {
+            let src = a.as_slice();
+            // Parallel over output row chunks; each output row is a
+            // source column, so chunks read disjoint column stripes.
+            for_each_row_chunk(out.as_mut_slice(), rows, |first_out_row, chunk| {
+                let out_rows = chunk.len() / rows;
+                for c0 in (0..out_rows).step_by(TRANSPOSE_TILE) {
+                    let c1 = (c0 + TRANSPOSE_TILE).min(out_rows);
+                    for r0 in (0..rows).step_by(TRANSPOSE_TILE) {
+                        let r1 = (r0 + TRANSPOSE_TILE).min(rows);
+                        for c in c0..c1 {
+                            let col = first_out_row + c;
+                            for r in r0..r1 {
+                                chunk[c * rows + r] = src[r * cols + col];
+                            }
+                        }
+                    }
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Textbook `i–j–k` GEMM: per-element dot products with a column-strided
+/// walk of `b`. Kept deliberately naive — this is the reference the
+/// blocked kernel (and the simulator's MAC counts) are audited against.
+fn scalar_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, kdim) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..kdim {
+                acc += av[i * kdim + k] * bv[k * n + j];
+            }
+            ov[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn scalar_matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, kdim) = a.shape();
+    let n = b.rows();
+    let mut out = Matrix::zeros(m, n);
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        let arow = a.row(i);
+        for j in 0..n {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for k in 0..kdim {
+                acc += arow[k] * brow[k];
+            }
+            ov[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+fn scalar_matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    let (kdim, m) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let ov = out.as_mut_slice();
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for k in 0..kdim {
+                acc += av[k * m + i] * bv[k * n + j];
+            }
+            ov[i * n + j] = acc;
+        }
+    }
+    out
+}
+
+/// Cache-blocked `i–k–j` GEMM, row-parallel over the output.
+///
+/// The shared dimension is tiled into [`K_BLOCK`]-row panels of `b`; for
+/// each panel every output row streams once, with the unit-stride inner
+/// loop `out_row += a_ik · b_row` vectorising cleanly. Because panels are
+/// visited in ascending `k`, each output element still accumulates in the
+/// exact order of the scalar reference (see the module docs).
+fn blocked_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, kdim) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || kdim == 0 {
+        return out;
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    // Each output row costs kdim · n MACs, far more than the n elements
+    // it holds — weight the fan-out decision accordingly.
+    for_each_row_chunk_weighted(out.as_mut_slice(), n, kdim * n, |first_row, chunk| {
+        let chunk_rows = chunk.len() / n;
+        for k0 in (0..kdim).step_by(K_BLOCK) {
+            let k1 = (k0 + K_BLOCK).min(kdim);
+            for ci in 0..chunk_rows {
+                let arow = &av[(first_row + ci) * kdim..(first_row + ci + 1) * kdim];
+                let orow = &mut chunk[ci * n..(ci + 1) * n];
+                for (k, &aik) in arow[k0..k1].iter().enumerate() {
+                    // Exact-zero skip: masked/sparse operands carry many
+                    // structural zeros, and `acc + 0·x` is a bitwise no-op
+                    // for finite data, so parity with Scalar is preserved.
+                    if aik == 0.0 {
+                        continue;
+                    }
+                    let brow = &bv[(k0 + k) * n..(k0 + k + 1) * n];
+                    for (o, &bkj) in orow.iter_mut().zip(brow.iter()) {
+                        *o += aik * bkj;
+                    }
+                }
+            }
+        }
+    });
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Row-wise and elementwise ops
+// ---------------------------------------------------------------------------
+
+/// Row-wise softmax on the ambient backend (row-parallel when blocked).
+pub fn softmax_rows(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    let cols = x.cols();
+    match backend() {
+        Backend::Scalar => {
+            for r in 0..out.rows() {
+                softmax_row(out.row_mut(r));
+            }
+        }
+        Backend::Blocked => {
+            for_each_row_chunk(out.as_mut_slice(), cols, |_, chunk| {
+                for row in chunk.chunks_mut(cols) {
+                    softmax_row(row);
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Backward of a row-wise softmax: given probabilities `p` and upstream
+/// gradient `dp`, returns `ds` where
+/// `ds = p ⊙ (dp − rowsum(dp ⊙ p))`.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn softmax_backward(probs: &Matrix, dp: &Matrix) -> Matrix {
+    assert_eq!(probs.shape(), dp.shape(), "softmax_backward shape mismatch");
+    let cols = probs.cols();
+    let mut out = Matrix::zeros(probs.rows(), cols);
+    if cols == 0 {
+        return out;
+    }
+    let pv = probs.as_slice();
+    let dv = dp.as_slice();
+    for_each_row_chunk(out.as_mut_slice(), cols, |first_row, chunk| {
+        for (ci, orow) in chunk.chunks_mut(cols).enumerate() {
+            let base = (first_row + ci) * cols;
+            let prow = &pv[base..base + cols];
+            let drow = &dv[base..base + cols];
+            let mut dot = 0.0f32;
+            for (p, d) in prow.iter().zip(drow.iter()) {
+                dot += p * d;
+            }
+            for ((o, &p), &d) in orow.iter_mut().zip(prow).zip(drow) {
+                *o = p * (d - dot);
+            }
+        }
+    });
+    out
+}
+
+/// Row-wise LayerNorm (inference form) on the ambient backend.
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
+pub fn layernorm_rows(x: &Matrix, gamma: &[f32], beta: &[f32], eps: f32) -> Matrix {
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    let cols = x.cols();
+    let mut out = x.clone();
+    if cols == 0 {
+        return out;
+    }
+    let normalise = |row: &mut [f32]| {
+        let n = row.len() as f32;
+        let mean = row.iter().sum::<f32>() / n;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let inv = 1.0 / (var + eps).sqrt();
+        for (i, v) in row.iter_mut().enumerate() {
+            *v = (*v - mean) * inv * gamma[i] + beta[i];
+        }
+    };
+    match backend() {
+        Backend::Scalar => {
+            for r in 0..out.rows() {
+                normalise(out.row_mut(r));
+            }
+        }
+        Backend::Blocked => {
+            for_each_row_chunk(out.as_mut_slice(), cols, |_, chunk| {
+                for row in chunk.chunks_mut(cols) {
+                    normalise(row);
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Training-mode LayerNorm forward: returns `(out, normed, inv_std)`
+/// where `normed` caches the pre-scale normalised activations and
+/// `inv_std` the per-row `1/σ`, both needed by
+/// [`layernorm_backward`].
+///
+/// # Panics
+///
+/// Panics if `gamma`/`beta` lengths differ from `x.cols()`.
+pub fn layernorm_train_forward(
+    x: &Matrix,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> (Matrix, Matrix, Vec<f32>) {
+    assert_eq!(gamma.len(), x.cols(), "gamma length mismatch");
+    assert_eq!(beta.len(), x.cols(), "beta length mismatch");
+    let (rows, cols) = x.shape();
+    let mut out = Matrix::zeros(rows, cols);
+    let mut normed = Matrix::zeros(rows, cols);
+    let mut inv_std = vec![0.0f32; rows];
+    if rows == 0 || cols == 0 {
+        return (out, normed, inv_std);
+    }
+    let xv = x.as_slice();
+    // Per-row statistics (two reductions per row) fan out like the
+    // elementwise passes that follow, so no stage of the op serialises.
+    let stats = par_map_collect(rows, cols * 3, |r| {
+        let row = &xv[r * cols..(r + 1) * cols];
+        let n = cols as f32;
+        let mean = row.iter().sum::<f32>() / n;
+        let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        (mean, 1.0 / (var + eps).sqrt())
+    });
+    let mut means = vec![0.0f32; rows];
+    for (r, &(mean, inv)) in stats.iter().enumerate() {
+        means[r] = mean;
+        inv_std[r] = inv;
+    }
+    for_each_row_chunk(normed.as_mut_slice(), cols, |first_row, chunk| {
+        for (ci, nrow) in chunk.chunks_mut(cols).enumerate() {
+            let r = first_row + ci;
+            let xrow = &xv[r * cols..(r + 1) * cols];
+            for (n, &xval) in nrow.iter_mut().zip(xrow.iter()) {
+                *n = (xval - means[r]) * inv_std[r];
+            }
+        }
+    });
+    let nv = normed.as_slice();
+    for_each_row_chunk(out.as_mut_slice(), cols, |first_row, chunk| {
+        for (ci, orow) in chunk.chunks_mut(cols).enumerate() {
+            let base = (first_row + ci) * cols;
+            for (c, o) in orow.iter_mut().enumerate() {
+                *o = nv[base + c] * gamma[c] + beta[c];
+            }
+        }
+    });
+    (out, normed, inv_std)
+}
+
+/// Backward of [`layernorm_train_forward`]: returns `(gx, ggamma, gbeta)`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn layernorm_backward(
+    gout: &Matrix,
+    normed: &Matrix,
+    inv_std: &[f32],
+    gamma: &[f32],
+) -> (Matrix, Matrix, Matrix) {
+    let (rows, cols) = gout.shape();
+    assert_eq!(normed.shape(), (rows, cols), "normed shape mismatch");
+    assert_eq!(inv_std.len(), rows, "inv_std length mismatch");
+    assert_eq!(gamma.len(), cols, "gamma length mismatch");
+    let mut gx = Matrix::zeros(rows, cols);
+    let mut ggamma = Matrix::zeros(1, cols);
+    let mut gbeta = Matrix::zeros(1, cols);
+    if rows == 0 || cols == 0 {
+        return (gx, ggamma, gbeta);
+    }
+    let gv = gout.as_slice();
+    let nv = normed.as_slice();
+    // gx is row-parallel; the 1×c parameter gradients are column
+    // reductions over rows and stay sequential (they are O(rows·cols)
+    // adds on 1×c outputs — cheap next to the gx pass).
+    for_each_row_chunk(gx.as_mut_slice(), cols, |first_row, chunk| {
+        let n = cols as f32;
+        for (ci, grow) in chunk.chunks_mut(cols).enumerate() {
+            let r = first_row + ci;
+            let base = r * cols;
+            let mut sum_dxhat = 0.0f32;
+            let mut sum_dxhat_xhat = 0.0f32;
+            for c in 0..cols {
+                let d = gv[base + c] * gamma[c];
+                sum_dxhat += d;
+                sum_dxhat_xhat += d * nv[base + c];
+            }
+            for (c, g) in grow.iter_mut().enumerate() {
+                let d = gv[base + c] * gamma[c];
+                let xh = nv[base + c];
+                *g = inv_std[r] / n * (n * d - sum_dxhat - xh * sum_dxhat_xhat);
+            }
+        }
+    });
+    {
+        let gg = ggamma.as_mut_slice();
+        let gb = gbeta.as_mut_slice();
+        for r in 0..rows {
+            let base = r * cols;
+            for c in 0..cols {
+                gg[c] += gv[base + c] * nv[base + c];
+                gb[c] += gv[base + c];
+            }
+        }
+    }
+    (gx, ggamma, gbeta)
+}
+
+/// Broadcast-adds a bias row to every row of `x` (row-parallel).
+///
+/// # Panics
+///
+/// Panics if `bias.len() != x.cols()`.
+pub fn add_bias(x: &Matrix, bias: &[f32]) -> Matrix {
+    assert_eq!(bias.len(), x.cols(), "bias length mismatch");
+    let cols = x.cols();
+    let mut out = x.clone();
+    for_each_row_chunk(out.as_mut_slice(), cols, |_, chunk| {
+        for row in chunk.chunks_mut(cols) {
+            for (v, b) in row.iter_mut().zip(bias.iter()) {
+                *v += b;
+            }
+        }
+    });
+    out
+}
+
+/// Column sums as a `1 × cols` matrix (the gradient of a broadcast bias).
+pub fn col_sums(x: &Matrix) -> Matrix {
+    let (rows, cols) = x.shape();
+    let mut out = Matrix::zeros(1, cols);
+    let xv = x.as_slice();
+    let ov = out.as_mut_slice();
+    for r in 0..rows {
+        for (o, &v) in ov.iter_mut().zip(&xv[r * cols..(r + 1) * cols]) {
+            *o += v;
+        }
+    }
+    out
+}
+
+/// Column means as a `1 × cols` matrix.
+pub fn mean_rows(x: &Matrix) -> Matrix {
+    let rows = x.rows().max(1) as f32;
+    let mut out = col_sums(x);
+    let inv = 1.0 / rows;
+    for v in out.as_mut_slice() {
+        *v *= inv;
+    }
+    out
+}
+
+/// Repeats a `1 × cols` row `rows` times, scaled by `scale` (the backward
+/// of [`mean_rows`] uses `scale = 1/rows`).
+///
+/// # Panics
+///
+/// Panics if `row` is not a single row.
+pub fn broadcast_row(row: &Matrix, rows: usize, scale: f32) -> Matrix {
+    assert_eq!(row.rows(), 1, "broadcast_row needs a 1 x c matrix");
+    let cols = row.cols();
+    let mut out = Matrix::zeros(rows, cols);
+    let rv = row.as_slice();
+    for_each_row_chunk(out.as_mut_slice(), cols, |_, chunk| {
+        for orow in chunk.chunks_mut(cols) {
+            for (o, &v) in orow.iter_mut().zip(rv.iter()) {
+                *o = v * scale;
+            }
+        }
+    });
+    out
+}
+
+/// Elementwise map (row-parallel when blocked).
+pub fn map(x: &Matrix, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
+    let mut out = x.clone();
+    let cols = x.cols();
+    match backend() {
+        Backend::Scalar => {
+            for v in out.as_mut_slice() {
+                *v = f(*v);
+            }
+        }
+        Backend::Blocked => {
+            for_each_row_chunk(out.as_mut_slice(), cols.max(1), |_, chunk| {
+                for v in chunk {
+                    *v = f(*v);
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Elementwise binary map `f(a[i], b[i])` (row-parallel when blocked).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn zip_map(a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
+    assert_eq!(a.shape(), b.shape(), "zip_map shape mismatch");
+    let cols = a.cols();
+    let mut out = a.clone();
+    let bv = b.as_slice();
+    match backend() {
+        Backend::Scalar => {
+            for (v, &w) in out.as_mut_slice().iter_mut().zip(bv) {
+                *v = f(*v, w);
+            }
+        }
+        Backend::Blocked => {
+            for_each_row_chunk(out.as_mut_slice(), cols.max(1), |first_row, chunk| {
+                let base = first_row * cols.max(1);
+                for (i, v) in chunk.iter_mut().enumerate() {
+                    *v = f(*v, bv[base + i]);
+                }
+            });
+        }
+    }
+    out
+}
+
+/// Adds an additive attention-mask bias in place: finite entries add to
+/// the score, `-inf` entries force the score to `-inf` (an exactly-zero
+/// probability after softmax).
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn apply_mask_bias(scores: &mut Matrix, bias: &Matrix) {
+    assert_eq!(scores.shape(), bias.shape(), "mask shape mismatch");
+    let cols = scores.cols();
+    let bv = bias.as_slice();
+    for_each_row_chunk(scores.as_mut_slice(), cols.max(1), |first_row, chunk| {
+        let base = first_row * cols.max(1);
+        for (i, s) in chunk.iter_mut().enumerate() {
+            let b = bv[base + i];
+            if b == f32::NEG_INFINITY {
+                *s = f32::NEG_INFINITY;
+            } else {
+                *s += b;
+            }
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Head-mixing (the ViTCoD auto-encoder primitive)
+// ---------------------------------------------------------------------------
+
+/// Head-dimension mixing: with `a` of shape `n × (h_in·dk)` and `w` of
+/// shape `h_in × h_out`, output head `j` is `Σ_i w[i,j] · head_i`
+/// (token-row-parallel).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != w.rows() · dk`.
+pub fn head_mix(a: &Matrix, w: &Matrix, dk: usize) -> Matrix {
+    let (h_in, h_out) = w.shape();
+    assert_eq!(a.cols(), h_in * dk, "input cols must equal h_in * dk");
+    let n = a.rows();
+    let mut out = Matrix::zeros(n, h_out * dk);
+    if n == 0 || h_out == 0 || dk == 0 {
+        return out;
+    }
+    let av = a.as_slice();
+    let wv = w.as_slice();
+    let in_cols = h_in * dk;
+    let out_cols = h_out * dk;
+    for_each_row_chunk_weighted(
+        out.as_mut_slice(),
+        out_cols,
+        in_cols * h_out,
+        |first_row, chunk| {
+            for (ci, orow) in chunk.chunks_mut(out_cols).enumerate() {
+                let arow = &av[(first_row + ci) * in_cols..(first_row + ci + 1) * in_cols];
+                for j in 0..h_out {
+                    let oseg = &mut orow[j * dk..(j + 1) * dk];
+                    for i in 0..h_in {
+                        let wij = wv[i * h_out + j];
+                        if wij == 0.0 {
+                            continue;
+                        }
+                        let aseg = &arow[i * dk..(i + 1) * dk];
+                        for (o, &x) in oseg.iter_mut().zip(aseg.iter()) {
+                            *o += wij * x;
+                        }
+                    }
+                }
+            }
+        },
+    );
+    out
+}
+
+/// Backward of [`head_mix`]: returns `(ga, gw)` for upstream gradient
+/// `gout` of shape `n × (h_out·dk)`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree.
+pub fn head_mix_backward(a: &Matrix, w: &Matrix, dk: usize, gout: &Matrix) -> (Matrix, Matrix) {
+    let (h_in, h_out) = w.shape();
+    let n = a.rows();
+    assert_eq!(a.cols(), h_in * dk, "input cols must equal h_in * dk");
+    assert_eq!(gout.shape(), (n, h_out * dk), "gout shape mismatch");
+    let in_cols = h_in * dk;
+    let out_cols = h_out * dk;
+    let av = a.as_slice();
+    let wv = w.as_slice();
+    let gv = gout.as_slice();
+    // d_in[t, i·dk+f] = Σ_j gout[t, j·dk+f] · w[i,j] — token-row-parallel.
+    let mut ga = Matrix::zeros(n, in_cols);
+    for_each_row_chunk_weighted(
+        ga.as_mut_slice(),
+        in_cols.max(1),
+        in_cols * h_out,
+        |first_row, chunk| {
+            for (ci, grow) in chunk.chunks_mut(in_cols).enumerate() {
+                let gorow = &gv[(first_row + ci) * out_cols..(first_row + ci + 1) * out_cols];
+                for i in 0..h_in {
+                    let gseg = &mut grow[i * dk..(i + 1) * dk];
+                    for j in 0..h_out {
+                        let wij = wv[i * h_out + j];
+                        if wij == 0.0 {
+                            continue;
+                        }
+                        let goseg = &gorow[j * dk..(j + 1) * dk];
+                        for (g, &go) in gseg.iter_mut().zip(goseg.iter()) {
+                            *g += go * wij;
+                        }
+                    }
+                }
+            }
+        },
+    );
+    // dW[i,j] = Σ_{t,f} a[t, i·dk+f] · gout[t, j·dk+f] — small output,
+    // sequential accumulation over tokens.
+    let mut gw = Matrix::zeros(h_in, h_out);
+    {
+        let gwv = gw.as_mut_slice();
+        for t in 0..n {
+            let arow = &av[t * in_cols..(t + 1) * in_cols];
+            let gorow = &gv[t * out_cols..(t + 1) * out_cols];
+            for i in 0..h_in {
+                let aseg = &arow[i * dk..(i + 1) * dk];
+                for j in 0..h_out {
+                    let goseg = &gorow[j * dk..(j + 1) * dk];
+                    let mut acc = 0.0f32;
+                    for (&x, &go) in aseg.iter().zip(goseg.iter()) {
+                        acc += x * go;
+                    }
+                    gwv[i * h_out + j] += acc;
+                }
+            }
+        }
+    }
+    (ga, gw)
+}
+
+// ---------------------------------------------------------------------------
+// Attention
+// ---------------------------------------------------------------------------
+
+/// Forward pass of one attention head:
+/// `softmax(q·kᵀ·scale + mask_bias) · v`; returns `(out, probs)`.
+///
+/// # Panics
+///
+/// Panics if `q`/`k` feature dims differ, `k`/`v` token counts differ, or
+/// the mask is not `q.rows() × k.rows()`.
+pub fn attention_head(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    scale: f32,
+    mask_bias: Option<&Matrix>,
+) -> (Matrix, Matrix) {
+    assert_eq!(q.cols(), k.cols(), "q/k feature dims differ");
+    assert_eq!(k.rows(), v.rows(), "k/v token counts differ");
+    let mut scores = matmul_nt(q, k);
+    for s in scores.as_mut_slice() {
+        *s *= scale;
+    }
+    if let Some(bias) = mask_bias {
+        assert_eq!(
+            bias.shape(),
+            (q.rows(), k.rows()),
+            "mask shape must be q.rows x k.rows"
+        );
+        apply_mask_bias(&mut scores, bias);
+    }
+    let probs = softmax_rows(&scores);
+    let out = matmul(&probs, v);
+    (out, probs)
+}
+
+/// Backward pass of one attention head given its cached `probs`; returns
+/// `(gq, gk, gv)`.
+pub fn attention_head_backward(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    scale: f32,
+    probs: &Matrix,
+    gout: &Matrix,
+) -> (Matrix, Matrix, Matrix) {
+    // dV = Pᵀ · dO
+    let gv = matmul_tn(probs, gout);
+    // dP = dO · Vᵀ
+    let dp = matmul_nt(gout, v);
+    // dS = P ⊙ (dP − rowsum(dP ⊙ P))
+    let mut ds = softmax_backward(probs, &dp);
+    // dQ = dS·K·scale ; dK = dSᵀ·Q·scale — fold the scale into dS once.
+    for s in ds.as_mut_slice() {
+        *s *= scale;
+    }
+    let gq = matmul(&ds, k);
+    let gk = matmul_tn(&ds, q);
+    (gq, gk, gv)
+}
+
+/// Result of [`multi_head_attention`].
+#[derive(Debug, Clone)]
+pub struct MhaForward {
+    /// Concatenated head outputs, `n × (h·dk)`.
+    pub out: Matrix,
+    /// Per-head probability matrices, each `n × n`.
+    pub probs: Vec<Matrix>,
+}
+
+/// Fused multi-head attention forward over head-fused `q`/`k`/`v` of
+/// shape `n × (h·dk)`: heads fan out across worker threads, each running
+/// [`attention_head`] on its column stripe.
+///
+/// `masks[h]`, when present, is the additive bias for head `h` (`0` kept,
+/// `-inf` pruned); pass an empty slice for all-dense heads.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent, `q.cols()` is not a multiple of
+/// `dk`, or `masks` is non-empty but shorter than the head count.
+pub fn multi_head_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    dk: usize,
+    scale: f32,
+    masks: &[Option<Matrix>],
+) -> MhaForward {
+    assert!(dk > 0, "dk must be positive");
+    assert_eq!(q.shape(), k.shape(), "q/k shapes differ");
+    assert_eq!(q.shape(), v.shape(), "q/v shapes differ");
+    assert_eq!(q.cols() % dk, 0, "cols must be a multiple of dk");
+    let heads = q.cols() / dk;
+    assert!(
+        masks.is_empty() || masks.len() >= heads,
+        "masks must cover all heads"
+    );
+    let n = q.rows();
+    // Per-head cost: two n×n×dk GEMMs plus the softmax.
+    let per_head = par_map_collect(heads, 2 * n * n * dk, |h| {
+        let c0 = h * dk;
+        let qh = q.submatrix(0, n, c0, c0 + dk);
+        let kh = k.submatrix(0, n, c0, c0 + dk);
+        let vh = v.submatrix(0, n, c0, c0 + dk);
+        let bias = masks.get(h).and_then(|m| m.as_ref());
+        attention_head(&qh, &kh, &vh, scale, bias)
+    });
+    let outs: Vec<&Matrix> = per_head.iter().map(|(o, _)| o).collect();
+    let out = Matrix::hcat(&outs);
+    let probs = per_head.into_iter().map(|(_, p)| p).collect();
+    MhaForward { out, probs }
+}
+
+/// Backward of [`multi_head_attention`]: heads fan out in parallel;
+/// returns `(gq, gk, gv)` in the fused `n × (h·dk)` layout.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the forward pass.
+pub fn multi_head_attention_backward(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    dk: usize,
+    scale: f32,
+    probs: &[Matrix],
+    gout: &Matrix,
+) -> (Matrix, Matrix, Matrix) {
+    let heads = probs.len();
+    let n = q.rows();
+    assert_eq!(q.cols(), heads * dk, "q cols must equal heads * dk");
+    assert_eq!(gout.shape(), q.shape(), "gout shape mismatch");
+    // Backward runs four n×n×dk GEMMs per head.
+    let per_head = par_map_collect(heads, 4 * n * n * dk, |h| {
+        let c0 = h * dk;
+        let qh = q.submatrix(0, n, c0, c0 + dk);
+        let kh = k.submatrix(0, n, c0, c0 + dk);
+        let vh = v.submatrix(0, n, c0, c0 + dk);
+        let gh = gout.submatrix(0, n, c0, c0 + dk);
+        attention_head_backward(&qh, &kh, &vh, scale, &probs[h], &gh)
+    });
+    let gq = Matrix::hcat(&per_head.iter().map(|(g, _, _)| g).collect::<Vec<_>>());
+    let gk = Matrix::hcat(&per_head.iter().map(|(_, g, _)| g).collect::<Vec<_>>());
+    let gv = Matrix::hcat(&per_head.iter().map(|(_, _, g)| g).collect::<Vec<_>>());
+    (gq, gk, gv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Initializer;
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Initializer::Normal { std: 1.0 }.sample(rows, cols, seed)
+    }
+
+    #[test]
+    fn backends_agree_bitwise_on_matmul() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (64, 64, 64),
+            (65, 33, 17),
+            (197, 192, 64),
+        ] {
+            let a = random(m, k, 1);
+            let b = random(k, n, 2);
+            let blocked = matmul_with(Backend::Blocked, &a, &b);
+            let scalar = matmul_with(Backend::Scalar, &a, &b);
+            assert_eq!(blocked, scalar, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn backends_agree_bitwise_on_transposed_flavours() {
+        let a = random(33, 48, 3);
+        let b = random(21, 48, 4);
+        assert_eq!(
+            matmul_nt_with(Backend::Blocked, &a, &b),
+            matmul_nt_with(Backend::Scalar, &a, &b)
+        );
+        let c = random(33, 21, 5);
+        assert_eq!(
+            matmul_tn_with(Backend::Blocked, &a, &c),
+            matmul_tn_with(Backend::Scalar, &a, &c)
+        );
+    }
+
+    #[test]
+    fn transpose_matches_naive() {
+        let a = random(37, 61, 6);
+        assert_eq!(
+            transpose_with(Backend::Blocked, &a),
+            transpose_with(Backend::Scalar, &a)
+        );
+    }
+
+    #[test]
+    fn empty_and_degenerate_shapes() {
+        let a = Matrix::zeros(0, 4);
+        let b = Matrix::zeros(4, 3);
+        assert_eq!(matmul(&a, &b).shape(), (0, 3));
+        let a = Matrix::zeros(1, 0);
+        let b = Matrix::zeros(0, 5);
+        assert_eq!(matmul(&a, &b), Matrix::zeros(1, 5));
+        assert_eq!(transpose(&Matrix::zeros(0, 7)).shape(), (7, 0));
+    }
+
+    #[test]
+    fn forced_multithread_path_is_identical() {
+        // Shapes big enough to clear MIN_WORK_PER_THREAD so the scoped
+        // fan-out genuinely runs with several workers.
+        let a = random(256, 256, 7);
+        let b = random(256, 256, 8);
+        let soft_input = random(1024, 512, 9);
+        let sequential = matmul_with(Backend::Blocked, &a, &b);
+        let soft_seq = softmax_rows(&soft_input);
+        set_num_threads(4);
+        assert_eq!(effective_threads(256, 256 * 256), 4);
+        let parallel = matmul_with(Backend::Blocked, &a, &b);
+        let soft_par = softmax_rows(&soft_input);
+        set_num_threads(0);
+        assert_eq!(sequential, parallel);
+        assert_eq!(soft_seq, soft_par);
+    }
+
+    #[test]
+    fn small_kernels_stay_sequential() {
+        // A ViT-scale softmax row block is ~40k elements — below the
+        // fan-out threshold, so no threads should spawn for it.
+        set_num_threads(8);
+        let threads = effective_threads(197, 197);
+        set_num_threads(0);
+        assert_eq!(threads, 1);
+    }
+
+    #[test]
+    fn softmax_backward_matches_tape_formula() {
+        let p = softmax_rows(&random(5, 9, 9));
+        let dp = random(5, 9, 10);
+        let ds = softmax_backward(&p, &dp);
+        for r in 0..5 {
+            let mut dot = 0.0f32;
+            for c in 0..9 {
+                dot += dp.get(r, c) * p.get(r, c);
+            }
+            for c in 0..9 {
+                let want = p.get(r, c) * (dp.get(r, c) - dot);
+                assert!((ds.get(r, c) - want).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn head_mix_identity_is_noop() {
+        let x = random(6, 4 * 3, 11);
+        let w = Matrix::identity(4);
+        assert!(head_mix(&x, &w, 3).max_abs_diff(&x) < 1e-7);
+    }
+
+    #[test]
+    fn head_mix_backward_matches_finite_difference() {
+        let a = random(3, 2 * 2, 12);
+        let w = random(2, 3, 13);
+        let gout = random(3, 3 * 2, 14);
+        let (ga, gw) = head_mix_backward(&a, &w, 2, &gout);
+        let loss = |a: &Matrix, w: &Matrix| {
+            let y = head_mix(a, w, 2);
+            y.as_slice()
+                .iter()
+                .zip(gout.as_slice())
+                .map(|(y, g)| y * g)
+                .sum::<f32>()
+        };
+        let h = 1e-2;
+        for r in 0..a.rows() {
+            for c in 0..a.cols() {
+                let mut ap = a.clone();
+                ap.set(r, c, a.get(r, c) + h);
+                let mut am = a.clone();
+                am.set(r, c, a.get(r, c) - h);
+                let fd = (loss(&ap, &w) - loss(&am, &w)) / (2.0 * h);
+                assert!((fd - ga.get(r, c)).abs() < 1e-2, "ga({r},{c})");
+            }
+        }
+        for r in 0..w.rows() {
+            for c in 0..w.cols() {
+                let mut wp = w.clone();
+                wp.set(r, c, w.get(r, c) + h);
+                let mut wm = w.clone();
+                wm.set(r, c, w.get(r, c) - h);
+                let fd = (loss(&a, &wp) - loss(&a, &wm)) / (2.0 * h);
+                assert!((fd - gw.get(r, c)).abs() < 1e-2, "gw({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn multi_head_attention_matches_per_head_composition() {
+        let n = 8;
+        let dk = 4;
+        let heads = 3;
+        let q = random(n, heads * dk, 15);
+        let k = random(n, heads * dk, 16);
+        let v = random(n, heads * dk, 17);
+        let mut mask = Matrix::zeros(n, n);
+        mask.set(2, 5, f32::NEG_INFINITY);
+        let masks = vec![None, Some(mask.clone()), None];
+        let fused = multi_head_attention(&q, &k, &v, dk, 0.5, &masks);
+        for (h, mask) in masks.iter().enumerate() {
+            let c0 = h * dk;
+            let qh = q.submatrix(0, n, c0, c0 + dk);
+            let kh = k.submatrix(0, n, c0, c0 + dk);
+            let vh = v.submatrix(0, n, c0, c0 + dk);
+            let (out_h, probs_h) = attention_head(&qh, &kh, &vh, 0.5, mask.as_ref());
+            assert_eq!(fused.probs[h], probs_h, "head {h} probs");
+            assert_eq!(
+                fused.out.submatrix(0, n, c0, c0 + dk),
+                out_h,
+                "head {h} out"
+            );
+        }
+        assert_eq!(fused.probs[1].get(2, 5), 0.0, "masked position");
+    }
+
+    #[test]
+    fn par_segments_covers_every_segment() {
+        let mut data: Vec<u32> = vec![0; 10];
+        par_segments(&mut data, &[0, 3, 3, 7, 10], |i, seg| {
+            for v in seg {
+                *v = i as u32 + 1;
+            }
+        });
+        assert_eq!(data, vec![1, 1, 1, 3, 3, 3, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        set_num_threads(3);
+        let v = par_map_collect(10, 1 << 20, |i| i * i);
+        set_num_threads(0);
+        assert_eq!(v, (0..10).map(|i| i * i).collect::<Vec<_>>());
+    }
+}

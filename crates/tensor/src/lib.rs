@@ -8,9 +8,11 @@
 //! is reproducible bit-for-bit.
 //!
 //! The crate is deliberately free of `unsafe` and of external BLAS
-//! dependencies: the ViTCoD paper's experiments are small enough (hundreds
-//! of tokens, hundreds of feature dimensions) that a cache-friendly naive
-//! kernel is sufficient, and keeping the kernels readable makes the
+//! dependencies. All dense hot paths route through the [`kernels`]
+//! module, which provides two runtime-selectable backends: a textbook
+//! scalar reference and cache-blocked, thread-parallel kernels (see
+//! [`kernels`] for the blocking scheme and the backend-agreement
+//! contract). Keeping the reference kernels readable makes the
 //! simulator's operation counts auditable against them.
 //!
 //! # Example
@@ -30,6 +32,7 @@
 
 mod error;
 mod init;
+pub mod kernels;
 mod matrix;
 mod ops;
 mod quant;
@@ -37,6 +40,7 @@ mod stats;
 
 pub use error::ShapeError;
 pub use init::{Initializer, SeedableRngExt};
+pub use kernels::Backend;
 pub use matrix::Matrix;
 pub use ops::{gelu, gelu_grad, relu, sigmoid, softmax_row};
 pub use quant::{QuantParams, QuantizedMatrix};

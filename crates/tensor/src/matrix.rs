@@ -151,7 +151,10 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
@@ -162,7 +165,10 @@ impl Matrix {
     /// Panics if the index is out of bounds.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, v: f32) {
-        assert!(r < self.rows && c < self.cols, "index ({r}, {c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r}, {c}) out of bounds"
+        );
         self.data[r * self.cols + c] = v;
     }
 
@@ -209,15 +215,9 @@ impl Matrix {
         self.data
     }
 
-    /// Returns the transpose.
+    /// Returns the transpose (routed through [`crate::kernels`]).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
-        }
-        out
+        crate::kernels::transpose(self)
     }
 
     /// Matrix product `self · rhs`.
@@ -238,80 +238,30 @@ impl Matrix {
         if self.cols != rhs.rows {
             return Err(ShapeError::new("matmul", self.shape(), rhs.shape()));
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop streaming over contiguous
-        // rows of both `rhs` and `out`.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(rrow.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        Ok(out)
+        Ok(crate::kernels::matmul(self, rhs))
     }
 
     /// Matrix product with a transposed right-hand side: `self · rhsᵀ`.
     ///
     /// This is the natural layout for attention's `S = Q · Kᵀ` where both
-    /// `Q` and `K` are stored token-major.
+    /// `Q` and `K` are stored token-major. Routed through
+    /// [`crate::kernels`].
     ///
     /// # Panics
     ///
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.cols, rhs.cols,
-            "matmul_nt inner dimensions differ: {} vs {}",
-            self.cols, rhs.cols
-        );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let arow = self.row(i);
-            for j in 0..rhs.rows {
-                let brow = rhs.row(j);
-                let mut acc = 0.0;
-                for (a, b) in arow.iter().zip(brow.iter()) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
-        }
-        out
+        crate::kernels::matmul_nt(self, rhs)
     }
 
     /// Matrix product with a transposed left-hand side: `selfᵀ · rhs`.
+    /// Routed through [`crate::kernels`].
     ///
     /// # Panics
     ///
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
-        assert_eq!(
-            self.rows, rhs.rows,
-            "matmul_tn inner dimensions differ: {} vs {}",
-            self.rows, rhs.rows
-        );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            for i in 0..self.cols {
-                let a = self.data[k * self.cols + i];
-                if a == 0.0 {
-                    continue;
-                }
-                let rrow = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                let orow = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in orow.iter_mut().zip(rrow.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::kernels::matmul_tn(self, rhs)
     }
 
     /// Elementwise sum. See also the `+` operator.
@@ -444,8 +394,14 @@ impl Matrix {
     ///
     /// Panics if the ranges exceed the matrix bounds or are reversed.
     pub fn submatrix(&self, r0: usize, r1: usize, c0: usize, c1: usize) -> Matrix {
-        assert!(r0 <= r1 && r1 <= self.rows, "row range {r0}..{r1} out of bounds");
-        assert!(c0 <= c1 && c1 <= self.cols, "col range {c0}..{c1} out of bounds");
+        assert!(
+            r0 <= r1 && r1 <= self.rows,
+            "row range {r0}..{r1} out of bounds"
+        );
+        assert!(
+            c0 <= c1 && c1 <= self.cols,
+            "col range {c0}..{c1} out of bounds"
+        );
         Matrix::from_fn(r1 - r0, c1 - c0, |r, c| self.get(r0 + r, c0 + c))
     }
 

@@ -83,11 +83,7 @@ impl Matrix {
     /// assert!((m.row(0)[0] - 1.0 / 3.0).abs() < 1e-6);
     /// ```
     pub fn softmax_rows(&self) -> Matrix {
-        let mut out = self.clone();
-        for r in 0..out.rows() {
-            softmax_row(out.row_mut(r));
-        }
-        out
+        crate::kernels::softmax_rows(self)
     }
 
     /// LayerNorm over each row with learnable `gamma`/`beta`.
@@ -96,20 +92,7 @@ impl Matrix {
     ///
     /// Panics if `gamma.len()` or `beta.len()` differ from `self.cols()`.
     pub fn layernorm_rows(&self, gamma: &[f32], beta: &[f32], eps: f32) -> Matrix {
-        assert_eq!(gamma.len(), self.cols(), "gamma length mismatch");
-        assert_eq!(beta.len(), self.cols(), "beta length mismatch");
-        let mut out = self.clone();
-        for r in 0..out.rows() {
-            let row = out.row_mut(r);
-            let n = row.len() as f32;
-            let mean = row.iter().sum::<f32>() / n;
-            let var = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
-            let inv = 1.0 / (var + eps).sqrt();
-            for (i, v) in row.iter_mut().enumerate() {
-                *v = (*v - mean) * inv * gamma[i] + beta[i];
-            }
-        }
-        out
+        crate::kernels::layernorm_rows(self, gamma, beta, eps)
     }
 
     /// Applies [`gelu`] elementwise.

@@ -173,7 +173,8 @@ mod tests {
         let a = Initializer::Normal { std: 0.5 }.sample(8, 32, 2);
         let b = Initializer::Normal { std: 0.5 }.sample(8, 32, 3);
         let exact = a.matmul_nt(&b);
-        let approx = QuantizedMatrix::quantize(&a).matmul_nt_dequant(&QuantizedMatrix::quantize(&b));
+        let approx =
+            QuantizedMatrix::quantize(&a).matmul_nt_dequant(&QuantizedMatrix::quantize(&b));
         let rel = exact.max_abs_diff(&approx) / exact.frobenius_norm().max(1e-6);
         assert!(rel < 0.05, "relative error {rel}");
     }

@@ -1,0 +1,115 @@
+//! Property tests of the kernel-backend agreement contract: for every
+//! kernel and every shape — including non-tile-multiple, single-row and
+//! empty edge cases — the `Blocked` parallel backend must produce results
+//! identical to the `Scalar` reference (the kernels preserve the
+//! floating-point reduction order, so agreement is exact, well inside the
+//! documented 1e-5 budget).
+
+use proptest::prelude::*;
+use vitcod_tensor::kernels::{
+    self, matmul_nt_with, matmul_tn_with, matmul_with, transpose_with, Backend,
+};
+use vitcod_tensor::Matrix;
+
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-3.0f32..3.0, rows * cols)
+        .prop_map(move |v| Matrix::from_vec(rows, cols, v))
+}
+
+/// Shapes that stress the blocking scheme: around the 64-element k-panel
+/// boundary, far from any tile multiple, and degenerate.
+const GEMM_SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 64, 1),
+    (1, 65, 9),
+    (7, 13, 5),
+    (31, 64, 33),
+    (33, 63, 65),
+    (64, 128, 32),
+    (5, 200, 3),
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_backends_agree(shape_idx in 0usize..8, seed in 0u64..1000) {
+        let (m, k, n) = GEMM_SHAPES[shape_idx];
+        let a = matrix(m, k).new_value(&mut TestRng::new(seed));
+        let b = matrix(k, n).new_value(&mut TestRng::new(seed.wrapping_add(1)));
+        let blocked = matmul_with(Backend::Blocked, &a, &b);
+        let scalar = matmul_with(Backend::Scalar, &a, &b);
+        prop_assert!(blocked == scalar, "shape ({m},{k},{n}) seed {seed}");
+        prop_assert!(blocked.max_abs_diff(&scalar) <= 1e-5);
+    }
+
+    #[test]
+    fn matmul_nt_backends_agree(shape_idx in 0usize..8, seed in 0u64..1000) {
+        let (m, k, n) = GEMM_SHAPES[shape_idx];
+        let a = matrix(m, k).new_value(&mut TestRng::new(seed));
+        let b = matrix(n, k).new_value(&mut TestRng::new(seed.wrapping_add(2)));
+        let blocked = matmul_nt_with(Backend::Blocked, &a, &b);
+        let scalar = matmul_nt_with(Backend::Scalar, &a, &b);
+        prop_assert!(blocked == scalar, "shape ({m},{k},{n}) seed {seed}");
+    }
+
+    #[test]
+    fn matmul_tn_backends_agree(shape_idx in 0usize..8, seed in 0u64..1000) {
+        let (m, k, n) = GEMM_SHAPES[shape_idx];
+        let a = matrix(k, m).new_value(&mut TestRng::new(seed));
+        let b = matrix(k, n).new_value(&mut TestRng::new(seed.wrapping_add(3)));
+        let blocked = matmul_tn_with(Backend::Blocked, &a, &b);
+        let scalar = matmul_tn_with(Backend::Scalar, &a, &b);
+        prop_assert!(blocked == scalar, "shape ({m},{k},{n}) seed {seed}");
+    }
+
+    #[test]
+    fn transpose_backends_agree(rows in 1usize..80, cols in 1usize..80, seed in 0u64..100) {
+        let a = matrix(rows, cols).new_value(&mut TestRng::new(seed));
+        prop_assert_eq!(
+            transpose_with(Backend::Blocked, &a),
+            transpose_with(Backend::Scalar, &a)
+        );
+    }
+
+    #[test]
+    fn softmax_backends_agree(rows in 1usize..60, cols in 1usize..40, seed in 0u64..100) {
+        let a = matrix(rows, cols).new_value(&mut TestRng::new(seed));
+        let prior = kernels::backend();
+        kernels::set_backend(Backend::Scalar);
+        let scalar = kernels::softmax_rows(&a);
+        kernels::set_backend(Backend::Blocked);
+        let blocked = kernels::softmax_rows(&a);
+        kernels::set_backend(prior);
+        prop_assert!(blocked == scalar);
+        prop_assert!(blocked.max_abs_diff(&scalar) <= 1e-5);
+    }
+
+    #[test]
+    fn layernorm_backends_agree(rows in 1usize..40, cols in 2usize..32, seed in 0u64..100) {
+        let a = matrix(rows, cols).new_value(&mut TestRng::new(seed));
+        let gamma = vec![1.3f32; cols];
+        let beta = vec![-0.2f32; cols];
+        let prior = kernels::backend();
+        kernels::set_backend(Backend::Scalar);
+        let scalar = kernels::layernorm_rows(&a, &gamma, &beta, 1e-5);
+        kernels::set_backend(Backend::Blocked);
+        let blocked = kernels::layernorm_rows(&a, &gamma, &beta, 1e-5);
+        kernels::set_backend(prior);
+        prop_assert!(blocked == scalar);
+    }
+
+    #[test]
+    fn empty_and_single_row_matmuls(cols in 1usize..20, seed in 0u64..50) {
+        // 0×k · k×n and 1×k · k×n edge cases.
+        let k = cols;
+        let b = matrix(k, 4).new_value(&mut TestRng::new(seed));
+        let empty = Matrix::zeros(0, k);
+        prop_assert_eq!(matmul_with(Backend::Blocked, &empty, &b).shape(), (0, 4));
+        let single = matrix(1, k).new_value(&mut TestRng::new(seed.wrapping_add(4)));
+        prop_assert_eq!(
+            matmul_with(Backend::Blocked, &single, &b),
+            matmul_with(Backend::Scalar, &single, &b)
+        );
+    }
+}

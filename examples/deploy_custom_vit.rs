@@ -42,8 +42,15 @@ fn main() {
 
     // Compiler stage: per-layer programs with global-token counts and
     // PE-allocation hints.
-    let program = compile_model(&custom, &polarized, Some(AutoEncoderConfig::half(custom.heads)));
-    println!("\ncompiled {} layers; per-layer mean global tokens:", program.layers.len());
+    let program = compile_model(
+        &custom,
+        &polarized,
+        Some(AutoEncoderConfig::half(custom.heads)),
+    );
+    println!(
+        "\ncompiled {} layers; per-layer mean global tokens:",
+        program.layers.len()
+    );
     for layer in &program.layers {
         println!(
             "  layer {:>2}: {:>5.1} global tokens, {:>9} attention MACs",

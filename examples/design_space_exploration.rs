@@ -31,7 +31,8 @@ fn main() {
                 };
                 let ae_cfg = ae.then(|| AutoEncoderConfig::half(model.heads));
                 let program = compile_model(&model, &polarized, ae_cfg);
-                let report = ViTCoDAccelerator::new(cfg).simulate_attention_scaled(&program, &model);
+                let report =
+                    ViTCoDAccelerator::new(cfg).simulate_attention_scaled(&program, &model);
                 let area = total_area_mm2(&cfg);
                 println!(
                     "{:>9} {:>10.1} {:>5} {:>13.1} {:>11.1} {:>10.2} {:>10.1}%",

@@ -14,7 +14,10 @@ fn main() {
     //    would call `VisionTransformer::averaged_attention_maps` instead.
     let model = ViTConfig::deit_base();
     let stats = AttentionStats::for_model(&model, 42);
-    println!("model: {} ({} tokens, {} heads x {} layers)", model.name, model.tokens, model.heads, model.depth);
+    println!(
+        "model: {} ({} tokens, {} heads x {} layers)",
+        model.name, model.tokens, model.heads, model.depth
+    );
 
     // 2. Split and conquer: prune to 90 % sparsity and polarize each head
     //    into a denser global-token block plus a sparse residue.
@@ -33,7 +36,11 @@ fn main() {
     );
 
     // 3. Compile for the accelerator, with the 50 % Q/K auto-encoder.
-    let program = compile_model(&model, &polarized, Some(AutoEncoderConfig::half(model.heads)));
+    let program = compile_model(
+        &model,
+        &polarized,
+        Some(AutoEncoderConfig::half(model.heads)),
+    );
 
     // 4. Simulate on the paper's 3 mm^2 configuration and compare with
     //    the dense workload on identical hardware.

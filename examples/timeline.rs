@@ -22,7 +22,12 @@ fn main() {
         let program = compile_model(&model, &sc.apply(&stats.maps), ae_cfg);
         let (report, trace) = acc.simulate_attention_traced(&program);
 
-        println!("=== {} — {} ({:.1} us) ===", model.name, label, report.latency_s * 1e6);
+        println!(
+            "=== {} — {} ({:.1} us) ===",
+            model.name,
+            label,
+            report.latency_s * 1e6
+        );
         print!("{}", trace.render(48));
         println!(
             "memory-bound layers: {:.0}%, mean engine balance: {:.2}\n",

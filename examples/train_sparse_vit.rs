@@ -38,7 +38,10 @@ fn main() {
     let report = ViTCoDPipeline::new(cfg).run(&task);
 
     println!("\nresults:");
-    println!("  dense (pretrained) accuracy : {:.1}%", report.dense_accuracy * 100.0);
+    println!(
+        "  dense (pretrained) accuracy : {:.1}%",
+        report.dense_accuracy * 100.0
+    );
     if let Some(ae) = &report.ae_trajectory {
         println!(
             "  after AE finetune           : {:.1}% (recon loss {:.4} -> {:.4})",
@@ -52,7 +55,10 @@ fn main() {
         report.final_accuracy * 100.0,
         report.achieved_sparsity * 100.0
     );
-    println!("  accuracy drop               : {:+.1}%", report.accuracy_drop() * 100.0);
+    println!(
+        "  accuracy drop               : {:+.1}%",
+        report.accuracy_drop() * 100.0
+    );
 
     // Inspect one polarized head.
     let head = &report.polarized[0][0];

@@ -58,8 +58,13 @@ fn synthetic_task_and_training_deterministic() {
         let cfg = ViTConfig::deit_tiny().reduced_for_training();
         let mut store = ParamStore::new();
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
-        let vit =
-            VisionTransformer::new(&cfg, task.config.in_dim, task.config.num_classes, &mut store, &mut rng);
+        let vit = VisionTransformer::new(
+            &cfg,
+            task.config.in_dim,
+            task.config.num_classes,
+            &mut store,
+            &mut rng,
+        );
         let mut trainer = Trainer::new(vit, store);
         let traj = trainer.train(
             &task,

@@ -36,7 +36,11 @@ fn trained_model_masks_flow_to_hardware() {
     let report = ViTCoDPipeline::new(cfg).run(&task);
 
     // Algorithm-side invariants.
-    assert!(report.achieved_sparsity > 0.8, "sparsity {}", report.achieved_sparsity);
+    assert!(
+        report.achieved_sparsity > 0.8,
+        "sparsity {}",
+        report.achieved_sparsity
+    );
     assert!(!report.polarized.is_empty());
 
     // Compile the *trained* model's masks for the accelerator and run.

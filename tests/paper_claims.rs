@@ -32,10 +32,20 @@ fn speedup_grows_with_sparsity() {
 fn general_platforms_rank_cpu_edge_gpu() {
     // Fig. 15(a): CPU slowest, then EdgeGPU, then GPU, for every model.
     for m in ViTConfig::all_paper_models() {
-        let cpu = GeneralPlatform::cpu_xeon_6230r().simulate_attention(&m).latency_s;
-        let edge = GeneralPlatform::edgegpu_xavier_nx().simulate_attention(&m).latency_s;
-        let gpu = GeneralPlatform::gpu_2080ti().simulate_attention(&m).latency_s;
-        assert!(cpu > edge && edge > gpu, "{}: {cpu} / {edge} / {gpu}", m.name);
+        let cpu = GeneralPlatform::cpu_xeon_6230r()
+            .simulate_attention(&m)
+            .latency_s;
+        let edge = GeneralPlatform::edgegpu_xavier_nx()
+            .simulate_attention(&m)
+            .latency_s;
+        let gpu = GeneralPlatform::gpu_2080ti()
+            .simulate_attention(&m)
+            .latency_s;
+        assert!(
+            cpu > edge && edge > gpu,
+            "{}: {cpu} / {edge} / {gpu}",
+            m.name
+        );
     }
 }
 
@@ -51,7 +61,10 @@ fn vitcod_speedup_over_sanger_in_paper_band() {
             let v = vitcod_report(&m, s, true).latency_s;
             ratios.push(sanger.simulate_attention(&m, s).latency_s / v);
         }
-        let mean = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+        let mean = ratios
+            .iter()
+            .product::<f64>()
+            .powf(1.0 / ratios.len() as f64);
         assert!(
             (lo..hi).contains(&mean),
             "sparsity {s}: speedup over Sanger {mean:.2} outside [{lo}, {hi}]"
@@ -67,7 +80,10 @@ fn spatten_saturates_beyond_token_granularity() {
     let m = ViTConfig::deit_base();
     let r90 = sp.simulate_attention(&m, 0.9).latency_s;
     let r95 = sp.simulate_attention(&m, 0.95).latency_s;
-    assert_eq!(r90, r95, "SpAtten should saturate past its granularity limit");
+    assert_eq!(
+        r90, r95,
+        "SpAtten should saturate past its granularity limit"
+    );
     // ViTCoD keeps improving.
     assert!(vitcod_report(&m, 0.95, true).latency_s < vitcod_report(&m, 0.9, true).latency_s);
 }

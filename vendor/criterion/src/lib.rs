@@ -1,0 +1,271 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! Bench targets (built with `harness = false`) keep their upstream shape —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups and [`Bencher::iter`] — but the measurement is a plain
+//! adaptive wall-clock loop: each benchmark is warmed up briefly, then
+//! timed for enough iterations to fill a small measurement window, and the
+//! mean time per iteration is printed. There are no statistical analyses,
+//! plots or baselines; later PRs that need a perf trajectory should record
+//! the printed numbers (see `BENCH_kernels.json` at the repository root).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; accepted for API
+/// parity, ignored by the measurement loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One batch per measurement.
+    PerIteration,
+}
+
+/// Identifier combining a function name and a parameter, printed as
+/// `name/param`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id for `function_name` at `parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+#[derive(Debug)]
+pub struct Bencher {
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    last_ns: f64,
+    measurement_window: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean time per iteration.
+    pub fn iter<T>(&mut self, mut routine: impl FnMut() -> T) {
+        // Warm-up: one untimed call (also primes caches/allocators).
+        black_box(routine());
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_window || iters >= 1 << 20 {
+                self.last_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+
+    /// Times `routine` over fresh inputs built by `setup` (setup time is
+    /// excluded from the per-iteration figure).
+    pub fn iter_batched<I, T>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> T,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.measurement_window || iters >= 1 << 16 {
+                self.last_ns = elapsed.as_nanos() as f64 / iters as f64;
+                return;
+            }
+            iters = iters.saturating_mul(4);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_one(id: &str, window: Duration, f: impl FnOnce(&mut Bencher)) -> f64 {
+    let mut bencher = Bencher {
+        last_ns: 0.0,
+        measurement_window: window,
+    };
+    f(&mut bencher);
+    println!("{id:<48} time: {}", format_ns(bencher.last_ns));
+    bencher.last_ns
+}
+
+/// Top-level benchmark registry (mirror of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    measurement_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Short window: these benches run on small CI machines and the
+        // workspace only needs stable relative numbers.
+        Self {
+            measurement_window: Duration::from_millis(250),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the per-benchmark measurement window.
+    pub fn measurement_time(mut self, window: Duration) -> Self {
+        self.measurement_window = window;
+        self
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(id, self.measurement_window, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function(&mut self, id: impl Display, f: impl FnOnce(&mut Bencher)) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.measurement_window,
+            f,
+        );
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.criterion.measurement_window,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Finishes the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions (mirror of
+/// `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running one or more groups (mirror of
+/// `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let ns = run_one("noop", Duration::from_millis(5), |b| {
+            b.iter(|| black_box(1u64 + 1))
+        });
+        assert!(ns >= 0.0);
+    }
+
+    #[test]
+    fn groups_and_ids_format() {
+        let id = BenchmarkId::new("matmul", 64);
+        assert_eq!(id.to_string(), "matmul/64");
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(1));
+        let mut g = c.benchmark_group("g");
+        g.bench_with_input(BenchmarkId::new("f", 1), &3u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion::default().measurement_time(Duration::from_millis(1));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}

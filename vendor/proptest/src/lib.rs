@@ -1,0 +1,581 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`proptest!`] macro, `prop_assert!`-family macros,
+//! range/vec/bool strategies with [`Strategy::prop_map`], and
+//! [`ProptestConfig::with_cases`]. Differences from upstream:
+//!
+//! * **No shrinking.** A failing case reports the case number and seed so
+//!   it can be replayed, but is not minimised.
+//! * **Deterministic seeding.** Each test's case stream is seeded from a
+//!   hash of the test function's name, so runs are reproducible without a
+//!   `proptest-regressions` directory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// The `proptest!` doctest necessarily shows `#[test]` inside a macro
+// invocation, which this lint flags in documentation examples.
+#![allow(clippy::test_attr_in_doctest)]
+
+pub mod test_runner {
+    //! Execution plumbing used by the [`proptest!`](crate::proptest) macro.
+
+    use std::fmt;
+
+    /// Per-test configuration.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// An assertion failed with the given message.
+        Fail(String),
+        /// The case was rejected by `prop_assume!`.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// Creates a failure with `message`.
+        pub fn fail(message: impl Into<String>) -> Self {
+            Self::Fail(message.into())
+        }
+
+        /// Creates a rejection with `message`.
+        pub fn reject(message: impl Into<String>) -> Self {
+            Self::Reject(message.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Self::Fail(m) => write!(f, "assertion failed: {m}"),
+                Self::Reject(m) => write!(f, "case rejected: {m}"),
+            }
+        }
+    }
+
+    /// Deterministic SplitMix64 generator driving strategy sampling.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// Seeds the generator.
+        pub fn new(seed: u64) -> Self {
+            Self {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// Next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// FNV-1a hash of a test name, used as its deterministic seed.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Runs `cases` sampled cases of `body`, panicking on the first
+    /// failure with enough context to replay it.
+    pub fn run(
+        name: &str,
+        config: &Config,
+        mut body: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+    ) {
+        let mut rng = TestRng::new(seed_for(name));
+        let mut rejected = 0u32;
+        let mut case = 0u32;
+        while case < config.cases {
+            match body(&mut rng) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < config.cases.saturating_mul(16).max(256),
+                        "{name}: too many rejected cases ({rejected})"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("{name}: case {case}/{} failed: {msg}", config.cases)
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating random values of `Self::Value`.
+    ///
+    /// Unlike upstream proptest there is no value tree: strategies sample
+    /// directly and nothing shrinks.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Samples one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f32> {
+        type Value = f32;
+
+        fn new_value(&self, rng: &mut TestRng) -> f32 {
+            *self.start() + (rng.unit_f64() as f32) * (*self.end() - *self.start())
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for RangeInclusive<f64> {
+        type Value = f64;
+
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            *self.start() + rng.unit_f64() * (*self.end() - *self.start())
+        }
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + draw as i128) as $t
+                }
+            }
+
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let draw = (rng.next_u64() as u128) % span;
+                    (lo as i128 + draw as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy for any value of a type with a canonical distribution.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<T> {
+        pub(crate) _marker: std::marker::PhantomData<T>,
+    }
+
+    /// `any::<T>()` — the canonical distribution of `T`.
+    pub fn any<T>() -> Any<T>
+    where
+        Any<T>: Strategy<Value = T>,
+    {
+        Any {
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    impl Strategy for Any<bool> {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! any_int {
+        ($($t:ty),*) => {$(
+            impl Strategy for Any<$t> {
+                type Value = $t;
+
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Size specification for [`vec`]: an exact length or a half-open
+    /// range of lengths.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (rng.next_u64() as usize) % (self.end - self.start)
+        }
+    }
+
+    /// Strategy producing `Vec`s of values drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    /// Vector of `size` elements sampled from `element`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+
+    /// Strategy yielding `true` with a fixed probability.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Weighted {
+        probability: f64,
+    }
+
+    /// `true` with probability `probability`.
+    pub fn weighted(probability: f64) -> Weighted {
+        assert!(
+            (0.0..=1.0).contains(&probability),
+            "probability out of range"
+        );
+        Weighted { probability }
+    }
+
+    impl Strategy for Weighted {
+        type Value = bool;
+
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.unit_f64() < self.probability
+        }
+    }
+}
+
+pub mod num {
+    //! Numeric strategy helpers (range strategies live on the std range
+    //! types directly; this module exists for API parity).
+}
+
+pub mod prelude {
+    //! The usual imports: `use proptest::prelude::*;`.
+
+    pub use crate::bool as prop_bool;
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Asserts a condition inside a property, returning a
+/// [`TestCaseError`](test_runner::TestCaseError) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "{}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left == *right,
+                    "{} == {} failed: {:?} vs {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left,
+                    right
+                );
+            }
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(*left == *right, $($fmt)*);
+            }
+        }
+    }};
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        match (&$left, &$right) {
+            (left, right) => {
+                $crate::prop_assert!(
+                    *left != *right,
+                    "{} != {} failed: both {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    left
+                );
+            }
+        }
+    }};
+}
+
+/// Rejects the current case (it is re-drawn, not counted as a failure).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// ```
+/// use proptest::prelude::*;
+///
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///
+///     #[test]
+///     fn addition_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_cases! { @cfg($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_cases! {
+            @cfg($crate::test_runner::Config::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_cases {
+    (@cfg($cfg:expr)) => {};
+    (
+        @cfg($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            $crate::test_runner::run(
+                stringify!($name),
+                &config,
+                |__proptest_rng: &mut $crate::test_runner::TestRng| {
+                    $(
+                        let $pat = $crate::strategy::Strategy::new_value(
+                            &($strat),
+                            __proptest_rng,
+                        );
+                    )+
+                    let __proptest_result: ::core::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        ::core::result::Result::Ok(())
+                    })();
+                    __proptest_result
+                },
+            );
+        }
+        $crate::__proptest_cases! { @cfg($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in -5.0f32..5.0, n in 1usize..10) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((1..10).contains(&n));
+        }
+
+        #[test]
+        fn vec_has_requested_len(v in crate::collection::vec(0.0f32..1.0, 7)) {
+            prop_assert_eq!(v.len(), 7);
+        }
+
+        #[test]
+        fn mut_patterns_work(mut v in crate::collection::vec(0u32..5, 3)) {
+            v.push(9);
+            prop_assert_eq!(v.len(), 4);
+        }
+
+        #[test]
+        fn any_bool_and_weighted(b in any::<bool>(), w in crate::bool::weighted(1.0)) {
+            prop_assert!(w);
+            prop_assert_eq!(b as u8 <= 1, true);
+        }
+
+        #[test]
+        fn assume_rejects_and_redraws(n in 0u32..10) {
+            prop_assume!(n != 3);
+            prop_assert!(n != 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_test_name() {
+        let mut a = TestRng::new(crate::test_runner::seed_for("x"));
+        let mut b = TestRng::new(crate::test_runner::seed_for("x"));
+        let strat = 0.0f64..1.0;
+        assert_eq!(strat.new_value(&mut a), strat.new_value(&mut b));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failures_panic_with_context() {
+        crate::test_runner::run("always_fails", &ProptestConfig::with_cases(1), |_| {
+            Err(TestCaseError::fail("nope"))
+        });
+    }
+}
