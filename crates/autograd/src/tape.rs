@@ -10,6 +10,12 @@ use vitcod_tensor::{gelu, gelu_grad, kernels, Matrix};
 
 use crate::params::{ParamId, ParamStore};
 
+/// LayerNorm epsilon the tape's [`Tape::layernorm`] uses. Inference
+/// engines that must reproduce the tape's logits bit for bit (the
+/// `vitcod-engine` parity contract) share this constant instead of
+/// duplicating the literal.
+pub const LAYERNORM_EPS: f32 = 1e-5;
+
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(usize);
@@ -258,11 +264,10 @@ impl Tape {
 
     /// Row-wise LayerNorm with learnable `1 × c` gamma and beta.
     pub fn layernorm(&mut self, a: Var, gamma: Var, beta: Var) -> Var {
-        const EPS: f32 = 1e-5;
         let x = &self.nodes[a.0].value;
         let g = self.nodes[gamma.0].value.row(0).to_vec();
         let b = self.nodes[beta.0].value.row(0).to_vec();
-        let (out, normed, inv_std) = kernels::layernorm_train_forward(x, &g, &b, EPS);
+        let (out, normed, inv_std) = kernels::layernorm_train_forward(x, &g, &b, LAYERNORM_EPS);
         self.push(
             out,
             OpKind::LayerNorm {

@@ -6,7 +6,7 @@
 //! column" — and because its footprint must fit the 20 KB index buffer.
 
 use vitcod_bench::polarize;
-use vitcod_core::{CooMatrix, CscMatrix};
+use vitcod_core::{AttentionMask, CooMatrix, CscMatrix};
 use vitcod_model::ViTConfig;
 use vitcod_sim::AcceleratorConfig;
 
@@ -26,7 +26,7 @@ fn main() {
         let mut count = 0usize;
         for ph in heads.iter().flatten() {
             let csc = ph.sparser_csc();
-            let coo = CooMatrix::from_mask(&csc.to_mask());
+            let coo = CooMatrix::from_mask(&AttentionMask::from_csc(&csc));
             csc_bytes += csc.index_bytes();
             coo_bytes += coo.index_bytes();
             nnz += csc.nnz();

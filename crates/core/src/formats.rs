@@ -5,97 +5,35 @@
 //! K-stationary dataflow: the SDDMM produces attention scores column by
 //! column, so walking one CSC column enumerates exactly the Q rows that
 //! pair with the currently-resident K vector (paper Sec. V-B).
+//!
+//! The [`CscMatrix`] structure itself (and the SDDMM/SpMM kernels that
+//! execute over it) lives in [`vitcod_tensor::sparse`], the workspace's
+//! sparse kernel layer; this module binds it to [`AttentionMask`] via
+//! the [`SparsityPattern`] trait so `CscMatrix::from_mask(&mask)` works
+//! on the algorithm side, and keeps the COO comparison format.
+//!
+//! ```
+//! use vitcod_core::{AttentionMask, CscMatrix};
+//!
+//! let mut m = AttentionMask::empty(3);
+//! m.keep(0, 1);
+//! m.keep(2, 1);
+//! let csc = CscMatrix::from_mask(&m);
+//! assert_eq!(csc.col_rows(1), &[0, 2]);
+//! assert_eq!(csc.nnz(), 2);
+//! ```
+
+pub use vitcod_tensor::sparse::{CscMatrix, SparsityPattern};
 
 use crate::mask::AttentionMask;
 
-/// Compressed-sparse-column index structure of an attention mask.
-///
-/// # Example
-///
-/// ```
-/// use vitcod_core::{AttentionMask, CscMatrix};
-///
-/// let mut m = AttentionMask::empty(3);
-/// m.keep(0, 1);
-/// m.keep(2, 1);
-/// let csc = CscMatrix::from_mask(&m);
-/// assert_eq!(csc.col_rows(1), &[0, 2]);
-/// assert_eq!(csc.nnz(), 2);
-/// ```
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct CscMatrix {
-    n: usize,
-    col_ptr: Vec<usize>,
-    row_idx: Vec<u32>,
-}
-
-impl CscMatrix {
-    /// Builds the CSC index of `mask`.
-    pub fn from_mask(mask: &AttentionMask) -> Self {
-        let n = mask.size();
-        let mut col_ptr = Vec::with_capacity(n + 1);
-        let mut row_idx = Vec::with_capacity(mask.nnz());
-        col_ptr.push(0);
-        for k in 0..n {
-            for q in 0..n {
-                if mask.is_kept(q, k) {
-                    row_idx.push(q as u32);
-                }
-            }
-            col_ptr.push(row_idx.len());
-        }
-        Self {
-            n,
-            col_ptr,
-            row_idx,
-        }
+impl SparsityPattern for AttentionMask {
+    fn size(&self) -> usize {
+        AttentionMask::size(self)
     }
 
-    /// Token count `n`.
-    pub fn size(&self) -> usize {
-        self.n
-    }
-
-    /// Number of stored non-zeros.
-    pub fn nnz(&self) -> usize {
-        self.row_idx.len()
-    }
-
-    /// Row indices of column `k`, ascending.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `k >= self.size()`.
-    pub fn col_rows(&self, k: usize) -> &[u32] {
-        assert!(k < self.n, "column {k} out of bounds");
-        // Casting back and forth keeps the storage compact (u32 covers
-        // any realistic token count) while the API stays usize-friendly.
-        let lo = self.col_ptr[k];
-        let hi = self.col_ptr[k + 1];
-        &self.row_idx[lo..hi]
-    }
-
-    /// Non-zero count of column `k`.
-    pub fn col_nnz(&self, k: usize) -> usize {
-        self.col_rows(k).len()
-    }
-
-    /// Size of the index structure in bytes: `(n + 1)` column pointers
-    /// (4 B each) plus one 4-byte row index per non-zero. This is what
-    /// the accelerator's 20 KB index buffer must hold per tile.
-    pub fn index_bytes(&self) -> usize {
-        (self.col_ptr.len() + self.row_idx.len()) * 4
-    }
-
-    /// Reconstructs the boolean mask (for round-trip tests).
-    pub fn to_mask(&self) -> AttentionMask {
-        let mut m = AttentionMask::empty(self.n);
-        for k in 0..self.n {
-            for &q in self.col_rows(k) {
-                m.keep(q as usize, k);
-            }
-        }
-        m
+    fn is_kept(&self, q: usize, k: usize) -> bool {
+        AttentionMask::is_kept(self, q, k)
     }
 }
 
@@ -161,7 +99,7 @@ mod tests {
     fn csc_round_trip() {
         let m = sample_mask();
         let csc = CscMatrix::from_mask(&m);
-        assert_eq!(csc.to_mask(), m);
+        assert_eq!(AttentionMask::from_csc(&csc), m);
         assert_eq!(csc.nnz(), m.nnz());
     }
 

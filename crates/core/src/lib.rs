@@ -57,7 +57,7 @@ pub mod taxonomy;
 
 pub use artifact::{load_masks, load_program, save_masks, save_program, ParseArtifactError};
 pub use autoencoder::AutoEncoderConfig;
-pub use formats::{CooMatrix, CscMatrix};
+pub use formats::{CooMatrix, CscMatrix, SparsityPattern};
 pub use interface::{compile_model, AcceleratorProgram, LayerProgram, PhaseWorkload};
 pub use mask::AttentionMask;
 pub use pipeline::{PipelineConfig, PipelineReport, ViTCoDPipeline};

@@ -57,6 +57,16 @@ impl AttentionMask {
         Self { n, bits }
     }
 
+    /// Reconstructs the boolean mask of a CSC index (round-trip
+    /// counterpart of `CscMatrix::from_mask`).
+    pub fn from_csc(csc: &vitcod_tensor::sparse::CscMatrix) -> Self {
+        let mut m = Self::empty(csc.size());
+        for (q, k) in csc.iter_kept() {
+            m.keep(q, k);
+        }
+        m
+    }
+
     /// Token count `n` (the mask is `n × n`).
     pub fn size(&self) -> usize {
         self.n

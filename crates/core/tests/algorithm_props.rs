@@ -96,7 +96,7 @@ proptest! {
             let rows = csc.col_rows(k);
             prop_assert!(rows.windows(2).all(|w| w[0] < w[1]));
         }
-        prop_assert_eq!(csc.to_mask(), mask);
+        prop_assert_eq!(AttentionMask::from_csc(&csc), mask);
     }
 
     #[test]

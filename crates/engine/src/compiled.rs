@@ -1,0 +1,391 @@
+//! The frozen, compile-once inference artifact.
+//!
+//! [`CompiledVit`] is everything a serving process needs and nothing it
+//! does not: weights lifted out of the training-time
+//! [`vitcod_autograd::ParamStore`] into an inference-friendly layout
+//! (per-layer fused QKV projection, LayerNorm parameters as plain
+//! vectors) plus one [`HeadPlan`] per attention head — either dense or a
+//! pre-built [`CscMatrix`] index, the same artifact the accelerator's
+//! sparser engine pre-loads. Compilation happens once; the artifact is
+//! immutable and shared by every worker of an [`crate::Engine`].
+
+use vitcod_autograd::ParamStore;
+use vitcod_core::{CscMatrix, PipelineReport, PolarizedHead};
+use vitcod_model::{Sample, Trainer, ViTConfig, VisionTransformer};
+use vitcod_tensor::Matrix;
+
+/// Per-head execution plan.
+#[derive(Debug, Clone)]
+pub enum HeadPlan {
+    /// Full `n × n` attention on the dense kernel path.
+    Dense,
+    /// Fixed sparse attention over a pre-compiled CSC index; the head
+    /// runs the SDDMM → sparse-softmax → SpMM dataflow.
+    Sparse(CscMatrix),
+}
+
+impl HeadPlan {
+    /// Whether this head runs the sparse dataflow.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, HeadPlan::Sparse(_))
+    }
+}
+
+/// Frozen auto-encoder weights of one layer (encode → decode for Q and
+/// K, exactly the round trip the finetuned forward applies).
+#[derive(Debug, Clone)]
+pub struct CompiledAe {
+    /// Q encoder, `heads × compressed_heads`.
+    pub enc_q: Matrix,
+    /// Q decoder, `compressed_heads × heads`.
+    pub dec_q: Matrix,
+    /// K encoder, `heads × compressed_heads`.
+    pub enc_k: Matrix,
+    /// K decoder, `compressed_heads × heads`.
+    pub dec_k: Matrix,
+}
+
+/// One transformer block's frozen weights in inference layout.
+#[derive(Debug, Clone)]
+pub struct CompiledLayer {
+    /// Pre-attention LayerNorm gamma.
+    pub ln1_gamma: Vec<f32>,
+    /// Pre-attention LayerNorm beta.
+    pub ln1_beta: Vec<f32>,
+    /// Fused QKV projection, `dim × 3·dim` (`[Wq | Wk | Wv]`): one GEMM
+    /// per layer instead of three, with bit-identical columns.
+    pub w_qkv: Matrix,
+    /// Fused QKV bias, length `3·dim`.
+    pub b_qkv: Vec<f32>,
+    /// Attention output projection, `dim × dim`.
+    pub w_out: Matrix,
+    /// Output-projection bias.
+    pub b_out: Vec<f32>,
+    /// Pre-MLP LayerNorm gamma.
+    pub ln2_gamma: Vec<f32>,
+    /// Pre-MLP LayerNorm beta.
+    pub ln2_beta: Vec<f32>,
+    /// MLP expansion weights, `dim × mlp·dim`.
+    pub w_fc1: Matrix,
+    /// MLP expansion bias.
+    pub b_fc1: Vec<f32>,
+    /// MLP contraction weights, `mlp·dim × dim`.
+    pub w_fc2: Matrix,
+    /// MLP contraction bias.
+    pub b_fc2: Vec<f32>,
+    /// Frozen auto-encoder round-trip weights, if installed.
+    pub ae: Option<CompiledAe>,
+    /// One execution plan per attention head.
+    pub heads: Vec<HeadPlan>,
+}
+
+/// A Vision Transformer frozen for inference.
+///
+/// Build one with [`CompiledVit::from_trainer`] (or
+/// [`crate::CompileReport::compile`] on a finished
+/// [`PipelineReport`]), then serve it through [`crate::Engine`].
+#[derive(Debug, Clone)]
+pub struct CompiledVit {
+    cfg: ViTConfig,
+    in_dim: usize,
+    num_classes: usize,
+    patch_w: Matrix,
+    patch_b: Vec<f32>,
+    pos_embed: Matrix,
+    layers: Vec<CompiledLayer>,
+    final_gamma: Vec<f32>,
+    final_beta: Vec<f32>,
+    head_w: Matrix,
+    head_b: Vec<f32>,
+}
+
+fn row_vec(store: &ParamStore, id: vitcod_autograd::ParamId) -> Vec<f32> {
+    store.value(id).row(0).to_vec()
+}
+
+impl CompiledVit {
+    /// Freezes `model`'s weights out of `store`.
+    ///
+    /// Sparse heads are taken from the model's installed sparsity plan
+    /// (each 0/1 mask is compiled to a CSC index); heads without a mask
+    /// stay dense.
+    pub fn from_parts(model: &VisionTransformer, store: &ParamStore) -> Self {
+        let plans = Self::plans_from_model(model);
+        Self::from_parts_with_plans(model, store, plans)
+    }
+
+    /// Consumes a [`Trainer`] and freezes its model — the natural hand-off
+    /// point from training to serving.
+    pub fn from_trainer(trainer: Trainer) -> Self {
+        let (model, store) = trainer.into_parts();
+        Self::from_parts(&model, &store)
+    }
+
+    /// Freezes `model` with explicit per-`[layer][head]` plans (used by
+    /// the pipeline compiler, which derives CSC indexes straight from its
+    /// [`PolarizedHead`]s).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `plans` does not cover every `(layer, head)` or a CSC
+    /// index size differs from the token count.
+    pub fn from_parts_with_plans(
+        model: &VisionTransformer,
+        store: &ParamStore,
+        plans: Vec<Vec<HeadPlan>>,
+    ) -> Self {
+        let cfg = model.config().clone();
+        assert_eq!(plans.len(), cfg.depth, "plans must cover all layers");
+        let layers = (0..cfg.depth)
+            .zip(plans)
+            .map(|(l, heads)| {
+                assert_eq!(heads.len(), cfg.heads, "layer {l} must cover all heads");
+                for h in &heads {
+                    if let HeadPlan::Sparse(csc) = h {
+                        assert_eq!(csc.size(), cfg.tokens, "CSC size must match tokens");
+                    }
+                }
+                let b = model.block_modules(l);
+                let wq = store.value(b.wq.weight());
+                let wk = store.value(b.wk.weight());
+                let wv = store.value(b.wv.weight());
+                let mut b_qkv = row_vec(store, b.wq.bias());
+                b_qkv.extend_from_slice(store.value(b.wk.bias()).row(0));
+                b_qkv.extend_from_slice(store.value(b.wv.bias()).row(0));
+                CompiledLayer {
+                    ln1_gamma: row_vec(store, b.ln1.gamma()),
+                    ln1_beta: row_vec(store, b.ln1.beta()),
+                    w_qkv: Matrix::hcat(&[wq, wk, wv]),
+                    b_qkv,
+                    w_out: store.value(b.wo.weight()).clone(),
+                    b_out: row_vec(store, b.wo.bias()),
+                    ln2_gamma: row_vec(store, b.ln2.gamma()),
+                    ln2_beta: row_vec(store, b.ln2.beta()),
+                    w_fc1: store.value(b.fc1.weight()).clone(),
+                    b_fc1: row_vec(store, b.fc1.bias()),
+                    w_fc2: store.value(b.fc2.weight()).clone(),
+                    b_fc2: row_vec(store, b.fc2.bias()),
+                    ae: b.ae.map(|ae| CompiledAe {
+                        enc_q: store.value(ae.enc_q).clone(),
+                        dec_q: store.value(ae.dec_q).clone(),
+                        enc_k: store.value(ae.enc_k).clone(),
+                        dec_k: store.value(ae.dec_k).clone(),
+                    }),
+                    heads,
+                }
+            })
+            .collect();
+        Self {
+            in_dim: model.in_dim(),
+            num_classes: model.num_classes(),
+            patch_w: store.value(model.patch_embedding().weight()).clone(),
+            patch_b: row_vec(store, model.patch_embedding().bias()),
+            pos_embed: store.value(model.positional_embedding()).clone(),
+            layers,
+            final_gamma: row_vec(store, model.final_layernorm().gamma()),
+            final_beta: row_vec(store, model.final_layernorm().beta()),
+            head_w: store.value(model.classifier().weight()).clone(),
+            head_b: row_vec(store, model.classifier().bias()),
+            cfg,
+        }
+    }
+
+    /// Per-head plans from a model's installed sparsity plan (dense
+    /// everywhere when no plan is installed).
+    fn plans_from_model(model: &VisionTransformer) -> Vec<Vec<HeadPlan>> {
+        let cfg = model.config();
+        let n = cfg.tokens;
+        (0..cfg.depth)
+            .map(|l| {
+                (0..cfg.heads)
+                    .map(|h| {
+                        match model
+                            .sparsity_plan()
+                            .and_then(|p| p.get(l))
+                            .and_then(|layer| layer.get(h))
+                            .and_then(|m| m.as_ref())
+                        {
+                            Some(m) => HeadPlan::Sparse(CscMatrix::from_indicator(n, |q, k| {
+                                m.get(q, k) != 0.0
+                            })),
+                            None => HeadPlan::Dense,
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Per-head plans from split-and-conquer output: each head's pruned
+    /// mask (original token order — what finetuning used) becomes its CSC
+    /// index.
+    pub fn plans_from_polarized(polarized: &[Vec<PolarizedHead>]) -> Vec<Vec<HeadPlan>> {
+        polarized
+            .iter()
+            .map(|layer| {
+                layer
+                    .iter()
+                    .map(|h| HeadPlan::Sparse(CscMatrix::from_mask(&h.pruned)))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Model configuration the artifact was compiled from.
+    pub fn config(&self) -> &ViTConfig {
+        &self.cfg
+    }
+
+    /// Raw patch feature dimension consumed.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Number of classes predicted.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Number of sparse heads across all layers.
+    pub fn num_sparse_heads(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| &l.heads)
+            .filter(|h| h.is_sparse())
+            .count()
+    }
+
+    /// Mean sparsity across the sparse heads' CSC indexes (0.0 when the
+    /// model is fully dense).
+    pub fn mean_attention_sparsity(&self) -> f64 {
+        let n = self.cfg.tokens;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for l in &self.layers {
+            for h in &l.heads {
+                if let HeadPlan::Sparse(csc) = h {
+                    sum += 1.0 - csc.nnz() as f64 / (n * n) as f64;
+                    count += 1;
+                }
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            sum / count as f64
+        }
+    }
+
+    /// Total frozen weight scalars (fp32 elements).
+    pub fn num_weight_scalars(&self) -> usize {
+        let mut n = self.patch_w.len()
+            + self.patch_b.len()
+            + self.pos_embed.len()
+            + self.final_gamma.len()
+            + self.final_beta.len()
+            + self.head_w.len()
+            + self.head_b.len();
+        for l in &self.layers {
+            n += l.w_qkv.len()
+                + l.b_qkv.len()
+                + l.w_out.len()
+                + l.b_out.len()
+                + l.w_fc1.len()
+                + l.b_fc1.len()
+                + l.w_fc2.len()
+                + l.b_fc2.len()
+                + l.ln1_gamma.len()
+                + l.ln1_beta.len()
+                + l.ln2_gamma.len()
+                + l.ln2_beta.len();
+            if let Some(ae) = &l.ae {
+                n += ae.enc_q.len() + ae.dec_q.len() + ae.enc_k.len() + ae.dec_k.len();
+            }
+        }
+        n
+    }
+
+    pub(crate) fn patch_w(&self) -> &Matrix {
+        &self.patch_w
+    }
+
+    pub(crate) fn patch_b(&self) -> &[f32] {
+        &self.patch_b
+    }
+
+    pub(crate) fn pos_embed(&self) -> &Matrix {
+        &self.pos_embed
+    }
+
+    pub(crate) fn layers(&self) -> &[CompiledLayer] {
+        &self.layers
+    }
+
+    pub(crate) fn final_ln(&self) -> (&[f32], &[f32]) {
+        (&self.final_gamma, &self.final_beta)
+    }
+
+    pub(crate) fn head_w(&self) -> &Matrix {
+        &self.head_w
+    }
+
+    pub(crate) fn head_b(&self) -> &[f32] {
+        &self.head_b
+    }
+
+    /// Applies `f` to every weight matrix in place — projections, MLPs,
+    /// AE mixers and the positional embedding; biases and LayerNorm
+    /// parameters are vectors and stay untouched. The engine's int8
+    /// build round-trips all of these through quantization.
+    pub(crate) fn map_weights(&mut self, mut f: impl FnMut(&mut Matrix)) {
+        f(&mut self.patch_w);
+        f(&mut self.pos_embed);
+        f(&mut self.head_w);
+        for l in &mut self.layers {
+            f(&mut l.w_qkv);
+            f(&mut l.w_out);
+            f(&mut l.w_fc1);
+            f(&mut l.w_fc2);
+            if let Some(ae) = &mut l.ae {
+                f(&mut ae.enc_q);
+                f(&mut ae.dec_q);
+                f(&mut ae.enc_k);
+                f(&mut ae.dec_k);
+            }
+        }
+    }
+}
+
+/// Extension trait turning a finished training pipeline into the serving
+/// artifact: `report.compile()` is the boundary between the two worlds.
+pub trait CompileReport {
+    /// Freezes the pipeline's finetuned model into a [`CompiledVit`],
+    /// compiling each polarized head's pruned mask to a CSC index.
+    fn compile(self) -> CompiledVit;
+}
+
+impl CompileReport for PipelineReport {
+    fn compile(self) -> CompiledVit {
+        let (model, store) = self.trainer.into_parts();
+        if self.polarized.is_empty() {
+            CompiledVit::from_parts(&model, &store)
+        } else {
+            let plans = CompiledVit::plans_from_polarized(&self.polarized);
+            CompiledVit::from_parts_with_plans(&model, &store, plans)
+        }
+    }
+}
+
+/// Convenience for tests and benchmarks: labelled samples the engine can
+/// classify, straight from a synthetic task split.
+pub fn accuracy(predictions: &[crate::Prediction], samples: &[Sample]) -> f32 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions
+        .iter()
+        .zip(samples)
+        .filter(|(p, s)| p.class == s.label)
+        .count();
+    correct as f32 / samples.len() as f32
+}

@@ -1,0 +1,351 @@
+//! The batched serving engine: a tape-free forward over a frozen
+//! [`CompiledVit`].
+
+use vitcod_autograd::LAYERNORM_EPS;
+use vitcod_model::Sample;
+use vitcod_tensor::sparse;
+use vitcod_tensor::{argmax, gelu, kernels, Backend, Matrix, QuantizedMatrix};
+
+use crate::compiled::{CompiledLayer, CompiledVit, HeadPlan};
+
+/// LayerNorm epsilon, shared with the training tape so the fp32 dense
+/// forward reproduces the tape's logits bit for bit.
+const LN_EPS: f32 = LAYERNORM_EPS;
+
+/// Numeric precision of the serving engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// Full fp32: bit-identical to the training tape's forward on dense
+    /// models.
+    #[default]
+    Fp32,
+    /// 8-bit weights and 8-bit attention scores: every weight matrix is
+    /// round-tripped through symmetric per-tensor quantization at build
+    /// time (the values an int8 artifact would carry), and attention
+    /// scores are computed from quantized Q/K with i32 accumulation —
+    /// the accelerator MAC lines' arithmetic. Softmax, residuals and
+    /// LayerNorm stay fp32, as the paper's softmax units do.
+    Int8,
+}
+
+/// One classification result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Prediction {
+    /// Predicted class (argmax of `logits`).
+    pub class: usize,
+    /// Raw class logits.
+    pub logits: Vec<f32>,
+}
+
+/// Builder for [`Engine`]; see [`Engine::builder`].
+#[derive(Debug, Clone)]
+pub struct EngineBuilder {
+    compiled: CompiledVit,
+    backend: Option<Backend>,
+    precision: Precision,
+    workers: usize,
+}
+
+impl EngineBuilder {
+    /// Pins the kernel backend used while this engine runs inference.
+    /// Both backends produce bit-identical results (the kernel layer's
+    /// agreement contract); `Scalar` exists for auditing. Defaults to
+    /// the process-wide backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Selects the numeric precision (default [`Precision::Fp32`]).
+    pub fn precision(mut self, precision: Precision) -> Self {
+        self.precision = precision;
+        self
+    }
+
+    /// Number of worker threads batches fan out across (`0`, the
+    /// default, follows the kernel layer's thread budget).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Finalises the engine. For [`Precision::Int8`] this is where the
+    /// weights are quantized: each matrix is round-tripped through
+    /// [`QuantizedMatrix`] so the engine computes on exactly the values
+    /// the 1-byte-per-weight artifact represents.
+    pub fn build(self) -> Engine {
+        let mut model = self.compiled;
+        let mut int8_weight_bytes = None;
+        if self.precision == Precision::Int8 {
+            let mut bytes = 0usize;
+            model.map_weights(|w| {
+                let q = QuantizedMatrix::quantize(w);
+                bytes += q.bytes();
+                *w = q.dequantize();
+            });
+            int8_weight_bytes = Some(bytes);
+        }
+        Engine {
+            model,
+            backend: self.backend,
+            precision: self.precision,
+            workers: self.workers,
+            int8_weight_bytes,
+        }
+    }
+}
+
+/// A compile-once / serve-many inference engine.
+///
+/// The engine owns an immutable [`CompiledVit`] and runs a tape-free
+/// forward: no gradient bookkeeping, fused QKV projections, and sparse
+/// heads executed through the real SDDMM → sparse-softmax → SpMM
+/// dataflow over their pre-compiled CSC indexes (not dense `-inf`
+/// masking). [`Engine::infer_batch`] fans samples across worker
+/// threads; every per-sample forward is independent, so results are
+/// deterministic regardless of the worker count.
+///
+/// # Example
+///
+/// ```no_run
+/// use vitcod_core::{PipelineConfig, ViTCoDPipeline};
+/// use vitcod_engine::{CompileReport, Engine, Precision};
+/// use vitcod_model::{SyntheticTask, SyntheticTaskConfig, ViTConfig};
+///
+/// let task = SyntheticTask::generate(SyntheticTaskConfig::default());
+/// let cfg = PipelineConfig::paper_default(
+///     ViTConfig::deit_tiny().reduced_for_training());
+/// let report = ViTCoDPipeline::new(cfg).run(&task);
+/// let engine = Engine::builder(report.compile())
+///     .precision(Precision::Fp32)
+///     .build();
+/// let predictions = engine.infer_batch(&task.test);
+/// assert_eq!(predictions.len(), task.test.len());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Engine {
+    model: CompiledVit,
+    backend: Option<Backend>,
+    precision: Precision,
+    workers: usize,
+    int8_weight_bytes: Option<usize>,
+}
+
+impl Engine {
+    /// Starts building an engine over a frozen artifact.
+    pub fn builder(compiled: CompiledVit) -> EngineBuilder {
+        EngineBuilder {
+            compiled,
+            backend: None,
+            precision: Precision::Fp32,
+            workers: 0,
+        }
+    }
+
+    /// The frozen artifact this engine serves.
+    pub fn compiled(&self) -> &CompiledVit {
+        &self.model
+    }
+
+    /// The engine's numeric precision.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Bytes the int8 weight artifact occupies (1 per weight scalar);
+    /// `None` under fp32.
+    pub fn int8_weight_bytes(&self) -> Option<usize> {
+        self.int8_weight_bytes
+    }
+
+    /// Resolved batch-level worker count for `batch` samples.
+    fn batch_workers(&self, batch: usize) -> usize {
+        let budget = if self.workers > 0 {
+            self.workers
+        } else {
+            kernels::num_threads()
+        };
+        budget.min(batch).max(1)
+    }
+
+    /// Runs `f` with the engine's pinned backend installed as a
+    /// thread-local override (panic-safe, and racing nothing: other
+    /// engines and threads keep their own selection); a no-op when no
+    /// backend was pinned.
+    fn with_backend<T>(&self, f: impl FnOnce() -> T) -> T {
+        match self.backend {
+            Some(b) => kernels::with_backend_override(b, f),
+            None => f(),
+        }
+    }
+
+    /// Classifies a batch of samples, fanning them across worker
+    /// threads. Results are returned in input order.
+    ///
+    /// This is a hand-rolled fan-out rather than
+    /// [`kernels::par_map_collect`] because it must honour the explicit
+    /// `workers(..)` override and give each worker a reduced kernel
+    /// thread budget — otherwise the per-sample kernels would multiply
+    /// the batch fan-out into `threads²` oversubscription.
+    pub fn infer_batch(&self, samples: &[Sample]) -> Vec<Prediction> {
+        self.with_backend(|| {
+            let workers = self.batch_workers(samples.len());
+            if workers <= 1 {
+                return samples.iter().map(|s| self.predict(&s.tokens)).collect();
+            }
+            let inner_budget = (kernels::num_threads() / workers).max(1);
+            let per = samples.len().div_ceil(workers);
+            // Each worker re-installs the engine's thread-local backend
+            // override (thread-locals do not cross spawns) and a reduced
+            // kernel budget.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = samples
+                    .chunks(per)
+                    .map(|chunk| {
+                        scope.spawn(move || {
+                            self.with_backend(|| {
+                                kernels::with_thread_budget(inner_budget, || {
+                                    chunk
+                                        .iter()
+                                        .map(|s| self.predict(&s.tokens))
+                                        .collect::<Vec<_>>()
+                                })
+                            })
+                        })
+                    })
+                    .collect();
+                let mut out = Vec::with_capacity(samples.len());
+                for h in handles {
+                    out.extend(h.join().expect("engine worker panicked"));
+                }
+                out
+            })
+        })
+    }
+
+    /// Classifies one raw token matrix (`tokens × in_dim`, row 0 the
+    /// class-token slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token shape does not match the compiled model.
+    pub fn infer_one(&self, tokens: &Matrix) -> Prediction {
+        self.with_backend(|| self.predict(tokens))
+    }
+
+    fn predict(&self, tokens: &Matrix) -> Prediction {
+        let logits = self.forward(tokens);
+        let class = argmax(&logits).unwrap_or(0);
+        Prediction { class, logits }
+    }
+
+    /// The tape-free forward: mirrors the training tape's kernel
+    /// sequence exactly (same GEMM, bias, LayerNorm, GELU and fused
+    /// attention kernels in the same order) so the fp32 dense path is
+    /// bit-identical to the tape's logits, while sparse heads take the
+    /// CSC dataflow instead of dense `-inf` masks.
+    fn forward(&self, tokens: &Matrix) -> Vec<f32> {
+        let cfg = self.model.config();
+        assert_eq!(
+            tokens.shape(),
+            (cfg.tokens, self.model.in_dim()),
+            "input token shape mismatch"
+        );
+        let n = cfg.tokens;
+        let dim = cfg.dim;
+        let dk = cfg.head_dim();
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let embedded = kernels::matmul(tokens, self.model.patch_w());
+        let mut x = &kernels::add_bias(&embedded, self.model.patch_b()) + self.model.pos_embed();
+
+        for layer in self.model.layers() {
+            let normed = kernels::layernorm_rows(&x, &layer.ln1_gamma, &layer.ln1_beta, LN_EPS);
+            // Fused QKV: one dim × 3·dim GEMM; each column accumulates in
+            // the same order as the three separate projections, so the
+            // fusion changes layout, not numerics.
+            let qkv = kernels::add_bias(&kernels::matmul(&normed, &layer.w_qkv), &layer.b_qkv);
+            let mut q = qkv.submatrix(0, n, 0, dim);
+            let mut k = qkv.submatrix(0, n, dim, 2 * dim);
+            let v = qkv.submatrix(0, n, 2 * dim, 3 * dim);
+
+            if let Some(ae) = &layer.ae {
+                q = kernels::head_mix(&kernels::head_mix(&q, &ae.enc_q, dk), &ae.dec_q, dk);
+                k = kernels::head_mix(&kernels::head_mix(&k, &ae.enc_k, dk), &ae.dec_k, dk);
+            }
+
+            let attn = self.attention(layer, &q, &k, &v, dk, scale);
+            let projected = kernels::add_bias(&kernels::matmul(&attn, &layer.w_out), &layer.b_out);
+            x = &x + &projected;
+
+            let normed2 = kernels::layernorm_rows(&x, &layer.ln2_gamma, &layer.ln2_beta, LN_EPS);
+            let h1 = kernels::add_bias(&kernels::matmul(&normed2, &layer.w_fc1), &layer.b_fc1);
+            let act = kernels::map(&h1, gelu);
+            let h2 = kernels::add_bias(&kernels::matmul(&act, &layer.w_fc2), &layer.b_fc2);
+            x = &x + &h2;
+        }
+
+        let cls = x.submatrix(0, 1, 0, dim);
+        let (final_gamma, final_beta) = self.model.final_ln();
+        let normed = kernels::layernorm_rows(&cls, final_gamma, final_beta, LN_EPS);
+        let logits = kernels::add_bias(
+            &kernels::matmul(&normed, self.model.head_w()),
+            self.model.head_b(),
+        );
+        logits.row(0).to_vec()
+    }
+
+    /// One layer's multi-head attention, routing each head through its
+    /// compiled plan.
+    fn attention(
+        &self,
+        layer: &CompiledLayer,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        dk: usize,
+        scale: f32,
+    ) -> Matrix {
+        let all_dense = layer.heads.iter().all(|h| !h.is_sparse());
+        if all_dense && self.precision == Precision::Fp32 {
+            // Same fused kernel the tape records — bit-identical logits.
+            return kernels::multi_head_attention(q, k, v, dk, scale, &[]).out;
+        }
+        let n = q.rows();
+        let heads = layer.heads.len();
+        // Per-head cost upper bound: the dense path's two n×n×dk GEMMs.
+        let per_head = kernels::par_map_collect(heads, 2 * n * n * dk, |h| {
+            let c0 = h * dk;
+            let qh = q.submatrix(0, n, c0, c0 + dk);
+            let kh = k.submatrix(0, n, c0, c0 + dk);
+            let vh = v.submatrix(0, n, c0, c0 + dk);
+            match (&layer.heads[h], self.precision) {
+                (HeadPlan::Dense, Precision::Fp32) => {
+                    kernels::attention_head(&qh, &kh, &vh, scale, None).0
+                }
+                (HeadPlan::Sparse(csc), Precision::Fp32) => {
+                    sparse::attention_head(&qh, &kh, &vh, csc, scale)
+                }
+                (HeadPlan::Sparse(csc), Precision::Int8) => sparse::attention_head_int8(
+                    &QuantizedMatrix::quantize(&qh),
+                    &QuantizedMatrix::quantize(&kh),
+                    &vh,
+                    csc,
+                    scale,
+                ),
+                (HeadPlan::Dense, Precision::Int8) => Self::dense_head_int8(&qh, &kh, &vh, scale),
+            }
+        });
+        Matrix::hcat(&per_head.iter().collect::<Vec<_>>())
+    }
+
+    /// Dense attention with 8-bit score arithmetic: quantized Q·Kᵀ with
+    /// i32 accumulation, fp32 softmax and probability-weighted V mix.
+    fn dense_head_int8(q: &Matrix, k: &Matrix, v: &Matrix, scale: f32) -> Matrix {
+        let q8 = QuantizedMatrix::quantize(q);
+        let k8 = QuantizedMatrix::quantize(k);
+        let scores = q8.matmul_nt_dequant(&k8).scale(scale);
+        let probs = kernels::softmax_rows(&scores);
+        kernels::matmul(&probs, v)
+    }
+}

@@ -1,0 +1,37 @@
+//! Compile-once / serve-many inference for the ViTCoD reproduction.
+//!
+//! The training side of this workspace runs every forward through the
+//! autograd tape; that is the right tool for finetuning and exactly the
+//! wrong one for serving. This crate draws the boundary the paper's
+//! co-design implies (and related stacks like ViTA and CHOSEN make
+//! explicit): a **frozen, compile-once artifact** and a **batched
+//! engine** that serves it.
+//!
+//! * [`CompiledVit`] — weights frozen out of a trained
+//!   [`vitcod_model::Trainer`] into inference layout (per-layer fused
+//!   QKV projections) plus one [`HeadPlan`] per attention head: dense,
+//!   or a pre-compiled CSC index for the accelerator's sparse dataflow.
+//!   [`CompileReport::compile`] produces it straight from a finished
+//!   [`vitcod_core::PipelineReport`].
+//! * [`Engine`] — built via
+//!   `Engine::builder(compiled).backend(..).precision(..).workers(..)`;
+//!   [`Engine::infer_batch`] runs a tape-free forward that fans samples
+//!   across worker threads and routes sparse heads through the real
+//!   SDDMM → sparse-softmax → SpMM dataflow from
+//!   [`vitcod_tensor::sparse`] instead of dense `-inf` masking.
+//!
+//! The fp32 dense path replays exactly the kernel sequence the tape
+//! records, so its logits are bit-identical to the training forward's —
+//! the parity tests in this crate enforce that. [`Precision::Int8`]
+//! quantizes every weight through [`vitcod_tensor::QuantizedMatrix`] and
+//! computes attention scores with i8 operands and i32 accumulation, the
+//! accelerator MAC lines' arithmetic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compiled;
+mod engine;
+
+pub use compiled::{accuracy, CompileReport, CompiledAe, CompiledLayer, CompiledVit, HeadPlan};
+pub use engine::{Engine, EngineBuilder, Precision, Prediction};

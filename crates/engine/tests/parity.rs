@@ -1,0 +1,258 @@
+//! Acceptance parity tests for the serving engine.
+//!
+//! * fp32 dense: engine logits are **bit-identical** to the training
+//!   tape's forward, on both kernel backends;
+//! * sparse CSC path: engine logits match the `-inf`-masked dense
+//!   reference within 1e-4 per logit;
+//! * int8: bounded divergence from fp32;
+//! * batching: worker fan-out preserves order and determinism.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vitcod_autograd::{ParamStore, Tape};
+use vitcod_core::{PipelineConfig, SplitConquerConfig, ViTCoDPipeline};
+use vitcod_engine::{accuracy, CompileReport, CompiledVit, Engine, Precision};
+use vitcod_model::{
+    AutoEncoderSpec, Sample, SparsityPlan, SyntheticTask, SyntheticTaskConfig, TrainConfig,
+    Trainer, ViTConfig, VisionTransformer,
+};
+use vitcod_tensor::{kernels, Backend, Initializer, Matrix};
+
+const IN_DIM: usize = 8;
+const CLASSES: usize = 4;
+
+fn tiny_model(seed: u64) -> (VisionTransformer, ParamStore) {
+    let cfg = ViTConfig::deit_tiny().reduced_for_training();
+    let mut store = ParamStore::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let vit = VisionTransformer::new(&cfg, IN_DIM, CLASSES, &mut store, &mut rng);
+    (vit, store)
+}
+
+fn random_tokens(vit: &VisionTransformer, seed: u64) -> Matrix {
+    Initializer::Normal { std: 1.0 }.sample(vit.config().tokens, IN_DIM, seed)
+}
+
+fn tape_logits(vit: &VisionTransformer, store: &ParamStore, tokens: &Matrix) -> Vec<f32> {
+    let mut tape = Tape::new();
+    let out = vit.forward(&mut tape, store, tokens);
+    tape.value(out.logits).row(0).to_vec()
+}
+
+/// Diagonal + class-token-column + neighbour plan at the model's shape.
+fn local_global_plan(vit: &VisionTransformer) -> SparsityPlan {
+    let n = vit.config().tokens;
+    let mut mask = Matrix::zeros(n, n);
+    for q in 0..n {
+        mask.set(q, q, 1.0);
+        mask.set(q, 0, 1.0);
+        mask.set(q, (q + 1) % n, 1.0);
+        mask.set(q, (q + 5) % n, 1.0);
+    }
+    (0..vit.config().depth)
+        .map(|_| {
+            (0..vit.config().heads)
+                .map(|_| Some(mask.clone()))
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn fp32_dense_logits_bit_identical_to_tape_on_both_backends() {
+    let (vit, store) = tiny_model(1);
+    let compiled = CompiledVit::from_parts(&vit, &store);
+    for backend in [Backend::Blocked, Backend::Scalar] {
+        kernels::set_backend(backend);
+        let engine = Engine::builder(compiled.clone()).backend(backend).build();
+        for seed in 0..4 {
+            let tokens = random_tokens(&vit, 100 + seed);
+            let expected = tape_logits(&vit, &store, &tokens);
+            let got = engine.infer_one(&tokens);
+            assert_eq!(
+                got.logits, expected,
+                "{backend:?} logits differ from tape at seed {seed}"
+            );
+        }
+    }
+    kernels::set_backend(Backend::Blocked);
+}
+
+#[test]
+fn fp32_dense_with_auto_encoder_bit_identical_to_tape() {
+    let (mut vit, mut store) = tiny_model(2);
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    vit.insert_auto_encoder(
+        AutoEncoderSpec::half(vit.config().heads),
+        &mut store,
+        &mut rng,
+    );
+    let engine = Engine::builder(CompiledVit::from_parts(&vit, &store)).build();
+    let tokens = random_tokens(&vit, 200);
+    assert_eq!(
+        engine.infer_one(&tokens).logits,
+        tape_logits(&vit, &store, &tokens)
+    );
+}
+
+#[test]
+fn sparse_csc_path_matches_masked_dense_reference() {
+    let (mut vit, store) = tiny_model(3);
+    vit.set_sparsity_plan(local_global_plan(&vit));
+    let compiled = CompiledVit::from_parts(&vit, &store);
+    assert_eq!(
+        compiled.num_sparse_heads(),
+        vit.config().depth * vit.config().heads
+    );
+    assert!(compiled.mean_attention_sparsity() > 0.5);
+    let engine = Engine::builder(compiled).build();
+    for seed in 0..4 {
+        let tokens = random_tokens(&vit, 300 + seed);
+        // The tape runs the same masks through dense -inf masking — the
+        // reference the CSC dataflow must reproduce.
+        let reference = tape_logits(&vit, &store, &tokens);
+        let got = engine.infer_one(&tokens);
+        for (g, r) in got.logits.iter().zip(&reference) {
+            assert!(
+                (g - r).abs() < 1e-4,
+                "sparse logit diverges: {g} vs {r} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn sparse_csc_path_agrees_across_backends_bitwise() {
+    let (mut vit, store) = tiny_model(4);
+    vit.set_sparsity_plan(local_global_plan(&vit));
+    let compiled = CompiledVit::from_parts(&vit, &store);
+    let tokens = random_tokens(&vit, 400);
+    let blocked = Engine::builder(compiled.clone())
+        .backend(Backend::Blocked)
+        .build()
+        .infer_one(&tokens);
+    let scalar = Engine::builder(compiled)
+        .backend(Backend::Scalar)
+        .build()
+        .infer_one(&tokens);
+    assert_eq!(blocked, scalar);
+}
+
+#[test]
+fn int8_stays_close_to_fp32_and_shrinks_weights() {
+    let (mut vit, store) = tiny_model(5);
+    vit.set_sparsity_plan(local_global_plan(&vit));
+    let compiled = CompiledVit::from_parts(&vit, &store);
+    let fp32 = Engine::builder(compiled.clone()).build();
+    let int8 = Engine::builder(compiled.clone())
+        .precision(Precision::Int8)
+        .build();
+    assert_eq!(
+        int8.int8_weight_bytes(),
+        Some(compiled.num_weight_scalars() - weight_vector_scalars(&compiled))
+    );
+    let tokens = random_tokens(&vit, 500);
+    let a = fp32.infer_one(&tokens).logits;
+    let b = int8.infer_one(&tokens).logits;
+    let norm = a.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+    let diff = a
+        .iter()
+        .zip(&b)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        diff / norm < 0.35,
+        "int8 relative logit error {}",
+        diff / norm
+    );
+}
+
+/// Scalars held in bias / LayerNorm vectors (which stay fp32 under int8:
+/// only weight *matrices* — including the positional embedding — are
+/// quantized).
+fn weight_vector_scalars(c: &CompiledVit) -> usize {
+    let cfg = c.config();
+    let dim = cfg.dim;
+    let per_layer = 3 * dim + dim + cfg.mlp_ratio * dim + dim + 4 * dim;
+    dim + cfg.depth * per_layer + 2 * dim + c.num_classes()
+}
+
+#[test]
+fn infer_batch_preserves_order_and_worker_count_does_not_matter() {
+    let (vit, store) = tiny_model(6);
+    let compiled = CompiledVit::from_parts(&vit, &store);
+    let samples: Vec<Sample> = (0..9)
+        .map(|i| Sample {
+            tokens: random_tokens(&vit, 600 + i),
+            label: (i as usize) % CLASSES,
+        })
+        .collect();
+    let serial: Vec<_> = samples
+        .iter()
+        .map(|s| {
+            Engine::builder(compiled.clone())
+                .build()
+                .infer_one(&s.tokens)
+        })
+        .collect();
+    for workers in [1usize, 2, 4] {
+        let engine = Engine::builder(compiled.clone()).workers(workers).build();
+        let batch = engine.infer_batch(&samples);
+        assert_eq!(batch, serial, "workers={workers}");
+    }
+}
+
+#[test]
+fn pipeline_report_compiles_and_serves_above_chance() {
+    let task = SyntheticTask::generate(SyntheticTaskConfig {
+        train_samples: 64,
+        test_samples: 32,
+        ..Default::default()
+    });
+    let model = ViTConfig::deit_tiny().reduced_for_training();
+    let cfg = PipelineConfig {
+        auto_encoder: None,
+        split_conquer: Some(SplitConquerConfig::with_sparsity(0.7)),
+        pretrain: TrainConfig {
+            epochs: 6,
+            ..Default::default()
+        },
+        finetune: TrainConfig {
+            epochs: 3,
+            lr: 1e-3,
+            ..Default::default()
+        },
+        model,
+        seed: 11,
+    };
+    let report = ViTCoDPipeline::new(cfg).run(&task);
+    let tape_accuracy = report.final_accuracy;
+    let compiled = report.compile();
+    assert!(compiled.num_sparse_heads() > 0);
+    let engine = Engine::builder(compiled).build();
+    let predictions = engine.infer_batch(&task.test);
+    let engine_accuracy = accuracy(&predictions, &task.test);
+    // The engine's sparse forward and the tape's -inf-masked evaluation
+    // agree to 1e-4 per logit, so accuracies are essentially equal.
+    assert!(
+        (engine_accuracy - tape_accuracy).abs() <= 1.5 / task.test.len() as f32,
+        "engine {engine_accuracy} vs tape {tape_accuracy}"
+    );
+    assert!(
+        engine_accuracy > 0.25,
+        "accuracy {engine_accuracy} at chance"
+    );
+}
+
+#[test]
+fn from_trainer_equals_from_parts() {
+    let (vit, store) = tiny_model(8);
+    let a = CompiledVit::from_parts(&vit, &store);
+    let trainer = Trainer::new(vit.clone(), store);
+    let b = CompiledVit::from_trainer(trainer);
+    let tokens = random_tokens(&vit, 800);
+    assert_eq!(
+        Engine::builder(a).build().infer_one(&tokens),
+        Engine::builder(b).build().infer_one(&tokens)
+    );
+}

@@ -47,4 +47,6 @@ pub use config::{ModelFamily, StageConfig, ViTConfig};
 pub use flops::FlopsBreakdown;
 pub use synthetic::{Sample, SyntheticTask, SyntheticTaskConfig};
 pub use trainer::{EpochRecord, TrainConfig, Trainer, Trajectory};
-pub use vit::{AutoEncoderSpec, SparsityPlan, VisionTransformer, VitOutput};
+pub use vit::{
+    AeParamIds, AutoEncoderSpec, BlockModules, SparsityPlan, VisionTransformer, VitOutput,
+};

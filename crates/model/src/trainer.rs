@@ -210,19 +210,30 @@ impl Trainer {
     }
 
     /// Top-1 accuracy over `samples`.
+    ///
+    /// Samples fan out across worker threads (each forward is
+    /// independent), which puts every evaluation pass — one per training
+    /// epoch — on the kernel layer's parallel path.
     pub fn evaluate(&self, samples: &[Sample]) -> f32 {
         if samples.is_empty() {
             return 0.0;
         }
-        let mut correct = 0usize;
-        for s in samples {
+        // Rough per-sample forward cost: attention + projections + MLP
+        // MACs, so the fan-out decision scales with the model size.
+        let cfg = self.model.config();
+        let per_sample = cfg.depth
+            * (2 * cfg.tokens * cfg.tokens * cfg.dim
+                + (4 + 2 * cfg.mlp_ratio) * cfg.tokens * cfg.dim * cfg.dim);
+        let correct = vitcod_tensor::kernels::par_map_collect(samples.len(), per_sample, |i| {
+            let s = &samples[i];
             let mut tape = Tape::new();
             let out = self.model.forward(&mut tape, &self.store, &s.tokens);
-            let logits = tape.value(out.logits).row(0).to_vec();
-            if argmax(&logits) == Some(s.label) {
-                correct += 1;
-            }
-        }
+            let logits = tape.value(out.logits).row(0);
+            argmax(logits) == Some(s.label)
+        })
+        .into_iter()
+        .filter(|&c| c)
+        .count();
         correct as f32 / samples.len() as f32
     }
 

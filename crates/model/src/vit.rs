@@ -63,6 +63,46 @@ struct AeParams {
     dec_k: ParamId,
 }
 
+/// Parameter handles of one block's auto-encoder modules (encoder and
+/// decoder head-mixing matrices for Q and K).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AeParamIds {
+    /// Q encoder, `heads × compressed_heads`.
+    pub enc_q: ParamId,
+    /// Q decoder, `compressed_heads × heads`.
+    pub dec_q: ParamId,
+    /// K encoder, `heads × compressed_heads`.
+    pub enc_k: ParamId,
+    /// K decoder, `compressed_heads × heads`.
+    pub dec_k: ParamId,
+}
+
+/// Read-only views of one transformer block's modules, in forward-pass
+/// order. This is the reflection surface inference compilers (the
+/// `vitcod-engine` crate) use to freeze a trained model's weights out of
+/// its [`vitcod_autograd::ParamStore`].
+#[derive(Debug, Clone, Copy)]
+pub struct BlockModules<'a> {
+    /// Pre-attention LayerNorm.
+    pub ln1: &'a LayerNorm,
+    /// Query projection.
+    pub wq: &'a Linear,
+    /// Key projection.
+    pub wk: &'a Linear,
+    /// Value projection.
+    pub wv: &'a Linear,
+    /// Attention output projection.
+    pub wo: &'a Linear,
+    /// Pre-MLP LayerNorm.
+    pub ln2: &'a LayerNorm,
+    /// MLP expansion layer.
+    pub fc1: &'a Linear,
+    /// MLP contraction layer.
+    pub fc2: &'a Linear,
+    /// Auto-encoder parameter handles, if AE modules are installed.
+    pub ae: Option<AeParamIds>,
+}
+
 #[derive(Clone)]
 struct Block {
     ln1: LayerNorm,
@@ -204,6 +244,61 @@ impl VisionTransformer {
     /// Whether a sparsity plan is installed.
     pub fn has_masks(&self) -> bool {
         self.masks.is_some()
+    }
+
+    /// The installed sparsity plan, if any.
+    pub fn sparsity_plan(&self) -> Option<&SparsityPlan> {
+        self.masks.as_ref()
+    }
+
+    /// The installed auto-encoder spec, if any.
+    pub fn ae_spec(&self) -> Option<AutoEncoderSpec> {
+        self.ae_spec
+    }
+
+    /// The patch-embedding layer.
+    pub fn patch_embedding(&self) -> &Linear {
+        &self.patch_embed
+    }
+
+    /// Handle to the positional-embedding parameter (`tokens × dim`).
+    pub fn positional_embedding(&self) -> ParamId {
+        self.pos_embed
+    }
+
+    /// The final LayerNorm applied to the class token.
+    pub fn final_layernorm(&self) -> &LayerNorm {
+        &self.final_ln
+    }
+
+    /// The classification head.
+    pub fn classifier(&self) -> &Linear {
+        &self.head
+    }
+
+    /// Read-only views of block `l`'s modules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= config().depth`.
+    pub fn block_modules(&self, l: usize) -> BlockModules<'_> {
+        let b = &self.blocks[l];
+        BlockModules {
+            ln1: &b.ln1,
+            wq: &b.wq,
+            wk: &b.wk,
+            wv: &b.wv,
+            wo: &b.wo,
+            ln2: &b.ln2,
+            fc1: &b.fc1,
+            fc2: &b.fc2,
+            ae: b.ae.as_ref().map(|ae| AeParamIds {
+                enc_q: ae.enc_q,
+                dec_q: ae.dec_q,
+                enc_k: ae.enc_k,
+                dec_k: ae.dec_k,
+            }),
+        }
     }
 
     /// Installs the ViTCoD auto-encoder modules (paper Fig. 10, Step 1),

@@ -1,266 +1,24 @@
 //! Functional (value-level) model of the accelerator's dataflows.
 //!
 //! The cycle model in [`crate::ViTCoDAccelerator`] answers *how long*;
-//! this module answers *what is computed* — it executes the K-stationary
-//! SDDMM, the sparse softmax and the output-stationary SpMM exactly as
-//! the engines sequence them (column by column over the CSC index), and
-//! is tested for bit-level agreement with the dense masked-attention
-//! reference. This is the reproduction's analogue of the paper's
-//! "verified it against the RTL implementation to ensure its
+//! this module answers *what is computed*. The CSC kernel
+//! implementations — the K-stationary SDDMM, the sparse softmax and the
+//! output-stationary SpMM, executed exactly as the engines sequence them
+//! (column by column over the CSC index) — live in the workspace's
+//! sparse kernel layer, [`vitcod_tensor::sparse`], and are re-exported
+//! here unchanged; the tests below check them for agreement with the
+//! dense masked-attention reference on masks the split-and-conquer
+//! algorithm actually produces. This is the reproduction's analogue of
+//! the paper's "verified it against the RTL implementation to ensure its
 //! correctness". An 8-bit variant runs the same dataflow on quantized
 //! operands with i32 accumulation, as the MAC lines do.
 
-use vitcod_core::CscMatrix;
-use vitcod_tensor::{kernels, softmax_row, Matrix, QuantizedMatrix};
+pub use vitcod_tensor::sparse::{
+    attention_head, attention_head_int8, sddmm_k_stationary, sddmm_k_stationary_int8,
+    spmm_output_stationary, SparseScores,
+};
 
-/// Exclusive prefix sum of per-column non-zero counts: `off[k]` is the
-/// position of column `k`'s first value in a CSC-ordered values buffer.
-fn column_offsets(index: &CscMatrix) -> Vec<usize> {
-    let n = index.size();
-    let mut off = Vec::with_capacity(n + 1);
-    off.push(0usize);
-    for k in 0..n {
-        off.push(off[k] + index.col_nnz(k));
-    }
-    off
-}
-
-/// Partitions the CSC columns into contiguous ranges of roughly equal
-/// non-zero count, one per worker thread. Returns `(value_bounds,
-/// column_starts)`, both `segments + 1` long, suitable for
-/// [`kernels::par_segments`].
-fn column_partition(index: &CscMatrix, col_off: &[usize]) -> (Vec<usize>, Vec<usize>) {
-    let n = index.size();
-    let nnz = index.nnz();
-    let threads = kernels::num_threads().max(1);
-    let target = nnz.div_ceil(threads).max(1);
-    let mut value_bounds = vec![0usize];
-    let mut column_starts = vec![0usize];
-    for k in 0..n {
-        let seg_nnz = col_off[k + 1] - value_bounds.last().unwrap();
-        if seg_nnz >= target && k + 1 < n {
-            value_bounds.push(col_off[k + 1]);
-            column_starts.push(k + 1);
-        }
-    }
-    value_bounds.push(nnz);
-    column_starts.push(n);
-    (value_bounds, column_starts)
-}
-
-/// Sparse attention scores in CSC layout: one value per kept `(q, k)`
-/// position, column-major, aligned with a [`CscMatrix`] index.
-#[derive(Debug, Clone, PartialEq)]
-pub struct SparseScores {
-    index: CscMatrix,
-    values: Vec<f32>,
-}
-
-impl SparseScores {
-    /// The CSC index describing which positions the values occupy.
-    pub fn index(&self) -> &CscMatrix {
-        &self.index
-    }
-
-    /// Number of stored scores.
-    pub fn nnz(&self) -> usize {
-        self.values.len()
-    }
-
-    /// Densifies into an `n × n` matrix (zeros at pruned positions).
-    pub fn to_dense(&self) -> Matrix {
-        let n = self.index.size();
-        let mut out = Matrix::zeros(n, n);
-        let mut pos = 0;
-        for k in 0..n {
-            for &q in self.index.col_rows(k) {
-                out.set(q as usize, k, self.values[pos]);
-                pos += 1;
-            }
-        }
-        out
-    }
-
-    /// Applies a row-wise softmax *in the sparse domain*: each query
-    /// row's kept scores are normalised among themselves, exactly what
-    /// the engines' softmax units do after a complete attention row is
-    /// available.
-    pub fn softmax_rows(&self) -> SparseScores {
-        let n = self.index.size();
-        // Gather per-row (value position, score) pairs.
-        let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut pos = 0;
-        for k in 0..n {
-            for &q in self.index.col_rows(k) {
-                rows[q as usize].push(pos);
-                pos += 1;
-            }
-        }
-        // Per-row normalisation fans out across workers; the scatter back
-        // into column order stays sequential (it is O(nnz) copies).
-        let work_per_row = self.values.len() / n.max(1) + 1;
-        let softmaxed: Vec<Vec<f32>> = kernels::par_map_collect(n, work_per_row, |r| {
-            let mut row: Vec<f32> = rows[r].iter().map(|&p| self.values[p]).collect();
-            softmax_row(&mut row);
-            row
-        });
-        let mut values = self.values.clone();
-        for (positions, row) in rows.into_iter().zip(softmaxed) {
-            for (p, v) in positions.into_iter().zip(row) {
-                values[p] = v;
-            }
-        }
-        SparseScores {
-            index: self.index.clone(),
-            values,
-        }
-    }
-}
-
-/// K-stationary SDDMM (paper Fig. 11(b) / Fig. 13(a)): K columns are
-/// loaded one at a time; for each kept `(q, k)` position listed in the
-/// CSC index, a `dk`-length dot product accumulates across the MAC line
-/// (inter-PE accumulation), emitting attention scores column by column.
-///
-/// The CSC columns are partitioned into contiguous non-zero-balanced
-/// ranges and fanned out across worker threads, each writing its own
-/// disjoint slice of the values buffer (the software analogue of the
-/// accelerator distributing K columns over MAC lines).
-///
-/// `scale` is the `1/sqrt(dk)` attention scaling.
-///
-/// # Panics
-///
-/// Panics if `q`/`k` have different feature dims or the index size
-/// differs from the token count.
-pub fn sddmm_k_stationary(q: &Matrix, k: &Matrix, index: &CscMatrix, scale: f32) -> SparseScores {
-    assert_eq!(q.cols(), k.cols(), "q/k feature dims differ");
-    assert_eq!(q.rows(), index.size(), "index size must match tokens");
-    assert_eq!(k.rows(), index.size(), "index size must match tokens");
-    let col_off = column_offsets(index);
-    let (value_bounds, column_starts) = column_partition(index, &col_off);
-    let mut values = vec![0.0f32; index.nnz()];
-    kernels::par_segments(&mut values, &value_bounds, |seg, out| {
-        let mut pos = 0;
-        for col in column_starts[seg]..column_starts[seg + 1] {
-            // K column resident; related Q rows stream temporally.
-            let k_vec = k.row(col);
-            for &qi in index.col_rows(col) {
-                let q_vec = q.row(qi as usize);
-                let mut acc = 0.0f32;
-                for (a, b) in q_vec.iter().zip(k_vec.iter()) {
-                    acc += a * b;
-                }
-                out[pos] = acc * scale;
-                pos += 1;
-            }
-        }
-    });
-    SparseScores {
-        index: index.clone(),
-        values,
-    }
-}
-
-/// 8-bit K-stationary SDDMM: the same walk with i8 operands and i32
-/// accumulation, dequantised at emission — the MAC lines' arithmetic.
-///
-/// # Panics
-///
-/// Panics on shape mismatches as [`sddmm_k_stationary`] does.
-pub fn sddmm_k_stationary_int8(
-    q: &QuantizedMatrix,
-    k: &QuantizedMatrix,
-    index: &CscMatrix,
-    scale: f32,
-) -> SparseScores {
-    assert_eq!(q.shape().1, k.shape().1, "q/k feature dims differ");
-    assert_eq!(q.shape().0, index.size(), "index size must match tokens");
-    let out_scale = q.params().scale * k.params().scale * scale;
-    let col_off = column_offsets(index);
-    let (value_bounds, column_starts) = column_partition(index, &col_off);
-    let mut values = vec![0.0f32; index.nnz()];
-    kernels::par_segments(&mut values, &value_bounds, |seg, out| {
-        let mut pos = 0;
-        for col in column_starts[seg]..column_starts[seg + 1] {
-            let k_vec = k.row_raw(col);
-            for &qi in index.col_rows(col) {
-                let q_vec = q.row_raw(qi as usize);
-                let mut acc: i32 = 0;
-                for (a, b) in q_vec.iter().zip(k_vec.iter()) {
-                    acc += (*a as i32) * (*b as i32);
-                }
-                out[pos] = acc as f32 * out_scale;
-                pos += 1;
-            }
-        }
-    });
-    SparseScores {
-        index: index.clone(),
-        values,
-    }
-}
-
-/// Output-stationary SpMM (paper Fig. 13(b)): output rows `V′[q, :]`
-/// stay resident in the PE registers (intra-PE accumulation) while the
-/// sparse attention probabilities and V rows stream through; each kept
-/// `(q, k)` score accumulates `prob · V[k, :]` into output row `q`.
-///
-/// # Panics
-///
-/// Panics if shapes disagree with the score index.
-pub fn spmm_output_stationary(scores: &SparseScores, v: &Matrix) -> Matrix {
-    let n = scores.index.size();
-    assert_eq!(v.rows(), n, "V token count must match index");
-    let cols = v.cols();
-    let mut out = Matrix::zeros(n, cols);
-    if cols == 0 {
-        return out;
-    }
-    // Output rows stay resident (intra-PE accumulation) while the sparse
-    // probabilities and V rows stream through. Workers own disjoint
-    // output-row chunks, so every worker walks the full CSC stream and
-    // accumulates only the (q, k) pairs whose output row it owns — the
-    // index walk is duplicated per worker but the MACs are not.
-    let index = &scores.index;
-    let values = &scores.values;
-    let work_per_row = cols * (scores.values.len() / n.max(1) + 1);
-    kernels::for_each_row_chunk_weighted(
-        out.as_mut_slice(),
-        cols,
-        work_per_row,
-        |first_row, chunk| {
-            let chunk_rows = chunk.len() / cols;
-            let mut pos = 0;
-            for k in 0..n {
-                let v_row = v.row(k);
-                for &q in index.col_rows(k) {
-                    let p = values[pos];
-                    pos += 1;
-                    let q = q as usize;
-                    if p == 0.0 || q < first_row || q >= first_row + chunk_rows {
-                        continue;
-                    }
-                    let local = q - first_row;
-                    let out_row = &mut chunk[local * cols..(local + 1) * cols];
-                    for (o, vv) in out_row.iter_mut().zip(v_row.iter()) {
-                        *o += p * vv;
-                    }
-                }
-            }
-        },
-    );
-    out
-}
-
-/// Executes one head's full sparse attention through the accelerator's
-/// dataflow: K-stationary SDDMM → sparse softmax → output-stationary
-/// SpMM.
-pub fn attention_head(q: &Matrix, k: &Matrix, v: &Matrix, index: &CscMatrix, scale: f32) -> Matrix {
-    let scores = sddmm_k_stationary(q, k, index, scale);
-    let probs = scores.softmax_rows();
-    spmm_output_stationary(&probs, v)
-}
+use vitcod_tensor::{kernels, Matrix};
 
 /// Functional auto-encoder round trip: mixes `x`'s heads down through
 /// `enc` (`h × h_c`) and back up through `dec` (`h_c × h`), as the
@@ -287,8 +45,8 @@ pub fn auto_encoder_round_trip(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vitcod_core::{prune_to_sparsity, AttentionMask};
-    use vitcod_tensor::Initializer;
+    use vitcod_core::{prune_to_sparsity, AttentionMask, CscMatrix};
+    use vitcod_tensor::{Initializer, QuantizedMatrix};
 
     fn random_qkv(n: usize, dk: usize, seed: u64) -> (Matrix, Matrix, Matrix) {
         (
@@ -372,19 +130,6 @@ mod tests {
     }
 
     #[test]
-    fn sparse_softmax_rows_sum_to_one() {
-        let (q, k, _) = random_qkv(16, 8, 40);
-        let mask = diag_global_mask(16);
-        let index = CscMatrix::from_mask(&mask);
-        let probs = sddmm_k_stationary(&q, &k, &index, 0.3).softmax_rows();
-        let dense = probs.to_dense();
-        for r in 0..16 {
-            let s: f32 = dense.row(r).iter().sum();
-            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
-        }
-    }
-
-    #[test]
     fn int8_dataflow_close_to_fp32() {
         let (q, k, _) = random_qkv(24, 32, 50);
         let mask = diag_global_mask(24);
@@ -396,27 +141,6 @@ mod tests {
         let diff = fp.to_dense().max_abs_diff(&i8s.to_dense());
         let norm = fp.to_dense().frobenius_norm().max(1e-6);
         assert!(diff / norm < 0.08, "int8 relative error {}", diff / norm);
-    }
-
-    #[test]
-    fn spmm_empty_rows_produce_zero_output() {
-        let v = Initializer::Normal { std: 1.0 }.sample(8, 4, 60);
-        // Only row 3 attends (to columns 1 and 2).
-        let mut mask = AttentionMask::empty(8);
-        mask.keep(3, 1);
-        mask.keep(3, 2);
-        let index = CscMatrix::from_mask(&mask);
-        let scores = SparseScores {
-            index: index.clone(),
-            values: vec![0.5, 0.5],
-        };
-        let out = spmm_output_stationary(&scores, &v);
-        for r in 0..8 {
-            if r != 3 {
-                assert!(out.row(r).iter().all(|&x| x == 0.0), "row {r} not zero");
-            }
-        }
-        assert!(out.row(3).iter().any(|&x| x != 0.0));
     }
 
     #[test]

@@ -68,20 +68,60 @@ pub enum Backend {
 
 static BACKEND: AtomicU8 = AtomicU8::new(1);
 
+/// Sentinel for "no thread-local backend override installed".
+const NO_BACKEND_OVERRIDE: u8 = u8::MAX;
+
+std::thread_local! {
+    /// Per-thread backend override installed by [`with_backend_override`].
+    static BACKEND_OVERRIDE: std::cell::Cell<u8> =
+        const { std::cell::Cell::new(NO_BACKEND_OVERRIDE) };
+}
+
 /// Selects the process-wide kernel backend.
 pub fn set_backend(backend: Backend) {
     BACKEND.store(backend as u8, Ordering::Relaxed);
 }
 
-/// Currently selected process-wide backend.
+/// Currently selected backend: this thread's [`with_backend_override`]
+/// scope if one is active, otherwise the process-wide setting.
 pub fn backend() -> Backend {
-    match BACKEND.load(Ordering::Relaxed) {
+    let local = BACKEND_OVERRIDE.with(|cell| cell.get());
+    let raw = if local != NO_BACKEND_OVERRIDE {
+        local
+    } else {
+        BACKEND.load(Ordering::Relaxed)
+    };
+    match raw {
         0 => Backend::Scalar,
         _ => Backend::Blocked,
     }
 }
 
+/// Runs `f` with `backend` selected *for this thread only*, restoring
+/// the previous selection on exit (including panic unwinds). This is
+/// how callers pin a backend per scope — e.g. a serving engine pinned
+/// to the Scalar reference for auditing — without racing other threads
+/// on the process-wide setting.
+pub fn with_backend_override<T>(backend: Backend, f: impl FnOnce() -> T) -> T {
+    BACKEND_OVERRIDE.with(|cell| {
+        struct Restore<'a>(&'a std::cell::Cell<u8>, u8);
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.0.set(self.1);
+            }
+        }
+        let _restore = Restore(cell, cell.replace(backend as u8));
+        f()
+    })
+}
+
 static NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+std::thread_local! {
+    /// Per-thread budget cap installed by [`with_thread_budget`]; `0`
+    /// means no override.
+    static THREAD_BUDGET: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
 
 /// Caps the worker-thread count (`0` restores the automatic default:
 /// `VITCOD_NUM_THREADS` if set, otherwise the machine's available
@@ -90,8 +130,32 @@ pub fn set_num_threads(n: usize) {
     NUM_THREADS.store(n, Ordering::Relaxed);
 }
 
+/// Runs `f` with this thread's kernel worker budget capped at `n`
+/// (`0` removes the cap). Callers that fan work out at a coarser grain
+/// — e.g. a serving engine spreading samples across its own workers —
+/// wrap the per-worker body in this so the inner kernels do not
+/// multiply the outer fan-out into `threads²` oversubscription. The cap
+/// only changes how many workers a kernel spawns, never its values (the
+/// backend-agreement contract).
+pub fn with_thread_budget<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    THREAD_BUDGET.with(|cell| {
+        struct Restore<'a>(&'a std::cell::Cell<usize>, usize);
+        impl Drop for Restore<'_> {
+            fn drop(&mut self) {
+                self.0.set(self.1);
+            }
+        }
+        let _restore = Restore(cell, cell.replace(n));
+        f()
+    })
+}
+
 /// Resolved worker-thread budget.
 pub fn num_threads() -> usize {
+    let local = THREAD_BUDGET.with(|cell| cell.get());
+    if local > 0 {
+        return local;
+    }
     let configured = NUM_THREADS.load(Ordering::Relaxed);
     if configured > 0 {
         return configured;
@@ -119,6 +183,23 @@ fn effective_threads(items: usize, work_per_item: usize) -> usize {
         .min(total_work / MIN_WORK_PER_THREAD + 1)
         .min(items)
         .max(1)
+}
+
+/// Thread-local state a parallel driver hands to the workers it spawns:
+/// the caller's budget divided among `workers` (so nested kernels cannot
+/// re-expand to full machine parallelism — budget is conserved across
+/// fan-out levels) plus the caller's backend override verbatim.
+fn inherited_overrides(workers: usize) -> (usize, u8) {
+    let budget = (num_threads() / workers.max(1)).max(1);
+    (budget, BACKEND_OVERRIDE.with(|cell| cell.get()))
+}
+
+/// Installs [`inherited_overrides`] state on a fresh scoped worker
+/// thread (no restore needed — the thread ends with `f`).
+fn with_inherited<T>((budget, backend): (usize, u8), f: impl FnOnce() -> T) -> T {
+    THREAD_BUDGET.with(|cell| cell.set(budget));
+    BACKEND_OVERRIDE.with(|cell| cell.set(backend));
+    f()
 }
 
 // ---------------------------------------------------------------------------
@@ -165,10 +246,11 @@ pub fn for_each_row_chunk_weighted<T: Send>(
         return;
     }
     let rows_per = rows.div_ceil(threads);
+    let ov = inherited_overrides(threads);
     std::thread::scope(|scope| {
         for (i, chunk) in data.chunks_mut(rows_per * cols).enumerate() {
             let f = &f;
-            scope.spawn(move || f(i * rows_per, chunk));
+            scope.spawn(move || with_inherited(ov, || f(i * rows_per, chunk)));
         }
     });
 }
@@ -200,13 +282,14 @@ pub fn par_segments<T: Send>(data: &mut [T], bounds: &[usize], f: impl Fn(usize,
         }
         return;
     }
+    let ov = inherited_overrides(segments);
     std::thread::scope(|scope| {
         let mut rest = data;
         let mut offset = 0;
         for (i, w) in bounds.windows(2).enumerate() {
             let (seg, tail) = rest.split_at_mut(w[1] - offset);
             let f = &f;
-            scope.spawn(move || f(i, seg));
+            scope.spawn(move || with_inherited(ov, || f(i, seg)));
             rest = tail;
             offset = w[1];
         }
@@ -227,12 +310,13 @@ pub fn par_map_collect<T: Send, F: Fn(usize) -> T + Sync>(
         return (0..n).map(f).collect();
     }
     let per = n.div_ceil(threads);
+    let ov = inherited_overrides(threads);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let f = &f;
                 let range = t * per..((t + 1) * per).min(n);
-                scope.spawn(move || range.map(f).collect::<Vec<T>>())
+                scope.spawn(move || with_inherited(ov, || range.map(f).collect::<Vec<T>>()))
             })
             .collect();
         let mut out = Vec::with_capacity(n);
@@ -1279,6 +1363,50 @@ mod tests {
             }
         });
         assert_eq!(data, vec![1, 1, 1, 3, 3, 3, 3, 4, 4, 4]);
+    }
+
+    #[test]
+    fn thread_budget_caps_and_restores() {
+        // Thread-local only: no interaction with the global setting, so
+        // this is race-free under the parallel test harness.
+        let inside = with_thread_budget(2, || {
+            assert_eq!(num_threads(), 2);
+            let nested = with_thread_budget(5, num_threads);
+            assert_eq!(nested, 5);
+            assert_eq!(num_threads(), 2, "nested cap must restore");
+            effective_threads(1024, 1 << 20)
+        });
+        assert_eq!(inside, 2);
+    }
+
+    #[test]
+    fn nested_fanout_inherits_divided_budget_and_backend() {
+        // 4 items of heavy work under a budget of 4 → 4 workers, each
+        // inheriting a budget of 4/4 = 1 and the caller's backend
+        // override, so nested kernels can neither oversubscribe nor
+        // escape a pinned backend.
+        let seen = with_backend_override(Backend::Scalar, || {
+            with_thread_budget(4, || {
+                par_map_collect(4, 1 << 20, |_| (num_threads(), backend()))
+            })
+        });
+        assert_eq!(seen.len(), 4);
+        for (budget, b) in seen {
+            assert_eq!(budget, 1, "worker budget not divided");
+            assert_eq!(b, Backend::Scalar, "backend override not inherited");
+        }
+    }
+
+    #[test]
+    fn backend_override_scopes_and_survives_panics() {
+        let ambient = backend();
+        let inside = with_backend_override(Backend::Scalar, backend);
+        assert_eq!(inside, Backend::Scalar);
+        assert_eq!(backend(), ambient, "override must restore on exit");
+        let result =
+            std::panic::catch_unwind(|| with_backend_override(Backend::Scalar, || panic!("boom")));
+        assert!(result.is_err());
+        assert_eq!(backend(), ambient, "override must restore on panic");
     }
 
     #[test]

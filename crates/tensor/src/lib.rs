@@ -13,7 +13,9 @@
 //! scalar reference and cache-blocked, thread-parallel kernels (see
 //! [`kernels`] for the blocking scheme and the backend-agreement
 //! contract). Keeping the reference kernels readable makes the
-//! simulator's operation counts auditable against them.
+//! simulator's operation counts auditable against them. The [`sparse`]
+//! module mirrors the dense layer for CSC-indexed attention (SDDMM,
+//! sparse softmax, SpMM) under the same two-backend contract.
 //!
 //! # Example
 //!
@@ -36,6 +38,7 @@ pub mod kernels;
 mod matrix;
 mod ops;
 mod quant;
+pub mod sparse;
 mod stats;
 
 pub use error::ShapeError;
@@ -44,4 +47,5 @@ pub use kernels::Backend;
 pub use matrix::Matrix;
 pub use ops::{gelu, gelu_grad, relu, sigmoid, softmax_row};
 pub use quant::{QuantParams, QuantizedMatrix};
+pub use sparse::{CscMatrix, SparseScores, SparsityPattern};
 pub use stats::{argmax, l2_norm, mean, variance};

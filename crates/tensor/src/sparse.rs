@@ -1,0 +1,644 @@
+//! The sparse kernel layer: CSC-indexed attention dataflows.
+//!
+//! This module mirrors the dense [`crate::kernels`] layer for the
+//! workloads the ViTCoD accelerator's sparser engine runs: a
+//! K-stationary SDDMM that emits attention scores column by column over
+//! a fixed [`CscMatrix`] index, a row-wise softmax *in the sparse
+//! domain*, and an output-stationary SpMM that streams the sparse
+//! probabilities through resident output rows. An 8-bit SDDMM variant
+//! runs the same walk on quantized operands with i32 accumulation, as
+//! the accelerator's MAC lines do.
+//!
+//! # Backend contract
+//!
+//! Every kernel follows the dense layer's agreement contract: the
+//! [`Backend::Scalar`] flavour is a plain sequential reference loop, the
+//! [`Backend::Blocked`] flavour partitions the CSC stream into
+//! column segments (SDDMM), query rows (softmax) or output-row chunks
+//! (SpMM) and fans them across worker threads — and **both produce
+//! bit-identical values**, because parallelisation only splits disjoint
+//! outputs while each value's accumulation order is unchanged.
+
+use crate::kernels::{self, Backend};
+use crate::ops::softmax_row;
+use crate::{Matrix, QuantizedMatrix};
+
+/// A boolean sparsity pattern over an `n × n` attention map.
+///
+/// Implemented by `vitcod_core::AttentionMask`; the generic
+/// [`CscMatrix::from_mask`] constructor keeps this crate free of any
+/// dependency on the algorithm layer while call sites keep their
+/// `CscMatrix::from_mask(&mask)` spelling.
+pub trait SparsityPattern {
+    /// Token count `n` (the pattern is `n × n`).
+    fn size(&self) -> usize;
+    /// Whether position `(q, k)` is kept.
+    fn is_kept(&self, q: usize, k: usize) -> bool;
+}
+
+/// Compressed-sparse-column index structure of a fixed attention mask.
+///
+/// The ViTCoD accelerator pre-loads fixed sparse attention indexes in
+/// CSC form because it matches the K-stationary dataflow: walking one
+/// CSC column enumerates exactly the Q rows that pair with the
+/// currently-resident K vector.
+///
+/// # Example
+///
+/// ```
+/// use vitcod_tensor::sparse::CscMatrix;
+///
+/// // Keep the diagonal of a 3-token map.
+/// let csc = CscMatrix::from_indicator(3, |q, k| q == k);
+/// assert_eq!(csc.nnz(), 3);
+/// assert_eq!(csc.col_rows(1), &[1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CscMatrix {
+    n: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<u32>,
+    // Row-major companion, precomputed once: for each query row, the
+    // positions its values occupy in the CSC-ordered values buffer
+    // (ascending column order). This is the gather the sparse softmax
+    // needs per call; deriving it here keeps the serving hot path free
+    // of per-inference index rebuilds.
+    row_ptr: Vec<usize>,
+    row_pos: Vec<u32>,
+}
+
+impl CscMatrix {
+    /// Builds the CSC index of the positions where `kept(q, k)` is true.
+    pub fn from_indicator(n: usize, kept: impl Fn(usize, usize) -> bool) -> Self {
+        let mut col_ptr = Vec::with_capacity(n + 1);
+        let mut row_idx = Vec::new();
+        col_ptr.push(0);
+        for k in 0..n {
+            for q in 0..n {
+                if kept(q, k) {
+                    row_idx.push(q as u32);
+                }
+            }
+            col_ptr.push(row_idx.len());
+        }
+        // Counting sort of value positions by row: ascending position
+        // within a row is ascending column, since CSC order is
+        // column-major.
+        let mut row_counts = vec![0usize; n];
+        for &q in &row_idx {
+            row_counts[q as usize] += 1;
+        }
+        let mut row_ptr = Vec::with_capacity(n + 1);
+        row_ptr.push(0usize);
+        for r in 0..n {
+            row_ptr.push(row_ptr[r] + row_counts[r]);
+        }
+        let mut next = row_ptr[..n].to_vec();
+        let mut row_pos = vec![0u32; row_idx.len()];
+        for (p, &q) in row_idx.iter().enumerate() {
+            row_pos[next[q as usize]] = p as u32;
+            next[q as usize] += 1;
+        }
+        Self {
+            n,
+            col_ptr,
+            row_idx,
+            row_ptr,
+            row_pos,
+        }
+    }
+
+    /// Builds the CSC index of a [`SparsityPattern`].
+    pub fn from_mask<P: SparsityPattern + ?Sized>(mask: &P) -> Self {
+        Self::from_indicator(mask.size(), |q, k| mask.is_kept(q, k))
+    }
+
+    /// Token count `n`.
+    pub fn size(&self) -> usize {
+        self.n
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.row_idx.len()
+    }
+
+    /// Row indices of column `k`, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= self.size()`.
+    pub fn col_rows(&self, k: usize) -> &[u32] {
+        assert!(k < self.n, "column {k} out of bounds");
+        // Casting back and forth keeps the storage compact (u32 covers
+        // any realistic token count) while the API stays usize-friendly.
+        let lo = self.col_ptr[k];
+        let hi = self.col_ptr[k + 1];
+        &self.row_idx[lo..hi]
+    }
+
+    /// Non-zero count of column `k`.
+    pub fn col_nnz(&self, k: usize) -> usize {
+        self.col_rows(k).len()
+    }
+
+    /// Positions that row `q`'s kept entries occupy in a CSC-ordered
+    /// values buffer, ascending column order (precomputed — the row
+    /// gather of the sparse softmax).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.size()`.
+    pub fn row_value_positions(&self, q: usize) -> &[u32] {
+        assert!(q < self.n, "row {q} out of bounds");
+        &self.row_pos[self.row_ptr[q]..self.row_ptr[q + 1]]
+    }
+
+    /// Size of the index structure in bytes: `(n + 1)` column pointers
+    /// (4 B each) plus one 4-byte row index per non-zero. This is what
+    /// the accelerator's 20 KB index buffer must hold per tile.
+    pub fn index_bytes(&self) -> usize {
+        (self.col_ptr.len() + self.row_idx.len()) * 4
+    }
+
+    /// Iterates the kept `(q, k)` positions in column-major (CSC value)
+    /// order — the order [`SparseScores`] values are stored in.
+    pub fn iter_kept(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |k| self.col_rows(k).iter().map(move |&q| (q as usize, k)))
+    }
+
+    /// Exclusive prefix sum of per-column non-zero counts: `off[k]` is
+    /// the position of column `k`'s first value in a CSC-ordered values
+    /// buffer.
+    fn column_offsets(&self) -> Vec<usize> {
+        let mut off = Vec::with_capacity(self.n + 1);
+        off.push(0usize);
+        for k in 0..self.n {
+            off.push(off[k] + self.col_nnz(k));
+        }
+        off
+    }
+
+    /// Partitions the CSC columns into contiguous ranges of roughly
+    /// equal non-zero count, one per worker thread. Returns
+    /// `(value_bounds, column_starts)`, both `segments + 1` long,
+    /// suitable for [`kernels::par_segments`].
+    fn column_partition(&self, col_off: &[usize]) -> (Vec<usize>, Vec<usize>) {
+        let n = self.n;
+        let nnz = self.nnz();
+        let threads = kernels::num_threads().max(1);
+        let target = nnz.div_ceil(threads).max(1);
+        let mut value_bounds = vec![0usize];
+        let mut column_starts = vec![0usize];
+        for k in 0..n {
+            let seg_nnz = col_off[k + 1] - value_bounds.last().unwrap();
+            if seg_nnz >= target && k + 1 < n {
+                value_bounds.push(col_off[k + 1]);
+                column_starts.push(k + 1);
+            }
+        }
+        value_bounds.push(nnz);
+        column_starts.push(n);
+        (value_bounds, column_starts)
+    }
+}
+
+/// Sparse attention scores in CSC layout: one value per kept `(q, k)`
+/// position, column-major, aligned with a [`CscMatrix`] index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparseScores {
+    index: CscMatrix,
+    values: Vec<f32>,
+}
+
+impl SparseScores {
+    /// Wraps a CSC-ordered values buffer with its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != index.nnz()`.
+    pub fn new(index: CscMatrix, values: Vec<f32>) -> Self {
+        assert_eq!(values.len(), index.nnz(), "one value per kept position");
+        Self { index, values }
+    }
+
+    /// The CSC index describing which positions the values occupy.
+    pub fn index(&self) -> &CscMatrix {
+        &self.index
+    }
+
+    /// The stored values in column-major (CSC) order.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Number of stored scores.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Densifies into an `n × n` matrix (zeros at pruned positions).
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.index.size();
+        let mut out = Matrix::zeros(n, n);
+        let mut pos = 0;
+        for k in 0..n {
+            for &q in self.index.col_rows(k) {
+                out.set(q as usize, k, self.values[pos]);
+                pos += 1;
+            }
+        }
+        out
+    }
+
+    /// Applies a row-wise softmax *in the sparse domain* on the ambient
+    /// backend: each query row's kept scores are normalised among
+    /// themselves, exactly what the engines' softmax units do after a
+    /// complete attention row is available.
+    pub fn softmax_rows(&self) -> SparseScores {
+        self.softmax_rows_with(kernels::backend())
+    }
+
+    /// [`Self::softmax_rows`] on an explicit backend.
+    pub fn softmax_rows_with(&self, backend: Backend) -> SparseScores {
+        let n = self.index.size();
+        // The row gather is precomputed on the index
+        // ([`CscMatrix::row_value_positions`]), so each call only does
+        // the normalisation itself.
+        let normalise = |r: usize| {
+            let mut row: Vec<f32> = self
+                .index
+                .row_value_positions(r)
+                .iter()
+                .map(|&p| self.values[p as usize])
+                .collect();
+            softmax_row(&mut row);
+            row
+        };
+        // Per-row normalisation fans out across workers when blocked; the
+        // scatter back into column order stays sequential (it is O(nnz)
+        // copies).
+        let softmaxed: Vec<Vec<f32>> = match backend {
+            Backend::Scalar => (0..n).map(normalise).collect(),
+            Backend::Blocked => {
+                let work_per_row = self.values.len() / n.max(1) + 1;
+                kernels::par_map_collect(n, work_per_row, normalise)
+            }
+        };
+        let mut values = self.values.clone();
+        for (r, row) in softmaxed.into_iter().enumerate() {
+            for (&p, v) in self.index.row_value_positions(r).iter().zip(row) {
+                values[p as usize] = v;
+            }
+        }
+        SparseScores {
+            index: self.index.clone(),
+            values,
+        }
+    }
+}
+
+/// K-stationary SDDMM (paper Fig. 11(b) / Fig. 13(a)) on the ambient
+/// backend: K columns are loaded one at a time; for each kept `(q, k)`
+/// position listed in the CSC index, a `dk`-length dot product
+/// accumulates across the MAC line (inter-PE accumulation), emitting
+/// attention scores column by column.
+///
+/// On the blocked backend the CSC columns are partitioned into
+/// contiguous non-zero-balanced ranges and fanned out across worker
+/// threads, each writing its own disjoint slice of the values buffer
+/// (the software analogue of the accelerator distributing K columns
+/// over MAC lines).
+///
+/// `scale` is the `1/sqrt(dk)` attention scaling.
+///
+/// # Panics
+///
+/// Panics if `q`/`k` have different feature dims or the index size
+/// differs from the token count.
+pub fn sddmm_k_stationary(q: &Matrix, k: &Matrix, index: &CscMatrix, scale: f32) -> SparseScores {
+    sddmm_k_stationary_with(kernels::backend(), q, k, index, scale)
+}
+
+/// [`sddmm_k_stationary`] on an explicit backend.
+pub fn sddmm_k_stationary_with(
+    backend: Backend,
+    q: &Matrix,
+    k: &Matrix,
+    index: &CscMatrix,
+    scale: f32,
+) -> SparseScores {
+    assert_eq!(q.cols(), k.cols(), "q/k feature dims differ");
+    assert_eq!(q.rows(), index.size(), "index size must match tokens");
+    assert_eq!(k.rows(), index.size(), "index size must match tokens");
+    let mut values = vec![0.0f32; index.nnz()];
+    let emit = |cols: std::ops::Range<usize>, out: &mut [f32]| {
+        let mut pos = 0;
+        for col in cols {
+            // K column resident; related Q rows stream temporally.
+            let k_vec = k.row(col);
+            for &qi in index.col_rows(col) {
+                let q_vec = q.row(qi as usize);
+                let mut acc = 0.0f32;
+                for (a, b) in q_vec.iter().zip(k_vec.iter()) {
+                    acc += a * b;
+                }
+                out[pos] = acc * scale;
+                pos += 1;
+            }
+        }
+    };
+    match backend {
+        Backend::Scalar => emit(0..index.size(), &mut values),
+        Backend::Blocked => {
+            let col_off = index.column_offsets();
+            let (value_bounds, column_starts) = index.column_partition(&col_off);
+            kernels::par_segments(&mut values, &value_bounds, |seg, out| {
+                emit(column_starts[seg]..column_starts[seg + 1], out)
+            });
+        }
+    }
+    SparseScores {
+        index: index.clone(),
+        values,
+    }
+}
+
+/// 8-bit K-stationary SDDMM: the same walk with i8 operands and i32
+/// accumulation, dequantised at emission — the MAC lines' arithmetic.
+///
+/// # Panics
+///
+/// Panics on shape mismatches as [`sddmm_k_stationary`] does.
+pub fn sddmm_k_stationary_int8(
+    q: &QuantizedMatrix,
+    k: &QuantizedMatrix,
+    index: &CscMatrix,
+    scale: f32,
+) -> SparseScores {
+    sddmm_k_stationary_int8_with(kernels::backend(), q, k, index, scale)
+}
+
+/// [`sddmm_k_stationary_int8`] on an explicit backend.
+pub fn sddmm_k_stationary_int8_with(
+    backend: Backend,
+    q: &QuantizedMatrix,
+    k: &QuantizedMatrix,
+    index: &CscMatrix,
+    scale: f32,
+) -> SparseScores {
+    assert_eq!(q.shape().1, k.shape().1, "q/k feature dims differ");
+    assert_eq!(q.shape().0, index.size(), "index size must match tokens");
+    assert_eq!(k.shape().0, index.size(), "index size must match tokens");
+    let out_scale = q.params().scale * k.params().scale * scale;
+    let mut values = vec![0.0f32; index.nnz()];
+    let emit = |cols: std::ops::Range<usize>, out: &mut [f32]| {
+        let mut pos = 0;
+        for col in cols {
+            let k_vec = k.row_raw(col);
+            for &qi in index.col_rows(col) {
+                let q_vec = q.row_raw(qi as usize);
+                let mut acc: i32 = 0;
+                for (a, b) in q_vec.iter().zip(k_vec.iter()) {
+                    acc += (*a as i32) * (*b as i32);
+                }
+                out[pos] = acc as f32 * out_scale;
+                pos += 1;
+            }
+        }
+    };
+    match backend {
+        Backend::Scalar => emit(0..index.size(), &mut values),
+        Backend::Blocked => {
+            let col_off = index.column_offsets();
+            let (value_bounds, column_starts) = index.column_partition(&col_off);
+            kernels::par_segments(&mut values, &value_bounds, |seg, out| {
+                emit(column_starts[seg]..column_starts[seg + 1], out)
+            });
+        }
+    }
+    SparseScores {
+        index: index.clone(),
+        values,
+    }
+}
+
+/// Output-stationary SpMM (paper Fig. 13(b)) on the ambient backend:
+/// output rows `V′[q, :]` stay resident in the PE registers (intra-PE
+/// accumulation) while the sparse attention probabilities and V rows
+/// stream through; each kept `(q, k)` score accumulates `prob · V[k, :]`
+/// into output row `q`.
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the score index.
+pub fn spmm_output_stationary(scores: &SparseScores, v: &Matrix) -> Matrix {
+    spmm_output_stationary_with(kernels::backend(), scores, v)
+}
+
+/// [`spmm_output_stationary`] on an explicit backend.
+pub fn spmm_output_stationary_with(backend: Backend, scores: &SparseScores, v: &Matrix) -> Matrix {
+    let n = scores.index.size();
+    assert_eq!(v.rows(), n, "V token count must match index");
+    let cols = v.cols();
+    let mut out = Matrix::zeros(n, cols);
+    if cols == 0 {
+        return out;
+    }
+    let index = &scores.index;
+    let values = &scores.values;
+    // Output rows stay resident (intra-PE accumulation) while the sparse
+    // probabilities and V rows stream through. Each invocation owns a
+    // disjoint output-row window and walks the full CSC stream,
+    // accumulating only the (q, k) pairs whose output row it owns — the
+    // index walk is duplicated per worker but the MACs are not. Exact
+    // zeros are skipped in both flavours, keeping them bit-identical.
+    let accumulate = |first_row: usize, chunk: &mut [f32]| {
+        let chunk_rows = chunk.len() / cols;
+        let mut pos = 0;
+        for k in 0..n {
+            let v_row = v.row(k);
+            for &q in index.col_rows(k) {
+                let p = values[pos];
+                pos += 1;
+                let q = q as usize;
+                if p == 0.0 || q < first_row || q >= first_row + chunk_rows {
+                    continue;
+                }
+                let local = q - first_row;
+                let out_row = &mut chunk[local * cols..(local + 1) * cols];
+                for (o, vv) in out_row.iter_mut().zip(v_row.iter()) {
+                    *o += p * vv;
+                }
+            }
+        }
+    };
+    match backend {
+        Backend::Scalar => accumulate(0, out.as_mut_slice()),
+        Backend::Blocked => {
+            let work_per_row = cols * (scores.values.len() / n.max(1) + 1);
+            kernels::for_each_row_chunk_weighted(out.as_mut_slice(), cols, work_per_row, accumulate)
+        }
+    }
+    out
+}
+
+/// Executes one head's full sparse attention through the accelerator's
+/// dataflow: K-stationary SDDMM → sparse softmax → output-stationary
+/// SpMM.
+pub fn attention_head(q: &Matrix, k: &Matrix, v: &Matrix, index: &CscMatrix, scale: f32) -> Matrix {
+    let scores = sddmm_k_stationary(q, k, index, scale);
+    let probs = scores.softmax_rows();
+    spmm_output_stationary(&probs, v)
+}
+
+/// [`attention_head`] with an 8-bit SDDMM: the attention scores are
+/// computed from quantized Q/K with i32 accumulation (the MAC lines'
+/// arithmetic); softmax and SpMM run in fp32 on the dequantised scores.
+pub fn attention_head_int8(
+    q: &QuantizedMatrix,
+    k: &QuantizedMatrix,
+    v: &Matrix,
+    index: &CscMatrix,
+    scale: f32,
+) -> Matrix {
+    let scores = sddmm_k_stationary_int8(q, k, index, scale);
+    let probs = scores.softmax_rows();
+    spmm_output_stationary(&probs, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Initializer;
+
+    fn random(rows: usize, cols: usize, seed: u64) -> Matrix {
+        Initializer::Normal { std: 1.0 }.sample(rows, cols, seed)
+    }
+
+    /// Diagonal + first-column + next-neighbour pattern (a miniature of
+    /// the paper's polarized maps).
+    fn diag_global(n: usize) -> CscMatrix {
+        CscMatrix::from_indicator(n, |q, k| q == k || k == 0 || k == (q + 1) % n)
+    }
+
+    #[test]
+    fn from_indicator_columns_ascending_and_counted() {
+        let csc = diag_global(8);
+        for k in 0..8 {
+            let rows = csc.col_rows(k);
+            assert!(rows.windows(2).all(|w| w[0] < w[1]), "col {k} not sorted");
+            assert_eq!(csc.col_nnz(k), rows.len());
+        }
+        assert_eq!(csc.iter_kept().count(), csc.nnz());
+        assert_eq!(csc.index_bytes(), (9 + csc.nnz()) * 4);
+    }
+
+    #[test]
+    fn row_value_positions_invert_the_csc_walk() {
+        let csc = diag_global(12);
+        let entries: Vec<(usize, usize)> = csc.iter_kept().collect();
+        let mut seen = vec![false; csc.nnz()];
+        for q in 0..12 {
+            let mut prev_col = None;
+            for &p in csc.row_value_positions(q) {
+                let (pq, pk) = entries[p as usize];
+                assert_eq!(pq, q, "position {p} gathered into wrong row");
+                assert!(
+                    prev_col < Some(pk),
+                    "row {q} positions not ascending by column"
+                );
+                prev_col = Some(pk);
+                assert!(!seen[p as usize], "position {p} gathered twice");
+                seen[p as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "some value positions unmapped");
+    }
+
+    #[test]
+    fn sddmm_matches_dense_scores_at_kept_positions() {
+        let (q, k) = (random(24, 16, 1), random(24, 16, 2));
+        let index = diag_global(24);
+        let sparse = sddmm_k_stationary(&q, &k, &index, 0.25);
+        let dense = q.matmul_nt(&k).scale(0.25);
+        let sd = sparse.to_dense();
+        for (qq, kk) in index.iter_kept() {
+            assert!(
+                (sd.get(qq, kk) - dense.get(qq, kk)).abs() < 1e-5,
+                "score ({qq},{kk}) differs"
+            );
+        }
+    }
+
+    #[test]
+    fn backends_agree_bitwise_on_the_full_dataflow() {
+        let (q, k, v) = (random(33, 8, 3), random(33, 8, 4), random(33, 8, 5));
+        let index = diag_global(33);
+        let scores_s = sddmm_k_stationary_with(Backend::Scalar, &q, &k, &index, 0.3);
+        let scores_b = sddmm_k_stationary_with(Backend::Blocked, &q, &k, &index, 0.3);
+        assert_eq!(scores_s, scores_b);
+        let probs_s = scores_s.softmax_rows_with(Backend::Scalar);
+        let probs_b = scores_b.softmax_rows_with(Backend::Blocked);
+        assert_eq!(probs_s, probs_b);
+        assert_eq!(
+            spmm_output_stationary_with(Backend::Scalar, &probs_s, &v),
+            spmm_output_stationary_with(Backend::Blocked, &probs_b, &v)
+        );
+    }
+
+    #[test]
+    fn forced_multithread_dataflow_is_identical() {
+        let (q, k, v) = (random(40, 8, 6), random(40, 8, 7), random(40, 8, 8));
+        let index = diag_global(40);
+        let sequential = attention_head(&q, &k, &v, &index, 0.3);
+        kernels::set_num_threads(4);
+        let parallel = attention_head(&q, &k, &v, &index, 0.3);
+        kernels::set_num_threads(0);
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn sparse_softmax_rows_sum_to_one() {
+        let (q, k) = (random(16, 8, 9), random(16, 8, 10));
+        let index = diag_global(16);
+        let probs = sddmm_k_stationary(&q, &k, &index, 0.3).softmax_rows();
+        let dense = probs.to_dense();
+        for r in 0..16 {
+            let s: f32 = dense.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {r} sums to {s}");
+        }
+    }
+
+    #[test]
+    fn int8_backends_agree_bitwise() {
+        let (q, k) = (random(24, 32, 11), random(24, 32, 12));
+        let index = diag_global(24);
+        let (qi, ki) = (QuantizedMatrix::quantize(&q), QuantizedMatrix::quantize(&k));
+        assert_eq!(
+            sddmm_k_stationary_int8_with(Backend::Scalar, &qi, &ki, &index, 0.2),
+            sddmm_k_stationary_int8_with(Backend::Blocked, &qi, &ki, &index, 0.2)
+        );
+    }
+
+    #[test]
+    fn spmm_rows_without_kept_positions_stay_zero() {
+        let v = random(8, 4, 13);
+        // Only row 3 attends (to columns 1 and 2).
+        let index = CscMatrix::from_indicator(8, |q, k| q == 3 && (k == 1 || k == 2));
+        let scores = SparseScores::new(index, vec![0.5, 0.5]);
+        let out = spmm_output_stationary(&scores, &v);
+        for r in 0..8 {
+            if r != 3 {
+                assert!(out.row(r).iter().all(|&x| x == 0.0), "row {r} not zero");
+            }
+        }
+        assert!(out.row(3).iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one value per kept position")]
+    fn sparse_scores_length_mismatch_panics() {
+        SparseScores::new(diag_global(4), vec![0.0; 3]);
+    }
+}

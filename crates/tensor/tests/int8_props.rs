@@ -1,0 +1,111 @@
+//! Int8 path coverage: quantize→dequantize error bounds on
+//! [`QuantizedMatrix`], and the 8-bit K-stationary SDDMM agreeing with
+//! the fp32 SDDMM within quantization tolerance across random shapes and
+//! seeds.
+
+use proptest::prelude::*;
+use vitcod_tensor::sparse::{sddmm_k_stationary, sddmm_k_stationary_int8, CscMatrix};
+use vitcod_tensor::{Initializer, Matrix, QuantParams, QuantizedMatrix};
+
+fn random(rows: usize, cols: usize, std: f32, seed: u64) -> Matrix {
+    Initializer::Normal { std }.sample(rows, cols, seed)
+}
+
+/// Banded + global-column pattern at size `n` (the polarized-map shape).
+fn banded_index(n: usize, band: usize) -> CscMatrix {
+    CscMatrix::from_indicator(n, |q, k| k == 0 || (q.abs_diff(k) <= band))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Symmetric per-tensor quantization bounds every element's
+    /// round-trip error by half a quantization step.
+    #[test]
+    fn quantize_dequantize_error_bounded_by_half_step(
+        rows in 1usize..24,
+        cols in 1usize..24,
+        std in 0.05f32..4.0,
+        seed in 0u64..1000,
+    ) {
+        let m = random(rows, cols, std, seed);
+        let q = QuantizedMatrix::quantize(&m);
+        let err = m.max_abs_diff(&q.dequantize());
+        prop_assert!(
+            err <= q.params().scale * 0.5 + 1e-7,
+            "round-trip error {err} exceeds half step {}",
+            q.params().scale * 0.5
+        );
+    }
+
+    /// An explicit (coarser) scale still bounds the error by half its
+    /// own step, as long as nothing saturates.
+    #[test]
+    fn explicit_scale_error_bound_without_saturation(
+        seed in 0u64..1000,
+        scale_mult in 1.0f32..4.0,
+    ) {
+        let m = random(8, 8, 1.0, seed);
+        let fitted = QuantParams::fit(&m);
+        let coarse = QuantParams { scale: fitted.scale * scale_mult };
+        let q = QuantizedMatrix::quantize_with(&m, coarse);
+        let err = m.max_abs_diff(&q.dequantize());
+        prop_assert!(err <= coarse.scale * 0.5 + 1e-6, "err {err}");
+    }
+
+    /// The int8 SDDMM tracks the fp32 SDDMM within the analytic
+    /// quantization tolerance across random shapes, sparsity bands and
+    /// seeds: each score is a dk-term dot product whose per-term error
+    /// is bounded by the operand round-trip errors.
+    #[test]
+    fn int8_sddmm_matches_fp32_within_quant_tolerance(
+        n in 4usize..48,
+        dk in 4usize..48,
+        band in 1usize..4,
+        seed in 0u64..1000,
+        scale in 0.05f32..1.0,
+    ) {
+        let q = random(n, dk, 1.0, seed);
+        let k = random(n, dk, 1.0, seed + 7919);
+        let index = banded_index(n, band);
+        let fp = sddmm_k_stationary(&q, &k, &index, scale);
+        let qi = QuantizedMatrix::quantize(&q);
+        let ki = QuantizedMatrix::quantize(&k);
+        let i8s = sddmm_k_stationary_int8(&qi, &ki, &index, scale);
+
+        // Per-term bound: |q·k − q̂·k̂| ≤ |q|·εk + |k|·εq + εq·εk with
+        // ε = scale/2, summed over dk terms.
+        let eq = qi.params().scale * 0.5;
+        let ek = ki.params().scale * 0.5;
+        let qmax = q.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let kmax = k.as_slice().iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+        let bound = dk as f32 * (qmax * ek + kmax * eq + eq * ek) * scale + 1e-5;
+
+        let diff = fp.to_dense().max_abs_diff(&i8s.to_dense());
+        prop_assert!(
+            diff <= bound,
+            "int8 SDDMM error {diff} exceeds analytic bound {bound} (n={n}, dk={dk})"
+        );
+        prop_assert_eq!(fp.nnz(), i8s.nnz());
+    }
+}
+
+#[test]
+fn int8_sddmm_relative_error_small_at_attention_scale() {
+    // A DeiT-head-shaped check with a tight empirical tolerance.
+    for seed in [1u64, 42, 777] {
+        let q = random(64, 32, 1.0, seed);
+        let k = random(64, 32, 1.0, seed + 1);
+        let index = banded_index(64, 2);
+        let fp = sddmm_k_stationary(&q, &k, &index, 0.18);
+        let i8s = sddmm_k_stationary_int8(
+            &QuantizedMatrix::quantize(&q),
+            &QuantizedMatrix::quantize(&k),
+            &index,
+            0.18,
+        );
+        let rel =
+            fp.to_dense().max_abs_diff(&i8s.to_dense()) / fp.to_dense().frobenius_norm().max(1e-6);
+        assert!(rel < 0.05, "seed {seed}: relative error {rel}");
+    }
+}

@@ -1,72 +1,97 @@
-//! Quickstart: sparsify a ViT's attention with ViTCoD's split-and-conquer
-//! algorithm, compile it for the accelerator, and measure the speedup
-//! over running the same model dense on the same hardware.
+//! Quickstart: the full ViTCoD lifecycle — **train** a ViT with the
+//! two-step sparsification pipeline, **compile** the result into a
+//! frozen inference artifact, **serve** it through the batched engine
+//! (fp32 and int8), and **simulate** the same workload on the paper's
+//! accelerator.
 //!
 //! Run with: `cargo run --example quickstart --release`
 
-use vitcod::core::{compile_model, AutoEncoderConfig, SplitConquer, SplitConquerConfig};
-use vitcod::model::{AttentionStats, ViTConfig};
+use std::time::Instant;
+
+use vitcod::core::{
+    compile_model, AutoEncoderConfig, PipelineConfig, SplitConquer, SplitConquerConfig,
+    ViTCoDPipeline,
+};
+use vitcod::engine::{accuracy, CompileReport, Engine, Precision};
+use vitcod::model::{SyntheticTask, SyntheticTaskConfig, TrainConfig, ViTConfig};
 use vitcod::sim::{AcceleratorConfig, ViTCoDAccelerator};
 
 fn main() {
-    // 1. Pick a model and obtain its averaged attention maps. Here we use
-    //    the statistical ensemble generator; with a trained model you
-    //    would call `VisionTransformer::averaged_attention_maps` instead.
-    let model = ViTConfig::deit_base();
-    let stats = AttentionStats::for_model(&model, 42);
+    // 1. Train: run the paper's pipeline (pretrain → insert AE, finetune
+    //    → split-and-conquer, finetune) on a synthetic task with a
+    //    reduced DeiT-Tiny twin, so the example finishes in seconds.
+    let task = SyntheticTask::generate(SyntheticTaskConfig::default());
+    let model = ViTConfig::deit_tiny().reduced_for_training();
+    let mut cfg = PipelineConfig::paper_default(model.clone());
+    cfg.pretrain = TrainConfig {
+        epochs: 8,
+        ..TrainConfig::default()
+    };
+    cfg.finetune = TrainConfig {
+        epochs: 4,
+        lr: 1e-3,
+        ..TrainConfig::default()
+    };
+    println!("training {} on the synthetic task ...", model.name);
+    let report = ViTCoDPipeline::new(cfg).run(&task);
     println!(
-        "model: {} ({} tokens, {} heads x {} layers)",
-        model.name, model.tokens, model.heads, model.depth
+        "pipeline: dense accuracy {:.1}% -> sparse accuracy {:.1}% at {:.1}% attention sparsity",
+        report.dense_accuracy * 100.0,
+        report.final_accuracy * 100.0,
+        report.achieved_sparsity * 100.0
     );
 
-    // 2. Split and conquer: prune to 90 % sparsity and polarize each head
-    //    into a denser global-token block plus a sparse residue.
-    let sc = SplitConquer::new(SplitConquerConfig::with_sparsity(0.9));
-    let polarized = sc.apply(&stats.maps);
-    let mean_globals: f64 = polarized
-        .iter()
-        .flatten()
-        .map(|h| h.num_global() as f64)
-        .sum::<f64>()
-        / (model.depth * model.heads) as f64;
-    println!(
-        "split-and-conquer: {:.1}% sparsity, {:.1} global tokens per head on average",
-        SplitConquer::mean_sparsity(&polarized) * 100.0,
-        mean_globals
-    );
-
-    // 3. Compile for the accelerator, with the 50 % Q/K auto-encoder.
+    // 2. Lower the same sparsified model onto the accelerator while the
+    //    report still owns its split-and-conquer output, plus an
+    //    all-dense comparison program from the trained model's averaged
+    //    attention maps (sparsity 0.0 keeps every position).
     let program = compile_model(
         &model,
-        &polarized,
+        &report.polarized,
         Some(AutoEncoderConfig::half(model.heads)),
     );
+    let maps = report.trainer.averaged_attention_maps(&task);
+    let dense_heads = SplitConquer::new(SplitConquerConfig::with_sparsity(0.0)).apply(&maps);
+    let dense_prog = compile_model(&model, &dense_heads, None);
 
-    // 4. Simulate on the paper's 3 mm^2 configuration and compare with
-    //    the dense workload on identical hardware.
+    // 3. Compile: freeze the finetuned weights and per-head CSC indexes
+    //    into the serve-many artifact.
+    let compiled = report.compile();
+    println!(
+        "compiled artifact: {} weight scalars, {} sparse heads, {:.1}% mean attention sparsity",
+        compiled.num_weight_scalars(),
+        compiled.num_sparse_heads(),
+        compiled.mean_attention_sparsity() * 100.0
+    );
+
+    // 4. Serve: batched tape-free inference. Sparse heads run the real
+    //    SDDMM -> sparse-softmax -> SpMM dataflow over their CSC indexes.
+    for precision in [Precision::Fp32, Precision::Int8] {
+        let engine = Engine::builder(compiled.clone())
+            .precision(precision)
+            .build();
+        let start = Instant::now();
+        let predictions = engine.infer_batch(&task.test);
+        let elapsed = start.elapsed().as_secs_f64();
+        println!(
+            "serve {:?}: {} samples in {:.1} ms ({:.0} samples/s), accuracy {:.1}%",
+            precision,
+            predictions.len(),
+            elapsed * 1e3,
+            predictions.len() as f64 / elapsed,
+            accuracy(&predictions, &task.test) * 100.0
+        );
+    }
+
+    // 5. Simulate: the same sparse workload on the paper's 3 mm^2
+    //    accelerator versus a dense program on identical hardware.
     let acc = ViTCoDAccelerator::new(AcceleratorConfig::vitcod_paper());
-    let sparse = acc.simulate_attention_scaled(&program, &model);
-    let dense_prog = compile_model(
-        &model,
-        &SplitConquer::new(SplitConquerConfig::with_sparsity(0.0)).apply(&stats.maps),
-        None,
-    );
-    let dense = acc.simulate_attention_scaled(&dense_prog, &model);
-
+    let sparse_sim = acc.simulate_attention(&program);
+    let dense_sim = acc.simulate_attention(&dense_prog);
     println!(
-        "attention-core latency: dense {:.1} us -> ViTCoD {:.1} us  ({:.1}x speedup)",
-        dense.latency_s * 1e6,
-        sparse.latency_s * 1e6,
-        sparse.speedup_over(&dense)
-    );
-    println!(
-        "off-chip traffic: dense {:.1} MB -> ViTCoD {:.1} MB",
-        dense.traffic.dram_total() as f64 / 1e6,
-        sparse.traffic.dram_total() as f64 / 1e6
-    );
-    println!(
-        "energy: dense {:.0} uJ -> ViTCoD {:.0} uJ",
-        dense.energy_j * 1e6,
-        sparse.energy_j * 1e6
+        "simulated attention core: dense {:.2} us -> ViTCoD {:.2} us ({:.1}x speedup)",
+        dense_sim.latency_s * 1e6,
+        sparse_sim.latency_s * 1e6,
+        sparse_sim.speedup_over(&dense_sim)
     );
 }

@@ -12,6 +12,9 @@
 //!   accounting, formats, pipeline, compiler interface);
 //! * [`sim`] — the cycle-level accelerator simulator, functional
 //!   dataflow executors, schedules, buffers, energy/area/roofline;
+//! * [`engine`] — compile-once / serve-many inference: frozen
+//!   [`engine::CompiledVit`] artifacts and the batched, tape-free
+//!   [`engine::Engine`] with truly-sparse attention;
 //! * [`baselines`] — CPU/EdgeGPU/GPU platform models plus the SpAtten
 //!   and Sanger simulators.
 //!
@@ -37,6 +40,7 @@
 pub use vitcod_autograd as autograd;
 pub use vitcod_baselines as baselines;
 pub use vitcod_core as core;
+pub use vitcod_engine as engine;
 pub use vitcod_model as model;
 pub use vitcod_sim as sim;
 pub use vitcod_tensor as tensor;

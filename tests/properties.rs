@@ -91,7 +91,7 @@ proptest! {
     #[test]
     fn csc_round_trips_any_mask(mask in random_mask(16)) {
         let csc = CscMatrix::from_mask(&mask);
-        prop_assert_eq!(csc.to_mask(), mask.clone());
+        prop_assert_eq!(AttentionMask::from_csc(&csc), mask.clone());
         prop_assert_eq!(csc.nnz(), mask.nnz());
         let coo = CooMatrix::from_mask(&mask);
         prop_assert_eq!(coo.nnz(), mask.nnz());
