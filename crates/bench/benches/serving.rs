@@ -5,12 +5,17 @@
 //!
 //! Run with `cargo bench -p vitcod-bench --bench serving`; results are
 //! printed and recorded to `BENCH_serving.json` at the workspace root.
-//! The run enforces the serving acceptance gate: batched **sparse int8**
-//! throughput must be at least batched **dense fp32** throughput —
-//! the co-designed artifact must not be slower to serve than the
-//! baseline it replaces.
+//! The run enforces two serving acceptance gates:
+//!
+//! * batched **sparse int8** throughput must be at least batched
+//!   **dense fp32** throughput — the co-designed artifact must not be
+//!   slower to serve than the baseline it replaces;
+//! * driving the same engine through the **request-queue `Server`**
+//!   (concurrent producers → bounded queue → dynamic batches) must
+//!   retain ≥ 0.9× the direct `infer_batch` throughput — the serving
+//!   shell may cost at most 10 %.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -18,12 +23,18 @@ use vitcod_autograd::ParamStore;
 use vitcod_core::prune_to_sparsity;
 use vitcod_engine::{CompiledVit, Engine, Precision};
 use vitcod_model::{AttentionStats, Sample, SparsityPlan, ViTConfig, VisionTransformer};
-use vitcod_tensor::{kernels, Initializer};
+use vitcod_serve::{BatchConfig, ModelRegistry, Server};
+use vitcod_tensor::{kernels, Initializer, Matrix};
 
 const IN_DIM: usize = 48;
 const CLASSES: usize = 10;
 const BATCH: usize = 8;
 const SPARSITY: f64 = 0.9;
+/// Queue-driven section: concurrent producers and total request count.
+const QUEUE_CLIENTS: usize = 4;
+const QUEUE_REQUESTS: usize = 32;
+/// Minimum acceptable queued/direct throughput ratio.
+const QUEUE_GATE: f64 = 0.9;
 
 /// Times `f` over `runs` invocations (after one warm-up) and returns the
 /// best observed seconds per invocation.
@@ -134,6 +145,82 @@ fn main() {
     let speedup = throughput("sparse_int8") / throughput("dense_fp32");
     println!("\nsparse int8 vs dense fp32 throughput: {speedup:.2}x");
 
+    // ------------------------------------------------------------------
+    // End-to-end through the serving layer: the same dense fp32 engine
+    // behind a `Server` — concurrent producers submit tickets through
+    // the bounded queue, the dynamic batcher assembles full batches,
+    // workers drain them. Measures what the queueing shell costs over
+    // direct `infer_batch`.
+    // ------------------------------------------------------------------
+    let run_queued = || {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("dense_fp32", Engine::builder(dense.clone()).build())
+            .expect("register");
+        let server = Server::start(
+            registry,
+            BatchConfig {
+                max_batch_size: BATCH,
+                max_wait: Duration::from_millis(2),
+                queue_capacity: QUEUE_REQUESTS,
+                workers: 2,
+            },
+        );
+        let t = Instant::now();
+        let handles: Vec<_> = (0..QUEUE_CLIENTS)
+            .map(|c| {
+                let client = server.client();
+                std::thread::spawn(move || {
+                    // Submit the whole burst, then await the tickets —
+                    // keeping the queue full so batches assemble at the
+                    // size trigger, not the deadline.
+                    let tickets: Vec<_> = (0..QUEUE_REQUESTS / QUEUE_CLIENTS)
+                        .map(|i| {
+                            let tokens: Matrix = Initializer::Normal { std: 1.0 }.sample(
+                                ViTConfig::deit_tiny().tokens,
+                                IN_DIM,
+                                (c * 1000 + i) as u64,
+                            );
+                            client.submit("dense_fp32", tokens).expect("submit")
+                        })
+                        .collect();
+                    for ticket in tickets {
+                        std::hint::black_box(ticket.wait().expect("served"));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("producer");
+        }
+        let elapsed = t.elapsed().as_secs_f64();
+        let stats = server.shutdown();
+        let m = stats.model("dense_fp32").expect("model served").clone();
+        (QUEUE_REQUESTS as f64 / elapsed, m)
+    };
+    // Warm-up once, then best-of-3 like the direct section.
+    let _ = run_queued();
+    let mut queued_tput = 0.0f64;
+    let mut queued_stats = None;
+    for _ in 0..3 {
+        let (tput, m) = run_queued();
+        if tput > queued_tput {
+            queued_tput = tput;
+            queued_stats = Some(m);
+        }
+    }
+    let queued_stats = queued_stats.expect("at least one queued run");
+    let queue_ratio = queued_tput / throughput("dense_fp32");
+    println!(
+        "queued dense_fp32: {:.1} samples/s ({QUEUE_CLIENTS} clients, mean fill {:.2}, \
+         p50 {:.1} ms, p99 {:.1} ms) -> {:.2}x of direct",
+        queued_tput,
+        queued_stats.mean_batch_fill,
+        queued_stats.p50_latency_s * 1e3,
+        queued_stats.p99_latency_s * 1e3,
+        queue_ratio
+    );
+
     let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     let mut json = String::from("{\n  \"bench\": \"serving\",\n");
     json.push_str(&format!(
@@ -156,6 +243,13 @@ fn main() {
     }
     json.push_str("  ],\n");
     json.push_str(&format!(
+        "  \"queued\": {{\"model\": \"dense_fp32\", \"clients\": {QUEUE_CLIENTS}, \
+         \"requests\": {QUEUE_REQUESTS}, \"samples_per_s\": {queued_tput:.2}, \
+         \"mean_batch_fill\": {:.3}, \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6}, \
+         \"over_direct\": {queue_ratio:.3}}},\n",
+        queued_stats.mean_batch_fill, queued_stats.p50_latency_s, queued_stats.p99_latency_s
+    ));
+    json.push_str(&format!(
         "  \"sparse_int8_over_dense_fp32\": {speedup:.3}\n}}\n"
     ));
     std::fs::write(json_path, json).expect("write BENCH_serving.json");
@@ -165,5 +259,10 @@ fn main() {
         speedup >= 1.0,
         "batched sparse int8 throughput must be >= batched dense fp32 \
          throughput at the DeiT-Tiny shape (got {speedup:.2}x)"
+    );
+    assert!(
+        queue_ratio >= QUEUE_GATE,
+        "queue-batched throughput must retain >= {QUEUE_GATE}x of direct \
+         infer_batch (got {queue_ratio:.2}x)"
     );
 }

@@ -26,7 +26,10 @@
 use std::error::Error;
 use std::fmt;
 
+use vitcod_tensor::Matrix;
+
 use crate::autoencoder::AutoEncoderConfig;
+use crate::formats::CscMatrix;
 use crate::interface::{AcceleratorProgram, LayerProgram, PhaseWorkload};
 
 /// Error produced when parsing a serialized program.
@@ -397,6 +400,459 @@ pub fn load_masks(text: &str) -> Result<Vec<Vec<crate::AttentionMask>>, ParseArt
     Ok(out)
 }
 
+// ---------------------------------------------------------------------------
+// Compiled-model artifacts: the serving-side counterpart of
+// `save_program`/`save_masks`. A `CompiledModelArtifact` is the
+// format-level view of a frozen inference model — named weight tensors,
+// configuration metadata, and one execution plan per attention head —
+// that a `vitcod_engine::CompiledVit` lowers into and reconstructs from,
+// so a compiled ViT can outlive its process.
+// ---------------------------------------------------------------------------
+
+/// One tensor's stored values.
+///
+/// fp32 payloads are written as the hexadecimal IEEE-754 bit patterns of
+/// their elements, so a save → load round trip is **bit-exact** (NaN
+/// payloads and signed zeros included). int8 payloads carry the raw i8
+/// bytes plus their symmetric quantization scale (itself bit-exact), the
+/// 1-byte-per-weight artifact the accelerator streams.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorPayload {
+    /// Full-precision values, serialized bit-exactly.
+    F32(Matrix),
+    /// Symmetric 8-bit quantized values: `x ≈ scale · q`.
+    I8 {
+        /// Shape as `(rows, cols)`.
+        shape: (usize, usize),
+        /// Real value represented by one integer step (stored bit-exact).
+        scale: f32,
+        /// Row-major i8 payload, `rows · cols` long.
+        data: Vec<i8>,
+    },
+}
+
+impl TensorPayload {
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        match self {
+            TensorPayload::F32(m) => m.shape(),
+            TensorPayload::I8 { shape, .. } => *shape,
+        }
+    }
+
+    /// The stored values as a dense fp32 matrix (int8 payloads are
+    /// dequantized — exactly the values the serialized bytes represent).
+    pub fn to_matrix(&self) -> Matrix {
+        match self {
+            TensorPayload::F32(m) => m.clone(),
+            TensorPayload::I8 { shape, scale, data } => Matrix::from_vec(
+                shape.0,
+                shape.1,
+                data.iter().map(|&q| q as f32 * scale).collect(),
+            ),
+        }
+    }
+}
+
+/// A named tensor of a compiled model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NamedTensor {
+    /// Dotted-path name, e.g. `layer3.w_qkv`.
+    pub name: String,
+    /// Stored values.
+    pub payload: TensorPayload,
+}
+
+/// One attention head's execution plan, as stored on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HeadPlanRecord {
+    /// Full dense attention.
+    Dense,
+    /// Fixed sparse attention over the stored CSC index.
+    Sparse(CscMatrix),
+}
+
+/// The format-level record of a compiled inference model: ordered
+/// configuration metadata, named weight tensors, and per-`[layer][head]`
+/// execution plans.
+///
+/// This type is deliberately schema-free — the *engine* decides which
+/// meta keys and tensor names a `CompiledVit` needs; the format only
+/// guarantees lossless transport. Serialize with [`save_compiled`],
+/// parse with [`load_compiled`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CompiledModelArtifact {
+    /// Ordered `(key, value)` configuration metadata.
+    pub meta: Vec<(String, String)>,
+    /// Named weight tensors.
+    pub tensors: Vec<NamedTensor>,
+    /// Per-layer, per-head execution plans.
+    pub plans: Vec<Vec<HeadPlanRecord>>,
+}
+
+impl CompiledModelArtifact {
+    /// Value of meta key `key`, if present.
+    pub fn meta_value(&self, key: &str) -> Option<&str> {
+        self.meta
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The tensor named `name`, if present.
+    pub fn tensor(&self, name: &str) -> Option<&NamedTensor> {
+        self.tensors.iter().find(|t| t.name == name)
+    }
+
+    /// Whether any tensor is stored as an int8 payload (i.e. the
+    /// artifact was saved from a quantized serving plan).
+    pub fn has_int8_tensors(&self) -> bool {
+        self.tensors
+            .iter()
+            .any(|t| matches!(t.payload, TensorPayload::I8 { .. }))
+    }
+}
+
+/// Serializes a compiled model to the versioned text format.
+///
+/// Layout (one record per line; tensor payloads span one line per row):
+///
+/// ```text
+/// vitcod-compiled v1
+/// meta model DeiT-Tiny
+/// tensor f32 patch_w 8 16
+/// 3f800000 40000000 ...          # one row: IEEE-754 bit patterns
+/// tensor i8 layer0.w_qkv 16 48 3b23d70a
+/// 127,-4,0,...                   # one row: raw i8 bytes
+/// plans 2
+/// layer 0 4                      # layer index, head count
+/// head dense
+/// head sparse 17 0,1;1,2;...     # CscMatrix::to_index_string
+/// end
+/// ```
+///
+/// fp32 values round-trip **bit-exactly** (hex bit patterns), which is
+/// what lets a reloaded model reproduce its logits bit for bit. Meta
+/// values round-trip verbatim (backslashes and line breaks are
+/// escaped); meta *keys* must not contain whitespace.
+///
+/// # Panics
+///
+/// Panics if a meta key is empty or contains whitespace — the loader
+/// could not split such a record back losslessly, so writing it would
+/// silently corrupt the artifact.
+pub fn save_compiled(artifact: &CompiledModelArtifact) -> String {
+    let mut out = String::from("vitcod-compiled v1\n");
+    for (k, v) in &artifact.meta {
+        assert!(
+            !k.is_empty() && !k.chars().any(char::is_whitespace),
+            "meta key {k:?} must be non-empty and whitespace-free"
+        );
+        out.push_str(&format!("meta {k} {}\n", escape_meta(v)));
+    }
+    for t in &artifact.tensors {
+        match &t.payload {
+            TensorPayload::F32(m) => {
+                out.push_str(&format!(
+                    "tensor f32 {} {} {}\n",
+                    t.name,
+                    m.rows(),
+                    m.cols()
+                ));
+                for r in 0..m.rows() {
+                    let row: Vec<String> = m
+                        .row(r)
+                        .iter()
+                        .map(|v| format!("{:08x}", v.to_bits()))
+                        .collect();
+                    out.push_str(&row.join(" "));
+                    out.push('\n');
+                }
+            }
+            TensorPayload::I8 { shape, scale, data } => {
+                out.push_str(&format!(
+                    "tensor i8 {} {} {} {:08x}\n",
+                    t.name,
+                    shape.0,
+                    shape.1,
+                    scale.to_bits()
+                ));
+                for r in 0..shape.0 {
+                    let row: Vec<String> = data[r * shape.1..(r + 1) * shape.1]
+                        .iter()
+                        .map(|b| b.to_string())
+                        .collect();
+                    out.push_str(&row.join(","));
+                    out.push('\n');
+                }
+            }
+        }
+    }
+    out.push_str(&format!("plans {}\n", artifact.plans.len()));
+    for (l, layer) in artifact.plans.iter().enumerate() {
+        // Head counts are declared per layer, so ragged plan sets
+        // transport losslessly too.
+        out.push_str(&format!("layer {l} {}\n", layer.len()));
+        for head in layer {
+            match head {
+                HeadPlanRecord::Dense => out.push_str("head dense\n"),
+                HeadPlanRecord::Sparse(csc) => {
+                    out.push_str(&format!(
+                        "head sparse {} {}\n",
+                        csc.size(),
+                        csc.to_index_string()
+                    ));
+                }
+            }
+        }
+    }
+    out.push_str("end\n");
+    out
+}
+
+/// Parses a compiled model written by [`save_compiled`].
+///
+/// # Errors
+///
+/// Returns [`ParseArtifactError`] — carrying the offending 1-based line
+/// number — on version mismatch, truncation, malformed numbers, wrong
+/// payload widths, or inconsistent plan counts.
+pub fn load_compiled(text: &str) -> Result<CompiledModelArtifact, ParseArtifactError> {
+    let err = |line: usize, msg: String| ParseArtifactError::new(line, msg);
+    let mut lines = text.lines().enumerate().map(|(i, l)| (i + 1, l)).peekable();
+
+    let (ln, header) = lines
+        .next()
+        .ok_or_else(|| err(1, "empty artifact".into()))?;
+    if header.trim() != "vitcod-compiled v1" {
+        return Err(err(
+            ln,
+            "unsupported header (expected 'vitcod-compiled v1')".into(),
+        ));
+    }
+
+    let mut artifact = CompiledModelArtifact::default();
+    let mut declared_layers: Option<usize> = None;
+    let mut declared_heads: Vec<usize> = Vec::new();
+    let mut saw_end = false;
+    let mut last_line = 1;
+
+    while let Some((ln, raw)) = lines.next() {
+        last_line = ln;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next().unwrap_or("") {
+            "meta" => {
+                // Values are taken verbatim from the raw line (not the
+                // whitespace-split parts) so interior spacing survives;
+                // escape_meta keeps them single-line.
+                let rest = raw
+                    .trim_start()
+                    .trim_end_matches('\r')
+                    .strip_prefix("meta ")
+                    .ok_or_else(|| err(ln, "meta record missing key".into()))?;
+                let (key, value) = rest.split_once(' ').unwrap_or((rest, ""));
+                if key.is_empty() {
+                    return Err(err(ln, "meta record missing key".into()));
+                }
+                artifact.meta.push((key.to_string(), unescape_meta(value)));
+            }
+            "tensor" => {
+                let kind = parts
+                    .next()
+                    .ok_or_else(|| err(ln, "tensor record missing kind".into()))?;
+                let name = parts
+                    .next()
+                    .ok_or_else(|| err(ln, "tensor record missing name".into()))?
+                    .to_string();
+                let rows = parse_usize(&mut parts, ln, "tensor rows")?;
+                let cols = parse_usize(&mut parts, ln, "tensor cols")?;
+                // Sizes come from untrusted input: reject overflow and
+                // cap the pre-reservation so a corrupt header yields a
+                // parse error, never a capacity panic or huge alloc.
+                let elems = rows
+                    .checked_mul(cols)
+                    .ok_or_else(|| err(ln, format!("tensor '{name}' size overflows")))?;
+                const MAX_PREALLOC: usize = 1 << 22;
+                let payload = match kind {
+                    "f32" => {
+                        let mut data = Vec::with_capacity(elems.min(MAX_PREALLOC));
+                        for r in 0..rows {
+                            let (rln, row) = lines
+                                .next()
+                                .ok_or_else(|| err(ln, format!("tensor '{name}' truncated")))?;
+                            last_line = rln;
+                            let mut count = 0usize;
+                            for v in row.split_whitespace() {
+                                let bits = u32::from_str_radix(v, 16).map_err(|_| {
+                                    err(rln, format!("malformed f32 bit pattern '{v}'"))
+                                })?;
+                                data.push(f32::from_bits(bits));
+                                count += 1;
+                            }
+                            if count != cols {
+                                return Err(err(
+                                    rln,
+                                    format!("row {r} has {count} values, expected {cols}"),
+                                ));
+                            }
+                        }
+                        TensorPayload::F32(Matrix::from_vec(rows, cols, data))
+                    }
+                    "i8" => {
+                        let scale_hex = parts
+                            .next()
+                            .ok_or_else(|| err(ln, "i8 tensor missing scale".into()))?;
+                        let scale =
+                            f32::from_bits(u32::from_str_radix(scale_hex, 16).map_err(|_| {
+                                err(ln, format!("malformed scale bit pattern '{scale_hex}'"))
+                            })?);
+                        let mut data = Vec::with_capacity(elems.min(MAX_PREALLOC));
+                        for r in 0..rows {
+                            let (rln, row) = lines
+                                .next()
+                                .ok_or_else(|| err(ln, format!("tensor '{name}' truncated")))?;
+                            last_line = rln;
+                            let mut count = 0usize;
+                            for v in row.trim().split(',') {
+                                data.push(
+                                    v.parse::<i8>().map_err(|_| {
+                                        err(rln, format!("malformed i8 value '{v}'"))
+                                    })?,
+                                );
+                                count += 1;
+                            }
+                            if count != cols {
+                                return Err(err(
+                                    rln,
+                                    format!("row {r} has {count} values, expected {cols}"),
+                                ));
+                            }
+                        }
+                        TensorPayload::I8 {
+                            shape: (rows, cols),
+                            scale,
+                            data,
+                        }
+                    }
+                    other => return Err(err(ln, format!("unknown tensor kind '{other}'"))),
+                };
+                artifact.tensors.push(NamedTensor { name, payload });
+            }
+            "plans" => {
+                declared_layers = Some(parse_usize(&mut parts, ln, "plan layer count")?);
+            }
+            "layer" => {
+                let idx = parse_usize(&mut parts, ln, "layer index")?;
+                if idx != artifact.plans.len() {
+                    return Err(err(
+                        ln,
+                        format!(
+                            "layer {idx} out of order (expected {})",
+                            artifact.plans.len()
+                        ),
+                    ));
+                }
+                declared_heads.push(parse_usize(&mut parts, ln, "layer head count")?);
+                artifact.plans.push(Vec::new());
+            }
+            "head" => {
+                let layer = artifact
+                    .plans
+                    .last_mut()
+                    .ok_or_else(|| err(ln, "head record before any layer".into()))?;
+                match parts.next() {
+                    Some("dense") => layer.push(HeadPlanRecord::Dense),
+                    Some("sparse") => {
+                        let n = parse_usize(&mut parts, ln, "sparse head size")?;
+                        let index = parts.next().unwrap_or("");
+                        let csc = CscMatrix::from_index_string(n, index)
+                            .map_err(|m| err(ln, format!("malformed CSC index: {m}")))?;
+                        layer.push(HeadPlanRecord::Sparse(csc));
+                    }
+                    other => {
+                        return Err(err(
+                            ln,
+                            format!("unknown head plan '{}'", other.unwrap_or("")),
+                        ))
+                    }
+                }
+            }
+            "end" => {
+                saw_end = true;
+                break;
+            }
+            other => return Err(err(ln, format!("unknown record '{other}'"))),
+        }
+    }
+    if !saw_end {
+        return Err(err(
+            last_line,
+            "missing 'end' terminator (truncated artifact?)".into(),
+        ));
+    }
+    if let Some(layers) = declared_layers {
+        if artifact.plans.len() != layers {
+            return Err(err(
+                last_line,
+                format!(
+                    "declared {layers} plan layers but found {}",
+                    artifact.plans.len()
+                ),
+            ));
+        }
+        for (l, (plan, &heads)) in artifact.plans.iter().zip(&declared_heads).enumerate() {
+            if plan.len() != heads {
+                return Err(err(
+                    last_line,
+                    format!("layer {l} has {} head plans, declared {heads}", plan.len()),
+                ));
+            }
+        }
+    } else if !artifact.plans.is_empty() {
+        return Err(err(
+            last_line,
+            "layer records without a 'plans' header".into(),
+        ));
+    }
+    Ok(artifact)
+}
+
+/// Escapes a meta value onto one line: backslashes, newlines and
+/// carriage returns become two-character sequences.
+fn escape_meta(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('\n', "\\n")
+        .replace('\r', "\\r")
+}
+
+/// Inverse of [`escape_meta`]; unknown escapes pass through verbatim.
+fn unescape_meta(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -528,6 +984,166 @@ mod tests {
         let text = save_masks(&[]);
         let restored = load_masks(&text).unwrap();
         assert!(restored.is_empty());
+    }
+
+    fn sample_compiled() -> CompiledModelArtifact {
+        CompiledModelArtifact {
+            meta: vec![
+                ("model".into(), "DeiT-Tiny".into()),
+                ("note".into(), "value with spaces".into()),
+            ],
+            tensors: vec![
+                NamedTensor {
+                    name: "w".into(),
+                    payload: TensorPayload::F32(Matrix::from_rows(&[
+                        &[1.0, -0.0, f32::MIN_POSITIVE],
+                        &[0.5, 3.25e-7, -17.0],
+                    ])),
+                },
+                NamedTensor {
+                    name: "layer0.w_qkv".into(),
+                    payload: TensorPayload::I8 {
+                        shape: (2, 3),
+                        scale: 0.007_843_138,
+                        data: vec![127, -127, 0, 1, -1, 64],
+                    },
+                },
+            ],
+            plans: vec![
+                vec![
+                    HeadPlanRecord::Dense,
+                    HeadPlanRecord::Sparse(CscMatrix::from_indicator(4, |q, k| q == k || k == 0)),
+                ],
+                vec![HeadPlanRecord::Dense, HeadPlanRecord::Dense],
+            ],
+        }
+    }
+
+    #[test]
+    fn compiled_round_trip_is_exact() {
+        let a = sample_compiled();
+        let text = save_compiled(&a);
+        let restored = load_compiled(&text).unwrap();
+        assert_eq!(restored, a);
+        // Bit-exactness: -0.0 and subnormals survive, and re-saving is
+        // byte-identical.
+        assert_eq!(save_compiled(&restored), text);
+        assert!(restored.has_int8_tensors());
+        assert_eq!(restored.meta_value("note"), Some("value with spaces"));
+        assert_eq!(restored.tensor("w").unwrap().payload.shape(), (2, 3));
+    }
+
+    #[test]
+    fn compiled_f32_nan_bits_survive() {
+        let weird = f32::from_bits(0x7fc0_1234); // NaN with payload
+        let a = CompiledModelArtifact {
+            meta: vec![],
+            tensors: vec![NamedTensor {
+                name: "t".into(),
+                payload: TensorPayload::F32(Matrix::from_vec(1, 1, vec![weird])),
+            }],
+            plans: vec![],
+        };
+        let restored = load_compiled(&save_compiled(&a)).unwrap();
+        match &restored.tensors[0].payload {
+            TensorPayload::F32(m) => assert_eq!(m.get(0, 0).to_bits(), weird.to_bits()),
+            other => panic!("wrong payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compiled_rejects_malformed_with_line_numbers() {
+        let e = load_compiled("vitcod-compiled v9\nend\n").unwrap_err();
+        assert_eq!(e.line(), 1);
+
+        // Wrong row width inside a tensor payload.
+        let text = "vitcod-compiled v1\ntensor f32 w 1 3\n3f800000 3f800000\nend\n";
+        let e = load_compiled(text).unwrap_err();
+        assert_eq!(e.line(), 3);
+        assert!(e.to_string().contains("expected 3"));
+
+        // Malformed hex.
+        let text = "vitcod-compiled v1\ntensor f32 w 1 1\nzz\nend\n";
+        let e = load_compiled(text).unwrap_err();
+        assert_eq!(e.line(), 3);
+
+        // Malformed i8 byte.
+        let text = "vitcod-compiled v1\ntensor i8 w 1 2 3f800000\n1,999\nend\n";
+        let e = load_compiled(text).unwrap_err();
+        assert_eq!(e.line(), 3);
+
+        // Head plan before any layer.
+        let text = "vitcod-compiled v1\nplans 1 1\nhead dense\nend\n";
+        let e = load_compiled(text).unwrap_err();
+        assert_eq!(e.line(), 3);
+
+        // Truncation: payload rows missing entirely.
+        let full = save_compiled(&sample_compiled());
+        let lines: Vec<&str> = full.lines().collect();
+        let cut = lines[..lines.len() - 2].join("\n");
+        assert!(load_compiled(&cut).is_err());
+        let no_end: String = lines[..lines.len() - 1].join("\n");
+        let e = load_compiled(&no_end).unwrap_err();
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn compiled_rejects_inconsistent_plan_counts() {
+        let text = "vitcod-compiled v1\nplans 2\nlayer 0 1\nhead dense\nend\n";
+        let e = load_compiled(text).unwrap_err();
+        assert!(e.to_string().contains("declared 2"));
+        let text = "vitcod-compiled v1\nplans 1\nlayer 0 2\nhead dense\nend\n";
+        let e = load_compiled(text).unwrap_err();
+        assert!(e.to_string().contains("declared 2"));
+        let text = "vitcod-compiled v1\nlayer 0 1\nhead dense\nend\n";
+        assert!(load_compiled(text).is_err());
+        let text = "vitcod-compiled v1\nplans 1\nlayer 0\nhead dense\nend\n";
+        let e = load_compiled(text).unwrap_err();
+        assert!(e.to_string().contains("layer head count"));
+    }
+
+    #[test]
+    fn compiled_rejects_huge_tensor_headers_gracefully() {
+        // Corrupt size fields must produce a parse error, not a
+        // capacity panic or a giant allocation.
+        for text in [
+            "vitcod-compiled v1\ntensor f32 w 4000000000000000000 4000000000000000000\nend\n",
+            "vitcod-compiled v1\ntensor i8 w 999999999 999999999 3f800000\nend\n",
+        ] {
+            let e = load_compiled(text).unwrap_err();
+            assert!(e.line() > 0, "error must carry a line number: {e}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whitespace-free")]
+    fn compiled_save_rejects_unsplittable_meta_keys() {
+        save_compiled(&CompiledModelArtifact {
+            meta: vec![("my key".into(), "v".into())],
+            tensors: vec![],
+            plans: vec![],
+        });
+    }
+
+    #[test]
+    fn compiled_ragged_plans_and_hostile_meta_values_round_trip() {
+        let a = CompiledModelArtifact {
+            meta: vec![
+                ("double".into(), "a  b".into()),
+                ("newline".into(), "line1\nline2\\more\r".into()),
+                ("empty".into(), String::new()),
+            ],
+            tensors: vec![],
+            // Ragged: per-layer head counts differ.
+            plans: vec![
+                vec![HeadPlanRecord::Dense],
+                vec![HeadPlanRecord::Dense, HeadPlanRecord::Dense],
+            ],
+        };
+        let text = save_compiled(&a);
+        let restored = load_compiled(&text).unwrap();
+        assert_eq!(restored, a);
+        assert_eq!(save_compiled(&restored), text);
     }
 
     #[test]

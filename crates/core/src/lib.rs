@@ -55,7 +55,10 @@ mod reorder;
 mod split_conquer;
 pub mod taxonomy;
 
-pub use artifact::{load_masks, load_program, save_masks, save_program, ParseArtifactError};
+pub use artifact::{
+    load_compiled, load_masks, load_program, save_compiled, save_masks, save_program,
+    CompiledModelArtifact, HeadPlanRecord, NamedTensor, ParseArtifactError, TensorPayload,
+};
 pub use autoencoder::AutoEncoderConfig;
 pub use formats::{CooMatrix, CscMatrix, SparsityPattern};
 pub use interface::{compile_model, AcceleratorProgram, LayerProgram, PhaseWorkload};

@@ -1,0 +1,451 @@
+//! On-disk persistence for [`CompiledVit`]: the hooks that lower the
+//! engine's frozen artifact into the format-level
+//! [`CompiledModelArtifact`] record (and back), so a compiled model can
+//! outlive the process that trained it.
+//!
+//! The format itself lives in [`vitcod_core::artifact`]
+//! ([`save_compiled`]/[`load_compiled`], same line-oriented style as
+//! `save_masks`); this module owns the *schema*: which meta keys carry
+//! the [`ViTConfig`], which tensor names hold which weights, and which
+//! tensors an int8 save stores as 1-byte quantized payloads.
+//!
+//! Guarantees:
+//!
+//! * **fp32 saves are bit-exact** — every weight scalar is written as
+//!   its IEEE-754 bit pattern, so a reloaded model's logits are
+//!   bit-identical to the original's.
+//! * **int8 saves are byte-exact** — weight matrices on the engine's
+//!   quantization set are stored as raw i8 bytes plus their bit-exact
+//!   scale; save → load → save reproduces the identical artifact text.
+
+use std::fmt;
+
+use vitcod_core::{
+    load_compiled, save_compiled, CompiledModelArtifact, HeadPlanRecord, NamedTensor,
+    ParseArtifactError, TensorPayload,
+};
+use vitcod_model::{ModelFamily, StageConfig, ViTConfig};
+use vitcod_tensor::{Matrix, QuantizedMatrix};
+
+use crate::compiled::{CompiledAe, CompiledLayer, CompiledVit, HeadPlan};
+use crate::Precision;
+
+/// Error loading a [`CompiledVit`] from its serialized form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArtifactError {
+    /// The text failed to parse at the format level; carries the
+    /// offending line number.
+    Parse(ParseArtifactError),
+    /// The record parsed but does not describe a valid compiled ViT
+    /// (missing tensor, wrong shape, inconsistent plan counts, ...).
+    Schema(String),
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArtifactError::Parse(e) => write!(f, "{e}"),
+            ArtifactError::Schema(m) => write!(f, "invalid compiled-model schema: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ArtifactError {}
+
+impl From<ParseArtifactError> for ArtifactError {
+    fn from(e: ParseArtifactError) -> Self {
+        ArtifactError::Parse(e)
+    }
+}
+
+fn schema(msg: impl Into<String>) -> ArtifactError {
+    ArtifactError::Schema(msg.into())
+}
+
+/// Serializes `model` to the versioned text format. Under
+/// [`Precision::Int8`] the engine's quantization set (projections, MLPs,
+/// AE mixers, patch/pos/classifier weights) is stored as 1-byte
+/// payloads; biases and LayerNorm parameters stay fp32, exactly as the
+/// int8 engine computes.
+pub fn save_compiled_vit(model: &CompiledVit, precision: Precision) -> String {
+    save_compiled(&model.to_artifact(precision))
+}
+
+/// Parses a model written by [`save_compiled_vit`], returning the
+/// reconstructed artifact and the precision it was saved under (int8
+/// payloads dequantize to exactly the values the bytes represent).
+///
+/// # Errors
+///
+/// [`ArtifactError::Parse`] on malformed text (with line number),
+/// [`ArtifactError::Schema`] when the record is not a compiled ViT.
+pub fn load_compiled_vit(text: &str) -> Result<(CompiledVit, Precision), ArtifactError> {
+    let record = load_compiled(text)?;
+    let model = CompiledVit::from_artifact(&record)?;
+    let precision = match record.meta_value("precision") {
+        Some("int8") => Precision::Int8,
+        Some("fp32") | None => Precision::Fp32,
+        Some(other) => return Err(schema(format!("unknown precision '{other}'"))),
+    };
+    Ok((model, precision))
+}
+
+/// Pushes a weight matrix, quantizing it when `int8` (the engine's
+/// 1-byte-per-weight artifact bytes).
+fn push_weight(tensors: &mut Vec<NamedTensor>, name: String, m: &Matrix, int8: bool) {
+    let payload = if int8 {
+        let q = QuantizedMatrix::quantize(m);
+        TensorPayload::I8 {
+            shape: q.shape(),
+            scale: q.params().scale,
+            data: (0..q.shape().0)
+                .flat_map(|r| q.row_raw(r).iter().copied())
+                .collect(),
+        }
+    } else {
+        TensorPayload::F32(m.clone())
+    };
+    tensors.push(NamedTensor { name, payload });
+}
+
+/// Pushes a parameter vector as a 1 × n fp32 tensor (vectors are never
+/// quantized — the int8 engine keeps biases and LayerNorm in fp32).
+fn push_vec(tensors: &mut Vec<NamedTensor>, name: String, v: &[f32]) {
+    tensors.push(NamedTensor {
+        name,
+        payload: TensorPayload::F32(Matrix::from_vec(1, v.len(), v.to_vec())),
+    });
+}
+
+fn take_matrix(
+    record: &CompiledModelArtifact,
+    name: &str,
+    shape: (usize, usize),
+) -> Result<Matrix, ArtifactError> {
+    let t = record
+        .tensor(name)
+        .ok_or_else(|| schema(format!("missing tensor '{name}'")))?;
+    if t.payload.shape() != shape {
+        return Err(schema(format!(
+            "tensor '{name}' has shape {:?}, expected {:?}",
+            t.payload.shape(),
+            shape
+        )));
+    }
+    Ok(t.payload.to_matrix())
+}
+
+fn take_vec(
+    record: &CompiledModelArtifact,
+    name: &str,
+    len: usize,
+) -> Result<Vec<f32>, ArtifactError> {
+    Ok(take_matrix(record, name, (1, len))?.row(0).to_vec())
+}
+
+fn meta_parse<T: std::str::FromStr>(
+    record: &CompiledModelArtifact,
+    key: &str,
+) -> Result<T, ArtifactError> {
+    record
+        .meta_value(key)
+        .ok_or_else(|| schema(format!("missing meta key '{key}'")))?
+        .parse::<T>()
+        .map_err(|_| schema(format!("malformed meta value for '{key}'")))
+}
+
+/// Resolves a model name back to the `&'static str` the [`ViTConfig`]
+/// zoo uses; unknown names (custom configs) are interned in a process
+/// table, leaking one allocation per *distinct* name — so a long-lived
+/// server reloading the same artifact forever holds constant memory.
+fn static_name(name: &str) -> &'static str {
+    use std::collections::HashSet;
+    use std::sync::{Mutex, OnceLock};
+    for cfg in ViTConfig::all_paper_models() {
+        if cfg.name == name {
+            return cfg.name;
+        }
+    }
+    static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut table = INTERNED
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .expect("intern table poisoned");
+    match table.get(name) {
+        Some(interned) => interned,
+        None => {
+            let leaked: &'static str = Box::leak(name.to_string().into_boxed_str());
+            table.insert(leaked);
+            leaked
+        }
+    }
+}
+
+impl CompiledVit {
+    /// Lowers the frozen model into the schema-free format record.
+    /// Under [`Precision::Int8`], the weight matrices the int8 engine
+    /// quantizes are stored as i8 payloads; everything else stays fp32.
+    pub fn to_artifact(&self, precision: Precision) -> CompiledModelArtifact {
+        let int8 = precision == Precision::Int8;
+        let cfg = &self.cfg;
+        let stages: Vec<String> = cfg
+            .stages
+            .iter()
+            .map(|s| format!("{},{},{},{}", s.tokens, s.dim, s.heads, s.depth))
+            .collect();
+        let meta = vec![
+            ("model".to_string(), cfg.name.to_string()),
+            ("family".to_string(), cfg.family.to_string()),
+            ("tokens".to_string(), cfg.tokens.to_string()),
+            ("dim".to_string(), cfg.dim.to_string()),
+            ("heads".to_string(), cfg.heads.to_string()),
+            ("depth".to_string(), cfg.depth.to_string()),
+            ("mlp_ratio".to_string(), cfg.mlp_ratio.to_string()),
+            ("stages".to_string(), stages.join(";")),
+            ("stem_macs".to_string(), cfg.stem_macs.to_string()),
+            // f64 stored bit-exactly, like every other scalar.
+            (
+                "paper_sparsity".to_string(),
+                format!("{:016x}", cfg.paper_sparsity.to_bits()),
+            ),
+            ("in_dim".to_string(), self.in_dim.to_string()),
+            ("num_classes".to_string(), self.num_classes.to_string()),
+            (
+                "precision".to_string(),
+                if int8 { "int8" } else { "fp32" }.to_string(),
+            ),
+        ];
+
+        let mut tensors = Vec::new();
+        push_weight(&mut tensors, "patch_w".into(), &self.patch_w, int8);
+        push_vec(&mut tensors, "patch_b".into(), &self.patch_b);
+        push_weight(&mut tensors, "pos_embed".into(), &self.pos_embed, int8);
+        for (l, layer) in self.layers.iter().enumerate() {
+            let name = |field: &str| format!("layer{l}.{field}");
+            push_vec(&mut tensors, name("ln1_gamma"), &layer.ln1_gamma);
+            push_vec(&mut tensors, name("ln1_beta"), &layer.ln1_beta);
+            push_weight(&mut tensors, name("w_qkv"), &layer.w_qkv, int8);
+            push_vec(&mut tensors, name("b_qkv"), &layer.b_qkv);
+            push_weight(&mut tensors, name("w_out"), &layer.w_out, int8);
+            push_vec(&mut tensors, name("b_out"), &layer.b_out);
+            push_vec(&mut tensors, name("ln2_gamma"), &layer.ln2_gamma);
+            push_vec(&mut tensors, name("ln2_beta"), &layer.ln2_beta);
+            push_weight(&mut tensors, name("w_fc1"), &layer.w_fc1, int8);
+            push_vec(&mut tensors, name("b_fc1"), &layer.b_fc1);
+            push_weight(&mut tensors, name("w_fc2"), &layer.w_fc2, int8);
+            push_vec(&mut tensors, name("b_fc2"), &layer.b_fc2);
+            if let Some(ae) = &layer.ae {
+                push_weight(&mut tensors, name("ae.enc_q"), &ae.enc_q, int8);
+                push_weight(&mut tensors, name("ae.dec_q"), &ae.dec_q, int8);
+                push_weight(&mut tensors, name("ae.enc_k"), &ae.enc_k, int8);
+                push_weight(&mut tensors, name("ae.dec_k"), &ae.dec_k, int8);
+            }
+        }
+        push_vec(&mut tensors, "final_gamma".into(), &self.final_gamma);
+        push_vec(&mut tensors, "final_beta".into(), &self.final_beta);
+        push_weight(&mut tensors, "head_w".into(), &self.head_w, int8);
+        push_vec(&mut tensors, "head_b".into(), &self.head_b);
+
+        let plans = self
+            .layers
+            .iter()
+            .map(|layer| {
+                layer
+                    .heads
+                    .iter()
+                    .map(|h| match h {
+                        HeadPlan::Dense => HeadPlanRecord::Dense,
+                        HeadPlan::Sparse(csc) => HeadPlanRecord::Sparse(csc.clone()),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        CompiledModelArtifact {
+            meta,
+            tensors,
+            plans,
+        }
+    }
+
+    /// Reconstructs a frozen model from a format record, validating the
+    /// schema (tensor presence, shapes, plan counts) along the way.
+    ///
+    /// # Errors
+    ///
+    /// [`ArtifactError::Schema`] naming the first inconsistency.
+    pub fn from_artifact(record: &CompiledModelArtifact) -> Result<Self, ArtifactError> {
+        let name = record
+            .meta_value("model")
+            .ok_or_else(|| schema("missing meta key 'model'"))?;
+        let family = match record
+            .meta_value("family")
+            .ok_or_else(|| schema("missing meta key 'family'"))?
+        {
+            "DeiT" => ModelFamily::DeiT,
+            "LeViT" => ModelFamily::LeViT,
+            "Strided Transformer" => ModelFamily::Strided,
+            other => return Err(schema(format!("unknown model family '{other}'"))),
+        };
+        let tokens: usize = meta_parse(record, "tokens")?;
+        let dim: usize = meta_parse(record, "dim")?;
+        let heads: usize = meta_parse(record, "heads")?;
+        let depth: usize = meta_parse(record, "depth")?;
+        let mlp_ratio: usize = meta_parse(record, "mlp_ratio")?;
+        let stem_macs: u64 = meta_parse(record, "stem_macs")?;
+        let sparsity_bits = record
+            .meta_value("paper_sparsity")
+            .ok_or_else(|| schema("missing meta key 'paper_sparsity'"))?;
+        let paper_sparsity = f64::from_bits(
+            u64::from_str_radix(sparsity_bits, 16)
+                .map_err(|_| schema("malformed 'paper_sparsity' bit pattern"))?,
+        );
+        let stages = record
+            .meta_value("stages")
+            .ok_or_else(|| schema("missing meta key 'stages'"))?
+            .split(';')
+            .map(|s| {
+                let fields: Vec<usize> = s
+                    .split(',')
+                    .map(|v| v.parse::<usize>())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| schema(format!("malformed stage '{s}'")))?;
+                if fields.len() != 4 {
+                    return Err(schema(format!("stage '{s}' needs 4 fields")));
+                }
+                Ok(StageConfig {
+                    tokens: fields[0],
+                    dim: fields[1],
+                    heads: fields[2],
+                    depth: fields[3],
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        if stages.is_empty() {
+            return Err(schema("model needs at least one stage"));
+        }
+        if heads == 0 || !dim.is_multiple_of(heads) {
+            return Err(schema(format!("dim {dim} not divisible by heads {heads}")));
+        }
+        let cfg = ViTConfig {
+            name: static_name(name),
+            family,
+            tokens,
+            dim,
+            heads,
+            depth,
+            mlp_ratio,
+            stages,
+            stem_macs,
+            paper_sparsity,
+        };
+        let in_dim: usize = meta_parse(record, "in_dim")?;
+        let num_classes: usize = meta_parse(record, "num_classes")?;
+
+        if record.plans.len() != depth {
+            return Err(schema(format!(
+                "{} plan layers for depth {depth}",
+                record.plans.len()
+            )));
+        }
+        // Meta values are untrusted: shape arithmetic must error, not
+        // overflow-panic (matching the core parser's hardening).
+        let overflow = || schema(format!("dim {dim} x mlp_ratio {mlp_ratio} overflows"));
+        let three_dim = dim.checked_mul(3).ok_or_else(overflow)?;
+        let hidden = dim.checked_mul(mlp_ratio).ok_or_else(overflow)?;
+        let layers = record
+            .plans
+            .iter()
+            .enumerate()
+            .map(|(l, plan)| {
+                if plan.len() != heads {
+                    return Err(schema(format!(
+                        "layer {l} has {} head plans for {heads} heads",
+                        plan.len()
+                    )));
+                }
+                let name = |field: &str| format!("layer{l}.{field}");
+                let head_plans = plan
+                    .iter()
+                    .map(|h| match h {
+                        HeadPlanRecord::Dense => Ok(HeadPlan::Dense),
+                        HeadPlanRecord::Sparse(csc) => {
+                            if csc.size() != tokens {
+                                return Err(schema(format!(
+                                    "layer {l}: CSC index size {} != tokens {tokens}",
+                                    csc.size()
+                                )));
+                            }
+                            Ok(HeadPlan::Sparse(csc.clone()))
+                        }
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                // The AE's compressed width is not in the meta — recover
+                // it from the encoder tensor itself.
+                let ae = if let Some(t) = record.tensor(&name("ae.enc_q")) {
+                    let enc_q = t.payload.to_matrix();
+                    if enc_q.rows() != heads {
+                        return Err(schema(format!(
+                            "layer {l}: ae.enc_q has {} rows for {heads} heads",
+                            enc_q.rows()
+                        )));
+                    }
+                    let compressed = enc_q.cols();
+                    Some(CompiledAe {
+                        enc_q,
+                        dec_q: take_matrix(record, &name("ae.dec_q"), (compressed, heads))?,
+                        enc_k: take_matrix(record, &name("ae.enc_k"), (heads, compressed))?,
+                        dec_k: take_matrix(record, &name("ae.dec_k"), (compressed, heads))?,
+                    })
+                } else {
+                    None
+                };
+                Ok(CompiledLayer {
+                    ln1_gamma: take_vec(record, &name("ln1_gamma"), dim)?,
+                    ln1_beta: take_vec(record, &name("ln1_beta"), dim)?,
+                    w_qkv: take_matrix(record, &name("w_qkv"), (dim, three_dim))?,
+                    b_qkv: take_vec(record, &name("b_qkv"), three_dim)?,
+                    w_out: take_matrix(record, &name("w_out"), (dim, dim))?,
+                    b_out: take_vec(record, &name("b_out"), dim)?,
+                    ln2_gamma: take_vec(record, &name("ln2_gamma"), dim)?,
+                    ln2_beta: take_vec(record, &name("ln2_beta"), dim)?,
+                    w_fc1: take_matrix(record, &name("w_fc1"), (dim, hidden))?,
+                    b_fc1: take_vec(record, &name("b_fc1"), hidden)?,
+                    w_fc2: take_matrix(record, &name("w_fc2"), (hidden, dim))?,
+                    b_fc2: take_vec(record, &name("b_fc2"), dim)?,
+                    ae,
+                    heads: head_plans,
+                })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        Ok(CompiledVit {
+            patch_w: take_matrix(record, "patch_w", (in_dim, dim))?,
+            patch_b: take_vec(record, "patch_b", dim)?,
+            pos_embed: take_matrix(record, "pos_embed", (tokens, dim))?,
+            layers,
+            final_gamma: take_vec(record, "final_gamma", dim)?,
+            final_beta: take_vec(record, "final_beta", dim)?,
+            head_w: take_matrix(record, "head_w", (dim, num_classes))?,
+            head_b: take_vec(record, "head_b", num_classes)?,
+            cfg,
+            in_dim,
+            num_classes,
+        })
+    }
+
+    /// Saves this model as fp32 text ([`save_compiled_vit`] shorthand).
+    pub fn save(&self) -> String {
+        save_compiled_vit(self, Precision::Fp32)
+    }
+
+    /// Loads a model saved by [`CompiledVit::save`] /
+    /// [`save_compiled_vit`], discarding the stored precision tag.
+    ///
+    /// # Errors
+    ///
+    /// See [`load_compiled_vit`].
+    pub fn load(text: &str) -> Result<Self, ArtifactError> {
+        load_compiled_vit(text).map(|(model, _)| model)
+    }
+}

@@ -86,17 +86,17 @@ pub struct CompiledLayer {
 /// [`PipelineReport`]), then serve it through [`crate::Engine`].
 #[derive(Debug, Clone)]
 pub struct CompiledVit {
-    cfg: ViTConfig,
-    in_dim: usize,
-    num_classes: usize,
-    patch_w: Matrix,
-    patch_b: Vec<f32>,
-    pos_embed: Matrix,
-    layers: Vec<CompiledLayer>,
-    final_gamma: Vec<f32>,
-    final_beta: Vec<f32>,
-    head_w: Matrix,
-    head_b: Vec<f32>,
+    pub(crate) cfg: ViTConfig,
+    pub(crate) in_dim: usize,
+    pub(crate) num_classes: usize,
+    pub(crate) patch_w: Matrix,
+    pub(crate) patch_b: Vec<f32>,
+    pub(crate) pos_embed: Matrix,
+    pub(crate) layers: Vec<CompiledLayer>,
+    pub(crate) final_gamma: Vec<f32>,
+    pub(crate) final_beta: Vec<f32>,
+    pub(crate) head_w: Matrix,
+    pub(crate) head_b: Vec<f32>,
 }
 
 fn row_vec(store: &ParamStore, id: vitcod_autograd::ParamId) -> Vec<f32> {

@@ -1,6 +1,8 @@
 //! The batched serving engine: a tape-free forward over a frozen
 //! [`CompiledVit`].
 
+use std::sync::Arc;
+
 use vitcod_autograd::LAYERNORM_EPS;
 use vitcod_model::Sample;
 use vitcod_tensor::sparse;
@@ -40,7 +42,7 @@ pub struct Prediction {
 /// Builder for [`Engine`]; see [`Engine::builder`].
 #[derive(Debug, Clone)]
 pub struct EngineBuilder {
-    compiled: CompiledVit,
+    compiled: Arc<CompiledVit>,
     backend: Option<Backend>,
     precision: Precision,
     workers: usize,
@@ -73,18 +75,29 @@ impl EngineBuilder {
     /// weights are quantized: each matrix is round-tripped through
     /// [`QuantizedMatrix`] so the engine computes on exactly the values
     /// the 1-byte-per-weight artifact represents.
+    ///
+    /// An fp32 build never copies the weights: the engine shares the
+    /// builder's `Arc`'d artifact, so any number of engines (and any
+    /// number of serving workers behind them) hold the same frozen
+    /// scalars. An int8 build clones the artifact exactly once to hold
+    /// the quantized values.
     pub fn build(self) -> Engine {
-        let mut model = self.compiled;
-        let mut int8_weight_bytes = None;
-        if self.precision == Precision::Int8 {
-            let mut bytes = 0usize;
-            model.map_weights(|w| {
-                let q = QuantizedMatrix::quantize(w);
-                bytes += q.bytes();
-                *w = q.dequantize();
-            });
-            int8_weight_bytes = Some(bytes);
-        }
+        let (model, int8_weight_bytes) = match self.precision {
+            Precision::Fp32 => (self.compiled, None),
+            Precision::Int8 => {
+                let mut compiled = self.compiled;
+                // Quantize in place when the Arc is uniquely owned (the
+                // common builder(owned) path); clone only when another
+                // engine actually shares the fp32 artifact.
+                let mut bytes = 0usize;
+                Arc::make_mut(&mut compiled).map_weights(|w| {
+                    let q = QuantizedMatrix::quantize(w);
+                    bytes += q.bytes();
+                    *w = q.dequantize();
+                });
+                (compiled, Some(bytes))
+            }
+        };
         Engine {
             model,
             backend: self.backend,
@@ -124,7 +137,7 @@ impl EngineBuilder {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Engine {
-    model: CompiledVit,
+    model: Arc<CompiledVit>,
     backend: Option<Backend>,
     precision: Precision,
     workers: usize,
@@ -134,6 +147,13 @@ pub struct Engine {
 impl Engine {
     /// Starts building an engine over a frozen artifact.
     pub fn builder(compiled: CompiledVit) -> EngineBuilder {
+        Self::builder_shared(Arc::new(compiled))
+    }
+
+    /// Starts building an engine over an already-shared artifact: several
+    /// engines built from clones of the same `Arc` serve the same weight
+    /// scalars without copying them (fp32 builds keep the `Arc` as is).
+    pub fn builder_shared(compiled: Arc<CompiledVit>) -> EngineBuilder {
         EngineBuilder {
             compiled,
             backend: None,
@@ -145,6 +165,13 @@ impl Engine {
     /// The frozen artifact this engine serves.
     pub fn compiled(&self) -> &CompiledVit {
         &self.model
+    }
+
+    /// The shared handle to the frozen artifact. Two engines with
+    /// `Arc::ptr_eq` handles serve the identical weight allocation —
+    /// the serving layer's no-copy tests key on this.
+    pub fn compiled_arc(&self) -> Arc<CompiledVit> {
+        Arc::clone(&self.model)
     }
 
     /// The engine's numeric precision.

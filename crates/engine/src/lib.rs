@@ -30,8 +30,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod compiled;
 mod engine;
 
+pub use artifact::{load_compiled_vit, save_compiled_vit, ArtifactError};
 pub use compiled::{accuracy, CompileReport, CompiledAe, CompiledLayer, CompiledVit, HeadPlan};
 pub use engine::{Engine, EngineBuilder, Precision, Prediction};

@@ -1,0 +1,245 @@
+//! Dynamic batch assembly: requests → full or deadline-flushed batches.
+//!
+//! The assembler accumulates queued requests per model and emits a
+//! [`Batch`] when either trigger fires, whichever comes first:
+//!
+//! * **size** — a model's pending set reaches
+//!   [`BatchConfig::max_batch_size`] (emitted immediately, keeping the
+//!   engine's datapath fed with full batches);
+//! * **deadline** — the model's *oldest* pending request has waited
+//!   [`BatchConfig::max_wait`] (emitted partially filled, bounding
+//!   tail latency under light traffic).
+//!
+//! The assembler is pure bookkeeping — no threads, no clocks of its own
+//! (callers pass `Instant`s) — which is what makes its flush semantics
+//! unit-testable.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use vitcod_engine::Engine;
+use vitcod_tensor::Matrix;
+
+use crate::ticket::TicketInner;
+
+/// Serving-layer tuning knobs; see [`crate::Server::start`].
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Largest batch handed to an engine (size-trigger threshold).
+    pub max_batch_size: usize,
+    /// Longest a request may wait for co-batching before a partial
+    /// batch is flushed (deadline trigger).
+    pub max_wait: Duration,
+    /// Bound of the ingress request queue; producers block (not drop)
+    /// when it is full.
+    pub queue_capacity: usize,
+    /// Worker threads draining assembled batches through the engines.
+    pub workers: usize,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch_size: 8,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+            workers: 2,
+        }
+    }
+}
+
+impl BatchConfig {
+    pub(crate) fn validated(self) -> Self {
+        assert!(self.max_batch_size >= 1, "max_batch_size must be >= 1");
+        assert!(self.queue_capacity >= 1, "queue_capacity must be >= 1");
+        assert!(self.workers >= 1, "workers must be >= 1");
+        self
+    }
+}
+
+/// One queued classification request.
+pub(crate) struct Request {
+    pub model: String,
+    pub tokens: Matrix,
+    pub ticket: Arc<TicketInner>,
+    pub engine: Arc<Engine>,
+    pub enqueued: Instant,
+}
+
+/// An assembled batch, ready for a worker to drain through its engine.
+pub(crate) struct Batch {
+    pub model: String,
+    pub engine: Arc<Engine>,
+    pub requests: Vec<Request>,
+}
+
+/// Per-model pending set with its flush deadline.
+struct PendingModel {
+    model: String,
+    requests: Vec<Request>,
+    deadline: Instant,
+}
+
+/// The dynamic batch assembler; see the [module docs](self).
+pub(crate) struct BatchAssembler {
+    max_batch: usize,
+    max_wait: Duration,
+    pending: Vec<PendingModel>,
+}
+
+impl BatchAssembler {
+    pub fn new(max_batch: usize, max_wait: Duration) -> Self {
+        Self {
+            max_batch,
+            max_wait,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Accepts one request; returns a full batch when the request tops
+    /// its model's pending set up to `max_batch`.
+    pub fn offer(&mut self, request: Request, now: Instant) -> Option<Batch> {
+        let idx = match self.pending.iter().position(|p| p.model == request.model) {
+            Some(idx) => idx,
+            None => {
+                self.pending.push(PendingModel {
+                    model: request.model.clone(),
+                    requests: Vec::with_capacity(self.max_batch),
+                    // The deadline belongs to the oldest request.
+                    deadline: now + self.max_wait,
+                });
+                self.pending.len() - 1
+            }
+        };
+        self.pending[idx].requests.push(request);
+        if self.pending[idx].requests.len() >= self.max_batch {
+            return Some(Self::emit(self.pending.swap_remove(idx)));
+        }
+        None
+    }
+
+    /// Earliest pending flush deadline — what the batcher thread sleeps
+    /// toward; `None` when nothing is pending.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.pending.iter().map(|p| p.deadline).min()
+    }
+
+    /// Flushes every model whose deadline has passed, as (possibly
+    /// partial) batches.
+    pub fn take_due(&mut self, now: Instant) -> Vec<Batch> {
+        let mut due = Vec::new();
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].deadline <= now {
+                due.push(Self::emit(self.pending.swap_remove(i)));
+            } else {
+                i += 1;
+            }
+        }
+        due
+    }
+
+    /// Flushes everything (shutdown path — no request is dropped).
+    pub fn drain(&mut self) -> Vec<Batch> {
+        std::mem::take(&mut self.pending)
+            .into_iter()
+            .map(Self::emit)
+            .collect()
+    }
+
+    fn emit(p: PendingModel) -> Batch {
+        Batch {
+            model: p.model,
+            engine: Arc::clone(&p.requests[0].engine),
+            requests: p.requests,
+        }
+    }
+}
+
+/// If the batcher thread unwinds (a poisoned-lock panic) with requests
+/// still pending, their clients must not hang in `Ticket::wait`: the
+/// assembler resolves every still-held ticket to "cancelled" on drop.
+/// On the normal shutdown path `drain()` has already emptied `pending`,
+/// so this is a no-op.
+impl Drop for BatchAssembler {
+    fn drop(&mut self) {
+        for p in &self.pending {
+            for r in &p.requests {
+                r.ticket.cancel();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use vitcod_autograd::ParamStore;
+    use vitcod_model::{ViTConfig, VisionTransformer};
+
+    fn test_engine() -> Arc<Engine> {
+        let cfg = ViTConfig::deit_tiny().reduced_for_training();
+        let mut store = ParamStore::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let vit = VisionTransformer::new(&cfg, 4, 2, &mut store, &mut rng);
+        Arc::new(Engine::builder(vitcod_engine::CompiledVit::from_parts(&vit, &store)).build())
+    }
+
+    fn request(model: &str, engine: &Arc<Engine>, now: Instant) -> Request {
+        Request {
+            model: model.to_string(),
+            tokens: Matrix::zeros(1, 1),
+            ticket: TicketInner::new(),
+            engine: Arc::clone(engine),
+            enqueued: now,
+        }
+    }
+
+    #[test]
+    fn size_trigger_emits_exactly_at_max_batch() {
+        let engine = test_engine();
+        let mut a = BatchAssembler::new(3, Duration::from_secs(60));
+        let now = Instant::now();
+        assert!(a.offer(request("m", &engine, now), now).is_none());
+        assert!(a.offer(request("m", &engine, now), now).is_none());
+        let batch = a.offer(request("m", &engine, now), now).expect("full");
+        assert_eq!(batch.requests.len(), 3);
+        assert_eq!(batch.model, "m");
+        assert!(a.next_deadline().is_none(), "pending set consumed");
+    }
+
+    #[test]
+    fn deadline_belongs_to_oldest_request_and_flushes_partial() {
+        let engine = test_engine();
+        let wait = Duration::from_millis(50);
+        let mut a = BatchAssembler::new(8, wait);
+        let t0 = Instant::now();
+        a.offer(request("m", &engine, t0), t0);
+        // A later request must not push the deadline back.
+        let t1 = t0 + Duration::from_millis(30);
+        a.offer(request("m", &engine, t1), t1);
+        assert_eq!(a.next_deadline(), Some(t0 + wait));
+        assert!(a.take_due(t0 + Duration::from_millis(49)).is_empty());
+        let due = a.take_due(t0 + wait);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].requests.len(), 2, "partial batch flushed");
+    }
+
+    #[test]
+    fn models_batch_independently() {
+        let engine = test_engine();
+        let mut a = BatchAssembler::new(2, Duration::from_secs(60));
+        let now = Instant::now();
+        assert!(a.offer(request("a", &engine, now), now).is_none());
+        assert!(a.offer(request("b", &engine, now), now).is_none());
+        // Model a fills without model b's request counting toward it.
+        let full = a.offer(request("a", &engine, now), now).expect("a full");
+        assert_eq!(full.model, "a");
+        let rest = a.drain();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].model, "b");
+        assert_eq!(rest[0].requests.len(), 1);
+    }
+}

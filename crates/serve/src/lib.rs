@@ -1,0 +1,61 @@
+//! The serving layer of the ViTCoD reproduction: an async request queue
+//! with dynamic batching, a multi-model registry, and on-disk artifacts.
+//!
+//! [`vitcod_engine`] gave the workspace a compile-once / serve-many
+//! [`Engine`](vitcod_engine::Engine), but callers still had to assemble
+//! batches by hand, in process. This crate is the production shell
+//! around it — the layer the ROADMAP's "heavy concurrent traffic" story
+//! needs:
+//!
+//! * [`Server`] — owns a **bounded ingress queue** (full ⇒ producers
+//!   block: backpressure, not drops), a **dynamic batch assembler**
+//!   (flush on [`BatchConfig::max_batch_size`] or the oldest request's
+//!   [`BatchConfig::max_wait`] deadline, whichever first) and a worker
+//!   pool draining batches through shared engines;
+//! * [`Client`] — clonable handles with a blocking
+//!   [`Client::classify`] and a ticket/poll
+//!   [`Client::submit`]/[`Ticket::try_take`] pair;
+//! * [`ModelRegistry`] — routes requests by model id across several
+//!   compiled models with independent precision/backend settings, and
+//!   loads whole registries from `*.vitcod` artifacts on disk
+//!   ([`ModelRegistry::load_dir`], written by
+//!   [`vitcod_engine::save_compiled_vit`]);
+//! * [`ServerStats`] — per-model p50/p99 latency, throughput and the
+//!   batch-fill histogram, queryable at any time.
+//!
+//! Batching never changes values: every per-sample forward is
+//! independent, so a prediction served through the queue is
+//! bit-identical to [`vitcod_engine::Engine::infer_batch`] on the same
+//! tokens — the acceptance tests in `crates/serve/tests` enforce this
+//! end to end, through an artifact save/load round trip.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vitcod_serve::{BatchConfig, ModelRegistry, Server};
+//!
+//! // `dir` holds artifacts saved with `vitcod_engine::save_compiled_vit`.
+//! let registry = ModelRegistry::load_dir("artifacts/").unwrap();
+//! let server = Server::start(registry, BatchConfig::default());
+//! let client = server.client();
+//! # let tokens = vitcod_tensor::Matrix::zeros(17, 8);
+//! let prediction = client.classify("deit-tiny", tokens).unwrap();
+//! println!("class {}", prediction.class);
+//! println!("{:#?}", server.stats());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod batcher;
+mod queue;
+mod registry;
+mod server;
+mod stats;
+mod ticket;
+
+pub use batcher::BatchConfig;
+pub use registry::{ModelRegistry, RegistryError, ARTIFACT_EXTENSION};
+pub use server::{Client, Server, SubmitError};
+pub use stats::{ModelStats, ServerStats};
+pub use ticket::Ticket;

@@ -1,0 +1,220 @@
+//! A bounded multi-producer queue with blocking backpressure.
+//!
+//! This is the serving layer's front door: producers ([`crate::Client`]
+//! handles) push requests, the batcher thread pops them with a deadline.
+//! The queue is **bounded** — when it is full, [`BoundedQueue::push`]
+//! blocks the producer instead of dropping the request, which is what
+//! turns overload into backpressure rather than data loss. Built on
+//! `Mutex` + two `Condvar`s; no lock is held while waiting.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Outcome of a non-blocking push.
+#[derive(Debug)]
+pub(crate) enum TryPushError<T> {
+    /// The queue is at capacity; the item is handed back.
+    Full(T),
+    /// The queue is closed; the item is handed back.
+    Closed(T),
+}
+
+/// Outcome of a deadline-bounded pop.
+#[derive(Debug)]
+pub(crate) enum Pop<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The deadline passed with the queue still empty.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// Bounded MPSC queue; see the [module docs](self).
+pub(crate) struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    capacity: usize,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be at least 1");
+        Self {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(capacity),
+                closed: false,
+            }),
+            capacity,
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueues `item`, **blocking while the queue is full** (the
+    /// backpressure path). Returns the item back if the queue closed
+    /// before space opened up.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if inner.closed {
+                return Err(item);
+            }
+            if inner.items.len() < self.capacity {
+                inner.items.push_back(item);
+                self.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.not_full.wait(inner).expect("queue poisoned");
+        }
+    }
+
+    /// Enqueues without blocking; hands the item back when full or
+    /// closed.
+    pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        if inner.closed {
+            return Err(TryPushError::Closed(item));
+        }
+        if inner.items.len() >= self.capacity {
+            return Err(TryPushError::Full(item));
+        }
+        inner.items.push_back(item);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues one item, blocking until one arrives, `deadline` passes
+    /// (`None` waits indefinitely), or the queue is closed **and
+    /// drained** — close never discards queued items.
+    pub fn pop_until(&self, deadline: Option<Instant>) -> Pop<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        loop {
+            if let Some(item) = inner.items.pop_front() {
+                self.not_full.notify_one();
+                return Pop::Item(item);
+            }
+            if inner.closed {
+                return Pop::Closed;
+            }
+            match deadline {
+                None => inner = self.not_empty.wait(inner).expect("queue poisoned"),
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        return Pop::TimedOut;
+                    }
+                    let (guard, timeout) = self
+                        .not_empty
+                        .wait_timeout(inner, d - now)
+                        .expect("queue poisoned");
+                    inner = guard;
+                    if timeout.timed_out() && inner.items.is_empty() && !inner.closed {
+                        return Pop::TimedOut;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Closes the queue: pending pushes fail, pops drain the remaining
+    /// items and then report [`Pop::Closed`].
+    pub fn close(&self) {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        inner.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Removes and returns everything currently queued, without
+    /// waiting (the shutdown sweep for items no consumer will take).
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut inner = self.inner.lock().expect("queue poisoned");
+        let items = inner.items.drain(..).collect();
+        self.not_full.notify_all();
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn try_push_reports_full_then_succeeds_after_pop() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert!(matches!(q.try_push(3), Err(TryPushError::Full(3))));
+        assert!(matches!(q.pop_until(None), Pop::Item(1)));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn push_blocks_on_full_queue_until_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(1).unwrap());
+        // The producer must be parked on the full queue, not dropping.
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!producer.is_finished(), "push must block while full");
+        assert!(matches!(q.pop_until(None), Pop::Item(0)));
+        producer.join().unwrap();
+        assert!(matches!(q.pop_until(None), Pop::Item(1)));
+    }
+
+    #[test]
+    fn pop_times_out_then_sees_late_item() {
+        let q = BoundedQueue::<u32>::new(4);
+        let t = Instant::now();
+        let deadline = t + Duration::from_millis(10);
+        assert!(matches!(q.pop_until(Some(deadline)), Pop::TimedOut));
+        assert!(t.elapsed() >= Duration::from_millis(10));
+        q.push(7).unwrap();
+        assert!(matches!(q.pop_until(Some(deadline)), Pop::Item(7)));
+    }
+
+    #[test]
+    fn close_drains_before_reporting_closed() {
+        let q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert!(q.push(3).is_err());
+        assert!(matches!(q.pop_until(None), Pop::Item(1)));
+        assert!(matches!(q.pop_until(None), Pop::Item(2)));
+        assert!(matches!(q.pop_until(None), Pop::Closed));
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.push(0u32).unwrap();
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || q2.push(1));
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert!(producer.join().unwrap().is_err(), "push must fail on close");
+    }
+}

@@ -1,0 +1,385 @@
+//! The serving loop: ingress queue → batcher thread → worker pool.
+//!
+//! ```text
+//!  Client::submit ──▶ BoundedQueue (backpressure) ──▶ batcher thread
+//!                                                     │ size / deadline
+//!                                                     ▼
+//!                                              batch queue ──▶ N workers
+//!                                                              │ Engine::infer_batch
+//!                                                              ▼
+//!                                                     tickets resolve, stats record
+//! ```
+//!
+//! One batcher thread owns the [`crate::batcher::BatchAssembler`]; it
+//! sleeps toward the earliest pending flush deadline, so partial batches
+//! leave exactly when their oldest request has waited
+//! [`BatchConfig::max_wait`]. Workers share the registry's `Arc`'d
+//! engines — serving never copies weights.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use vitcod_engine::{Engine, Prediction};
+use vitcod_model::Sample;
+use vitcod_tensor::Matrix;
+
+use crate::batcher::{Batch, BatchAssembler, BatchConfig, Request};
+use crate::queue::{BoundedQueue, Pop};
+use crate::registry::ModelRegistry;
+use crate::stats::{ServerStats, StatsRecorder};
+use crate::ticket::{Ticket, TicketInner};
+
+/// Error submitting a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// No model with this id is registered.
+    UnknownModel(String),
+    /// The token matrix does not match the model's compiled shape.
+    ShapeMismatch {
+        /// Shape the caller submitted.
+        got: (usize, usize),
+        /// Shape the compiled model expects.
+        expected: (usize, usize),
+    },
+    /// The bounded queue is full (only from [`Client::try_submit`];
+    /// [`Client::submit`] blocks instead).
+    QueueFull,
+    /// The server has shut down.
+    Closed,
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::UnknownModel(id) => write!(f, "unknown model id '{id}'"),
+            SubmitError::ShapeMismatch { got, expected } => {
+                write!(
+                    f,
+                    "token shape {got:?} does not match compiled {expected:?}"
+                )
+            }
+            SubmitError::QueueFull => write!(f, "request queue is full"),
+            SubmitError::Closed => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+struct Shared {
+    engines: BTreeMap<String, Arc<Engine>>,
+    requests: BoundedQueue<Request>,
+    batches: BoundedQueue<Batch>,
+    stats: StatsRecorder,
+}
+
+/// The serving front end; see the [module](self) and
+/// [crate docs](crate).
+///
+/// Dropping the server (or calling [`Server::shutdown`]) closes the
+/// queue, drains every already-accepted request, and joins the threads
+/// — accepted work is never dropped.
+pub struct Server {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server over `registry` with `config`'s batching and
+    /// queueing parameters, spawning the batcher thread and
+    /// [`BatchConfig::workers`] worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a config bound is zero.
+    pub fn start(registry: ModelRegistry, config: BatchConfig) -> Server {
+        let config = config.validated();
+        let shared = Arc::new(Shared {
+            engines: registry.into_engines(),
+            requests: BoundedQueue::new(config.queue_capacity),
+            // Small buffer between assembly and execution: enough to keep
+            // workers busy, small enough that backpressure reaches
+            // producers through the request queue.
+            batches: BoundedQueue::new(config.workers * 2),
+            stats: StatsRecorder::new(),
+        });
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            let cfg = config.clone();
+            std::thread::Builder::new()
+                .name("vitcod-serve-batcher".into())
+                .spawn(move || run_batcher(&shared, &cfg))
+                .expect("spawn batcher")
+        };
+        let workers = (0..config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vitcod-serve-worker-{i}"))
+                    .spawn(move || run_worker(&shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server {
+            shared,
+            batcher: Some(batcher),
+            workers,
+        }
+    }
+
+    /// A cheap, clonable submission handle.
+    pub fn client(&self) -> Client {
+        Client {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Registered model ids, sorted.
+    pub fn model_ids(&self) -> Vec<&str> {
+        self.shared.engines.keys().map(String::as_str).collect()
+    }
+
+    /// A consistent snapshot of the serving statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Requests currently waiting in the ingress queue.
+    pub fn queued_requests(&self) -> usize {
+        self.shared.requests.len()
+    }
+
+    /// Stops accepting requests, drains everything already accepted,
+    /// joins the threads, and returns the final statistics.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.join_threads();
+        self.shared.stats.snapshot()
+    }
+
+    fn join_threads(&mut self) {
+        self.shared.requests.close();
+        if let Some(h) = self.batcher.take() {
+            if h.join().is_err() {
+                // Never panic out of Drop (it would abort mid-unwind);
+                // a dead batcher cannot assemble, so fail the queues.
+                self.shared.batches.close();
+                eprintln!("vitcod-serve: batcher thread panicked");
+            }
+        }
+        for h in self.workers.drain(..) {
+            if h.join().is_err() {
+                eprintln!("vitcod-serve: worker thread panicked");
+            }
+        }
+        // Normally both queues are empty here (the batcher drains the
+        // ingress queue, workers drain the batch queue). If a thread
+        // died instead, resolve whatever it stranded so no client ever
+        // hangs in `Ticket::wait`.
+        for request in self.shared.requests.drain_now() {
+            request.ticket.cancel();
+        }
+        for batch in self.shared.batches.drain_now() {
+            for request in batch.requests {
+                request.ticket.cancel();
+            }
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.join_threads();
+    }
+}
+
+/// A clonable submission handle to a [`Server`].
+#[derive(Clone)]
+pub struct Client {
+    shared: Arc<Shared>,
+}
+
+impl Client {
+    /// Enqueues one classification request for `model` and returns its
+    /// [`Ticket`] immediately. Blocks (backpressure) while the bounded
+    /// request queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Unknown model id, token-shape mismatch, or a shut-down server.
+    pub fn submit(&self, model: &str, tokens: Matrix) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(model, tokens)?;
+        self.shared
+            .requests
+            .push(request)
+            .map_err(|_| SubmitError::Closed)?;
+        Ok(Ticket::new(ticket))
+    }
+
+    /// Like [`Client::submit`] but never blocks: a full queue returns
+    /// [`SubmitError::QueueFull`] instead of applying backpressure, so
+    /// callers that prefer load-shedding can make that choice
+    /// explicitly.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`], plus [`SubmitError::QueueFull`].
+    pub fn try_submit(&self, model: &str, tokens: Matrix) -> Result<Ticket, SubmitError> {
+        use crate::queue::TryPushError;
+        let (request, ticket) = self.make_request(model, tokens)?;
+        match self.shared.requests.try_push(request) {
+            Ok(()) => Ok(Ticket::new(ticket)),
+            Err(TryPushError::Full(_)) => Err(SubmitError::QueueFull),
+            Err(TryPushError::Closed(_)) => Err(SubmitError::Closed),
+        }
+    }
+
+    fn make_request(
+        &self,
+        model: &str,
+        tokens: Matrix,
+    ) -> Result<(Request, Arc<TicketInner>), SubmitError> {
+        let engine = self
+            .shared
+            .engines
+            .get(model)
+            .ok_or_else(|| SubmitError::UnknownModel(model.to_string()))?;
+        let compiled = engine.compiled();
+        let expected = (compiled.config().tokens, compiled.in_dim());
+        if tokens.shape() != expected {
+            return Err(SubmitError::ShapeMismatch {
+                got: tokens.shape(),
+                expected,
+            });
+        }
+        let ticket = TicketInner::new();
+        let request = Request {
+            model: model.to_string(),
+            tokens,
+            ticket: Arc::clone(&ticket),
+            engine: Arc::clone(engine),
+            enqueued: Instant::now(),
+        };
+        Ok((request, ticket))
+    }
+
+    /// Submits and blocks until the prediction arrives (the synchronous
+    /// convenience over [`Client::submit`] + [`Ticket::wait`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`], plus [`SubmitError::Closed`] when the
+    /// server shut down before serving the request.
+    pub fn classify(&self, model: &str, tokens: Matrix) -> Result<Prediction, SubmitError> {
+        self.submit(model, tokens)?
+            .wait()
+            .ok_or(SubmitError::Closed)
+    }
+}
+
+fn run_batcher(shared: &Shared, cfg: &BatchConfig) {
+    let mut assembler = BatchAssembler::new(cfg.max_batch_size, cfg.max_wait);
+    let dispatch = |batch: Batch| {
+        // The batch queue only closes after this thread exits; a failed
+        // push can only mean shutdown mid-drain, where requests are
+        // cancelled below anyway.
+        if let Err(batch) = shared.batches.push(batch) {
+            for r in batch.requests {
+                r.ticket.cancel();
+            }
+        }
+    };
+    loop {
+        match shared.requests.pop_until(assembler.next_deadline()) {
+            Pop::Item(request) => {
+                let now = Instant::now();
+                if let Some(batch) = assembler.offer(request, now) {
+                    dispatch(batch);
+                }
+                // The pop may have returned after the earliest deadline
+                // passed (e.g. a long engine stall); flush whatever came
+                // due meanwhile so deadlines stay honest.
+                for batch in assembler.take_due(Instant::now()) {
+                    dispatch(batch);
+                }
+            }
+            Pop::TimedOut => {
+                for batch in assembler.take_due(Instant::now()) {
+                    dispatch(batch);
+                }
+            }
+            Pop::Closed => {
+                for batch in assembler.drain() {
+                    dispatch(batch);
+                }
+                shared.batches.close();
+                return;
+            }
+        }
+    }
+}
+
+fn run_worker(shared: &Shared) {
+    loop {
+        match shared.batches.pop_until(None) {
+            Pop::Item(batch) => {
+                // A panicking batch (an engine assert slipping past
+                // submit-time validation) must not kill the worker: its
+                // tickets cancel via the guard in `serve_batch`, the
+                // pool keeps draining, and the batcher never wedges on
+                // a consumer-less batch queue.
+                let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_batch(shared, batch)
+                }));
+                if result.is_err() {
+                    eprintln!("vitcod-serve: batch panicked; its tickets were cancelled");
+                }
+            }
+            Pop::Closed => return,
+            Pop::TimedOut => unreachable!("no deadline on the batch queue"),
+        }
+    }
+}
+
+/// Cancels every still-pending ticket on drop. Armed for the whole of
+/// [`serve_batch`]: if inference panics mid-batch, the unwind resolves
+/// the batch's tickets to "cancelled" instead of leaving clients
+/// blocked in [`Ticket::wait`] forever ([`TicketInner::cancel`] is a
+/// no-op on tickets that completed normally).
+struct CancelOnDrop<'a>(&'a [(std::sync::Arc<TicketInner>, Instant)]);
+
+impl Drop for CancelOnDrop<'_> {
+    fn drop(&mut self) {
+        for (ticket, _) in self.0 {
+            ticket.cancel();
+        }
+    }
+}
+
+fn serve_batch(shared: &Shared, batch: Batch) {
+    let mut samples = Vec::with_capacity(batch.requests.len());
+    let mut tickets = Vec::with_capacity(batch.requests.len());
+    for r in batch.requests {
+        // Tokens move into the sample — no activation copy, and the
+        // engine holds its weights behind an `Arc`, so serving a batch
+        // allocates nothing model-sized.
+        samples.push(Sample {
+            tokens: r.tokens,
+            label: 0,
+        });
+        tickets.push((r.ticket, r.enqueued));
+    }
+    let _cancel_guard = CancelOnDrop(&tickets);
+    let predictions = batch.engine.infer_batch(&samples);
+    let done = Instant::now();
+    let latencies: Vec<_> = tickets.iter().map(|(_, t)| done - *t).collect();
+    // Stats first, tickets second: a client unblocked by its ticket must
+    // already see this batch in any stats snapshot it takes.
+    shared.stats.record_batch(&batch.model, &latencies);
+    for ((ticket, _), prediction) in tickets.iter().zip(predictions) {
+        ticket.complete(prediction);
+    }
+}

@@ -1,0 +1,199 @@
+//! Serving statistics: per-model latency percentiles, throughput, and
+//! the batch-fill histogram.
+//!
+//! Workers record one entry per served request (end-to-end latency:
+//! enqueue → prediction ready) and one per drained batch (its fill).
+//! [`crate::Server::stats`] takes a consistent [`ServerStats`] snapshot
+//! at any time; recording is a short critical section on a per-process
+//! mutex, far off the per-sample compute path.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Per-request latency samples kept per model; older samples are
+/// discarded ring-buffer style so a long-lived server's snapshot cost
+/// stays bounded.
+const MAX_LATENCY_SAMPLES: usize = 65_536;
+
+#[derive(Default)]
+struct ModelAccum {
+    requests: u64,
+    batches: u64,
+    latencies_s: Vec<f64>,
+    latency_cursor: usize,
+    /// `fill_histogram[k]` counts batches that carried `k + 1` requests.
+    fill_histogram: Vec<u64>,
+}
+
+/// A point-in-time snapshot of one model's serving statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStats {
+    /// Model id, as registered in the [`crate::ModelRegistry`].
+    pub model: String,
+    /// Requests served (tickets resolved).
+    pub requests: u64,
+    /// Batches drained through the engine.
+    pub batches: u64,
+    /// Median end-to-end request latency (enqueue → prediction), in
+    /// seconds; 0 when no request finished yet.
+    pub p50_latency_s: f64,
+    /// 99th-percentile end-to-end request latency, in seconds.
+    pub p99_latency_s: f64,
+    /// Mean requests per batch — how full the dynamic batcher keeps the
+    /// engine's datapath.
+    pub mean_batch_fill: f64,
+    /// `batch_fill[k]` counts batches that carried `k + 1` requests.
+    pub batch_fill: Vec<u64>,
+    /// Served requests per second of server uptime.
+    pub requests_per_s: f64,
+}
+
+/// A point-in-time snapshot of a server's statistics, one entry per
+/// model that has served at least one batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Seconds since the server started.
+    pub uptime_s: f64,
+    /// Per-model statistics, sorted by model id.
+    pub models: Vec<ModelStats>,
+}
+
+impl ServerStats {
+    /// The entry for `model`, if it has served anything.
+    pub fn model(&self, model: &str) -> Option<&ModelStats> {
+        self.models.iter().find(|m| m.model == model)
+    }
+
+    /// Total requests served across models.
+    pub fn total_requests(&self) -> u64 {
+        self.models.iter().map(|m| m.requests).sum()
+    }
+}
+
+pub(crate) struct StatsRecorder {
+    start: Instant,
+    inner: Mutex<HashMap<String, ModelAccum>>,
+}
+
+impl StatsRecorder {
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            inner: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Records one drained batch: its fill and every request's
+    /// end-to-end latency.
+    pub fn record_batch(&self, model: &str, latencies: &[Duration]) {
+        let fill = latencies.len();
+        if fill == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        let accum = inner.entry(model.to_string()).or_default();
+        accum.batches += 1;
+        accum.requests += fill as u64;
+        if accum.fill_histogram.len() < fill {
+            accum.fill_histogram.resize(fill, 0);
+        }
+        accum.fill_histogram[fill - 1] += 1;
+        for d in latencies {
+            let s = d.as_secs_f64();
+            if accum.latencies_s.len() < MAX_LATENCY_SAMPLES {
+                accum.latencies_s.push(s);
+            } else {
+                accum.latencies_s[accum.latency_cursor] = s;
+                accum.latency_cursor = (accum.latency_cursor + 1) % MAX_LATENCY_SAMPLES;
+            }
+        }
+    }
+
+    pub fn snapshot(&self) -> ServerStats {
+        let uptime_s = self.start.elapsed().as_secs_f64();
+        let inner = self.inner.lock().expect("stats poisoned");
+        let mut models: Vec<ModelStats> = inner
+            .iter()
+            .map(|(model, a)| {
+                let mut sorted = a.latencies_s.clone();
+                sorted.sort_by(|x, y| x.partial_cmp(y).expect("latencies are finite"));
+                let weighted: u64 = a
+                    .fill_histogram
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &c)| (k as u64 + 1) * c)
+                    .sum();
+                ModelStats {
+                    model: model.clone(),
+                    requests: a.requests,
+                    batches: a.batches,
+                    p50_latency_s: percentile(&sorted, 0.50),
+                    p99_latency_s: percentile(&sorted, 0.99),
+                    mean_batch_fill: if a.batches == 0 {
+                        0.0
+                    } else {
+                        weighted as f64 / a.batches as f64
+                    },
+                    batch_fill: a.fill_histogram.clone(),
+                    requests_per_s: if uptime_s > 0.0 {
+                        a.requests as f64 / uptime_s
+                    } else {
+                        0.0
+                    },
+                }
+            })
+            .collect();
+        models.sort_by(|a, b| a.model.cmp(&b.model));
+        ServerStats { uptime_s, models }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample; 0 when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_histogram_track_recorded_batches() {
+        let r = StatsRecorder::new();
+        let ms = Duration::from_millis;
+        r.record_batch("m", &[ms(10), ms(20), ms(30)]);
+        r.record_batch("m", &[ms(40)]);
+        let s = r.snapshot();
+        let m = s.model("m").expect("model recorded");
+        assert_eq!(m.requests, 4);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.batch_fill, vec![1, 0, 1]); // one 1-fill, one 3-fill
+        assert!((m.mean_batch_fill - 2.0).abs() < 1e-9);
+        // Nearest-rank on 4 samples: round(3 · 0.5) = index 2.
+        assert!((m.p50_latency_s - 0.030).abs() < 1e-9);
+        assert!((m.p99_latency_s - 0.040).abs() < 1e-9);
+        assert_eq!(s.total_requests(), 4);
+        assert!(s.model("other").is_none());
+    }
+
+    #[test]
+    fn empty_recorder_snapshots_cleanly() {
+        let s = StatsRecorder::new().snapshot();
+        assert!(s.models.is_empty());
+        assert_eq!(s.total_requests(), 0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[1.0], 0.99), 1.0);
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 51.0);
+        assert_eq!(percentile(&v, 0.99), 99.0);
+    }
+}

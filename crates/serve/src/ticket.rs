@@ -1,0 +1,115 @@
+//! Completion tickets: the submit/poll half of the client API.
+//!
+//! [`crate::Client::submit`] returns a [`Ticket`] immediately; the
+//! prediction arrives later, when a worker drains the batch the request
+//! was assembled into. A ticket resolves **exactly once**: the worker
+//! completes it once (enforced by a panic on double completion), and the
+//! prediction can be taken out once — by [`Ticket::wait`] or the first
+//! successful [`Ticket::try_take`].
+
+use std::sync::{Arc, Condvar, Mutex};
+
+use vitcod_engine::Prediction;
+
+enum State {
+    /// Not yet served.
+    Pending,
+    /// Served; prediction waiting to be taken.
+    Ready(Prediction),
+    /// Prediction taken by the client.
+    Taken,
+    /// The server shut down before serving the request.
+    Cancelled,
+}
+
+pub(crate) struct TicketInner {
+    state: Mutex<State>,
+    ready: Condvar,
+}
+
+impl TicketInner {
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(State::Pending),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// Resolves the ticket. Each ticket is completed exactly once; a
+    /// second completion is a serving-layer bug and panics.
+    pub fn complete(&self, prediction: Prediction) {
+        let mut state = self.state.lock().expect("ticket poisoned");
+        match *state {
+            State::Pending => *state = State::Ready(prediction),
+            _ => panic!("ticket completed twice"),
+        }
+        self.ready.notify_all();
+    }
+
+    /// Marks the ticket as never-to-arrive (server shutdown).
+    pub fn cancel(&self) {
+        let mut state = self.state.lock().expect("ticket poisoned");
+        if matches!(*state, State::Pending) {
+            *state = State::Cancelled;
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// A handle to one in-flight classification request.
+///
+/// Obtained from [`crate::Client::submit`]; poll with
+/// [`Ticket::try_take`] or block with [`Ticket::wait`].
+pub struct Ticket {
+    inner: Arc<TicketInner>,
+}
+
+impl Ticket {
+    pub(crate) fn new(inner: Arc<TicketInner>) -> Self {
+        Self { inner }
+    }
+
+    /// Takes the prediction if it has arrived. Returns `Some` exactly
+    /// once; before completion — and forever after the first `Some` —
+    /// it returns `None`.
+    pub fn try_take(&self) -> Option<Prediction> {
+        let mut state = self.inner.state.lock().expect("ticket poisoned");
+        if matches!(*state, State::Ready(_)) {
+            match std::mem::replace(&mut *state, State::Taken) {
+                State::Ready(p) => Some(p),
+                _ => unreachable!(),
+            }
+        } else {
+            None
+        }
+    }
+
+    /// Whether the prediction has arrived and has not been taken yet.
+    pub fn is_ready(&self) -> bool {
+        matches!(
+            *self.inner.state.lock().expect("ticket poisoned"),
+            State::Ready(_)
+        )
+    }
+
+    /// Blocks until the prediction arrives and takes it. Returns `None`
+    /// if the server shut down before serving the request (or the
+    /// prediction was already taken via [`Ticket::try_take`]).
+    pub fn wait(self) -> Option<Prediction> {
+        let mut state = self.inner.state.lock().expect("ticket poisoned");
+        loop {
+            match *state {
+                State::Pending => {
+                    state = self.inner.ready.wait(state).expect("ticket poisoned");
+                }
+                State::Ready(_) => {
+                    return match std::mem::replace(&mut *state, State::Taken) {
+                        State::Ready(p) => Some(p),
+                        _ => unreachable!(),
+                    };
+                }
+                State::Taken | State::Cancelled => return None,
+            }
+        }
+    }
+}

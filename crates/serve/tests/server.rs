@@ -1,0 +1,386 @@
+//! Serving-layer acceptance tests: dynamic batching semantics,
+//! backpressure, exactly-once tickets, multi-model routing, and the
+//! end-to-end disk → registry → server → bit-identical-predictions
+//! guarantee.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vitcod_autograd::ParamStore;
+use vitcod_engine::{save_compiled_vit, CompiledVit, Engine, Precision};
+use vitcod_model::{Sample, SparsityPlan, ViTConfig, VisionTransformer};
+use vitcod_serve::{BatchConfig, ModelRegistry, Server, SubmitError};
+use vitcod_tensor::{Initializer, Matrix};
+
+const IN_DIM: usize = 8;
+const CLASSES: usize = 4;
+
+fn tiny_model(seed: u64, sparse: bool) -> CompiledVit {
+    let cfg = ViTConfig::deit_tiny().reduced_for_training();
+    let mut store = ParamStore::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut vit = VisionTransformer::new(&cfg, IN_DIM, CLASSES, &mut store, &mut rng);
+    if sparse {
+        let n = vit.config().tokens;
+        let mut mask = Matrix::zeros(n, n);
+        for q in 0..n {
+            mask.set(q, q, 1.0);
+            mask.set(q, 0, 1.0);
+            mask.set(q, (q + 1) % n, 1.0);
+        }
+        let plan: SparsityPlan = (0..vit.config().depth)
+            .map(|_| {
+                (0..vit.config().heads)
+                    .map(|_| Some(mask.clone()))
+                    .collect()
+            })
+            .collect();
+        vit.set_sparsity_plan(plan);
+    }
+    CompiledVit::from_parts(&vit, &store)
+}
+
+fn tokens_for(model: &CompiledVit, seed: u64) -> Matrix {
+    Initializer::Normal { std: 1.0 }.sample(model.config().tokens, IN_DIM, seed)
+}
+
+/// A scratch directory unique to this test, cleaned up on drop.
+struct TempDir(std::path::PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("vitcod-serve-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        Self(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The ISSUE's acceptance criterion: a `CompiledVit` saved to disk,
+/// reloaded, and served through a `Server` with 4 concurrent clients
+/// and `max_wait`-driven partial batches returns predictions
+/// bit-identical to direct `Engine::infer_batch` fp32.
+#[test]
+fn disk_roundtrip_served_with_four_clients_is_bit_identical_to_direct_inference() {
+    let original = tiny_model(42, true);
+    let dir = TempDir::new("acceptance");
+    let path = dir.0.join("deit-tiny.vitcod");
+    std::fs::write(&path, save_compiled_vit(&original, Precision::Fp32)).unwrap();
+
+    let registry = ModelRegistry::load_dir(&dir.0).unwrap();
+    assert_eq!(registry.ids(), vec!["deit-tiny"]);
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            // Larger than any client burst: every flush is
+            // deadline-driven, i.e. a partial batch.
+            max_batch_size: 64,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 64,
+            workers: 2,
+        },
+    );
+
+    const PER_CLIENT: u64 = 6;
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let client = server.client();
+            let model = original.clone();
+            std::thread::spawn(move || {
+                (0..PER_CLIENT)
+                    .map(|i| {
+                        let seed = 1000 + c * PER_CLIENT + i;
+                        let tokens = tokens_for(&model, seed);
+                        (seed, client.classify("deit-tiny", tokens).unwrap())
+                    })
+                    .collect::<Vec<_>>()
+            })
+        })
+        .collect();
+    let mut served: Vec<(u64, vitcod_engine::Prediction)> = Vec::new();
+    for h in handles {
+        served.extend(h.join().unwrap());
+    }
+
+    // Direct fp32 inference on the *original* (never-serialized) model.
+    let engine = Engine::builder(original.clone()).build();
+    let samples: Vec<Sample> = served
+        .iter()
+        .map(|(seed, _)| Sample {
+            tokens: tokens_for(&original, *seed),
+            label: 0,
+        })
+        .collect();
+    let direct = engine.infer_batch(&samples);
+    for ((seed, queued), direct) in served.iter().zip(direct.iter()) {
+        assert_eq!(
+            queued.logits, direct.logits,
+            "seed {seed}: queued prediction must be bit-identical to direct fp32"
+        );
+        assert_eq!(queued.class, direct.class);
+    }
+
+    // The flushes really were deadline-driven partials.
+    let stats = server.shutdown();
+    let m = stats.model("deit-tiny").expect("model served");
+    assert_eq!(m.requests, 4 * PER_CLIENT);
+    assert!(
+        m.batch_fill.len() < 64,
+        "no batch may reach the size trigger here"
+    );
+    assert!(m.batches > 0 && m.p99_latency_s >= m.p50_latency_s);
+}
+
+#[test]
+fn deadline_flushes_partial_batches_and_size_flushes_full_ones() {
+    let model = tiny_model(7, false);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(10),
+            queue_capacity: 64,
+            workers: 1,
+        },
+    );
+    let client = server.client();
+
+    // Burst of 3 (< max_batch_size): only the deadline can flush it.
+    let tickets: Vec<_> = (0..3)
+        .map(|i| client.submit("m", tokens_for(&model, i)).unwrap())
+        .collect();
+    for t in tickets {
+        assert!(t.wait().is_some());
+    }
+    let stats = server.stats();
+    let m = stats.model("m").unwrap();
+    assert_eq!(m.requests, 3);
+    assert!(
+        m.batch_fill.iter().take(3).sum::<u64>() > 0,
+        "expected a partial (deadline) flush, fills: {:?}",
+        m.batch_fill
+    );
+
+    // Burst of 11: full batches must cap at max_batch_size.
+    let tickets: Vec<_> = (0..11)
+        .map(|i| client.submit("m", tokens_for(&model, 100 + i)).unwrap())
+        .collect();
+    for t in tickets {
+        assert!(t.wait().is_some());
+    }
+    let stats = server.shutdown();
+    let m = stats.model("m").unwrap();
+    assert_eq!(m.requests, 14);
+    assert!(
+        m.batch_fill.len() <= 4,
+        "a batch exceeded max_batch_size: {:?}",
+        m.batch_fill
+    );
+    assert!(m.mean_batch_fill <= 4.0);
+}
+
+#[test]
+fn bounded_queue_applies_backpressure_and_every_ticket_resolves_exactly_once() {
+    let model = tiny_model(9, false);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    // Tiny queue, many producers: correctness must come from blocking,
+    // not dropping.
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 2,
+            workers: 2,
+        },
+    );
+    const PRODUCERS: u64 = 8;
+    const PER_PRODUCER: u64 = 8;
+    let handles: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let client = server.client();
+            let model = model.clone();
+            std::thread::spawn(move || {
+                let mut served = 0u64;
+                for i in 0..PER_PRODUCER {
+                    let ticket = client
+                        .submit("m", tokens_for(&model, p * 100 + i))
+                        .expect("submit blocks, never drops");
+                    // Poll (the ticket API) rather than wait, and count
+                    // resolutions: exactly one Some per ticket.
+                    let mut takes = 0;
+                    let deadline = std::time::Instant::now() + Duration::from_secs(30);
+                    while std::time::Instant::now() < deadline {
+                        if ticket.try_take().is_some() {
+                            takes += 1;
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    assert!(ticket.try_take().is_none(), "second take must fail");
+                    assert_eq!(takes, 1, "ticket must resolve exactly once");
+                    served += 1;
+                }
+                served
+            })
+        })
+        .collect();
+    let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, PRODUCERS * PER_PRODUCER);
+    let stats = server.shutdown();
+    assert_eq!(
+        stats.total_requests(),
+        PRODUCERS * PER_PRODUCER,
+        "backpressure must not drop any request"
+    );
+}
+
+#[test]
+fn registry_routes_models_independently_and_rejects_bad_submissions() {
+    let fp32_model = tiny_model(11, false);
+    let int8_model = tiny_model(12, true);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("fp32", Engine::builder(fp32_model.clone()).build())
+        .unwrap();
+    registry
+        .register(
+            "int8",
+            Engine::builder(int8_model.clone())
+                .precision(Precision::Int8)
+                .build(),
+        )
+        .unwrap();
+    assert!(registry
+        .register("fp32", Engine::builder(fp32_model.clone()).build())
+        .is_err());
+
+    let server = Server::start(registry, BatchConfig::default());
+    let client = server.client();
+
+    let t = tokens_for(&fp32_model, 500);
+    let direct_fp32 = Engine::builder(fp32_model.clone()).build().infer_one(&t);
+    let direct_int8 = Engine::builder(int8_model.clone())
+        .precision(Precision::Int8)
+        .build()
+        .infer_one(&t);
+    // Different models and precisions behind one server: each route
+    // reproduces its own engine exactly.
+    assert_eq!(
+        client.classify("fp32", t.clone()).unwrap().logits,
+        direct_fp32.logits
+    );
+    assert_eq!(
+        client.classify("int8", t.clone()).unwrap().logits,
+        direct_int8.logits
+    );
+
+    assert!(matches!(
+        client.classify("nope", t.clone()),
+        Err(SubmitError::UnknownModel(_))
+    ));
+    assert!(matches!(
+        client.classify("fp32", Matrix::zeros(3, 3)),
+        Err(SubmitError::ShapeMismatch { .. })
+    ));
+}
+
+/// The serve pool holds `Arc`'d weights: registering and serving a
+/// model copies no weight scalars.
+#[test]
+fn serving_shares_weights_instead_of_cloning_them() {
+    let compiled = Arc::new(tiny_model(13, true));
+    let scalars_before = compiled.num_weight_scalars();
+    let engine = Engine::builder_shared(Arc::clone(&compiled)).build();
+    let engine_arc = engine.compiled_arc();
+    assert!(
+        Arc::ptr_eq(&engine_arc, &compiled),
+        "engine must share, not copy"
+    );
+
+    let mut registry = ModelRegistry::new();
+    registry.register("m", engine).unwrap();
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            workers: 4,
+            ..BatchConfig::default()
+        },
+    );
+    let client = server.client();
+    let handles: Vec<_> = (0..4)
+        .map(|c| {
+            let client = client.clone();
+            let model = Arc::clone(&compiled);
+            std::thread::spawn(move || {
+                for i in 0..4 {
+                    client
+                        .classify("m", tokens_for(&model, c * 10 + i))
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    drop(server);
+    drop(client); // the last handle to the server's shared state
+                  // After serving 16 requests through 4 workers, the weights are
+                  // still the same single allocation, unchanged in size.
+    assert_eq!(compiled.num_weight_scalars(), scalars_before);
+    assert_eq!(
+        Arc::strong_count(&compiled),
+        2, // this handle + `engine_arc`; the server's engine is dropped
+        "no worker may retain a weight copy"
+    );
+}
+
+#[test]
+fn shutdown_drains_accepted_requests() {
+    let model = tiny_model(15, false);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            max_batch_size: 32,
+            max_wait: Duration::from_secs(10), // would never flush by deadline
+            queue_capacity: 16,
+            workers: 1,
+        },
+    );
+    let client = server.client();
+    let tickets: Vec<_> = (0..5)
+        .map(|i| client.submit("m", tokens_for(&model, i)).unwrap())
+        .collect();
+    // Shutdown must flush the assembler rather than dropping the 5
+    // pending requests.
+    let stats = server.shutdown();
+    assert_eq!(stats.total_requests(), 5);
+    for t in tickets {
+        assert!(t.try_take().is_some(), "accepted request must be served");
+    }
+    // And a closed server refuses new work.
+    assert!(matches!(
+        client.classify("m", tokens_for(&model, 99)),
+        Err(SubmitError::Closed)
+    ));
+}

@@ -49,6 +49,15 @@ impl ViTCoDAccelerator {
 
     /// Like [`Self::simulate_attention`] but also returns the per-layer
     /// [`crate::ExecutionTrace`] for timeline inspection.
+    ///
+    /// Layers are embarrassingly parallel — each one's cycle model only
+    /// reads the shared program — so the per-layer simulations fan out
+    /// across worker threads via the kernel layer's `par_map_collect`
+    /// (each layer internally aggregates its (layer, head) pair
+    /// workloads for the engines' PE allocation). The reduction over the
+    /// returned per-layer results stays sequential and in layer order,
+    /// so cycle counts are identical to the sequential walk regardless
+    /// of the thread count — a test pins this.
     pub fn simulate_attention_traced(
         &self,
         program: &AcceleratorProgram,
@@ -60,8 +69,18 @@ impl ViTCoDAccelerator {
         let mut macs = 0u64;
         let mut exec = crate::ExecutionTrace::default();
 
-        for layer in &program.layers {
-            let r = self.simulate_attention_layer(program, layer);
+        // Work estimate per layer: one pass over every head's CSC
+        // column counts plus the fixed per-head engine bookkeeping.
+        let work_per_layer = program
+            .layers
+            .first()
+            .map(|l| l.heads.iter().map(|h| h.sparser_col_nnz.len() + 64).sum())
+            .unwrap_or(1);
+        let results =
+            vitcod_tensor::kernels::par_map_collect(program.layers.len(), work_per_layer, |i| {
+                self.simulate_attention_layer(program, &program.layers[i])
+            });
+        for r in results {
             phases.add(&r.phases);
             breakdown.add(&r.breakdown);
             traffic.add(&r.traffic);
@@ -758,6 +777,32 @@ mod tests {
         // Line allocations recorded per layer sum to the array width.
         for l in &trace.layers {
             assert_eq!(l.denser_lines + l.sparser_lines, 64);
+        }
+    }
+
+    #[test]
+    fn parallel_layer_fanout_pins_sequential_cycle_counts() {
+        use vitcod_tensor::kernels;
+        let p = program(0.9, true);
+        let s = sim();
+        // One worker = the sequential walk; the reduction order is the
+        // same either way, so every count must be identical.
+        kernels::set_num_threads(1);
+        let (seq, seq_trace) = s.simulate_attention_traced(&p);
+        kernels::set_num_threads(4);
+        let (par, par_trace) = s.simulate_attention_traced(&p);
+        kernels::set_num_threads(0);
+        assert_eq!(par.total_cycles, seq.total_cycles);
+        assert_eq!(par.phases, seq.phases);
+        assert_eq!(par.breakdown, seq.breakdown);
+        assert_eq!(par.traffic, seq.traffic);
+        assert_eq!(par.macs, seq.macs);
+        assert_eq!(par_trace.layers.len(), seq_trace.layers.len());
+        for (a, b) in par_trace.layers.iter().zip(seq_trace.layers.iter()) {
+            assert_eq!(a.layer, b.layer, "trace order must stay layer order");
+            assert_eq!(a.total_cycles, b.total_cycles);
+            assert_eq!(a.denser_cycles, b.denser_cycles);
+            assert_eq!(a.sparser_cycles, b.sparser_cycles);
         }
     }
 

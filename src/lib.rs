@@ -13,8 +13,13 @@
 //! * [`sim`] — the cycle-level accelerator simulator, functional
 //!   dataflow executors, schedules, buffers, energy/area/roofline;
 //! * [`engine`] — compile-once / serve-many inference: frozen
-//!   [`engine::CompiledVit`] artifacts and the batched, tape-free
-//!   [`engine::Engine`] with truly-sparse attention;
+//!   [`engine::CompiledVit`] artifacts (with bit-exact on-disk
+//!   save/load) and the batched, tape-free [`engine::Engine`] with
+//!   truly-sparse attention;
+//! * [`serve`] — the serving layer: [`serve::Server`]'s bounded request
+//!   queue with dynamic batching, the multi-model
+//!   [`serve::ModelRegistry`] (loadable from disk), and per-model
+//!   latency/throughput statistics;
 //! * [`baselines`] — CPU/EdgeGPU/GPU platform models plus the SpAtten
 //!   and Sanger simulators.
 //!
@@ -42,5 +47,6 @@ pub use vitcod_baselines as baselines;
 pub use vitcod_core as core;
 pub use vitcod_engine as engine;
 pub use vitcod_model as model;
+pub use vitcod_serve as serve;
 pub use vitcod_sim as sim;
 pub use vitcod_tensor as tensor;
