@@ -13,7 +13,11 @@
 //! * driving the same engine through the **request-queue `Server`**
 //!   (concurrent producers → bounded queue → dynamic batches) must
 //!   retain ≥ 0.9× the direct `infer_batch` throughput — the serving
-//!   shell may cost at most 10 %.
+//!   shell may cost at most 10 %;
+//! * driving that server through the **HTTP transport** (loopback TCP,
+//!   JSON bodies, keep-alive connections) must retain ≥ 0.7× the
+//!   in-process queued throughput — the socket, parser and codec may
+//!   cost at most 30 %.
 
 use std::time::{Duration, Instant};
 
@@ -25,6 +29,7 @@ use vitcod_engine::{CompiledVit, Engine, Precision};
 use vitcod_model::{AttentionStats, Sample, SparsityPlan, ViTConfig, VisionTransformer};
 use vitcod_serve::{BatchConfig, ModelRegistry, Server};
 use vitcod_tensor::{kernels, Initializer, Matrix};
+use vitcod_transport::{api, HttpClient, HttpServer, Json, TransportConfig};
 
 const IN_DIM: usize = 48;
 const CLASSES: usize = 10;
@@ -35,6 +40,8 @@ const QUEUE_CLIENTS: usize = 4;
 const QUEUE_REQUESTS: usize = 32;
 /// Minimum acceptable queued/direct throughput ratio.
 const QUEUE_GATE: f64 = 0.9;
+/// Minimum acceptable socket/in-process throughput ratio.
+const TRANSPORT_GATE: f64 = 0.7;
 
 /// Times `f` over `runs` invocations (after one warm-up) and returns the
 /// best observed seconds per invocation.
@@ -221,6 +228,87 @@ fn main() {
         queue_ratio
     );
 
+    // ------------------------------------------------------------------
+    // Through the wire: the same server behind `vitcod_transport` on a
+    // loopback socket — concurrent keep-alive connections, JSON batch
+    // bodies, hand-rolled parser. Measures what the network front end
+    // costs over the in-process client.
+    // ------------------------------------------------------------------
+    let run_transport = || {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("dense_fp32", Engine::builder(dense.clone()).build())
+            .expect("register");
+        let server = Server::start(
+            registry,
+            BatchConfig {
+                max_batch_size: BATCH,
+                max_wait: Duration::from_millis(2),
+                queue_capacity: QUEUE_REQUESTS,
+                workers: 2,
+            },
+        );
+        let http = HttpServer::bind("127.0.0.1:0", server, TransportConfig::default())
+            .expect("bind loopback");
+        let addr = http.local_addr();
+        let t = Instant::now();
+        let handles: Vec<_> = (0..QUEUE_CLIENTS)
+            .map(|c| {
+                std::thread::spawn(move || {
+                    // One batch request per connection carrying this
+                    // client's whole burst: the server submits one
+                    // ticket per sample, so the dynamic batcher sees
+                    // the same 32 in-flight samples as the in-process
+                    // section.
+                    let mut client = HttpClient::connect(addr).expect("connect");
+                    let items: Vec<Json> = (0..QUEUE_REQUESTS / QUEUE_CLIENTS)
+                        .map(|i| {
+                            let tokens: Matrix = Initializer::Normal { std: 1.0 }.sample(
+                                ViTConfig::deit_tiny().tokens,
+                                IN_DIM,
+                                (c * 1000 + i) as u64,
+                            );
+                            Json::Object(vec![("tokens".into(), api::tokens_json(&tokens))])
+                        })
+                        .collect();
+                    let body = Json::Object(vec![("batch".into(), Json::Array(items))]).to_string();
+                    let resp = client
+                        .post("/v1/models/dense_fp32/classify", &body)
+                        .expect("classify over loopback");
+                    assert_eq!(resp.status, 200, "{}", resp.body_str());
+                    std::hint::black_box(resp);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("http client");
+        }
+        let elapsed = t.elapsed().as_secs_f64();
+        let stats = http.shutdown();
+        let m = stats.model("dense_fp32").expect("model served").clone();
+        (QUEUE_REQUESTS as f64 / elapsed, m)
+    };
+    let _ = run_transport();
+    let mut transport_tput = 0.0f64;
+    let mut transport_stats = None;
+    for _ in 0..3 {
+        let (tput, m) = run_transport();
+        if tput > transport_tput {
+            transport_tput = tput;
+            transport_stats = Some(m);
+        }
+    }
+    let transport_stats = transport_stats.expect("at least one transport run");
+    let transport_ratio = transport_tput / queued_tput;
+    println!(
+        "transport dense_fp32: {:.1} samples/s ({QUEUE_CLIENTS} connections, \
+         p50 {:.1} ms, p99 {:.1} ms) -> {:.2}x of in-process",
+        transport_tput,
+        transport_stats.p50_latency_s * 1e3,
+        transport_stats.p99_latency_s * 1e3,
+        transport_ratio
+    );
+
     let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     let mut json = String::from("{\n  \"bench\": \"serving\",\n");
     json.push_str(&format!(
@@ -250,6 +338,13 @@ fn main() {
         queued_stats.mean_batch_fill, queued_stats.p50_latency_s, queued_stats.p99_latency_s
     ));
     json.push_str(&format!(
+        "  \"transport\": {{\"model\": \"dense_fp32\", \"connections\": {QUEUE_CLIENTS}, \
+         \"requests\": {QUEUE_REQUESTS}, \"transport_throughput\": {transport_tput:.2}, \
+         \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6}, \
+         \"over_in_process\": {transport_ratio:.3}}},\n",
+        transport_stats.p50_latency_s, transport_stats.p99_latency_s
+    ));
+    json.push_str(&format!(
         "  \"sparse_int8_over_dense_fp32\": {speedup:.3}\n}}\n"
     ));
     std::fs::write(json_path, json).expect("write BENCH_serving.json");
@@ -264,5 +359,10 @@ fn main() {
         queue_ratio >= QUEUE_GATE,
         "queue-batched throughput must retain >= {QUEUE_GATE}x of direct \
          infer_batch (got {queue_ratio:.2}x)"
+    );
+    assert!(
+        transport_ratio >= TRANSPORT_GATE,
+        "socket throughput must retain >= {TRANSPORT_GATE}x of the in-process \
+         queued path (got {transport_ratio:.2}x)"
     );
 }

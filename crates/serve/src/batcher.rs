@@ -1,19 +1,35 @@
-//! Dynamic batch assembly: requests → full or deadline-flushed batches.
+//! Dynamic batch assembly: requests → full or deadline-flushed batches,
+//! drained round-robin across models.
 //!
-//! The assembler accumulates queued requests per model and emits a
-//! [`Batch`] when either trigger fires, whichever comes first:
+//! The assembler accumulates queued requests per model and promotes a
+//! pending set to a ready [`Batch`] when either trigger fires,
+//! whichever comes first:
 //!
 //! * **size** — a model's pending set reaches
-//!   [`BatchConfig::max_batch_size`] (emitted immediately, keeping the
+//!   [`BatchConfig::max_batch_size`] (promoted immediately, keeping the
 //!   engine's datapath fed with full batches);
 //! * **deadline** — the model's *oldest* pending request has waited
-//!   [`BatchConfig::max_wait`] (emitted partially filled, bounding
+//!   [`BatchConfig::max_wait`] (promoted partially filled, bounding
 //!   tail latency under light traffic).
+//!
+//! Two serving properties live here rather than in the threads:
+//!
+//! * **Request deadlines** — a request carrying a deadline
+//!   ([`crate::Client::submit_with_timeout`]) never occupies a batch
+//!   slot past it: expired requests are pruned at every promotion and
+//!   surfaced via [`BatchAssembler::take_expired`] so the server can
+//!   resolve their tickets as timed out.
+//! * **Round-robin fairness** — ready batches are handed out by
+//!   [`BatchAssembler::next_ready`] in model rotation, so a hot model
+//!   with a deep ready backlog cannot starve a light one: between two
+//!   of the hot model's batches every other model with ready work gets
+//!   a turn.
 //!
 //! The assembler is pure bookkeeping — no threads, no clocks of its own
 //! (callers pass `Instant`s) — which is what makes its flush semantics
 //! unit-testable.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -64,6 +80,15 @@ pub(crate) struct Request {
     pub ticket: Arc<TicketInner>,
     pub engine: Arc<Engine>,
     pub enqueued: Instant,
+    /// Expiry deadline; past it the request resolves as timed out
+    /// instead of occupying a batch slot. `None` waits indefinitely.
+    pub deadline: Option<Instant>,
+}
+
+impl Request {
+    fn expired(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| d <= now)
+    }
 }
 
 /// An assembled batch, ready for a worker to drain through its engine.
@@ -73,18 +98,35 @@ pub(crate) struct Batch {
     pub requests: Vec<Request>,
 }
 
-/// Per-model pending set with its flush deadline.
-struct PendingModel {
+/// Per-engine pending set with its flush deadline. Keyed by the engine
+/// `Arc` identity, not just the model id: across a hot reload, requests
+/// submitted against the old and new weights must never share a batch
+/// (a batch runs through exactly one engine).
+struct PendingSet {
     model: String,
+    engine: Arc<Engine>,
     requests: Vec<Request>,
     deadline: Instant,
+}
+
+/// A model's queue of ready batches, one slot in the round-robin
+/// rotation.
+struct ReadySet {
+    model: String,
+    batches: VecDeque<Batch>,
 }
 
 /// The dynamic batch assembler; see the [module docs](self).
 pub(crate) struct BatchAssembler {
     max_batch: usize,
     max_wait: Duration,
-    pending: Vec<PendingModel>,
+    pending: Vec<PendingSet>,
+    /// Round-robin rotation: [`BatchAssembler::next_ready`] pops one
+    /// batch from the front model, then rotates it to the back.
+    ready: VecDeque<ReadySet>,
+    /// Requests pruned past their deadline, awaiting
+    /// [`BatchAssembler::take_expired`].
+    expired: Vec<Request>,
 }
 
 impl BatchAssembler {
@@ -93,19 +135,31 @@ impl BatchAssembler {
             max_batch,
             max_wait,
             pending: Vec::new(),
+            ready: VecDeque::new(),
+            expired: Vec::new(),
         }
     }
 
-    /// Accepts one request; returns a full batch when the request tops
-    /// its model's pending set up to `max_batch`.
-    pub fn offer(&mut self, request: Request, now: Instant) -> Option<Batch> {
-        let idx = match self.pending.iter().position(|p| p.model == request.model) {
+    /// Accepts one request. Already-expired requests go straight to the
+    /// expired list; a request that tops its engine's pending set up to
+    /// `max_batch` promotes it to the ready rotation.
+    pub fn offer(&mut self, request: Request, now: Instant) {
+        if request.expired(now) {
+            self.expired.push(request);
+            return;
+        }
+        let idx = match self
+            .pending
+            .iter()
+            .position(|p| p.model == request.model && Arc::ptr_eq(&p.engine, &request.engine))
+        {
             Some(idx) => idx,
             None => {
-                self.pending.push(PendingModel {
+                self.pending.push(PendingSet {
                     model: request.model.clone(),
+                    engine: Arc::clone(&request.engine),
                     requests: Vec::with_capacity(self.max_batch),
-                    // The deadline belongs to the oldest request.
+                    // The flush deadline belongs to the oldest request.
                     deadline: now + self.max_wait,
                 });
                 self.pending.len() - 1
@@ -113,60 +167,142 @@ impl BatchAssembler {
         };
         self.pending[idx].requests.push(request);
         if self.pending[idx].requests.len() >= self.max_batch {
-            return Some(Self::emit(self.pending.swap_remove(idx)));
+            let set = self.pending.swap_remove(idx);
+            self.promote(set, now);
         }
-        None
     }
 
-    /// Earliest pending flush deadline — what the batcher thread sleeps
-    /// toward; `None` when nothing is pending.
+    /// Earliest pending deadline — flush or request expiry, whichever
+    /// comes first — what the batcher thread sleeps toward; `None` when
+    /// nothing is pending.
     pub fn next_deadline(&self) -> Option<Instant> {
-        self.pending.iter().map(|p| p.deadline).min()
+        self.pending
+            .iter()
+            .flat_map(|p| {
+                std::iter::once(p.deadline).chain(p.requests.iter().filter_map(|r| r.deadline))
+            })
+            .min()
     }
 
-    /// Flushes every model whose deadline has passed, as (possibly
-    /// partial) batches.
-    pub fn take_due(&mut self, now: Instant) -> Vec<Batch> {
-        let mut due = Vec::new();
+    /// Advances the clock: prunes expired requests out of every pending
+    /// set and promotes sets whose flush deadline has passed.
+    pub fn poll(&mut self, now: Instant) {
         let mut i = 0;
         while i < self.pending.len() {
-            if self.pending[i].deadline <= now {
-                due.push(Self::emit(self.pending.swap_remove(i)));
+            let p = &mut self.pending[i];
+            let mut j = 0;
+            while j < p.requests.len() {
+                if p.requests[j].expired(now) {
+                    self.expired.push(p.requests.swap_remove(j));
+                } else {
+                    j += 1;
+                }
+            }
+            if p.requests.is_empty() {
+                self.pending.swap_remove(i);
+            } else if p.deadline <= now {
+                let set = self.pending.swap_remove(i);
+                self.promote(set, now);
             } else {
                 i += 1;
             }
         }
-        due
     }
 
-    /// Flushes everything (shutdown path — no request is dropped).
-    pub fn drain(&mut self) -> Vec<Batch> {
-        std::mem::take(&mut self.pending)
-            .into_iter()
-            .map(Self::emit)
-            .collect()
+    /// Promotes every remaining pending set regardless of deadline (the
+    /// shutdown path — accepted work is never dropped, though requests
+    /// already past their expiry still resolve as timed out).
+    pub fn flush_all(&mut self, now: Instant) {
+        for set in std::mem::take(&mut self.pending) {
+            self.promote(set, now);
+        }
     }
 
-    fn emit(p: PendingModel) -> Batch {
-        Batch {
-            model: p.model,
-            engine: Arc::clone(&p.requests[0].engine),
-            requests: p.requests,
+    /// Whether a batch is ready to dispatch.
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
+    }
+
+    /// Requests currently buffered (pending sets + ready batches) —
+    /// the batcher bounds this to keep backpressure at the ingress
+    /// queue meaningful.
+    pub fn buffered(&self) -> usize {
+        self.pending.iter().map(|p| p.requests.len()).sum::<usize>()
+            + self
+                .ready
+                .iter()
+                .flat_map(|r| r.batches.iter())
+                .map(|b| b.requests.len())
+                .sum::<usize>()
+    }
+
+    /// Pops the next ready batch, rotating round-robin across models.
+    pub fn next_ready(&mut self) -> Option<Batch> {
+        let mut set = self.ready.pop_front()?;
+        let batch = set.batches.pop_front().expect("ready sets are non-empty");
+        if !set.batches.is_empty() {
+            self.ready.push_back(set);
+        }
+        Some(batch)
+    }
+
+    /// Takes the requests pruned past their deadline since the last
+    /// call; the server resolves their tickets as timed out.
+    pub fn take_expired(&mut self) -> Vec<Request> {
+        std::mem::take(&mut self.expired)
+    }
+
+    /// Moves a pending set into the ready rotation, pruning requests
+    /// that expired since they were accepted.
+    fn promote(&mut self, mut set: PendingSet, now: Instant) {
+        let mut i = 0;
+        while i < set.requests.len() {
+            if set.requests[i].expired(now) {
+                self.expired.push(set.requests.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        if set.requests.is_empty() {
+            return;
+        }
+        let batch = Batch {
+            model: set.model,
+            engine: set.engine,
+            requests: set.requests,
+        };
+        match self.ready.iter_mut().find(|r| r.model == batch.model) {
+            Some(ready) => ready.batches.push_back(batch),
+            None => self.ready.push_back(ReadySet {
+                model: batch.model.clone(),
+                batches: VecDeque::from([batch]),
+            }),
         }
     }
 }
 
 /// If the batcher thread unwinds (a poisoned-lock panic) with requests
-/// still pending, their clients must not hang in `Ticket::wait`: the
-/// assembler resolves every still-held ticket to "cancelled" on drop.
-/// On the normal shutdown path `drain()` has already emptied `pending`,
-/// so this is a no-op.
+/// still held, their clients must not hang in `Ticket::wait`: the
+/// assembler resolves every still-held ticket on drop — pending and
+/// ready requests as cancelled, pruned ones as timed out. On the normal
+/// shutdown path everything has already been handed out, so this is a
+/// no-op.
 impl Drop for BatchAssembler {
     fn drop(&mut self) {
         for p in &self.pending {
             for r in &p.requests {
                 r.ticket.cancel();
             }
+        }
+        for set in &self.ready {
+            for b in &set.batches {
+                for r in &b.requests {
+                    r.ticket.cancel();
+                }
+            }
+        }
+        for r in &self.expired {
+            r.ticket.expire();
         }
     }
 }
@@ -194,17 +330,27 @@ mod tests {
             ticket: TicketInner::new(),
             engine: Arc::clone(engine),
             enqueued: now,
+            deadline: None,
+        }
+    }
+
+    fn deadlined(model: &str, engine: &Arc<Engine>, now: Instant, timeout: Duration) -> Request {
+        Request {
+            deadline: Some(now + timeout),
+            ..request(model, engine, now)
         }
     }
 
     #[test]
-    fn size_trigger_emits_exactly_at_max_batch() {
+    fn size_trigger_promotes_exactly_at_max_batch() {
         let engine = test_engine();
         let mut a = BatchAssembler::new(3, Duration::from_secs(60));
         let now = Instant::now();
-        assert!(a.offer(request("m", &engine, now), now).is_none());
-        assert!(a.offer(request("m", &engine, now), now).is_none());
-        let batch = a.offer(request("m", &engine, now), now).expect("full");
+        a.offer(request("m", &engine, now), now);
+        a.offer(request("m", &engine, now), now);
+        assert!(a.next_ready().is_none(), "below max_batch");
+        a.offer(request("m", &engine, now), now);
+        let batch = a.next_ready().expect("full");
         assert_eq!(batch.requests.len(), 3);
         assert_eq!(batch.model, "m");
         assert!(a.next_deadline().is_none(), "pending set consumed");
@@ -221,10 +367,12 @@ mod tests {
         let t1 = t0 + Duration::from_millis(30);
         a.offer(request("m", &engine, t1), t1);
         assert_eq!(a.next_deadline(), Some(t0 + wait));
-        assert!(a.take_due(t0 + Duration::from_millis(49)).is_empty());
-        let due = a.take_due(t0 + wait);
-        assert_eq!(due.len(), 1);
-        assert_eq!(due[0].requests.len(), 2, "partial batch flushed");
+        a.poll(t0 + Duration::from_millis(49));
+        assert!(a.next_ready().is_none());
+        a.poll(t0 + wait);
+        let due = a.next_ready().expect("flushed at the deadline");
+        assert_eq!(due.requests.len(), 2, "partial batch flushed");
+        assert!(a.next_ready().is_none());
     }
 
     #[test]
@@ -232,14 +380,85 @@ mod tests {
         let engine = test_engine();
         let mut a = BatchAssembler::new(2, Duration::from_secs(60));
         let now = Instant::now();
-        assert!(a.offer(request("a", &engine, now), now).is_none());
-        assert!(a.offer(request("b", &engine, now), now).is_none());
+        a.offer(request("a", &engine, now), now);
+        a.offer(request("b", &engine, now), now);
         // Model a fills without model b's request counting toward it.
-        let full = a.offer(request("a", &engine, now), now).expect("a full");
+        a.offer(request("a", &engine, now), now);
+        let full = a.next_ready().expect("a full");
         assert_eq!(full.model, "a");
-        let rest = a.drain();
-        assert_eq!(rest.len(), 1);
-        assert_eq!(rest[0].model, "b");
-        assert_eq!(rest[0].requests.len(), 1);
+        a.flush_all(now);
+        let rest = a.next_ready().expect("b flushed");
+        assert_eq!(rest.model, "b");
+        assert_eq!(rest.requests.len(), 1);
+        assert!(a.next_ready().is_none());
+    }
+
+    #[test]
+    fn ready_batches_rotate_round_robin_across_models() {
+        let engine = test_engine();
+        let mut a = BatchAssembler::new(2, Duration::from_secs(60));
+        let now = Instant::now();
+        // Hot model "a": three full batches. Light model "b": one.
+        for _ in 0..3 {
+            a.offer(request("a", &engine, now), now);
+            a.offer(request("a", &engine, now), now);
+        }
+        a.offer(request("b", &engine, now), now);
+        a.offer(request("b", &engine, now), now);
+        let order: Vec<String> = std::iter::from_fn(|| a.next_ready().map(|b| b.model)).collect();
+        // "b" gets its turn after one "a" batch, not after all three.
+        assert_eq!(order, ["a", "b", "a", "a"]);
+    }
+
+    #[test]
+    fn expired_requests_never_occupy_batch_slots() {
+        let engine = test_engine();
+        let mut a = BatchAssembler::new(4, Duration::from_millis(100));
+        let t0 = Instant::now();
+        // One short-deadline request, one without.
+        a.offer(deadlined("m", &engine, t0, Duration::from_millis(10)), t0);
+        a.offer(request("m", &engine, t0), t0);
+        // The request deadline (not the flush deadline) is what the
+        // batcher must sleep toward.
+        assert_eq!(a.next_deadline(), Some(t0 + Duration::from_millis(10)));
+        a.poll(t0 + Duration::from_millis(20));
+        let expired = a.take_expired();
+        assert_eq!(expired.len(), 1);
+        assert!(expired[0].deadline.is_some());
+        assert!(a.next_ready().is_none(), "flush deadline not reached yet");
+        // The surviving request still flushes on the model deadline.
+        a.poll(t0 + Duration::from_millis(100));
+        assert_eq!(a.next_ready().expect("flushed").requests.len(), 1);
+    }
+
+    #[test]
+    fn already_expired_offer_and_flush_all_prune() {
+        let engine = test_engine();
+        let mut a = BatchAssembler::new(8, Duration::from_secs(60));
+        let t0 = Instant::now();
+        a.offer(deadlined("m", &engine, t0, Duration::ZERO), t0);
+        assert_eq!(a.take_expired().len(), 1, "expired on arrival");
+        a.offer(deadlined("m", &engine, t0, Duration::from_millis(5)), t0);
+        a.offer(request("m", &engine, t0), t0);
+        a.flush_all(t0 + Duration::from_millis(10));
+        assert_eq!(a.take_expired().len(), 1, "expired at shutdown flush");
+        assert_eq!(a.next_ready().expect("survivor").requests.len(), 1);
+    }
+
+    #[test]
+    fn reloaded_engines_never_share_a_batch() {
+        let old = test_engine();
+        let new = test_engine();
+        let mut a = BatchAssembler::new(8, Duration::from_millis(1));
+        let now = Instant::now();
+        a.offer(request("m", &old, now), now);
+        a.offer(request("m", &new, now), now);
+        a.flush_all(now);
+        let mut batches = Vec::new();
+        while let Some(b) = a.next_ready() {
+            batches.push(b);
+        }
+        assert_eq!(batches.len(), 2, "one batch per engine identity");
+        assert!(!Arc::ptr_eq(&batches[0].engine, &batches[1].engine));
     }
 }

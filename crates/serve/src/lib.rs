@@ -13,13 +13,19 @@
 //!   [`BatchConfig::max_wait`] deadline, whichever first) and a worker
 //!   pool draining batches through shared engines;
 //! * [`Client`] — clonable handles with a blocking
-//!   [`Client::classify`] and a ticket/poll
-//!   [`Client::submit`]/[`Ticket::try_take`] pair;
+//!   [`Client::classify`], a ticket/poll
+//!   [`Client::submit`]/[`Ticket::try_take`] pair, and deadline-aware
+//!   [`Client::submit_with_timeout`]/[`Client::wait_timeout`]: a
+//!   request whose deadline passes before it reaches a batch slot
+//!   resolves as [`RequestError::TimedOut`] instead of occupying queue
+//!   capacity;
 //! * [`ModelRegistry`] — routes requests by model id across several
 //!   compiled models with independent precision/backend settings, and
 //!   loads whole registries from `*.vitcod` artifacts on disk
 //!   ([`ModelRegistry::load_dir`], written by
-//!   [`vitcod_engine::save_compiled_vit`]);
+//!   [`vitcod_engine::save_compiled_vit`]); engines hot-swap behind a
+//!   live server via [`Server::reload`] without dropping in-flight
+//!   requests;
 //! * [`ServerStats`] — per-model p50/p99 latency, throughput and the
 //!   batch-fill histogram, queryable at any time.
 //!
@@ -48,7 +54,7 @@
 #![warn(missing_docs)]
 
 mod batcher;
-mod queue;
+pub mod queue;
 mod registry;
 mod server;
 mod stats;
@@ -58,4 +64,4 @@ pub use batcher::BatchConfig;
 pub use registry::{ModelRegistry, RegistryError, ARTIFACT_EXTENSION};
 pub use server::{Client, Server, SubmitError};
 pub use stats::{ModelStats, ServerStats};
-pub use ticket::Ticket;
+pub use ticket::{RequestError, Ticket};

@@ -6,6 +6,10 @@
 //! blocks the producer instead of dropping the request, which is what
 //! turns overload into backpressure rather than data loss. Built on
 //! `Mutex` + two `Condvar`s; no lock is held while waiting.
+//!
+//! The queue is public because it is the workspace's general
+//! backpressure primitive: the HTTP transport reuses it to hand
+//! accepted connections to its handler pool.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -13,7 +17,7 @@ use std::time::Instant;
 
 /// Outcome of a non-blocking push.
 #[derive(Debug)]
-pub(crate) enum TryPushError<T> {
+pub enum TryPushError<T> {
     /// The queue is at capacity; the item is handed back.
     Full(T),
     /// The queue is closed; the item is handed back.
@@ -22,7 +26,7 @@ pub(crate) enum TryPushError<T> {
 
 /// Outcome of a deadline-bounded pop.
 #[derive(Debug)]
-pub(crate) enum Pop<T> {
+pub enum Pop<T> {
     /// An item was dequeued.
     Item(T),
     /// The deadline passed with the queue still empty.
@@ -37,7 +41,7 @@ struct Inner<T> {
 }
 
 /// Bounded MPSC queue; see the [module docs](self).
-pub(crate) struct BoundedQueue<T> {
+pub struct BoundedQueue<T> {
     inner: Mutex<Inner<T>>,
     capacity: usize,
     not_empty: Condvar,
@@ -141,6 +145,11 @@ impl<T> BoundedQueue<T> {
     /// Items currently queued.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("queue poisoned").items.len()
+    }
+
+    /// Whether nothing is currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 
     /// Removes and returns everything currently queued, without

@@ -2,25 +2,31 @@
 //!
 //! ```text
 //!  Client::submit ──▶ BoundedQueue (backpressure) ──▶ batcher thread
-//!                                                     │ size / deadline
+//!                                                     │ size / deadline / expiry
 //!                                                     ▼
-//!                                              batch queue ──▶ N workers
-//!                                                              │ Engine::infer_batch
-//!                                                              ▼
-//!                                                     tickets resolve, stats record
+//!                                       round-robin ready rotation ──▶ batch queue ──▶ N workers
+//!                                                                                      │ Engine::infer_batch
+//!                                                                                      ▼
+//!                                                                             tickets resolve, stats record
 //! ```
 //!
 //! One batcher thread owns the [`crate::batcher::BatchAssembler`]; it
-//! sleeps toward the earliest pending flush deadline, so partial batches
-//! leave exactly when their oldest request has waited
-//! [`BatchConfig::max_wait`]. Workers share the registry's `Arc`'d
-//! engines — serving never copies weights.
+//! sleeps toward the earliest pending deadline — a model's
+//! [`BatchConfig::max_wait`] flush or a request's expiry, whichever is
+//! sooner — so partial batches leave exactly when their oldest request
+//! has waited `max_wait`, and deadlined requests resolve as timed out
+//! the moment they expire. Ready batches drain **round-robin across
+//! models**, so a hot model's backlog cannot starve a light one.
+//! Workers share the registry's `Arc`'d engines — serving never copies
+//! weights — and the engine behind a model id can be hot-swapped at any
+//! time ([`Server::reload`]): in-flight requests keep the engine they
+//! were submitted against, later ones get the new weights.
 
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use vitcod_engine::{Engine, Prediction};
 use vitcod_model::Sample;
@@ -30,7 +36,7 @@ use crate::batcher::{Batch, BatchAssembler, BatchConfig, Request};
 use crate::queue::{BoundedQueue, Pop};
 use crate::registry::ModelRegistry;
 use crate::stats::{ServerStats, StatsRecorder};
-use crate::ticket::{Ticket, TicketInner};
+use crate::ticket::{RequestError, Ticket, TicketInner};
 
 /// Error submitting a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -70,10 +76,34 @@ impl fmt::Display for SubmitError {
 impl std::error::Error for SubmitError {}
 
 struct Shared {
-    engines: BTreeMap<String, Arc<Engine>>,
+    /// Model id → engine. Behind an `RwLock` so [`Server::reload`] can
+    /// hot-swap an engine while serving: lookups take a brief read
+    /// lock, a swap takes the write lock only for the map update.
+    /// Requests hold the `Arc` they resolved at submit time, so a swap
+    /// never affects work already accepted.
+    engines: RwLock<BTreeMap<String, Arc<Engine>>>,
     requests: BoundedQueue<Request>,
     batches: BoundedQueue<Batch>,
     stats: StatsRecorder,
+}
+
+impl Shared {
+    fn model_ids(&self) -> Vec<String> {
+        self.engines
+            .read()
+            .expect("engines poisoned")
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    fn reload(&self, id: String, engine: Arc<Engine>) -> bool {
+        self.engines
+            .write()
+            .expect("engines poisoned")
+            .insert(id, engine)
+            .is_some()
+    }
 }
 
 /// The serving front end; see the [module](self) and
@@ -99,12 +129,14 @@ impl Server {
     pub fn start(registry: ModelRegistry, config: BatchConfig) -> Server {
         let config = config.validated();
         let shared = Arc::new(Shared {
-            engines: registry.into_engines(),
+            engines: RwLock::new(registry.into_engines()),
             requests: BoundedQueue::new(config.queue_capacity),
-            // Small buffer between assembly and execution: enough to keep
-            // workers busy, small enough that backpressure reaches
-            // producers through the request queue.
-            batches: BoundedQueue::new(config.workers * 2),
+            // Minimal buffer between assembly and execution: one staged
+            // batch per worker keeps the pool fed while bounding the
+            // head-of-line latency a light model pays behind a hot
+            // model's already-dispatched batches (round-robin fairness
+            // only governs batches still in the assembler's rotation).
+            batches: BoundedQueue::new(config.workers),
             stats: StatsRecorder::new(),
         });
         let batcher = {
@@ -139,8 +171,17 @@ impl Server {
     }
 
     /// Registered model ids, sorted.
-    pub fn model_ids(&self) -> Vec<&str> {
-        self.shared.engines.keys().map(String::as_str).collect()
+    pub fn model_ids(&self) -> Vec<String> {
+        self.shared.model_ids()
+    }
+
+    /// Hot-swaps the engine behind `id` (or registers a new id) without
+    /// interrupting serving: requests already accepted keep the engine
+    /// they were submitted against — old and new weights never share a
+    /// batch — while later submissions resolve to the new one. Returns
+    /// whether an engine was replaced.
+    pub fn reload(&self, id: impl Into<String>, engine: Engine) -> bool {
+        self.shared.reload(id.into(), Arc::new(engine))
     }
 
     /// A consistent snapshot of the serving statistics.
@@ -197,6 +238,10 @@ impl Drop for Server {
 }
 
 /// A clonable submission handle to a [`Server`].
+///
+/// Besides submitting work, a client can read statistics, list models
+/// and hot-swap engines — everything a remote transport needs to expose
+/// the server over a socket lives on this handle.
 #[derive(Clone)]
 pub struct Client {
     shared: Arc<Shared>,
@@ -211,12 +256,25 @@ impl Client {
     ///
     /// Unknown model id, token-shape mismatch, or a shut-down server.
     pub fn submit(&self, model: &str, tokens: Matrix) -> Result<Ticket, SubmitError> {
-        let (request, ticket) = self.make_request(model, tokens)?;
-        self.shared
-            .requests
-            .push(request)
-            .map_err(|_| SubmitError::Closed)?;
-        Ok(Ticket::new(ticket))
+        self.enqueue(model, tokens, None)
+    }
+
+    /// Like [`Client::submit`], but the request carries a deadline: if
+    /// `timeout` elapses before the request reaches a batch slot, the
+    /// batcher expires it — it stops occupying queue capacity and its
+    /// ticket resolves as [`RequestError::TimedOut`]. A request that
+    /// made it into a batch before the deadline is served normally.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`].
+    pub fn submit_with_timeout(
+        &self,
+        model: &str,
+        tokens: Matrix,
+        timeout: Duration,
+    ) -> Result<Ticket, SubmitError> {
+        self.enqueue(model, tokens, Some(timeout))
     }
 
     /// Like [`Client::submit`] but never blocks: a full queue returns
@@ -229,7 +287,7 @@ impl Client {
     /// As [`Client::submit`], plus [`SubmitError::QueueFull`].
     pub fn try_submit(&self, model: &str, tokens: Matrix) -> Result<Ticket, SubmitError> {
         use crate::queue::TryPushError;
-        let (request, ticket) = self.make_request(model, tokens)?;
+        let (request, ticket) = self.make_request(model, tokens, None)?;
         match self.shared.requests.try_push(request) {
             Ok(()) => Ok(Ticket::new(ticket)),
             Err(TryPushError::Full(_)) => Err(SubmitError::QueueFull),
@@ -237,15 +295,33 @@ impl Client {
         }
     }
 
+    fn enqueue(
+        &self,
+        model: &str,
+        tokens: Matrix,
+        timeout: Option<Duration>,
+    ) -> Result<Ticket, SubmitError> {
+        let (request, ticket) = self.make_request(model, tokens, timeout)?;
+        self.shared
+            .requests
+            .push(request)
+            .map_err(|_| SubmitError::Closed)?;
+        Ok(Ticket::new(ticket))
+    }
+
     fn make_request(
         &self,
         model: &str,
         tokens: Matrix,
+        timeout: Option<Duration>,
     ) -> Result<(Request, Arc<TicketInner>), SubmitError> {
         let engine = self
             .shared
             .engines
+            .read()
+            .expect("engines poisoned")
             .get(model)
+            .map(Arc::clone)
             .ok_or_else(|| SubmitError::UnknownModel(model.to_string()))?;
         let compiled = engine.compiled();
         let expected = (compiled.config().tokens, compiled.in_dim());
@@ -256,12 +332,14 @@ impl Client {
             });
         }
         let ticket = TicketInner::new();
+        let enqueued = Instant::now();
         let request = Request {
             model: model.to_string(),
             tokens,
             ticket: Arc::clone(&ticket),
-            engine: Arc::clone(engine),
-            enqueued: Instant::now(),
+            engine,
+            enqueued,
+            deadline: timeout.map(|t| enqueued + t),
         };
         Ok((request, ticket))
     }
@@ -278,46 +356,123 @@ impl Client {
             .wait()
             .ok_or(SubmitError::Closed)
     }
+
+    /// Blocks on `ticket` for at most `dur` and takes its prediction —
+    /// the in-process mirror of the wire path's `timeout_ms` (a thin
+    /// convenience over [`Ticket::wait_timeout`]).
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::TimedOut`] when the budget elapses (the ticket
+    /// stays valid for a later wait) or the batcher expired the request
+    /// server-side; [`RequestError::Cancelled`] when it will never
+    /// resolve.
+    pub fn wait_timeout(&self, ticket: &Ticket, dur: Duration) -> Result<Prediction, RequestError> {
+        ticket.wait_timeout(dur)
+    }
+
+    /// Registered model ids, sorted.
+    pub fn model_ids(&self) -> Vec<String> {
+        self.shared.model_ids()
+    }
+
+    /// Hot-swaps the engine behind `id`; see [`Server::reload`].
+    pub fn reload(&self, id: impl Into<String>, engine: Engine) -> bool {
+        self.shared.reload(id.into(), Arc::new(engine))
+    }
+
+    /// A consistent snapshot of the serving statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Requests currently waiting in the ingress queue.
+    pub fn queued_requests(&self) -> usize {
+        self.shared.requests.len()
+    }
 }
 
 fn run_batcher(shared: &Shared, cfg: &BatchConfig) {
     let mut assembler = BatchAssembler::new(cfg.max_batch_size, cfg.max_wait);
+    // The batch queue only closes after this thread exits; a failed
+    // push can only mean shutdown mid-drain, where requests are
+    // cancelled on the spot.
     let dispatch = |batch: Batch| {
-        // The batch queue only closes after this thread exits; a failed
-        // push can only mean shutdown mid-drain, where requests are
-        // cancelled below anyway.
         if let Err(batch) = shared.batches.push(batch) {
             for r in batch.requests {
                 r.ticket.cancel();
             }
         }
     };
+    let mut closed = false;
     loop {
-        match shared.requests.pop_until(assembler.next_deadline()) {
-            Pop::Item(request) => {
-                let now = Instant::now();
-                if let Some(batch) = assembler.offer(request, now) {
-                    dispatch(batch);
+        // Absorb phase: move ingress requests into the assembler.
+        // Block toward the earliest deadline only when nothing is
+        // ready to dispatch; otherwise just sweep up whatever is
+        // immediately available. Absorption is bounded (ingress
+        // capacity again) so a flooding producer still meets
+        // backpressure instead of an unbounded assembler.
+        if !closed && !assembler.has_ready() {
+            if assembler.buffered() < cfg.queue_capacity {
+                match shared.requests.pop_until(assembler.next_deadline()) {
+                    Pop::Item(request) => assembler.offer(request, Instant::now()),
+                    Pop::TimedOut => {}
+                    Pop::Closed => closed = true,
                 }
-                // The pop may have returned after the earliest deadline
-                // passed (e.g. a long engine stall); flush whatever came
-                // due meanwhile so deadlines stay honest.
-                for batch in assembler.take_due(Instant::now()) {
-                    dispatch(batch);
+            } else {
+                // At capacity with nothing ready (many models, none at
+                // its trigger yet): wait toward the earliest deadline
+                // WITHOUT absorbing more, so the ingress queue fills
+                // and producers feel backpressure. Short naps keep
+                // expiry/shutdown latency bounded; the state itself
+                // ends at the oldest set's flush deadline (≤ max_wait).
+                let nap = assembler
+                    .next_deadline()
+                    .map(|d| d.saturating_duration_since(Instant::now()))
+                    .unwrap_or(Duration::from_millis(10))
+                    .min(Duration::from_millis(10));
+                if !nap.is_zero() {
+                    std::thread::sleep(nap);
                 }
             }
-            Pop::TimedOut => {
-                for batch in assembler.take_due(Instant::now()) {
-                    dispatch(batch);
+        }
+        while !closed && assembler.buffered() < cfg.queue_capacity {
+            match shared.requests.pop_until(Some(Instant::now())) {
+                Pop::Item(request) => assembler.offer(request, Instant::now()),
+                Pop::TimedOut => break,
+                Pop::Closed => {
+                    closed = true;
+                    break;
                 }
             }
-            Pop::Closed => {
-                for batch in assembler.drain() {
-                    dispatch(batch);
-                }
-                shared.batches.close();
-                return;
+        }
+        let now = Instant::now();
+        if closed {
+            // Shutdown: accepted work is never dropped — promote every
+            // pending set, expired requests excepted.
+            assembler.flush_all(now);
+        } else {
+            assembler.poll(now);
+        }
+        for request in assembler.take_expired() {
+            shared.stats.record_timeout(&request.model);
+            request.ticket.expire();
+        }
+        if closed {
+            while let Some(batch) = assembler.next_ready() {
+                dispatch(batch);
             }
+            shared.batches.close();
+            return;
+        }
+        // Dispatch phase: hand over at most ONE batch per cycle. The
+        // push blocks while the batch queue is full — that is where
+        // the round-robin rotation becomes service order: a hot model
+        // hands over one batch per turn, then the loop re-absorbs the
+        // ingress queue (so a light model's request reaches the
+        // rotation) before the hot model gets another slot.
+        if let Some(batch) = assembler.next_ready() {
+            dispatch(batch);
         }
     }
 }

@@ -20,6 +20,7 @@ const MAX_LATENCY_SAMPLES: usize = 65_536;
 struct ModelAccum {
     requests: u64,
     batches: u64,
+    timed_out: u64,
     latencies_s: Vec<f64>,
     latency_cursor: usize,
     /// `fill_histogram[k]` counts batches that carried `k + 1` requests.
@@ -35,6 +36,10 @@ pub struct ModelStats {
     pub requests: u64,
     /// Batches drained through the engine.
     pub batches: u64,
+    /// Requests expired past their deadline before reaching a batch
+    /// slot (resolved as [`crate::RequestError::TimedOut`]); not
+    /// counted in `requests` or the latency percentiles.
+    pub timed_out: u64,
     /// Median end-to-end request latency (enqueue → prediction), in
     /// seconds; 0 when no request finished yet.
     pub p50_latency_s: f64,
@@ -50,7 +55,7 @@ pub struct ModelStats {
 }
 
 /// A point-in-time snapshot of a server's statistics, one entry per
-/// model that has served at least one batch.
+/// model that has served (or expired) at least one request.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerStats {
     /// Seconds since the server started.
@@ -82,6 +87,13 @@ impl StatsRecorder {
             start: Instant::now(),
             inner: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Records one request expired past its deadline before it reached
+    /// a batch slot.
+    pub fn record_timeout(&self, model: &str) {
+        let mut inner = self.inner.lock().expect("stats poisoned");
+        inner.entry(model.to_string()).or_default().timed_out += 1;
     }
 
     /// Records one drained batch: its fill and every request's
@@ -128,6 +140,7 @@ impl StatsRecorder {
                     model: model.clone(),
                     requests: a.requests,
                     batches: a.batches,
+                    timed_out: a.timed_out,
                     p50_latency_s: percentile(&sorted, 0.50),
                     p99_latency_s: percentile(&sorted, 0.99),
                     mean_batch_fill: if a.batches == 0 {

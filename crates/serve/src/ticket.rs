@@ -3,13 +3,45 @@
 //! [`crate::Client::submit`] returns a [`Ticket`] immediately; the
 //! prediction arrives later, when a worker drains the batch the request
 //! was assembled into. A ticket resolves **exactly once**: the worker
-//! completes it once (enforced by a panic on double completion), and the
-//! prediction can be taken out once — by [`Ticket::wait`] or the first
+//! completes it once (a second completion of a served ticket is a
+//! serving-layer bug and panics), and the prediction can be taken out
+//! once — by [`Ticket::wait`], [`Ticket::wait_timeout`] or the first
 //! successful [`Ticket::try_take`].
+//!
+//! Two terminal states besides `Taken` exist: **cancelled** (the server
+//! shut down abnormally before serving the request) and **timed out**
+//! (the request's deadline passed while it was still waiting for a
+//! batch slot — see [`crate::Client::submit_with_timeout`]). Both
+//! surface as [`RequestError`] from the deadline-aware waits.
 
+use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use vitcod_engine::Prediction;
+
+/// Why a deadline-aware wait did not produce a prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestError {
+    /// The deadline passed before a prediction arrived — either the
+    /// caller's wait budget ran out, or the batcher expired the request
+    /// server-side (it never occupied a batch slot past its deadline).
+    TimedOut,
+    /// The request will never resolve: the server shut down abnormally
+    /// before serving it, or its prediction was already taken.
+    Cancelled,
+}
+
+impl fmt::Display for RequestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RequestError::TimedOut => write!(f, "request timed out"),
+            RequestError::Cancelled => write!(f, "request cancelled"),
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
 
 enum State {
     /// Not yet served.
@@ -20,6 +52,8 @@ enum State {
     Taken,
     /// The server shut down before serving the request.
     Cancelled,
+    /// The request's deadline expired before it was batched.
+    TimedOut,
 }
 
 pub(crate) struct TicketInner {
@@ -35,13 +69,16 @@ impl TicketInner {
         })
     }
 
-    /// Resolves the ticket. Each ticket is completed exactly once; a
-    /// second completion is a serving-layer bug and panics.
+    /// Resolves the ticket. A pending ticket becomes ready; an expired
+    /// or cancelled ticket swallows the prediction (its client already
+    /// gave up — the race is benign). Completing a *served* ticket
+    /// twice is a serving-layer bug and panics.
     pub fn complete(&self, prediction: Prediction) {
         let mut state = self.state.lock().expect("ticket poisoned");
         match *state {
             State::Pending => *state = State::Ready(prediction),
-            _ => panic!("ticket completed twice"),
+            State::TimedOut | State::Cancelled => return,
+            State::Ready(_) | State::Taken => panic!("ticket completed twice"),
         }
         self.ready.notify_all();
     }
@@ -54,12 +91,23 @@ impl TicketInner {
             self.ready.notify_all();
         }
     }
+
+    /// Marks the ticket as expired (its deadline passed while it was
+    /// still waiting for a batch slot). No-op once resolved.
+    pub fn expire(&self) {
+        let mut state = self.state.lock().expect("ticket poisoned");
+        if matches!(*state, State::Pending) {
+            *state = State::TimedOut;
+            self.ready.notify_all();
+        }
+    }
 }
 
 /// A handle to one in-flight classification request.
 ///
 /// Obtained from [`crate::Client::submit`]; poll with
-/// [`Ticket::try_take`] or block with [`Ticket::wait`].
+/// [`Ticket::try_take`], block with [`Ticket::wait`], or bound the wait
+/// with [`Ticket::wait_timeout`].
 pub struct Ticket {
     inner: Arc<TicketInner>,
 }
@@ -93,8 +141,9 @@ impl Ticket {
     }
 
     /// Blocks until the prediction arrives and takes it. Returns `None`
-    /// if the server shut down before serving the request (or the
-    /// prediction was already taken via [`Ticket::try_take`]).
+    /// if the request will never resolve — server shutdown, a
+    /// server-side deadline expiry, or a prediction already taken via
+    /// [`Ticket::try_take`].
     pub fn wait(self) -> Option<Prediction> {
         let mut state = self.inner.state.lock().expect("ticket poisoned");
         loop {
@@ -108,8 +157,110 @@ impl Ticket {
                         _ => unreachable!(),
                     };
                 }
-                State::Taken | State::Cancelled => return None,
+                State::Taken | State::Cancelled | State::TimedOut => return None,
             }
         }
+    }
+
+    /// Blocks until the prediction arrives — but at most `dur` — and
+    /// takes it. The in-process mirror of the wire path's `timeout_ms`.
+    ///
+    /// # Errors
+    ///
+    /// [`RequestError::TimedOut`] when `dur` elapses first or the
+    /// batcher expired the request server-side;
+    /// [`RequestError::Cancelled`] when the server shut down before
+    /// serving it (or the prediction was already taken). A local
+    /// timeout leaves the ticket intact: a later wait can still take a
+    /// prediction that arrives afterwards.
+    pub fn wait_timeout(&self, dur: Duration) -> Result<Prediction, RequestError> {
+        let deadline = Instant::now() + dur;
+        let mut state = self.inner.state.lock().expect("ticket poisoned");
+        loop {
+            match *state {
+                State::Pending => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(RequestError::TimedOut);
+                    }
+                    let (guard, _) = self
+                        .inner
+                        .ready
+                        .wait_timeout(state, deadline - now)
+                        .expect("ticket poisoned");
+                    state = guard;
+                }
+                State::Ready(_) => {
+                    return match std::mem::replace(&mut *state, State::Taken) {
+                        State::Ready(p) => Ok(p),
+                        _ => unreachable!(),
+                    };
+                }
+                State::TimedOut => return Err(RequestError::TimedOut),
+                State::Taken | State::Cancelled => return Err(RequestError::Cancelled),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prediction() -> Prediction {
+        Prediction {
+            class: 1,
+            logits: vec![0.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_takes_late_prediction() {
+        let inner = TicketInner::new();
+        let ticket = Ticket::new(Arc::clone(&inner));
+        let t = Instant::now();
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(10)),
+            Err(RequestError::TimedOut)
+        );
+        assert!(t.elapsed() >= Duration::from_millis(10));
+        // A local timeout abandons nothing: the ticket still resolves.
+        inner.complete(prediction());
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_secs(1)),
+            Ok(prediction())
+        );
+        // Exactly once.
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(1)),
+            Err(RequestError::Cancelled)
+        );
+    }
+
+    #[test]
+    fn expire_resolves_waiters_and_swallows_late_completion() {
+        let inner = TicketInner::new();
+        let ticket = Ticket::new(Arc::clone(&inner));
+        inner.expire();
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_secs(10)),
+            Err(RequestError::TimedOut)
+        );
+        // A prediction racing in after expiry is dropped, not a panic.
+        inner.complete(prediction());
+        assert!(ticket.try_take().is_none());
+        assert!(ticket.wait().is_none());
+    }
+
+    #[test]
+    fn cancel_beats_expire_and_vice_versa_without_flapping() {
+        let inner = TicketInner::new();
+        inner.cancel();
+        inner.expire(); // no-op on a resolved ticket
+        let ticket = Ticket::new(Arc::clone(&inner));
+        assert_eq!(
+            ticket.wait_timeout(Duration::from_millis(1)),
+            Err(RequestError::Cancelled)
+        );
     }
 }

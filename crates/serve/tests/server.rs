@@ -384,3 +384,180 @@ fn shutdown_drains_accepted_requests() {
         Err(SubmitError::Closed)
     ));
 }
+
+/// The in-process deadline satellites: `submit_with_timeout` +
+/// `Client::wait_timeout` give in-process callers the wire path's
+/// semantics — a request whose deadline passes before it reaches a
+/// batch slot resolves as `TimedOut`, counts in the stats, and stops
+/// occupying capacity.
+#[test]
+fn deadlines_expire_in_process_requests_instead_of_blocking_forever() {
+    use vitcod_serve::RequestError;
+
+    let model = tiny_model(17, false);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            max_batch_size: 64,
+            max_wait: Duration::from_secs(30), // would flush long after the test
+            queue_capacity: 16,
+            workers: 1,
+        },
+    );
+    let client = server.client();
+
+    // Without the new API this wait would block toward the 30s flush;
+    // with it, the batcher expires the request at its 50ms deadline.
+    let t = std::time::Instant::now();
+    let ticket = client
+        .submit_with_timeout("m", tokens_for(&model, 1), Duration::from_millis(50))
+        .unwrap();
+    assert_eq!(
+        client.wait_timeout(&ticket, Duration::from_secs(20)),
+        Err(RequestError::TimedOut)
+    );
+    assert!(
+        t.elapsed() < Duration::from_secs(10),
+        "server-side expiry must beat the flush deadline"
+    );
+
+    // A client-side budget alone also returns, leaving the ticket
+    // valid for a later wait.
+    let ticket = client.submit("m", tokens_for(&model, 2)).unwrap();
+    assert_eq!(
+        client.wait_timeout(&ticket, Duration::from_millis(20)),
+        Err(RequestError::TimedOut)
+    );
+
+    let stats = server.shutdown();
+    let m = stats.model("m").expect("model recorded");
+    assert_eq!(m.timed_out, 1, "only the expired request counts");
+    // The second request was drained at shutdown and served.
+    assert_eq!(m.requests, 1);
+    assert!(ticket.wait_timeout(Duration::from_secs(1)).is_ok());
+}
+
+/// Hot reload, deterministically: tickets submitted before the swap
+/// hold the old engine and must resolve against the old weights even
+/// though they are served after the swap; tickets submitted after it
+/// resolve against the new ones.
+#[test]
+fn reload_keeps_in_flight_requests_on_their_submitted_engine() {
+    let v1 = tiny_model(23, false);
+    let v2 = tiny_model(24, false);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(v1.clone()).build())
+        .unwrap();
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            max_batch_size: 64,
+            max_wait: Duration::from_millis(200),
+            queue_capacity: 64,
+            workers: 1,
+        },
+    );
+    let client = server.client();
+
+    let before: Vec<_> = (0..3)
+        .map(|i| {
+            let t = tokens_for(&v1, 300 + i);
+            (t.clone(), client.submit("m", t).unwrap())
+        })
+        .collect();
+    // The swap happens while those requests pend in the assembler.
+    assert!(server.reload("m", Engine::builder(v2.clone()).build()));
+    let after: Vec<_> = (0..2)
+        .map(|i| {
+            let t = tokens_for(&v2, 400 + i);
+            (t.clone(), client.submit("m", t).unwrap())
+        })
+        .collect();
+
+    let v1_engine = Engine::builder(v1).build();
+    let v2_engine = Engine::builder(v2).build();
+    for (tokens, ticket) in before {
+        let served = ticket.wait().expect("served");
+        assert_eq!(
+            served.logits,
+            v1_engine.infer_one(&tokens).logits,
+            "pre-reload submissions must finish on the old weights"
+        );
+    }
+    for (tokens, ticket) in after {
+        let served = ticket.wait().expect("served");
+        assert_eq!(
+            served.logits,
+            v2_engine.infer_one(&tokens).logits,
+            "post-reload submissions must see the new weights"
+        );
+    }
+    server.shutdown();
+}
+
+/// The graceful-shutdown satellite: producers race `shutdown` from
+/// other threads; every ticket whose submit returned `Ok` must resolve
+/// with a prediction — no accepted request is ever stranded or
+/// cancelled by a clean shutdown.
+#[test]
+fn shutdown_never_strands_an_accepted_ticket() {
+    let model = tiny_model(29, false);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(1),
+            queue_capacity: 4,
+            workers: 2,
+        },
+    );
+
+    const PRODUCERS: u64 = 4;
+    let producers: Vec<_> = (0..PRODUCERS)
+        .map(|p| {
+            let client = server.client();
+            let model = model.clone();
+            std::thread::spawn(move || {
+                let mut accepted = Vec::new();
+                for i in 0..64u64 {
+                    match client.submit("m", tokens_for(&model, p * 1000 + i)) {
+                        Ok(ticket) => accepted.push(ticket),
+                        // The race resolved: the server closed under us.
+                        Err(SubmitError::Closed) => break,
+                        Err(e) => panic!("unexpected submit error: {e}"),
+                    }
+                }
+                accepted
+            })
+        })
+        .collect();
+    // Shut down while the producers are mid-burst.
+    std::thread::sleep(Duration::from_millis(5));
+    let stats = server.shutdown();
+
+    let mut accepted_total = 0u64;
+    for p in producers {
+        for ticket in p.join().unwrap() {
+            accepted_total += 1;
+            assert!(
+                ticket.wait_timeout(Duration::from_secs(30)).is_ok(),
+                "an accepted ticket must be served, not stranded"
+            );
+        }
+    }
+    assert!(accepted_total > 0, "the race should accept some requests");
+    assert_eq!(
+        stats.total_requests(),
+        accepted_total,
+        "drained work must match accepted work"
+    );
+}

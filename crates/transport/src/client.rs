@@ -1,0 +1,64 @@
+//! A minimal blocking HTTP/1.1 client over one keep-alive connection.
+//!
+//! This is the counterpart the repo's own tests, benches and examples
+//! drive the transport with (the offline box has no curl either). It
+//! speaks exactly the subset the server does: one request at a time,
+//! `Content-Length` bodies, keep-alive by default.
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::http::{read_response, HttpResponse};
+
+/// A blocking HTTP client over one keep-alive connection.
+pub struct HttpClient {
+    stream: TcpStream,
+}
+
+impl HttpClient {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect error.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<HttpClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(HttpClient { stream })
+    }
+
+    /// Sends a `GET` and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a malformed response.
+    pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
+        self.request("GET", path, None)
+    }
+
+    /// Sends a `POST` with a JSON body and reads the response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a malformed response.
+    pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
+        self.request("POST", path, Some(body))
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<HttpResponse> {
+        let body = body.unwrap_or("");
+        let head = format!(
+            "{method} {path} HTTP/1.1\r\nHost: vitcod\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body.as_bytes())?;
+        self.stream.flush()?;
+        read_response(&mut self.stream)
+    }
+}

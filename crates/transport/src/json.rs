@@ -1,0 +1,516 @@
+//! A minimal JSON codec for the wire protocol.
+//!
+//! The build box is offline, so the transport carries its own codec
+//! instead of serde: a recursive-descent parser with a **hard nesting
+//! cap** (hostile `[[[[…]]]]` inputs fail cleanly instead of blowing
+//! the stack) and a writer that reuses the artifact layer's escaping
+//! discipline (every control character escaped, lossless round trip).
+//!
+//! Numbers are carried as `f64`. That is lossless for the payloads this
+//! wire moves: an `f32` token or logit widened to `f64` is exact, its
+//! shortest decimal rendering round-trips through `f64` back to the
+//! identical `f32` — which is what lets the end-to-end tests demand
+//! bit-identical logits through the socket.
+//!
+//! Allocation is bounded by the input: containers grow element by
+//! element (no attacker-declared capacity is ever pre-allocated), and
+//! the HTTP layer caps the body size before a byte reaches the parser.
+
+use std::fmt;
+
+/// Deepest container nesting the parser accepts.
+pub const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; key order is preserved, duplicate keys are kept
+    /// (lookups return the first).
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// First value under `key`, if this is an object containing it.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string, if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Number(n) => write_number(*n, out),
+            Json::String(s) => write_string(s, out),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_string(k, out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Compact serialization (`value.to_string()` is the wire encoding).
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// JSON has no NaN/Infinity; a non-finite number (which the serving
+/// layer never produces) degrades to `null` rather than emitting an
+/// unparseable token.
+fn write_number(n: f64, out: &mut String) {
+    if n.is_finite() {
+        // Rust's shortest round-trip rendering: parses back to the
+        // identical f64 (and, for values that came from an f32, back to
+        // the identical f32).
+        out.push_str(&format!("{n}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Why parsing failed, with the byte offset it failed at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "json error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses one JSON document; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// [`JsonError`] on malformed input or nesting deeper than
+/// [`MAX_DEPTH`].
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after the document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH}")));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected character '{}'", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes (the input is valid UTF-8 —
+            // the HTTP layer checked — so copying byte runs is safe).
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("input was validated as UTF-8"),
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => return Err(self.err("raw control character in string")),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, JsonError> {
+        let c = self.peek().ok_or_else(|| self.err("truncated escape"))?;
+        self.pos += 1;
+        Ok(match c {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'u' => {
+                let hi = self.hex4()?;
+                if (0xD800..0xDC00).contains(&hi) {
+                    // Surrogate pair: require the low half.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        if self.peek() == Some(b'u') {
+                            self.pos += 1;
+                            let lo = self.hex4()?;
+                            if (0xDC00..0xE000).contains(&lo) {
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                return char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"));
+                            }
+                        }
+                    }
+                    return Err(self.err("unpaired surrogate escape"));
+                }
+                char::from_u32(hi).ok_or_else(|| self.err("invalid \\u escape"))?
+            }
+            _ => return Err(self.err(format!("unknown escape '\\{}'", c as char))),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("non-ascii \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.err("number without digits"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("decimal point without digits"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("exponent without digits"));
+            }
+        }
+        let text =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
+        let n: f64 = text
+            .parse()
+            .map_err(|_| self.err(format!("unparseable number '{text}'")))?;
+        Ok(Json::Number(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_containers_strings_and_numbers() {
+        let doc = r#"{"a": [1, -2.5, 1e3], "s": "q\"\\\n\u0041\u00e9", "b": true, "n": null}"#;
+        let v = parse(doc).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().as_array().unwrap()[2].as_f64(),
+            Some(1e3)
+        );
+        assert_eq!(v.get("s").unwrap().as_str(), Some("q\"\\\nAé"));
+        assert_eq!(v.get("b").unwrap().as_bool(), Some(true));
+        assert_eq!(v.get("n"), Some(&Json::Null));
+        // Serialize → reparse is identity.
+        assert_eq!(parse(&v.to_string()).unwrap(), v);
+    }
+
+    #[test]
+    fn f32_values_round_trip_bit_exactly() {
+        for bits in [
+            0x3f80_0001u32,
+            0xbf7f_ffff,
+            0x0000_0001,
+            0x7f7f_ffff,
+            0x3333_3333,
+        ] {
+            let x = f32::from_bits(bits);
+            let text = Json::Number(x as f64).to_string();
+            let back = parse(&text).unwrap().as_f64().unwrap() as f32;
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} via {text}");
+        }
+    }
+
+    #[test]
+    fn hostile_nesting_is_rejected_cleanly() {
+        let deep = "[".repeat(MAX_DEPTH + 8) + &"]".repeat(MAX_DEPTH + 8);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // At the cap is still fine.
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn malformed_documents_error_instead_of_panicking() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"abc",
+            "{\"a\":}",
+            "01x",
+            "-",
+            "1.",
+            "1e",
+            "nul",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",
+            "[1] trailing",
+            "NaN",
+            "Infinity",
+            "{\"a\" 1}",
+            "\u{7}",
+        ] {
+            assert!(parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode() {
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap().as_str(), Some("😀"));
+    }
+
+    #[test]
+    fn control_characters_escape_losslessly() {
+        let s = Json::String("a\u{1}b\u{1f}\"\\\n".into());
+        assert_eq!(parse(&s.to_string()).unwrap(), s);
+    }
+}

@@ -1,0 +1,124 @@
+//! Route table: method + path → endpoint.
+//!
+//! | method | path                          | endpoint                    |
+//! |--------|-------------------------------|-----------------------------|
+//! | GET    | `/healthz`                    | liveness + model list       |
+//! | GET    | `/v1/stats`                   | serving statistics snapshot |
+//! | POST   | `/v1/models/{id}/classify`    | classify (single or batch)  |
+//! | POST   | `/v1/models/{id}/reload`      | hot-swap the model artifact |
+
+/// A resolved endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`.
+    Health,
+    /// `GET /v1/stats`.
+    Stats,
+    /// `POST /v1/models/{id}/classify`.
+    Classify {
+        /// The model id from the path.
+        model: String,
+    },
+    /// `POST /v1/models/{id}/reload`.
+    Reload {
+        /// The model id from the path.
+        model: String,
+    },
+}
+
+/// Why a request did not resolve to an endpoint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// No endpoint lives at this path → `404`.
+    NotFound,
+    /// The path exists but not under this method → `405`.
+    MethodNotAllowed,
+}
+
+/// Resolves `method` + `path` (query already stripped) to a [`Route`].
+///
+/// # Errors
+///
+/// [`RouteError::NotFound`] / [`RouteError::MethodNotAllowed`].
+pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
+    let model_action = |path: &str| -> Option<(String, String)> {
+        let rest = path.strip_prefix("/v1/models/")?;
+        let (model, action) = rest.split_once('/')?;
+        if model.is_empty() || action.is_empty() || action.contains('/') {
+            return None;
+        }
+        Some((model.to_string(), action.to_string()))
+    };
+    match path {
+        "/healthz" => {
+            if method == "GET" {
+                Ok(Route::Health)
+            } else {
+                Err(RouteError::MethodNotAllowed)
+            }
+        }
+        "/v1/stats" => {
+            if method == "GET" {
+                Ok(Route::Stats)
+            } else {
+                Err(RouteError::MethodNotAllowed)
+            }
+        }
+        _ => match model_action(path) {
+            Some((model, action)) if action == "classify" || action == "reload" => {
+                if method != "POST" {
+                    return Err(RouteError::MethodNotAllowed);
+                }
+                Ok(if action == "classify" {
+                    Route::Classify { model }
+                } else {
+                    Route::Reload { model }
+                })
+            }
+            _ => Err(RouteError::NotFound),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_resolve() {
+        assert_eq!(route("GET", "/healthz"), Ok(Route::Health));
+        assert_eq!(route("GET", "/v1/stats"), Ok(Route::Stats));
+        assert_eq!(
+            route("POST", "/v1/models/deit-tiny/classify"),
+            Ok(Route::Classify {
+                model: "deit-tiny".into()
+            })
+        );
+        assert_eq!(
+            route("POST", "/v1/models/m/reload"),
+            Ok(Route::Reload { model: "m".into() })
+        );
+    }
+
+    #[test]
+    fn wrong_method_is_405_unknown_path_is_404() {
+        assert_eq!(route("POST", "/healthz"), Err(RouteError::MethodNotAllowed));
+        assert_eq!(
+            route("GET", "/v1/models/m/classify"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(route("GET", "/nope"), Err(RouteError::NotFound));
+        assert_eq!(
+            route("POST", "/v1/models//classify"),
+            Err(RouteError::NotFound)
+        );
+        assert_eq!(
+            route("POST", "/v1/models/m/evict"),
+            Err(RouteError::NotFound)
+        );
+        assert_eq!(
+            route("POST", "/v1/models/a/b/classify"),
+            Err(RouteError::NotFound)
+        );
+    }
+}

@@ -1,0 +1,505 @@
+//! The network front end: a `TcpListener` accept loop feeding a
+//! handler-thread pool, each handler speaking keep-alive HTTP/1.1 over
+//! its connection and driving the serving layer through a
+//! [`vitcod_serve::Client`].
+//!
+//! ```text
+//!  accept thread ──▶ BoundedQueue<TcpStream> ──▶ handler pool
+//!                                                │ parse → route → Client::submit → wait
+//!                                                ▼
+//!                                        vitcod_serve::Server (queue → batcher → engines)
+//! ```
+//!
+//! **Graceful shutdown** ([`HttpServer::shutdown`]) runs front to back:
+//! stop accepting connections, let handlers finish the requests already
+//! on the wire, then drain the serving layer itself — an accepted
+//! request is never dropped, matching [`vitcod_serve::Server`]'s own
+//! contract.
+
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use vitcod_engine::{load_compiled_vit, Engine, Precision};
+use vitcod_serve::queue::{BoundedQueue, Pop};
+use vitcod_serve::{Client, RequestError, Server, ServerStats, SubmitError, Ticket};
+
+use crate::api;
+use crate::http::{self, Limits};
+use crate::json::Json;
+use crate::router::{route, Route, RouteError};
+
+/// How often blocked socket reads wake up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Transport tuning knobs; see [`HttpServer::bind`].
+#[derive(Debug, Clone)]
+pub struct TransportConfig {
+    /// Handler threads serving connections (each runs one connection at
+    /// a time; accepted connections beyond the pool wait in a bounded
+    /// queue).
+    pub handler_threads: usize,
+    /// HTTP parser caps (header section and `Content-Length`).
+    pub limits: Limits,
+    /// Deadline applied to classify requests that carry no
+    /// `timeout_ms`; `None` waits indefinitely.
+    pub default_timeout: Option<Duration>,
+    /// Idle keep-alive connections (and stalled mid-request reads) are
+    /// closed after this long without a byte.
+    pub idle_timeout: Duration,
+    /// Directory `POST …/reload` may load `*.vitcod` artifacts from.
+    /// `None` (the default) disables wire-triggered reloads entirely:
+    /// an unauthenticated endpoint that reads operator-chosen paths
+    /// must be opted into, and even then stays confined to this root.
+    /// In-process [`Server::reload`] is unaffected.
+    pub artifact_root: Option<std::path::PathBuf>,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self {
+            handler_threads: 4,
+            limits: Limits::default(),
+            default_timeout: None,
+            idle_timeout: Duration::from_secs(30),
+            artifact_root: None,
+        }
+    }
+}
+
+struct TransportShared {
+    client: Client,
+    config: TransportConfig,
+    shutting_down: AtomicBool,
+    conns: BoundedQueue<TcpStream>,
+}
+
+/// The HTTP front end over a [`vitcod_serve::Server`]; see the
+/// [module docs](self).
+pub struct HttpServer {
+    shared: Arc<TransportShared>,
+    server: Option<Server>,
+    addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    handlers: Vec<JoinHandle<()>>,
+}
+
+impl HttpServer {
+    /// Binds `addr` (use port `0` for an ephemeral port) and starts
+    /// serving `server` over it, taking ownership: the transport is now
+    /// the process's front door, and [`HttpServer::shutdown`] drains
+    /// both layers in order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.handler_threads` is zero.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        server: Server,
+        config: TransportConfig,
+    ) -> std::io::Result<HttpServer> {
+        assert!(config.handler_threads >= 1, "handler_threads must be >= 1");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(TransportShared {
+            client: server.client(),
+            conns: BoundedQueue::new(config.handler_threads * 2),
+            config,
+            shutting_down: AtomicBool::new(false),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("vitcod-transport-accept".into())
+                .spawn(move || run_acceptor(&shared, &listener))
+                .expect("spawn acceptor")
+        };
+        let handlers = (0..shared.config.handler_threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("vitcod-transport-handler-{i}"))
+                    .spawn(move || run_handler(&shared))
+                    .expect("spawn handler")
+            })
+            .collect();
+        Ok(HttpServer {
+            shared,
+            server: Some(server),
+            addr,
+            acceptor: Some(acceptor),
+            handlers,
+        })
+    }
+
+    /// The bound address (the ephemeral port when bound to port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A consistent snapshot of the serving statistics.
+    pub fn stats(&self) -> ServerStats {
+        self.shared.client.stats()
+    }
+
+    /// Graceful shutdown: stops accepting connections, lets handlers
+    /// finish the requests already on the wire, then drains the serving
+    /// layer and returns its final statistics.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop_transport();
+        self.server
+            .take()
+            .expect("server present until shutdown")
+            .shutdown()
+    }
+
+    fn stop_transport(&mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a wake-up connection; it re-checks
+        // the flag before handing anything to the pool.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            if h.join().is_err() {
+                eprintln!("vitcod-transport: acceptor thread panicked");
+            }
+        }
+        self.shared.conns.close();
+        for h in self.handlers.drain(..) {
+            if h.join().is_err() {
+                eprintln!("vitcod-transport: handler thread panicked");
+            }
+        }
+        // Connections still queued were never read from; dropping them
+        // resets the socket, which is the correct refusal signal.
+        drop(self.shared.conns.drain_now());
+    }
+}
+
+impl Drop for HttpServer {
+    fn drop(&mut self) {
+        if self.acceptor.is_some() || !self.handlers.is_empty() {
+            self.stop_transport();
+        }
+        // Dropping the inner `Server` (if shutdown() did not take it)
+        // drains the serving layer via its own Drop.
+    }
+}
+
+fn run_acceptor(shared: &TransportShared, listener: &TcpListener) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                if shared.conns.push(stream).is_err() {
+                    return;
+                }
+            }
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                // Transient accept errors (EMFILE, aborted handshakes)
+                // must not kill the front door.
+                std::thread::sleep(POLL_INTERVAL);
+            }
+        }
+    }
+}
+
+fn run_handler(shared: &TransportShared) {
+    loop {
+        match shared.conns.pop_until(None) {
+            Pop::Item(stream) => handle_connection(shared, stream),
+            Pop::Closed => return,
+            Pop::TimedOut => unreachable!("no deadline on the connection queue"),
+        }
+    }
+}
+
+/// Serves one keep-alive connection until it closes, errors, idles out,
+/// or the transport shuts down.
+fn handle_connection(shared: &TransportShared, mut stream: TcpStream) {
+    // Short read timeouts let the loop poll the shutdown flag; the
+    // idle budget is enforced separately.
+    if stream.set_read_timeout(Some(POLL_INTERVAL)).is_err() {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut last_byte = Instant::now();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        match http::parse_request(&buf, &shared.config.limits) {
+            Ok(Some((request, consumed))) => {
+                buf.drain(..consumed);
+                let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
+                let close = !request.keep_alive || shutting_down;
+                let (status, body) = dispatch(shared, &request);
+                if http::write_response(&mut stream, status, &body, close).is_err() || close {
+                    return;
+                }
+                last_byte = Instant::now();
+            }
+            Ok(None) => {
+                let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
+                if shutting_down && buf.is_empty() {
+                    // Idle between requests at shutdown: nothing on the
+                    // wire is abandoned by closing now.
+                    return;
+                }
+                // A half-received request gets a short grace at
+                // shutdown instead of the full idle budget.
+                let idle_budget = if shutting_down {
+                    shared.config.idle_timeout.min(Duration::from_millis(500))
+                } else {
+                    shared.config.idle_timeout
+                };
+                if last_byte.elapsed() >= idle_budget {
+                    if !buf.is_empty() {
+                        let _ = http::write_response(
+                            &mut stream,
+                            408,
+                            &api::error_json("timed out waiting for the rest of the request"),
+                            true,
+                        );
+                    }
+                    return;
+                }
+                match stream.read(&mut chunk) {
+                    Ok(0) => {
+                        if !buf.is_empty() {
+                            let _ = http::write_response(
+                                &mut stream,
+                                400,
+                                &api::error_json("connection closed mid-request"),
+                                true,
+                            );
+                        }
+                        return;
+                    }
+                    Ok(n) => {
+                        buf.extend_from_slice(&chunk[..n]);
+                        last_byte = Instant::now();
+                    }
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut => {}
+                    Err(_) => return,
+                }
+            }
+            Err(e) => {
+                let _ = http::write_response(
+                    &mut stream,
+                    e.status(),
+                    &api::error_json(&e.to_string()),
+                    true,
+                );
+                let _ = stream.shutdown(Shutdown::Both);
+                return;
+            }
+        }
+    }
+}
+
+/// Routes and executes one request; infallible by construction (every
+/// failure becomes a status + JSON error body).
+fn dispatch(shared: &TransportShared, request: &http::HttpRequest) -> (u16, String) {
+    match route(&request.method, &request.path) {
+        Err(RouteError::NotFound) => (404, api::error_json("no such endpoint")),
+        Err(RouteError::MethodNotAllowed) => {
+            (405, api::error_json("method not allowed on this endpoint"))
+        }
+        Ok(Route::Health) => {
+            let body =
+                api::health_json(&shared.client.model_ids(), shared.client.queued_requests());
+            (200, body.to_string())
+        }
+        Ok(Route::Stats) => (200, api::stats_json(&shared.client.stats()).to_string()),
+        Ok(Route::Classify { model }) => match parse_body(request) {
+            Ok(body) => classify(shared, &model, &body),
+            Err(resp) => resp,
+        },
+        Ok(Route::Reload { model }) => match parse_body(request) {
+            Ok(body) => reload(shared, &model, &body),
+            Err(resp) => resp,
+        },
+    }
+}
+
+/// Decodes the request body as a JSON document (UTF-8 checked first).
+fn parse_body(request: &http::HttpRequest) -> Result<Json, (u16, String)> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| (400, api::error_json("body is not valid UTF-8")))?;
+    if text.trim().is_empty() {
+        return Err((400, api::error_json("empty body; expected a JSON object")));
+    }
+    crate::json::parse(text).map_err(|e| (400, api::error_json(&e.to_string())))
+}
+
+fn submit_status(err: &SubmitError) -> u16 {
+    match err {
+        SubmitError::UnknownModel(_) => 404,
+        SubmitError::ShapeMismatch { .. } => 400,
+        SubmitError::QueueFull => 503,
+        SubmitError::Closed => 503,
+    }
+}
+
+fn classify(shared: &TransportShared, model: &str, body: &Json) -> (u16, String) {
+    let payload = match api::parse_classify(body) {
+        Ok(p) => p,
+        Err(e) => return (400, api::error_json(&e.to_string())),
+    };
+    let timeout = payload
+        .timeout_ms
+        .map(Duration::from_millis)
+        .or(shared.config.default_timeout);
+    // Submit every sample before waiting on any: the serving layer sees
+    // the whole burst at once, so the dynamic batcher can co-batch it.
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(payload.items.len());
+    for tokens in payload.items {
+        let submitted = match timeout {
+            Some(t) => shared.client.submit_with_timeout(model, tokens, t),
+            None => shared.client.submit(model, tokens),
+        };
+        match submitted {
+            Ok(ticket) => tickets.push(ticket),
+            // Already-submitted samples of a failed batch are still
+            // served (their tickets resolve unobserved); the request as
+            // a whole reports the error.
+            Err(e) => return (submit_status(&e), api::error_json(&e.to_string())),
+        }
+    }
+    let mut results = Vec::with_capacity(tickets.len());
+    let mut timed_out = 0usize;
+    for ticket in &tickets {
+        match wait_for(shared, ticket, timeout) {
+            Ok(p) => results.push(api::prediction_json(&p)),
+            Err(RequestError::TimedOut) => {
+                timed_out += 1;
+                results.push(Json::Object(vec![(
+                    "error".into(),
+                    Json::String("timed out".into()),
+                )]));
+            }
+            Err(RequestError::Cancelled) => {
+                return (503, api::error_json("server shut down before serving"));
+            }
+        }
+    }
+    if !payload.batch {
+        if timed_out > 0 {
+            return (504, api::error_json("timed out"));
+        }
+        return (200, results.remove(0).to_string());
+    }
+    let body = Json::Object(vec![("results".into(), Json::Array(results))]);
+    (200, body.to_string())
+}
+
+/// Waits for one ticket, honouring the deadline when there is one.
+fn wait_for(
+    shared: &TransportShared,
+    ticket: &Ticket,
+    timeout: Option<Duration>,
+) -> Result<vitcod_engine::Prediction, RequestError> {
+    match timeout {
+        Some(t) => {
+            // Slack over the submit-time deadline: a request batched
+            // just before its deadline is served to completion rather
+            // than abandoned mid-inference, so give the engine a beat
+            // to deliver before reporting the timeout.
+            let wait = t + Duration::from_millis(50);
+            shared.client.wait_timeout(ticket, wait)
+        }
+        None => loop {
+            // Genuinely indefinite, in slices. The request was
+            // submitted without a deadline, so the batcher can never
+            // expire it server-side: a `TimedOut` here can only mean
+            // this local slice elapsed, and looping is safe.
+            match shared.client.wait_timeout(ticket, Duration::from_secs(60)) {
+                Err(RequestError::TimedOut) => continue,
+                resolved => return resolved,
+            }
+        },
+    }
+}
+
+fn reload(shared: &TransportShared, model: &str, body: &Json) -> (u16, String) {
+    // The wire may only swap models that already exist (no remote
+    // registry growth) …
+    if !shared.client.model_ids().iter().any(|id| id == model) {
+        return (404, api::error_json(&format!("unknown model id '{model}'")));
+    }
+    // … and only from artifacts inside the configured root: an
+    // unauthenticated endpoint must not read operator-arbitrary paths.
+    let root = match &shared.config.artifact_root {
+        Some(root) => root,
+        None => {
+            return (
+                403,
+                api::error_json("reload over the wire is disabled: no artifact_root configured"),
+            )
+        }
+    };
+    let path = match body.get("path").and_then(Json::as_str) {
+        Some(p) => p,
+        None => return (400, api::error_json("body must carry 'path'")),
+    };
+    // Canonicalize both sides (resolving symlinks and `..`) before the
+    // containment check.
+    let confined = std::fs::canonicalize(root).ok().and_then(|root| {
+        let resolved = std::fs::canonicalize(path).ok()?;
+        resolved.starts_with(&root).then_some(resolved)
+    });
+    let resolved = match confined {
+        Some(p) => p,
+        None => {
+            return (
+                403,
+                api::error_json(&format!(
+                    "'{path}' is not an existing artifact inside the configured artifact root"
+                )),
+            )
+        }
+    };
+    let text = match std::fs::read_to_string(&resolved) {
+        Ok(t) => t,
+        Err(e) => return (400, api::error_json(&format!("cannot read '{path}': {e}"))),
+    };
+    let (compiled, precision) = match load_compiled_vit(&text) {
+        Ok(x) => x,
+        Err(e) => {
+            return (
+                400,
+                api::error_json(&format!("artifact '{path}' invalid: {e}")),
+            )
+        }
+    };
+    let engine = Engine::builder(compiled).precision(precision).build();
+    let replaced = shared.client.reload(model, engine);
+    let body = Json::Object(vec![
+        ("model".into(), Json::String(model.into())),
+        ("replaced".into(), Json::Bool(replaced)),
+        (
+            "precision".into(),
+            Json::String(
+                match precision {
+                    Precision::Fp32 => "fp32",
+                    Precision::Int8 => "int8",
+                }
+                .into(),
+            ),
+        ),
+    ]);
+    (200, body.to_string())
+}

@@ -1,0 +1,170 @@
+//! Malformed-wire-input suite, mirroring the artifact layer's
+//! corrupt-input tests: truncated headers, oversized `Content-Length`,
+//! bad UTF-8, hostile JSON nesting — every one must come back as a
+//! clean `400` with a JSON error body, with allocation bounded by the
+//! parser caps (an oversized body is rejected from the head alone,
+//! before a body byte is read).
+
+use std::io::Write;
+use std::net::{Shutdown, TcpStream};
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vitcod_autograd::ParamStore;
+use vitcod_engine::{CompiledVit, Engine};
+use vitcod_model::{ViTConfig, VisionTransformer};
+use vitcod_serve::{BatchConfig, ModelRegistry, Server};
+use vitcod_transport::{http, HttpClient, HttpServer, TransportConfig};
+
+fn start_http() -> HttpServer {
+    let cfg = ViTConfig::deit_tiny().reduced_for_training();
+    let mut store = ParamStore::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let vit = VisionTransformer::new(&cfg, 8, 4, &mut store, &mut rng);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "m",
+            Engine::builder(CompiledVit::from_parts(&vit, &store)).build(),
+        )
+        .unwrap();
+    let server = Server::start(registry, BatchConfig::default());
+    HttpServer::bind(
+        "127.0.0.1:0",
+        server,
+        TransportConfig {
+            idle_timeout: Duration::from_secs(2),
+            ..TransportConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Sends raw bytes, half-closes the write side, and reads the response.
+fn send_raw(server: &HttpServer, bytes: &[u8]) -> http::HttpResponse {
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    stream.write_all(bytes).unwrap();
+    stream.shutdown(Shutdown::Write).unwrap();
+    http::read_response(&mut stream).expect("server must respond, not drop")
+}
+
+#[test]
+fn truncated_headers_get_a_clean_400() {
+    let server = start_http();
+    // The peer gives up mid-header; the server answers instead of
+    // hanging or dropping silently.
+    let resp = send_raw(
+        &server,
+        b"POST /v1/models/m/classify HTTP/1.1\r\nContent-Le",
+    );
+    assert_eq!(resp.status, 400);
+    assert!(
+        resp.json().unwrap().get("error").is_some(),
+        "error body must be JSON: {}",
+        resp.body_str()
+    );
+    // Same for a body cut short of its Content-Length.
+    let resp = send_raw(
+        &server,
+        b"POST /v1/models/m/classify HTTP/1.1\r\nContent-Length: 50\r\n\r\n{\"tokens\"",
+    );
+    assert_eq!(resp.status, 400);
+    server.shutdown();
+}
+
+#[test]
+fn oversized_content_length_is_rejected_from_the_head_alone() {
+    let server = start_http();
+    let mut stream = TcpStream::connect(server.local_addr()).unwrap();
+    // Claim a 10 GiB body — far past the 16 MiB cap — and send none of
+    // it. The refusal must come immediately, from the head, without
+    // the server buffering toward the claim.
+    let t = Instant::now();
+    stream
+        .write_all(b"POST /v1/models/m/classify HTTP/1.1\r\nContent-Length: 10737418240\r\n\r\n")
+        .unwrap();
+    let resp = http::read_response(&mut stream).unwrap();
+    assert_eq!(resp.status, 400);
+    assert!(
+        resp.body_str().contains("exceeds the body limit"),
+        "{}",
+        resp.body_str()
+    );
+    assert!(
+        t.elapsed() < Duration::from_secs(1),
+        "rejection must not wait on the declared body"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn oversized_header_section_is_capped() {
+    let server = start_http();
+    let mut raw = b"GET /healthz HTTP/1.1\r\n".to_vec();
+    for i in 0..2048 {
+        raw.extend_from_slice(format!("X-Filler-{i}: aaaaaaaaaaaaaaaa\r\n").as_bytes());
+    }
+    raw.extend_from_slice(b"\r\n");
+    let resp = send_raw(&server, &raw);
+    assert_eq!(resp.status, 400);
+    assert!(resp.body_str().contains("header"), "{}", resp.body_str());
+    server.shutdown();
+}
+
+#[test]
+fn bad_utf8_bodies_and_garbage_request_lines_are_400s() {
+    let server = start_http();
+    // Invalid UTF-8 in the body of an otherwise well-formed request.
+    let mut raw = b"POST /v1/models/m/classify HTTP/1.1\r\nContent-Length: 4\r\n\r\n".to_vec();
+    raw.extend_from_slice(&[0xff, 0xfe, 0x80, 0x81]);
+    let resp = send_raw(&server, &raw);
+    assert_eq!(resp.status, 400);
+    assert!(resp.body_str().contains("UTF-8"), "{}", resp.body_str());
+
+    for raw in [
+        &b"TOTAL GARBAGE\r\n\r\n"[..],
+        b"POST /v1/models/m/classify HTTP/9.9\r\n\r\n",
+        b"POST /v1/models/m/classify HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+        b"POST /v1/models/m/classify HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+    ] {
+        assert_eq!(send_raw(&server, raw).status, 400);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn hostile_json_is_a_400_not_a_stack_overflow() {
+    let server = start_http();
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    // Nesting far past the codec cap.
+    let hostile = "[".repeat(100_000);
+    let resp = client
+        .post("/v1/models/m/classify", &hostile)
+        .expect("connection survives in the sense of getting a response");
+    assert_eq!(resp.status, 400);
+    assert!(resp.body_str().contains("nesting"), "{}", resp.body_str());
+
+    // Structurally valid JSON, wrong shapes: still 400 with the field
+    // named, on a fresh connection (parse failures close the socket).
+    let mut client = HttpClient::connect(server.local_addr()).unwrap();
+    for (body, needle) in [
+        ("{", "json"),
+        ("null", "tokens"),
+        (r#"{"tokens": [[1], [1, 2]]}"#, "ragged"),
+        (r#"{"batch": []}"#, "empty"),
+        ("", "empty body"),
+    ] {
+        let resp = client.post("/v1/models/m/classify", body).unwrap();
+        assert_eq!(resp.status, 400, "{body}");
+        assert!(
+            resp.body_str().to_lowercase().contains(needle),
+            "{body} -> {}",
+            resp.body_str()
+        );
+    }
+    // The model is unharmed by any of it.
+    let health = client.get("/healthz").unwrap();
+    assert_eq!(health.status, 200);
+    server.shutdown();
+}

@@ -17,9 +17,14 @@
 //!   save/load) and the batched, tape-free [`engine::Engine`] with
 //!   truly-sparse attention;
 //! * [`serve`] — the serving layer: [`serve::Server`]'s bounded request
-//!   queue with dynamic batching, the multi-model
+//!   queue with dynamic batching (request deadlines, round-robin
+//!   per-model fairness, hot engine reload), the multi-model
 //!   [`serve::ModelRegistry`] (loadable from disk), and per-model
 //!   latency/throughput statistics;
+//! * [`transport`] — the network front end: a dependency-free
+//!   HTTP/1.1 server ([`transport::HttpServer`]) over the serving
+//!   layer, with classify/stats/health/reload endpoints and a minimal
+//!   [`transport::HttpClient`];
 //! * [`baselines`] — CPU/EdgeGPU/GPU platform models plus the SpAtten
 //!   and Sanger simulators.
 //!
@@ -50,3 +55,4 @@ pub use vitcod_model as model;
 pub use vitcod_serve as serve;
 pub use vitcod_sim as sim;
 pub use vitcod_tensor as tensor;
+pub use vitcod_transport as transport;
