@@ -50,4 +50,4 @@ mod tape;
 pub use nn::{LayerNorm, Linear};
 pub use optim::{cosine_lr, Adam, Optimizer, Sgd};
 pub use params::{ParamId, ParamStore};
-pub use tape::{Tape, Var, LAYERNORM_EPS};
+pub use tape::{HeadExec, Tape, Var, LAYERNORM_EPS};

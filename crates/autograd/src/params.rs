@@ -109,6 +109,14 @@ impl ParamStore {
         (0..self.slots.len()).map(ParamId)
     }
 
+    /// Scales every accumulated gradient by `s` (e.g. `1 / batch` to
+    /// turn a sum of per-sample gradients into a mean).
+    pub fn scale_grads(&mut self, s: f32) {
+        for slot in &mut self.slots {
+            slot.grad.map_inplace(|v| v * s);
+        }
+    }
+
     /// Global L2 norm of all gradients, for gradient clipping.
     pub fn grad_norm(&self) -> f32 {
         self.slots

@@ -6,6 +6,9 @@
 //! while the kernel layer decides *how* (scalar reference vs blocked
 //! parallel — see [`vitcod_tensor::Backend`]).
 
+use std::sync::Arc;
+
+use vitcod_tensor::sparse::{self, CscMatrix, SparseScores};
 use vitcod_tensor::{gelu, gelu_grad, kernels, Matrix};
 
 use crate::params::{ParamId, ParamStore};
@@ -19,6 +22,31 @@ pub const LAYERNORM_EPS: f32 = 1e-5;
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Var(usize);
+
+/// Per-head execution plan of a [`Tape::batched_multi_head_attention`]
+/// node. Plans are `Arc`-shared so a model can build them once (mask
+/// freeze) and every training step's tape references them without
+/// re-materialising an `n × n` bias or recompiling a CSC index per
+/// sample.
+#[derive(Debug, Clone)]
+pub enum HeadExec {
+    /// Full dense attention.
+    Dense,
+    /// Dense attention with an additive mask bias (`0` kept, `-inf`
+    /// pruned) — the finetuning path before the mask is frozen sparse.
+    Masked(Arc<Matrix>),
+    /// Truly-sparse attention over a fixed CSC index: the head runs the
+    /// accelerator's SDDMM → sparse-softmax → SpMM dataflow in both
+    /// passes, so its training cost scales with `nnz` instead of `n²`.
+    Sparse(Arc<CscMatrix>),
+}
+
+/// Cached forward probabilities of one `(sample, head)` attention task.
+#[derive(Debug, Clone)]
+enum HeadProbs {
+    Dense(Matrix),
+    Sparse(SparseScores),
+}
 
 /// Recorded operator. Parents are earlier tape nodes, so a single reverse
 /// sweep in index order is a valid topological traversal.
@@ -87,6 +115,33 @@ enum OpKind {
         dk: usize,
         scale: f32,
         probs: Vec<Matrix>,
+    },
+    /// Fused batched multi-head attention over `batch` vertically stacked
+    /// samples of `n` tokens each: `(sample, head)` tasks fan out across
+    /// worker threads, each head following its [`HeadExec`] plan (dense,
+    /// dense-masked, or the truly-sparse CSC dataflow). Caches one
+    /// probability record per task, sample-major.
+    BatchedAttention {
+        q: Var,
+        k: Var,
+        v: Var,
+        dk: usize,
+        scale: f32,
+        batch: usize,
+        heads: Vec<HeadExec>,
+        probs: Vec<HeadProbs>,
+    },
+    /// Vertical tiling: `a` repeated `times` times (broadcasting shared
+    /// per-sample state, e.g. positional embeddings, over a batch).
+    TileRows {
+        a: Var,
+        times: usize,
+    },
+    /// Row gather `out[i, :] = a[rows[i], :]` (batched class-token
+    /// readout); backward scatter-adds in ascending output-row order.
+    GatherRows {
+        a: Var,
+        rows: Vec<usize>,
     },
     /// Mixes the head dimension: input `n × (h·dk)`, weight `h_in × h_out`,
     /// output `n × (h_out·dk)`. This is the ViTCoD auto-encoder primitive.
@@ -357,6 +412,97 @@ impl Tape {
         )
     }
 
+    /// Fused multi-head attention over a whole minibatch: `q`/`k`/`v`
+    /// hold `batch` samples of `n` tokens stacked vertically
+    /// (`(batch·n) × (h·dk)`), and every `(sample, head)` pair attends
+    /// independently inside its own block — one tape node per step
+    /// instead of one per sample, which is what lets a training step
+    /// amortise weight imports and per-op overhead across the batch.
+    ///
+    /// `heads[h]` selects each head's execution plan ([`HeadExec`]):
+    /// dense, dense with an additive `-inf` mask bias, or the
+    /// truly-sparse CSC dataflow whose forward *and* backward cost scale
+    /// with the index's `nnz`. Pass an empty slice for all-dense heads.
+    /// Tasks fan out across worker threads in both passes; outputs and
+    /// gradients are assembled in fixed `(sample, head)` order, so
+    /// results are bit-identical regardless of the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if Q/K/V shapes differ, the row count is not a multiple of
+    /// `batch`, `q.cols()` is not a multiple of `dk`, `heads` is
+    /// non-empty but does not cover exactly every head, or a plan's
+    /// mask/index size differs from the per-sample token count.
+    #[allow(clippy::too_many_arguments)]
+    pub fn batched_multi_head_attention(
+        &mut self,
+        q: Var,
+        k: Var,
+        v: Var,
+        dk: usize,
+        scale: f32,
+        batch: usize,
+        heads: &[HeadExec],
+    ) -> Var {
+        let qv = &self.nodes[q.0].value;
+        let kv = &self.nodes[k.0].value;
+        let vv = &self.nodes[v.0].value;
+        let heads = normalize_head_plans(qv, kv, vv, dk, batch, heads);
+        let (out, probs) = batched_attention_forward(qv, kv, vv, dk, scale, batch, &heads);
+        self.push(
+            out,
+            OpKind::BatchedAttention {
+                q,
+                k,
+                v,
+                dk,
+                scale,
+                batch,
+                heads,
+                probs,
+            },
+        )
+    }
+
+    /// Repeats `a` vertically `times` times (broadcast over a batch);
+    /// the backward pass sums the tile gradients in ascending tile
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `times == 0`.
+    pub fn tile_rows(&mut self, a: Var, times: usize) -> Var {
+        assert!(times >= 1, "tile_rows needs at least one repetition");
+        let av = &self.nodes[a.0].value;
+        let parts: Vec<&Matrix> = (0..times).map(|_| av).collect();
+        let value = Matrix::vcat(&parts);
+        self.push(value, OpKind::TileRows { a, times })
+    }
+
+    /// Gathers rows of `a`: `out[i, :] = a[rows[i], :]` (batched
+    /// class-token readout). Duplicate indices are allowed; their
+    /// gradients accumulate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is empty or an index is out of bounds.
+    pub fn gather_rows(&mut self, a: Var, rows: &[usize]) -> Var {
+        assert!(!rows.is_empty(), "gather_rows needs at least one row");
+        let av = &self.nodes[a.0].value;
+        let mut value = Matrix::zeros(rows.len(), av.cols());
+        for (i, &r) in rows.iter().enumerate() {
+            assert!(r < av.rows(), "row {r} out of bounds");
+            value.row_mut(i).copy_from_slice(av.row(r));
+        }
+        self.push(
+            value,
+            OpKind::GatherRows {
+                a,
+                rows: rows.to_vec(),
+            },
+        )
+    }
+
     /// Attention probabilities of the most recent [`Self::masked_attention`]
     /// node `attn`; used to extract averaged attention maps for the
     /// split-and-conquer algorithm.
@@ -385,7 +531,99 @@ impl Tape {
                 .get(head)
                 .unwrap_or_else(|| panic!("head {head} out of range ({} heads)", probs.len())),
             OpKind::MaskedAttention { probs, .. } if head == 0 => probs,
+            OpKind::BatchedAttention {
+                batch: 1, probs, ..
+            } => match probs
+                .get(head)
+                .unwrap_or_else(|| panic!("head {head} out of range ({} heads)", probs.len()))
+            {
+                HeadProbs::Dense(m) => m,
+                HeadProbs::Sparse(_) => {
+                    panic!("head {head} runs the sparse dataflow; use head_probs_dense")
+                }
+            },
             other => panic!("head_probs on non-attention node: {other:?}"),
+        }
+    }
+
+    /// Borrowed attention probabilities of `(sample, head)` when the
+    /// head's probabilities are cached densely; `None` for heads on the
+    /// sparse dataflow (densify those with [`Self::head_probs_dense`]).
+    /// Lets accumulation loops over dense heads avoid one `n × n` copy
+    /// per head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attn` is not an attention node or `sample`/`head` are
+    /// out of range.
+    pub fn try_head_probs(&self, attn: Var, sample: usize, head: usize) -> Option<&Matrix> {
+        match &self.nodes[attn.0].op {
+            OpKind::BatchedAttention {
+                batch,
+                heads,
+                probs,
+                ..
+            } => {
+                assert!(
+                    sample < *batch,
+                    "sample {sample} out of range ({batch} samples)"
+                );
+                assert!(head < heads.len(), "head {head} out of range");
+                match &probs[sample * heads.len() + head] {
+                    HeadProbs::Dense(m) => Some(m),
+                    HeadProbs::Sparse(_) => None,
+                }
+            }
+            OpKind::MultiHeadAttention { probs, .. } if sample == 0 => Some(&probs[head]),
+            OpKind::MaskedAttention { probs, .. } if sample == 0 && head == 0 => Some(probs),
+            other => panic!("try_head_probs on incompatible node: {other:?}"),
+        }
+    }
+
+    /// Attention probabilities of `(sample, head)` of a batched attention
+    /// node as an owned dense matrix; sparse heads are densified (zeros
+    /// at pruned positions). Also accepts the single-sample attention ops
+    /// at `sample == 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attn` is not an attention node or `sample`/`head` are
+    /// out of range.
+    pub fn head_probs_dense(&self, attn: Var, sample: usize, head: usize) -> Matrix {
+        match &self.nodes[attn.0].op {
+            OpKind::BatchedAttention {
+                batch,
+                heads,
+                probs,
+                ..
+            } => {
+                assert!(
+                    sample < *batch,
+                    "sample {sample} out of range ({batch} samples)"
+                );
+                assert!(head < heads.len(), "head {head} out of range");
+                match &probs[sample * heads.len() + head] {
+                    HeadProbs::Dense(m) => m.clone(),
+                    HeadProbs::Sparse(s) => s.to_dense(),
+                }
+            }
+            OpKind::MultiHeadAttention { probs, .. } if sample == 0 => probs[head].clone(),
+            OpKind::MaskedAttention { probs, .. } if sample == 0 && head == 0 => probs.clone(),
+            other => panic!("head_probs_dense on incompatible node: {other:?}"),
+        }
+    }
+
+    /// Number of stacked samples recorded by an attention node (1 for
+    /// the single-sample ops).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `attn` is not an attention node.
+    pub fn attention_batch(&self, attn: Var) -> usize {
+        match &self.nodes[attn.0].op {
+            OpKind::BatchedAttention { batch, .. } => *batch,
+            OpKind::MultiHeadAttention { .. } | OpKind::MaskedAttention { .. } => 1,
+            other => panic!("attention_batch on non-attention node: {other:?}"),
         }
     }
 
@@ -398,6 +636,7 @@ impl Tape {
     pub fn num_heads(&self, attn: Var) -> usize {
         match &self.nodes[attn.0].op {
             OpKind::MultiHeadAttention { probs, .. } => probs.len(),
+            OpKind::BatchedAttention { heads, .. } => heads.len(),
             OpKind::MaskedAttention { .. } => 1,
             other => panic!("num_heads on non-attention node: {other:?}"),
         }
@@ -585,48 +824,54 @@ impl Tape {
         self.nodes[root.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
 
         for i in (0..self.nodes.len()).rev() {
-            let Some(gout) = self.nodes[i].grad.clone() else {
+            if self.nodes[i].grad.is_none() {
                 continue;
-            };
-            // Ops are cloned cheaply except for cached matrices, which are
-            // needed by the backward formulas anyway.
-            let op = self.nodes[i].op.clone();
-            match op {
+            }
+            // Move the upstream gradient and the op out of the node for
+            // the duration of the arm (both are restored afterwards):
+            // the backward formulas then read cached matrices and parent
+            // values by reference instead of deep-copying them — at
+            // training scale those clones (attention probabilities,
+            // LayerNorm activations, GEMM operands) dominate the sweep's
+            // memory traffic.
+            let gout = self.nodes[i].grad.take().expect("checked above");
+            let op = std::mem::replace(&mut self.nodes[i].op, OpKind::Leaf { param: None });
+            match &op {
                 OpKind::Leaf { .. } => {}
-                OpKind::MatMul { a, b } => {
-                    let av = self.nodes[a.0].value.clone();
-                    let bv = self.nodes[b.0].value.clone();
-                    self.add_grad(a, gout.matmul_nt(&bv));
-                    self.add_grad(b, av.matmul_tn(&gout));
+                &OpKind::MatMul { a, b } => {
+                    let ga = gout.matmul_nt(&self.nodes[b.0].value);
+                    let gb = self.nodes[a.0].value.matmul_tn(&gout);
+                    self.add_grad(a, ga);
+                    self.add_grad(b, gb);
                 }
-                OpKind::Add { a, b } => {
+                &OpKind::Add { a, b } => {
                     self.add_grad(a, gout.clone());
-                    self.add_grad(b, gout);
+                    self.add_grad(b, gout.clone());
                 }
-                OpKind::Sub { a, b } => {
+                &OpKind::Sub { a, b } => {
                     self.add_grad(a, gout.clone());
                     self.add_grad(b, gout.scale(-1.0));
                 }
-                OpKind::Hadamard { a, b } => {
-                    let av = self.nodes[a.0].value.clone();
-                    let bv = self.nodes[b.0].value.clone();
-                    self.add_grad(a, gout.hadamard(&bv));
-                    self.add_grad(b, gout.hadamard(&av));
+                &OpKind::Hadamard { a, b } => {
+                    let ga = gout.hadamard(&self.nodes[b.0].value);
+                    let gb = gout.hadamard(&self.nodes[a.0].value);
+                    self.add_grad(a, ga);
+                    self.add_grad(b, gb);
                 }
-                OpKind::Scale { a, s } => {
+                &OpKind::Scale { a, s } => {
                     self.add_grad(a, gout.scale(s));
                 }
-                OpKind::AddBias { a, bias } => {
+                &OpKind::AddBias { a, bias } => {
                     let gbias = kernels::col_sums(&gout);
-                    self.add_grad(a, gout);
+                    self.add_grad(a, gout.clone());
                     self.add_grad(bias, gbias);
                 }
-                OpKind::Gelu { a } => {
+                &OpKind::Gelu { a } => {
                     let g =
                         kernels::zip_map(&gout, &self.nodes[a.0].value, |g, x| g * gelu_grad(x));
                     self.add_grad(a, g);
                 }
-                OpKind::Relu { a } => {
+                &OpKind::Relu { a } => {
                     let g = kernels::zip_map(&gout, &self.nodes[a.0].value, |g, x| {
                         if x <= 0.0 {
                             0.0
@@ -643,9 +888,10 @@ impl Tape {
                     normed,
                     inv_std,
                 } => {
+                    let (a, gamma, beta) = (*a, *gamma, *beta);
                     let gvec = self.nodes[gamma.0].value.row(0).to_vec();
                     let (gx, ggamma, gbeta) =
-                        kernels::layernorm_backward(&gout, &normed, &inv_std, &gvec);
+                        kernels::layernorm_backward(&gout, normed, inv_std, &gvec);
                     self.add_grad(a, gx);
                     self.add_grad(gamma, ggamma);
                     self.add_grad(beta, gbeta);
@@ -657,11 +903,15 @@ impl Tape {
                     scale,
                     probs,
                 } => {
-                    let qv = self.nodes[q.0].value.clone();
-                    let kv = self.nodes[k.0].value.clone();
-                    let vv = self.nodes[v.0].value.clone();
-                    let (gq, gk, gv) =
-                        kernels::attention_head_backward(&qv, &kv, &vv, scale, &probs, &gout);
+                    let (q, k, v) = (*q, *k, *v);
+                    let (gq, gk, gv) = kernels::attention_head_backward(
+                        &self.nodes[q.0].value,
+                        &self.nodes[k.0].value,
+                        &self.nodes[v.0].value,
+                        *scale,
+                        probs,
+                        &gout,
+                    );
                     self.add_grad(q, gq);
                     self.add_grad(k, gk);
                     self.add_grad(v, gv);
@@ -674,24 +924,87 @@ impl Tape {
                     scale,
                     probs,
                 } => {
-                    let qv = self.nodes[q.0].value.clone();
-                    let kv = self.nodes[k.0].value.clone();
-                    let vv = self.nodes[v.0].value.clone();
+                    let (q, k, v) = (*q, *k, *v);
                     let (gq, gk, gv) = kernels::multi_head_attention_backward(
-                        &qv, &kv, &vv, dk, scale, &probs, &gout,
+                        &self.nodes[q.0].value,
+                        &self.nodes[k.0].value,
+                        &self.nodes[v.0].value,
+                        *dk,
+                        *scale,
+                        probs,
+                        &gout,
                     );
                     self.add_grad(q, gq);
                     self.add_grad(k, gk);
                     self.add_grad(v, gv);
                 }
-                OpKind::HeadMix { a, w, dk } => {
-                    let av = self.nodes[a.0].value.clone();
-                    let wv = self.nodes[w.0].value.clone();
-                    let (ga, gw) = kernels::head_mix_backward(&av, &wv, dk, &gout);
+                OpKind::BatchedAttention {
+                    q,
+                    k,
+                    v,
+                    dk,
+                    scale,
+                    batch,
+                    heads,
+                    probs,
+                } => {
+                    let (q, k, v) = (*q, *k, *v);
+                    let (gq, gk, gv) = batched_attention_backward(
+                        &self.nodes[q.0].value,
+                        &self.nodes[k.0].value,
+                        &self.nodes[v.0].value,
+                        *dk,
+                        *scale,
+                        *batch,
+                        heads,
+                        probs,
+                        &gout,
+                    );
+                    self.add_grad(q, gq);
+                    self.add_grad(k, gk);
+                    self.add_grad(v, gv);
+                }
+                &OpKind::TileRows { a, times } => {
+                    let (rows, cols) = self.nodes[a.0].value.shape();
+                    let mut g = Matrix::zeros(rows, cols);
+                    let gv = gout.as_slice();
+                    // Ascending tile order: one fixed reduction chain per
+                    // element regardless of worker count.
+                    for t in 0..times {
+                        let base = t * rows * cols;
+                        for (o, &x) in g
+                            .as_mut_slice()
+                            .iter_mut()
+                            .zip(&gv[base..base + rows * cols])
+                        {
+                            *o += x;
+                        }
+                    }
+                    self.add_grad(a, g);
+                }
+                OpKind::GatherRows { a, rows } => {
+                    let a = *a;
+                    let (arows, cols) = self.nodes[a.0].value.shape();
+                    let mut g = Matrix::zeros(arows, cols);
+                    for (i, &r) in rows.iter().enumerate() {
+                        let grow = g.row_mut(r);
+                        for (o, &x) in grow.iter_mut().zip(gout.row(i)) {
+                            *o += x;
+                        }
+                    }
+                    self.add_grad(a, g);
+                }
+                &OpKind::HeadMix { a, w, dk } => {
+                    let (ga, gw) = kernels::head_mix_backward(
+                        &self.nodes[a.0].value,
+                        &self.nodes[w.0].value,
+                        dk,
+                        &gout,
+                    );
                     self.add_grad(a, ga);
                     self.add_grad(w, gw);
                 }
-                OpKind::SliceCols { a, c0 } => {
+                &OpKind::SliceCols { a, c0 } => {
                     let (rows, cols) = self.nodes[a.0].value.shape();
                     let mut g = Matrix::zeros(rows, cols);
                     for r in 0..gout.rows() {
@@ -703,19 +1016,19 @@ impl Tape {
                 }
                 OpKind::ConcatCols { parts } => {
                     let mut off = 0;
-                    for p in parts {
+                    for &p in parts {
                         let pc = self.nodes[p.0].value.cols();
                         let g = gout.submatrix(0, gout.rows(), off, off + pc);
                         self.add_grad(p, g);
                         off += pc;
                     }
                 }
-                OpKind::MeanRows { a } => {
+                &OpKind::MeanRows { a } => {
                     let rows = self.nodes[a.0].value.rows();
                     let g = kernels::broadcast_row(&gout, rows, 1.0 / rows as f32);
                     self.add_grad(a, g);
                 }
-                OpKind::RowSlice { a, r } => {
+                &OpKind::RowSlice { a, r } => {
                     let (rows, cols) = self.nodes[a.0].value.shape();
                     let mut g = Matrix::zeros(rows, cols);
                     for c in 0..cols {
@@ -728,6 +1041,7 @@ impl Tape {
                     targets,
                     probs,
                 } => {
+                    let logits = *logits;
                     let gscale = gout.get(0, 0) / targets.len() as f32;
                     let mut g = probs.clone();
                     for (r, &t) in targets.iter().enumerate() {
@@ -737,16 +1051,19 @@ impl Tape {
                     self.add_grad(logits, g);
                 }
                 OpKind::MseConst { a, target } => {
-                    let av = self.nodes[a.0].value.clone();
+                    let a = *a;
+                    let av = &self.nodes[a.0].value;
                     let gscale = gout.get(0, 0) * 2.0 / av.len() as f32;
-                    let g = (&av - &target).scale(gscale);
+                    let g = (av - target).scale(gscale);
                     self.add_grad(a, g);
                 }
-                OpKind::WeightedSum { a, b, wa, wb } => {
+                &OpKind::WeightedSum { a, b, wa, wb } => {
                     self.add_grad(a, gout.scale(wa));
                     self.add_grad(b, gout.scale(wb));
                 }
             }
+            self.nodes[i].op = op;
+            self.nodes[i].grad = Some(gout);
         }
     }
 
@@ -761,6 +1078,145 @@ impl Tape {
                 store.accumulate_grad(*id, g);
             }
         }
+    }
+}
+
+/// Validates a batched attention call's shapes and expands an empty plan
+/// slice to all-dense.
+fn normalize_head_plans(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    dk: usize,
+    batch: usize,
+    heads: &[HeadExec],
+) -> Vec<HeadExec> {
+    assert!(dk > 0, "dk must be positive");
+    assert!(batch > 0, "batch must be positive");
+    assert_eq!(q.shape(), k.shape(), "q/k shapes differ");
+    assert_eq!(q.shape(), v.shape(), "q/v shapes differ");
+    assert_eq!(q.cols() % dk, 0, "cols must be a multiple of dk");
+    assert_eq!(q.rows() % batch, 0, "rows must be a multiple of batch");
+    let h = q.cols() / dk;
+    let n = q.rows() / batch;
+    if heads.is_empty() {
+        return vec![HeadExec::Dense; h];
+    }
+    assert_eq!(heads.len(), h, "head plans must cover exactly all heads");
+    for (i, plan) in heads.iter().enumerate() {
+        match plan {
+            HeadExec::Dense => {}
+            HeadExec::Masked(bias) => assert_eq!(
+                bias.shape(),
+                (n, n),
+                "head {i} mask must be tokens x tokens"
+            ),
+            HeadExec::Sparse(csc) => {
+                assert_eq!(csc.size(), n, "head {i} CSC size must match tokens")
+            }
+        }
+    }
+    heads.to_vec()
+}
+
+/// Forward of the batched attention op: `(sample, head)` tasks fan out
+/// via the kernel layer, then outputs are written into the stacked
+/// result in fixed task order.
+fn batched_attention_forward(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    dk: usize,
+    scale: f32,
+    batch: usize,
+    heads: &[HeadExec],
+) -> (Matrix, Vec<HeadProbs>) {
+    let h = heads.len();
+    let n = q.rows() / batch;
+    let tasks = batch * h;
+    let per_task = kernels::par_map_collect(tasks, 2 * n * n * dk, |t| {
+        let (s, head) = (t / h, t % h);
+        let (r0, c0) = (s * n, head * dk);
+        let qh = q.submatrix(r0, r0 + n, c0, c0 + dk);
+        let kh = k.submatrix(r0, r0 + n, c0, c0 + dk);
+        let vh = v.submatrix(r0, r0 + n, c0, c0 + dk);
+        match &heads[head] {
+            HeadExec::Dense => {
+                let (out, probs) = kernels::attention_head(&qh, &kh, &vh, scale, None);
+                (out, HeadProbs::Dense(probs))
+            }
+            HeadExec::Masked(bias) => {
+                let (out, probs) =
+                    kernels::attention_head(&qh, &kh, &vh, scale, Some(bias.as_ref()));
+                (out, HeadProbs::Dense(probs))
+            }
+            HeadExec::Sparse(csc) => {
+                // The shared-index entry point: every sample of every
+                // step references the model's frozen index by Arc.
+                let scores = sparse::sddmm_k_stationary_shared(&qh, &kh, csc, scale);
+                let probs = scores.softmax_rows();
+                let out = sparse::spmm_output_stationary(&probs, &vh);
+                (out, HeadProbs::Sparse(probs))
+            }
+        }
+    });
+    let mut out = Matrix::zeros(batch * n, h * dk);
+    let mut probs = Vec::with_capacity(tasks);
+    for (t, (block, p)) in per_task.into_iter().enumerate() {
+        let (s, head) = (t / h, t % h);
+        write_block(&mut out, &block, s * n, head * dk);
+        probs.push(p);
+    }
+    (out, probs)
+}
+
+/// Backward of the batched attention op; tasks fan out like the forward
+/// and the per-block gradients are assembled in fixed task order.
+#[allow(clippy::too_many_arguments)]
+fn batched_attention_backward(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    dk: usize,
+    scale: f32,
+    batch: usize,
+    heads: &[HeadExec],
+    probs: &[HeadProbs],
+    gout: &Matrix,
+) -> (Matrix, Matrix, Matrix) {
+    let h = heads.len();
+    let n = q.rows() / batch;
+    assert_eq!(gout.shape(), q.shape(), "gout shape mismatch");
+    let tasks = batch * h;
+    let per_task = kernels::par_map_collect(tasks, 4 * n * n * dk, |t| {
+        let (s, head) = (t / h, t % h);
+        let (r0, c0) = (s * n, head * dk);
+        let qh = q.submatrix(r0, r0 + n, c0, c0 + dk);
+        let kh = k.submatrix(r0, r0 + n, c0, c0 + dk);
+        let vh = v.submatrix(r0, r0 + n, c0, c0 + dk);
+        let gh = gout.submatrix(r0, r0 + n, c0, c0 + dk);
+        match &probs[t] {
+            HeadProbs::Dense(p) => kernels::attention_head_backward(&qh, &kh, &vh, scale, p, &gh),
+            HeadProbs::Sparse(p) => sparse::attention_head_backward(&qh, &kh, &vh, scale, p, &gh),
+        }
+    });
+    let mut gq = Matrix::zeros(batch * n, h * dk);
+    let mut gk = Matrix::zeros(batch * n, h * dk);
+    let mut gv = Matrix::zeros(batch * n, h * dk);
+    for (t, (bq, bk, bv)) in per_task.into_iter().enumerate() {
+        let (s, head) = (t / h, t % h);
+        write_block(&mut gq, &bq, s * n, head * dk);
+        write_block(&mut gk, &bk, s * n, head * dk);
+        write_block(&mut gv, &bv, s * n, head * dk);
+    }
+    (gq, gk, gv)
+}
+
+/// Copies `block` into `out` with its top-left corner at `(r0, c0)`.
+fn write_block(out: &mut Matrix, block: &Matrix, r0: usize, c0: usize) {
+    let cols = block.cols();
+    for r in 0..block.rows() {
+        out.row_mut(r0 + r)[c0..c0 + cols].copy_from_slice(block.row(r));
     }
 }
 
@@ -1113,6 +1569,218 @@ mod tests {
         // Head-probe API agrees with the per-head nodes.
         assert_eq!(fused.head_probs(attn, 0), composed.attention_probs(outs[0]));
         assert_eq!(fused.head_probs(attn, 0).get(0, 4), 0.0);
+    }
+
+    #[test]
+    fn batched_attention_batch_one_matches_fused_op() {
+        let (n, dk, heads) = (6, 4, 2);
+        let mut store = ParamStore::new();
+        let q = store.register(
+            "q",
+            Initializer::Normal { std: 0.8 }.sample(n, heads * dk, 30),
+        );
+        let k = store.register(
+            "k",
+            Initializer::Normal { std: 0.8 }.sample(n, heads * dk, 31),
+        );
+        let v = store.register(
+            "v",
+            Initializer::Normal { std: 0.8 }.sample(n, heads * dk, 32),
+        );
+        let mut mask = Matrix::zeros(n, n);
+        mask.set(0, 3, f32::NEG_INFINITY);
+        let masks = vec![Some(mask.clone()), None];
+        let target = Matrix::zeros(n, heads * dk);
+
+        let mut fused = Tape::new();
+        let (qv, kv, vv) = (
+            fused.param(&store, q),
+            fused.param(&store, k),
+            fused.param(&store, v),
+        );
+        let attn = fused.multi_head_attention(qv, kv, vv, dk, 0.5, &masks);
+        let loss = fused.mse_loss(attn, &target);
+        fused.backward(loss);
+        store.zero_grads();
+        fused.write_grads(&mut store);
+        let fused_gq = store.grad(q).clone();
+
+        let plans = vec![HeadExec::Masked(Arc::new(mask)), HeadExec::Dense];
+        let mut batched = Tape::new();
+        let (qv, kv, vv) = (
+            batched.param(&store, q),
+            batched.param(&store, k),
+            batched.param(&store, v),
+        );
+        let attn_b = batched.batched_multi_head_attention(qv, kv, vv, dk, 0.5, 1, &plans);
+        assert_eq!(batched.attention_batch(attn_b), 1);
+        assert_eq!(batched.num_heads(attn_b), heads);
+        let loss_b = batched.mse_loss(attn_b, &target);
+        batched.backward(loss_b);
+        store.zero_grads();
+        batched.write_grads(&mut store);
+
+        // The batch-1 batched op runs the exact same per-head kernels, so
+        // values and gradients are bit-identical to the fused op.
+        assert_eq!(fused.value(attn), batched.value(attn_b));
+        assert_eq!(&fused_gq, store.grad(q));
+        assert_eq!(
+            fused.head_probs(attn, 0),
+            &batched.head_probs_dense(attn_b, 0, 0)
+        );
+    }
+
+    #[test]
+    fn batched_attention_blocks_match_per_sample_ops() {
+        let (n, dk, heads, batch) = (5, 3, 2, 3);
+        let rows = batch * n;
+        let q = Initializer::Normal { std: 0.8 }.sample(rows, heads * dk, 33);
+        let k = Initializer::Normal { std: 0.8 }.sample(rows, heads * dk, 34);
+        let v = Initializer::Normal { std: 0.8 }.sample(rows, heads * dk, 35);
+        let mut tape = Tape::new();
+        let (qv, kv, vv) = (
+            tape.constant(q.clone()),
+            tape.constant(k.clone()),
+            tape.constant(v.clone()),
+        );
+        let attn = tape.batched_multi_head_attention(qv, kv, vv, dk, 0.5, batch, &[]);
+        for s in 0..batch {
+            let mut single = Tape::new();
+            let (qs, ks, vs) = (
+                single.constant(q.submatrix(s * n, (s + 1) * n, 0, heads * dk)),
+                single.constant(k.submatrix(s * n, (s + 1) * n, 0, heads * dk)),
+                single.constant(v.submatrix(s * n, (s + 1) * n, 0, heads * dk)),
+            );
+            let a = single.multi_head_attention(qs, ks, vs, dk, 0.5, &[]);
+            assert_eq!(
+                tape.value(attn)
+                    .submatrix(s * n, (s + 1) * n, 0, heads * dk),
+                *single.value(a),
+                "sample {s} block differs"
+            );
+            for h in 0..heads {
+                assert_eq!(
+                    tape.head_probs_dense(attn, s, h),
+                    *single.head_probs(a, h),
+                    "sample {s} head {h} probs differ"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gradcheck_sparse_attention_tiny_head() {
+        // Finite-difference spot check of the sparse dataflow through the
+        // tape on a tiny head (satellite of the sparse-backward work).
+        let n = 4;
+        let dk = 3;
+        let csc = Arc::new(CscMatrix::from_indicator(n, |q, k| q == k || k == 0));
+        let mut store = ParamStore::new();
+        let q = store.register("q", Initializer::Normal { std: 0.7 }.sample(n, dk, 40));
+        let k = store.register("k", Initializer::Normal { std: 0.7 }.sample(n, dk, 41));
+        let v = store.register("v", Initializer::Normal { std: 0.7 }.sample(n, dk, 42));
+        let target = Matrix::zeros(n, dk);
+        for id in [q, k, v] {
+            gradcheck(
+                &mut store,
+                id,
+                &mut |tape, store| {
+                    let qv = tape.param(store, q);
+                    let kv = tape.param(store, k);
+                    let vv = tape.param(store, v);
+                    let plans = vec![HeadExec::Sparse(csc.clone())];
+                    let o = tape.batched_multi_head_attention(qv, kv, vv, dk, 0.5, 1, &plans);
+                    tape.mse_loss(o, &target)
+                },
+                5e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn sparse_head_grads_match_masked_head_grads() {
+        let (n, dk) = (8, 4);
+        let keep = |q: usize, k: usize| q == k || k == 0 || (q + k).is_multiple_of(3);
+        let csc = Arc::new(CscMatrix::from_indicator(n, keep));
+        let mut bias = Matrix::zeros(n, n);
+        for r in 0..n {
+            for c in 0..n {
+                if !keep(r, c) {
+                    bias.set(r, c, f32::NEG_INFINITY);
+                }
+            }
+        }
+        let mut store = ParamStore::new();
+        let q = store.register("q", Initializer::Normal { std: 0.8 }.sample(n, dk, 43));
+        let k = store.register("k", Initializer::Normal { std: 0.8 }.sample(n, dk, 44));
+        let v = store.register("v", Initializer::Normal { std: 0.8 }.sample(n, dk, 45));
+        let target = Matrix::zeros(n, dk);
+        let run = |plans: Vec<HeadExec>| {
+            let mut tape = Tape::new();
+            let (qv, kv, vv) = (
+                tape.param(&store, q),
+                tape.param(&store, k),
+                tape.param(&store, v),
+            );
+            let o = tape.batched_multi_head_attention(qv, kv, vv, dk, 0.5, 1, &plans);
+            let loss = tape.mse_loss(o, &target);
+            tape.backward(loss);
+            (
+                tape.grad(qv).unwrap().clone(),
+                tape.grad(kv).unwrap().clone(),
+                tape.grad(vv).unwrap().clone(),
+            )
+        };
+        let (sq, sk, sv) = run(vec![HeadExec::Sparse(csc)]);
+        let (mq, mk, mv) = run(vec![HeadExec::Masked(Arc::new(bias))]);
+        assert!(
+            sq.max_abs_diff(&mq) < 1e-4,
+            "gq off by {}",
+            sq.max_abs_diff(&mq)
+        );
+        assert!(
+            sk.max_abs_diff(&mk) < 1e-4,
+            "gk off by {}",
+            sk.max_abs_diff(&mk)
+        );
+        assert!(
+            sv.max_abs_diff(&mv) < 1e-4,
+            "gv off by {}",
+            sv.max_abs_diff(&mv)
+        );
+    }
+
+    #[test]
+    fn gradcheck_tile_and_gather_rows() {
+        let mut store = ParamStore::new();
+        let w = store.register("w", Initializer::Normal { std: 0.5 }.sample(3, 4, 46));
+        let target = Matrix::zeros(3, 4);
+        gradcheck(
+            &mut store,
+            w,
+            &mut |tape, store| {
+                let wv = tape.param(store, w);
+                let tiled = tape.tile_rows(wv, 2);
+                // Gather rows 0 and 3 (first row of each tile) plus a
+                // duplicate of row 0, so the backward's scatter-add must
+                // accumulate, not overwrite.
+                let picked = tape.gather_rows(tiled, &[0, 3, 0]);
+                tape.mse_loss(picked, &target)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn tile_rows_values_and_shapes() {
+        let mut tape = Tape::new();
+        let a = tape.constant(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]));
+        let t = tape.tile_rows(a, 3);
+        assert_eq!(tape.value(t).shape(), (6, 2));
+        assert_eq!(tape.value(t).row(4), &[1.0, 2.0]);
+        let g = tape.gather_rows(t, &[0, 2, 4]);
+        assert_eq!(tape.value(g).shape(), (3, 2));
+        assert_eq!(tape.value(g).row(2), &[1.0, 2.0]);
     }
 
     #[test]

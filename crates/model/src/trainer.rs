@@ -152,6 +152,22 @@ impl Trainer {
     }
 
     /// Trains for `cfg.epochs` epochs, returning the trajectory.
+    ///
+    /// Each minibatch runs as **one batched tape**
+    /// ([`VisionTransformer::forward_batch`]): the samples are stacked,
+    /// weights are imported once per step instead of once per sample,
+    /// and attention `(sample, head)` tasks fan out across worker
+    /// threads. The cross-entropy (and AE reconstruction) losses average
+    /// over the batch on the tape, so the flushed gradients are batch
+    /// means directly — and because every kernel keeps a fixed
+    /// per-element reduction order, the step's loss and gradients are
+    /// bit-identical across backends and worker counts.
+    ///
+    /// Optimizer steps always consume batch-**mean** gradients. (The
+    /// replaced per-sample loop only rescaled the summed gradients when
+    /// `clip_norm` was set; with `clip_norm: None` it stepped on the
+    /// batch *sum*, so learning rates tuned against that unclipped
+    /// configuration are effectively multiplied by `batch_size` here.)
     pub fn train(&mut self, task: &SyntheticTask, cfg: &TrainConfig) -> Trajectory {
         let mut opt = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay);
         let mut trajectory = Trajectory::default();
@@ -166,19 +182,11 @@ impl Trainer {
                 opt.set_learning_rate(cosine_lr(cfg.lr, cfg.min_lr, step, total_steps));
                 step += 1;
                 self.store.zero_grads();
-                for sample in batch {
-                    let (task_loss, recon) = self.backward_sample(sample, cfg.recon_weight);
-                    loss_sum += task_loss;
-                    recon_sum += recon;
-                    count += 1;
-                }
+                let (task_loss, recon) = self.backward_batch(batch, cfg.recon_weight);
+                loss_sum += task_loss * batch.len() as f32;
+                recon_sum += recon * batch.len() as f32;
+                count += batch.len();
                 if let Some(clip) = cfg.clip_norm {
-                    // Average grads over the batch, then clip.
-                    let scale = 1.0 / batch.len() as f32;
-                    for id in self.store.ids().collect::<Vec<_>>() {
-                        let g = self.store.grad(id).scale(scale - 1.0);
-                        self.store.accumulate_grad(id, &g);
-                    }
                     self.store.clip_grad_norm(clip);
                 }
                 opt.step(&mut self.store);
@@ -194,11 +202,16 @@ impl Trainer {
         trajectory
     }
 
-    /// Forward + backward of one sample; returns (task loss, recon loss).
-    fn backward_sample(&mut self, sample: &Sample, recon_weight: f32) -> (f32, f32) {
+    /// Forward + backward of one minibatch on a single batched tape;
+    /// returns (mean task loss, mean recon loss). Gradients flushed into
+    /// the store are batch means (the batched losses average over
+    /// samples on the tape).
+    fn backward_batch(&mut self, batch: &[Sample], recon_weight: f32) -> (f32, f32) {
+        let tokens: Vec<&vitcod_tensor::Matrix> = batch.iter().map(|s| &s.tokens).collect();
+        let targets: Vec<usize> = batch.iter().map(|s| s.label).collect();
         let mut tape = Tape::new();
-        let out = self.model.forward(&mut tape, &self.store, &sample.tokens);
-        let ce = tape.cross_entropy(out.logits, &[sample.label]);
+        let out = self.model.forward_batch(&mut tape, &self.store, &tokens);
+        let ce = tape.cross_entropy(out.logits, &targets);
         let (loss_node, recon_value) = match out.recon_loss {
             Some(r) => (tape.weighted_sum(ce, r, 1.0, recon_weight), tape.scalar(r)),
             None => (ce, 0.0),

@@ -1,8 +1,11 @@
 //! A trainable Vision Transformer with fixed sparse attention masks and
 //! ViTCoD auto-encoder modules.
 
+use std::sync::Arc;
+
 use rand::Rng;
-use vitcod_autograd::{LayerNorm, Linear, ParamId, ParamStore, Tape, Var};
+use vitcod_autograd::{HeadExec, LayerNorm, Linear, ParamId, ParamStore, Tape, Var};
+use vitcod_tensor::sparse::CscMatrix;
 use vitcod_tensor::Matrix;
 
 use crate::config::ViTConfig;
@@ -44,14 +47,21 @@ impl AutoEncoderSpec {
 pub type SparsityPlan = Vec<Vec<Option<Matrix>>>;
 
 /// Output of one forward pass.
+///
+/// For [`VisionTransformer::forward`] the logits node is
+/// `1 × num_classes`; for [`VisionTransformer::forward_batch`] it holds
+/// one row per sample in batch order.
 #[derive(Debug)]
 pub struct VitOutput {
-    /// Class logits node, `1 × num_classes`.
+    /// Class logits node, one row per sample.
     pub logits: Var,
-    /// Summed Q/K reconstruction loss node if AE modules are active.
+    /// Summed Q/K reconstruction loss node if AE modules are active
+    /// (mean over every stacked token row, so batched and per-sample
+    /// passes weight it identically).
     pub recon_loss: Option<Var>,
     /// One fused multi-head attention node per layer; per-head
-    /// probability maps are extracted via [`Tape::head_probs`].
+    /// probability maps are extracted via [`Tape::head_probs`] (single
+    /// sample) or [`Tape::head_probs_dense`] (any sample).
     pub attention_nodes: Vec<Var>,
 }
 
@@ -151,6 +161,13 @@ pub struct VisionTransformer {
     final_ln: LayerNorm,
     head: Linear,
     masks: Option<SparsityPlan>,
+    /// Additive `-inf` biases compiled from `masks` once at install time
+    /// and `Arc`-shared into every tape, `[layer][head]`.
+    mask_biases: Option<Vec<Vec<Option<Arc<Matrix>>>>>,
+    /// CSC indexes compiled from `masks` by
+    /// [`Self::freeze_sparse_attention`], `[layer][head]`; when present,
+    /// masked heads run the truly-sparse dataflow in forward passes.
+    frozen: Option<Vec<Vec<Option<Arc<CscMatrix>>>>>,
     ae_spec: Option<AutoEncoderSpec>,
 }
 
@@ -217,6 +234,8 @@ impl VisionTransformer {
             final_ln,
             head,
             masks: None,
+            mask_biases: None,
+            frozen: None,
             ae_spec: None,
         }
     }
@@ -394,12 +413,79 @@ impl VisionTransformer {
                 );
             }
         }
+        // Compile the additive biases once; tapes share them by Arc
+        // instead of re-materialising an n x n bias per sample.
+        self.mask_biases = Some(
+            plan.iter()
+                .map(|layer| {
+                    layer
+                        .iter()
+                        .map(|m| {
+                            m.as_ref().map(|mask| {
+                                let mut bias = mask.clone();
+                                bias.map_inplace(
+                                    |kept| if kept == 0.0 { f32::NEG_INFINITY } else { 0.0 },
+                                );
+                                Arc::new(bias)
+                            })
+                        })
+                        .collect()
+                })
+                .collect(),
+        );
+        self.frozen = None;
         self.masks = Some(plan);
     }
 
     /// Removes any installed sparsity plan (back to dense attention).
     pub fn clear_sparsity_plan(&mut self) {
         self.masks = None;
+        self.mask_biases = None;
+        self.frozen = None;
+    }
+
+    /// Whether the installed masks have been frozen to CSC indexes (the
+    /// truly-sparse training path).
+    pub fn has_frozen_sparse(&self) -> bool {
+        self.frozen.is_some()
+    }
+
+    /// Compiles the installed sparsity plan into per-head CSC indexes,
+    /// switching every masked head's forward *and* backward onto the
+    /// accelerator's SDDMM → sparse-softmax → SpMM dataflow so a
+    /// training step's attention cost scales with `nnz` instead of `n²`.
+    /// This is the mask-freeze step of the sparse-finetune loop; call it
+    /// after [`Self::set_sparsity_plan`] and before finetuning.
+    ///
+    /// Returns the number of heads that now run sparse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no sparsity plan is installed.
+    pub fn freeze_sparse_attention(&mut self) -> usize {
+        let masks = self
+            .masks
+            .as_ref()
+            .expect("freeze_sparse_attention requires an installed sparsity plan");
+        let mut sparse_heads = 0;
+        let frozen = masks
+            .iter()
+            .map(|layer| {
+                layer
+                    .iter()
+                    .map(|m| {
+                        m.as_ref().map(|mask| {
+                            sparse_heads += 1;
+                            Arc::new(CscMatrix::from_indicator(mask.rows(), |q, k| {
+                                mask.get(q, k) != 0.0
+                            }))
+                        })
+                    })
+                    .collect()
+            })
+            .collect();
+        self.frozen = Some(frozen);
+        sparse_heads
     }
 
     /// Runs a forward pass for a single sample of raw tokens
@@ -409,6 +495,12 @@ impl VisionTransformer {
     ///
     /// Panics if `tokens` does not have the configured shape.
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, tokens: &Matrix) -> VitOutput {
+        if self.frozen.is_some() {
+            // Frozen-sparse models route every pass (including
+            // single-sample evaluation) through the batched op so masked
+            // heads run the nnz-scaled dataflow.
+            return self.forward_batch(tape, store, &[tokens]);
+        }
         assert_eq!(
             tokens.shape(),
             (self.cfg.tokens, self.in_dim),
@@ -469,25 +561,135 @@ impl VisionTransformer {
         }
     }
 
-    /// Builds the additive mask bias for `(layer, head)`: `0` where kept,
-    /// `-inf` where pruned; `None` when the head is dense.
-    fn mask_bias(&self, layer: usize, head: usize) -> Option<Matrix> {
-        let mask = self.masks.as_ref()?.get(layer)?.get(head)?.as_ref()?;
-        let mut bias = mask.clone();
-        bias.map_inplace(|kept| if kept == 0.0 { f32::NEG_INFINITY } else { 0.0 });
-        Some(bias)
+    /// Runs one forward pass over a whole minibatch on a single tape:
+    /// the samples' token matrices are stacked vertically and every
+    /// layer processes the stack in one set of ops, so weights are
+    /// imported once per step (not once per sample) and the per-op
+    /// bookkeeping amortises across the batch. Attention runs through
+    /// [`Tape::batched_multi_head_attention`], with `(sample, head)`
+    /// tasks fanned across worker threads; masked heads follow the
+    /// model's execution plans (dense `-inf` biases, or the truly-sparse
+    /// CSC dataflow after [`Self::freeze_sparse_attention`]).
+    ///
+    /// Returns logits with one row per sample, in batch order. Losses
+    /// built on them (e.g. [`Tape::cross_entropy`] with one target per
+    /// row) average over the batch, so the flushed gradients are the
+    /// batch means — the same semantics as accumulating per-sample tapes
+    /// and rescaling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is empty or a sample's token matrix does not
+    /// have the configured shape.
+    pub fn forward_batch(
+        &self,
+        tape: &mut Tape,
+        store: &ParamStore,
+        batch: &[&Matrix],
+    ) -> VitOutput {
+        assert!(!batch.is_empty(), "forward_batch needs at least one sample");
+        for (i, tokens) in batch.iter().enumerate() {
+            assert_eq!(
+                tokens.shape(),
+                (self.cfg.tokens, self.in_dim),
+                "sample {i} token shape mismatch"
+            );
+        }
+        let b = batch.len();
+        let n = self.cfg.tokens;
+        let dk = self.cfg.head_dim();
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let stacked = Matrix::vcat(batch);
+        let x0 = tape.constant(stacked);
+        let embedded = self.patch_embed.forward(tape, store, x0);
+        let pos = tape.param(store, self.pos_embed);
+        let pos_tiled = tape.tile_rows(pos, b);
+        let mut x = tape.add(embedded, pos_tiled);
+
+        let mut recon_total: Option<Var> = None;
+        let mut attention_nodes = Vec::with_capacity(self.blocks.len());
+
+        for (l, block) in self.blocks.iter().enumerate() {
+            let normed = block.ln1.forward(tape, store, x);
+            let mut q = block.wq.forward(tape, store, normed);
+            let mut k = block.wk.forward(tape, store, normed);
+            let v = block.wv.forward(tape, store, normed);
+
+            if let Some(ae) = &block.ae {
+                let (q2, rq) = apply_ae(tape, store, q, ae.enc_q, ae.dec_q, dk);
+                let (k2, rk) = apply_ae(tape, store, k, ae.enc_k, ae.dec_k, dk);
+                q = q2;
+                k = k2;
+                let layer_recon = tape.weighted_sum(rq, rk, 1.0, 1.0);
+                recon_total = Some(match recon_total {
+                    Some(acc) => tape.weighted_sum(acc, layer_recon, 1.0, 1.0),
+                    None => layer_recon,
+                });
+            }
+
+            let plans = self.layer_head_plans(l);
+            let attn = tape.batched_multi_head_attention(q, k, v, dk, scale, b, &plans);
+            attention_nodes.push(attn);
+            let projected = block.wo.forward(tape, store, attn);
+            x = tape.add(x, projected);
+
+            let normed2 = block.ln2.forward(tape, store, x);
+            let h1 = block.fc1.forward(tape, store, normed2);
+            let act = tape.gelu(h1);
+            let h2 = block.fc2.forward(tape, store, act);
+            x = tape.add(x, h2);
+        }
+
+        // One class-token row per sample: rows 0, n, 2n, ...
+        let cls_rows: Vec<usize> = (0..b).map(|s| s * n).collect();
+        let cls = tape.gather_rows(x, &cls_rows);
+        let normed = self.final_ln.forward(tape, store, cls);
+        let logits = self.head.forward(tape, store, normed);
+        VitOutput {
+            logits,
+            recon_loss: recon_total,
+            attention_nodes,
+        }
     }
 
-    /// Additive mask biases for every head of `layer`; empty when the
+    /// Per-head execution plans for `layer`: frozen CSC indexes when the
+    /// masks are frozen, cached `-inf` biases when only installed, empty
+    /// (all dense) otherwise.
+    fn layer_head_plans(&self, layer: usize) -> Vec<HeadExec> {
+        if let Some(frozen) = &self.frozen {
+            return frozen[layer]
+                .iter()
+                .map(|csc| match csc {
+                    Some(csc) => HeadExec::Sparse(csc.clone()),
+                    None => HeadExec::Dense,
+                })
+                .collect();
+        }
+        if let Some(biases) = &self.mask_biases {
+            return biases[layer]
+                .iter()
+                .map(|bias| match bias {
+                    Some(bias) => HeadExec::Masked(bias.clone()),
+                    None => HeadExec::Dense,
+                })
+                .collect();
+        }
+        Vec::new()
+    }
+
+    /// Additive mask biases for every head of `layer`, copied out of the
+    /// cache compiled at [`Self::set_sparsity_plan`]; empty when the
     /// model is fully dense (the fused attention op treats an empty slice
     /// as "no masks").
     fn layer_mask_biases(&self, layer: usize) -> Vec<Option<Matrix>> {
-        if self.masks.is_none() {
-            return Vec::new();
+        match &self.mask_biases {
+            None => Vec::new(),
+            Some(biases) => biases[layer]
+                .iter()
+                .map(|b| b.as_ref().map(|bias| (**bias).clone()))
+                .collect(),
         }
-        (0..self.cfg.heads)
-            .map(|h| self.mask_bias(layer, h))
-            .collect()
     }
 
     /// Averaged per-head attention maps over `samples`, the statistic the
@@ -509,7 +711,12 @@ impl VisionTransformer {
             let out = self.forward(&mut tape, store, &s.tokens);
             for (l, &node) in out.attention_nodes.iter().enumerate() {
                 for (h, m) in acc[l].iter_mut().enumerate() {
-                    m.add_assign(tape.head_probs(node, h));
+                    // Dense heads accumulate by reference; only sparse
+                    // heads pay a densification copy.
+                    match tape.try_head_probs(node, 0, h) {
+                        Some(p) => m.add_assign(p),
+                        None => m.add_assign(&tape.head_probs_dense(node, 0, h)),
+                    }
                 }
             }
         }
@@ -654,6 +861,108 @@ mod tests {
             let s: f32 = m.row(r).iter().sum();
             assert!((s - 1.0).abs() < 1e-3, "averaged row {r} sums to {s}");
         }
+    }
+
+    #[test]
+    fn forward_batch_matches_per_sample_forwards() {
+        let (vit, store) = tiny_model();
+        let n = vit.config().tokens;
+        let samples: Vec<Matrix> = (0..3)
+            .map(|i| vitcod_tensor::Initializer::Normal { std: 1.0 }.sample(n, 8, 40 + i))
+            .collect();
+        let refs: Vec<&Matrix> = samples.iter().collect();
+        let mut batched = Tape::new();
+        let out = vit.forward_batch(&mut batched, &store, &refs);
+        let logits = batched.value(out.logits).clone();
+        assert_eq!(logits.shape(), (3, 4));
+        for (s, tokens) in samples.iter().enumerate() {
+            let mut single = Tape::new();
+            let o = vit.forward(&mut single, &store, tokens);
+            let want = single.value(o.logits);
+            let got = logits.submatrix(s, s + 1, 0, 4);
+            assert!(
+                got.max_abs_diff(want) < 1e-4,
+                "sample {s} logits differ by {}",
+                got.max_abs_diff(want)
+            );
+        }
+    }
+
+    #[test]
+    fn forward_batch_with_ae_reports_mean_recon() {
+        let (mut vit, mut store) = tiny_model();
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        vit.insert_auto_encoder(
+            AutoEncoderSpec::half(vit.config().heads),
+            &mut store,
+            &mut rng,
+        );
+        let n = vit.config().tokens;
+        let samples: Vec<Matrix> = (0..2)
+            .map(|i| vitcod_tensor::Initializer::Normal { std: 1.0 }.sample(n, 8, 50 + i))
+            .collect();
+        let refs: Vec<&Matrix> = samples.iter().collect();
+        let mut batched = Tape::new();
+        let out = vit.forward_batch(&mut batched, &store, &refs);
+        let batched_recon = batched.scalar(out.recon_loss.expect("AE installed"));
+        // Mean of the per-sample recon losses (each a mean over the same
+        // number of token rows).
+        let mut sum = 0.0;
+        for tokens in &samples {
+            let mut single = Tape::new();
+            let o = vit.forward(&mut single, &store, tokens);
+            sum += single.scalar(o.recon_loss.unwrap());
+        }
+        assert!((batched_recon - sum / 2.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn frozen_sparse_routes_masked_heads_through_csc() {
+        let (mut vit, store) = tiny_model();
+        let n = vit.config().tokens;
+        let mut mask = Matrix::zeros(n, n);
+        for i in 0..n {
+            mask.set(i, i, 1.0);
+            mask.set(i, 0, 1.0);
+        }
+        let plan: SparsityPlan = (0..vit.config().depth)
+            .map(|_| {
+                (0..vit.config().heads)
+                    .map(|_| Some(mask.clone()))
+                    .collect()
+            })
+            .collect();
+        vit.set_sparsity_plan(plan);
+
+        // Masked (dense -inf) pass first, then freeze and rerun sparse.
+        let tokens = vitcod_tensor::Initializer::Normal { std: 1.0 }.sample(n, 8, 60);
+        let mut masked_tape = Tape::new();
+        let masked_out = vit.forward(&mut masked_tape, &store, &tokens);
+        let masked_logits = masked_tape.value(masked_out.logits).clone();
+
+        let sparse_heads = vit.freeze_sparse_attention();
+        assert!(vit.has_frozen_sparse());
+        assert_eq!(sparse_heads, vit.config().depth * vit.config().heads);
+        let mut sparse_tape = Tape::new();
+        let sparse_out = vit.forward(&mut sparse_tape, &store, &tokens);
+        let sparse_logits = sparse_tape.value(sparse_out.logits).clone();
+        assert!(
+            sparse_logits.max_abs_diff(&masked_logits) < 1e-4,
+            "sparse logits differ from masked by {}",
+            sparse_logits.max_abs_diff(&masked_logits)
+        );
+        // Pruned positions stay exactly zero in the sparse probabilities.
+        let p = sparse_tape.head_probs_dense(sparse_out.attention_nodes[0], 0, 0);
+        for r in 1..n {
+            for c in 1..n {
+                if r != c {
+                    assert_eq!(p.get(r, c), 0.0, "pruned ({r},{c}) must be zero");
+                }
+            }
+        }
+        // Clearing the plan restores the dense path.
+        vit.clear_sparsity_plan();
+        assert!(!vit.has_frozen_sparse());
     }
 
     #[test]

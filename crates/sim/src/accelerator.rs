@@ -19,6 +19,13 @@ const RECONFIG_CYCLES: u64 = 16;
 /// tokens need 8 bits, but the hardware provisions 16).
 const INDEX_BYTES: u64 = 2;
 
+/// Minimum number of heads in a layer before the per-head engine cycle
+/// models fan out across worker threads. Each head's model is a cheap
+/// pass over its CSC column counts, so the fan-out only pays off for
+/// wide layers (DeiT-Base-class, 12 heads); DeiT-Tiny's 3 heads stay on
+/// the sequential walk.
+const HEAD_FANOUT_MIN: usize = 4;
+
 /// Simulator of the ViTCoD accelerator.
 ///
 /// See the [crate-level documentation](crate) for the modelled
@@ -268,54 +275,82 @@ impl ViTCoDAccelerator {
             .map(|h| (n * h.num_global + h.denser_nnz) as u64)
             .collect();
         let denser_alloc = proportional_lines(&denser_works, denser_lines);
-        let mut denser_cycles = 0u64;
-        for (h, lines) in layer.heads.iter().zip(denser_alloc.per_head.iter()) {
-            if denser_lines == 0 {
-                break;
-            }
-            let l = if denser_alloc.parallel {
-                *lines
-            } else {
-                denser_lines
-            };
-            if l == 0 {
-                continue;
-            }
-            let ds = denser_sddmm_cycles(n, h.num_global, dk, l, mpl);
-            let dp = denser_spmm_cycles(h.denser_nnz, dk, l, mpl);
-            if denser_alloc.parallel {
-                denser_cycles = denser_cycles.max(ds + dp);
-            } else {
-                denser_cycles += ds + dp;
-            }
-            sddmm += ds;
-            spmm += dp;
-        }
-
         let sparser_works: Vec<u64> = layer.heads.iter().map(|h| h.sparser_nnz as u64).collect();
         let sparser_alloc = proportional_lines(&sparser_works, sparser_lines);
+
+        // Per-head cycle models are pure functions of the program, so
+        // wide layers fan them out across worker threads; the reductions
+        // below stay sequential and in head order, keeping the counts
+        // identical to the sequential walk (the pinning test covers
+        // this). `None` marks a head the engine does not run.
+        let head_model = |h_idx: usize| -> (EngineHeadCycles, EngineHeadCycles) {
+            let h = &layer.heads[h_idx];
+            let denser = (denser_lines > 0)
+                .then(|| {
+                    let l = if denser_alloc.parallel {
+                        denser_alloc.per_head[h_idx]
+                    } else {
+                        denser_lines
+                    };
+                    (l > 0).then(|| {
+                        (
+                            denser_sddmm_cycles(n, h.num_global, dk, l, mpl),
+                            denser_spmm_cycles(h.denser_nnz, dk, l, mpl),
+                        )
+                    })
+                })
+                .flatten();
+            let sparser = (sparser_lines > 0)
+                .then(|| {
+                    let l = if sparser_alloc.parallel {
+                        sparser_alloc.per_head[h_idx]
+                    } else {
+                        sparser_lines
+                    };
+                    (l > 0).then(|| {
+                        (
+                            sparser_sddmm_cycles(&h.sparser_col_nnz, dk, l, mpl),
+                            sparser_spmm_cycles(&h.sparser_col_nnz, dk, l, mpl),
+                        )
+                    })
+                })
+                .flatten();
+            (denser, sparser)
+        };
+        let head_count = layer.heads.len();
+        let per_head_models: Vec<_> = if head_count >= HEAD_FANOUT_MIN {
+            let work = layer
+                .heads
+                .iter()
+                .map(|h| h.sparser_col_nnz.len() + 64)
+                .max()
+                .unwrap_or(64);
+            vitcod_tensor::kernels::par_map_collect(head_count, work, head_model)
+        } else {
+            (0..head_count).map(head_model).collect()
+        };
+
+        let mut denser_cycles = 0u64;
         let mut sparser_cycles = 0u64;
-        for (h, lines) in layer.heads.iter().zip(sparser_alloc.per_head.iter()) {
-            if sparser_lines == 0 {
-                break;
+        for (denser, sparser) in per_head_models {
+            if let Some((ds, dp)) = denser {
+                if denser_alloc.parallel {
+                    denser_cycles = denser_cycles.max(ds + dp);
+                } else {
+                    denser_cycles += ds + dp;
+                }
+                sddmm += ds;
+                spmm += dp;
             }
-            let l = if sparser_alloc.parallel {
-                *lines
-            } else {
-                sparser_lines
-            };
-            if l == 0 {
-                continue;
+            if let Some((ss, sp)) = sparser {
+                if sparser_alloc.parallel {
+                    sparser_cycles = sparser_cycles.max(ss + sp);
+                } else {
+                    sparser_cycles += ss + sp;
+                }
+                sddmm += ss;
+                spmm += sp;
             }
-            let ss = sparser_sddmm_cycles(&h.sparser_col_nnz, dk, l, mpl);
-            let sp = sparser_spmm_cycles(&h.sparser_col_nnz, dk, l, mpl);
-            if sparser_alloc.parallel {
-                sparser_cycles = sparser_cycles.max(ss + sp);
-            } else {
-                sparser_cycles += ss + sp;
-            }
-            sddmm += ss;
-            spmm += sp;
         }
         let softmax = softmax_cycles(nnz_total, lines);
         // The engines run concurrently; softmax is pipelined behind the
@@ -516,6 +551,10 @@ impl ViTCoDAccelerator {
         }
     }
 }
+
+/// One engine's (SDDMM, SpMM) cycle pair for a single head; `None` when
+/// the engine does not run that head.
+type EngineHeadCycles = Option<(u64, u64)>;
 
 /// Per-head line assignment inside one engine.
 struct HeadAllocation {
@@ -804,6 +843,32 @@ mod tests {
             assert_eq!(a.denser_cycles, b.denser_cycles);
             assert_eq!(a.sparser_cycles, b.sparser_cycles);
         }
+    }
+
+    #[test]
+    fn per_head_fanout_pins_sequential_cycle_counts() {
+        use vitcod_tensor::kernels;
+        // DeiT-Small has 6 heads per layer — above HEAD_FANOUT_MIN, so
+        // the per-head cycle models take the parallel path; the fold is
+        // sequential in head order, so every count must be identical to
+        // the single-worker walk.
+        let cfg = ViTConfig::deit_small();
+        let stats = AttentionStats::for_model(&cfg, 9);
+        let sc = SplitConquer::new(SplitConquerConfig::with_sparsity(0.9));
+        let p = compile_model(
+            &cfg,
+            &sc.apply(&stats.maps),
+            Some(AutoEncoderConfig::half(cfg.heads)),
+        );
+        assert!(p.layers[0].heads.len() >= HEAD_FANOUT_MIN);
+        let s = sim();
+        let seq = kernels::with_thread_budget(1, || s.simulate_attention(&p));
+        let par = kernels::with_thread_budget(4, || s.simulate_attention(&p));
+        assert_eq!(par.total_cycles, seq.total_cycles);
+        assert_eq!(par.phases, seq.phases);
+        assert_eq!(par.breakdown, seq.breakdown);
+        assert_eq!(par.traffic, seq.traffic);
+        assert_eq!(par.macs, seq.macs);
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! bit-identical values**, because parallelisation only splits disjoint
 //! outputs while each value's accumulation order is unchanged.
 
+use std::sync::Arc;
+
 use crate::kernels::{self, Backend};
 use crate::ops::softmax_row;
 use crate::{Matrix, QuantizedMatrix};
@@ -65,6 +67,10 @@ pub struct CscMatrix {
     // of per-inference index rebuilds.
     row_ptr: Vec<usize>,
     row_pos: Vec<u32>,
+    // Column index of every CSC value position (the inverse of the
+    // column walk), precomputed once so the row-major backward walks
+    // never re-derive it per call.
+    col_of: Vec<u32>,
 }
 
 impl CscMatrix {
@@ -81,31 +87,7 @@ impl CscMatrix {
             }
             col_ptr.push(row_idx.len());
         }
-        // Counting sort of value positions by row: ascending position
-        // within a row is ascending column, since CSC order is
-        // column-major.
-        let mut row_counts = vec![0usize; n];
-        for &q in &row_idx {
-            row_counts[q as usize] += 1;
-        }
-        let mut row_ptr = Vec::with_capacity(n + 1);
-        row_ptr.push(0usize);
-        for r in 0..n {
-            row_ptr.push(row_ptr[r] + row_counts[r]);
-        }
-        let mut next = row_ptr[..n].to_vec();
-        let mut row_pos = vec![0u32; row_idx.len()];
-        for (p, &q) in row_idx.iter().enumerate() {
-            row_pos[next[q as usize]] = p as u32;
-            next[q as usize] += 1;
-        }
-        Self {
-            n,
-            col_ptr,
-            row_idx,
-            row_ptr,
-            row_pos,
-        }
+        Self::from_csc_vectors(n, col_ptr, row_idx)
     }
 
     /// Builds the CSC index of a [`SparsityPattern`].
@@ -145,9 +127,12 @@ impl CscMatrix {
         Ok(Self::from_csc_vectors(n, col_ptr, row_idx))
     }
 
-    /// Assembles the full index (including the precomputed row gather)
-    /// from validated CSC vectors.
+    /// Assembles the full index (including the precomputed row gather
+    /// and per-value column map) from validated CSC vectors.
     fn from_csc_vectors(n: usize, col_ptr: Vec<usize>, row_idx: Vec<u32>) -> Self {
+        // Counting sort of value positions by row: ascending position
+        // within a row is ascending column, since CSC order is
+        // column-major.
         let mut row_counts = vec![0usize; n];
         for &q in &row_idx {
             row_counts[q as usize] += 1;
@@ -163,12 +148,19 @@ impl CscMatrix {
             row_pos[next[q as usize]] = p as u32;
             next[q as usize] += 1;
         }
+        let mut col_of = vec![0u32; row_idx.len()];
+        for k in 0..n {
+            for c in &mut col_of[col_ptr[k]..col_ptr[k + 1]] {
+                *c = k as u32;
+            }
+        }
         Self {
             n,
             col_ptr,
             row_idx,
             row_ptr,
             row_pos,
+            col_of,
         }
     }
 
@@ -299,6 +291,14 @@ impl CscMatrix {
         off
     }
 
+    /// Column index of every CSC value position, in value order — the
+    /// companion of [`Self::row_value_positions`] the row-major backward
+    /// walks need to recover which key column a gathered value belongs
+    /// to. Precomputed at construction.
+    fn value_columns(&self) -> &[u32] {
+        &self.col_of
+    }
+
     /// Partitions the CSC columns into contiguous ranges of roughly
     /// equal non-zero count, one per worker thread. Returns
     /// `(value_bounds, column_starts)`, both `segments + 1` long,
@@ -325,9 +325,14 @@ impl CscMatrix {
 
 /// Sparse attention scores in CSC layout: one value per kept `(q, k)`
 /// position, column-major, aligned with a [`CscMatrix`] index.
+///
+/// The index is held behind an [`Arc`]: a fixed attention mask is shared
+/// by every score/probability/gradient buffer of a head — and by every
+/// sample of a training batch — so the kernels pass the index by
+/// reference count instead of copying `O(nnz)` structure per call.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SparseScores {
-    index: CscMatrix,
+    index: Arc<CscMatrix>,
     values: Vec<f32>,
 }
 
@@ -338,6 +343,15 @@ impl SparseScores {
     ///
     /// Panics if `values.len() != index.nnz()`.
     pub fn new(index: CscMatrix, values: Vec<f32>) -> Self {
+        Self::new_shared(Arc::new(index), values)
+    }
+
+    /// [`Self::new`] over an already-shared index (no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != index.nnz()`.
+    pub fn new_shared(index: Arc<CscMatrix>, values: Vec<f32>) -> Self {
         assert_eq!(values.len(), index.nnz(), "one value per kept position");
         Self { index, values }
     }
@@ -382,33 +396,42 @@ impl SparseScores {
     /// [`Self::softmax_rows`] on an explicit backend.
     pub fn softmax_rows_with(&self, backend: Backend) -> SparseScores {
         let n = self.index.size();
+        let mut values = self.values.clone();
         // The row gather is precomputed on the index
         // ([`CscMatrix::row_value_positions`]), so each call only does
-        // the normalisation itself.
-        let normalise = |r: usize| {
-            let mut row: Vec<f32> = self
-                .index
-                .row_value_positions(r)
-                .iter()
-                .map(|&p| self.values[p as usize])
-                .collect();
-            softmax_row(&mut row);
-            row
-        };
-        // Per-row normalisation fans out across workers when blocked; the
-        // scatter back into column order stays sequential (it is O(nnz)
-        // copies).
-        let softmaxed: Vec<Vec<f32>> = match backend {
-            Backend::Scalar => (0..n).map(normalise).collect(),
-            Backend::Blocked => {
-                let work_per_row = self.values.len() / n.max(1) + 1;
-                kernels::par_map_collect(n, work_per_row, normalise)
+        // the normalisation itself. Per-row normalisation fans out
+        // across workers when blocked; with a single worker, rows run in
+        // place through one reused scratch buffer (identical arithmetic,
+        // no per-row allocation — training tapes at small token counts
+        // are dominated by exactly this kind of bookkeeping).
+        if matches!(backend, Backend::Scalar) || kernels::num_threads() <= 1 {
+            let mut scratch = Vec::new();
+            for r in 0..n {
+                let positions = self.index.row_value_positions(r);
+                scratch.clear();
+                scratch.extend(positions.iter().map(|&p| self.values[p as usize]));
+                softmax_row(&mut scratch);
+                for (&p, &v) in positions.iter().zip(scratch.iter()) {
+                    values[p as usize] = v;
+                }
             }
-        };
-        let mut values = self.values.clone();
-        for (r, row) in softmaxed.into_iter().enumerate() {
-            for (&p, v) in self.index.row_value_positions(r).iter().zip(row) {
-                values[p as usize] = v;
+        } else {
+            let normalise = |r: usize| {
+                let mut row: Vec<f32> = self
+                    .index
+                    .row_value_positions(r)
+                    .iter()
+                    .map(|&p| self.values[p as usize])
+                    .collect();
+                softmax_row(&mut row);
+                row
+            };
+            let work_per_row = self.values.len() / n.max(1) + 1;
+            let softmaxed = kernels::par_map_collect(n, work_per_row, normalise);
+            for (r, row) in softmaxed.into_iter().enumerate() {
+                for (&p, v) in self.index.row_value_positions(r).iter().zip(row) {
+                    values[p as usize] = v;
+                }
             }
         }
         SparseScores {
@@ -448,6 +471,50 @@ pub fn sddmm_k_stationary_with(
     index: &CscMatrix,
     scale: f32,
 ) -> SparseScores {
+    let values = sddmm_values(backend, q, k, index, scale);
+    SparseScores {
+        index: Arc::new(index.clone()),
+        values,
+    }
+}
+
+/// [`sddmm_k_stationary`] over an `Arc`-shared index on the ambient
+/// backend: the emitted scores reference the caller's index instead of
+/// copying it — the form the training tape uses, where one frozen index
+/// serves every sample of every step.
+pub fn sddmm_k_stationary_shared(
+    q: &Matrix,
+    k: &Matrix,
+    index: &Arc<CscMatrix>,
+    scale: f32,
+) -> SparseScores {
+    sddmm_k_stationary_shared_with(kernels::backend(), q, k, index, scale)
+}
+
+/// [`sddmm_k_stationary_shared`] on an explicit backend.
+pub fn sddmm_k_stationary_shared_with(
+    backend: Backend,
+    q: &Matrix,
+    k: &Matrix,
+    index: &Arc<CscMatrix>,
+    scale: f32,
+) -> SparseScores {
+    let values = sddmm_values(backend, q, k, index, scale);
+    SparseScores {
+        index: index.clone(),
+        values,
+    }
+}
+
+/// The K-stationary SDDMM walk shared by the owned and `Arc`-shared
+/// entry points.
+fn sddmm_values(
+    backend: Backend,
+    q: &Matrix,
+    k: &Matrix,
+    index: &CscMatrix,
+    scale: f32,
+) -> Vec<f32> {
     assert_eq!(q.cols(), k.cols(), "q/k feature dims differ");
     assert_eq!(q.rows(), index.size(), "index size must match tokens");
     assert_eq!(k.rows(), index.size(), "index size must match tokens");
@@ -468,20 +535,18 @@ pub fn sddmm_k_stationary_with(
             }
         }
     };
-    match backend {
-        Backend::Scalar => emit(0..index.size(), &mut values),
-        Backend::Blocked => {
-            let col_off = index.column_offsets();
-            let (value_bounds, column_starts) = index.column_partition(&col_off);
-            kernels::par_segments(&mut values, &value_bounds, |seg, out| {
-                emit(column_starts[seg]..column_starts[seg + 1], out)
-            });
-        }
+    // A single worker walks the whole stream directly; the partition
+    // bookkeeping only pays for itself when segments actually fan out.
+    if matches!(backend, Backend::Scalar) || kernels::num_threads() <= 1 {
+        emit(0..index.size(), &mut values);
+    } else {
+        let col_off = index.column_offsets();
+        let (value_bounds, column_starts) = index.column_partition(&col_off);
+        kernels::par_segments(&mut values, &value_bounds, |seg, out| {
+            emit(column_starts[seg]..column_starts[seg + 1], out)
+        });
     }
-    SparseScores {
-        index: index.clone(),
-        values,
-    }
+    values
 }
 
 /// 8-bit K-stationary SDDMM: the same walk with i8 operands and i32
@@ -538,7 +603,7 @@ pub fn sddmm_k_stationary_int8_with(
         }
     }
     SparseScores {
-        index: index.clone(),
+        index: Arc::new(index.clone()),
         values,
     }
 }
@@ -625,6 +690,317 @@ pub fn attention_head_int8(
     let scores = sddmm_k_stationary_int8(q, k, index, scale);
     let probs = scores.softmax_rows();
     spmm_output_stationary(&probs, v)
+}
+
+// ---------------------------------------------------------------------------
+// Backward kernels (sparse training)
+// ---------------------------------------------------------------------------
+
+/// Backward of [`sddmm_k_stationary`] on the ambient backend: given the
+/// upstream gradient `dscores` w.r.t. the emitted sparse scores, returns
+/// `(gq, gk)` — dense gradients for Q and K that only accumulate over the
+/// kept positions, so the pass costs `O(nnz · dk)` instead of `O(n² · dk)`.
+///
+/// Per kept `(q, k)`: `gq[q, :] += scale · dS[q,k] · K[k, :]` and
+/// `gk[k, :] += scale · dS[q,k] · Q[q, :]`.
+///
+/// # Panics
+///
+/// Panics if `q`/`k` shapes disagree with the score index.
+pub fn sddmm_backward(
+    q: &Matrix,
+    k: &Matrix,
+    dscores: &SparseScores,
+    scale: f32,
+) -> (Matrix, Matrix) {
+    sddmm_backward_with(kernels::backend(), q, k, dscores, scale)
+}
+
+/// [`sddmm_backward`] on an explicit backend.
+///
+/// The Q gradient is query-row-parallel (each worker owns disjoint `gq`
+/// rows and walks that row's kept positions in ascending column order via
+/// the precomputed row gather); the K gradient is key-column-parallel
+/// (each worker owns disjoint `gk` rows — CSC columns — and walks each
+/// column's kept rows ascending). Both flavours accumulate every output
+/// element in the same order, so Scalar and Blocked agree bitwise.
+pub fn sddmm_backward_with(
+    backend: Backend,
+    q: &Matrix,
+    k: &Matrix,
+    dscores: &SparseScores,
+    scale: f32,
+) -> (Matrix, Matrix) {
+    let index = &dscores.index;
+    let n = index.size();
+    assert_eq!(q.cols(), k.cols(), "q/k feature dims differ");
+    assert_eq!(q.rows(), n, "index size must match tokens");
+    assert_eq!(k.rows(), n, "index size must match tokens");
+    let dk = q.cols();
+    let ds = &dscores.values;
+    let nnz = dscores.nnz();
+    let per_row_work = dk * (nnz / n.max(1) + 1);
+
+    let mut gq = Matrix::zeros(n, dk);
+    let mut gk = Matrix::zeros(n, dk);
+    if matches!(backend, Backend::Scalar) || kernels::num_threads() <= 1 {
+        // Single fused CSC walk: each gq row still accumulates in
+        // ascending column order and each gk row in ascending query
+        // order — exactly the orders of the parallel flavours below, so
+        // the fast path is bit-identical to them.
+        if dk > 0 {
+            let mut pos = 0;
+            for col in 0..n {
+                let k_vec = k.row(col);
+                for &qi in index.col_rows(col) {
+                    let g = ds[pos] * scale;
+                    pos += 1;
+                    if g == 0.0 {
+                        continue;
+                    }
+                    let q_vec = q.row(qi as usize);
+                    for (o, &kv) in gq.row_mut(qi as usize).iter_mut().zip(k_vec.iter()) {
+                        *o += g * kv;
+                    }
+                    for (o, &qv) in gk.row_mut(col).iter_mut().zip(q_vec.iter()) {
+                        *o += g * qv;
+                    }
+                }
+            }
+        }
+        return (gq, gk);
+    }
+    let col_of = index.value_columns();
+    let gq_rows = |first_row: usize, chunk: &mut [f32]| {
+        if dk == 0 {
+            return;
+        }
+        for (ci, grow) in chunk.chunks_mut(dk).enumerate() {
+            let qi = first_row + ci;
+            for &p in index.row_value_positions(qi) {
+                let g = ds[p as usize] * scale;
+                if g == 0.0 {
+                    continue;
+                }
+                let k_vec = k.row(col_of[p as usize] as usize);
+                for (o, &kv) in grow.iter_mut().zip(k_vec.iter()) {
+                    *o += g * kv;
+                }
+            }
+        }
+    };
+    kernels::for_each_row_chunk_weighted(gq.as_mut_slice(), dk.max(1), per_row_work, gq_rows);
+
+    let col_off = index.column_offsets();
+    let gk_rows = |first_col: usize, chunk: &mut [f32]| {
+        if dk == 0 {
+            return;
+        }
+        for (ci, grow) in chunk.chunks_mut(dk).enumerate() {
+            let col = first_col + ci;
+            for (pos, &qi) in (col_off[col]..).zip(index.col_rows(col).iter()) {
+                let g = ds[pos] * scale;
+                if g == 0.0 {
+                    continue;
+                }
+                let q_vec = q.row(qi as usize);
+                for (o, &qv) in grow.iter_mut().zip(q_vec.iter()) {
+                    *o += g * qv;
+                }
+            }
+        }
+    };
+    kernels::for_each_row_chunk_weighted(gk.as_mut_slice(), dk.max(1), per_row_work, gk_rows);
+    (gq, gk)
+}
+
+/// Backward of [`SparseScores::softmax_rows`] on the ambient backend:
+/// given the softmaxed probabilities `probs` and the upstream gradient
+/// `dprobs` (both in the same CSC layout), returns the gradient w.r.t.
+/// the pre-softmax scores:
+/// `dS = P ⊙ (dP − rowsum(dP ⊙ P))`, rows restricted to kept positions.
+///
+/// # Panics
+///
+/// Panics if `probs` and `dprobs` disagree in size or non-zero count.
+pub fn sparse_softmax_backward(probs: &SparseScores, dprobs: &SparseScores) -> SparseScores {
+    sparse_softmax_backward_with(kernels::backend(), probs, dprobs)
+}
+
+/// [`sparse_softmax_backward`] on an explicit backend (query-row-parallel
+/// when blocked, like the forward).
+pub fn sparse_softmax_backward_with(
+    backend: Backend,
+    probs: &SparseScores,
+    dprobs: &SparseScores,
+) -> SparseScores {
+    let index = &probs.index;
+    let n = index.size();
+    // Arc identity is the O(1) common case (dprobs shares probs' index
+    // through the backward chain); the structural comparison only runs
+    // for independently-built indexes, where a mismatch would silently
+    // pair gradients with the wrong (q, k) cells.
+    assert!(
+        Arc::ptr_eq(index, &dprobs.index) || *index == dprobs.index,
+        "probs/dprobs indexes differ"
+    );
+    let pv = &probs.values;
+    let dv = &dprobs.values;
+    let mut values = vec![0.0f32; probs.nnz()];
+    if matches!(backend, Backend::Scalar) || kernels::num_threads() <= 1 {
+        // Rows partition the values buffer, so a single worker writes
+        // each row's results straight into place — no per-row buffers.
+        for r in 0..n {
+            let positions = index.row_value_positions(r);
+            let mut dot = 0.0f32;
+            for &p in positions {
+                dot += pv[p as usize] * dv[p as usize];
+            }
+            for &p in positions {
+                values[p as usize] = pv[p as usize] * (dv[p as usize] - dot);
+            }
+        }
+    } else {
+        let backward_row = |r: usize| {
+            let positions = index.row_value_positions(r);
+            let mut dot = 0.0f32;
+            for &p in positions {
+                dot += pv[p as usize] * dv[p as usize];
+            }
+            positions
+                .iter()
+                .map(|&p| pv[p as usize] * (dv[p as usize] - dot))
+                .collect::<Vec<f32>>()
+        };
+        let work_per_row = 2 * (probs.nnz() / n.max(1) + 1);
+        let rows = kernels::par_map_collect(n, work_per_row, backward_row);
+        for (r, row) in rows.into_iter().enumerate() {
+            for (&p, v) in index.row_value_positions(r).iter().zip(row) {
+                values[p as usize] = v;
+            }
+        }
+    }
+    SparseScores {
+        index: index.clone(),
+        values,
+    }
+}
+
+/// Backward of [`spmm_output_stationary`] on the ambient backend: given
+/// the sparse probabilities `probs`, the value matrix `v` and the
+/// upstream gradient `gout` of the attention output, returns
+/// `(dprobs, gv)`:
+///
+/// * `dprobs[q, k] = ⟨gout[q, :], v[k, :]⟩` at kept positions — an SDDMM
+///   over the same CSC index (`O(nnz · dk)`);
+/// * `gv[k, :] = Σ_{q kept in column k} probs[q,k] · gout[q, :]` —
+///   key-column-parallel like the K gradient of [`sddmm_backward`].
+///
+/// # Panics
+///
+/// Panics if shapes disagree with the score index.
+pub fn spmm_backward(probs: &SparseScores, v: &Matrix, gout: &Matrix) -> (SparseScores, Matrix) {
+    spmm_backward_with(kernels::backend(), probs, v, gout)
+}
+
+/// [`spmm_backward`] on an explicit backend.
+pub fn spmm_backward_with(
+    backend: Backend,
+    probs: &SparseScores,
+    v: &Matrix,
+    gout: &Matrix,
+) -> (SparseScores, Matrix) {
+    let index = &probs.index;
+    let n = index.size();
+    assert_eq!(v.rows(), n, "V token count must match index");
+    assert_eq!(gout.rows(), n, "gout token count must match index");
+    assert_eq!(gout.cols(), v.cols(), "gout/V feature dims differ");
+    let dk = v.cols();
+    // dP is the same K-stationary walk as the forward SDDMM, with the
+    // upstream gradient standing in for Q and V for K; it shares the
+    // probabilities' index instead of copying it.
+    let dprobs = SparseScores {
+        index: probs.index.clone(),
+        values: sddmm_values(backend, gout, v, index, 1.0),
+    };
+
+    let mut gv = Matrix::zeros(n, dk);
+    let pv = &probs.values;
+    if matches!(backend, Backend::Scalar) || kernels::num_threads() <= 1 {
+        // Single sequential walk of the stream; per-gv-row order is
+        // ascending query like the chunked flavour below.
+        if dk > 0 {
+            let mut pos = 0;
+            for col in 0..n {
+                for &qi in index.col_rows(col) {
+                    let p = pv[pos];
+                    pos += 1;
+                    if p == 0.0 {
+                        continue;
+                    }
+                    let g_vec = gout.row(qi as usize);
+                    for (o, &g) in gv.row_mut(col).iter_mut().zip(g_vec.iter()) {
+                        *o += p * g;
+                    }
+                }
+            }
+        }
+        return (dprobs, gv);
+    }
+    let col_off = index.column_offsets();
+    let gv_rows = |first_col: usize, chunk: &mut [f32]| {
+        if dk == 0 {
+            return;
+        }
+        for (ci, grow) in chunk.chunks_mut(dk).enumerate() {
+            let col = first_col + ci;
+            for (pos, &qi) in (col_off[col]..).zip(index.col_rows(col).iter()) {
+                let p = pv[pos];
+                if p == 0.0 {
+                    continue;
+                }
+                let g_vec = gout.row(qi as usize);
+                for (o, &g) in grow.iter_mut().zip(g_vec.iter()) {
+                    *o += p * g;
+                }
+            }
+        }
+    };
+    let per_row_work = dk * (probs.nnz() / n.max(1) + 1);
+    kernels::for_each_row_chunk_weighted(gv.as_mut_slice(), dk.max(1), per_row_work, gv_rows);
+    (dprobs, gv)
+}
+
+/// Backward of [`attention_head`] on the ambient backend: given the
+/// cached sparse probabilities of the forward pass and the upstream
+/// gradient `gout`, returns `(gq, gk, gv)`. Every stage scales with
+/// `nnz` instead of `n²` — this is what makes sparse *training* cost
+/// follow the mask density, not just inference.
+pub fn attention_head_backward(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    scale: f32,
+    probs: &SparseScores,
+    gout: &Matrix,
+) -> (Matrix, Matrix, Matrix) {
+    attention_head_backward_with(kernels::backend(), q, k, v, scale, probs, gout)
+}
+
+/// [`attention_head_backward`] on an explicit backend.
+pub fn attention_head_backward_with(
+    backend: Backend,
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    scale: f32,
+    probs: &SparseScores,
+    gout: &Matrix,
+) -> (Matrix, Matrix, Matrix) {
+    let (dprobs, gv) = spmm_backward_with(backend, probs, v, gout);
+    let dscores = sparse_softmax_backward_with(backend, probs, &dprobs);
+    let (gq, gk) = sddmm_backward_with(backend, q, k, &dscores, scale);
+    (gq, gk, gv)
 }
 
 #[cfg(test)]
@@ -778,6 +1154,135 @@ mod tests {
             CscMatrix::from_index_string(9, &dg.to_index_string()).unwrap(),
             dg
         );
+    }
+
+    /// Densifies a CSC-ordered gradient for comparison with the dense
+    /// reference.
+    fn dense_masked_reference(
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        index: &CscMatrix,
+        scale: f32,
+        gout: &Matrix,
+    ) -> (Matrix, Matrix, Matrix) {
+        let n = index.size();
+        let mut bias = Matrix::filled(n, n, f32::NEG_INFINITY);
+        for (qq, kk) in index.iter_kept() {
+            bias.set(qq, kk, 0.0);
+        }
+        let (_, probs) = kernels::attention_head(q, k, v, scale, Some(&bias));
+        kernels::attention_head_backward(q, k, v, scale, &probs, gout)
+    }
+
+    #[test]
+    fn backward_matches_dense_masked_reference() {
+        let (n, dk) = (24, 8);
+        let (q, k, v) = (random(n, dk, 20), random(n, dk, 21), random(n, dk, 22));
+        let gout = random(n, dk, 23);
+        let index = diag_global(n);
+        let probs = sddmm_k_stationary(&q, &k, &index, 0.3).softmax_rows();
+        let (gq, gk, gv) = attention_head_backward(&q, &k, &v, 0.3, &probs, &gout);
+        let (rgq, rgk, rgv) = dense_masked_reference(&q, &k, &v, &index, 0.3, &gout);
+        assert!(
+            gq.max_abs_diff(&rgq) < 1e-4,
+            "gq off by {}",
+            gq.max_abs_diff(&rgq)
+        );
+        assert!(
+            gk.max_abs_diff(&rgk) < 1e-4,
+            "gk off by {}",
+            gk.max_abs_diff(&rgk)
+        );
+        assert!(
+            gv.max_abs_diff(&rgv) < 1e-4,
+            "gv off by {}",
+            gv.max_abs_diff(&rgv)
+        );
+    }
+
+    #[test]
+    fn backward_backends_agree_bitwise() {
+        let (n, dk) = (33, 8);
+        let (q, k, v) = (random(n, dk, 24), random(n, dk, 25), random(n, dk, 26));
+        let gout = random(n, dk, 27);
+        let index = diag_global(n);
+        let probs = sddmm_k_stationary(&q, &k, &index, 0.25).softmax_rows();
+        let s = attention_head_backward_with(Backend::Scalar, &q, &k, &v, 0.25, &probs, &gout);
+        let b = attention_head_backward_with(Backend::Blocked, &q, &k, &v, 0.25, &probs, &gout);
+        assert_eq!(s.0, b.0, "gq backends disagree");
+        assert_eq!(s.1, b.1, "gk backends disagree");
+        assert_eq!(s.2, b.2, "gv backends disagree");
+        // Granular kernels agree too.
+        let dp_s = spmm_backward_with(Backend::Scalar, &probs, &v, &gout);
+        let dp_b = spmm_backward_with(Backend::Blocked, &probs, &v, &gout);
+        assert_eq!(dp_s.0, dp_b.0);
+        assert_eq!(dp_s.1, dp_b.1);
+        let ds_s = sparse_softmax_backward_with(Backend::Scalar, &probs, &dp_s.0);
+        let ds_b = sparse_softmax_backward_with(Backend::Blocked, &probs, &dp_b.0);
+        assert_eq!(ds_s, ds_b);
+        let g_s = sddmm_backward_with(Backend::Scalar, &q, &k, &ds_s, 0.25);
+        let g_b = sddmm_backward_with(Backend::Blocked, &q, &k, &ds_b, 0.25);
+        assert_eq!(g_s, g_b);
+    }
+
+    #[test]
+    fn forced_multithread_backward_is_identical() {
+        let (n, dk) = (40, 8);
+        let (q, k, v) = (random(n, dk, 28), random(n, dk, 29), random(n, dk, 30));
+        let gout = random(n, dk, 31);
+        let index = diag_global(n);
+        let probs = sddmm_k_stationary(&q, &k, &index, 0.3).softmax_rows();
+        let sequential = attention_head_backward(&q, &k, &v, 0.3, &probs, &gout);
+        let parallel = kernels::with_thread_budget(4, || {
+            attention_head_backward(&q, &k, &v, 0.3, &probs, &gout)
+        });
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn sddmm_backward_finite_difference_on_tiny_head() {
+        // d/dQ and d/dK of loss = Σ gout ⊙ sddmm(Q, K) on a 4-token head.
+        let (n, dk) = (4, 3);
+        let (q, k) = (random(n, dk, 32), random(n, dk, 33));
+        let index = CscMatrix::from_indicator(n, |r, c| r == c || c == 0);
+        let gout: Vec<f32> = (0..index.nnz()).map(|i| 0.5 + 0.1 * i as f32).collect();
+        let loss = |q: &Matrix, k: &Matrix| {
+            sddmm_k_stationary(q, k, &index, 0.5)
+                .values()
+                .iter()
+                .zip(&gout)
+                .map(|(s, g)| s * g)
+                .sum::<f32>()
+        };
+        let ds = SparseScores::new(index.clone(), gout.clone());
+        let (gq, gk) = sddmm_backward(&q, &k, &ds, 0.5);
+        let h = 1e-2f32;
+        for r in 0..n {
+            for c in 0..dk {
+                let mut qp = q.clone();
+                qp.set(r, c, q.get(r, c) + h);
+                let mut qm = q.clone();
+                qm.set(r, c, q.get(r, c) - h);
+                let fd = (loss(&qp, &k) - loss(&qm, &k)) / (2.0 * h);
+                assert!((fd - gq.get(r, c)).abs() < 1e-2, "gq({r},{c})");
+                let mut kp = k.clone();
+                kp.set(r, c, k.get(r, c) + h);
+                let mut km = k.clone();
+                km.set(r, c, k.get(r, c) - h);
+                let fd = (loss(&q, &kp) - loss(&q, &km)) / (2.0 * h);
+                assert!((fd - gk.get(r, c)).abs() < 1e-2, "gk({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn value_columns_invert_the_walk() {
+        let csc = diag_global(9);
+        let cols = csc.value_columns();
+        for (p, (_, k)) in csc.iter_kept().enumerate() {
+            assert_eq!(cols[p] as usize, k, "position {p}");
+        }
     }
 
     #[test]

@@ -1,0 +1,212 @@
+//! The [`SparseFinetuner`]: dense warmup → mask freeze → sparse finetune
+//! → [`CompiledVit`] handoff.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vitcod_autograd::ParamStore;
+use vitcod_core::{SplitConquer, SplitConquerConfig};
+use vitcod_engine::CompiledVit;
+use vitcod_model::{
+    AutoEncoderSpec, SyntheticTask, TrainConfig, Trainer, Trajectory, ViTConfig, VisionTransformer,
+};
+
+/// Configuration of a full sparse-finetune run.
+#[derive(Debug, Clone)]
+pub struct SparseFinetuneConfig {
+    /// Model architecture (reduced configs train in seconds).
+    pub model: ViTConfig,
+    /// Dense warmup schedule (the "pretrained ViT" input of Fig. 10).
+    pub warmup: TrainConfig,
+    /// Sparse finetuning schedule, run after the mask freeze.
+    pub finetune: TrainConfig,
+    /// Split-and-conquer settings producing the per-head masks.
+    pub split_conquer: SplitConquerConfig,
+    /// Auto-encoder modules inserted before the warmup; `None` skips
+    /// them.
+    pub auto_encoder: Option<AutoEncoderSpec>,
+    /// Weight-init / data-order seed.
+    pub seed: u64,
+}
+
+impl SparseFinetuneConfig {
+    /// The paper's recipe at the model's reported sparsity: warmup, AE at
+    /// 50 % head compression, split-and-conquer, sparse finetune.
+    pub fn paper_default(model: ViTConfig) -> Self {
+        let heads = model.heads;
+        let sparsity = model.paper_sparsity;
+        Self {
+            warmup: TrainConfig {
+                epochs: 15,
+                ..TrainConfig::default()
+            },
+            finetune: TrainConfig {
+                epochs: 10,
+                lr: 1e-3,
+                ..TrainConfig::default()
+            },
+            split_conquer: SplitConquerConfig::with_sparsity(sparsity),
+            auto_encoder: Some(AutoEncoderSpec::half(heads)),
+            model,
+            seed: 0x5EED,
+        }
+    }
+
+    /// A fast recipe (few epochs, no AE, 90 % sparsity) for tests and
+    /// examples.
+    pub fn quick(model: ViTConfig) -> Self {
+        Self {
+            warmup: TrainConfig {
+                epochs: 4,
+                ..TrainConfig::default()
+            },
+            finetune: TrainConfig {
+                epochs: 3,
+                lr: 1e-3,
+                ..TrainConfig::default()
+            },
+            split_conquer: SplitConquerConfig::with_sparsity(0.9),
+            auto_encoder: None,
+            model,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Everything a sparse-finetune run produced.
+#[derive(Debug)]
+pub struct SparseFinetuneReport {
+    /// Held-out accuracy of the dense warmed-up model.
+    pub dense_accuracy: f32,
+    /// Dense warmup trajectory.
+    pub warmup_trajectory: Trajectory,
+    /// Sparse finetuning trajectory (after the mask freeze).
+    pub sparse_trajectory: Trajectory,
+    /// Held-out accuracy after sparse finetuning.
+    pub sparse_accuracy: f32,
+    /// Mean achieved attention sparsity across masked heads.
+    pub achieved_sparsity: f64,
+    /// Number of heads frozen onto the CSC dataflow.
+    pub sparse_heads: usize,
+    /// The finetuned weights frozen for serving; hand this to
+    /// [`vitcod_engine::Engine::builder`] or save it with
+    /// [`CompiledVit::save`].
+    pub compiled: CompiledVit,
+    /// The finetuned trainer, for further analysis or training.
+    pub trainer: Trainer,
+}
+
+impl SparseFinetuneReport {
+    /// Accuracy drop of the sparse model versus its dense warmup
+    /// (the paper claims < 1 % at 90 % sparsity on DeiT).
+    pub fn accuracy_drop(&self) -> f32 {
+        self.dense_accuracy - self.sparse_accuracy
+    }
+}
+
+/// Drives the polarize → prune → sparse-finetune → compile loop.
+///
+/// See the [crate-level documentation](crate) for the full story and an
+/// example.
+#[derive(Debug, Clone)]
+pub struct SparseFinetuner {
+    config: SparseFinetuneConfig,
+}
+
+impl SparseFinetuner {
+    /// Creates a finetuner with `config`.
+    pub fn new(config: SparseFinetuneConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SparseFinetuneConfig {
+        &self.config
+    }
+
+    /// Runs the full loop on `task`: build → warmup → freeze → sparse
+    /// finetune → compile.
+    pub fn run(&self, task: &SyntheticTask) -> SparseFinetuneReport {
+        let cfg = &self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut store = ParamStore::new();
+        let mut vit = VisionTransformer::new(
+            &cfg.model,
+            task.config.in_dim,
+            task.config.num_classes,
+            &mut store,
+            &mut rng,
+        );
+        if let Some(spec) = cfg.auto_encoder {
+            let mut rng_ae = ChaCha8Rng::seed_from_u64(cfg.seed ^ 0xAE);
+            vit.insert_auto_encoder(spec, &mut store, &mut rng_ae);
+        }
+        let mut trainer = Trainer::new(vit, store);
+
+        let warmup_trajectory = trainer.train(task, &cfg.warmup);
+        let dense_accuracy = trainer.evaluate(&task.test);
+
+        let (sparse_trajectory, achieved_sparsity, sparse_heads) =
+            self.finetune_sparse(&mut trainer, task);
+        let sparse_accuracy = trainer.evaluate(&task.test);
+
+        let compiled = CompiledVit::from_parts(trainer.model(), trainer.store());
+        SparseFinetuneReport {
+            dense_accuracy,
+            warmup_trajectory,
+            sparse_trajectory,
+            sparse_accuracy,
+            achieved_sparsity,
+            sparse_heads,
+            compiled,
+            trainer,
+        }
+    }
+
+    /// The freeze-and-finetune half of the loop on an already-warm
+    /// trainer: split-and-conquer on its averaged attention maps,
+    /// install and freeze the masks, then finetune on the nnz-scaled
+    /// sparse path. Returns the finetune trajectory, the achieved mean
+    /// sparsity, and the number of heads frozen sparse.
+    pub fn finetune_sparse(
+        &self,
+        trainer: &mut Trainer,
+        task: &SyntheticTask,
+    ) -> (Trajectory, f64, usize) {
+        let maps = trainer.averaged_attention_maps(task);
+        let sc = SplitConquer::new(self.config.split_conquer);
+        let polarized = sc.apply(&maps);
+        let achieved = SplitConquer::mean_sparsity(&polarized);
+        let plan = SplitConquer::to_sparsity_plan(&polarized);
+        trainer.model_mut().set_sparsity_plan(plan);
+        let sparse_heads = trainer.model_mut().freeze_sparse_attention();
+        let trajectory = trainer.train(task, &self.config.finetune);
+        (trajectory, achieved, sparse_heads)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitcod_model::SyntheticTaskConfig;
+
+    #[test]
+    fn quick_run_produces_sparse_compiled_model() {
+        let task = SyntheticTask::generate(SyntheticTaskConfig {
+            train_samples: 40,
+            test_samples: 24,
+            ..Default::default()
+        });
+        let cfg = SparseFinetuneConfig::quick(ViTConfig::deit_tiny().reduced_for_training());
+        let report = SparseFinetuner::new(cfg).run(&task);
+        assert!(
+            (report.achieved_sparsity - 0.9).abs() < 0.05,
+            "sparsity {}",
+            report.achieved_sparsity
+        );
+        assert!(report.sparse_heads > 0);
+        assert!(report.trainer.model().has_frozen_sparse());
+        assert_eq!(report.compiled.num_sparse_heads(), report.sparse_heads);
+        assert!(report.compiled.mean_attention_sparsity() > 0.5);
+        assert_eq!(report.sparse_trajectory.epochs.len(), 3);
+    }
+}

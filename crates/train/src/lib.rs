@@ -1,0 +1,55 @@
+//! The sparse-aware training subsystem: the paper's polarize → prune →
+//! sparse-finetune → compile loop as one composable component.
+//!
+//! ViTCoD's algorithm is not just a fixed mask at inference time — the
+//! accuracy that makes the co-designed accelerator viable comes from
+//! *finetuning the model under the polarized sparse attention patterns*
+//! (paper Fig. 10). This crate owns that loop end to end:
+//!
+//! 1. **Dense warmup** — the "pretrained ViT" input, trained with the
+//!    batched tape ([`vitcod_model::Trainer`] runs every minibatch as a
+//!    single stacked forward/backward, amortising weight imports and
+//!    per-op overhead across the batch);
+//! 2. **Mask freeze** — split-and-conquer
+//!    ([`vitcod_core::SplitConquer`]) on the warmed-up model's averaged
+//!    attention maps produces per-head masks, which
+//!    [`VisionTransformer::freeze_sparse_attention`] compiles to CSC
+//!    indexes once;
+//! 3. **Sparse finetune** — masked heads now run the accelerator's
+//!    SDDMM → sparse-softmax → SpMM dataflow in the forward *and* the
+//!    backward pass (`vitcod_tensor::sparse`'s nnz-scaled backward
+//!    kernels), so a finetune step's attention cost follows the mask
+//!    density instead of `n²`;
+//! 4. **Compile** — the finetuned weights freeze into a
+//!    [`vitcod_engine::CompiledVit`] ready for the serving engine and
+//!    registry, bit-exact through the on-disk artifact round trip.
+//!
+//! Every step keeps the workspace's determinism contract: losses and
+//! gradients are bit-identical across [`vitcod_tensor::Backend`]s and
+//! worker counts, because all kernels preserve each output element's
+//! reduction order.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use vitcod_model::{SyntheticTask, SyntheticTaskConfig, ViTConfig};
+//! use vitcod_train::{SparseFinetuneConfig, SparseFinetuner};
+//!
+//! let task = SyntheticTask::generate(SyntheticTaskConfig::default());
+//! let cfg = SparseFinetuneConfig::quick(ViTConfig::deit_tiny().reduced_for_training());
+//! let report = SparseFinetuner::new(cfg).run(&task);
+//! assert!(report.achieved_sparsity > 0.5);
+//! let engine = vitcod_engine::Engine::builder(report.compiled.clone()).build();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod finetuner;
+
+pub use finetuner::{SparseFinetuneConfig, SparseFinetuneReport, SparseFinetuner};
+
+// Re-exported so downstream callers of `vitcod::train` can drive the
+// loop without importing three more crates.
+pub use vitcod_core::SplitConquerConfig;
+pub use vitcod_model::{TrainConfig, Trainer, Trajectory, VisionTransformer};

@@ -16,6 +16,10 @@
 //!   [`engine::CompiledVit`] artifacts (with bit-exact on-disk
 //!   save/load) and the batched, tape-free [`engine::Engine`] with
 //!   truly-sparse attention;
+//! * [`train`] — the sparse-aware training subsystem:
+//!   [`train::SparseFinetuner`] owns the polarize → prune →
+//!   sparse-finetune → compile loop, with batched single-tape training
+//!   steps and nnz-scaled sparse attention backward kernels;
 //! * [`serve`] — the serving layer: [`serve::Server`]'s bounded request
 //!   queue with dynamic batching (request deadlines, round-robin
 //!   per-model fairness, hot engine reload), the multi-model
@@ -55,4 +59,5 @@ pub use vitcod_model as model;
 pub use vitcod_serve as serve;
 pub use vitcod_sim as sim;
 pub use vitcod_tensor as tensor;
+pub use vitcod_train as train;
 pub use vitcod_transport as transport;
