@@ -1,17 +1,24 @@
-//! Kernel-layer benchmark: Scalar reference vs Blocked parallel backend
-//! on the GEMM shapes a DeiT attention layer actually runs, plus the
-//! 1024³ acceptance shape.
+//! Kernel-layer benchmark: Scalar reference vs Blocked parallel vs Simd
+//! lane-tiled backends on the GEMM shapes a DeiT attention layer
+//! actually runs — in fp32 and through the packed int8 projection GEMM —
+//! plus the 1024³ acceptance shape.
 //!
 //! Run with `cargo bench -p vitcod-bench --bench kernels`; results are
 //! printed and recorded to `BENCH_kernels.json` at the workspace root so
-//! later PRs have a perf trajectory to compare against. Every timed pair
-//! is also checked for bit-identical results, enforcing the backend
-//! agreement contract at benchmark scale.
+//! later PRs have a perf trajectory to compare against. Every timed
+//! fp32 backend pair is also checked for bit-identical results,
+//! enforcing the backend agreement contract at benchmark scale, and the
+//! int8 GEMM is checked bit-identical across its reference and panel
+//! paths.
+//!
+//! Gates: the blocked backend must beat scalar ≥ 4× on the 1024³ GEMM,
+//! and the int8 projection GEMM must beat the fp32 Blocked GEMM at
+//! every DeiT projection shape.
 
 use std::time::Instant;
 
 use vitcod_tensor::kernels::{matmul_with, num_threads, softmax_rows, Backend};
-use vitcod_tensor::Initializer;
+use vitcod_tensor::{int8_gemm, int8_gemm_with, Initializer, PackedGemmWeights, QuantizedRows};
 
 /// (name, tokens, model dim) per DeiT variant: the QKV/output projections
 /// are `tokens × dim · dim × dim` GEMMs.
@@ -46,6 +53,10 @@ struct Record {
     n: usize,
     scalar_s: f64,
     blocked_s: f64,
+    simd_s: f64,
+    /// Packed int8 GEMM over the same shape; `None` for shapes that only
+    /// track the fp32 trajectory (the 1024³ acceptance gate).
+    int8_s: Option<f64>,
 }
 
 impl Record {
@@ -53,25 +64,55 @@ impl Record {
         self.scalar_s / self.blocked_s
     }
 
-    fn gflops(&self) -> f64 {
-        2.0 * (self.m * self.k * self.n) as f64 / self.blocked_s / 1e9
+    fn ops(&self) -> f64 {
+        2.0 * (self.m * self.k * self.n) as f64
+    }
+
+    fn blocked_gflops(&self) -> f64 {
+        self.ops() / self.blocked_s / 1e9
+    }
+
+    fn simd_gflops(&self) -> f64 {
+        self.ops() / self.simd_s / 1e9
+    }
+
+    fn int8_gops(&self) -> Option<f64> {
+        self.int8_s.map(|s| self.ops() / s / 1e9)
     }
 }
 
-fn bench_gemm(name: &str, m: usize, k: usize, n: usize, window_s: f64) -> Record {
+fn bench_gemm(name: &str, m: usize, k: usize, n: usize, int8: bool, window_s: f64) -> Record {
     let a = Initializer::Normal { std: 1.0 }.sample(m, k, 1);
     let b = Initializer::Normal { std: 1.0 }.sample(k, n, 2);
-    let blocked_out = matmul_with(Backend::Blocked, &a, &b);
     let scalar_out = matmul_with(Backend::Scalar, &a, &b);
-    assert_eq!(
-        blocked_out, scalar_out,
-        "{name}: backends disagree at ({m},{k},{n})"
-    );
+    for backend in [Backend::Blocked, Backend::Simd] {
+        assert_eq!(
+            matmul_with(backend, &a, &b),
+            scalar_out,
+            "{name}: {backend:?} disagrees with Scalar at ({m},{k},{n})"
+        );
+    }
     let blocked_s = time_best(window_s, || {
         std::hint::black_box(matmul_with(Backend::Blocked, &a, &b));
     });
+    let simd_s = time_best(window_s, || {
+        std::hint::black_box(matmul_with(Backend::Simd, &a, &b));
+    });
     let scalar_s = time_best(window_s, || {
         std::hint::black_box(matmul_with(Backend::Scalar, &a, &b));
+    });
+    let int8_s = int8.then(|| {
+        let a8 = QuantizedRows::quantize(&a);
+        let b8 = PackedGemmWeights::pack(&b);
+        let bias = vec![0.0f32; n];
+        assert_eq!(
+            int8_gemm_with(Backend::Scalar, &a8, &b8, &bias),
+            int8_gemm(&a8, &b8, &bias),
+            "{name}: int8 reference and panel paths disagree"
+        );
+        time_best(window_s, || {
+            std::hint::black_box(int8_gemm(&a8, &b8, &bias));
+        })
     });
     let rec = Record {
         name: name.to_string(),
@@ -80,14 +121,22 @@ fn bench_gemm(name: &str, m: usize, k: usize, n: usize, window_s: f64) -> Record
         n,
         scalar_s,
         blocked_s,
+        simd_s,
+        int8_s,
+    };
+    let int8_col = match rec.int8_gops() {
+        Some(g) => format!("  int8 {g:>6.2} Gop/s"),
+        None => String::new(),
     };
     println!(
-        "{:<28} ({m:>4}x{k:>4}x{n:>4})  scalar {:>9.3} ms  blocked {:>9.3} ms  speedup {:>5.1}x  {:>6.2} GFLOP/s",
+        "{:<18} ({m:>4}x{k:>4}x{n:>4})  scalar {:>8.3} ms  blocked {:>8.3} ms ({:>6.2} GF/s)  simd {:>8.3} ms ({:>6.2} GF/s){}",
         rec.name,
         scalar_s * 1e3,
         blocked_s * 1e3,
-        rec.speedup(),
-        rec.gflops()
+        rec.blocked_gflops(),
+        simd_s * 1e3,
+        rec.simd_gflops(),
+        int8_col
     );
     rec
 }
@@ -99,10 +148,17 @@ fn main() {
     );
     let mut records = Vec::new();
     for &(model, tokens, dim) in DEIT_SHAPES {
-        records.push(bench_gemm(&format!("{model}_proj"), tokens, dim, dim, 0.5));
+        records.push(bench_gemm(
+            &format!("{model}_proj"),
+            tokens,
+            dim,
+            dim,
+            true,
+            0.5,
+        ));
     }
     // The acceptance shape: the blocked backend must beat scalar ≥ 4×.
-    let big = bench_gemm("gemm_1024", 1024, 1024, 1024, 0.0);
+    let big = bench_gemm("gemm_1024", 1024, 1024, 1024, false, 0.0);
     let big_speedup = big.speedup();
     records.push(big);
 
@@ -112,7 +168,7 @@ fn main() {
         std::hint::black_box(softmax_rows(&s));
     });
     println!(
-        "{:<28} (197x197)              blocked {:>9.3} ms",
+        "{:<18} (197x197)              blocked {:>8.3} ms",
         "softmax_rows",
         softmax_s * 1e3
     );
@@ -122,16 +178,23 @@ fn main() {
     json.push_str(&format!("  \"threads\": {},\n", num_threads()));
     json.push_str("  \"gemm\": [\n");
     for (i, r) in records.iter().enumerate() {
+        let int8_cols = match (r.int8_s, r.int8_gops()) {
+            (Some(s), Some(g)) => format!(", \"int8_s\": {s:.6}, \"int8_gops\": {g:.2}"),
+            _ => String::new(),
+        };
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"scalar_s\": {:.6}, \"blocked_s\": {:.6}, \"speedup\": {:.2}, \"blocked_gflops\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"m\": {}, \"k\": {}, \"n\": {}, \"scalar_s\": {:.6}, \"blocked_s\": {:.6}, \"simd_s\": {:.6}, \"speedup\": {:.2}, \"blocked_gflops\": {:.2}, \"simd_gflops\": {:.2}{}}}{}\n",
             r.name,
             r.m,
             r.k,
             r.n,
             r.scalar_s,
             r.blocked_s,
+            r.simd_s,
             r.speedup(),
-            r.gflops(),
+            r.blocked_gflops(),
+            r.simd_gflops(),
+            int8_cols,
             if i + 1 < records.len() { "," } else { "" }
         ));
     }
@@ -145,4 +208,16 @@ fn main() {
         "blocked backend must beat the scalar reference by >= 4x on the \
          1024^3 GEMM (got {big_speedup:.1}x)"
     );
+    // The int8 projection GEMM is the serving engine's hot loop: it must
+    // beat the fp32 Blocked GEMM at every DeiT projection shape.
+    for r in records.iter().filter(|r| r.int8_s.is_some()) {
+        let int8_s = r.int8_s.unwrap();
+        assert!(
+            int8_s < r.blocked_s,
+            "{}: int8 GEMM ({:.3} ms) must beat fp32 blocked ({:.3} ms)",
+            r.name,
+            int8_s * 1e3,
+            r.blocked_s * 1e3
+        );
+    }
 }

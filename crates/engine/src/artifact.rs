@@ -25,9 +25,9 @@ use vitcod_core::{
     ParseArtifactError, TensorPayload,
 };
 use vitcod_model::{ModelFamily, StageConfig, ViTConfig};
-use vitcod_tensor::{Matrix, QuantizedMatrix};
+use vitcod_tensor::{Matrix, PackedGemmWeights, QuantParams, QuantizedMatrix};
 
-use crate::compiled::{CompiledAe, CompiledLayer, CompiledVit, HeadPlan};
+use crate::compiled::{CompiledAe, CompiledLayer, CompiledVit, HeadPlan, Int8Projections};
 use crate::Precision;
 
 /// Error loading a [`CompiledVit`] from its serialized form.
@@ -133,6 +133,26 @@ fn take_matrix(
         )));
     }
     Ok(t.payload.to_matrix())
+}
+
+/// Packs an int8 projection payload straight into the serving GEMM
+/// layout. The artifact's i8 bytes and scale are used verbatim — no
+/// dequantize/requantize round-trip — so the packed operand is
+/// byte-identical to what [`CompiledVit::ensure_int8_projections`]
+/// produced at save time. Returns `None` for fp32 payloads.
+fn packed_from_payload(record: &CompiledModelArtifact, name: &str) -> Option<PackedGemmWeights> {
+    match &record.tensor(name)?.payload {
+        TensorPayload::I8 { shape, scale, data } => {
+            let q = QuantizedMatrix::from_raw(
+                shape.0,
+                shape.1,
+                data.clone(),
+                QuantParams { scale: *scale },
+            );
+            Some(PackedGemmWeights::from_quantized(&q))
+        }
+        TensorPayload::F32(_) => None,
+    }
 }
 
 fn take_vec(
@@ -419,6 +439,21 @@ impl CompiledVit {
             })
             .collect::<Result<Vec<_>, _>>()?;
 
+        // Int8 artifacts carry the projection bytes the serving GEMM
+        // consumes: pack them directly (same bytes, same scales) so a
+        // loaded engine computes exactly what the saved one did.
+        let int8 = (0..depth)
+            .map(|l| {
+                let name = |field: &str| format!("layer{l}.{field}");
+                Some(Int8Projections {
+                    w_qkv: packed_from_payload(record, &name("w_qkv"))?,
+                    w_out: packed_from_payload(record, &name("w_out"))?,
+                    w_fc1: packed_from_payload(record, &name("w_fc1"))?,
+                    w_fc2: packed_from_payload(record, &name("w_fc2"))?,
+                })
+            })
+            .collect::<Option<Vec<_>>>();
+
         Ok(CompiledVit {
             patch_w: take_matrix(record, "patch_w", (in_dim, dim))?,
             patch_b: take_vec(record, "patch_b", dim)?,
@@ -431,6 +466,7 @@ impl CompiledVit {
             cfg,
             in_dim,
             num_classes,
+            int8,
         })
     }
 

@@ -12,7 +12,7 @@
 use vitcod_autograd::ParamStore;
 use vitcod_core::{CscMatrix, PipelineReport, PolarizedHead};
 use vitcod_model::{Sample, Trainer, ViTConfig, VisionTransformer};
-use vitcod_tensor::Matrix;
+use vitcod_tensor::{Matrix, PackedGemmWeights};
 
 /// Per-head execution plan.
 #[derive(Debug, Clone)]
@@ -43,6 +43,23 @@ pub struct CompiledAe {
     pub enc_k: Matrix,
     /// K decoder, `compressed_heads × heads`.
     pub dec_k: Matrix,
+}
+
+/// One layer's projection weights packed for the int8 GEMM
+/// ([`vitcod_tensor::int8_gemm`]): quantized per-tensor and re-laid out
+/// into the interleaved `k`-pair lane panels the kernel consumes.
+/// Packed once — at artifact compile or load — and shared read-only by
+/// every engine worker, so serving never re-packs per batch.
+#[derive(Debug, Clone)]
+pub struct Int8Projections {
+    /// Fused QKV projection, `dim × 3·dim`, packed.
+    pub w_qkv: PackedGemmWeights,
+    /// Attention output projection, `dim × dim`, packed.
+    pub w_out: PackedGemmWeights,
+    /// MLP expansion, `dim × mlp·dim`, packed.
+    pub w_fc1: PackedGemmWeights,
+    /// MLP contraction, `mlp·dim × dim`, packed.
+    pub w_fc2: PackedGemmWeights,
 }
 
 /// One transformer block's frozen weights in inference layout.
@@ -97,6 +114,10 @@ pub struct CompiledVit {
     pub(crate) final_beta: Vec<f32>,
     pub(crate) head_w: Matrix,
     pub(crate) head_b: Vec<f32>,
+    /// Per-layer packed int8 projection weights; populated lazily by
+    /// [`CompiledVit::ensure_int8_projections`] or directly from an int8
+    /// artifact's payloads (identical bytes, no requantization).
+    pub(crate) int8: Option<Vec<Int8Projections>>,
 }
 
 fn row_vec(store: &ParamStore, id: vitcod_autograd::ParamId) -> Vec<f32> {
@@ -187,6 +208,7 @@ impl CompiledVit {
             head_w: store.value(model.classifier().weight()).clone(),
             head_b: row_vec(store, model.classifier().bias()),
             cfg,
+            int8: None,
         }
     }
 
@@ -331,6 +353,31 @@ impl CompiledVit {
 
     pub(crate) fn head_b(&self) -> &[f32] {
         &self.head_b
+    }
+
+    /// Packs each layer's projection weights for the int8 GEMM if not
+    /// already present. Packing quantizes the *current* fp32 weights —
+    /// call this before any lossy weight transform so the packed bytes
+    /// match what [`crate::save_compiled_vit`] would store.
+    pub(crate) fn ensure_int8_projections(&mut self) {
+        if self.int8.is_some() {
+            return;
+        }
+        self.int8 = Some(
+            self.layers
+                .iter()
+                .map(|l| Int8Projections {
+                    w_qkv: PackedGemmWeights::pack(&l.w_qkv),
+                    w_out: PackedGemmWeights::pack(&l.w_out),
+                    w_fc1: PackedGemmWeights::pack(&l.w_fc1),
+                    w_fc2: PackedGemmWeights::pack(&l.w_fc2),
+                })
+                .collect(),
+        );
+    }
+
+    pub(crate) fn int8_projections(&self) -> Option<&[Int8Projections]> {
+        self.int8.as_deref()
     }
 
     /// Applies `f` to every weight matrix in place — projections, MLPs,

@@ -6,9 +6,11 @@ use std::sync::Arc;
 use vitcod_autograd::LAYERNORM_EPS;
 use vitcod_model::Sample;
 use vitcod_tensor::sparse;
-use vitcod_tensor::{argmax, gelu, kernels, Backend, Matrix, QuantizedMatrix};
+use vitcod_tensor::{
+    argmax, gelu, int8_gemm, kernels, Backend, Matrix, QuantizedMatrix, QuantizedRows,
+};
 
-use crate::compiled::{CompiledLayer, CompiledVit, HeadPlan};
+use crate::compiled::{CompiledLayer, CompiledVit, HeadPlan, Int8Projections};
 
 /// LayerNorm epsilon, shared with the training tape so the fp32 dense
 /// forward reproduces the tape's logits bit for bit.
@@ -21,12 +23,18 @@ pub enum Precision {
     /// models.
     #[default]
     Fp32,
-    /// 8-bit weights and 8-bit attention scores: every weight matrix is
-    /// round-tripped through symmetric per-tensor quantization at build
-    /// time (the values an int8 artifact would carry), and attention
-    /// scores are computed from quantized Q/K with i32 accumulation —
-    /// the accelerator MAC lines' arithmetic. Softmax, residuals and
-    /// LayerNorm stay fp32, as the paper's softmax units do.
+    /// 8-bit weights, 8-bit projection GEMMs and 8-bit attention
+    /// scores. Every weight matrix is round-tripped through symmetric
+    /// per-tensor quantization at build time (the values an int8
+    /// artifact would carry); the fused-QKV, attention-output and MLP
+    /// projections then run the packed i8×i8→i32 GEMM
+    /// ([`vitcod_tensor::int8_gemm`]) against per-row-quantized
+    /// activations, each activation tensor quantized **once per layer**
+    /// and shared by every consumer — attention Q/K included, since
+    /// per-row scales survive per-head column slicing. Attention scores
+    /// use i32 accumulation, the accelerator MAC lines' arithmetic.
+    /// Softmax, GELU, residuals and LayerNorm stay fp32, as the paper's
+    /// softmax units do.
     Int8,
 }
 
@@ -50,9 +58,9 @@ pub struct EngineBuilder {
 
 impl EngineBuilder {
     /// Pins the kernel backend used while this engine runs inference.
-    /// Both backends produce bit-identical results (the kernel layer's
+    /// All backends produce bit-identical results (the kernel layer's
     /// agreement contract); `Scalar` exists for auditing. Defaults to
-    /// the process-wide backend.
+    /// the process-wide backend (which honours `VITCOD_BACKEND`).
     pub fn backend(mut self, backend: Backend) -> Self {
         self.backend = Some(backend);
         self
@@ -74,7 +82,10 @@ impl EngineBuilder {
     /// Finalises the engine. For [`Precision::Int8`] this is where the
     /// weights are quantized: each matrix is round-tripped through
     /// [`QuantizedMatrix`] so the engine computes on exactly the values
-    /// the 1-byte-per-weight artifact represents.
+    /// the 1-byte-per-weight artifact represents, and the projection
+    /// weights are packed for the int8 GEMM (unless the artifact loader
+    /// already installed packed payloads — then those identical bytes
+    /// are kept).
     ///
     /// An fp32 build never copies the weights: the engine shares the
     /// builder's `Arc`'d artifact, so any number of engines (and any
@@ -88,9 +99,14 @@ impl EngineBuilder {
                 let mut compiled = self.compiled;
                 // Quantize in place when the Arc is uniquely owned (the
                 // common builder(owned) path); clone only when another
-                // engine actually shares the fp32 artifact.
+                // engine actually shares the fp32 artifact. Projections
+                // are packed *before* the dequantize round-trip so the
+                // packed bytes come from the pristine weights — the same
+                // bytes an int8 artifact stores.
                 let mut bytes = 0usize;
-                Arc::make_mut(&mut compiled).map_weights(|w| {
+                let m = Arc::make_mut(&mut compiled);
+                m.ensure_int8_projections();
+                m.map_weights(|w| {
                     let q = QuantizedMatrix::quantize(w);
                     bytes += q.bytes();
                     *w = q.dequantize();
@@ -266,11 +282,10 @@ impl Engine {
         Prediction { class, logits }
     }
 
-    /// The tape-free forward: mirrors the training tape's kernel
-    /// sequence exactly (same GEMM, bias, LayerNorm, GELU and fused
-    /// attention kernels in the same order) so the fp32 dense path is
-    /// bit-identical to the tape's logits, while sparse heads take the
-    /// CSC dataflow instead of dense `-inf` masks.
+    /// The tape-free forward: dispatches to the fp32 path (bit-identical
+    /// to the training tape on dense models) or the int8 serving path
+    /// (packed projection GEMMs over per-layer-cached quantized
+    /// activations).
     fn forward(&self, tokens: &Matrix) -> Vec<f32> {
         let cfg = self.model.config();
         assert_eq!(
@@ -278,6 +293,19 @@ impl Engine {
             (cfg.tokens, self.model.in_dim()),
             "input token shape mismatch"
         );
+        match (self.precision, self.model.int8_projections()) {
+            (Precision::Int8, Some(packed)) => self.forward_int8(tokens, packed),
+            _ => self.forward_fp32(tokens),
+        }
+    }
+
+    /// Fp32 forward: mirrors the training tape's kernel sequence exactly
+    /// (same GEMM, bias, LayerNorm, GELU and fused attention kernels in
+    /// the same order) so the dense path is bit-identical to the tape's
+    /// logits, while sparse heads take the CSC dataflow instead of dense
+    /// `-inf` masks.
+    fn forward_fp32(&self, tokens: &Matrix) -> Vec<f32> {
+        let cfg = self.model.config();
         let n = cfg.tokens;
         let dim = cfg.dim;
         let dk = cfg.head_dim();
@@ -322,8 +350,68 @@ impl Engine {
         logits.row(0).to_vec()
     }
 
-    /// One layer's multi-head attention, routing each head through its
-    /// compiled plan.
+    /// Int8 forward: the projections (fused QKV, attention output, both
+    /// MLP legs) run the packed i8×i8→i32 GEMM with its fused
+    /// dequantize-and-bias epilogue. Each activation tensor is
+    /// per-row-quantized **once** and reused by every consumer in the
+    /// layer — in particular the fused Q and K are quantized once for
+    /// *all* attention heads, whose per-head views are just column
+    /// windows over the shared quantization. Softmax, GELU, residuals,
+    /// LayerNorm and the 1-row classifier stay fp32.
+    fn forward_int8(&self, tokens: &Matrix, packed: &[Int8Projections]) -> Vec<f32> {
+        let cfg = self.model.config();
+        let n = cfg.tokens;
+        let dim = cfg.dim;
+        let dk = cfg.head_dim();
+        let scale = 1.0 / (dk as f32).sqrt();
+
+        let embedded = kernels::matmul(tokens, self.model.patch_w());
+        let mut x = &kernels::add_bias(&embedded, self.model.patch_b()) + self.model.pos_embed();
+
+        for (layer, proj) in self.model.layers().iter().zip(packed) {
+            let normed = kernels::layernorm_rows(&x, &layer.ln1_gamma, &layer.ln1_beta, LN_EPS);
+            let normed8 = QuantizedRows::quantize(&normed);
+            // The epilogue adds b_qkv — no separate bias pass.
+            let qkv = int8_gemm(&normed8, &proj.w_qkv, &layer.b_qkv);
+            let mut q = qkv.submatrix(0, n, 0, dim);
+            let mut k = qkv.submatrix(0, n, dim, 2 * dim);
+            let v = qkv.submatrix(0, n, 2 * dim, 3 * dim);
+
+            if let Some(ae) = &layer.ae {
+                // The head-mix round trips are tiny (heads × heads
+                // mixers) and stay fp32, like the paper's AE decoder.
+                q = kernels::head_mix(&kernels::head_mix(&q, &ae.enc_q, dk), &ae.dec_q, dk);
+                k = kernels::head_mix(&kernels::head_mix(&k, &ae.enc_k, dk), &ae.dec_k, dk);
+            }
+
+            let q8 = QuantizedRows::quantize(&q);
+            let k8 = QuantizedRows::quantize(&k);
+            let attn = self.attention_int8(layer, &q8, &k8, &v, dk, scale);
+            let attn8 = QuantizedRows::quantize(&attn);
+            let projected = int8_gemm(&attn8, &proj.w_out, &layer.b_out);
+            x = &x + &projected;
+
+            let normed2 = kernels::layernorm_rows(&x, &layer.ln2_gamma, &layer.ln2_beta, LN_EPS);
+            let normed2_8 = QuantizedRows::quantize(&normed2);
+            let h1 = int8_gemm(&normed2_8, &proj.w_fc1, &layer.b_fc1);
+            let act = kernels::map(&h1, gelu);
+            let act8 = QuantizedRows::quantize(&act);
+            let h2 = int8_gemm(&act8, &proj.w_fc2, &layer.b_fc2);
+            x = &x + &h2;
+        }
+
+        let cls = x.submatrix(0, 1, 0, dim);
+        let (final_gamma, final_beta) = self.model.final_ln();
+        let normed = kernels::layernorm_rows(&cls, final_gamma, final_beta, LN_EPS);
+        let logits = kernels::add_bias(
+            &kernels::matmul(&normed, self.model.head_w()),
+            self.model.head_b(),
+        );
+        logits.row(0).to_vec()
+    }
+
+    /// One layer's multi-head attention on the fp32 path, routing each
+    /// head through its compiled plan.
     fn attention(
         &self,
         layer: &CompiledLayer,
@@ -334,7 +422,7 @@ impl Engine {
         scale: f32,
     ) -> Matrix {
         let all_dense = layer.heads.iter().all(|h| !h.is_sparse());
-        if all_dense && self.precision == Precision::Fp32 {
+        if all_dense {
             // Same fused kernel the tape records — bit-identical logits.
             return kernels::multi_head_attention(q, k, v, dk, scale, &[]).out;
         }
@@ -346,33 +434,45 @@ impl Engine {
             let qh = q.submatrix(0, n, c0, c0 + dk);
             let kh = k.submatrix(0, n, c0, c0 + dk);
             let vh = v.submatrix(0, n, c0, c0 + dk);
-            match (&layer.heads[h], self.precision) {
-                (HeadPlan::Dense, Precision::Fp32) => {
-                    kernels::attention_head(&qh, &kh, &vh, scale, None).0
-                }
-                (HeadPlan::Sparse(csc), Precision::Fp32) => {
-                    sparse::attention_head(&qh, &kh, &vh, csc, scale)
-                }
-                (HeadPlan::Sparse(csc), Precision::Int8) => sparse::attention_head_int8(
-                    &QuantizedMatrix::quantize(&qh),
-                    &QuantizedMatrix::quantize(&kh),
-                    &vh,
-                    csc,
-                    scale,
-                ),
-                (HeadPlan::Dense, Precision::Int8) => Self::dense_head_int8(&qh, &kh, &vh, scale),
+            match &layer.heads[h] {
+                HeadPlan::Dense => kernels::attention_head(&qh, &kh, &vh, scale, None).0,
+                HeadPlan::Sparse(csc) => sparse::attention_head(&qh, &kh, &vh, csc, scale),
             }
         });
         Matrix::hcat(&per_head.iter().collect::<Vec<_>>())
     }
 
-    /// Dense attention with 8-bit score arithmetic: quantized Q·Kᵀ with
-    /// i32 accumulation, fp32 softmax and probability-weighted V mix.
-    fn dense_head_int8(q: &Matrix, k: &Matrix, v: &Matrix, scale: f32) -> Matrix {
-        let q8 = QuantizedMatrix::quantize(q);
-        let k8 = QuantizedMatrix::quantize(k);
-        let scores = q8.matmul_nt_dequant(&k8).scale(scale);
-        let probs = kernels::softmax_rows(&scores);
-        kernels::matmul(&probs, v)
+    /// One layer's multi-head attention on the int8 path, over the
+    /// layer's shared per-row-quantized Q/K: dense heads compute
+    /// i8·i8→i32 scores through [`QuantizedRows::scores_nt`], sparse
+    /// heads run the int8 SDDMM → sparse-softmax → SpMM dataflow. Each
+    /// head reads its column window of the shared quantization — no
+    /// per-head requantization.
+    fn attention_int8(
+        &self,
+        layer: &CompiledLayer,
+        q8: &QuantizedRows,
+        k8: &QuantizedRows,
+        v: &Matrix,
+        dk: usize,
+        scale: f32,
+    ) -> Matrix {
+        let n = v.rows();
+        let heads = layer.heads.len();
+        let per_head = kernels::par_map_collect(heads, 2 * n * n * dk, |h| {
+            let c0 = h * dk;
+            let vh = v.submatrix(0, n, c0, c0 + dk);
+            match &layer.heads[h] {
+                HeadPlan::Dense => {
+                    let scores = q8.scores_nt(k8, c0..c0 + dk, scale);
+                    let probs = kernels::softmax_rows(&scores);
+                    kernels::matmul(&probs, &vh)
+                }
+                HeadPlan::Sparse(csc) => {
+                    sparse::attention_head_int8_rows(q8, k8, c0..c0 + dk, &vh, csc, scale)
+                }
+            }
+        });
+        Matrix::hcat(&per_head.iter().collect::<Vec<_>>())
     }
 }

@@ -35,5 +35,7 @@ mod compiled;
 mod engine;
 
 pub use artifact::{load_compiled_vit, save_compiled_vit, ArtifactError};
-pub use compiled::{accuracy, CompileReport, CompiledAe, CompiledLayer, CompiledVit, HeadPlan};
+pub use compiled::{
+    accuracy, CompileReport, CompiledAe, CompiledLayer, CompiledVit, HeadPlan, Int8Projections,
+};
 pub use engine::{Engine, EngineBuilder, Precision, Prediction};

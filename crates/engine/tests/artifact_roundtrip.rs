@@ -120,6 +120,16 @@ proptest! {
         for (b, a) in before.iter().zip(after.iter()) {
             prop_assert_eq!(&b.logits, &a.logits);
         }
+
+        // An engine over the int8 artifact itself uses the packed
+        // projection payloads carried in the file — same logits again.
+        let from_q = Engine::builder(restored_q)
+            .precision(Precision::Int8)
+            .build()
+            .infer_batch(&samples);
+        for (b, a) in before.iter().zip(from_q.iter()) {
+            prop_assert_eq!(&b.logits, &a.logits);
+        }
     }
 }
 

@@ -59,10 +59,10 @@ fn local_global_plan(vit: &VisionTransformer) -> SparsityPlan {
 }
 
 #[test]
-fn fp32_dense_logits_bit_identical_to_tape_on_both_backends() {
+fn fp32_dense_logits_bit_identical_to_tape_on_all_backends() {
     let (vit, store) = tiny_model(1);
     let compiled = CompiledVit::from_parts(&vit, &store);
-    for backend in [Backend::Blocked, Backend::Scalar] {
+    for backend in [Backend::Blocked, Backend::Scalar, Backend::Simd] {
         kernels::set_backend(backend);
         let engine = Engine::builder(compiled.clone()).backend(backend).build();
         for seed in 0..4 {
@@ -131,11 +131,16 @@ fn sparse_csc_path_agrees_across_backends_bitwise() {
         .backend(Backend::Blocked)
         .build()
         .infer_one(&tokens);
-    let scalar = Engine::builder(compiled)
+    let scalar = Engine::builder(compiled.clone())
         .backend(Backend::Scalar)
         .build()
         .infer_one(&tokens);
+    let simd = Engine::builder(compiled)
+        .backend(Backend::Simd)
+        .build()
+        .infer_one(&tokens);
     assert_eq!(blocked, scalar);
+    assert_eq!(blocked, simd);
 }
 
 #[test]

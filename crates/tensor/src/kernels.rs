@@ -3,7 +3,7 @@
 //! Every dense hot path in the workspace — the autograd tape, the ViT
 //! forward/backward, the functional dataflow checks and the benchmark
 //! harness — routes its inner loops through this module instead of
-//! open-coding them. Kernels come in two selectable backends:
+//! open-coding them. Kernels come in three selectable backends:
 //!
 //! * [`Backend::Scalar`] — textbook reference loops (`i–j–k` dot-product
 //!   GEMM, one row at a time for row-wise ops). Slow, obviously correct,
@@ -15,17 +15,28 @@
 //!   while output rows stream; transposed flavours are reduced to the
 //!   same kernel via a tiled transpose. Row-wise ops (softmax, LayerNorm,
 //!   bias, elementwise maps) fan rows out across scoped threads.
+//! * [`Backend::Simd`] — lane-friendly GEMM microkernels built on
+//!   fixed-width `[f32; LANES]` accumulator blocks the compiler
+//!   autovectorizes (no intrinsics, no `unsafe`). When the right-hand
+//!   operand fits in cache, two lane blocks of each output row stay in
+//!   registers across the full `k` reduction; for larger operands the
+//!   kernel falls back to a lane-blocked row sweep. Row-wise ops share
+//!   the Blocked implementation — they are bandwidth-bound and already
+//!   vectorise.
 //!
 //! # Backend-selection contract
 //!
-//! The process-wide backend defaults to `Blocked` and can be switched at
-//! runtime with [`set_backend`] (or per call with the `*_with` variants).
-//! **Both backends produce bit-identical results**: every kernel
-//! accumulates each output element along ascending `k` in a single
-//! dependency chain, so blocking and row-parallelism reorder *independent*
-//! elements only, never the floating-point reduction itself. Property
-//! tests assert exact equality between backends; new kernels must either
-//! preserve the invariant or document a tolerance.
+//! The process-wide backend defaults to `Blocked`, can be pre-selected
+//! per process via the `VITCOD_BACKEND` environment variable
+//! (`scalar` | `blocked` | `simd`, read once on first use), and can be
+//! switched at runtime with [`set_backend`] (or per call with the
+//! `*_with` variants). **All backends produce bit-identical results**:
+//! every kernel accumulates each output element along ascending `k` in a
+//! single dependency chain, so blocking, lane tiling and row-parallelism
+//! reorder *independent* elements only, never the floating-point
+//! reduction itself. Property tests assert exact equality between
+//! backends; new kernels must either preserve the invariant or document
+//! a tolerance.
 //!
 //! Thread fan-out uses `std::thread::scope` (no work-stealing runtime and
 //! no `unsafe`): outputs are split into disjoint `&mut` chunks, one per
@@ -49,6 +60,17 @@ pub const K_BLOCK: usize = 64;
 /// Tile edge for the blocked transpose.
 const TRANSPOSE_TILE: usize = 32;
 
+/// Lane width of the Simd backend's accumulator blocks: eight `f32`
+/// (one 256-bit vector register, or two 128-bit ones on narrower
+/// machines — either way a width the autovectorizer handles).
+pub const LANES: usize = 8;
+
+/// The Simd GEMM keeps output tiles in registers only while the
+/// right-hand operand is small enough to stay cache-resident across the
+/// row sweep; past this footprint the strided column walk thrashes and
+/// the kernel switches to its lane-blocked row sweep.
+const SIMD_B_RESIDENT_BYTES: usize = 4 << 20;
+
 /// Minimum per-thread work (elements touched, or MACs for GEMM-shaped
 /// kernels) before a kernel fans out: a scoped-thread spawn/join costs
 /// tens of microseconds, so each worker must bring at least ~100 µs of
@@ -56,7 +78,7 @@ const TRANSPOSE_TILE: usize = 32;
 const MIN_WORK_PER_THREAD: usize = 128 * 1024;
 
 /// Kernel implementation selector. See the [module docs](self) for the
-/// agreement contract between the two.
+/// agreement contract between the three.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
     /// Textbook reference loops; slow but auditable.
@@ -64,9 +86,44 @@ pub enum Backend {
     /// Cache-blocked, thread-parallel kernels (the default).
     #[default]
     Blocked,
+    /// Lane-tiled autovectorized kernels (`[f32; LANES]` register
+    /// accumulators); bit-identical to the other two by construction.
+    Simd,
 }
 
-static BACKEND: AtomicU8 = AtomicU8::new(1);
+impl std::str::FromStr for Backend {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Ok(Backend::Scalar),
+            "blocked" => Ok(Backend::Blocked),
+            "simd" => Ok(Backend::Simd),
+            other => Err(format!(
+                "unknown backend '{other}' (expected scalar | blocked | simd)"
+            )),
+        }
+    }
+}
+
+/// Sentinel for "process backend not chosen yet": the first [`backend`]
+/// call resolves it from `VITCOD_BACKEND` (kernels sit on the hot path,
+/// so the environment is consulted once, not per call).
+const BACKEND_UNSET: u8 = u8::MAX - 1;
+
+static BACKEND: AtomicU8 = AtomicU8::new(BACKEND_UNSET);
+
+/// Process-default backend: `VITCOD_BACKEND` if set and valid,
+/// otherwise `Blocked`.
+fn default_backend() -> Backend {
+    static DEFAULT: OnceLock<Backend> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        std::env::var("VITCOD_BACKEND")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(Backend::Blocked)
+    })
+}
 
 /// Sentinel for "no thread-local backend override installed".
 const NO_BACKEND_OVERRIDE: u8 = u8::MAX;
@@ -93,7 +150,9 @@ pub fn backend() -> Backend {
     };
     match raw {
         0 => Backend::Scalar,
-        _ => Backend::Blocked,
+        1 => Backend::Blocked,
+        2 => Backend::Simd,
+        _ => default_backend(),
     }
 }
 
@@ -352,6 +411,7 @@ pub fn matmul_with(backend: Backend, a: &Matrix, b: &Matrix) -> Matrix {
     match backend {
         Backend::Scalar => scalar_matmul(a, b),
         Backend::Blocked => blocked_matmul(a, b),
+        Backend::Simd => simd_matmul(a, b),
     }
 }
 
@@ -377,10 +437,11 @@ pub fn matmul_nt_with(backend: Backend, a: &Matrix, b: &Matrix) -> Matrix {
     );
     match backend {
         Backend::Scalar => scalar_matmul_nt(a, b),
-        // Reduction to the blocked kernel: out[i][j] = Σ_k a[i,k]·bᵀ[k,j]
+        // Reduction to the direct kernel: out[i][j] = Σ_k a[i,k]·bᵀ[k,j]
         // visits k in the same ascending order as the direct dot product,
         // so the transpose changes layout, not numerics.
         Backend::Blocked => blocked_matmul(a, &transpose_with(Backend::Blocked, b)),
+        Backend::Simd => simd_matmul(a, &transpose_with(Backend::Simd, b)),
     }
 }
 
@@ -406,6 +467,7 @@ pub fn matmul_tn_with(backend: Backend, a: &Matrix, b: &Matrix) -> Matrix {
     match backend {
         Backend::Scalar => scalar_matmul_tn(a, b),
         Backend::Blocked => blocked_matmul(&transpose_with(Backend::Blocked, a), b),
+        Backend::Simd => simd_matmul(&transpose_with(Backend::Simd, a), b),
     }
 }
 
@@ -433,7 +495,7 @@ pub fn transpose_with(backend: Backend, a: &Matrix) -> Matrix {
                 }
             }
         }
-        Backend::Blocked => {
+        Backend::Blocked | Backend::Simd => {
             let src = a.as_slice();
             // Parallel over output row chunks; each output row is a
             // source column, so chunks read disjoint column stripes.
@@ -560,6 +622,129 @@ fn blocked_matmul(a: &Matrix, b: &Matrix) -> Matrix {
     out
 }
 
+/// Lane-tiled GEMM, row-parallel over the output.
+///
+/// Two shapes, chosen by the right-hand operand's footprint:
+///
+/// * **Register tiles** (`b` cache-resident): for each 2·[`LANES`]-wide
+///   column tile, every output row carries two `[f32; LANES]`
+///   accumulator blocks in registers across the *full* `k` reduction —
+///   one load of `a` per scalar, one streamed read of `b` per row, one
+///   store per output element. This is the fast path for the
+///   transformer projection shapes.
+/// * **Row sweep** (`b` larger than [`SIMD_B_RESIDENT_BYTES`]): the
+///   blocked `i–k–j` panel walk with an explicit lane-blocked inner
+///   loop, accumulating into the output row in memory.
+///
+/// Both paths reduce each output element along ascending `k` in a
+/// single dependency chain — no per-panel partial sums are ever folded
+/// together — so results are bit-identical to the Scalar reference.
+/// Unlike [`blocked_matmul`] there is no exact-zero skip: skipping
+/// depends on values, and the tiled loads here are cheaper than the
+/// branch.
+fn simd_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, kdim) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 || kdim == 0 {
+        return out;
+    }
+    let av = a.as_slice();
+    let bv = b.as_slice();
+    let b_resident = kdim * n * std::mem::size_of::<f32>() <= SIMD_B_RESIDENT_BYTES;
+    for_each_row_chunk_weighted(out.as_mut_slice(), n, kdim * n, |first_row, chunk| {
+        if b_resident {
+            simd_register_tiles(av, bv, chunk, first_row, kdim, n);
+        } else {
+            simd_row_sweep(av, bv, chunk, first_row, kdim, n);
+        }
+    });
+    out
+}
+
+/// Register-tile path of [`simd_matmul`]: column-tile outer, row inner,
+/// full-`k` register accumulation.
+fn simd_register_tiles(
+    av: &[f32],
+    bv: &[f32],
+    chunk: &mut [f32],
+    first_row: usize,
+    kdim: usize,
+    n: usize,
+) {
+    let chunk_rows = chunk.len() / n;
+    const TILE: usize = 2 * LANES;
+    let mut j = 0;
+    while j + TILE <= n {
+        for ci in 0..chunk_rows {
+            let arow = &av[(first_row + ci) * kdim..(first_row + ci + 1) * kdim];
+            let mut acc0 = [0.0f32; LANES];
+            let mut acc1 = [0.0f32; LANES];
+            for (kk, &aik) in arow.iter().enumerate() {
+                let brow = &bv[kk * n + j..kk * n + j + TILE];
+                for l in 0..LANES {
+                    acc0[l] += aik * brow[l];
+                }
+                for l in 0..LANES {
+                    acc1[l] += aik * brow[LANES + l];
+                }
+            }
+            let orow = &mut chunk[ci * n + j..ci * n + j + TILE];
+            orow[..LANES].copy_from_slice(&acc0);
+            orow[LANES..].copy_from_slice(&acc1);
+        }
+        j += TILE;
+    }
+    // Tail columns that do not fill a tile: one full-k scalar chain per
+    // element, still ascending k.
+    for jj in j..n {
+        for ci in 0..chunk_rows {
+            let arow = &av[(first_row + ci) * kdim..(first_row + ci + 1) * kdim];
+            let mut acc = 0.0f32;
+            for (kk, &aik) in arow.iter().enumerate() {
+                acc += aik * bv[kk * n + jj];
+            }
+            chunk[ci * n + jj] = acc;
+        }
+    }
+}
+
+/// Row-sweep path of [`simd_matmul`]: `i–k–j` panels like the blocked
+/// kernel, with the `j` loop explicitly lane-blocked.
+fn simd_row_sweep(
+    av: &[f32],
+    bv: &[f32],
+    chunk: &mut [f32],
+    first_row: usize,
+    kdim: usize,
+    n: usize,
+) {
+    let chunk_rows = chunk.len() / n;
+    let lanes_end = n - n % LANES;
+    for k0 in (0..kdim).step_by(K_BLOCK) {
+        let k1 = (k0 + K_BLOCK).min(kdim);
+        for ci in 0..chunk_rows {
+            let arow = &av[(first_row + ci) * kdim..(first_row + ci + 1) * kdim];
+            let orow = &mut chunk[ci * n..(ci + 1) * n];
+            for (k, &aik) in arow[k0..k1].iter().enumerate() {
+                let brow = &bv[(k0 + k) * n..(k0 + k + 1) * n];
+                let (olanes, otail) = orow.split_at_mut(lanes_end);
+                for (oblk, bblk) in olanes
+                    .chunks_exact_mut(LANES)
+                    .zip(brow[..lanes_end].chunks_exact(LANES))
+                {
+                    for l in 0..LANES {
+                        oblk[l] += aik * bblk[l];
+                    }
+                }
+                for (o, &bkj) in otail.iter_mut().zip(brow[lanes_end..].iter()) {
+                    *o += aik * bkj;
+                }
+            }
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Row-wise and elementwise ops
 // ---------------------------------------------------------------------------
@@ -574,7 +759,7 @@ pub fn softmax_rows(x: &Matrix) -> Matrix {
                 softmax_row(out.row_mut(r));
             }
         }
-        Backend::Blocked => {
+        Backend::Blocked | Backend::Simd => {
             for_each_row_chunk(out.as_mut_slice(), cols, |_, chunk| {
                 for row in chunk.chunks_mut(cols) {
                     softmax_row(row);
@@ -646,7 +831,7 @@ pub fn layernorm_rows(x: &Matrix, gamma: &[f32], beta: &[f32], eps: f32) -> Matr
                 normalise(out.row_mut(r));
             }
         }
-        Backend::Blocked => {
+        Backend::Blocked | Backend::Simd => {
             for_each_row_chunk(out.as_mut_slice(), cols, |_, chunk| {
                 for row in chunk.chunks_mut(cols) {
                     normalise(row);
@@ -850,7 +1035,7 @@ pub fn map(x: &Matrix, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
                 *v = f(*v);
             }
         }
-        Backend::Blocked => {
+        Backend::Blocked | Backend::Simd => {
             for_each_row_chunk(out.as_mut_slice(), cols.max(1), |_, chunk| {
                 for v in chunk {
                     *v = f(*v);
@@ -877,7 +1062,7 @@ pub fn zip_map(a: &Matrix, b: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Ma
                 *v = f(*v, w);
             }
         }
-        Backend::Blocked => {
+        Backend::Blocked | Backend::Simd => {
             for_each_row_chunk(out.as_mut_slice(), cols.max(1), |first_row, chunk| {
                 let base = first_row * cols.max(1);
                 for (i, v) in chunk.iter_mut().enumerate() {
@@ -1215,6 +1400,61 @@ mod tests {
             matmul_tn_with(Backend::Blocked, &a, &c),
             matmul_tn_with(Backend::Scalar, &a, &c)
         );
+    }
+
+    #[test]
+    fn simd_backend_agrees_bitwise_on_all_gemm_flavours() {
+        // Shapes straddle the lane width: exact multiples of 16, a
+        // sub-lane matrix, and ragged tails.
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (64, 64, 64),
+            (65, 33, 17),
+            (197, 192, 64),
+            (9, 40, 23),
+        ] {
+            let a = random(m, k, 21);
+            let b = random(k, n, 22);
+            assert_eq!(
+                matmul_with(Backend::Simd, &a, &b),
+                matmul_with(Backend::Scalar, &a, &b),
+                "shape ({m},{k},{n})"
+            );
+        }
+        let a = random(33, 48, 23);
+        let b = random(21, 48, 24);
+        assert_eq!(
+            matmul_nt_with(Backend::Simd, &a, &b),
+            matmul_nt_with(Backend::Scalar, &a, &b)
+        );
+        let c = random(33, 21, 25);
+        assert_eq!(
+            matmul_tn_with(Backend::Simd, &a, &c),
+            matmul_tn_with(Backend::Scalar, &a, &c)
+        );
+    }
+
+    #[test]
+    fn simd_row_sweep_path_agrees_bitwise() {
+        // b exceeds SIMD_B_RESIDENT_BYTES (1030² floats ≈ 4.2 MB), so
+        // this exercises the row-sweep fallback, tail included.
+        let dim = 1030;
+        assert!(dim * dim * std::mem::size_of::<f32>() > SIMD_B_RESIDENT_BYTES);
+        let a = random(4, dim, 26);
+        let b = random(dim, dim, 27);
+        assert_eq!(
+            matmul_with(Backend::Simd, &a, &b),
+            matmul_with(Backend::Blocked, &a, &b)
+        );
+    }
+
+    #[test]
+    fn backend_parses_from_str() {
+        assert_eq!("scalar".parse(), Ok(Backend::Scalar));
+        assert_eq!(" Blocked ".parse(), Ok(Backend::Blocked));
+        assert_eq!("SIMD".parse(), Ok(Backend::Simd));
+        assert!("avx512".parse::<Backend>().is_err());
     }
 
     #[test]

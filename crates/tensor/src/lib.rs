@@ -9,13 +9,16 @@
 //!
 //! The crate is deliberately free of `unsafe` and of external BLAS
 //! dependencies. All dense hot paths route through the [`kernels`]
-//! module, which provides two runtime-selectable backends: a textbook
-//! scalar reference and cache-blocked, thread-parallel kernels (see
-//! [`kernels`] for the blocking scheme and the backend-agreement
-//! contract). Keeping the reference kernels readable makes the
-//! simulator's operation counts auditable against them. The [`sparse`]
-//! module mirrors the dense layer for CSC-indexed attention (SDDMM,
-//! sparse softmax, SpMM) under the same two-backend contract.
+//! module, which provides three runtime-selectable backends: a textbook
+//! scalar reference, cache-blocked thread-parallel kernels, and
+//! lane-tiled autovectorized kernels (see [`kernels`] for the blocking
+//! schemes and the backend-agreement contract). Keeping the reference
+//! kernels readable makes the simulator's operation counts auditable
+//! against them. The [`sparse`] module mirrors the dense layer for
+//! CSC-indexed attention (SDDMM, sparse softmax, SpMM) under the same
+//! contract, and [`int8_gemm`] over [`PackedGemmWeights`] /
+//! [`QuantizedRows`] supplies the serving path's quantized projection
+//! GEMM.
 //!
 //! # Example
 //!
@@ -46,6 +49,9 @@ pub use init::{Initializer, SeedableRngExt};
 pub use kernels::Backend;
 pub use matrix::Matrix;
 pub use ops::{gelu, gelu_grad, relu, sigmoid, softmax_row};
-pub use quant::{QuantParams, QuantizedMatrix};
+pub use quant::{
+    int8_gemm, int8_gemm_with, PackedGemmWeights, QuantParams, QuantizedMatrix, QuantizedRows,
+    MAX_INT8_GEMM_K,
+};
 pub use sparse::{CscMatrix, SparseScores, SparsityPattern};
 pub use stats::{argmax, l2_norm, mean, variance};

@@ -1,10 +1,31 @@
 //! 8-bit quantization substrate.
 //!
 //! The ViTCoD accelerator computes on 8-bit operands (512 MACs in
-//! 3 mm²); this module provides the symmetric per-tensor quantization
-//! scheme its functional model uses: `x ≈ scale · q` with `q ∈ [-127,
-//! 127]`, i32 accumulation, and dequantized read-out.
+//! 3 mm²); this module provides the symmetric quantization scheme its
+//! functional model uses — `x ≈ scale · q` with `q ∈ [-127, 127]`, i32
+//! accumulation, dequantized read-out — at two granularities:
+//!
+//! * [`QuantizedMatrix`] — per-tensor scale; the storage format of
+//!   int8 `*.vitcod` artifacts and the operand type of the sparse
+//!   attention SDDMM.
+//! * [`QuantizedRows`] — per-row scales for *activations*: each token
+//!   row is quantized against its own max, which keeps projection error
+//!   tight without calibration, and the row data is stored pre-widened
+//!   to `i16` so every consuming GEMM skips the widening pass. An
+//!   activation tensor is quantized **once** per layer and then feeds
+//!   every projection / attention head that reads it (per-row scales
+//!   survive column slicing, so per-head Q/K views reuse the same
+//!   quantization).
+//!
+//! The serving-path projection product is [`int8_gemm`]: a blocked,
+//! packed i8×i8→i32 GEMM over [`PackedGemmWeights`] (weights re-laid
+//! out at compile time into interleaved `k`-pair lane panels, the shape
+//! the autovectorizer turns into paired i16 multiply–accumulate
+//! instructions) with a fused dequantize-and-bias epilogue. Integer
+//! accumulation is exact in any order, so all [`Backend`]s produce
+//! bit-identical results from identical operands.
 
+use crate::kernels::{self, Backend, LANES};
 use crate::Matrix;
 
 /// Symmetric per-tensor quantization parameters.
@@ -63,6 +84,22 @@ impl QuantizedMatrix {
         Self {
             rows: m.rows(),
             cols: m.cols(),
+            data,
+            params,
+        }
+    }
+
+    /// Reassembles a quantized matrix from an already-quantized payload
+    /// (the artifact-load path — no requantization round-trip).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows · cols`.
+    pub fn from_raw(rows: usize, cols: usize, data: Vec<i8>, params: QuantParams) -> Self {
+        assert_eq!(data.len(), rows * cols, "payload length mismatch");
+        Self {
+            rows,
+            cols,
             data,
             params,
         }
@@ -139,6 +176,402 @@ impl QuantizedMatrix {
     }
 }
 
+/// Largest shared dimension [`int8_gemm`] accepts: every `k`-pair
+/// contributes at most `2 · 127 · 127` to an i32 accumulator, so `k`
+/// this large is provably overflow-free (`⌊2³¹ / 127²⌋ − 1`, floored to
+/// an even pair count). ViT shapes top out at `k = 3072`, five hundred
+/// times below the line.
+pub const MAX_INT8_GEMM_K: usize = 133_140;
+
+/// Per-row symmetrically quantized activations, stored pre-widened.
+///
+/// Each row gets its own scale (`max|row| / 127`, `1.0` for an all-zero
+/// row), fitted once when the activation tensor is produced; every
+/// consumer — the fused-QKV / MLP projections via [`int8_gemm`], dense
+/// attention scores via [`QuantizedRows::scores_nt`], the sparse SDDMM —
+/// reads the same quantization. Values are stored as `i16` (the operand
+/// width of the paired multiply–accumulate idiom) with rows padded to an
+/// even length so `k`-pair kernels never special-case the last element;
+/// the padding is zero and never contributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedRows {
+    rows: usize,
+    cols: usize,
+    /// `cols` rounded up to even: the stored row stride.
+    padded: usize,
+    data: Vec<i16>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedRows {
+    /// Quantizes `m` row-wise with fitted symmetric per-row scales.
+    pub fn quantize(m: &Matrix) -> Self {
+        let (rows, cols) = m.shape();
+        let padded = cols + cols % 2;
+        let mut data = vec![0i16; rows * padded];
+        let mut scales = vec![1.0f32; rows];
+        for r in 0..rows {
+            let src = m.row(r);
+            let max = src.iter().fold(0.0f32, |a, &v| a.max(v.abs()));
+            let scale = if max == 0.0 { 1.0 } else { max / 127.0 };
+            scales[r] = scale;
+            let dst = &mut data[r * padded..r * padded + cols];
+            for (d, &v) in dst.iter_mut().zip(src.iter()) {
+                *d = (v / scale).round().clamp(-127.0, 127.0) as i16;
+            }
+        }
+        Self {
+            rows,
+            cols,
+            padded,
+            data,
+            scales,
+        }
+    }
+
+    /// Shape as `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Scale of row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_scale(&self, r: usize) -> f32 {
+        self.scales[r]
+    }
+
+    /// Widened row `r`, including the even-length zero pad.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of bounds.
+    pub fn row_wide(&self, r: usize) -> &[i16] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.padded..(r + 1) * self.padded]
+    }
+
+    /// A column window of widened row `r` — how per-head attention
+    /// slices a fused Q/K activation without requantizing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window exceeds the row.
+    pub fn row_window_wide(&self, r: usize, cols: std::ops::Range<usize>) -> &[i16] {
+        assert!(r < self.rows, "row out of bounds");
+        assert!(cols.end <= self.cols, "column window out of bounds");
+        &self.data[r * self.padded + cols.start..r * self.padded + cols.end]
+    }
+
+    /// Recovers the real-valued matrix (tests and audits).
+    pub fn dequantize(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        for r in 0..self.rows {
+            let scale = self.scales[r];
+            let src = &self.data[r * self.padded..r * self.padded + self.cols];
+            for (o, &q) in out.row_mut(r).iter_mut().zip(src.iter()) {
+                *o = q as f32 * scale;
+            }
+        }
+        out
+    }
+
+    /// Attention-score product `self · keysᵀ · scale` over the column
+    /// window `cols` (one attention head's feature slice) with i32
+    /// accumulation: `out[i][j]` dequantizes through
+    /// `self.scale(i) · keys.scale(j) · scale`. The i16·i16→i32 inner
+    /// loop is the paired multiply–accumulate shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes or the window disagree.
+    pub fn scores_nt(
+        &self,
+        keys: &QuantizedRows,
+        cols: std::ops::Range<usize>,
+        scale: f32,
+    ) -> Matrix {
+        assert_eq!(self.cols, keys.cols, "q/k feature dims differ");
+        assert!(cols.end <= self.cols, "column window out of bounds");
+        let (m, n) = (self.rows, keys.rows);
+        let mut out = Matrix::zeros(m, n);
+        if cols.is_empty() {
+            return out;
+        }
+        let dk = cols.len();
+        kernels::for_each_row_chunk_weighted(out.as_mut_slice(), n, dk * n, |first_row, chunk| {
+            for (ci, orow) in chunk.chunks_mut(n).enumerate() {
+                let i = first_row + ci;
+                let qrow = self.row_window_wide(i, cols.clone());
+                let qfactor = self.row_scale(i) * scale;
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let krow = keys.row_window_wide(j, cols.clone());
+                    let mut acc: i32 = 0;
+                    for (&x, &y) in qrow.iter().zip(krow.iter()) {
+                        acc += x as i32 * y as i32;
+                    }
+                    *o = acc as f32 * (qfactor * keys.row_scale(j));
+                }
+            }
+        });
+        out
+    }
+}
+
+/// Projection weights packed for [`int8_gemm`] at compile time.
+///
+/// The `k × n` weight is quantized per-tensor, then re-laid out into
+/// panels of [`LANES`] output columns with consecutive `k`-pairs
+/// interleaved per lane:
+///
+/// ```text
+/// data[((panel · kp + pair) · LANES + lane) · 2 + s] = w[2·pair + s][panel·LANES + lane]
+/// ```
+///
+/// so the inner loop reads one contiguous `2·LANES` block per `k`-pair
+/// per panel — the layout the autovectorizer compiles to paired i16
+/// multiply–accumulate. Ragged edges (odd `k`, `n` not a lane multiple)
+/// are zero-padded and contribute nothing. Elements are stored widened
+/// to `i16`; [`PackedGemmWeights::bytes`] still accounts one byte per
+/// logical weight, matching what an accelerator (or the artifact)
+/// actually stores.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedGemmWeights {
+    k: usize,
+    n: usize,
+    /// `k.div_ceil(2)`: interleaved pair count per panel.
+    kp: usize,
+    panels: usize,
+    scale: f32,
+    data: Vec<i16>,
+}
+
+impl PackedGemmWeights {
+    /// Quantizes and packs a real-valued `k × n` weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds [`MAX_INT8_GEMM_K`].
+    pub fn pack(w: &Matrix) -> Self {
+        Self::from_quantized(&QuantizedMatrix::quantize(w))
+    }
+
+    /// Packs an already-quantized weight (the artifact-load path:
+    /// identical bytes and scale, no requantization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds [`MAX_INT8_GEMM_K`].
+    pub fn from_quantized(w: &QuantizedMatrix) -> Self {
+        let (k, n) = w.shape();
+        assert!(
+            k <= MAX_INT8_GEMM_K,
+            "k={k} could overflow i32 accumulation"
+        );
+        let kp = k.div_ceil(2);
+        let panels = n.div_ceil(LANES);
+        let mut data = vec![0i16; panels * kp * 2 * LANES];
+        for p in 0..panels {
+            for pair in 0..kp {
+                for l in 0..LANES {
+                    let j = p * LANES + l;
+                    if j >= n {
+                        continue;
+                    }
+                    let base = ((p * kp + pair) * LANES + l) * 2;
+                    data[base] = w.get_raw(2 * pair, j) as i16;
+                    if 2 * pair + 1 < k {
+                        data[base + 1] = w.get_raw(2 * pair + 1, j) as i16;
+                    }
+                }
+            }
+        }
+        Self {
+            k,
+            n,
+            kp,
+            panels,
+            scale: w.params().scale,
+            data,
+        }
+    }
+
+    /// Logical shape `(k, n)` of the packed weight.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.k, self.n)
+    }
+
+    /// Per-tensor quantization scale.
+    pub fn scale(&self) -> f32 {
+        self.scale
+    }
+
+    /// Logical footprint in bytes (one per weight, as stored on disk or
+    /// in accelerator SRAM — the in-RAM i16 widening is an x86 detail).
+    pub fn bytes(&self) -> usize {
+        self.k * self.n
+    }
+
+    /// Packed element for logical position `(kk, j)` — the reference
+    /// kernel and tests read through this.
+    fn get_wide(&self, kk: usize, j: usize) -> i16 {
+        let (p, l) = (j / LANES, j % LANES);
+        self.data[((p * self.kp + kk / 2) * LANES + l) * 2 + (kk & 1)]
+    }
+}
+
+/// Int8 projection GEMM on the ambient backend: `dequant(a · w) + bias`
+/// with i8-precision operands, i32 accumulation and a fused epilogue
+/// `out[i][j] = acc · (a.scale(i) · w.scale()) + bias[j]`.
+///
+/// All backends are bit-identical here by construction: integer
+/// accumulation is order-exact and the epilogue expression is shared, so
+/// backend choice affects speed only. [`Backend::Scalar`] runs a naive
+/// reference walk of the packed layout; the other two run the lane-tiled
+/// pair kernel, row-parallel across threads.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != w.k` or `bias.len() != w.n`.
+pub fn int8_gemm(a: &QuantizedRows, w: &PackedGemmWeights, bias: &[f32]) -> Matrix {
+    int8_gemm_with(kernels::backend(), a, w, bias)
+}
+
+/// [`int8_gemm`] on an explicit backend.
+pub fn int8_gemm_with(
+    backend: Backend,
+    a: &QuantizedRows,
+    w: &PackedGemmWeights,
+    bias: &[f32],
+) -> Matrix {
+    let (m, k) = a.shape();
+    assert_eq!(k, w.k, "int8_gemm inner dimensions differ");
+    assert_eq!(bias.len(), w.n, "bias length mismatch");
+    let n = w.n;
+    let mut out = Matrix::zeros(m, n);
+    if m == 0 || n == 0 {
+        return out;
+    }
+    match backend {
+        Backend::Scalar => int8_gemm_reference(a, w, bias, out.as_mut_slice(), 0),
+        Backend::Blocked | Backend::Simd => {
+            kernels::for_each_row_chunk_weighted(
+                out.as_mut_slice(),
+                n,
+                k * n,
+                |first_row, chunk| int8_gemm_panels(a, w, bias, chunk, first_row),
+            );
+        }
+    }
+    out
+}
+
+/// Reference arm of [`int8_gemm`]: per-element dot products read
+/// straight through the packed layout.
+fn int8_gemm_reference(
+    a: &QuantizedRows,
+    w: &PackedGemmWeights,
+    bias: &[f32],
+    chunk: &mut [f32],
+    first_row: usize,
+) {
+    let (k, n) = (w.k, w.n);
+    let chunk_rows = chunk.len() / n;
+    for ci in 0..chunk_rows {
+        let i = first_row + ci;
+        let arow = a.row_wide(i);
+        let factor = a.row_scale(i) * w.scale;
+        for j in 0..n {
+            let mut acc: i32 = 0;
+            for (kk, &av) in arow[..k].iter().enumerate() {
+                acc += av as i32 * w.get_wide(kk, j) as i32;
+            }
+            chunk[ci * n + j] = acc as f32 * factor + bias[j];
+        }
+    }
+}
+
+/// Fast arm of [`int8_gemm`]: rows in blocks of [`LANES`] (packed-panel
+/// reuse), two weight panels — `2 · LANES` output columns — per sweep,
+/// `[i32; LANES]` register accumulators, and the interleaved `k`-pair
+/// inner step `acc[l] += a₀·w[2l] + a₁·w[2l+1]` that compiles to paired
+/// i16 multiply–accumulate at the workspace's pinned `x86-64-v2`
+/// target.
+fn int8_gemm_panels(
+    a: &QuantizedRows,
+    w: &PackedGemmWeights,
+    bias: &[f32],
+    chunk: &mut [f32],
+    first_row: usize,
+) {
+    let n = w.n;
+    let kp = w.kp;
+    let panel_len = kp * 2 * LANES;
+    let chunk_rows = chunk.len() / n;
+    let store = |orow: &mut [f32], j: usize, acc: &[i32; LANES], factor: f32| {
+        for (l, &v) in acc.iter().enumerate() {
+            if j + l >= n {
+                break;
+            }
+            orow[j + l] = v as f32 * factor + bias[j + l];
+        }
+    };
+    let mut i0 = 0;
+    while i0 < chunk_rows {
+        let ib = (chunk_rows - i0).min(LANES);
+        let mut p = 0;
+        while p + 2 <= w.panels {
+            let w0 = &w.data[p * panel_len..(p + 1) * panel_len];
+            let w1 = &w.data[(p + 1) * panel_len..(p + 2) * panel_len];
+            for di in 0..ib {
+                let i = first_row + i0 + di;
+                let arow = a.row_wide(i);
+                let factor = a.row_scale(i) * w.scale;
+                let mut acc0 = [0i32; LANES];
+                let mut acc1 = [0i32; LANES];
+                for pair in 0..kp {
+                    let a0 = arow[2 * pair] as i32;
+                    let a1 = arow[2 * pair + 1] as i32;
+                    let wp0 = &w0[pair * 2 * LANES..(pair + 1) * 2 * LANES];
+                    let wp1 = &w1[pair * 2 * LANES..(pair + 1) * 2 * LANES];
+                    for l in 0..LANES {
+                        acc0[l] += a0 * wp0[2 * l] as i32 + a1 * wp0[2 * l + 1] as i32;
+                    }
+                    for l in 0..LANES {
+                        acc1[l] += a0 * wp1[2 * l] as i32 + a1 * wp1[2 * l + 1] as i32;
+                    }
+                }
+                let orow = &mut chunk[(i0 + di) * n..(i0 + di + 1) * n];
+                store(orow, p * LANES, &acc0, factor);
+                store(orow, (p + 1) * LANES, &acc1, factor);
+            }
+            p += 2;
+        }
+        if p < w.panels {
+            let w0 = &w.data[p * panel_len..(p + 1) * panel_len];
+            for di in 0..ib {
+                let i = first_row + i0 + di;
+                let arow = a.row_wide(i);
+                let factor = a.row_scale(i) * w.scale;
+                let mut acc0 = [0i32; LANES];
+                for pair in 0..kp {
+                    let a0 = arow[2 * pair] as i32;
+                    let a1 = arow[2 * pair + 1] as i32;
+                    let wp0 = &w0[pair * 2 * LANES..(pair + 1) * 2 * LANES];
+                    for l in 0..LANES {
+                        acc0[l] += a0 * wp0[2 * l] as i32 + a1 * wp0[2 * l + 1] as i32;
+                    }
+                }
+                let orow = &mut chunk[(i0 + di) * n..(i0 + di + 1) * n];
+                store(orow, p * LANES, &acc0, factor);
+            }
+        }
+        i0 += ib;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,5 +624,111 @@ mod tests {
         let a = QuantizedMatrix::quantize(&Matrix::zeros(2, 3));
         let b = QuantizedMatrix::quantize(&Matrix::zeros(2, 4));
         a.matmul_nt_dequant(&b);
+    }
+
+    #[test]
+    fn quantized_rows_round_trip_bounded_per_row() {
+        let m = Initializer::Normal { std: 1.0 }.sample(9, 13, 4);
+        let q = QuantizedRows::quantize(&m);
+        let back = q.dequantize();
+        for r in 0..9 {
+            let step = q.row_scale(r) * 0.5;
+            for c in 0..13 {
+                let err = (m.get(r, c) - back.get(r, c)).abs();
+                assert!(
+                    err <= step + 1e-7,
+                    "({r},{c}): err {err} > half step {step}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_layout_preserves_quantized_weights() {
+        // Odd k and a non-lane-multiple n exercise both zero pads.
+        let w = Initializer::Normal { std: 0.7 }.sample(11, 21, 5);
+        let q = QuantizedMatrix::quantize(&w);
+        let packed = PackedGemmWeights::from_quantized(&q);
+        assert_eq!(packed.shape(), (11, 21));
+        assert_eq!(packed.scale(), q.params().scale);
+        assert_eq!(packed.bytes(), 11 * 21);
+        for kk in 0..11 {
+            for j in 0..21 {
+                assert_eq!(
+                    packed.get_wide(kk, j),
+                    q.get_raw(kk, j) as i16,
+                    "({kk},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn int8_gemm_backends_bit_identical_and_match_naive() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (5, 11, 21),
+            (16, 32, 16),
+            (9, 17, 33),
+            (197, 64, 48),
+        ] {
+            let a = Initializer::Normal { std: 1.0 }.sample(m, k, 6);
+            let wf = Initializer::Normal { std: 0.3 }.sample(k, n, 7);
+            let bias: Vec<f32> = (0..n).map(|j| j as f32 * 0.01 - 0.1).collect();
+            let aq = QuantizedRows::quantize(&a);
+            let w = PackedGemmWeights::pack(&wf);
+            let wq = QuantizedMatrix::quantize(&wf);
+            let scalar = int8_gemm_with(Backend::Scalar, &aq, &w, &bias);
+            let blocked = int8_gemm_with(Backend::Blocked, &aq, &w, &bias);
+            let simd = int8_gemm_with(Backend::Simd, &aq, &w, &bias);
+            assert_eq!(scalar, blocked, "shape ({m},{k},{n})");
+            assert_eq!(scalar, simd, "shape ({m},{k},{n})");
+            // Naive oracle straight off the unpacked quantized operands.
+            for i in 0..m {
+                let factor = aq.row_scale(i) * w.scale();
+                for (j, &bj) in bias.iter().enumerate() {
+                    let mut acc: i32 = 0;
+                    for kk in 0..k {
+                        acc += aq.row_wide(i)[kk] as i32 * wq.get_raw(kk, j) as i32;
+                    }
+                    let want = acc as f32 * factor + bj;
+                    assert_eq!(scalar.get(i, j), want, "({i},{j}) of ({m},{k},{n})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scores_nt_matches_per_tensor_reference_shape_and_windows() {
+        let q = Initializer::Normal { std: 1.0 }.sample(12, 16, 8);
+        let k = Initializer::Normal { std: 1.0 }.sample(12, 16, 9);
+        let qr = QuantizedRows::quantize(&q);
+        let kr = QuantizedRows::quantize(&k);
+        // Head window [8, 16): the naive per-row dot is the oracle.
+        let scores = qr.scores_nt(&kr, 8..16, 0.25);
+        assert_eq!(scores.shape(), (12, 12));
+        for i in 0..12 {
+            for j in 0..12 {
+                let mut acc: i32 = 0;
+                for c in 8..16 {
+                    acc += qr.row_wide(i)[c] as i32 * kr.row_wide(j)[c] as i32;
+                }
+                let want = acc as f32 * (qr.row_scale(i) * 0.25 * kr.row_scale(j));
+                assert_eq!(scores.get(i, j), want, "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn int8_gemm_zero_k_is_bias_broadcast() {
+        let aq = QuantizedRows::quantize(&Matrix::zeros(3, 0));
+        let w = PackedGemmWeights::pack(&Matrix::zeros(0, 4));
+        let bias = [1.0, 2.0, 3.0, 4.0];
+        let out = int8_gemm(&aq, &w, &bias);
+        for i in 0..3 {
+            for (j, &b) in bias.iter().enumerate() {
+                assert_eq!(out.get(i, j), b);
+            }
+        }
     }
 }

@@ -12,18 +12,20 @@
 //! # Backend contract
 //!
 //! Every kernel follows the dense layer's agreement contract: the
-//! [`Backend::Scalar`] flavour is a plain sequential reference loop, the
+//! [`Backend::Scalar`] flavour is a plain sequential reference loop; the
 //! [`Backend::Blocked`] flavour partitions the CSC stream into
 //! column segments (SDDMM), query rows (softmax) or output-row chunks
-//! (SpMM) and fans them across worker threads — and **both produce
-//! bit-identical values**, because parallelisation only splits disjoint
-//! outputs while each value's accumulation order is unchanged.
+//! (SpMM) and fans them across worker threads ([`Backend::Simd`] shares
+//! that partitioning — these walks are index-bound, not lane-bound) —
+//! and **all produce bit-identical values**, because parallelisation
+//! only splits disjoint outputs while each value's accumulation order
+//! is unchanged.
 
 use std::sync::Arc;
 
 use crate::kernels::{self, Backend};
 use crate::ops::softmax_row;
-use crate::{Matrix, QuantizedMatrix};
+use crate::{Matrix, QuantizedMatrix, QuantizedRows};
 
 /// A boolean sparsity pattern over an `n × n` attention map.
 ///
@@ -594,7 +596,9 @@ pub fn sddmm_k_stationary_int8_with(
     };
     match backend {
         Backend::Scalar => emit(0..index.size(), &mut values),
-        Backend::Blocked => {
+        // Integer accumulation is order-exact, so the Simd backend can
+        // share the column-partitioned fan-out unchanged.
+        Backend::Blocked | Backend::Simd => {
             let col_off = index.column_offsets();
             let (value_bounds, column_starts) = index.column_partition(&col_off);
             kernels::par_segments(&mut values, &value_bounds, |seg, out| {
@@ -660,7 +664,7 @@ pub fn spmm_output_stationary_with(backend: Backend, scores: &SparseScores, v: &
     };
     match backend {
         Backend::Scalar => accumulate(0, out.as_mut_slice()),
-        Backend::Blocked => {
+        Backend::Blocked | Backend::Simd => {
             let work_per_row = cols * (scores.values.len() / n.max(1) + 1);
             kernels::for_each_row_chunk_weighted(out.as_mut_slice(), cols, work_per_row, accumulate)
         }
@@ -688,6 +692,88 @@ pub fn attention_head_int8(
     scale: f32,
 ) -> Matrix {
     let scores = sddmm_k_stationary_int8(q, k, index, scale);
+    let probs = scores.softmax_rows();
+    spmm_output_stationary(&probs, v)
+}
+
+/// 8-bit K-stationary SDDMM over per-row-quantized fused activations:
+/// the serving engine quantizes the full `n × (h·dk)` Q and K tensors
+/// once per layer as [`QuantizedRows`], and each head hands this kernel
+/// its column window. Per-row scales survive the slicing, so no
+/// per-head requantization happens; each score dequantizes through
+/// `q.scale(qi) · k.scale(col) · scale`.
+///
+/// # Panics
+///
+/// Panics if shapes or the window disagree with the index.
+pub fn sddmm_k_stationary_int8_rows(
+    q: &QuantizedRows,
+    k: &QuantizedRows,
+    cols: std::ops::Range<usize>,
+    index: &CscMatrix,
+    scale: f32,
+) -> SparseScores {
+    sddmm_k_stationary_int8_rows_with(kernels::backend(), q, k, cols, index, scale)
+}
+
+/// [`sddmm_k_stationary_int8_rows`] on an explicit backend.
+pub fn sddmm_k_stationary_int8_rows_with(
+    backend: Backend,
+    q: &QuantizedRows,
+    k: &QuantizedRows,
+    cols: std::ops::Range<usize>,
+    index: &CscMatrix,
+    scale: f32,
+) -> SparseScores {
+    assert_eq!(q.shape().1, k.shape().1, "q/k feature dims differ");
+    assert!(cols.end <= q.shape().1, "column window out of bounds");
+    assert_eq!(q.shape().0, index.size(), "index size must match tokens");
+    assert_eq!(k.shape().0, index.size(), "index size must match tokens");
+    let mut values = vec![0.0f32; index.nnz()];
+    let emit = |columns: std::ops::Range<usize>, out: &mut [f32]| {
+        let mut pos = 0;
+        for col in columns {
+            let k_vec = k.row_window_wide(col, cols.clone());
+            let k_factor = k.row_scale(col) * scale;
+            for &qi in index.col_rows(col) {
+                let q_vec = q.row_window_wide(qi as usize, cols.clone());
+                let mut acc: i32 = 0;
+                for (a, b) in q_vec.iter().zip(k_vec.iter()) {
+                    acc += (*a as i32) * (*b as i32);
+                }
+                out[pos] = acc as f32 * (q.row_scale(qi as usize) * k_factor);
+                pos += 1;
+            }
+        }
+    };
+    match backend {
+        Backend::Scalar => emit(0..index.size(), &mut values),
+        Backend::Blocked | Backend::Simd => {
+            let col_off = index.column_offsets();
+            let (value_bounds, column_starts) = index.column_partition(&col_off);
+            kernels::par_segments(&mut values, &value_bounds, |seg, out| {
+                emit(column_starts[seg]..column_starts[seg + 1], out)
+            });
+        }
+    }
+    SparseScores {
+        index: Arc::new(index.clone()),
+        values,
+    }
+}
+
+/// [`attention_head_int8`] over the layer's shared per-row-quantized
+/// Q/K with a head column window: int8 SDDMM → fp32 sparse softmax →
+/// fp32 SpMM.
+pub fn attention_head_int8_rows(
+    q: &QuantizedRows,
+    k: &QuantizedRows,
+    cols: std::ops::Range<usize>,
+    v: &Matrix,
+    index: &CscMatrix,
+    scale: f32,
+) -> Matrix {
+    let scores = sddmm_k_stationary_int8_rows(q, k, cols, index, scale);
     let probs = scores.softmax_rows();
     spmm_output_stationary(&probs, v)
 }

@@ -1,23 +1,29 @@
 //! Property tests of the kernel-backend agreement contract: for every
-//! kernel and every shape — including non-tile-multiple, single-row and
-//! empty edge cases — the `Blocked` parallel backend must produce results
-//! identical to the `Scalar` reference (the kernels preserve the
-//! floating-point reduction order, so agreement is exact, well inside the
-//! documented 1e-5 budget).
+//! kernel and every shape — including non-tile-multiple, non-lane-multiple,
+//! single-row and empty edge cases — the `Blocked` parallel backend and
+//! the `Simd` lane-tiled backend must produce results identical to the
+//! `Scalar` reference (every backend preserves the floating-point
+//! reduction order, so agreement is exact, well inside the documented
+//! 1e-5 budget).
 
 use proptest::prelude::*;
 use vitcod_tensor::kernels::{
     self, matmul_nt_with, matmul_tn_with, matmul_with, transpose_with, Backend,
 };
-use vitcod_tensor::Matrix;
+use vitcod_tensor::{gelu, Matrix};
+
+/// The backends under test, each compared against the `Scalar` oracle.
+const FAST_BACKENDS: [Backend; 2] = [Backend::Blocked, Backend::Simd];
 
 fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-3.0f32..3.0, rows * cols)
         .prop_map(move |v| Matrix::from_vec(rows, cols, v))
 }
 
-/// Shapes that stress the blocking scheme: around the 64-element k-panel
-/// boundary, far from any tile multiple, and degenerate.
+/// Shapes that stress the blocking schemes: around the 64-element k-panel
+/// boundary, far from any tile multiple, straddling the 8-wide SIMD lane
+/// count (n = 7, 8, 9) and its 16-wide register tile (n = 15, 16, 17),
+/// and degenerate.
 const GEMM_SHAPES: &[(usize, usize, usize)] = &[
     (1, 1, 1),
     (1, 64, 1),
@@ -27,62 +33,82 @@ const GEMM_SHAPES: &[(usize, usize, usize)] = &[
     (33, 63, 65),
     (64, 128, 32),
     (5, 200, 3),
+    (3, 5, 7),
+    (4, 6, 8),
+    (9, 11, 15),
+    (8, 16, 16),
+    (2, 30, 17),
+    (10, 9, 23),
 ];
+
+/// Runs `f` with the process backend set to `b`, restoring the previous
+/// backend afterwards (row-wise kernels read the process default).
+fn with_backend<T>(b: Backend, f: impl FnOnce() -> T) -> T {
+    let prior = kernels::backend();
+    kernels::set_backend(b);
+    let out = f();
+    kernels::set_backend(prior);
+    out
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     #[test]
-    fn matmul_backends_agree(shape_idx in 0usize..8, seed in 0u64..1000) {
+    fn matmul_backends_agree(shape_idx in 0usize..14, seed in 0u64..1000) {
         let (m, k, n) = GEMM_SHAPES[shape_idx];
         let a = matrix(m, k).new_value(&mut TestRng::new(seed));
         let b = matrix(k, n).new_value(&mut TestRng::new(seed.wrapping_add(1)));
-        let blocked = matmul_with(Backend::Blocked, &a, &b);
         let scalar = matmul_with(Backend::Scalar, &a, &b);
-        prop_assert!(blocked == scalar, "shape ({m},{k},{n}) seed {seed}");
-        prop_assert!(blocked.max_abs_diff(&scalar) <= 1e-5);
+        for backend in FAST_BACKENDS {
+            let fast = matmul_with(backend, &a, &b);
+            prop_assert!(fast == scalar, "{backend:?} shape ({m},{k},{n}) seed {seed}");
+            prop_assert!(fast.max_abs_diff(&scalar) <= 1e-5);
+        }
     }
 
     #[test]
-    fn matmul_nt_backends_agree(shape_idx in 0usize..8, seed in 0u64..1000) {
+    fn matmul_nt_backends_agree(shape_idx in 0usize..14, seed in 0u64..1000) {
         let (m, k, n) = GEMM_SHAPES[shape_idx];
         let a = matrix(m, k).new_value(&mut TestRng::new(seed));
         let b = matrix(n, k).new_value(&mut TestRng::new(seed.wrapping_add(2)));
-        let blocked = matmul_nt_with(Backend::Blocked, &a, &b);
         let scalar = matmul_nt_with(Backend::Scalar, &a, &b);
-        prop_assert!(blocked == scalar, "shape ({m},{k},{n}) seed {seed}");
+        for backend in FAST_BACKENDS {
+            let fast = matmul_nt_with(backend, &a, &b);
+            prop_assert!(fast == scalar, "{backend:?} shape ({m},{k},{n}) seed {seed}");
+        }
     }
 
     #[test]
-    fn matmul_tn_backends_agree(shape_idx in 0usize..8, seed in 0u64..1000) {
+    fn matmul_tn_backends_agree(shape_idx in 0usize..14, seed in 0u64..1000) {
         let (m, k, n) = GEMM_SHAPES[shape_idx];
         let a = matrix(k, m).new_value(&mut TestRng::new(seed));
         let b = matrix(k, n).new_value(&mut TestRng::new(seed.wrapping_add(3)));
-        let blocked = matmul_tn_with(Backend::Blocked, &a, &b);
         let scalar = matmul_tn_with(Backend::Scalar, &a, &b);
-        prop_assert!(blocked == scalar, "shape ({m},{k},{n}) seed {seed}");
+        for backend in FAST_BACKENDS {
+            let fast = matmul_tn_with(backend, &a, &b);
+            prop_assert!(fast == scalar, "{backend:?} shape ({m},{k},{n}) seed {seed}");
+        }
     }
 
     #[test]
     fn transpose_backends_agree(rows in 1usize..80, cols in 1usize..80, seed in 0u64..100) {
         let a = matrix(rows, cols).new_value(&mut TestRng::new(seed));
-        prop_assert_eq!(
-            transpose_with(Backend::Blocked, &a),
-            transpose_with(Backend::Scalar, &a)
-        );
+        let scalar = transpose_with(Backend::Scalar, &a);
+        for backend in FAST_BACKENDS {
+            prop_assert_eq!(transpose_with(backend, &a), scalar.clone());
+        }
     }
 
     #[test]
     fn softmax_backends_agree(rows in 1usize..60, cols in 1usize..40, seed in 0u64..100) {
         let a = matrix(rows, cols).new_value(&mut TestRng::new(seed));
-        let prior = kernels::backend();
-        kernels::set_backend(Backend::Scalar);
-        let scalar = kernels::softmax_rows(&a);
-        kernels::set_backend(Backend::Blocked);
-        let blocked = kernels::softmax_rows(&a);
-        kernels::set_backend(prior);
-        prop_assert!(blocked == scalar);
-        prop_assert!(blocked.max_abs_diff(&scalar) <= 1e-5);
+        let scalar = with_backend(Backend::Scalar, || kernels::softmax_rows(&a));
+        for backend in FAST_BACKENDS {
+            let fast = with_backend(backend, || kernels::softmax_rows(&a));
+            prop_assert!(fast == scalar, "{backend:?}");
+            prop_assert!(fast.max_abs_diff(&scalar) <= 1e-5);
+        }
     }
 
     #[test]
@@ -90,26 +116,40 @@ proptest! {
         let a = matrix(rows, cols).new_value(&mut TestRng::new(seed));
         let gamma = vec![1.3f32; cols];
         let beta = vec![-0.2f32; cols];
-        let prior = kernels::backend();
-        kernels::set_backend(Backend::Scalar);
-        let scalar = kernels::layernorm_rows(&a, &gamma, &beta, 1e-5);
-        kernels::set_backend(Backend::Blocked);
-        let blocked = kernels::layernorm_rows(&a, &gamma, &beta, 1e-5);
-        kernels::set_backend(prior);
-        prop_assert!(blocked == scalar);
+        let scalar =
+            with_backend(Backend::Scalar, || kernels::layernorm_rows(&a, &gamma, &beta, 1e-5));
+        for backend in FAST_BACKENDS {
+            let fast =
+                with_backend(backend, || kernels::layernorm_rows(&a, &gamma, &beta, 1e-5));
+            prop_assert!(fast == scalar, "{backend:?}");
+        }
+    }
+
+    #[test]
+    fn elementwise_backends_agree(rows in 1usize..30, cols in 1usize..33, seed in 0u64..100) {
+        let a = matrix(rows, cols).new_value(&mut TestRng::new(seed));
+        let b = matrix(rows, cols).new_value(&mut TestRng::new(seed.wrapping_add(5)));
+        let scalar_map = with_backend(Backend::Scalar, || kernels::map(&a, gelu));
+        let scalar_zip = with_backend(Backend::Scalar, || kernels::zip_map(&a, &b, |x, y| x + y));
+        for backend in FAST_BACKENDS {
+            let fast_map = with_backend(backend, || kernels::map(&a, gelu));
+            let fast_zip = with_backend(backend, || kernels::zip_map(&a, &b, |x, y| x + y));
+            prop_assert!(fast_map == scalar_map, "{backend:?} map");
+            prop_assert!(fast_zip == scalar_zip, "{backend:?} zip_map");
+        }
     }
 
     #[test]
     fn empty_and_single_row_matmuls(cols in 1usize..20, seed in 0u64..50) {
-        // 0×k · k×n and 1×k · k×n edge cases.
+        // 0×k · k×n and 1×k · k×n edge cases, per fast backend.
         let k = cols;
         let b = matrix(k, 4).new_value(&mut TestRng::new(seed));
         let empty = Matrix::zeros(0, k);
-        prop_assert_eq!(matmul_with(Backend::Blocked, &empty, &b).shape(), (0, 4));
         let single = matrix(1, k).new_value(&mut TestRng::new(seed.wrapping_add(4)));
-        prop_assert_eq!(
-            matmul_with(Backend::Blocked, &single, &b),
-            matmul_with(Backend::Scalar, &single, &b)
-        );
+        let scalar = matmul_with(Backend::Scalar, &single, &b);
+        for backend in FAST_BACKENDS {
+            prop_assert_eq!(matmul_with(backend, &empty, &b).shape(), (0, 4));
+            prop_assert_eq!(matmul_with(backend, &single, &b), scalar.clone());
+        }
     }
 }

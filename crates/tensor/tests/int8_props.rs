@@ -1,11 +1,18 @@
 //! Int8 path coverage: quantize→dequantize error bounds on
-//! [`QuantizedMatrix`], and the 8-bit K-stationary SDDMM agreeing with
-//! the fp32 SDDMM within quantization tolerance across random shapes and
-//! seeds.
+//! [`QuantizedMatrix`], the 8-bit K-stationary SDDMM agreeing with the
+//! fp32 SDDMM within quantization tolerance across random shapes and
+//! seeds, and the packed projection GEMM ([`int8_gemm`]) tracking fp32
+//! within its analytic per-row error bound at real DeiT projection
+//! shapes — plus an exact-integer proof that the i32 accumulator cannot
+//! overflow at the documented worst-case reduction depth.
 
 use proptest::prelude::*;
+use vitcod_tensor::kernels::Backend;
 use vitcod_tensor::sparse::{sddmm_k_stationary, sddmm_k_stationary_int8, CscMatrix};
-use vitcod_tensor::{Initializer, Matrix, QuantParams, QuantizedMatrix};
+use vitcod_tensor::{
+    int8_gemm, int8_gemm_with, Initializer, Matrix, PackedGemmWeights, QuantParams,
+    QuantizedMatrix, QuantizedRows, MAX_INT8_GEMM_K,
+};
 
 fn random(rows: usize, cols: usize, std: f32, seed: u64) -> Matrix {
     Initializer::Normal { std }.sample(rows, cols, seed)
@@ -107,5 +114,82 @@ fn int8_sddmm_relative_error_small_at_attention_scale() {
         let rel =
             fp.to_dense().max_abs_diff(&i8s.to_dense()) / fp.to_dense().frobenius_norm().max(1e-6);
         assert!(rel < 0.05, "seed {seed}: relative error {rel}");
+    }
+}
+
+/// The fused-QKV projection shapes (`dim × 3·dim`) of the three DeiT
+/// models the paper evaluates. Token count is subsampled to keep the
+/// debug-mode f64 reference fast; `k` and `n` — the dims that stress
+/// packing, accumulation depth and the epilogue — are the real ones.
+const DEIT_PROJ_SHAPES: &[(&str, usize, usize)] = &[
+    ("deit_tiny", 192, 576),
+    ("deit_small", 384, 1152),
+    ("deit_base", 768, 2304),
+];
+
+/// [`int8_gemm`] tracks an f64 reference within the analytic per-row
+/// bound at every DeiT projection shape: each of the `k` product terms
+/// errs by at most `|a|·εw + |w|·εa + εa·εw` (ε = half a quantization
+/// step, εa per activation row), plus a small slack for the f32
+/// epilogue's own rounding.
+#[test]
+fn int8_gemm_within_analytic_bound_at_deit_shapes() {
+    for &(name, k, n) in DEIT_PROJ_SHAPES {
+        let m = 8;
+        let a = random(m, k, 1.0, 0xD0 + k as u64);
+        let w = random(k, n, 0.05, 0xA0 + n as u64);
+        let bias: Vec<f32> = (0..n).map(|j| (j as f32).sin() * 0.1).collect();
+
+        let a8 = QuantizedRows::quantize(&a);
+        let w8 = PackedGemmWeights::pack(&w);
+        let out = int8_gemm(&a8, &w8, &bias);
+
+        let ew = w8.scale() as f64 * 0.5;
+        let wmax = w.as_slice().iter().fold(0.0f32, |x, &v| x.max(v.abs())) as f64;
+        for i in 0..m {
+            let ea = a8.row_scale(i) as f64 * 0.5;
+            let amax = a.row(i).iter().fold(0.0f32, |x, &v| x.max(v.abs())) as f64;
+            let bound = k as f64 * (amax * ew + wmax * ea + ea * ew);
+            for (j, &bj) in bias.iter().enumerate() {
+                let exact: f64 = (0..k)
+                    .map(|kk| a.get(i, kk) as f64 * w.get(kk, j) as f64)
+                    .sum::<f64>()
+                    + bj as f64;
+                let err = (out.get(i, j) as f64 - exact).abs();
+                assert!(
+                    err <= bound + 1e-3 * exact.abs() + 1e-4,
+                    "{name}: |out - exact| = {err} exceeds bound {bound} at ({i},{j})"
+                );
+            }
+        }
+    }
+}
+
+/// At the documented worst-case reduction depth [`MAX_INT8_GEMM_K`] with
+/// all operands saturated to ±127, the i32 accumulator lands exactly on
+/// the predicted integer — no wraparound — on every backend, including
+/// the lane-tail columns of a non-multiple-of-8 `n`.
+#[test]
+fn int8_gemm_i32_accumulator_survives_worst_case_k() {
+    let k = MAX_INT8_GEMM_K;
+    let n = 9; // exercises the packed panel's zero-padded tail lanes
+    let acc = k as i64 * 127 * 127;
+    assert!(acc <= i32::MAX as i64, "MAX_INT8_GEMM_K itself is unsound");
+
+    // All-ones operands quantize to exactly +127 with scale 1/127.
+    let a = Matrix::from_vec(1, k, vec![1.0; k]);
+    let w = Matrix::from_vec(k, n, vec![1.0; k * n]);
+    let bias = vec![0.5f32; n];
+    let a8 = QuantizedRows::quantize(&a);
+    let w8 = PackedGemmWeights::pack(&w);
+
+    // Same epilogue expression the kernel applies to its accumulator.
+    let expected = acc as i32 as f32 * (a8.row_scale(0) * w8.scale()) + 0.5;
+    for backend in [Backend::Scalar, Backend::Blocked, Backend::Simd] {
+        let out = int8_gemm_with(backend, &a8, &w8, &bias);
+        for (j, &v) in out.row(0).iter().enumerate() {
+            assert!(v > 0.0, "{backend:?}: accumulator wrapped");
+            assert_eq!(v, expected, "{backend:?} col {j}");
+        }
     }
 }
