@@ -1,0 +1,124 @@
+//! V001 — no panics in serving library code.
+//!
+//! The serve path's determinism story rests on "a request either
+//! resolves or errors"; a stray `unwrap()` in the transport or the
+//! batcher turns a poisoned lock or a malformed edge case into a dead
+//! worker. See [`crate::diag::explain`]'s V001 entry for the contract.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::{FileKind, SourceFile};
+
+/// Crates whose library code must be panic-free.
+const PANIC_FREE_CRATES: [&str; 3] = ["vitcod-serve", "vitcod-transport", "vitcod-engine"];
+/// Crates where scalar subscript indexing is additionally flagged.
+const INDEX_FREE_CRATES: [&str; 2] = ["vitcod-serve", "vitcod-transport"];
+
+/// Panicking macros flagged by name (when followed by `!`).
+const PANIC_MACROS: [&str; 4] = ["panic", "todo", "unimplemented", "unreachable"];
+
+pub(crate) fn check(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if file.kind != FileKind::Lib || !PANIC_FREE_CRATES.contains(&file.crate_name.as_str()) {
+        return;
+    }
+    let check_indexing = INDEX_FREE_CRATES.contains(&file.crate_name.as_str());
+    let has_own_expect = file.defines_fn("expect");
+    let toks = &file.lexed.tokens;
+    let diag = |line: u32, message: String| Diagnostic {
+        file: file.rel_path.clone(),
+        line,
+        rule: "V001",
+        message,
+    };
+    for i in 0..toks.len() {
+        if file.is_test(i) || file.attr_mask[i] {
+            continue;
+        }
+        let t = &toks[i];
+        // `.unwrap()` / `.expect(…)` method calls.
+        if t.kind == TokenKind::Ident && i > 0 && toks[i - 1].is(".") {
+            let called = toks.get(i + 1).is_some_and(|n| n.is("("));
+            if called && t.is("unwrap") {
+                out.push(diag(
+                    t.line,
+                    "`.unwrap()` can panic the serve path; handle the error \
+                     (poisoned locks: `unwrap_or_else(|e| e.into_inner())`) or state the \
+                     invariant in an allow directive"
+                        .to_string(),
+                ));
+            } else if called && t.is("expect") {
+                // A parser defining its own `fn expect` calls it as
+                // `self.expect(…)`; that is not `Result::expect`.
+                let own_method = has_own_expect && i >= 2 && toks[i - 2].is("self");
+                if !own_method {
+                    out.push(diag(
+                        t.line,
+                        "`.expect(…)` can panic the serve path; return a Result or \
+                         recover, or state the invariant in an allow directive"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+        // `panic!` / `todo!` / `unimplemented!` / `unreachable!`.
+        if t.kind == TokenKind::Ident
+            && PANIC_MACROS.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is("!"))
+            && !(i > 0 && toks[i - 1].is("."))
+        {
+            out.push(diag(
+                t.line,
+                format!(
+                    "`{}!` aborts the worker that hits it; restructure so the case is \
+                     handled, or state why it is unreachable in an allow directive",
+                    t.text
+                ),
+            ));
+        }
+        // Scalar subscript indexing `expr[i]` (serve/transport only).
+        if check_indexing && t.is("[") && i > 0 {
+            let prev = &toks[i - 1];
+            let postfix = match prev.kind {
+                TokenKind::Ident => !super::KEYWORDS.contains(&prev.text.as_str()),
+                TokenKind::Punct => prev.is(")") || prev.is("]"),
+                _ => false,
+            };
+            if !postfix {
+                continue;
+            }
+            // Bracket-match; ranges (`..` at depth 0) are slicing, which
+            // the wire parsers use with checked bounds everywhere.
+            let mut depth = 0i32;
+            let mut j = i;
+            let mut is_range = false;
+            let mut empty = true;
+            while j < toks.len() {
+                let tj = &toks[j];
+                if tj.is("[") || tj.is("(") || tj.is("{") {
+                    depth += 1;
+                } else if tj.is("]") || tj.is(")") || tj.is("}") {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if j > i {
+                        empty = false;
+                    }
+                    if depth == 1 && tj.is(".") && toks.get(j + 1).is_some_and(|n| n.is(".")) {
+                        is_range = true;
+                    }
+                }
+                j += 1;
+            }
+            if !is_range && !empty {
+                out.push(diag(
+                    t.line,
+                    "scalar indexing `…[i]` panics out of bounds; use `.get(i)` / \
+                     `.get_mut(i)` or state the bounds invariant in an allow directive"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! V005 — unsafe-free by construction.
+//!
+//! Every workspace crate root must carry `#![forbid(unsafe_code)]`,
+//! and the `unsafe` token must not appear anywhere in workspace source
+//! (tests included — test code exercising UB is still UB). The check
+//! is token-level, so `unsafe` inside comments, doc examples rendered
+//! as strings, or string literals does not trip it.
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokenKind;
+use crate::source::SourceFile;
+
+pub(crate) fn check_file(file: &SourceFile, out: &mut Vec<Diagnostic>) {
+    let toks = &file.lexed.tokens;
+    if file.is_crate_root {
+        let has_forbid = (0..toks.len()).any(|i| {
+            toks[i].is("forbid")
+                && toks.get(i + 1).is_some_and(|n| n.is("("))
+                && toks.get(i + 2).is_some_and(|n| n.is("unsafe_code"))
+        });
+        if !has_forbid {
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: 1,
+                rule: "V005",
+                message: "crate root is missing `#![forbid(unsafe_code)]`; every workspace \
+                          crate opts out of unsafe at the root so the guarantee is \
+                          compiler-enforced, not reviewed-for"
+                    .to_string(),
+            });
+        }
+    }
+    for t in toks {
+        if t.kind == TokenKind::Ident && t.is("unsafe") {
+            out.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: t.line,
+                rule: "V005",
+                message: "`unsafe` token in workspace source; the workspace is unsafe-free \
+                          by policy — find a safe formulation or move the need into a \
+                          vendored dependency boundary"
+                    .to_string(),
+            });
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Workspace discovery: reads the root `Cargo.toml` member list,
+//! resolves each member's package name, and enumerates its Rust
+//! sources. Vendored stand-ins under `vendor/` are out of scope (they
+//! mirror external crates' APIs, not our invariants), as are build
+//! artifacts under `target/` and the analyzer's own lint fixtures
+//! under `tests/fixtures/` (which exist to violate the rules).
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::source::{FileKind, SourceFile};
+
+/// One discovered workspace member.
+#[derive(Debug)]
+pub struct Member {
+    /// Package name from the member's `Cargo.toml`.
+    pub name: String,
+    /// Member directory, absolute.
+    pub dir: PathBuf,
+}
+
+/// Parses the root manifest's `members = [...]` list plus the root
+/// package itself (the workspace root doubles as the `vitcod` facade
+/// crate), excluding `vendor/`.
+pub fn discover_members(root: &Path) -> io::Result<Vec<Member>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut dirs: Vec<PathBuf> = Vec::new();
+    let mut in_members = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with("members") && line.contains('[') {
+            in_members = true;
+        }
+        if in_members {
+            let mut rest = line;
+            while let Some(start) = rest.find('"') {
+                let tail = &rest[start + 1..];
+                let Some(end) = tail.find('"') else { break };
+                let member = &tail[..end];
+                if !member.starts_with("vendor/") {
+                    dirs.push(root.join(member));
+                }
+                rest = &tail[end + 1..];
+            }
+            if line.contains(']') {
+                in_members = false;
+            }
+        }
+    }
+    // The root package (workspace manifest carries a [package] too).
+    if manifest.contains("[package]") {
+        dirs.push(root.to_path_buf());
+    }
+    let mut members = Vec::new();
+    for dir in dirs {
+        let name = package_name(&dir.join("Cargo.toml"))?;
+        members.push(Member { name, dir });
+    }
+    Ok(members)
+}
+
+/// Extracts `name = "..."` from the `[package]` section.
+fn package_name(manifest_path: &Path) -> io::Result<String> {
+    let text = fs::read_to_string(manifest_path)?;
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package && line.starts_with("name") {
+            if let Some(name) = line.split('"').nth(1) {
+                return Ok(name.to_string());
+            }
+        }
+    }
+    Err(io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("no [package] name in {}", manifest_path.display()),
+    ))
+}
+
+/// Loads and scans every Rust source of every non-vendored member.
+pub fn load_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let members = discover_members(root)?;
+    let mut files: Vec<SourceFile> = Vec::new();
+    for m in &members {
+        for sub in ["src", "tests", "benches", "examples"] {
+            let dir = m.dir.join(sub);
+            if !dir.is_dir() {
+                continue;
+            }
+            let kind = if sub == "src" {
+                FileKind::Lib
+            } else {
+                FileKind::TestCode
+            };
+            let mut paths = Vec::new();
+            collect_rs(&dir, &mut paths)?;
+            paths.sort();
+            for path in paths {
+                let rel = rel_path(root, &path);
+                if rel.contains("/fixtures/") || rel.contains("/target/") {
+                    continue;
+                }
+                // The root facade's src/ must not recurse into crates/.
+                if m.dir == root && rel.starts_with("crates/") {
+                    continue;
+                }
+                let text = fs::read_to_string(&path)?;
+                let is_root = is_crate_root(&m.dir, &path);
+                files.push(SourceFile::new(&rel, &m.name, kind, is_root, &text));
+            }
+        }
+    }
+    files.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// `src/lib.rs`, `src/main.rs` and `src/bin/*.rs` are crate roots and
+/// must carry `#![forbid(unsafe_code)]`.
+fn is_crate_root(member_dir: &Path, path: &Path) -> bool {
+    let Ok(rel) = path.strip_prefix(member_dir) else {
+        return false;
+    };
+    let parts: Vec<String> = rel
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    match parts.as_slice() {
+        [src, file] if src == "src" => file == "lib.rs" || file == "main.rs",
+        [src, bin, file] if src == "src" && bin == "bin" => file.ends_with(".rs"),
+        _ => false,
+    }
+}

@@ -1,0 +1,21 @@
+//! V000 fixture: directive hygiene, scanned as serve library code.
+//! One well-formed, used allow (suppresses a V001 and raises nothing),
+//! and five broken directives. Expected: five V000 diagnostics.
+
+pub fn used_allow(x: Option<u32>) -> u32 {
+    // vitcod-lint: allow(V001, fixture: demonstrates a consumed allow)
+    x.expect("fixture invariant")
+}
+
+pub fn hygiene(a: u32, b: u32) -> u32 {
+    // vitcod-lint: allow V001 missing parentheses
+    let sum = a + b;
+    // vitcod-lint: allow(V001)
+    let double = sum * 2;
+    // vitcod-lint: allow(V999, no such rule exists)
+    let triple = sum * 3;
+    // vitcod-lint: allow(V001,   )
+    let quad = sum * 4;
+    // vitcod-lint: allow(V004, this line raises no V004, so the allow is stale)
+    double + triple + quad
+}

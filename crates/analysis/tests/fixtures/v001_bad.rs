@@ -1,0 +1,47 @@
+//! V001 fixture: every panic path the rule must catch in serving
+//! library code. Scanned as `crates/serve/src/fixture.rs`; never
+//! compiled.
+
+pub fn unwrap_site(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn expect_site(x: Result<u32, ()>) -> u32 {
+    x.expect("boom")
+}
+
+pub fn panic_site() {
+    panic!("dead worker");
+}
+
+pub fn todo_site() {
+    todo!()
+}
+
+pub fn unreachable_site(v: u32) -> u32 {
+    match v {
+        0 => 1,
+        _ => unreachable!("not really"),
+    }
+}
+
+pub fn index_site(v: &[u32], i: usize) -> u32 {
+    v[i]
+}
+
+pub fn range_slicing_is_fine(v: &[u32]) -> &[u32] {
+    // Slicing with a range is the wire-parser idiom and must NOT trip
+    // the indexing check.
+    &v[1..3]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        Some(1u32).unwrap();
+        let v = vec![1, 2];
+        let _ = v[0];
+        panic!("tests may panic");
+    }
+}

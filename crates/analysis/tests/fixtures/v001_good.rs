@@ -1,0 +1,35 @@
+//! V001 fixture: the same shapes written panic-free, plus a reasoned
+//! allow. Must produce zero diagnostics.
+
+use std::sync::{Mutex, PoisonError};
+
+pub fn recovered_lock(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn checked_index(v: &[u32], i: usize) -> Option<u32> {
+    v.get(i).copied()
+}
+
+pub fn allowed_expect(x: Option<u32>) -> u32 {
+    // vitcod-lint: allow(V001, fixture invariant: x is always Some here)
+    x.expect("fixture invariant")
+}
+
+struct Parser {
+    pos: usize,
+}
+
+impl Parser {
+    fn expect(&mut self, b: u8) -> Result<(), ()> {
+        let _ = b;
+        self.pos += 1;
+        Ok(())
+    }
+
+    pub fn parse(&mut self) -> Result<(), ()> {
+        // A file's own `self.expect(...)` parser method is not
+        // `Result::expect` and must not be flagged.
+        self.expect(b'[')
+    }
+}

@@ -1,0 +1,23 @@
+//! V002 fixture: two functions acquiring two locks in opposite orders —
+//! the classic AB/BA deadlock. The order graph must contain a cycle.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.alpha.lock().unwrap_or_default_fixture();
+        let b = self.beta.lock().unwrap_or_default_fixture();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.beta.lock().unwrap_or_default_fixture();
+        let a = self.alpha.lock().unwrap_or_default_fixture();
+        *a + *b
+    }
+}

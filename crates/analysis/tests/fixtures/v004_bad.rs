@@ -1,0 +1,35 @@
+//! V004 fixture: determinism violations, scanned as vitcod-tensor
+//! library code. Expected: six V004 diagnostics.
+
+pub fn float_eq(x: f32, y: f64, z: f64) -> bool {
+    let a = x == 1.5; // non-zero float equality: flagged
+    let b = y != 2.5e-3; // non-zero float inequality: flagged
+    let c = -0.5 == z; // literal on the left: flagged
+    a && b && c
+}
+
+pub fn zero_sentinel(v: &[f32]) -> usize {
+    // Exact-zero structural sentinel: exempt.
+    v.iter().filter(|&&x| x == 0.0).count()
+}
+
+pub fn wall_clock() -> u64 {
+    let t = std::time::Instant::now(); // flagged
+    t.elapsed().as_nanos() as u64
+}
+
+pub fn ambient_config() -> Option<String> {
+    std::env::var("VITCOD_FIXTURE").ok() // flagged
+}
+
+pub fn par_reduce(shards: &[Vec<f32>]) -> f32 {
+    par_chunks(shards).map(|c| c.len() as f32).sum() // flagged
+}
+
+pub fn serial_reduce(v: &[f32]) -> f32 {
+    v.iter().sum() // serial reduction: exempt
+}
+
+fn par_chunks(shards: &[Vec<f32>]) -> impl Iterator<Item = &Vec<f32>> {
+    shards.iter()
+}

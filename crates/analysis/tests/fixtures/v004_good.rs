@@ -1,0 +1,20 @@
+//! V004 fixture: the same shapes written deterministically, plus one
+//! reasoned allow over a cached environment read. Expected: zero
+//! diagnostics, one allow used.
+
+pub fn tolerant_eq(x: f64) -> bool {
+    (x - 1.5).abs() < 1e-9
+}
+
+pub fn zero_sentinel(v: &[f32]) -> usize {
+    v.iter().filter(|&&x| x == 0.0).count()
+}
+
+pub fn cached_config() -> Option<String> {
+    // vitcod-lint: allow(V004, fixture: read once and cached for the process lifetime)
+    std::env::var("VITCOD_FIXTURE").ok()
+}
+
+pub fn serial_reduce(v: &[f32]) -> f32 {
+    v.iter().sum()
+}

@@ -1,0 +1,7 @@
+//! V005 fixture: a crate root with no `#![forbid(unsafe_code)]` and an
+//! unsafe block. Expected: two V005 diagnostics (missing forbid at
+//! line 1, plus the unsafe token).
+
+pub fn peek(v: &[u32]) -> u32 {
+    unsafe { *v.as_ptr() }
+}

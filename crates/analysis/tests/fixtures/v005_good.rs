@@ -1,0 +1,8 @@
+#![forbid(unsafe_code)]
+//! V005 fixture: a crate root that opts out of unsafe. The word
+//! unsafe in this doc comment and in "unsafe strings" must not trip
+//! the token-level check. Expected: zero diagnostics.
+
+pub fn describe() -> &'static str {
+    "this crate contains no unsafe code"
+}

@@ -300,6 +300,8 @@ mod tests {
     }
 
     #[test]
+    // The setter stores the exact literal; strict comparison is right.
+    #[allow(clippy::float_cmp)]
     fn set_learning_rate_round_trips() {
         let mut opt = Adam::new(0.1);
         opt.set_learning_rate(0.05);

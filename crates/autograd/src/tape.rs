@@ -1354,6 +1354,8 @@ mod tests {
     }
 
     #[test]
+    // Pruned positions must be exactly zero — a structural sentinel.
+    #[allow(clippy::float_cmp)]
     fn masked_attention_pruned_positions_have_zero_prob() {
         let mut tape = Tape::new();
         let q = tape.constant(Initializer::Normal { std: 1.0 }.sample(4, 8, 7));
@@ -1505,6 +1507,8 @@ mod tests {
     }
 
     #[test]
+    // Head probes replay the same kernel path; equality is bitwise.
+    #[allow(clippy::float_cmp)]
     fn multi_head_attention_matches_per_head_graph() {
         let (n, dk, heads) = (5, 3, 2);
         let mut store = ParamStore::new();

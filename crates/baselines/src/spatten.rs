@@ -252,6 +252,8 @@ impl SpAttenSim {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts deterministic replay of seeded runs.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Design-choice ablation (paper Sec. V-A, Fig. 11): S-stationary vs
 //! K-stationary SDDMM dataflows across sparsity levels.
 //!

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Design-choice ablation (paper Sec. V-B): CSC vs COO sparse-index
 //! storage for the pre-loaded fixed attention masks, across sparsities.
 //!

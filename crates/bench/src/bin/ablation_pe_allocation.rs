@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Design-choice ablation (paper Sec. V-B): dynamic workload-
 //! proportional PE allocation between the denser and sparser engines,
 //! versus a static 50/50 split.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! SRAM residency report: per-model buffer occupancies against the
 //! paper's 320 KB partition, with and without the auto-encoder — the
 //! compiler-side feasibility view behind the Sec. V-B resource

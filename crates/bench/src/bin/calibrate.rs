@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Internal calibration probe: prints raw latencies and speedup ratios
 //! of every platform on every model so modelling constants can be sanity
 //! checked against the paper's headline numbers. Not a paper artifact.

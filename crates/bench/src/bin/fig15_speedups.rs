@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 15: (a) core-attention speedups at 90% sparsity and (b)
 //! end-to-end ViT speedups, normalized to CPU, for seven models across
 //! CPU / EdgeGPU / GPU / SpAtten / Sanger / ViTCoD.

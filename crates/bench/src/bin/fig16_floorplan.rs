@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 16: layout floorplan of the ViTCoD accelerator.
 
 use vitcod_sim::{floorplan, total_area_mm2, AcceleratorConfig};

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 17: accuracy vs attention-layer latency trade-off of the full
 //! ViTCoD algorithm (split-and-conquer + 50% AE) against unpruned
 //! baselines on the six DeiT/LeViT models, plus the sparsity-ratio

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 18: training trajectories of LeViT models with AE modules
 //! (accuracy / test loss / reconstruction loss), vanilla accuracy as the
 //! dashed reference.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 19: (a) normalized latency and latency breakdown
 //! (computation / preprocess / data movement) for Sanger vs ViTCoD's two
 //! innovations, (b) normalized energy efficiency against all five

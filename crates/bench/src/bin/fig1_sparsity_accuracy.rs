@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 1: accuracy-vs-sparsity for ViTs with *fixed* sparse attention
 //! masks, contrasted against NLP Transformers needing *dynamic* masks.
 //!

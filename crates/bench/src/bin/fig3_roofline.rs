@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 3: roofline analysis of the key attention bottleneck
 //! (`S = Q·Kᵀ` plus `S·V`) for dense ViTs, polarized sparse ViTs, and
 //! ViTCoD (denser/sparser + auto-encoder).

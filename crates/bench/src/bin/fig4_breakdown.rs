@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 4: FLOPs (top) and EdgeGPU latency (bottom) breakdowns of the
 //! seven evaluated models, split into self-attention vs MLP vs rest.
 

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 8: visualising DeiT-Base attention maps after (a) pruning only,
 //! (b) reordering only, (c) pruning + reordering. Rendered as ASCII
 //! density grids (█ = dense block, blank = pruned).

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Fig. 9(b): training trajectories of DeiT models with auto-encoder
 //! modules — accuracy, test loss and reconstruction loss per epoch, with
 //! the vanilla (no-AE) accuracy as the dashed reference.

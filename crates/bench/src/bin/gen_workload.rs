@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Workload compiler CLI: runs the split-and-conquer pass for a model
 //! and writes the compiled accelerator program (the Fig. 14 one-time
 //! compilation artifact) plus Fig. 8-style mask images to a directory.

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Table I: taxonomy of representative sparse accelerators.
 
 fn main() {

@@ -133,6 +133,9 @@ mod tests {
     use super::*;
 
     #[test]
+    // The empty-geomean sentinel and the exact mean of exactly
+    // representable inputs are deliberate strict comparisons.
+    #[allow(clippy::float_cmp)]
     fn geomean_and_mean_basics() {
         assert_eq!(geomean(&[]), 0.0);
         assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);

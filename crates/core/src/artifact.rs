@@ -854,6 +854,8 @@ fn unescape_meta(value: &str) -> String {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts bit-identical artifact replay.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{compile_model, SplitConquer, SplitConquerConfig};

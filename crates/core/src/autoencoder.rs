@@ -117,6 +117,8 @@ impl AutoEncoderConfig {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts bit-identical artifact replay.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -210,6 +210,8 @@ pub fn compile_model(
 }
 
 #[cfg(test)]
+// Exact float equality below asserts bit-identical artifact replay.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::split_conquer::{SplitConquer, SplitConquerConfig};

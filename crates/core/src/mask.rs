@@ -249,6 +249,8 @@ impl fmt::Display for AttentionMask {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts bit-identical artifact replay.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -173,6 +173,8 @@ impl ViTCoDPipeline {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts bit-identical artifact replay.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use vitcod_model::SyntheticTaskConfig;

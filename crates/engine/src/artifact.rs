@@ -180,17 +180,20 @@ fn meta_parse<T: std::str::FromStr>(
 /// server reloading the same artifact forever holds constant memory.
 fn static_name(name: &str) -> &'static str {
     use std::collections::HashSet;
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::{Mutex, OnceLock, PoisonError};
     for cfg in ViTConfig::all_paper_models() {
         if cfg.name == name {
             return cfg.name;
         }
     }
     static INTERNED: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    // Poison recovery: the only mutation under this lock is a single
+    // HashSet insert of an already-leaked str, so a panicking interner
+    // cannot leave the table inconsistent.
     let mut table = INTERNED
         .get_or_init(|| Mutex::new(HashSet::new()))
         .lock()
-        .expect("intern table poisoned");
+        .unwrap_or_else(PoisonError::into_inner);
     match table.get(name) {
         Some(interned) => interned,
         None => {

@@ -259,7 +259,12 @@ impl Engine {
                     .collect();
                 let mut out = Vec::with_capacity(samples.len());
                 for h in handles {
-                    out.extend(h.join().expect("engine worker panicked"));
+                    match h.join() {
+                        Ok(chunk) => out.extend(chunk),
+                        // Re-raise the worker's panic payload on the
+                        // caller thread instead of a fresh panic here.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
                 }
                 out
             })

@@ -258,6 +258,8 @@ impl Trainer {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts deterministic replay of seeded runs.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::{SyntheticTaskConfig, ViTConfig, VisionTransformer};

@@ -749,6 +749,8 @@ fn apply_ae(
 }
 
 #[cfg(test)]
+// Exact float equality below asserts deterministic replay of seeded runs.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

@@ -165,8 +165,14 @@ impl BatchAssembler {
                 self.pending.len() - 1
             }
         };
-        self.pending[idx].requests.push(request);
-        if self.pending[idx].requests.len() >= self.max_batch {
+        let full = match self.pending.get_mut(idx) {
+            Some(set) => {
+                set.requests.push(request);
+                set.requests.len() >= self.max_batch
+            }
+            None => false,
+        };
+        if full {
             let set = self.pending.swap_remove(idx);
             self.promote(set, now);
         }
@@ -188,11 +194,10 @@ impl BatchAssembler {
     /// set and promotes sets whose flush deadline has passed.
     pub fn poll(&mut self, now: Instant) {
         let mut i = 0;
-        while i < self.pending.len() {
-            let p = &mut self.pending[i];
+        while let Some(p) = self.pending.get_mut(i) {
             let mut j = 0;
-            while j < p.requests.len() {
-                if p.requests[j].expired(now) {
+            while let Some(r) = p.requests.get(j) {
+                if r.expired(now) {
                     self.expired.push(p.requests.swap_remove(j));
                 } else {
                     j += 1;
@@ -239,7 +244,9 @@ impl BatchAssembler {
     /// Pops the next ready batch, rotating round-robin across models.
     pub fn next_ready(&mut self) -> Option<Batch> {
         let mut set = self.ready.pop_front()?;
-        let batch = set.batches.pop_front().expect("ready sets are non-empty");
+        // Ready sets are created non-empty and retired when drained, so
+        // this pop always yields; `?` keeps the invariant panic-free.
+        let batch = set.batches.pop_front()?;
         if !set.batches.is_empty() {
             self.ready.push_back(set);
         }
@@ -256,8 +263,8 @@ impl BatchAssembler {
     /// that expired since they were accepted.
     fn promote(&mut self, mut set: PendingSet, now: Instant) {
         let mut i = 0;
-        while i < set.requests.len() {
-            if set.requests[i].expired(now) {
+        while let Some(r) = set.requests.get(i) {
+            if r.expired(now) {
                 self.expired.push(set.requests.swap_remove(i));
             } else {
                 i += 1;

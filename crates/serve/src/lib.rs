@@ -51,6 +51,10 @@
 //! ```
 
 #![forbid(unsafe_code)]
+// The serving path must not panic (vitcod-lint V001); clippy enforces
+// the unwrap half at compile time. Tests may unwrap freely.
+#![deny(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
 #![warn(missing_docs)]
 
 mod batcher;

@@ -7,12 +7,18 @@
 //! turns overload into backpressure rather than data loss. Built on
 //! `Mutex` + two `Condvar`s; no lock is held while waiting.
 //!
+//! Lock poisoning is *recovered*, not propagated: every mutation the
+//! queue performs under the lock is a single `VecDeque` call, so a
+//! producer that panics mid-push cannot leave the queue half-updated —
+//! the poison flag carries no information here, and propagating it
+//! would let one panicking producer take down every other client.
+//!
 //! The queue is public because it is the workspace's general
 //! backpressure primitive: the HTTP transport reuses it to hand
 //! accepted connections to its handler pool.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Instant;
 
 /// Outcome of a non-blocking push.
@@ -71,7 +77,7 @@ impl<T> BoundedQueue<T> {
     /// backpressure path). Returns the item back if the queue closed
     /// before space opened up.
     pub fn push(&self, item: T) -> Result<(), T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if inner.closed {
                 return Err(item);
@@ -81,14 +87,17 @@ impl<T> BoundedQueue<T> {
                 self.not_empty.notify_one();
                 return Ok(());
             }
-            inner = self.not_full.wait(inner).expect("queue poisoned");
+            inner = self
+                .not_full
+                .wait(inner)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Enqueues without blocking; hands the item back when full or
     /// closed.
     pub fn try_push(&self, item: T) -> Result<(), TryPushError<T>> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         if inner.closed {
             return Err(TryPushError::Closed(item));
         }
@@ -104,7 +113,7 @@ impl<T> BoundedQueue<T> {
     /// (`None` waits indefinitely), or the queue is closed **and
     /// drained** — close never discards queued items.
     pub fn pop_until(&self, deadline: Option<Instant>) -> Pop<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         loop {
             if let Some(item) = inner.items.pop_front() {
                 self.not_full.notify_one();
@@ -114,7 +123,12 @@ impl<T> BoundedQueue<T> {
                 return Pop::Closed;
             }
             match deadline {
-                None => inner = self.not_empty.wait(inner).expect("queue poisoned"),
+                None => {
+                    inner = self
+                        .not_empty
+                        .wait(inner)
+                        .unwrap_or_else(PoisonError::into_inner)
+                }
                 Some(d) => {
                     let now = Instant::now();
                     if now >= d {
@@ -123,7 +137,7 @@ impl<T> BoundedQueue<T> {
                     let (guard, timeout) = self
                         .not_empty
                         .wait_timeout(inner, d - now)
-                        .expect("queue poisoned");
+                        .unwrap_or_else(PoisonError::into_inner);
                     inner = guard;
                     if timeout.timed_out() && inner.items.is_empty() && !inner.closed {
                         return Pop::TimedOut;
@@ -136,7 +150,7 @@ impl<T> BoundedQueue<T> {
     /// Closes the queue: pending pushes fail, pops drain the remaining
     /// items and then report [`Pop::Closed`].
     pub fn close(&self) {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.closed = true;
         self.not_empty.notify_all();
         self.not_full.notify_all();
@@ -144,7 +158,11 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("queue poisoned").items.len()
+        self.inner
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .items
+            .len()
     }
 
     /// Whether nothing is currently queued.
@@ -155,7 +173,7 @@ impl<T> BoundedQueue<T> {
     /// Removes and returns everything currently queued, without
     /// waiting (the shutdown sweep for items no consumer will take).
     pub fn drain_now(&self) -> Vec<T> {
-        let mut inner = self.inner.lock().expect("queue poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let items = inner.items.drain(..).collect();
         self.not_full.notify_all();
         items

@@ -8,7 +8,7 @@
 //! mutex, far off the per-sample compute path.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Per-request latency samples kept per model; older samples are
@@ -92,7 +92,7 @@ impl StatsRecorder {
     /// Records one request expired past its deadline before it reached
     /// a batch slot.
     pub fn record_timeout(&self, model: &str) {
-        let mut inner = self.inner.lock().expect("stats poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.entry(model.to_string()).or_default().timed_out += 1;
     }
 
@@ -103,33 +103,38 @@ impl StatsRecorder {
         if fill == 0 {
             return;
         }
-        let mut inner = self.inner.lock().expect("stats poisoned");
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let accum = inner.entry(model.to_string()).or_default();
         accum.batches += 1;
         accum.requests += fill as u64;
         if accum.fill_histogram.len() < fill {
             accum.fill_histogram.resize(fill, 0);
         }
-        accum.fill_histogram[fill - 1] += 1;
+        if let Some(slot) = accum.fill_histogram.get_mut(fill - 1) {
+            *slot += 1;
+        }
         for d in latencies {
             let s = d.as_secs_f64();
             if accum.latencies_s.len() < MAX_LATENCY_SAMPLES {
                 accum.latencies_s.push(s);
             } else {
-                accum.latencies_s[accum.latency_cursor] = s;
-                accum.latency_cursor = (accum.latency_cursor + 1) % MAX_LATENCY_SAMPLES;
+                let cursor = accum.latency_cursor;
+                if let Some(slot) = accum.latencies_s.get_mut(cursor) {
+                    *slot = s;
+                }
+                accum.latency_cursor = (cursor + 1) % MAX_LATENCY_SAMPLES;
             }
         }
     }
 
     pub fn snapshot(&self) -> ServerStats {
         let uptime_s = self.start.elapsed().as_secs_f64();
-        let inner = self.inner.lock().expect("stats poisoned");
+        let inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let mut models: Vec<ModelStats> = inner
             .iter()
             .map(|(model, a)| {
                 let mut sorted = a.latencies_s.clone();
-                sorted.sort_by(|x, y| x.partial_cmp(y).expect("latencies are finite"));
+                sorted.sort_by(f64::total_cmp);
                 let weighted: u64 = a
                     .fill_histogram
                     .iter()
@@ -168,10 +173,15 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
         return 0.0;
     }
     let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
+    sorted
+        .get(idx.min(sorted.len() - 1))
+        .copied()
+        .unwrap_or(0.0)
 }
 
 #[cfg(test)]
+// Exact float equality below asserts deterministic replay of seeded runs.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

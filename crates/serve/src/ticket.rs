@@ -13,9 +13,14 @@
 //! (the request's deadline passed while it was still waiting for a
 //! batch slot — see [`crate::Client::submit_with_timeout`]). Both
 //! surface as [`RequestError`] from the deadline-aware waits.
+//!
+//! The state mutex recovers from poisoning (`PoisonError::into_inner`):
+//! every transition is a single assignment of the `State` enum, so a
+//! panicking thread cannot leave the state half-written, and a poisoned
+//! ticket must still resolve its waiters.
 
 use std::fmt;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use vitcod_engine::Prediction;
@@ -74,10 +79,11 @@ impl TicketInner {
     /// gave up — the race is benign). Completing a *served* ticket
     /// twice is a serving-layer bug and panics.
     pub fn complete(&self, prediction: Prediction) {
-        let mut state = self.state.lock().expect("ticket poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         match *state {
             State::Pending => *state = State::Ready(prediction),
             State::TimedOut | State::Cancelled => return,
+            // vitcod-lint: allow(V001, double-completion is a batcher bug; the contract is to fail loudly in the offending worker)
             State::Ready(_) | State::Taken => panic!("ticket completed twice"),
         }
         self.ready.notify_all();
@@ -85,7 +91,7 @@ impl TicketInner {
 
     /// Marks the ticket as never-to-arrive (server shutdown).
     pub fn cancel(&self) {
-        let mut state = self.state.lock().expect("ticket poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if matches!(*state, State::Pending) {
             *state = State::Cancelled;
             self.ready.notify_all();
@@ -95,7 +101,7 @@ impl TicketInner {
     /// Marks the ticket as expired (its deadline passed while it was
     /// still waiting for a batch slot). No-op once resolved.
     pub fn expire(&self) {
-        let mut state = self.state.lock().expect("ticket poisoned");
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         if matches!(*state, State::Pending) {
             *state = State::TimedOut;
             self.ready.notify_all();
@@ -121,21 +127,28 @@ impl Ticket {
     /// once; before completion — and forever after the first `Some` —
     /// it returns `None`.
     pub fn try_take(&self) -> Option<Prediction> {
-        let mut state = self.inner.state.lock().expect("ticket poisoned");
-        if matches!(*state, State::Ready(_)) {
-            match std::mem::replace(&mut *state, State::Taken) {
-                State::Ready(p) => Some(p),
-                _ => unreachable!(),
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        match std::mem::replace(&mut *state, State::Taken) {
+            State::Ready(p) => Some(p),
+            other => {
+                *state = other;
+                None
             }
-        } else {
-            None
         }
     }
 
     /// Whether the prediction has arrived and has not been taken yet.
     pub fn is_ready(&self) -> bool {
         matches!(
-            *self.inner.state.lock().expect("ticket poisoned"),
+            *self
+                .inner
+                .state
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
             State::Ready(_)
         )
     }
@@ -145,20 +158,27 @@ impl Ticket {
     /// server-side deadline expiry, or a prediction already taken via
     /// [`Ticket::try_take`].
     pub fn wait(self) -> Option<Prediction> {
-        let mut state = self.inner.state.lock().expect("ticket poisoned");
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
-            match *state {
-                State::Pending => {
-                    state = self.inner.ready.wait(state).expect("ticket poisoned");
-                }
-                State::Ready(_) => {
-                    return match std::mem::replace(&mut *state, State::Taken) {
-                        State::Ready(p) => Some(p),
-                        _ => unreachable!(),
-                    };
-                }
-                State::Taken | State::Cancelled | State::TimedOut => return None,
+            if matches!(*state, State::Pending) {
+                state = self
+                    .inner
+                    .ready
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
+                continue;
             }
+            return match std::mem::replace(&mut *state, State::Taken) {
+                State::Ready(p) => Some(p),
+                other => {
+                    *state = other;
+                    None
+                }
+            };
         }
     }
 
@@ -175,30 +195,36 @@ impl Ticket {
     /// prediction that arrives afterwards.
     pub fn wait_timeout(&self, dur: Duration) -> Result<Prediction, RequestError> {
         let deadline = Instant::now() + dur;
-        let mut state = self.inner.state.lock().expect("ticket poisoned");
+        let mut state = self
+            .inner
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
         loop {
-            match *state {
-                State::Pending => {
-                    let now = Instant::now();
-                    if now >= deadline {
-                        return Err(RequestError::TimedOut);
-                    }
-                    let (guard, _) = self
-                        .inner
-                        .ready
-                        .wait_timeout(state, deadline - now)
-                        .expect("ticket poisoned");
-                    state = guard;
+            if matches!(*state, State::Pending) {
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RequestError::TimedOut);
                 }
-                State::Ready(_) => {
-                    return match std::mem::replace(&mut *state, State::Taken) {
-                        State::Ready(p) => Ok(p),
-                        _ => unreachable!(),
-                    };
-                }
-                State::TimedOut => return Err(RequestError::TimedOut),
-                State::Taken | State::Cancelled => return Err(RequestError::Cancelled),
+                let (guard, _) = self
+                    .inner
+                    .ready
+                    .wait_timeout(state, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                state = guard;
+                continue;
             }
+            return match std::mem::replace(&mut *state, State::Taken) {
+                State::Ready(p) => Ok(p),
+                other => {
+                    let err = match other {
+                        State::TimedOut => RequestError::TimedOut,
+                        _ => RequestError::Cancelled,
+                    };
+                    *state = other;
+                    Err(err)
+                }
+            };
         }
     }
 }

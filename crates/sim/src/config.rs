@@ -170,6 +170,8 @@ impl AcceleratorConfig {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts deterministic replay of seeded runs.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

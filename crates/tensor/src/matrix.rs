@@ -551,6 +551,8 @@ impl Mul<f32> for &Matrix {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts bit-identical kernel replay.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -155,6 +155,8 @@ impl Matrix {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts bit-identical kernel replay.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

@@ -573,6 +573,8 @@ fn int8_gemm_panels(
 }
 
 #[cfg(test)]
+// Exact float equality below asserts bit-identical kernel replay.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::Initializer;

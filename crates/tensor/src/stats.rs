@@ -52,6 +52,8 @@ pub fn argmax<T: PartialOrd + Copy>(xs: &[T]) -> Option<usize> {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts bit-identical kernel replay.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
 

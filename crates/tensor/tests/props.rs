@@ -1,4 +1,7 @@
 //! Property-based tests of the tensor kernels.
+// Backend agreement is a *bit-identical* contract (see ROADMAP): strict
+// float comparison is the assertion these suites exist to make.
+#![allow(clippy::float_cmp)]
 
 use proptest::prelude::*;
 use vitcod_tensor::{softmax_row, Matrix, QuantizedMatrix};

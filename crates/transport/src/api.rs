@@ -108,8 +108,9 @@ fn parse_tokens(tokens: &Json) -> Result<Matrix, ApiError> {
     if rows.is_empty() {
         return Err(bad("'tokens' must not be empty"));
     }
-    let cols = rows[0]
-        .as_array()
+    let cols = rows
+        .first()
+        .and_then(Json::as_array)
         .ok_or_else(|| bad("'tokens' rows must be arrays of numbers"))?
         .len();
     if cols == 0 {
@@ -209,6 +210,8 @@ pub fn error_json(message: &str) -> String {
 }
 
 #[cfg(test)]
+// Exact float equality below asserts deterministic replay of seeded runs.
+#[allow(clippy::float_cmp)]
 mod tests {
     use super::*;
     use crate::json::parse;

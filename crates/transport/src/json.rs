@@ -321,10 +321,10 @@ impl Parser<'_> {
                 }
                 self.pos += 1;
             }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .expect("input was validated as UTF-8"),
-            );
+            // The HTTP layer validated the body as UTF-8; lossy
+            // conversion is a no-op on the hot path and degrades to
+            // replacement chars (not a panic) if that ever regresses.
+            out.push_str(&String::from_utf8_lossy(&self.bytes[start..self.pos]));
             match self.peek() {
                 Some(b'"') => {
                     self.pos += 1;
@@ -423,8 +423,9 @@ impl Parser<'_> {
                 return Err(self.err("exponent without digits"));
             }
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("number bytes are ascii");
+        // Number bytes are ASCII by construction; an empty str here
+        // just routes into the unparseable-number error below.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap_or("");
         let n: f64 = text
             .parse()
             .map_err(|_| self.err(format!("unparseable number '{text}'")))?;

@@ -119,6 +119,7 @@ impl HttpServer {
             std::thread::Builder::new()
                 .name("vitcod-transport-accept".into())
                 .spawn(move || run_acceptor(&shared, &listener))
+                // vitcod-lint: allow(V001, spawn fails only on OS thread exhaustion at startup; bind() is the setup path)
                 .expect("spawn acceptor")
         };
         let handlers = (0..shared.config.handler_threads)
@@ -127,6 +128,7 @@ impl HttpServer {
                 std::thread::Builder::new()
                     .name(format!("vitcod-transport-handler-{i}"))
                     .spawn(move || run_handler(&shared))
+                    // vitcod-lint: allow(V001, spawn fails only on OS thread exhaustion at startup; bind() is the setup path)
                     .expect("spawn handler")
             })
             .collect();
@@ -154,10 +156,12 @@ impl HttpServer {
     /// layer and returns its final statistics.
     pub fn shutdown(mut self) -> ServerStats {
         self.stop_transport();
-        self.server
-            .take()
-            .expect("server present until shutdown")
-            .shutdown()
+        match self.server.take() {
+            // `server` is only taken here, and `shutdown(self)` consumes
+            // the transport, so this is always the populated arm.
+            Some(server) => server.shutdown(),
+            None => self.shared.client.stats(),
+        }
     }
 
     fn stop_transport(&mut self) {
@@ -220,7 +224,9 @@ fn run_handler(shared: &TransportShared) {
         match shared.conns.pop_until(None) {
             Pop::Item(stream) => handle_connection(shared, stream),
             Pop::Closed => return,
-            Pop::TimedOut => unreachable!("no deadline on the connection queue"),
+            // `pop_until(None)` never times out; tolerate it anyway
+            // rather than giving the pool a panic path.
+            Pop::TimedOut => continue,
         }
     }
 }

@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Run the concurrency-heavy test suites under ThreadSanitizer and
+# AddressSanitizer.
+#
+# Sanitizers need the nightly toolchain (-Zsanitizer + -Zbuild-std); on
+# a machine without nightly or the rust-src component this script skips
+# gracefully rather than failing, so it can sit in CI as a best-effort
+# leg and still be useful locally:
+#
+#   ./scripts/sanitizers.sh            # tsan + asan
+#   ./scripts/sanitizers.sh tsan      # just ThreadSanitizer
+#
+# TSan findings in the serve/transport suites are almost always real:
+# the scoped-thread fan-outs in the kernels are structured so that
+# worker writes are disjoint, and the serve web hands data between
+# threads only through Mutex/Condvar/channels. See README "Static
+# analysis & sanitizers".
+
+set -u
+
+cd "$(dirname "$0")/.."
+
+TARGET_TRIPLE="${TARGET_TRIPLE:-$(rustc -vV | sed -n 's/^host: //p')}"
+# The concurrency web: lock handoffs, scoped-thread kernels, sockets.
+SAN_PACKAGES=(-p vitcod-tensor -p vitcod-engine -p vitcod-serve -p vitcod-transport)
+
+if ! command -v rustup >/dev/null 2>&1; then
+    echo "sanitizers: rustup not found; skipping (sanitizers need nightly)" >&2
+    exit 0
+fi
+if ! rustup toolchain list 2>/dev/null | grep -q '^nightly'; then
+    echo "sanitizers: no nightly toolchain installed; skipping" >&2
+    echo "            (install with: rustup toolchain install nightly --component rust-src)" >&2
+    exit 0
+fi
+if ! rustup component list --toolchain nightly 2>/dev/null \
+        | grep -q '^rust-src.*(installed)'; then
+    echo "sanitizers: nightly rust-src missing (-Zbuild-std needs it); skipping" >&2
+    echo "            (install with: rustup component add rust-src --toolchain nightly)" >&2
+    exit 0
+fi
+
+run_san() {
+    local name="$1" flag="$2"
+    echo "=== ${name}: cargo +nightly test (${TARGET_TRIPLE}) ==="
+    # Separate target dirs: sanitized artifacts must never mix with the
+    # regular build (or with each other).
+    RUSTFLAGS="-Zsanitizer=${flag}" \
+    RUSTDOCFLAGS="-Zsanitizer=${flag}" \
+    CARGO_TARGET_DIR="target/${name}" \
+    cargo +nightly test -q -Zbuild-std --target "${TARGET_TRIPLE}" \
+        "${SAN_PACKAGES[@]}"
+}
+
+status=0
+modes="${*:-tsan asan}"
+for san in $modes; do
+    case "$san" in
+        tsan) run_san tsan thread || status=1 ;;
+        asan) run_san asan address || status=1 ;;
+        *)
+            echo "sanitizers: unknown mode '$san' (expected tsan|asan)" >&2
+            status=2
+            ;;
+    esac
+done
+exit "$status"

@@ -2,6 +2,10 @@
 //! set) round-trip through their serialized forms and drive identical
 //! simulation and finetuning behaviour.
 
+// These tests assert bit-identical replay of simulated/serialized
+// floats; exact comparison is the point.
+#![allow(clippy::float_cmp)]
+
 use vitcod::core::{
     compile_model, load_masks, load_program, save_masks, save_program, AutoEncoderConfig,
     SplitConquer, SplitConquerConfig,

@@ -2,6 +2,10 @@
 //! evaluation hold in this reproduction (shapes, orderings, crossovers —
 //! not absolute numbers).
 
+// These tests assert bit-identical replay of simulated/serialized
+// floats; exact comparison is the point.
+#![allow(clippy::float_cmp)]
+
 use vitcod::baselines::{GeneralPlatform, SangerSim, SpAttenSim};
 use vitcod::core::{compile_model, AutoEncoderConfig, SplitConquer, SplitConquerConfig};
 use vitcod::model::{AttentionStats, ViTConfig};
