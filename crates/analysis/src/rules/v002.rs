@@ -57,8 +57,9 @@ const BLOCKING: [&str; 13] = [
 const BLOCKING_NO_ARGS: [&str; 2] = ["flush", "join"];
 
 /// Blocking calls that require at least one argument (`stream.read(buf)`
-/// vs the zero-argument `RwLock::read()`).
-const BLOCKING_WITH_ARGS: [&str; 3] = ["read", "write", "write_all"];
+/// vs the zero-argument `RwLock::read()`; `HttpClient::post` is a full
+/// request/response round trip on a blocking socket).
+const BLOCKING_WITH_ARGS: [&str; 4] = ["read", "write", "write_all", "post"];
 
 #[derive(Debug)]
 struct Guard {

@@ -20,9 +20,19 @@
 //! * driving that server through the **HTTP transport** (loopback TCP,
 //!   JSON bodies, keep-alive connections) must retain ≥ 0.7× the
 //!   in-process queued throughput — the socket, parser and codec may
-//!   cost at most 30 %.
+//!   cost at most 30 %;
+//! * an **open-loop scenario** (Poisson arrivals at 0.7× the measured
+//!   single-sample saturation rate, through the full transport) is the
+//!   **latency of record**: it gates p99 ≤ the stated deadline with
+//!   zero expiries, and its p50/p99/p999 plus per-stage breakdown are
+//!   what `BENCH_serving.json` reports — the closed-loop sections
+//!   above state throughput only, since a closed-loop client's
+//!   self-throttling makes its latency percentiles an artifact of the
+//!   harness, not a property of the server.
 
 use std::time::{Duration, Instant};
+
+use vitcod_bench::load::{self, LoadConfig, Target};
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -49,6 +59,14 @@ const SPARSE_INT8_GATE: f64 = 1.14;
 const QUEUE_GATE: f64 = 0.9;
 /// Minimum acceptable socket/in-process throughput ratio.
 const TRANSPORT_GATE: f64 = 0.7;
+/// Open-loop section: requests in the Poisson schedule.
+const OPEN_REQUESTS: usize = 96;
+/// Open-loop offered load as a fraction of the single-sample
+/// saturation rate (the utilization the SLO is stated at).
+const OPEN_RHO: f64 = 0.7;
+/// Open-loop SLO deadline: this many single-sample service times, but
+/// never below 1 s (shared-box scheduler noise must not flap the gate).
+const OPEN_DEADLINE_SERVICE_TIMES: f64 = 12.0;
 
 /// Times `f` over `runs` invocations (after one warm-up) and returns the
 /// best observed seconds per invocation.
@@ -318,6 +336,86 @@ fn main() {
         transport_ratio
     );
 
+    // ------------------------------------------------------------------
+    // Open-loop latency of record: Poisson arrivals at 0.7x the
+    // measured single-sample saturation rate, through the full
+    // transport. Unlike the closed-loop sections above (whose clients
+    // slow down whenever the server does), the arrival schedule here is
+    // fixed up front, so the percentiles describe the server at a
+    // stated offered load — the only form in which an SLO is honest.
+    // ------------------------------------------------------------------
+    let dense_engine = Engine::builder(dense.clone()).build();
+    let single = &samples[..1];
+    let s1 = time_best(3, || {
+        std::hint::black_box(dense_engine.infer_batch(single));
+    });
+    drop(dense_engine);
+    // One sample every `s1` seconds is the engine's worst-case (fill-1)
+    // service rate, so offering OPEN_RHO of it bounds utilization at
+    // OPEN_RHO regardless of how well batches fill.
+    let open_rate = OPEN_RHO / s1;
+    let open_deadline_s = (OPEN_DEADLINE_SERVICE_TIMES * s1).max(1.0);
+    let open_deadline_ms = (open_deadline_s * 1e3).ceil() as u64;
+    let open_report;
+    let open_model;
+    {
+        let mut registry = ModelRegistry::new();
+        registry
+            .register("dense_fp32", Engine::builder(dense.clone()).build())
+            .expect("register");
+        let server = Server::start(
+            registry,
+            BatchConfig {
+                max_batch_size: BATCH,
+                max_wait: Duration::from_millis(2),
+                queue_capacity: QUEUE_REQUESTS,
+                workers: 2,
+            },
+        );
+        let http = HttpServer::bind("127.0.0.1:0", server, TransportConfig::default())
+            .expect("bind loopback");
+        let tokens: Matrix = Initializer::Normal { std: 1.0 }.sample(cfg.tokens, IN_DIM, 0x0BE7);
+        let body = Json::Object(vec![
+            ("tokens".into(), api::tokens_json(&tokens)),
+            ("timeout_ms".into(), Json::Number(open_deadline_ms as f64)),
+        ])
+        .to_string();
+        open_report = load::run(
+            http.local_addr(),
+            &LoadConfig {
+                rate: open_rate,
+                requests: OPEN_REQUESTS,
+                poisson: true,
+                seed: 0x510,
+                senders: 4,
+                targets: vec![Target {
+                    model: "dense_fp32".into(),
+                    body,
+                }],
+            },
+        );
+        let stats = http.shutdown();
+        open_model = stats.model("dense_fp32").expect("open-loop model").clone();
+    }
+    println!(
+        "open-loop dense_fp32: {open_rate:.2} req/s offered (poisson, rho {OPEN_RHO}), \
+         {OPEN_REQUESTS} requests -> p50 {:.0} ms, p99 {:.0} ms, p999 {:.0} ms \
+         (deadline {open_deadline_ms} ms, timed out {}, late sends {})",
+        open_report.p50_s * 1e3,
+        open_report.p99_s * 1e3,
+        open_report.p999_s * 1e3,
+        open_report.timed_out,
+        open_report.late_sends
+    );
+    for (stage, h) in open_model.stages.iter() {
+        println!(
+            "  {stage:<15} mean {:>7.1} ms  p99 {:>7.1} ms  ({} obs)",
+            h.mean_s() * 1e3,
+            h.quantile(0.99) * 1e3,
+            h.count
+        );
+    }
+
     let json_path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serving.json");
     let mut json = String::from("{\n  \"bench\": \"serving\",\n");
     json.push_str(&format!(
@@ -339,19 +437,47 @@ fn main() {
         ));
     }
     json.push_str("  ],\n");
+    // The closed-loop sections record throughput and fill only: their
+    // latency percentiles are harness artifacts (see the module docs)
+    // and the open_loop section below is the latency of record.
     json.push_str(&format!(
         "  \"queued\": {{\"model\": \"dense_fp32\", \"clients\": {QUEUE_CLIENTS}, \
          \"requests\": {QUEUE_REQUESTS}, \"samples_per_s\": {queued_tput:.2}, \
-         \"mean_batch_fill\": {:.3}, \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6}, \
-         \"over_direct\": {queue_ratio:.3}}},\n",
-        queued_stats.mean_batch_fill, queued_stats.p50_latency_s, queued_stats.p99_latency_s
+         \"mean_batch_fill\": {:.3}, \"over_direct\": {queue_ratio:.3}}},\n",
+        queued_stats.mean_batch_fill
     ));
     json.push_str(&format!(
         "  \"transport\": {{\"model\": \"dense_fp32\", \"connections\": {QUEUE_CLIENTS}, \
          \"requests\": {QUEUE_REQUESTS}, \"transport_throughput\": {transport_tput:.2}, \
-         \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6}, \
          \"over_in_process\": {transport_ratio:.3}}},\n",
-        transport_stats.p50_latency_s, transport_stats.p99_latency_s
+    ));
+    let stage_fields: Vec<String> = open_model
+        .stages
+        .iter()
+        .map(|(stage, h)| {
+            format!(
+                "\"{stage}\": {{\"mean_s\": {:.6}, \"p50_s\": {:.6}, \"p99_s\": {:.6}, \"count\": {}}}",
+                h.mean_s(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.count
+            )
+        })
+        .collect();
+    json.push_str(&format!(
+        "  \"open_loop\": {{\"model\": \"dense_fp32\", \"arrivals\": \"poisson\", \
+         \"offered_rate\": {open_rate:.3}, \"rho\": {OPEN_RHO}, \"requests\": {OPEN_REQUESTS}, \
+         \"service_time_s\": {s1:.6}, \"deadline_s\": {open_deadline_s:.3}, \
+         \"p50_latency_s\": {:.6}, \"p99_latency_s\": {:.6}, \"p999_latency_s\": {:.6}, \
+         \"timed_out\": {}, \"failed\": {}, \"late_sends\": {}, \
+         \"stages\": {{{}}}}},\n",
+        open_report.p50_s,
+        open_report.p99_s,
+        open_report.p999_s,
+        open_report.timed_out,
+        open_report.failed,
+        open_report.late_sends,
+        stage_fields.join(", ")
     ));
     json.push_str(&format!(
         "  \"dense_int8_over_dense_fp32\": {int8_speedup:.3},\n"
@@ -381,5 +507,20 @@ fn main() {
         transport_ratio >= TRANSPORT_GATE,
         "socket throughput must retain >= {TRANSPORT_GATE}x of the in-process \
          queued path (got {transport_ratio:.2}x)"
+    );
+    assert_eq!(
+        open_report.failed, 0,
+        "open-loop requests failed outright (connection errors or 5xx)"
+    );
+    assert_eq!(
+        open_report.timed_out, 0,
+        "open-loop requests expired at {OPEN_RHO}x saturation — the deadline \
+         ({open_deadline_ms} ms) should be comfortable at this load"
+    );
+    assert!(
+        open_report.p99_s <= open_deadline_s,
+        "SLO gate violated: open-loop p99 {:.0} ms > deadline {open_deadline_ms} ms \
+         at {OPEN_RHO}x saturation ({open_rate:.2} req/s)",
+        open_report.p99_s * 1e3
     );
 }

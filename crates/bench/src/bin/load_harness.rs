@@ -1,0 +1,352 @@
+//! Open-loop SLO load harness: drives the full serving stack (engine →
+//! queue → batcher → HTTP transport) over loopback with scheduled
+//! arrivals, then drains `/v1/metrics` and `/v1/trace` and writes
+//! everything to disk.
+//!
+//! ```text
+//! cargo run --release -p vitcod-bench --bin load_harness -- \
+//!     --scenario steady --out target/load
+//! ```
+//!
+//! Scenarios (`--scenario`):
+//!
+//! * `steady` — single model, Poisson arrivals at 0.7× the measured
+//!   saturation rate; gates p99 ≤ deadline with zero timeouts.
+//! * `mixed`  — fp32 and int8 engines round-robin under the same gate.
+//! * `reload` — steady traffic while a background thread hot-swaps the
+//!   artifact over the wire every 200 ms; the gate must hold through
+//!   the swaps.
+//! * `storm`  — a deadline storm: the same offered rate but a 1 ms
+//!   deadline, so requests expire en masse; gates that the server
+//!   keeps answering (no connection errors, `/healthz` stays 200) and
+//!   that the trace recorded the expiries.
+//! * `smoke`  — a few hundred requests at a low rate plus an
+//!   `/v1/metrics` format check; the CI workflow runs this one.
+//!
+//! Every scenario writes `report.json` (arrival process, counts,
+//! latency percentiles, final `/v1/stats` snapshot), `metrics.txt`
+//! (the Prometheus exposition) and `trace.json` (the drained event
+//! ring) into `--out`.
+//!
+//! The model is the reduced DeiT-Tiny training shape, so the harness
+//! exercises the full stack in seconds even on one CPU; the
+//! latency-of-record numbers at the paper shape live in
+//! `benches/serving.rs` → `BENCH_serving.json`.
+
+#![forbid(unsafe_code)]
+
+use std::net::SocketAddr;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vitcod_autograd::ParamStore;
+use vitcod_bench::load::{self, LoadConfig, Target};
+use vitcod_engine::{save_compiled_vit, CompiledVit, Engine, Precision, Prediction};
+use vitcod_model::{Sample, ViTConfig, VisionTransformer};
+use vitcod_serve::{BatchConfig, ModelRegistry, Server};
+use vitcod_tensor::{Initializer, Matrix};
+use vitcod_transport::{api, HttpClient, HttpServer, Json, TransportConfig};
+
+const IN_DIM: usize = 8;
+const CLASSES: usize = 4;
+/// Generator rate cap: 1-CPU CI boxes cannot hold sub-10 ms sleeps
+/// accurately, and the harness gates on its own `late_sends`.
+const MAX_RATE: f64 = 100.0;
+
+struct Args {
+    scenario: String,
+    out: PathBuf,
+    requests: Option<usize>,
+    rate: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scenario: "steady".into(),
+        out: PathBuf::from("target/load"),
+        requests: None,
+        rate: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match flag.as_str() {
+            "--scenario" => args.scenario = value("--scenario"),
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--requests" => args.requests = Some(value("--requests").parse().expect("--requests")),
+            "--rate" => args.rate = Some(value("--rate").parse().expect("--rate")),
+            other => panic!("unknown flag '{other}' (see --scenario/--out/--requests/--rate)"),
+        }
+    }
+    args
+}
+
+fn build_compiled() -> CompiledVit {
+    let cfg = ViTConfig::deit_tiny().reduced_for_training();
+    let mut store = ParamStore::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(0x10AD);
+    let vit = VisionTransformer::new(&cfg, IN_DIM, CLASSES, &mut store, &mut rng);
+    CompiledVit::from_parts(&vit, &store)
+}
+
+fn tokens_for(compiled: &CompiledVit, seed: u64) -> Matrix {
+    Initializer::Normal { std: 1.0 }.sample(compiled.config().tokens, IN_DIM, seed)
+}
+
+/// Best-of-5 single-sample service time: the honest per-request compute
+/// cost, independent of batch amortization.
+fn service_time_s(engine: &Engine) -> f64 {
+    let compiled = engine.compiled();
+    let sample = Sample {
+        tokens: tokens_for(compiled, 0x51),
+        label: 0,
+    };
+    let samples = [sample];
+    let _: Vec<Prediction> = engine.infer_batch(&samples); // warm-up
+    (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            std::hint::black_box(engine.infer_batch(&samples));
+            t.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn classify_body(tokens: &Matrix, timeout_ms: u64) -> String {
+    Json::Object(vec![
+        ("tokens".into(), api::tokens_json(tokens)),
+        ("timeout_ms".into(), Json::Number(timeout_ms as f64)),
+    ])
+    .to_string()
+}
+
+/// Drains one endpoint into a string, panicking on transport failure —
+/// the harness's whole point is that these endpoints answer under load.
+fn fetch(addr: SocketAddr, path: &str) -> String {
+    let mut client = HttpClient::connect(addr).expect("connect for fetch");
+    let resp = client.get(path).expect("GET");
+    assert_eq!(resp.status, 200, "{path} answered {}", resp.status);
+    resp.body_str()
+}
+
+fn main() {
+    let args = parse_args();
+    std::fs::create_dir_all(&args.out).expect("create --out dir");
+
+    let compiled = build_compiled();
+    let fp32 = Engine::builder(compiled.clone()).build();
+    let s1 = service_time_s(&fp32);
+    // 0.7× saturation: the load level the SLO is stated at. One sample
+    // every s1 seconds is the engine's worst-case (fill-1) service
+    // rate, so ρ ≤ 0.7 holds regardless of how well batches fill.
+    let steady_rate = args.rate.unwrap_or((0.7 / s1).min(MAX_RATE));
+    // The SLO deadline: generous against compute (12× the service
+    // time) but never below 1 s, so CI noise on a shared box does not
+    // flap the gate.
+    let deadline = (12.0 * s1).max(1.0);
+    let deadline_ms = (deadline * 1e3).ceil() as u64;
+    println!(
+        "model {} ({} tokens, {} dim): service time {:.3} ms -> rate {:.1} req/s, deadline {} ms",
+        compiled.config().name,
+        compiled.config().tokens,
+        compiled.config().dim,
+        s1 * 1e3,
+        steady_rate,
+        deadline_ms
+    );
+
+    let mut registry = ModelRegistry::new();
+    registry.register("tiny-fp32", fp32).expect("register fp32");
+    if args.scenario == "mixed" {
+        let int8 = Engine::builder(compiled.clone())
+            .precision(Precision::Int8)
+            .build();
+        registry.register("tiny-int8", int8).expect("register int8");
+    }
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            max_batch_size: 8,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 64,
+            workers: 2,
+        },
+    );
+    let mut transport_config = TransportConfig::default();
+    if args.scenario == "reload" {
+        // Save the artifact the background reloader will swap in.
+        let path = args.out.join("tiny-fp32.vitcod");
+        std::fs::write(&path, save_compiled_vit(&compiled, Precision::Fp32))
+            .expect("write artifact");
+        transport_config.artifact_root = Some(args.out.clone());
+    }
+    let http = HttpServer::bind("127.0.0.1:0", server, transport_config).expect("bind loopback");
+    let addr = http.local_addr();
+
+    let (requests, rate, timeout_ms, poisson) = match args.scenario.as_str() {
+        "steady" | "mixed" | "reload" => {
+            (args.requests.unwrap_or(256), steady_rate, deadline_ms, true)
+        }
+        // Deadline storm: same offered load, but a deadline shorter
+        // than one batcher wait, so queued requests expire en masse.
+        "storm" => (args.requests.unwrap_or(256), steady_rate, 1, true),
+        "smoke" => (
+            args.requests.unwrap_or(200),
+            args.rate.unwrap_or(steady_rate.min(50.0)),
+            deadline_ms,
+            true,
+        ),
+        other => panic!("unknown scenario '{other}' (steady|mixed|reload|storm|smoke)"),
+    };
+
+    let mut targets = vec![Target {
+        model: "tiny-fp32".into(),
+        body: classify_body(&tokens_for(&compiled, 0xA1), timeout_ms),
+    }];
+    if args.scenario == "mixed" {
+        targets.push(Target {
+            model: "tiny-int8".into(),
+            body: classify_body(&tokens_for(&compiled, 0xA2), timeout_ms),
+        });
+    }
+    let cfg = LoadConfig {
+        rate,
+        requests,
+        poisson,
+        seed: 0x0BE7,
+        senders: 4,
+        targets,
+    };
+
+    // Reload-under-load: a background thread hot-swaps the artifact
+    // every 200 ms until the run finishes.
+    let reload_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let reloader = (args.scenario == "reload").then(|| {
+        let stop = std::sync::Arc::clone(&reload_stop);
+        let path = args.out.join("tiny-fp32.vitcod");
+        std::thread::spawn(move || {
+            let body = Json::Object(vec![(
+                "path".into(),
+                Json::String(path.to_string_lossy().into_owned()),
+            )])
+            .to_string();
+            let mut swaps = 0usize;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let mut client = HttpClient::connect(addr).expect("reloader connect");
+                let resp = client
+                    .post("/v1/models/tiny-fp32/reload", &body)
+                    .expect("reload request");
+                assert_eq!(resp.status, 200, "reload failed: {}", resp.body_str());
+                swaps += 1;
+                std::thread::sleep(Duration::from_millis(200));
+            }
+            swaps
+        })
+    });
+
+    println!(
+        "scenario {}: {} requests at {:.1} req/s (poisson), timeout {} ms",
+        args.scenario, cfg.requests, cfg.rate, timeout_ms
+    );
+    let report = load::run(addr, &cfg);
+    reload_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let swaps = reloader.map(|h| h.join().expect("reloader"));
+
+    // Drain observability endpoints over the wire BEFORE shutdown, then
+    // take the final stats snapshot for the report.
+    let metrics_body = fetch(addr, "/v1/metrics");
+    let trace_body = fetch(addr, "/v1/trace");
+    let health_body = fetch(addr, "/healthz");
+    let stats = http.shutdown();
+
+    std::fs::write(args.out.join("metrics.txt"), &metrics_body).expect("write metrics.txt");
+    std::fs::write(args.out.join("trace.json"), &trace_body).expect("write trace.json");
+    let mut report_fields = vec![
+        ("scenario".into(), Json::String(args.scenario.clone())),
+        ("service_time_s".into(), Json::Number(s1)),
+        ("deadline_s".into(), Json::Number(deadline)),
+        ("report".into(), report.to_json()),
+        ("stats".into(), api::stats_json(&stats)),
+    ];
+    if let Some(swaps) = swaps {
+        report_fields.push(("reloads".into(), Json::Number(swaps as f64)));
+    }
+    std::fs::write(
+        args.out.join("report.json"),
+        Json::Object(report_fields).to_string(),
+    )
+    .expect("write report.json");
+
+    println!(
+        "sent {} ok {} timed_out {} failed {} late {} | p50 {:.1} ms p99 {:.1} ms p999 {:.1} ms",
+        report.sent,
+        report.ok,
+        report.timed_out,
+        report.failed,
+        report.late_sends,
+        report.p50_s * 1e3,
+        report.p99_s * 1e3,
+        report.p999_s * 1e3,
+    );
+    if let Some(swaps) = swaps {
+        println!("hot reloads under load: {swaps}");
+    }
+    println!(
+        "wrote report.json, metrics.txt, trace.json to {}",
+        args.out.display()
+    );
+
+    // ------------------------------------------------------------------
+    // Gates. Any failure panics (non-zero exit) so CI fails the step.
+    // ------------------------------------------------------------------
+    assert_eq!(report.failed, 0, "requests failed outright");
+    assert_eq!(
+        report.sent, requests,
+        "generator did not work through the whole schedule"
+    );
+    assert!(
+        health_body.contains("\"ok\""),
+        "/healthz unhealthy after the run: {health_body}"
+    );
+    match args.scenario.as_str() {
+        "storm" => {
+            // The point of the storm is mass expiry: the server must
+            // shed load via deadlines, not errors, and say so.
+            assert!(report.timed_out > 0, "storm produced no deadline expiries");
+            assert!(
+                trace_body.contains("\"expire\""),
+                "trace recorded no expire events"
+            );
+            assert!(
+                metrics_body.contains("vitcod_timeouts_total"),
+                "metrics missing the timeout counter"
+            );
+        }
+        _ => {
+            assert_eq!(report.timed_out, 0, "requests expired under the SLO rate");
+            assert!(
+                report.p99_s <= deadline,
+                "SLO violated: p99 {:.1} ms > deadline {:.1} ms at 0.7x saturation",
+                report.p99_s * 1e3,
+                deadline * 1e3
+            );
+        }
+    }
+    if args.scenario == "smoke" {
+        for needle in [
+            "# TYPE vitcod_request_latency_seconds histogram",
+            "vitcod_stage_latency_seconds_bucket",
+            "stage=\"compute\"",
+            "vitcod_model_info",
+        ] {
+            assert!(metrics_body.contains(needle), "metrics missing '{needle}'");
+        }
+        assert!(
+            trace_body.contains("\"enqueue\"") && trace_body.contains("\"dispatch\""),
+            "trace missing enqueue/dispatch events"
+        );
+    }
+    println!("scenario '{}' passed its gate", args.scenario);
+}

@@ -26,6 +26,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod load;
+
 use vitcod_core::{
     compile_model, AcceleratorProgram, AutoEncoderConfig, PolarizedHead, SplitConquer,
     SplitConquerConfig,

@@ -38,6 +38,17 @@ pub enum Precision {
     Int8,
 }
 
+impl std::fmt::Display for Precision {
+    /// The wire name used in artifacts, `/v1/reload` bodies and metric
+    /// labels: `fp32` or `int8`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Precision::Fp32 => "fp32",
+            Precision::Int8 => "int8",
+        })
+    }
+}
+
 /// One classification result.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Prediction {
@@ -193,6 +204,14 @@ impl Engine {
     /// The engine's numeric precision.
     pub fn precision(&self) -> Precision {
         self.precision
+    }
+
+    /// The backend this engine's kernels run on: the pinned one when
+    /// [`EngineBuilder::backend`] was called, otherwise the calling
+    /// thread's current selection (the process default in practice —
+    /// what an observability snapshot should label the model with).
+    pub fn backend(&self) -> Backend {
+        self.backend.unwrap_or_else(kernels::backend)
     }
 
     /// Bytes the int8 weight artifact occupies (1 per weight scalar);

@@ -80,6 +80,10 @@ pub(crate) struct Request {
     pub ticket: Arc<TicketInner>,
     pub engine: Arc<Engine>,
     pub enqueued: Instant,
+    /// When the assembler admitted the request (stamped by
+    /// [`BatchAssembler::offer`]); `enqueued → admitted` is the
+    /// queue-wait stage of the request's latency breakdown.
+    pub admitted: Option<Instant>,
     /// Expiry deadline; past it the request resolves as timed out
     /// instead of occupying a batch slot. `None` waits indefinitely.
     pub deadline: Option<Instant>,
@@ -127,6 +131,10 @@ pub(crate) struct BatchAssembler {
     /// Requests pruned past their deadline, awaiting
     /// [`BatchAssembler::take_expired`].
     expired: Vec<Request>,
+    /// Promotions (model, batch size) since the last
+    /// [`BatchAssembler::take_promoted`] — the batcher drains these
+    /// into the trace ring.
+    promoted: Vec<(String, usize)>,
 }
 
 impl BatchAssembler {
@@ -137,17 +145,20 @@ impl BatchAssembler {
             pending: Vec::new(),
             ready: VecDeque::new(),
             expired: Vec::new(),
+            promoted: Vec::new(),
         }
     }
 
-    /// Accepts one request. Already-expired requests go straight to the
+    /// Accepts one request, stamping its admission time (the end of the
+    /// queue-wait stage). Already-expired requests go straight to the
     /// expired list; a request that tops its engine's pending set up to
     /// `max_batch` promotes it to the ready rotation.
-    pub fn offer(&mut self, request: Request, now: Instant) {
+    pub fn offer(&mut self, mut request: Request, now: Instant) {
         if request.expired(now) {
             self.expired.push(request);
             return;
         }
+        request.admitted = Some(now);
         let idx = match self
             .pending
             .iter()
@@ -259,6 +270,12 @@ impl BatchAssembler {
         std::mem::take(&mut self.expired)
     }
 
+    /// Takes the (model, batch size) promotions since the last call;
+    /// the batcher records them as trace events.
+    pub fn take_promoted(&mut self) -> Vec<(String, usize)> {
+        std::mem::take(&mut self.promoted)
+    }
+
     /// Moves a pending set into the ready rotation, pruning requests
     /// that expired since they were accepted.
     fn promote(&mut self, mut set: PendingSet, now: Instant) {
@@ -273,6 +290,7 @@ impl BatchAssembler {
         if set.requests.is_empty() {
             return;
         }
+        self.promoted.push((set.model.clone(), set.requests.len()));
         let batch = Batch {
             model: set.model,
             engine: set.engine,
@@ -337,6 +355,7 @@ mod tests {
             ticket: TicketInner::new(),
             engine: Arc::clone(engine),
             enqueued: now,
+            admitted: None,
             deadline: None,
         }
     }

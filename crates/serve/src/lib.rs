@@ -26,8 +26,13 @@
 //!   [`vitcod_engine::save_compiled_vit`]); engines hot-swap behind a
 //!   live server via [`Server::reload`] without dropping in-flight
 //!   requests;
-//! * [`ServerStats`] — per-model p50/p99 latency, throughput and the
-//!   batch-fill histogram, queryable at any time.
+//! * [`ServerStats`] — per-model p50/p99/p999 latency, throughput, the
+//!   batch-fill histogram and per-stage (queue-wait / batch-assembly /
+//!   compute / serialize) latency histograms, queryable at any time;
+//! * [`trace`] — a bounded ring of typed serving events (enqueue,
+//!   expire, promote, dispatch, reload, shutdown) drained via
+//!   [`Server::take_trace`] for debugging deadline storms and reload
+//!   races without a debugger.
 //!
 //! Batching never changes values: every per-sample forward is
 //! independent, so a prediction served through the queue is
@@ -61,11 +66,16 @@ mod batcher;
 pub mod queue;
 mod registry;
 mod server;
-mod stats;
+pub mod stats;
 mod ticket;
+pub mod trace;
 
 pub use batcher::BatchConfig;
 pub use registry::{ModelRegistry, RegistryError, ARTIFACT_EXTENSION};
 pub use server::{Client, Server, SubmitError};
-pub use stats::{ModelStats, ServerStats};
+pub use stats::{
+    HistogramSnapshot, ModelStats, RequestTiming, ServerStats, StageStats, StatsRecorder,
+    MAX_LATENCY_SAMPLES,
+};
 pub use ticket::{RequestError, Ticket};
+pub use trace::{TraceEvent, TraceKind, TRACE_CAPACITY};

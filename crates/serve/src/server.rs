@@ -35,8 +35,9 @@ use vitcod_tensor::Matrix;
 use crate::batcher::{Batch, BatchAssembler, BatchConfig, Request};
 use crate::queue::{BoundedQueue, Pop};
 use crate::registry::ModelRegistry;
-use crate::stats::{ServerStats, StatsRecorder};
+use crate::stats::{RequestTiming, ServerStats, StatsRecorder};
 use crate::ticket::{RequestError, Ticket, TicketInner};
+use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
 
 /// Error submitting a request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +86,7 @@ struct Shared {
     requests: BoundedQueue<Request>,
     batches: BoundedQueue<Batch>,
     stats: StatsRecorder,
+    trace: TraceBuffer,
 }
 
 impl Shared {
@@ -98,11 +100,30 @@ impl Shared {
     }
 
     fn reload(&self, id: String, engine: Arc<Engine>) -> bool {
-        self.engines
+        let replaced = self
+            .engines
             .write()
             .unwrap_or_else(PoisonError::into_inner)
-            .insert(id, engine)
-            .is_some()
+            .insert(id.clone(), engine)
+            .is_some();
+        self.trace
+            .record(TraceKind::Reload, &id, usize::from(replaced));
+        replaced
+    }
+
+    /// Recorder snapshot enriched with registry labels: the stats mutex
+    /// is released before the engines read lock is taken (no nesting,
+    /// no lock-order edge).
+    fn stats_snapshot(&self) -> ServerStats {
+        let mut stats = self.stats.snapshot(self.trace.uptime_s());
+        let engines = self.engines.read().unwrap_or_else(PoisonError::into_inner);
+        for m in &mut stats.models {
+            if let Some(engine) = engines.get(&m.model) {
+                m.backend = Some(engine.backend().to_string());
+                m.precision = Some(engine.precision().to_string());
+            }
+        }
+        stats
     }
 }
 
@@ -138,6 +159,7 @@ impl Server {
             // only governs batches still in the assembler's rotation).
             batches: BoundedQueue::new(config.workers),
             stats: StatsRecorder::new(),
+            trace: TraceBuffer::new(),
         });
         let batcher = {
             let shared = Arc::clone(&shared);
@@ -188,7 +210,22 @@ impl Server {
 
     /// A consistent snapshot of the serving statistics.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime_s(&self) -> f64 {
+        self.shared.trace.uptime_s()
+    }
+
+    /// Drains and returns the event-trace ring; see [`crate::trace`].
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.shared.trace.take()
+    }
+
+    /// Trace events evicted before being drained (ring saturation).
+    pub fn trace_dropped(&self) -> u64 {
+        self.shared.trace.dropped()
     }
 
     /// Requests currently waiting in the ingress queue.
@@ -200,10 +237,15 @@ impl Server {
     /// joins the threads, and returns the final statistics.
     pub fn shutdown(mut self) -> ServerStats {
         self.join_threads();
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
     }
 
     fn join_threads(&mut self) {
+        if self.batcher.is_some() {
+            self.shared
+                .trace
+                .record(TraceKind::Shutdown, "", self.shared.requests.len());
+        }
         self.shared.requests.close();
         if let Some(h) = self.batcher.take() {
             if h.join().is_err() {
@@ -291,7 +333,12 @@ impl Client {
         use crate::queue::TryPushError;
         let (request, ticket) = self.make_request(model, tokens, None)?;
         match self.shared.requests.try_push(request) {
-            Ok(()) => Ok(Ticket::new(ticket)),
+            Ok(()) => {
+                self.shared
+                    .trace
+                    .record(TraceKind::Enqueue, model, self.shared.requests.len());
+                Ok(Ticket::new(ticket))
+            }
             Err(TryPushError::Full(_)) => Err(SubmitError::QueueFull),
             Err(TryPushError::Closed(_)) => Err(SubmitError::Closed),
         }
@@ -308,6 +355,9 @@ impl Client {
             .requests
             .push(request)
             .map_err(|_| SubmitError::Closed)?;
+        self.shared
+            .trace
+            .record(TraceKind::Enqueue, model, self.shared.requests.len());
         Ok(Ticket::new(ticket))
     }
 
@@ -341,6 +391,7 @@ impl Client {
             ticket: Arc::clone(&ticket),
             engine,
             enqueued,
+            admitted: None,
             deadline: timeout.map(|t| enqueued + t),
         };
         Ok((request, ticket))
@@ -385,7 +436,32 @@ impl Client {
 
     /// A consistent snapshot of the serving statistics.
     pub fn stats(&self) -> ServerStats {
-        self.shared.stats.snapshot()
+        self.shared.stats_snapshot()
+    }
+
+    /// Seconds since the server started.
+    pub fn uptime_s(&self) -> f64 {
+        self.shared.trace.uptime_s()
+    }
+
+    /// Records one serialize-stage observation for `model`.
+    ///
+    /// Serialization happens outside the worker pool — in whatever layer
+    /// encodes the prediction for its consumer (the HTTP transport times
+    /// its JSON encode and reports it here). In-process callers that
+    /// never serialize simply leave the stage histogram empty.
+    pub fn observe_serialize(&self, model: &str, took: Duration) {
+        self.shared.stats.record_serialize(model, took);
+    }
+
+    /// Drains and returns the event-trace ring; see [`crate::trace`].
+    pub fn take_trace(&self) -> Vec<TraceEvent> {
+        self.shared.trace.take()
+    }
+
+    /// Trace events evicted before being drained (ring saturation).
+    pub fn trace_dropped(&self) -> u64 {
+        self.shared.trace.dropped()
     }
 
     /// Requests currently waiting in the ingress queue.
@@ -400,6 +476,9 @@ fn run_batcher(shared: &Shared, cfg: &BatchConfig) {
     // push can only mean shutdown mid-drain, where requests are
     // cancelled on the spot.
     let dispatch = |batch: Batch| {
+        shared
+            .trace
+            .record(TraceKind::Dispatch, &batch.model, batch.requests.len());
         if let Err(batch) = shared.batches.push(batch) {
             for r in batch.requests {
                 r.ticket.cancel();
@@ -456,7 +535,20 @@ fn run_batcher(shared: &Shared, cfg: &BatchConfig) {
         } else {
             assembler.poll(now);
         }
-        for request in assembler.take_expired() {
+        for (model, n) in assembler.take_promoted() {
+            shared.trace.record(TraceKind::Promote, &model, n);
+        }
+        let expired = assembler.take_expired();
+        if !expired.is_empty() {
+            let mut per_model: BTreeMap<&str, usize> = BTreeMap::new();
+            for request in &expired {
+                *per_model.entry(&request.model).or_insert(0) += 1;
+            }
+            for (model, n) in per_model {
+                shared.trace.record(TraceKind::Expire, model, n);
+            }
+        }
+        for request in expired {
             shared.stats.record_timeout(&request.model);
             request.ticket.expire();
         }
@@ -508,11 +600,11 @@ fn run_worker(shared: &Shared) {
 /// the batch's tickets to "cancelled" instead of leaving clients
 /// blocked in [`Ticket::wait`] forever ([`TicketInner::cancel`] is a
 /// no-op on tickets that completed normally).
-struct CancelOnDrop<'a>(&'a [(std::sync::Arc<TicketInner>, Instant)]);
+struct CancelOnDrop<'a>(&'a [(std::sync::Arc<TicketInner>, Instant, Option<Instant>)]);
 
 impl Drop for CancelOnDrop<'_> {
     fn drop(&mut self) {
-        for (ticket, _) in self.0 {
+        for (ticket, _, _) in self.0 {
             ticket.cancel();
         }
     }
@@ -529,16 +621,33 @@ fn serve_batch(shared: &Shared, batch: Batch) {
             tokens: r.tokens,
             label: 0,
         });
-        tickets.push((r.ticket, r.enqueued));
+        tickets.push((r.ticket, r.enqueued, r.admitted));
     }
     let _cancel_guard = CancelOnDrop(&tickets);
+    let compute_start = Instant::now();
     let predictions = batch.engine.infer_batch(&samples);
-    let done = Instant::now();
-    let latencies: Vec<_> = tickets.iter().map(|(_, t)| done - *t).collect();
+    let compute_end = Instant::now();
+    // Every request in the batch shares the compute window; the earlier
+    // stages come from its own stamps. A request without an admission
+    // stamp (never routed through the assembler) charges its whole wait
+    // to the queue.
+    let compute = compute_end.saturating_duration_since(compute_start);
+    let timings: Vec<RequestTiming> = tickets
+        .iter()
+        .map(|(_, enqueued, admitted)| {
+            let admitted = admitted.unwrap_or(compute_start);
+            RequestTiming {
+                total: compute_end.saturating_duration_since(*enqueued),
+                queue_wait: admitted.saturating_duration_since(*enqueued),
+                batch_assembly: compute_start.saturating_duration_since(admitted),
+                compute,
+            }
+        })
+        .collect();
     // Stats first, tickets second: a client unblocked by its ticket must
     // already see this batch in any stats snapshot it takes.
-    shared.stats.record_batch(&batch.model, &latencies);
-    for ((ticket, _), prediction) in tickets.iter().zip(predictions) {
+    shared.stats.record_batch(&batch.model, &timings);
+    for ((ticket, _, _), prediction) in tickets.iter().zip(predictions) {
         ticket.complete(prediction);
     }
 }

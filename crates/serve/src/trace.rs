@@ -1,0 +1,207 @@
+//! Structured event tracing: a bounded, sharded ring of typed serving
+//! events for debugging deadline storms and reload races without a
+//! debugger.
+//!
+//! Every interesting transition in the serving loop records one
+//! [`TraceEvent`] — enqueue, expiry, pending-set promotion, batch
+//! dispatch, hot reload, shutdown — into a [`TraceBuffer`]: a fixed
+//! number of mutex-guarded shards (writers pick one by thread id, so
+//! concurrent producers, the batcher and the control plane rarely
+//! contend), each a bounded ring that evicts its oldest event when
+//! full. Eviction is **counted, not hidden**
+//! ([`crate::Client::trace_dropped`], exported as a counter on
+//! `/v1/metrics`), so a drained trace that missed events says so.
+//!
+//! Draining ([`crate::Server::take_trace`], `GET /v1/trace` on the
+//! transport) removes the events and returns them merged in record
+//! order — a global atomic sequence number orders events across shards.
+//! Memory stays bounded at [`TRACE_CAPACITY`] events regardless of
+//! traffic.
+
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::Instant;
+
+/// Total events the buffer retains across all shards.
+pub const TRACE_CAPACITY: usize = 2048;
+
+/// Shards (independent rings) the capacity is split across.
+const TRACE_SHARDS: usize = 8;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceKind {
+    /// A request entered the ingress queue (`n` = queue depth after).
+    Enqueue,
+    /// Requests expired past their deadline before reaching a batch
+    /// slot (`n` = how many, this batcher cycle).
+    Expire,
+    /// A pending set was promoted to a ready batch (`n` = batch size).
+    Promote,
+    /// A ready batch was handed to the worker pool (`n` = batch size).
+    Dispatch,
+    /// An engine was hot-swapped (`n` = 1 when an engine was replaced,
+    /// 0 when the id was newly registered).
+    Reload,
+    /// The server began shutting down (`n` = requests still queued).
+    Shutdown,
+}
+
+impl TraceKind {
+    /// The wire name (`GET /v1/trace` events carry this string).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::Enqueue => "enqueue",
+            TraceKind::Expire => "expire",
+            TraceKind::Promote => "promote",
+            TraceKind::Dispatch => "dispatch",
+            TraceKind::Reload => "reload",
+            TraceKind::Shutdown => "shutdown",
+        }
+    }
+}
+
+/// One recorded serving event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Global record order (monotonic across shards; drains sort by it).
+    pub seq: u64,
+    /// Seconds since the server started.
+    pub at_s: f64,
+    /// What happened.
+    pub kind: TraceKind,
+    /// The model involved; empty for server-scoped events
+    /// ([`TraceKind::Shutdown`]).
+    pub model: String,
+    /// Kind-specific magnitude; see each [`TraceKind`] variant.
+    pub n: usize,
+}
+
+/// The bounded, sharded event ring; see the [module docs](self).
+pub(crate) struct TraceBuffer {
+    start: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    shards: Vec<Mutex<VecDeque<TraceEvent>>>,
+}
+
+impl TraceBuffer {
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            shards: (0..TRACE_SHARDS)
+                .map(|_| Mutex::new(VecDeque::with_capacity(TRACE_CAPACITY / TRACE_SHARDS)))
+                .collect(),
+        }
+    }
+
+    /// Seconds since the buffer (= server) was created.
+    pub fn uptime_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Records one event into the calling thread's shard, evicting the
+    /// shard's oldest event when full.
+    pub fn record(&self, kind: TraceKind, model: &str, n: usize) {
+        let event = TraceEvent {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at_s: self.uptime_s(),
+            kind,
+            model: model.to_string(),
+            n,
+        };
+        let shard_idx = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            (h.finish() as usize) % self.shards.len().max(1)
+        };
+        if let Some(shard) = self.shards.get(shard_idx) {
+            let mut ring = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            if ring.len() >= TRACE_CAPACITY / TRACE_SHARDS {
+                ring.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ring.push_back(event);
+        }
+    }
+
+    /// Drains every shard and returns the events in record order.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for shard in &self.shards {
+            let mut ring = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            events.extend(ring.drain(..));
+        }
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Events evicted before being drained (ring saturation), since the
+    /// server started.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_drain_in_record_order() {
+        let b = TraceBuffer::new();
+        b.record(TraceKind::Enqueue, "m", 1);
+        b.record(TraceKind::Promote, "m", 4);
+        b.record(TraceKind::Dispatch, "m", 4);
+        let events = b.take();
+        assert_eq!(events.len(), 3);
+        assert_eq!(
+            events.iter().map(|e| e.kind).collect::<Vec<_>>(),
+            [TraceKind::Enqueue, TraceKind::Promote, TraceKind::Dispatch]
+        );
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        assert!(b.take().is_empty(), "take drains");
+        assert_eq!(b.dropped(), 0);
+    }
+
+    #[test]
+    fn saturation_evicts_oldest_and_counts_drops() {
+        let b = TraceBuffer::new();
+        // All from one thread → one shard → its ring bounds the run.
+        let per_shard = TRACE_CAPACITY / TRACE_SHARDS;
+        for i in 0..per_shard + 10 {
+            b.record(TraceKind::Enqueue, "m", i);
+        }
+        let events = b.take();
+        assert_eq!(events.len(), per_shard);
+        assert_eq!(b.dropped(), 10);
+        // The oldest 10 were evicted, the newest survive.
+        assert_eq!(events.first().map(|e| e.n), Some(10));
+        assert_eq!(events.last().map(|e| e.n), Some(per_shard + 9));
+    }
+
+    #[test]
+    fn concurrent_writers_keep_global_order_consistent() {
+        let b = std::sync::Arc::new(TraceBuffer::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let b = std::sync::Arc::clone(&b);
+                std::thread::spawn(move || {
+                    for i in 0..50 {
+                        b.record(TraceKind::Enqueue, "m", t * 1000 + i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("writer");
+        }
+        let events = b.take();
+        assert_eq!(events.len() as u64 + b.dropped(), 200);
+        assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+    }
+}

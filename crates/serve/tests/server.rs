@@ -561,3 +561,77 @@ fn shutdown_never_strands_an_accepted_ticket() {
         "drained work must match accepted work"
     );
 }
+
+/// Per-stage timing e2e: every served request contributes one
+/// observation to the queue-wait, batch-assembly, and compute
+/// histograms, and the stage durations add up to the end-to-end
+/// latency (the stamps are a partition of enqueue → compute-end).
+/// Purely in-process serving leaves the serialize stage empty — that
+/// stage belongs to the transport.
+#[test]
+fn stage_histograms_partition_the_end_to_end_latency() {
+    let model = tiny_model(91, false);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 64,
+            workers: 1,
+        },
+    );
+
+    const CLIENTS: u64 = 3;
+    const PER_CLIENT: u64 = 8;
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let client = server.client();
+            let model = model.clone();
+            std::thread::spawn(move || {
+                for i in 0..PER_CLIENT {
+                    let tokens = tokens_for(&model, 4000 + c * PER_CLIENT + i);
+                    client.classify("m", tokens).unwrap();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = server.shutdown();
+    let m = stats.model("m").expect("model served");
+    let total = CLIENTS * PER_CLIENT;
+    assert_eq!(m.requests, total);
+    assert_eq!(m.latency_histogram.count, total);
+
+    // One observation per request in each server-side stage; none in
+    // serialize (no transport in this test).
+    assert_eq!(m.stages.queue_wait.count, total);
+    assert_eq!(m.stages.batch_assembly.count, total);
+    assert_eq!(m.stages.compute.count, total);
+    assert_eq!(m.stages.serialize.count, 0);
+
+    // The stages partition the end-to-end latency: summed over all
+    // requests, queue_wait + batch_assembly + compute equals the total
+    // (same monotonic stamps on both sides, so only f64 rounding).
+    let stage_sum =
+        m.stages.queue_wait.sum_s + m.stages.batch_assembly.sum_s + m.stages.compute.sum_s;
+    let e2e_sum = m.latency_histogram.sum_s;
+    assert!(
+        (stage_sum - e2e_sum).abs() <= 1e-6 * e2e_sum.max(1e-9) + 1e-7,
+        "stage sums {stage_sum} must partition end-to-end {e2e_sum}"
+    );
+    // And the batcher was actually exercised: requests spent nonzero
+    // time in assembly (max_wait co-batching) and in compute.
+    assert!(m.stages.compute.sum_s > 0.0);
+    assert!(m.stages.batch_assembly.sum_s > 0.0);
+    // Histogram and exact-ring views agree on the mean end to end.
+    assert!(
+        (m.latency_histogram.mean_s() - e2e_sum / total as f64).abs() < 1e-12,
+        "histogram mean must be sum/count"
+    );
+}

@@ -1,0 +1,204 @@
+//! `StatsRecorder` acceptance tests: exact-percentile correctness
+//! across ring-buffer rollover (vs a sort of the samples the ring
+//! actually retains), concurrent recording vs snapshotting, and the
+//! log-bucket histogram's boundary behavior — all through the public
+//! API only.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use vitcod_serve::{HistogramSnapshot, RequestTiming, StatsRecorder, MAX_LATENCY_SAMPLES};
+
+fn timing_ms(ms: u64) -> RequestTiming {
+    RequestTiming::from_total(Duration::from_millis(ms))
+}
+
+/// Nearest-rank percentile, the recorder's documented estimator.
+fn exact_percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+#[test]
+fn percentiles_match_exact_sort_across_ring_rollover() {
+    let r = StatsRecorder::new();
+    // 1.5 rings of latencies from a deterministic, non-monotonic
+    // sequence, so the rollover discards a value-diverse prefix.
+    let total = MAX_LATENCY_SAMPLES + MAX_LATENCY_SAMPLES / 2;
+    let latency_ms = |i: usize| ((i * 37) % 1000 + 1) as u64;
+    let mut batch = Vec::with_capacity(256);
+    let mut recorded: Vec<f64> = Vec::with_capacity(total);
+    for i in 0..total {
+        batch.push(timing_ms(latency_ms(i)));
+        recorded.push(latency_ms(i) as f64 / 1e3);
+        if batch.len() == 256 {
+            r.record_batch("m", &batch);
+            batch.clear();
+        }
+    }
+    let s = r.snapshot(1.0);
+    let m = s.model("m").expect("recorded");
+    assert_eq!(m.requests as usize, total);
+    assert!(
+        m.latency_samples_truncated,
+        "1.5 rings of samples must flag truncation"
+    );
+    // The ring retains exactly the most recent MAX_LATENCY_SAMPLES
+    // observations; percentiles must agree with a direct sort of them.
+    let mut retained: Vec<f64> = recorded[total - MAX_LATENCY_SAMPLES..].to_vec();
+    retained.sort_by(f64::total_cmp);
+    for (q, got) in [
+        (0.50, m.p50_latency_s),
+        (0.99, m.p99_latency_s),
+        (0.999, m.p999_latency_s),
+    ] {
+        let want = exact_percentile(&retained, q);
+        assert!(
+            (got - want).abs() < 1e-12,
+            "p{q}: recorder {got} vs exact {want}"
+        );
+    }
+    // The histogram is never truncated: it saw every observation.
+    assert_eq!(m.latency_histogram.count as usize, total);
+}
+
+#[test]
+fn truncation_flag_stays_clear_below_capacity() {
+    let r = StatsRecorder::new();
+    let batch: Vec<RequestTiming> = (0..1000).map(|i| timing_ms(i % 50 + 1)).collect();
+    r.record_batch("m", &batch);
+    let m = r.snapshot(1.0);
+    let m = m.model("m").expect("recorded");
+    assert!(!m.latency_samples_truncated);
+    assert_eq!(m.requests, 1000);
+}
+
+#[test]
+fn concurrent_recording_and_snapshotting_stays_consistent() {
+    let r = Arc::new(StatsRecorder::new());
+    const WRITERS: usize = 4;
+    const BATCHES: usize = 200;
+    const FILL: usize = 8;
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                for b in 0..BATCHES {
+                    let batch: Vec<RequestTiming> = (0..FILL)
+                        .map(|i| timing_ms((w * 7 + b + i) as u64 % 100 + 1))
+                        .collect();
+                    r.record_batch("m", &batch);
+                    if b % 3 == 0 {
+                        r.record_timeout("m");
+                    }
+                    r.record_serialize("m", Duration::from_micros(50));
+                }
+            })
+        })
+        .collect();
+    // Snapshot continuously while the writers race; every intermediate
+    // snapshot must be internally consistent.
+    let reader = {
+        let r = Arc::clone(&r);
+        std::thread::spawn(move || {
+            let mut snapshots = 0usize;
+            loop {
+                let s = r.snapshot(1.0);
+                if let Some(m) = s.model("m") {
+                    assert_eq!(m.requests, m.batches * FILL as u64, "fill is constant");
+                    assert_eq!(m.latency_histogram.count, m.requests);
+                    assert_eq!(m.stages.compute.count, m.requests);
+                    let histogram_total: u64 = m.latency_histogram.buckets.iter().sum();
+                    assert_eq!(histogram_total, m.latency_histogram.count);
+                }
+                snapshots += 1;
+                if s.model("m")
+                    .is_some_and(|m| m.requests as usize == WRITERS * BATCHES * FILL)
+                {
+                    return snapshots;
+                }
+                std::thread::yield_now();
+            }
+        })
+    };
+    for w in writers {
+        w.join().expect("writer");
+    }
+    let snapshots = reader.join().expect("reader");
+    assert!(snapshots >= 1);
+    let m = r.snapshot(1.0);
+    let m = m.model("m").expect("recorded");
+    assert_eq!(m.requests as usize, WRITERS * BATCHES * FILL);
+    assert_eq!(m.batches as usize, WRITERS * BATCHES);
+    assert_eq!(m.timed_out as usize, WRITERS * BATCHES.div_ceil(3));
+    assert_eq!(m.stages.serialize.count as usize, WRITERS * BATCHES);
+}
+
+/// The documented `le` rule: smallest finite bucket whose bound is
+/// `>= s`, or the overflow slot past the top bound.
+fn le_bucket(bounds: &[f64], s: f64) -> usize {
+    bounds.iter().position(|&b| s <= b).unwrap_or(bounds.len())
+}
+
+#[test]
+fn histogram_boundaries_hold_through_the_public_api() {
+    let r = StatsRecorder::new();
+    // The shared bucket bounds, via the public snapshot type.
+    let bounds = HistogramSnapshot::upper_bounds();
+    assert!(!bounds.is_empty());
+    assert!(bounds.windows(2).all(|w| w[1] > w[0]), "bounds ascend");
+    // Probe every boundary from both sides: exactly at each bound,
+    // just past it, mid-bucket, zero, and far past the top bound.
+    let mut values_s: Vec<f64> = Vec::new();
+    for &b in &bounds {
+        values_s.push(b);
+        values_s.push(b * 1.0000001);
+        values_s.push(b * 0.75);
+    }
+    values_s.push(0.0);
+    values_s.push(1e9);
+    let timings: Vec<RequestTiming> = values_s
+        .iter()
+        .map(|&s| RequestTiming::from_total(Duration::from_secs_f64(s)))
+        .collect();
+    r.record_batch("m", &timings);
+    let snap = r.snapshot(1.0);
+    let h = &snap.model("m").expect("recorded").latency_histogram;
+    assert_eq!(
+        h.buckets.len(),
+        bounds.len() + 1,
+        "finite buckets + overflow"
+    );
+    // Expected counts from the `le` rule applied to what the recorder
+    // actually observed (the Duration round-trip of each probe).
+    let mut expected = vec![0u64; bounds.len() + 1];
+    for t in &timings {
+        expected[le_bucket(&bounds, t.total.as_secs_f64())] += 1;
+    }
+    assert_eq!(h.buckets, expected, "le-bucket assignment at boundaries");
+    assert_eq!(h.count as usize, timings.len());
+    assert!(h.buckets[bounds.len()] >= 1, "1e9 s lands in overflow");
+}
+
+#[test]
+fn quantile_estimate_brackets_the_exact_value() {
+    let r = StatsRecorder::new();
+    let batch: Vec<RequestTiming> = (1..=1000).map(timing_ms).collect();
+    r.record_batch("m", &batch);
+    let s = r.snapshot(1.0);
+    let m = s.model("m").expect("recorded");
+    // The histogram's interpolated quantile must bracket the exact one
+    // within a bucket's width (factor-of-2 buckets → within 2x).
+    let sorted: Vec<f64> = (1..=1000).map(|i| i as f64 / 1e3).collect();
+    for q in [0.5, 0.9, 0.99] {
+        let est = m.latency_histogram.quantile(q);
+        let truth = exact_percentile(&sorted, q);
+        assert!(
+            est >= truth / 2.0 && est <= truth * 2.0,
+            "q{q}: estimate {est} not within a bucket of exact {truth}"
+        );
+    }
+}

@@ -91,6 +91,19 @@ pub enum Backend {
     Simd,
 }
 
+impl std::fmt::Display for Backend {
+    /// Lower-case name, the inverse of [`FromStr`](std::str::FromStr) —
+    /// what `VITCOD_BACKEND` accepts and what observability labels
+    /// (`/v1/metrics`, `/v1/stats`) report.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Backend::Scalar => "scalar",
+            Backend::Blocked => "blocked",
+            Backend::Simd => "simd",
+        })
+    }
+}
+
 impl std::str::FromStr for Backend {
     type Err = String;
 

@@ -20,7 +20,7 @@
 use std::fmt;
 
 use vitcod_engine::Prediction;
-use vitcod_serve::{ModelStats, ServerStats};
+use vitcod_serve::{HistogramSnapshot, ModelStats, ServerStats, TraceEvent};
 use vitcod_tensor::Matrix;
 
 use crate::json::Json;
@@ -159,14 +159,46 @@ pub fn prediction_json(p: &Prediction) -> Json {
     ])
 }
 
+/// Summarizes one stage histogram: observation count, mean and
+/// interpolated p50/p99 (the full bucket series lives on
+/// `/v1/metrics`).
+fn stage_json(h: &HistogramSnapshot) -> Json {
+    Json::Object(vec![
+        ("count".into(), Json::Number(h.count as f64)),
+        ("mean_s".into(), Json::Number(h.mean_s())),
+        ("p50_s".into(), Json::Number(h.quantile(0.50))),
+        ("p99_s".into(), Json::Number(h.quantile(0.99))),
+    ])
+}
+
 fn model_stats_json(m: &ModelStats) -> Json {
+    let opt_str = |v: &Option<String>| match v {
+        Some(s) => Json::String(s.clone()),
+        None => Json::Null,
+    };
     Json::Object(vec![
         ("model".into(), Json::String(m.model.clone())),
+        ("backend".into(), opt_str(&m.backend)),
+        ("precision".into(), opt_str(&m.precision)),
         ("requests".into(), Json::Number(m.requests as f64)),
         ("batches".into(), Json::Number(m.batches as f64)),
         ("timed_out".into(), Json::Number(m.timed_out as f64)),
         ("p50_latency_s".into(), Json::Number(m.p50_latency_s)),
         ("p99_latency_s".into(), Json::Number(m.p99_latency_s)),
+        ("p999_latency_s".into(), Json::Number(m.p999_latency_s)),
+        (
+            "latency_samples_truncated".into(),
+            Json::Bool(m.latency_samples_truncated),
+        ),
+        (
+            "stages".into(),
+            Json::Object(
+                m.stages
+                    .iter()
+                    .map(|(name, h)| (name.to_string(), stage_json(h)))
+                    .collect(),
+            ),
+        ),
         ("mean_batch_fill".into(), Json::Number(m.mean_batch_fill)),
         (
             "batch_fill".into(),
@@ -193,14 +225,40 @@ pub fn stats_json(s: &ServerStats) -> Json {
 }
 
 /// Encodes the `GET /healthz` body.
-pub fn health_json(models: &[String], queued: usize) -> Json {
+pub fn health_json(models: &[String], queued: usize, uptime_s: f64) -> Json {
     Json::Object(vec![
         ("status".into(), Json::String("ok".into())),
+        ("uptime_s".into(), Json::Number(uptime_s)),
         (
             "models".into(),
             Json::Array(models.iter().map(|m| Json::String(m.clone())).collect()),
         ),
         ("queued".into(), Json::Number(queued as f64)),
+    ])
+}
+
+/// Encodes the `GET /v1/trace` body: the drained event ring plus the
+/// ring's lifetime eviction counter.
+pub fn trace_json(events: &[TraceEvent], dropped: u64) -> Json {
+    Json::Object(vec![
+        (
+            "events".into(),
+            Json::Array(
+                events
+                    .iter()
+                    .map(|e| {
+                        Json::Object(vec![
+                            ("seq".into(), Json::Number(e.seq as f64)),
+                            ("at_s".into(), Json::Number(e.at_s)),
+                            ("kind".into(), Json::String(e.kind.as_str().into())),
+                            ("model".into(), Json::String(e.model.clone())),
+                            ("n".into(), Json::Number(e.n as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("dropped".into(), Json::Number(dropped as f64)),
     ])
 }
 

@@ -245,8 +245,24 @@ pub fn reason(status: u16) -> &'static str {
 ///
 /// Propagates the underlying I/O error.
 pub fn write_response(w: &mut impl Write, status: u16, body: &str, close: bool) -> io::Result<()> {
+    write_response_with_type(w, status, "application/json", body, close)
+}
+
+/// Writes one response with an explicit `Content-Type` to `w` (the
+/// `/v1/metrics` endpoint serves Prometheus text exposition, not JSON).
+///
+/// # Errors
+///
+/// Propagates the underlying I/O error.
+pub fn write_response_with_type(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    body: &str,
+    close: bool,
+) -> io::Result<()> {
     let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
         reason(status),
         body.len(),
         if close { "close" } else { "keep-alive" },

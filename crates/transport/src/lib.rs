@@ -14,6 +14,8 @@
 //! |--------|----------------------------|------------------------------------|
 //! | POST   | `/v1/models/{id}/classify` | `{"tokens": [[…]], "timeout_ms"?}` or `{"batch": [{"tokens": …}, …]}` |
 //! | GET    | `/v1/stats`                | —                                  |
+//! | GET    | `/v1/metrics`              | — (Prometheus text exposition)     |
+//! | GET    | `/v1/trace`                | — (drains the event-trace ring)    |
 //! | GET    | `/healthz`                 | —                                  |
 //! | POST   | `/v1/models/{id}/reload`   | `{"path": "models/m.vitcod"}`      |
 //!
@@ -64,6 +66,7 @@
 pub mod api;
 pub mod http;
 pub mod json;
+pub mod metrics;
 pub mod router;
 
 mod client;

@@ -4,6 +4,8 @@
 //! |--------|-------------------------------|-----------------------------|
 //! | GET    | `/healthz`                    | liveness + model list       |
 //! | GET    | `/v1/stats`                   | serving statistics snapshot |
+//! | GET    | `/v1/metrics`                 | Prometheus text exposition  |
+//! | GET    | `/v1/trace`                   | drain the event-trace ring  |
 //! | POST   | `/v1/models/{id}/classify`    | classify (single or batch)  |
 //! | POST   | `/v1/models/{id}/reload`      | hot-swap the model artifact |
 
@@ -14,6 +16,10 @@ pub enum Route {
     Health,
     /// `GET /v1/stats`.
     Stats,
+    /// `GET /v1/metrics`.
+    Metrics,
+    /// `GET /v1/trace`.
+    Trace,
     /// `POST /v1/models/{id}/classify`.
     Classify {
         /// The model id from the path.
@@ -64,6 +70,20 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
                 Err(RouteError::MethodNotAllowed)
             }
         }
+        "/v1/metrics" => {
+            if method == "GET" {
+                Ok(Route::Metrics)
+            } else {
+                Err(RouteError::MethodNotAllowed)
+            }
+        }
+        "/v1/trace" => {
+            if method == "GET" {
+                Ok(Route::Trace)
+            } else {
+                Err(RouteError::MethodNotAllowed)
+            }
+        }
         _ => match model_action(path) {
             Some((model, action)) if action == "classify" || action == "reload" => {
                 if method != "POST" {
@@ -88,6 +108,8 @@ mod tests {
     fn routes_resolve() {
         assert_eq!(route("GET", "/healthz"), Ok(Route::Health));
         assert_eq!(route("GET", "/v1/stats"), Ok(Route::Stats));
+        assert_eq!(route("GET", "/v1/metrics"), Ok(Route::Metrics));
+        assert_eq!(route("GET", "/v1/trace"), Ok(Route::Trace));
         assert_eq!(
             route("POST", "/v1/models/deit-tiny/classify"),
             Ok(Route::Classify {
@@ -103,6 +125,14 @@ mod tests {
     #[test]
     fn wrong_method_is_405_unknown_path_is_404() {
         assert_eq!(route("POST", "/healthz"), Err(RouteError::MethodNotAllowed));
+        assert_eq!(
+            route("POST", "/v1/metrics"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("POST", "/v1/trace"),
+            Err(RouteError::MethodNotAllowed)
+        );
         assert_eq!(
             route("GET", "/v1/models/m/classify"),
             Err(RouteError::MethodNotAllowed)

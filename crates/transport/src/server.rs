@@ -23,14 +23,19 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use vitcod_engine::{load_compiled_vit, Engine, Precision};
+use vitcod_engine::{load_compiled_vit, Engine};
 use vitcod_serve::queue::{BoundedQueue, Pop};
 use vitcod_serve::{Client, RequestError, Server, ServerStats, SubmitError, Ticket};
 
 use crate::api;
 use crate::http::{self, Limits};
 use crate::json::Json;
+use crate::metrics;
 use crate::router::{route, Route, RouteError};
+
+/// The default response `Content-Type` (everything except
+/// `/v1/metrics`, which serves Prometheus text exposition).
+const JSON_TYPE: &str = "application/json";
 
 /// How often blocked socket reads wake up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
@@ -249,8 +254,11 @@ fn handle_connection(shared: &TransportShared, mut stream: TcpStream) {
                 buf.drain(..consumed);
                 let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
                 let close = !request.keep_alive || shutting_down;
-                let (status, body) = dispatch(shared, &request);
-                if http::write_response(&mut stream, status, &body, close).is_err() || close {
+                let (status, content_type, body) = dispatch(shared, &request);
+                if http::write_response_with_type(&mut stream, status, content_type, &body, close)
+                    .is_err()
+                    || close
+                {
                     return;
                 }
                 last_byte = Instant::now();
@@ -317,27 +325,46 @@ fn handle_connection(shared: &TransportShared, mut stream: TcpStream) {
 }
 
 /// Routes and executes one request; infallible by construction (every
-/// failure becomes a status + JSON error body).
-fn dispatch(shared: &TransportShared, request: &http::HttpRequest) -> (u16, String) {
+/// failure becomes a status + JSON error body). Returns status,
+/// `Content-Type` and body.
+fn dispatch(shared: &TransportShared, request: &http::HttpRequest) -> (u16, &'static str, String) {
+    let json = |(status, body): (u16, String)| (status, JSON_TYPE, body);
     match route(&request.method, &request.path) {
-        Err(RouteError::NotFound) => (404, api::error_json("no such endpoint")),
+        Err(RouteError::NotFound) => json((404, api::error_json("no such endpoint"))),
         Err(RouteError::MethodNotAllowed) => {
-            (405, api::error_json("method not allowed on this endpoint"))
+            json((405, api::error_json("method not allowed on this endpoint")))
         }
         Ok(Route::Health) => {
-            let body =
-                api::health_json(&shared.client.model_ids(), shared.client.queued_requests());
-            (200, body.to_string())
+            let body = api::health_json(
+                &shared.client.model_ids(),
+                shared.client.queued_requests(),
+                shared.client.uptime_s(),
+            );
+            json((200, body.to_string()))
         }
-        Ok(Route::Stats) => (200, api::stats_json(&shared.client.stats()).to_string()),
-        Ok(Route::Classify { model }) => match parse_body(request) {
+        Ok(Route::Stats) => json((200, api::stats_json(&shared.client.stats()).to_string())),
+        Ok(Route::Metrics) => {
+            let stats = shared.client.stats();
+            let body = metrics::render(
+                &stats,
+                shared.client.queued_requests(),
+                shared.client.trace_dropped(),
+            );
+            (200, metrics::CONTENT_TYPE, body)
+        }
+        Ok(Route::Trace) => {
+            let events = shared.client.take_trace();
+            let body = api::trace_json(&events, shared.client.trace_dropped());
+            json((200, body.to_string()))
+        }
+        Ok(Route::Classify { model }) => json(match parse_body(request) {
             Ok(body) => classify(shared, &model, &body),
             Err(resp) => resp,
-        },
-        Ok(Route::Reload { model }) => match parse_body(request) {
+        }),
+        Ok(Route::Reload { model }) => json(match parse_body(request) {
             Ok(body) => reload(shared, &model, &body),
             Err(resp) => resp,
-        },
+        }),
     }
 }
 
@@ -402,14 +429,31 @@ fn classify(shared: &TransportShared, model: &str, body: &Json) -> (u16, String)
             }
         }
     }
+    // Serialize stage: time the JSON encode of the response body and
+    // record it once per sample actually served (every sample in the
+    // response observed the same encode latency).
+    let served = tickets.len().saturating_sub(timed_out);
     if !payload.batch {
         if timed_out > 0 {
             return (504, api::error_json("timed out"));
         }
-        return (200, results.remove(0).to_string());
+        let encode_start = Instant::now();
+        let body = results.remove(0).to_string();
+        record_serialize(shared, model, encode_start.elapsed(), served);
+        return (200, body);
     }
-    let body = Json::Object(vec![("results".into(), Json::Array(results))]);
-    (200, body.to_string())
+    let encode_start = Instant::now();
+    let body = Json::Object(vec![("results".into(), Json::Array(results))]).to_string();
+    record_serialize(shared, model, encode_start.elapsed(), served);
+    (200, body)
+}
+
+/// Feeds the serialize-stage histogram: one observation per served
+/// sample in the response.
+fn record_serialize(shared: &TransportShared, model: &str, took: Duration, served: usize) {
+    for _ in 0..served {
+        shared.client.observe_serialize(model, took);
+    }
 }
 
 /// Waits for one ticket, honouring the deadline when there is one.
@@ -496,16 +540,7 @@ fn reload(shared: &TransportShared, model: &str, body: &Json) -> (u16, String) {
     let body = Json::Object(vec![
         ("model".into(), Json::String(model.into())),
         ("replaced".into(), Json::Bool(replaced)),
-        (
-            "precision".into(),
-            Json::String(
-                match precision {
-                    Precision::Fp32 => "fp32",
-                    Precision::Int8 => "int8",
-                }
-                .into(),
-            ),
-        ),
+        ("precision".into(), Json::String(precision.to_string())),
     ]);
     (200, body.to_string())
 }

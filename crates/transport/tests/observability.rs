@@ -1,0 +1,440 @@
+//! Loopback e2e for the observability surface: `/v1/metrics` is valid
+//! Prometheus text exposition (parsed and cross-checked against
+//! `/v1/stats`, per the acceptance criterion), `/v1/trace` drains typed
+//! events, and `/healthz` + `/v1/stats` report uptime and per-model
+//! backend/precision/stage breakdowns.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use vitcod_autograd::ParamStore;
+use vitcod_engine::{CompiledVit, Engine, Precision};
+use vitcod_model::{ViTConfig, VisionTransformer};
+use vitcod_serve::{BatchConfig, ModelRegistry, Server};
+use vitcod_tensor::Initializer;
+use vitcod_transport::{api::tokens_json, HttpClient, HttpServer, Json, TransportConfig};
+
+const IN_DIM: usize = 8;
+const CLASSES: usize = 4;
+
+fn tiny_model(seed: u64) -> CompiledVit {
+    let cfg = ViTConfig::deit_tiny().reduced_for_training();
+    let mut store = ParamStore::new();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let vit = VisionTransformer::new(&cfg, IN_DIM, CLASSES, &mut store, &mut rng);
+    CompiledVit::from_parts(&vit, &store)
+}
+
+fn classify_body(model: &CompiledVit, seed: u64) -> String {
+    let tokens = Initializer::Normal { std: 1.0 }.sample(model.config().tokens, IN_DIM, seed);
+    Json::Object(vec![("tokens".into(), tokens_json(&tokens))]).to_string()
+}
+
+/// One parsed Prometheus sample: metric name, sorted label set, value.
+#[derive(Debug, Clone, PartialEq)]
+struct PromSample {
+    name: String,
+    labels: BTreeMap<String, String>,
+    value: f64,
+}
+
+/// A strict-enough parser for the text exposition format 0.0.4: every
+/// non-comment line must be `name{labels} value` or `name value`, every
+/// samples line must be preceded by a `# TYPE` for its family, and
+/// label values must unescape cleanly.
+struct PromText {
+    types: BTreeMap<String, String>,
+    samples: Vec<PromSample>,
+}
+
+impl PromText {
+    fn parse(text: &str) -> Self {
+        let mut types = BTreeMap::new();
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().expect("type name").to_string();
+                let kind = it.next().expect("type kind").to_string();
+                assert!(
+                    matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
+                    "unknown TYPE {kind} for {name}"
+                );
+                types.insert(name, kind);
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // HELP or comment
+            }
+            let (series, value) = line.rsplit_once(' ').expect("sample line needs a value");
+            let value = if value == "+Inf" {
+                f64::INFINITY
+            } else {
+                value
+                    .parse::<f64>()
+                    .unwrap_or_else(|_| panic!("unparseable value {value:?} in line {line:?}"))
+            };
+            let (name, labels) = match series.split_once('{') {
+                None => (series.to_string(), BTreeMap::new()),
+                Some((name, rest)) => {
+                    let inner = rest.strip_suffix('}').expect("labels close with }");
+                    (name.to_string(), Self::parse_labels(inner))
+                }
+            };
+            // Each sample's family (name minus a histogram suffix) must
+            // have a TYPE line before it.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .filter(|f| types.contains_key(*f))
+                .unwrap_or(&name);
+            assert!(
+                types.contains_key(family),
+                "sample {name} has no preceding # TYPE for {family}"
+            );
+            samples.push(PromSample {
+                name,
+                labels,
+                value,
+            });
+        }
+        Self { types, samples }
+    }
+
+    fn parse_labels(inner: &str) -> BTreeMap<String, String> {
+        let mut labels = BTreeMap::new();
+        let mut rest = inner;
+        while !rest.is_empty() {
+            let eq = rest.find("=\"").expect("label needs =\"");
+            let key = rest[..eq].trim_start_matches(',').to_string();
+            rest = &rest[eq + 2..];
+            // Find the closing quote, honouring backslash escapes.
+            let mut value = String::new();
+            let mut chars = rest.char_indices();
+            let close = loop {
+                let (i, c) = chars.next().expect("unterminated label value");
+                match c {
+                    '\\' => {
+                        let (_, e) = chars.next().expect("dangling escape");
+                        value.push(match e {
+                            'n' => '\n',
+                            other => other, // \" and \\ unescape to themselves
+                        });
+                    }
+                    '"' => break i,
+                    other => value.push(other),
+                }
+            };
+            labels.insert(key, value);
+            rest = &rest[close + 1..];
+        }
+        labels
+    }
+
+    /// All samples of `name` whose labels include every `(k, v)` pair.
+    fn with(&self, name: &str, want: &[(&str, &str)]) -> Vec<&PromSample> {
+        self.samples
+            .iter()
+            .filter(|s| {
+                s.name == name
+                    && want
+                        .iter()
+                        .all(|(k, v)| s.labels.get(*k).map(String::as_str) == Some(*v))
+            })
+            .collect()
+    }
+
+    /// The single sample of `name` matching the label pairs.
+    fn one(&self, name: &str, want: &[(&str, &str)]) -> f64 {
+        let hits = self.with(name, want);
+        assert_eq!(hits.len(), 1, "{name}{want:?} → {hits:?}");
+        hits[0].value
+    }
+}
+
+/// A histogram family's `_bucket` series must be cumulative in `le`,
+/// close with `+Inf` equal to `_count`, and `_sum`/`_count` must exist.
+fn check_histogram(prom: &PromText, name: &str, labels: &[(&str, &str)]) -> f64 {
+    assert_eq!(
+        prom.types.get(name).map(String::as_str),
+        Some("histogram"),
+        "{name} must be TYPE histogram"
+    );
+    let mut buckets: Vec<(f64, f64)> = prom
+        .with(&format!("{name}_bucket"), labels)
+        .iter()
+        .map(|s| {
+            let le = s.labels.get("le").expect("bucket needs le");
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse().expect("finite le")
+            };
+            (le, s.value)
+        })
+        .collect();
+    assert!(!buckets.is_empty(), "{name}{labels:?} has no buckets");
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    assert!(
+        buckets.windows(2).all(|w| w[1].1 >= w[0].1),
+        "{name}{labels:?} buckets must be cumulative"
+    );
+    let (last_le, inf_count) = *buckets.last().expect("nonempty");
+    assert!(
+        last_le.is_infinite(),
+        "{name}{labels:?} must close with +Inf"
+    );
+    let count = prom.one(&format!("{name}_count"), labels);
+    let sum = prom.one(&format!("{name}_sum"), labels);
+    assert!(
+        (inf_count - count).abs() < 0.5,
+        "{name}{labels:?}: +Inf bucket {inf_count} != count {count}"
+    );
+    assert!(sum >= 0.0);
+    count
+}
+
+#[test]
+fn metrics_exposition_parses_and_matches_stats() {
+    let model = tiny_model(11);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("tiny-fp32", Engine::builder(model.clone()).build())
+        .unwrap();
+    registry
+        .register(
+            "tiny-int8",
+            Engine::builder(model.clone())
+                .precision(Precision::Int8)
+                .build(),
+        )
+        .unwrap();
+    let server = Server::start(
+        registry,
+        BatchConfig {
+            max_batch_size: 4,
+            max_wait: Duration::from_millis(2),
+            queue_capacity: 64,
+            workers: 1,
+        },
+    );
+    let http = HttpServer::bind(
+        "127.0.0.1:0",
+        server,
+        TransportConfig {
+            idle_timeout: Duration::from_secs(5),
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = HttpClient::connect(http.local_addr()).unwrap();
+
+    const FP32_REQS: u64 = 6;
+    const INT8_REQS: u64 = 3;
+    for i in 0..FP32_REQS {
+        let resp = client
+            .post("/v1/models/tiny-fp32/classify", &classify_body(&model, i))
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+    }
+    for i in 0..INT8_REQS {
+        let resp = client
+            .post(
+                "/v1/models/tiny-int8/classify",
+                &classify_body(&model, 100 + i),
+            )
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+    }
+
+    let resp = client.get("/v1/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    let content_type = resp
+        .headers
+        .iter()
+        .find(|(k, _)| k.eq_ignore_ascii_case("content-type"))
+        .map(|(_, v)| v.clone())
+        .expect("metrics must carry a Content-Type");
+    assert!(
+        content_type.starts_with("text/plain") && content_type.contains("version=0.0.4"),
+        "exposition content type, got {content_type}"
+    );
+    let text = resp.body_str();
+    let prom = PromText::parse(&text);
+
+    // Request counters match what we actually sent, per model.
+    assert!(
+        (prom.one("vitcod_requests_total", &[("model", "tiny-fp32")]) - FP32_REQS as f64).abs()
+            < 0.5
+    );
+    assert!(
+        (prom.one("vitcod_requests_total", &[("model", "tiny-int8")]) - INT8_REQS as f64).abs()
+            < 0.5
+    );
+    assert_eq!(
+        prom.types.get("vitcod_requests_total").map(String::as_str),
+        Some("counter")
+    );
+    assert!(prom.one("vitcod_uptime_seconds", &[]) > 0.0);
+    assert!(prom.one("vitcod_queue_depth", &[]) >= 0.0);
+
+    // Backend/precision surface as model_info labels.
+    let info = prom.with("vitcod_model_info", &[("model", "tiny-int8")]);
+    assert_eq!(info.len(), 1);
+    assert_eq!(
+        info[0].labels.get("precision").map(String::as_str),
+        Some("int8")
+    );
+    assert!(info[0].labels.contains_key("backend"));
+
+    // End-to-end latency histogram: cumulative, +Inf == count == reqs.
+    let count = check_histogram(
+        &prom,
+        "vitcod_request_latency_seconds",
+        &[("model", "tiny-fp32")],
+    );
+    assert!((count - FP32_REQS as f64).abs() < 0.5);
+
+    // Per-stage histograms exist for every stage of every model — the
+    // serialize stage included, since responses went over the wire.
+    for model_id in ["tiny-fp32", "tiny-int8"] {
+        for stage in ["queue_wait", "batch_assembly", "compute", "serialize"] {
+            let count = check_histogram(
+                &prom,
+                "vitcod_stage_latency_seconds",
+                &[("model", model_id), ("stage", stage)],
+            );
+            assert!(count > 0.0, "{model_id}/{stage} must have observations");
+        }
+    }
+    check_histogram(&prom, "vitcod_batch_fill", &[("model", "tiny-fp32")]);
+    check_histogram(&prom, "vitcod_batch_fill", &[("model", "tiny-int8")]);
+
+    // The exposition agrees with the JSON stats surface.
+    let stats = client.get("/v1/stats").unwrap().json().unwrap();
+    let models = stats.get("models").unwrap().as_array().unwrap().to_vec();
+    for m in &models {
+        let id = m.get("model").unwrap().as_str().unwrap().to_string();
+        let json_reqs = m.get("requests").unwrap().as_u64().unwrap() as f64;
+        assert!(
+            (prom.one("vitcod_requests_total", &[("model", &id)]) - json_reqs).abs() < 0.5,
+            "{id}: /v1/metrics and /v1/stats disagree on requests"
+        );
+    }
+    http.shutdown();
+}
+
+#[test]
+fn stats_report_backend_precision_stages_and_uptime() {
+    let model = tiny_model(12);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register(
+            "m",
+            Engine::builder(model.clone())
+                .precision(Precision::Int8)
+                .build(),
+        )
+        .unwrap();
+    let http = HttpServer::bind(
+        "127.0.0.1:0",
+        Server::start(registry, BatchConfig::default()),
+        TransportConfig {
+            idle_timeout: Duration::from_secs(5),
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = HttpClient::connect(http.local_addr()).unwrap();
+    let resp = client
+        .post("/v1/models/m/classify", &classify_body(&model, 7))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    let health = client.get("/healthz").unwrap().json().unwrap();
+    assert_eq!(health.get("status").unwrap().as_str(), Some("ok"));
+    assert!(health.get("uptime_s").unwrap().as_f64().unwrap() > 0.0);
+
+    let stats = client.get("/v1/stats").unwrap().json().unwrap();
+    assert!(stats.get("uptime_s").unwrap().as_f64().unwrap() > 0.0);
+    let m = stats.get("models").unwrap().as_array().unwrap()[0].clone();
+    assert_eq!(m.get("precision").unwrap().as_str(), Some("int8"));
+    assert!(m.get("backend").unwrap().as_str().is_some());
+    assert!(m.get("p999_latency_s").unwrap().as_f64().unwrap() > 0.0);
+    assert_eq!(
+        m.get("latency_samples_truncated").unwrap().as_bool(),
+        Some(false)
+    );
+    let stages = m.get("stages").unwrap();
+    for stage in ["queue_wait", "batch_assembly", "compute", "serialize"] {
+        let s = stages
+            .get(stage)
+            .unwrap_or_else(|| panic!("stats missing stage {stage}"));
+        assert_eq!(s.get("count").unwrap().as_u64(), Some(1), "{stage}");
+        assert!(s.get("p99_s").unwrap().as_f64().is_some(), "{stage}");
+    }
+    http.shutdown();
+}
+
+#[test]
+fn trace_endpoint_drains_typed_events() {
+    let model = tiny_model(13);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    let http = HttpServer::bind(
+        "127.0.0.1:0",
+        Server::start(registry, BatchConfig::default()),
+        TransportConfig {
+            idle_timeout: Duration::from_secs(5),
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = HttpClient::connect(http.local_addr()).unwrap();
+    for i in 0..3 {
+        let resp = client
+            .post("/v1/models/m/classify", &classify_body(&model, 20 + i))
+            .unwrap();
+        assert_eq!(resp.status, 200, "{}", resp.body_str());
+    }
+
+    let trace = client.get("/v1/trace").unwrap().json().unwrap();
+    assert_eq!(trace.get("dropped").unwrap().as_u64(), Some(0));
+    let events = trace.get("events").unwrap().as_array().unwrap().to_vec();
+    assert!(!events.is_empty());
+    let mut kinds = Vec::new();
+    let mut last_seq = 0u64;
+    for (i, e) in events.iter().enumerate() {
+        let seq = e.get("seq").unwrap().as_u64().unwrap();
+        if i > 0 {
+            assert!(seq > last_seq, "trace must drain in sequence order");
+        }
+        last_seq = seq;
+        assert!(e.get("at_s").unwrap().as_f64().unwrap() >= 0.0);
+        kinds.push(e.get("kind").unwrap().as_str().unwrap().to_string());
+        if e.get("model").unwrap().as_str().is_some() {
+            assert_eq!(e.get("model").unwrap().as_str(), Some("m"));
+        }
+    }
+    assert!(kinds.iter().any(|k| k == "enqueue"), "kinds: {kinds:?}");
+    assert!(kinds.iter().any(|k| k == "dispatch"), "kinds: {kinds:?}");
+
+    // The drain is destructive: a second read starts empty (modulo any
+    // events the server emitted between the two reads).
+    let again = client.get("/v1/trace").unwrap().json().unwrap();
+    let again = again.get("events").unwrap().as_array().unwrap().to_vec();
+    for e in &again {
+        assert!(
+            e.get("seq").unwrap().as_u64().unwrap() > last_seq,
+            "drained events must not reappear"
+        );
+    }
+    http.shutdown();
+}
