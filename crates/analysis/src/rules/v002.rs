@@ -57,9 +57,10 @@ const BLOCKING: [&str; 13] = [
 const BLOCKING_NO_ARGS: [&str; 2] = ["flush", "join"];
 
 /// Blocking calls that require at least one argument (`stream.read(buf)`
-/// vs the zero-argument `RwLock::read()`; `HttpClient::post` is a full
-/// request/response round trip on a blocking socket).
-const BLOCKING_WITH_ARGS: [&str; 4] = ["read", "write", "write_all", "post"];
+/// vs the zero-argument `RwLock::read()`; `HttpClient::post` and
+/// `post_with_header` are full request/response round trips on a
+/// blocking socket).
+const BLOCKING_WITH_ARGS: [&str; 5] = ["read", "write", "write_all", "post", "post_with_header"];
 
 #[derive(Debug)]
 struct Guard {

@@ -18,15 +18,21 @@
 //!   the swaps.
 //! * `storm`  — a deadline storm: the same offered rate but a 1 ms
 //!   deadline, so requests expire en masse; gates that the server
-//!   keeps answering (no connection errors, `/healthz` stays 200) and
-//!   that the trace recorded the expiries.
+//!   keeps answering (no connection errors, `/healthz` stays 200),
+//!   that the trace recorded the expiries, and that the slow-request
+//!   log retained span trees for the blown deadlines.
+//! * `slowloris` — a hostile-connection mix (trickled headers,
+//!   half-open connects, never-read clients) riding alongside steady
+//!   traffic; gates that the transport sheds every hostile connection
+//!   while the well-behaved load still meets its SLO.
 //! * `smoke`  — a few hundred requests at a low rate plus an
 //!   `/v1/metrics` format check; the CI workflow runs this one.
 //!
 //! Every scenario writes `report.json` (arrival process, counts,
 //! latency percentiles, final `/v1/stats` snapshot), `metrics.txt`
-//! (the Prometheus exposition) and `trace.json` (the drained event
-//! ring) into `--out`.
+//! (the Prometheus exposition), `trace.json` (the drained event
+//! ring), `traces.json` (sampled span trees) and `slowlog.json` (the
+//! slow-request forensics ring) into `--out`.
 //!
 //! The model is the reduced DeiT-Tiny training shape, so the harness
 //! exercises the full stack in seconds even on one CPU; the
@@ -42,10 +48,10 @@ use std::time::{Duration, Instant};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use vitcod_autograd::ParamStore;
-use vitcod_bench::load::{self, LoadConfig, Target};
+use vitcod_bench::load::{self, HostileConfig, LoadConfig, Target};
 use vitcod_engine::{save_compiled_vit, CompiledVit, Engine, Precision, Prediction};
 use vitcod_model::{Sample, ViTConfig, VisionTransformer};
-use vitcod_serve::{BatchConfig, ModelRegistry, Server};
+use vitcod_serve::{BatchConfig, ModelRegistry, Server, TracingConfig};
 use vitcod_tensor::{Initializer, Matrix};
 use vitcod_transport::{api, HttpClient, HttpServer, Json, TransportConfig};
 
@@ -165,7 +171,11 @@ fn main() {
             .build();
         registry.register("tiny-int8", int8).expect("register int8");
     }
-    let server = Server::start(
+    // Head sampling: the smoke run samples everything so CI's
+    // traces.json artifact is never empty; the latency-gated scenarios
+    // sample lightly, the way production would.
+    let sample_rate = if args.scenario == "smoke" { 1.0 } else { 0.05 };
+    let server = Server::start_with_tracing(
         registry,
         BatchConfig {
             max_batch_size: 8,
@@ -173,8 +183,20 @@ fn main() {
             queue_capacity: 64,
             workers: 2,
         },
+        TracingConfig {
+            sample_rate,
+            slow_threshold: None,
+        },
     );
     let mut transport_config = TransportConfig::default();
+    if args.scenario == "slowloris" {
+        // Tight shedding budgets so the hostile mix resolves within the
+        // run, and enough handlers that the attack cannot monopolize
+        // the pool while it is being shed.
+        transport_config.handler_threads = 12;
+        transport_config.idle_timeout = Duration::from_millis(750);
+        transport_config.request_deadline = Duration::from_millis(500);
+    }
     if args.scenario == "reload" {
         // Save the artifact the background reloader will swap in.
         let path = args.out.join("tiny-fp32.vitcod");
@@ -186,7 +208,7 @@ fn main() {
     let addr = http.local_addr();
 
     let (requests, rate, timeout_ms, poisson) = match args.scenario.as_str() {
-        "steady" | "mixed" | "reload" => {
+        "steady" | "mixed" | "reload" | "slowloris" => {
             (args.requests.unwrap_or(256), steady_rate, deadline_ms, true)
         }
         // Deadline storm: same offered load, but a deadline shorter
@@ -198,7 +220,7 @@ fn main() {
             deadline_ms,
             true,
         ),
-        other => panic!("unknown scenario '{other}' (steady|mixed|reload|storm|smoke)"),
+        other => panic!("unknown scenario '{other}' (steady|mixed|reload|storm|slowloris|smoke)"),
     };
 
     let mut targets = vec![Target {
@@ -246,11 +268,28 @@ fn main() {
         })
     });
 
+    // The hostile mix runs for the expected span of the well-behaved
+    // schedule, so shedding happens *under* load, not after it.
+    let hostile = (args.scenario == "slowloris").then(|| {
+        let window = Duration::from_secs_f64((requests as f64 / rate + 2.0).min(30.0));
+        let hostile_cfg = HostileConfig {
+            loris: 3,
+            half_open: 3,
+            never_read: 2,
+            trickle: Duration::from_millis(50),
+            duration: window,
+            model: "tiny-fp32".into(),
+            body: classify_body(&tokens_for(&compiled, 0xBAD), timeout_ms),
+        };
+        std::thread::spawn(move || load::run_hostile(addr, &hostile_cfg))
+    });
+
     println!(
         "scenario {}: {} requests at {:.1} req/s (poisson), timeout {} ms",
         args.scenario, cfg.requests, cfg.rate, timeout_ms
     );
     let report = load::run(addr, &cfg);
+    let hostile = hostile.map(|h| h.join().expect("hostile mix"));
     reload_stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let swaps = reloader.map(|h| h.join().expect("reloader"));
 
@@ -258,11 +297,15 @@ fn main() {
     // take the final stats snapshot for the report.
     let metrics_body = fetch(addr, "/v1/metrics");
     let trace_body = fetch(addr, "/v1/trace");
+    let traces_body = fetch(addr, "/v1/traces");
+    let slowlog_body = fetch(addr, "/v1/slowlog");
     let health_body = fetch(addr, "/healthz");
     let stats = http.shutdown();
 
     std::fs::write(args.out.join("metrics.txt"), &metrics_body).expect("write metrics.txt");
     std::fs::write(args.out.join("trace.json"), &trace_body).expect("write trace.json");
+    std::fs::write(args.out.join("traces.json"), &traces_body).expect("write traces.json");
+    std::fs::write(args.out.join("slowlog.json"), &slowlog_body).expect("write slowlog.json");
     let mut report_fields = vec![
         ("scenario".into(), Json::String(args.scenario.clone())),
         ("service_time_s".into(), Json::Number(s1)),
@@ -272,6 +315,9 @@ fn main() {
     ];
     if let Some(swaps) = swaps {
         report_fields.push(("reloads".into(), Json::Number(swaps as f64)));
+    }
+    if let Some(hostile) = &hostile {
+        report_fields.push(("hostile".into(), hostile.to_json()));
     }
     std::fs::write(
         args.out.join("report.json"),
@@ -323,6 +369,12 @@ fn main() {
                 metrics_body.contains("vitcod_timeouts_total"),
                 "metrics missing the timeout counter"
             );
+            // Blown deadlines are exactly what the slow-request log is
+            // for: every expiry blew well past deadline/2.
+            assert!(
+                slowlog_body.contains("\"request\""),
+                "storm retained no span trees in the slowlog"
+            );
         }
         _ => {
             assert_eq!(report.timed_out, 0, "requests expired under the SLO rate");
@@ -333,6 +385,17 @@ fn main() {
                 deadline * 1e3
             );
         }
+    }
+    if let Some(hostile) = &hostile {
+        println!(
+            "hostile mix: launched {} shed {} survived {} refused {}",
+            hostile.launched, hostile.shed, hostile.survived, hostile.refused
+        );
+        assert_eq!(
+            hostile.survived, 0,
+            "transport failed to shed {} hostile connection(s)",
+            hostile.survived
+        );
     }
     if args.scenario == "smoke" {
         for needle in [
@@ -347,6 +410,22 @@ fn main() {
             trace_body.contains("\"enqueue\"") && trace_body.contains("\"dispatch\""),
             "trace missing enqueue/dispatch events"
         );
+        // Everything is head-sampled in the smoke run, so the span ring
+        // must hold trees whose compute subtrees name the per-layer ops
+        // — the artifact CI uploads must actually show the feature.
+        for needle in [
+            "\"request\"",
+            "\"qkv\"",
+            "\"spmm\"",
+            "vitcod_engine_op_seconds",
+        ] {
+            let hay = if needle.starts_with("vitcod_") {
+                &metrics_body
+            } else {
+                &traces_body
+            };
+            assert!(hay.contains(needle), "observability missing '{needle}'");
+        }
     }
     println!("scenario '{}' passed its gate", args.scenario);
 }

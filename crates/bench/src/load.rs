@@ -14,8 +14,13 @@
 //! than a small slack are counted in [`LoadReport::late_sends`] so
 //! generator saturation is visible instead of silently shrinking the
 //! offered load.
+//!
+//! [`run_hostile`] layers a hostile-connection mix (slow-loris header
+//! trickles, half-open connects, never-read clients) on top of a
+//! well-behaved run, reporting how many of them the transport shed.
 
-use std::net::SocketAddr;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -265,6 +270,189 @@ pub fn run(addr: SocketAddr, cfg: &LoadConfig) -> LoadReport {
         p999_s: percentile(&latencies, 0.999),
         max_s: latencies.last().copied().unwrap_or(0.0),
     }
+}
+
+/// The hostile-connection mix driven *alongside* a well-behaved
+/// workload: classic slow-loris header trickles, half-open connections
+/// that never send a byte, and clients that fire a request but never
+/// read the response. The transport must shed all of them (request
+/// deadline for the trickles, idle timeout for the silent ones) while
+/// the well-behaved load keeps meeting its SLO gate.
+#[derive(Debug, Clone)]
+pub struct HostileConfig {
+    /// Connections that send a request line then trickle header bytes.
+    pub loris: usize,
+    /// Connections that open and never send anything.
+    pub half_open: usize,
+    /// Connections that send one valid request and never read the
+    /// response.
+    pub never_read: usize,
+    /// Gap between trickled header bytes (keeps the server's idle
+    /// clock reset, which is the whole attack).
+    pub trickle: Duration,
+    /// How long each hostile connection stays at it before giving up;
+    /// a connection still open after this counts as *not* shed.
+    pub duration: Duration,
+    /// Model id the never-read connections post to.
+    pub model: String,
+    /// Classify body the never-read connections post.
+    pub body: String,
+}
+
+/// What the hostile mix observed: a connection is `shed` once the
+/// server visibly closes it (EOF, reset, or a `408`/`503` answer).
+#[derive(Debug, Clone, Default)]
+pub struct HostileReport {
+    /// Hostile connections launched (attempted connects included).
+    pub launched: usize,
+    /// Connections the server shed inside the window.
+    pub shed: usize,
+    /// Connections still open when their window expired.
+    pub survived: usize,
+    /// Connects the server refused outright (also a valid shed).
+    pub refused: usize,
+}
+
+impl HostileReport {
+    /// The report as a JSON object (the harness writes this to disk).
+    pub fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("launched".into(), Json::Number(self.launched as f64)),
+            ("shed".into(), Json::Number(self.shed as f64)),
+            ("survived".into(), Json::Number(self.survived as f64)),
+            ("refused".into(), Json::Number(self.refused as f64)),
+        ])
+    }
+}
+
+/// One hostile connection's behaviour after connecting.
+enum Hostility<'a> {
+    Loris { trickle: Duration },
+    HalfOpen,
+    NeverRead { model: &'a str, body: &'a str },
+}
+
+/// Returns `true` when the server shed the connection inside `window`.
+fn drive_hostile(mut stream: TcpStream, kind: &Hostility<'_>, window: Duration) -> bool {
+    let deadline = Instant::now() + window;
+    let poll = Duration::from_millis(25);
+    if stream.set_read_timeout(Some(poll)).is_err() || stream.set_nodelay(true).is_err() {
+        return true; // dead on arrival: already shed
+    }
+    match kind {
+        Hostility::Loris { trickle } => {
+            if stream
+                .write_all(b"POST /v1/models/m/classify HTTP/1.1\r\nX-Slow: ")
+                .is_err()
+            {
+                return true;
+            }
+            let mut scratch = [0u8; 4096];
+            while Instant::now() < deadline {
+                if stream.write_all(b"a").is_err() {
+                    return true; // reset mid-trickle
+                }
+                match stream.read(&mut scratch) {
+                    // EOF, or a response (the 408) followed by close.
+                    Ok(0) => return true,
+                    Ok(_) => return true,
+                    Err(_) => {} // still being tolerated; keep trickling
+                }
+                std::thread::sleep(*trickle);
+            }
+            false
+        }
+        Hostility::HalfOpen => {
+            let mut scratch = [0u8; 64];
+            while Instant::now() < deadline {
+                match stream.read(&mut scratch) {
+                    Ok(0) => return true, // idle-closed by the server
+                    Ok(_) => return true,
+                    Err(_) => {}
+                }
+            }
+            false
+        }
+        Hostility::NeverRead { model, body } => {
+            let head = format!(
+                "POST /v1/models/{model}/classify HTTP/1.1\r\nHost: hostile\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            );
+            if stream.write_all(head.as_bytes()).is_err()
+                || stream.write_all(body.as_bytes()).is_err()
+            {
+                return true;
+            }
+            // Stay deaf for the whole window — the point is a client
+            // that never reads its response — then probe: the server
+            // should have parked the answer in the kernel buffer and
+            // idle-closed, so the drain ends in EOF/reset.
+            if let Some(wait) = deadline.checked_duration_since(Instant::now()) {
+                std::thread::sleep(wait);
+            }
+            let mut sink = [0u8; 16 * 1024];
+            loop {
+                match stream.read(&mut sink) {
+                    Ok(0) => return true, // drained to EOF: shed
+                    Ok(_) => {}           // buffered response bytes
+                    Err(e)
+                        if e.kind() == std::io::ErrorKind::WouldBlock
+                            || e.kind() == std::io::ErrorKind::TimedOut =>
+                    {
+                        return false; // socket still open: not shed
+                    }
+                    Err(_) => return true, // reset: shed
+                }
+            }
+        }
+    }
+}
+
+/// Launches the hostile mix and blocks until every connection resolves.
+pub fn run_hostile(addr: SocketAddr, cfg: &HostileConfig) -> HostileReport {
+    let kinds: Vec<(usize, &'static str)> = vec![
+        (cfg.loris, "loris"),
+        (cfg.half_open, "half_open"),
+        (cfg.never_read, "never_read"),
+    ];
+    let mut handles = Vec::new();
+    for (count, kind) in kinds {
+        for _ in 0..count {
+            let cfg = cfg.clone();
+            let kind: &'static str = kind;
+            handles.push(std::thread::spawn(move || {
+                let stream = match TcpStream::connect(addr) {
+                    Ok(s) => s,
+                    Err(_) => return (true, true), // refused = shed
+                };
+                let hostility = match kind {
+                    "loris" => Hostility::Loris {
+                        trickle: cfg.trickle,
+                    },
+                    "half_open" => Hostility::HalfOpen,
+                    _ => Hostility::NeverRead {
+                        model: &cfg.model,
+                        body: &cfg.body,
+                    },
+                };
+                (drive_hostile(stream, &hostility, cfg.duration), false)
+            }));
+        }
+    }
+    let mut report = HostileReport::default();
+    for h in handles {
+        let (shed, refused) = h.join().expect("hostile thread");
+        report.launched += 1;
+        if refused {
+            report.refused += 1;
+        }
+        if shed {
+            report.shed += 1;
+        } else {
+            report.survived += 1;
+        }
+    }
+    report
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! [`CompiledVit`].
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use vitcod_autograd::LAYERNORM_EPS;
 use vitcod_model::Sample;
@@ -11,6 +12,24 @@ use vitcod_tensor::{
 };
 
 use crate::compiled::{CompiledLayer, CompiledVit, HeadPlan, Int8Projections};
+use crate::profile::{LayerOps, OpProfile};
+
+/// [`crate::profile::OP_NAMES`] indexes, named for the profiled forward.
+const OP_QKV: usize = 0;
+const OP_SCORES: usize = 1;
+const OP_SOFTMAX: usize = 2;
+const OP_SPMM: usize = 3;
+const OP_OUT_PROJ: usize = 4;
+const OP_FC1: usize = 5;
+const OP_FC2: usize = 6;
+
+/// Runs `f`, charging its wall-clock seconds to `slot`.
+fn timed<T>(slot: &mut f64, f: impl FnOnce() -> T) -> T {
+    let t = Instant::now();
+    let out = f();
+    *slot += t.elapsed().as_secs_f64();
+    out
+}
 
 /// LayerNorm epsilon, shared with the training tape so the fp32 dense
 /// forward reproduces the tape's logits bit for bit.
@@ -300,10 +319,71 @@ impl Engine {
         self.with_backend(|| self.predict(tokens))
     }
 
+    /// Classifies a batch **sequentially**, timing every named compute
+    /// op of every layer on a monotonic clock (see
+    /// [`crate::profile::OP_NAMES`]). This is the sampled-trace slow
+    /// path: no batch fan-out (worker interleaving would corrupt
+    /// wall-clock attribution), and dense fp32 attention takes the
+    /// separable scores → softmax → `S·V` kernel sequence instead of
+    /// the fused multi-head kernel, so logits can differ from
+    /// [`Engine::infer_batch`] by float-rounding noise (identical
+    /// classes in practice, asserted within epsilon by this crate's
+    /// tests).
+    pub fn infer_batch_profiled(&self, samples: &[Sample]) -> Vec<(Prediction, OpProfile)> {
+        self.with_backend(|| {
+            samples
+                .iter()
+                .map(|s| self.predict_profiled(&s.tokens))
+                .collect()
+        })
+    }
+
+    /// [`Engine::infer_batch_profiled`] for one raw token matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the token shape does not match the compiled model.
+    pub fn infer_one_profiled(&self, tokens: &Matrix) -> (Prediction, OpProfile) {
+        self.with_backend(|| self.predict_profiled(tokens))
+    }
+
+    /// Approximate arithmetic ops one forward pass performs (1 MAC = 2
+    /// ops, softmax = 1 op per kept attention entry), with the
+    /// quadratic `Q·Kᵀ`/`S·V` core and softmax discounted by the
+    /// compiled sparsity plan. Feeds the achieved-Gop/s gauge:
+    /// `ops_per_sample × requests / compute_seconds / 1e9`.
+    pub fn approx_ops_per_sample(&self) -> f64 {
+        let cfg = self.model.config();
+        let f = cfg.flops();
+        let total_heads = self
+            .model
+            .layers()
+            .iter()
+            .map(|l| l.heads.len())
+            .sum::<usize>();
+        let kept = if total_heads == 0 {
+            1.0
+        } else {
+            let sparse_frac = self.model.num_sparse_heads() as f64 / total_heads as f64;
+            1.0 - sparse_frac * self.model.mean_attention_sparsity()
+        };
+        let dense_macs = (f.total() - f.attention_core() - f.softmax_ops) as f64;
+        let core_macs = f.attention_core() as f64 * kept;
+        2.0 * (dense_macs + core_macs) + f.softmax_ops as f64 * kept
+    }
+
     fn predict(&self, tokens: &Matrix) -> Prediction {
         let logits = self.forward(tokens);
         let class = argmax(&logits).unwrap_or(0);
         Prediction { class, logits }
+    }
+
+    fn predict_profiled(&self, tokens: &Matrix) -> (Prediction, OpProfile) {
+        let start = Instant::now();
+        let (logits, mut profile) = self.forward_profiled(tokens);
+        profile.total_s = start.elapsed().as_secs_f64();
+        let class = argmax(&logits).unwrap_or(0);
+        (Prediction { class, logits }, profile)
     }
 
     /// The tape-free forward: dispatches to the fp32 path (bit-identical
@@ -321,6 +401,246 @@ impl Engine {
             (Precision::Int8, Some(packed)) => self.forward_int8(tokens, packed),
             _ => self.forward_fp32(tokens),
         }
+    }
+
+    /// The profiled forward: same dispatch as [`Engine::forward`], with
+    /// per-op timing.
+    fn forward_profiled(&self, tokens: &Matrix) -> (Vec<f32>, OpProfile) {
+        let cfg = self.model.config();
+        assert_eq!(
+            tokens.shape(),
+            (cfg.tokens, self.model.in_dim()),
+            "input token shape mismatch"
+        );
+        match (self.precision, self.model.int8_projections()) {
+            (Precision::Int8, Some(packed)) => self.forward_int8_profiled(tokens, packed),
+            _ => self.forward_fp32_profiled(tokens),
+        }
+    }
+
+    /// [`Engine::forward_fp32`] with per-op timing. LayerNorms,
+    /// residual adds, the stem and the classifier stay unattributed, so
+    /// a layer's op seconds sum to strictly less than the forward
+    /// total. Dense attention runs the separable per-head kernels (the
+    /// fused multi-head kernel cannot split scores/softmax/`S·V`), so
+    /// logits carry float-rounding differences vs the fused path.
+    fn forward_fp32_profiled(&self, tokens: &Matrix) -> (Vec<f32>, OpProfile) {
+        let cfg = self.model.config();
+        let n = cfg.tokens;
+        let dim = cfg.dim;
+        let dk = cfg.head_dim();
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mut profile = OpProfile::default();
+
+        let embedded = kernels::matmul(tokens, self.model.patch_w());
+        let mut x = &kernels::add_bias(&embedded, self.model.patch_b()) + self.model.pos_embed();
+
+        for layer in self.model.layers() {
+            let mut ops = LayerOps::default();
+            let normed = kernels::layernorm_rows(&x, &layer.ln1_gamma, &layer.ln1_beta, LN_EPS);
+            // The AE round trip feeds directly into attention from the
+            // fused projection, so it is charged to `qkv`.
+            let (q, k, v) = timed(&mut ops.seconds[OP_QKV], || {
+                let qkv = kernels::add_bias(&kernels::matmul(&normed, &layer.w_qkv), &layer.b_qkv);
+                let mut q = qkv.submatrix(0, n, 0, dim);
+                let mut k = qkv.submatrix(0, n, dim, 2 * dim);
+                let v = qkv.submatrix(0, n, 2 * dim, 3 * dim);
+                if let Some(ae) = &layer.ae {
+                    q = kernels::head_mix(&kernels::head_mix(&q, &ae.enc_q, dk), &ae.dec_q, dk);
+                    k = kernels::head_mix(&kernels::head_mix(&k, &ae.enc_k, dk), &ae.dec_k, dk);
+                }
+                (q, k, v)
+            });
+
+            let attn = self.attention_profiled(layer, &q, &k, &v, dk, scale, &mut ops);
+            let projected = timed(&mut ops.seconds[OP_OUT_PROJ], || {
+                kernels::add_bias(&kernels::matmul(&attn, &layer.w_out), &layer.b_out)
+            });
+            x = &x + &projected;
+
+            let normed2 = kernels::layernorm_rows(&x, &layer.ln2_gamma, &layer.ln2_beta, LN_EPS);
+            let act = timed(&mut ops.seconds[OP_FC1], || {
+                let h1 = kernels::add_bias(&kernels::matmul(&normed2, &layer.w_fc1), &layer.b_fc1);
+                kernels::map(&h1, gelu)
+            });
+            let h2 = timed(&mut ops.seconds[OP_FC2], || {
+                kernels::add_bias(&kernels::matmul(&act, &layer.w_fc2), &layer.b_fc2)
+            });
+            x = &x + &h2;
+            profile.layers.push(ops);
+        }
+
+        let cls = x.submatrix(0, 1, 0, dim);
+        let (final_gamma, final_beta) = self.model.final_ln();
+        let normed = kernels::layernorm_rows(&cls, final_gamma, final_beta, LN_EPS);
+        let logits = kernels::add_bias(
+            &kernels::matmul(&normed, self.model.head_w()),
+            self.model.head_b(),
+        );
+        (logits.row(0).to_vec(), profile)
+    }
+
+    /// [`Engine::forward_int8`] with per-op timing. Activation
+    /// quantization is charged to the op that consumes it (the layer
+    /// quantize before the fused QKV GEMM to `qkv`, the Q/K quantize to
+    /// `scores`, and so on), mirroring how the fast path amortizes it.
+    fn forward_int8_profiled(
+        &self,
+        tokens: &Matrix,
+        packed: &[Int8Projections],
+    ) -> (Vec<f32>, OpProfile) {
+        let cfg = self.model.config();
+        let n = cfg.tokens;
+        let dim = cfg.dim;
+        let dk = cfg.head_dim();
+        let scale = 1.0 / (dk as f32).sqrt();
+        let mut profile = OpProfile::default();
+
+        let embedded = kernels::matmul(tokens, self.model.patch_w());
+        let mut x = &kernels::add_bias(&embedded, self.model.patch_b()) + self.model.pos_embed();
+
+        for (layer, proj) in self.model.layers().iter().zip(packed) {
+            let mut ops = LayerOps::default();
+            let normed = kernels::layernorm_rows(&x, &layer.ln1_gamma, &layer.ln1_beta, LN_EPS);
+            let (q, k, v) = timed(&mut ops.seconds[OP_QKV], || {
+                let normed8 = QuantizedRows::quantize(&normed);
+                let qkv = int8_gemm(&normed8, &proj.w_qkv, &layer.b_qkv);
+                let mut q = qkv.submatrix(0, n, 0, dim);
+                let mut k = qkv.submatrix(0, n, dim, 2 * dim);
+                let v = qkv.submatrix(0, n, 2 * dim, 3 * dim);
+                if let Some(ae) = &layer.ae {
+                    q = kernels::head_mix(&kernels::head_mix(&q, &ae.enc_q, dk), &ae.dec_q, dk);
+                    k = kernels::head_mix(&kernels::head_mix(&k, &ae.enc_k, dk), &ae.dec_k, dk);
+                }
+                (q, k, v)
+            });
+
+            let (q8, k8) = timed(&mut ops.seconds[OP_SCORES], || {
+                (QuantizedRows::quantize(&q), QuantizedRows::quantize(&k))
+            });
+            let attn = self.attention_int8_profiled(layer, &q8, &k8, &v, dk, scale, &mut ops);
+            let projected = timed(&mut ops.seconds[OP_OUT_PROJ], || {
+                let attn8 = QuantizedRows::quantize(&attn);
+                int8_gemm(&attn8, &proj.w_out, &layer.b_out)
+            });
+            x = &x + &projected;
+
+            let normed2 = kernels::layernorm_rows(&x, &layer.ln2_gamma, &layer.ln2_beta, LN_EPS);
+            let act = timed(&mut ops.seconds[OP_FC1], || {
+                let normed2_8 = QuantizedRows::quantize(&normed2);
+                let h1 = int8_gemm(&normed2_8, &proj.w_fc1, &layer.b_fc1);
+                kernels::map(&h1, gelu)
+            });
+            let h2 = timed(&mut ops.seconds[OP_FC2], || {
+                let act8 = QuantizedRows::quantize(&act);
+                int8_gemm(&act8, &proj.w_fc2, &layer.b_fc2)
+            });
+            x = &x + &h2;
+            profile.layers.push(ops);
+        }
+
+        let cls = x.submatrix(0, 1, 0, dim);
+        let (final_gamma, final_beta) = self.model.final_ln();
+        let normed = kernels::layernorm_rows(&cls, final_gamma, final_beta, LN_EPS);
+        let logits = kernels::add_bias(
+            &kernels::matmul(&normed, self.model.head_w()),
+            self.model.head_b(),
+        );
+        (logits.row(0).to_vec(), profile)
+    }
+
+    /// [`Engine::attention`] with per-op timing: heads run sequentially
+    /// through the separable scores → softmax → `S·V` sequence (dense
+    /// heads too — the fused kernel cannot attribute its phases), each
+    /// phase's seconds accumulating across heads into `ops`.
+    #[allow(clippy::too_many_arguments)]
+    fn attention_profiled(
+        &self,
+        layer: &CompiledLayer,
+        q: &Matrix,
+        k: &Matrix,
+        v: &Matrix,
+        dk: usize,
+        scale: f32,
+        ops: &mut LayerOps,
+    ) -> Matrix {
+        let n = q.rows();
+        let mut per_head = Vec::with_capacity(layer.heads.len());
+        for (h, plan) in layer.heads.iter().enumerate() {
+            let c0 = h * dk;
+            let qh = q.submatrix(0, n, c0, c0 + dk);
+            let kh = k.submatrix(0, n, c0, c0 + dk);
+            let vh = v.submatrix(0, n, c0, c0 + dk);
+            match plan {
+                HeadPlan::Dense => {
+                    let scores = timed(&mut ops.seconds[OP_SCORES], || {
+                        let raw = kernels::matmul_nt(&qh, &kh);
+                        kernels::map(&raw, |s| s * scale)
+                    });
+                    let probs = timed(&mut ops.seconds[OP_SOFTMAX], || {
+                        kernels::softmax_rows(&scores)
+                    });
+                    per_head.push(timed(&mut ops.seconds[OP_SPMM], || {
+                        kernels::matmul(&probs, &vh)
+                    }));
+                }
+                HeadPlan::Sparse(csc) => {
+                    let scores = timed(&mut ops.seconds[OP_SCORES], || {
+                        sparse::sddmm_k_stationary(&qh, &kh, csc, scale)
+                    });
+                    let probs = timed(&mut ops.seconds[OP_SOFTMAX], || scores.softmax_rows());
+                    per_head.push(timed(&mut ops.seconds[OP_SPMM], || {
+                        sparse::spmm_output_stationary(&probs, &vh)
+                    }));
+                }
+            }
+        }
+        Matrix::hcat(&per_head.iter().collect::<Vec<_>>())
+    }
+
+    /// [`Engine::attention_int8`] with per-op timing; heads run
+    /// sequentially, phases accumulate into `ops` like
+    /// [`Engine::attention_profiled`].
+    #[allow(clippy::too_many_arguments)]
+    fn attention_int8_profiled(
+        &self,
+        layer: &CompiledLayer,
+        q8: &QuantizedRows,
+        k8: &QuantizedRows,
+        v: &Matrix,
+        dk: usize,
+        scale: f32,
+        ops: &mut LayerOps,
+    ) -> Matrix {
+        let n = v.rows();
+        let mut per_head = Vec::with_capacity(layer.heads.len());
+        for (h, plan) in layer.heads.iter().enumerate() {
+            let c0 = h * dk;
+            let vh = v.submatrix(0, n, c0, c0 + dk);
+            match plan {
+                HeadPlan::Dense => {
+                    let scores = timed(&mut ops.seconds[OP_SCORES], || {
+                        q8.scores_nt(k8, c0..c0 + dk, scale)
+                    });
+                    let probs = timed(&mut ops.seconds[OP_SOFTMAX], || {
+                        kernels::softmax_rows(&scores)
+                    });
+                    per_head.push(timed(&mut ops.seconds[OP_SPMM], || {
+                        kernels::matmul(&probs, &vh)
+                    }));
+                }
+                HeadPlan::Sparse(csc) => {
+                    let scores = timed(&mut ops.seconds[OP_SCORES], || {
+                        sparse::sddmm_k_stationary_int8_rows(q8, k8, c0..c0 + dk, csc, scale)
+                    });
+                    let probs = timed(&mut ops.seconds[OP_SOFTMAX], || scores.softmax_rows());
+                    per_head.push(timed(&mut ops.seconds[OP_SPMM], || {
+                        sparse::spmm_output_stationary(&probs, &vh)
+                    }));
+                }
+            }
+        }
+        Matrix::hcat(&per_head.iter().collect::<Vec<_>>())
     }
 
     /// Fp32 forward: mirrors the training tape's kernel sequence exactly

@@ -37,9 +37,11 @@
 mod artifact;
 mod compiled;
 mod engine;
+pub mod profile;
 
 pub use artifact::{load_compiled_vit, save_compiled_vit, ArtifactError};
 pub use compiled::{
     accuracy, CompileReport, CompiledAe, CompiledLayer, CompiledVit, HeadPlan, Int8Projections,
 };
 pub use engine::{Engine, EngineBuilder, Precision, Prediction};
+pub use profile::{LayerOps, OpProfile, OP_COUNT, OP_NAMES};

@@ -1,0 +1,94 @@
+//! Per-op timing of a profiled forward pass.
+//!
+//! [`crate::Engine::infer_batch_profiled`] times every named compute op
+//! of every transformer layer on a monotonic clock and returns one
+//! [`OpProfile`] per sample. The op set is fixed ([`OP_NAMES`]) so the
+//! serving layer can aggregate across layers with bounded metric
+//! cardinality — per-layer detail only rides in sampled span trees.
+
+/// Names of the per-layer compute ops a profiled forward times, in
+/// execution order. These are the `op` label values of
+/// `vitcod_engine_op_seconds{model,op}` and the child span names under a
+/// sampled request's `compute` span.
+pub const OP_NAMES: [&str; 7] = ["qkv", "scores", "softmax", "spmm", "out_proj", "fc1", "fc2"];
+
+/// Number of distinct per-layer ops ([`OP_NAMES`]).
+pub const OP_COUNT: usize = OP_NAMES.len();
+
+/// Wall-clock seconds each named op consumed within one transformer
+/// layer, indexed like [`OP_NAMES`].
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LayerOps {
+    /// Seconds per op, `seconds[i]` belonging to `OP_NAMES[i]`.
+    pub seconds: [f64; OP_COUNT],
+}
+
+impl LayerOps {
+    /// Seconds this layer spent across all named ops.
+    pub fn total_s(&self) -> f64 {
+        self.seconds.iter().sum()
+    }
+}
+
+/// The per-op timing record of one profiled forward pass.
+///
+/// All entries share one monotonic clock. LayerNorms, residual adds, the
+/// embedding stem and the classifier head are deliberately
+/// unattributed, so the named ops always sum to **at most**
+/// [`OpProfile::total_s`] — the invariant the span-partition tests
+/// enforce.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpProfile {
+    /// One entry per transformer layer, in depth order.
+    pub layers: Vec<LayerOps>,
+    /// Wall-clock seconds of the whole forward, stem and classifier
+    /// included.
+    pub total_s: f64,
+}
+
+impl OpProfile {
+    /// Sums each op over all layers: `(op name, seconds)` pairs in
+    /// [`OP_NAMES`] order — the bounded-cardinality aggregate behind
+    /// `vitcod_engine_op_seconds{model,op}`.
+    pub fn op_totals(&self) -> [(&'static str, f64); OP_COUNT] {
+        let mut out = [("", 0.0f64); OP_COUNT];
+        for (i, name) in OP_NAMES.iter().enumerate() {
+            out[i] = (name, self.layers.iter().map(|l| l.seconds[i]).sum::<f64>());
+        }
+        out
+    }
+
+    /// Seconds attributed to named ops, summed over layers and ops. The
+    /// remainder up to [`OpProfile::total_s`] is unattributed glue
+    /// (LayerNorms, residuals, stem, classifier).
+    pub fn attributed_s(&self) -> f64 {
+        self.layers.iter().map(LayerOps::total_s).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_totals_sum_over_layers_in_name_order() {
+        let mut a = LayerOps::default();
+        let mut b = LayerOps::default();
+        for i in 0..OP_COUNT {
+            a.seconds[i] = (i + 1) as f64;
+            b.seconds[i] = 10.0 * (i + 1) as f64;
+        }
+        let p = OpProfile {
+            layers: vec![a, b],
+            total_s: 500.0,
+        };
+        let totals = p.op_totals();
+        for (i, (name, s)) in totals.iter().enumerate() {
+            assert_eq!(*name, OP_NAMES[i]);
+            assert!((s - 11.0 * (i + 1) as f64).abs() < 1e-12);
+        }
+        let attributed: f64 = totals.iter().map(|(_, s)| s).sum();
+        assert!((p.attributed_s() - attributed).abs() < 1e-12);
+        assert!(p.attributed_s() <= p.total_s);
+    }
+}

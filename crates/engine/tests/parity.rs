@@ -250,6 +250,79 @@ fn pipeline_report_compiles_and_serves_above_chance() {
 }
 
 #[test]
+fn profiled_forward_matches_fast_path_and_partitions_time() {
+    let (mut vit, store) = tiny_model(9);
+    vit.set_sparsity_plan(local_global_plan(&vit));
+    let compiled = CompiledVit::from_parts(&vit, &store);
+    let depth = vit.config().depth;
+    let samples: Vec<Sample> = (0..3)
+        .map(|i| Sample {
+            tokens: random_tokens(&vit, 900 + i),
+            label: 0,
+        })
+        .collect();
+    for precision in [Precision::Fp32, Precision::Int8] {
+        let engine = Engine::builder(compiled.clone())
+            .precision(precision)
+            .build();
+        let fast = engine.infer_batch(&samples);
+        let profiled = engine.infer_batch_profiled(&samples);
+        assert_eq!(profiled.len(), fast.len());
+        for ((p, profile), f) in profiled.iter().zip(&fast) {
+            // The profiled forward takes the separable attention
+            // kernels, so logits agree within rounding, not bitwise.
+            let norm = f.logits.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-6);
+            for (a, b) in p.logits.iter().zip(&f.logits) {
+                assert!(
+                    (a - b).abs() / norm < 1e-3,
+                    "{precision:?}: profiled logit {a} vs fast {b}"
+                );
+            }
+            // One LayerOps per layer, every named op observed, and the
+            // attributed seconds never exceed the forward total.
+            assert_eq!(profile.layers.len(), depth);
+            for layer in &profile.layers {
+                for (i, s) in layer.seconds.iter().enumerate() {
+                    assert!(
+                        *s > 0.0,
+                        "{precision:?}: op {} has no time",
+                        vitcod_engine::OP_NAMES[i]
+                    );
+                }
+            }
+            assert!(profile.total_s > 0.0);
+            assert!(
+                profile.attributed_s() <= profile.total_s,
+                "{precision:?}: attributed {} > total {}",
+                profile.attributed_s(),
+                profile.total_s
+            );
+            let totals = profile.op_totals();
+            let names: Vec<_> = totals.iter().map(|(n, _)| *n).collect();
+            assert_eq!(names, vitcod_engine::OP_NAMES.to_vec());
+        }
+    }
+}
+
+#[test]
+fn approx_ops_per_sample_tracks_sparsity() {
+    let (vit, store) = tiny_model(10);
+    let dense = CompiledVit::from_parts(&vit, &store);
+    let dense_ops = Engine::builder(dense).build().approx_ops_per_sample();
+    let (mut vit2, store2) = tiny_model(10);
+    vit2.set_sparsity_plan(local_global_plan(&vit2));
+    let sparse = CompiledVit::from_parts(&vit2, &store2);
+    let sparse_ops = Engine::builder(sparse).build().approx_ops_per_sample();
+    assert!(dense_ops > 0.0);
+    // Sparsifying the attention core only removes work.
+    assert!(sparse_ops < dense_ops);
+    // But never more than the whole core plus softmax.
+    let f = vit.config().flops();
+    let floor = dense_ops - 2.0 * f.attention_core() as f64 - f.softmax_ops as f64;
+    assert!(sparse_ops >= floor);
+}
+
+#[test]
 fn from_trainer_equals_from_parts() {
     let (vit, store) = tiny_model(8);
     let a = CompiledVit::from_parts(&vit, &store);

@@ -87,6 +87,10 @@ pub(crate) struct Request {
     /// Expiry deadline; past it the request resolves as timed out
     /// instead of occupying a batch slot. `None` waits indefinitely.
     pub deadline: Option<Instant>,
+    /// Whether the request was head-sampled at ingress: its batch runs
+    /// the engine's profiled forward and its ticket reports a compute
+    /// span with per-layer op children.
+    pub sampled: bool,
 }
 
 impl Request {
@@ -357,6 +361,7 @@ mod tests {
             enqueued: now,
             admitted: None,
             deadline: None,
+            sampled: false,
         }
     }
 

@@ -32,7 +32,14 @@
 //! * [`trace`] — a bounded ring of typed serving events (enqueue,
 //!   expire, promote, dispatch, reload, shutdown) drained via
 //!   [`Server::take_trace`] for debugging deadline storms and reload
-//!   races without a debugger.
+//!   races without a debugger;
+//! * [`spans`] — request-scoped span trees: head-sampled requests run
+//!   the engine's profiled forward (`compute → layer{i} → {qkv, scores,
+//!   softmax, spmm, out_proj, fc1, fc2}`), finished trees land in
+//!   bounded rings behind `GET /v1/traces` (sampled) and
+//!   `GET /v1/slowlog` (requests past their slow threshold), and every
+//!   served ticket carries a [`spans::StageReport`] the transport
+//!   assembles into the `request` span.
 //!
 //! Batching never changes values: every per-sample forward is
 //! independent, so a prediction served through the queue is
@@ -66,6 +73,7 @@ mod batcher;
 pub mod queue;
 mod registry;
 mod server;
+pub mod spans;
 pub mod stats;
 mod ticket;
 pub mod trace;
@@ -73,6 +81,9 @@ pub mod trace;
 pub use batcher::BatchConfig;
 pub use registry::{ModelRegistry, RegistryError, ARTIFACT_EXTENSION};
 pub use server::{Client, Server, SubmitError};
+pub use spans::{
+    compute_span, FinishedTrace, Span, StageReport, TracingConfig, SPAN_RING_CAPACITY,
+};
 pub use stats::{
     HistogramSnapshot, ModelStats, RequestTiming, ServerStats, StageStats, StatsRecorder,
     MAX_LATENCY_SAMPLES,

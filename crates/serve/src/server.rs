@@ -28,13 +28,16 @@ use std::sync::{Arc, PoisonError, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use vitcod_engine::{Engine, Prediction};
+use vitcod_engine::{Engine, OpProfile, Prediction, OP_COUNT};
 use vitcod_model::Sample;
 use vitcod_tensor::Matrix;
 
 use crate::batcher::{Batch, BatchAssembler, BatchConfig, Request};
 use crate::queue::{BoundedQueue, Pop};
 use crate::registry::ModelRegistry;
+use crate::spans::{
+    compute_span, FinishedTrace, Sampler, Span, SpanRing, StageReport, TracingConfig,
+};
 use crate::stats::{RequestTiming, ServerStats, StatsRecorder};
 use crate::ticket::{RequestError, Ticket, TicketInner};
 use crate::trace::{TraceBuffer, TraceEvent, TraceKind};
@@ -87,6 +90,16 @@ struct Shared {
     batches: BoundedQueue<Batch>,
     stats: StatsRecorder,
     trace: TraceBuffer,
+    /// Request-tracing knobs, fixed at startup.
+    tracing: TracingConfig,
+    /// Deterministic head sampler driven by the ingress
+    /// ([`Client::sample_trace`]).
+    sampler: Sampler,
+    /// Finished span trees of sampled requests (`GET /v1/traces`).
+    traces: SpanRing,
+    /// Span trees of requests that blew their slow threshold
+    /// (`GET /v1/slowlog`).
+    slowlog: SpanRing,
 }
 
 impl Shared {
@@ -111,9 +124,9 @@ impl Shared {
         replaced
     }
 
-    /// Recorder snapshot enriched with registry labels: the stats mutex
-    /// is released before the engines read lock is taken (no nesting,
-    /// no lock-order edge).
+    /// Recorder snapshot enriched with registry labels and the
+    /// achieved-Gop/s gauge: the stats mutex is released before the
+    /// engines read lock is taken (no nesting, no lock-order edge).
     fn stats_snapshot(&self) -> ServerStats {
         let mut stats = self.stats.snapshot(self.trace.uptime_s());
         let engines = self.engines.read().unwrap_or_else(PoisonError::into_inner);
@@ -121,6 +134,13 @@ impl Shared {
             if let Some(engine) = engines.get(&m.model) {
                 m.backend = Some(engine.backend().to_string());
                 m.precision = Some(engine.precision().to_string());
+                if m.compute_batch_s > 0.0 && m.requests > 0 {
+                    m.achieved_gops = Some(
+                        engine.approx_ops_per_sample() * m.requests as f64
+                            / m.compute_batch_s
+                            / 1e9,
+                    );
+                }
             }
         }
         stats
@@ -148,6 +168,23 @@ impl Server {
     ///
     /// Panics if a config bound is zero.
     pub fn start(registry: ModelRegistry, config: BatchConfig) -> Server {
+        Server::start_with_tracing(registry, config, TracingConfig::default())
+    }
+
+    /// Like [`Server::start`], but with request tracing configured: a
+    /// head-sampling rate (sampled requests run the engine's profiled
+    /// forward and retain a per-layer span tree) and a fallback slowlog
+    /// threshold for deadline-less requests. [`Server::start`] installs
+    /// [`TracingConfig::default`] — rate 0, the fast path stamp-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a config bound is zero.
+    pub fn start_with_tracing(
+        registry: ModelRegistry,
+        config: BatchConfig,
+        tracing: TracingConfig,
+    ) -> Server {
         let config = config.validated();
         let shared = Arc::new(Shared {
             engines: RwLock::new(registry.into_engines()),
@@ -160,6 +197,10 @@ impl Server {
             batches: BoundedQueue::new(config.workers),
             stats: StatsRecorder::new(),
             trace: TraceBuffer::new(),
+            tracing,
+            sampler: Sampler::new(tracing.sample_rate),
+            traces: SpanRing::new(),
+            slowlog: SpanRing::new(),
         });
         let batcher = {
             let shared = Arc::clone(&shared);
@@ -226,6 +267,22 @@ impl Server {
     /// Trace events evicted before being drained (ring saturation).
     pub fn trace_dropped(&self) -> u64 {
         self.shared.trace.dropped()
+    }
+
+    /// The tracing configuration the server was started with.
+    pub fn tracing(&self) -> TracingConfig {
+        self.shared.tracing
+    }
+
+    /// Drains and returns the sampled span-tree ring; see
+    /// [`crate::spans`].
+    pub fn take_traces(&self) -> Vec<FinishedTrace> {
+        self.shared.traces.take()
+    }
+
+    /// Drains and returns the slow-request ring; see [`crate::spans`].
+    pub fn take_slowlog(&self) -> Vec<FinishedTrace> {
+        self.shared.slowlog.take()
     }
 
     /// Requests currently waiting in the ingress queue.
@@ -300,7 +357,7 @@ impl Client {
     ///
     /// Unknown model id, token-shape mismatch, or a shut-down server.
     pub fn submit(&self, model: &str, tokens: Matrix) -> Result<Ticket, SubmitError> {
-        self.enqueue(model, tokens, None)
+        self.enqueue(model, tokens, None, false)
     }
 
     /// Like [`Client::submit`], but the request carries a deadline: if
@@ -318,7 +375,28 @@ impl Client {
         tokens: Matrix,
         timeout: Duration,
     ) -> Result<Ticket, SubmitError> {
-        self.enqueue(model, tokens, Some(timeout))
+        self.enqueue(model, tokens, Some(timeout), false)
+    }
+
+    /// Like [`Client::submit_with_timeout`] (with `timeout: None`
+    /// meaning no deadline), but the request carries its head-sampling
+    /// decision: a sampled request's batch runs the engine's profiled
+    /// forward, and its ticket's [`crate::spans::StageReport`] carries a
+    /// compute span with per-layer op children. The transport decides
+    /// `sampled` from [`Client::sample_trace`] or an explicit
+    /// `x-vitcod-trace-id` header.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::submit`].
+    pub fn submit_traced(
+        &self,
+        model: &str,
+        tokens: Matrix,
+        timeout: Option<Duration>,
+        sampled: bool,
+    ) -> Result<Ticket, SubmitError> {
+        self.enqueue(model, tokens, timeout, sampled)
     }
 
     /// Like [`Client::submit`] but never blocks: a full queue returns
@@ -331,7 +409,7 @@ impl Client {
     /// As [`Client::submit`], plus [`SubmitError::QueueFull`].
     pub fn try_submit(&self, model: &str, tokens: Matrix) -> Result<Ticket, SubmitError> {
         use crate::queue::TryPushError;
-        let (request, ticket) = self.make_request(model, tokens, None)?;
+        let (request, ticket) = self.make_request(model, tokens, None, false)?;
         match self.shared.requests.try_push(request) {
             Ok(()) => {
                 self.shared
@@ -349,8 +427,9 @@ impl Client {
         model: &str,
         tokens: Matrix,
         timeout: Option<Duration>,
+        sampled: bool,
     ) -> Result<Ticket, SubmitError> {
-        let (request, ticket) = self.make_request(model, tokens, timeout)?;
+        let (request, ticket) = self.make_request(model, tokens, timeout, sampled)?;
         self.shared
             .requests
             .push(request)
@@ -366,6 +445,7 @@ impl Client {
         model: &str,
         tokens: Matrix,
         timeout: Option<Duration>,
+        sampled: bool,
     ) -> Result<(Request, Arc<TicketInner>), SubmitError> {
         let engine = self
             .shared
@@ -393,6 +473,7 @@ impl Client {
             enqueued,
             admitted: None,
             deadline: timeout.map(|t| enqueued + t),
+            sampled,
         };
         Ok((request, ticket))
     }
@@ -462,6 +543,81 @@ impl Client {
     /// Trace events evicted before being drained (ring saturation).
     pub fn trace_dropped(&self) -> u64 {
         self.shared.trace.dropped()
+    }
+
+    /// The tracing configuration the server was started with.
+    pub fn tracing(&self) -> TracingConfig {
+        self.shared.tracing
+    }
+
+    /// Whether the next ingress request is head-sampled. Advances the
+    /// deterministic sampler — call exactly once per wire request, at
+    /// ingress (an explicit `x-vitcod-trace-id` header forces sampling
+    /// *without* consulting this).
+    pub fn sample_trace(&self) -> bool {
+        self.shared.sampler.sample()
+    }
+
+    /// Retains one finished sampled request's span tree in the traces
+    /// ring (`GET /v1/traces`). Called by the transport after the
+    /// response is written, when the end-to-end total is known.
+    pub fn record_trace(&self, trace_id: String, model: String, total_s: f64, root: Span) {
+        self.shared
+            .traces
+            .record(trace_id, model, true, total_s, root);
+    }
+
+    /// Retains one slow request's span tree in the slowlog ring
+    /// (`GET /v1/slowlog`): the transport calls this when the
+    /// end-to-end latency exceeded
+    /// [`TracingConfig::slow_threshold_for`] the request's deadline.
+    pub fn record_slow(
+        &self,
+        trace_id: String,
+        model: String,
+        sampled: bool,
+        total_s: f64,
+        root: Span,
+    ) {
+        self.shared
+            .slowlog
+            .record(trace_id, model, sampled, total_s, root);
+    }
+
+    /// Drains and returns the sampled span-tree ring in record order.
+    pub fn take_traces(&self) -> Vec<FinishedTrace> {
+        self.shared.traces.take()
+    }
+
+    /// Copies the sampled span-tree ring without draining (`?peek=1`).
+    pub fn peek_traces(&self) -> Vec<FinishedTrace> {
+        self.shared.traces.peek()
+    }
+
+    /// Sampled traces evicted before being drained (ring saturation).
+    pub fn traces_dropped(&self) -> u64 {
+        self.shared.traces.dropped()
+    }
+
+    /// Drains and returns the slow-request ring in record order.
+    pub fn take_slowlog(&self) -> Vec<FinishedTrace> {
+        self.shared.slowlog.take()
+    }
+
+    /// Copies the slow-request ring without draining (`?peek=1`).
+    pub fn peek_slowlog(&self) -> Vec<FinishedTrace> {
+        self.shared.slowlog.peek()
+    }
+
+    /// Slow-request traces evicted before being drained.
+    pub fn slowlog_dropped(&self) -> u64 {
+        self.shared.slowlog.dropped()
+    }
+
+    /// Copies the event-trace ring without draining (`?peek=1`); see
+    /// [`crate::trace`].
+    pub fn peek_trace(&self) -> Vec<TraceEvent> {
+        self.shared.trace.peek()
     }
 
     /// Requests currently waiting in the ingress queue.
@@ -600,11 +756,11 @@ fn run_worker(shared: &Shared) {
 /// the batch's tickets to "cancelled" instead of leaving clients
 /// blocked in [`Ticket::wait`] forever ([`TicketInner::cancel`] is a
 /// no-op on tickets that completed normally).
-struct CancelOnDrop<'a>(&'a [(std::sync::Arc<TicketInner>, Instant, Option<Instant>)]);
+struct CancelOnDrop<'a>(&'a [(std::sync::Arc<TicketInner>, Instant, Option<Instant>, bool)]);
 
 impl Drop for CancelOnDrop<'_> {
     fn drop(&mut self) {
-        for (ticket, _, _) in self.0 {
+        for (ticket, _, _, _) in self.0 {
             ticket.cancel();
         }
     }
@@ -621,11 +777,24 @@ fn serve_batch(shared: &Shared, batch: Batch) {
             tokens: r.tokens,
             label: 0,
         });
-        tickets.push((r.ticket, r.enqueued, r.admitted));
+        tickets.push((r.ticket, r.enqueued, r.admitted, r.sampled));
     }
     let _cancel_guard = CancelOnDrop(&tickets);
+    // A batch with any head-sampled request runs the profiled forward
+    // (per-layer op timing, samples served sequentially); otherwise the
+    // fast path stays completely stamp-free.
+    let any_sampled = tickets.iter().any(|(_, _, _, sampled)| *sampled);
     let compute_start = Instant::now();
-    let predictions = batch.engine.infer_batch(&samples);
+    let (predictions, profiles): (Vec<Prediction>, Option<Vec<OpProfile>>) = if any_sampled {
+        let (p, prof) = batch
+            .engine
+            .infer_batch_profiled(&samples)
+            .into_iter()
+            .unzip();
+        (p, Some(prof))
+    } else {
+        (batch.engine.infer_batch(&samples), None)
+    };
     let compute_end = Instant::now();
     // Every request in the batch shares the compute window; the earlier
     // stages come from its own stamps. A request without an admission
@@ -634,7 +803,7 @@ fn serve_batch(shared: &Shared, batch: Batch) {
     let compute = compute_end.saturating_duration_since(compute_start);
     let timings: Vec<RequestTiming> = tickets
         .iter()
-        .map(|(_, enqueued, admitted)| {
+        .map(|(_, enqueued, admitted, _)| {
             let admitted = admitted.unwrap_or(compute_start);
             RequestTiming {
                 total: compute_end.saturating_duration_since(*enqueued),
@@ -646,8 +815,41 @@ fn serve_batch(shared: &Shared, batch: Batch) {
         .collect();
     // Stats first, tickets second: a client unblocked by its ticket must
     // already see this batch in any stats snapshot it takes.
-    shared.stats.record_batch(&batch.model, &timings);
-    for ((ticket, _, _), prediction) in tickets.iter().zip(predictions) {
+    shared.stats.record_batch(&batch.model, compute, &timings);
+    if let Some(profiles) = &profiles {
+        // Per-op histograms observe only the requests that were
+        // themselves sampled — co-batched bystanders ran profiled as a
+        // side effect but were not selected by the sampler.
+        let per_sample: Vec<[f64; OP_COUNT]> = tickets
+            .iter()
+            .zip(profiles)
+            .filter(|((_, _, _, sampled), _)| *sampled)
+            .map(|(_, profile)| {
+                let mut ops = [0.0f64; OP_COUNT];
+                for (slot, (_, s)) in ops.iter_mut().zip(profile.op_totals()) {
+                    *slot = s;
+                }
+                ops
+            })
+            .collect();
+        shared.stats.record_ops(&batch.model, &per_sample);
+    }
+    for (i, ((ticket, _, _, sampled), prediction)) in tickets.iter().zip(predictions).enumerate() {
+        let (compute_s, compute_tree) = match profiles.as_ref().and_then(|p| p.get(i)) {
+            // Sampled request: its own forward's wall and the full
+            // per-layer span tree.
+            Some(profile) if *sampled => (profile.total_s, Some(compute_span(profile))),
+            // Unsampled (possibly in a profiled batch): the shared
+            // batch compute wall, no per-layer detail.
+            _ => (compute.as_secs_f64(), None),
+        };
+        let timing = timings.get(i).copied().unwrap_or_default();
+        ticket.set_report(StageReport {
+            queue_wait_s: timing.queue_wait.as_secs_f64(),
+            batch_assembly_s: timing.batch_assembly.as_secs_f64(),
+            compute_s,
+            compute: compute_tree,
+        });
         ticket.complete(prediction);
     }
 }

@@ -1,0 +1,370 @@
+//! Request-scoped span trees: head sampling, per-request stage
+//! reports, and the bounded rings behind `GET /v1/traces` and
+//! `GET /v1/slowlog`.
+//!
+//! Every wire request gets a trace id at ingress (or brings one in an
+//! `x-vitcod-trace-id` header) and, on completion, a [`Span`] tree —
+//! `request → {parse, queue, batch_assembly, compute, serialize}`. The
+//! compute span of a **sampled** request (head sampling at
+//! [`TracingConfig::sample_rate`], forced by an explicit trace-id
+//! header) additionally carries per-layer children, each partitioned
+//! into the engine's named ops ([`vitcod_engine::OP_NAMES`]); the fast
+//! path stays stamp-free — unsampled requests never run the profiled
+//! forward.
+//!
+//! Finished trees land in two [`SpanRing`]s (same sharded, counted-
+//! eviction design as [`crate::trace::TraceBuffer`]): every sampled
+//! request in the traces ring, and any request whose end-to-end latency
+//! exceeded its slow threshold (deadline × 0.5, or the configured
+//! fallback) in the slowlog ring. The ring shard mutexes are leaf
+//! locks: nothing is acquired while one is held.
+
+use std::collections::VecDeque;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+use vitcod_engine::{OpProfile, OP_NAMES};
+
+/// Total finished span trees each ring retains across all shards.
+pub const SPAN_RING_CAPACITY: usize = 256;
+
+/// Shards (independent rings) the capacity is split across.
+const SPAN_RING_SHARDS: usize = 8;
+
+/// Head-sampling denominator: rates are fixed-point millionths.
+const SAMPLE_UNIT: u64 = 1_000_000;
+
+/// Request-tracing knobs, fixed at [`crate::Server::start_with_tracing`].
+///
+/// The default — sampling rate `0.0`, no fallback slow threshold — is
+/// what [`crate::Server::start`] installs: tracing machinery present
+/// but the fast path stamp-free.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TracingConfig {
+    /// Head-sampling rate in `[0, 1]`: the deterministic fraction of
+    /// requests whose compute runs the profiled (per-layer, per-op)
+    /// forward. `0.0` (the default) keeps the fast path stamp-free; an
+    /// explicit `x-vitcod-trace-id` header always forces sampling.
+    pub sample_rate: f64,
+    /// Slowlog threshold for requests **without** a deadline. Requests
+    /// with a deadline use deadline × 0.5 (half the SLO budget);
+    /// `None` (the default) means deadline-less requests never enter
+    /// the slowlog.
+    pub slow_threshold: Option<Duration>,
+}
+
+impl TracingConfig {
+    /// The effective slowlog threshold for a request with the given
+    /// deadline: half the deadline when one exists, otherwise the
+    /// configured fallback.
+    pub fn slow_threshold_for(&self, deadline: Option<Duration>) -> Option<Duration> {
+        deadline.map(|d| d / 2).or(self.slow_threshold)
+    }
+}
+
+/// Deterministic head sampler: a fixed-point accumulator adds
+/// `rate × 10⁶` per request and samples exactly when the running sum
+/// crosses a unit boundary — rate 0 never samples, rate 1 always does,
+/// and any rate in between samples precisely its fraction of requests
+/// with no RNG on the hot path.
+pub(crate) struct Sampler {
+    rate_millionths: u64,
+    acc: AtomicU64,
+}
+
+impl Sampler {
+    pub fn new(rate: f64) -> Self {
+        Self {
+            rate_millionths: (rate.clamp(0.0, 1.0) * SAMPLE_UNIT as f64).round() as u64,
+            acc: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the next request is head-sampled.
+    pub fn sample(&self) -> bool {
+        match self.rate_millionths {
+            0 => false,
+            r if r >= SAMPLE_UNIT => true,
+            r => {
+                let prev = self.acc.fetch_add(r, Ordering::Relaxed);
+                (prev % SAMPLE_UNIT) + r >= SAMPLE_UNIT
+            }
+        }
+    }
+}
+
+/// One node of a request's span tree. Children are in chronological
+/// order; a node's children durations sum to **at most** its own (gaps
+/// are real waiting), and exactly partition it under `compute` (an
+/// `other` leaf absorbs unattributed glue).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Span name: `request`, a stage (`parse`, `queue`,
+    /// `batch_assembly`, `compute`, `serialize`), `layer{i}`, an engine
+    /// op name, or `other`.
+    pub name: String,
+    /// Wall-clock seconds this span covers.
+    pub duration_s: f64,
+    /// Sub-spans, chronological.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// A childless span.
+    pub fn leaf(name: impl Into<String>, duration_s: f64) -> Self {
+        Self {
+            name: name.into(),
+            duration_s,
+            children: Vec::new(),
+        }
+    }
+
+    /// A span with children.
+    pub fn with_children(name: impl Into<String>, duration_s: f64, children: Vec<Span>) -> Self {
+        Self {
+            name: name.into(),
+            duration_s,
+            children,
+        }
+    }
+
+    /// Sum of the direct children's durations.
+    pub fn children_s(&self) -> f64 {
+        self.children.iter().map(|c| c.duration_s).sum()
+    }
+}
+
+/// Builds the compute span of a profiled forward: one child per layer
+/// (each exactly partitioned into the engine's named op leaves) plus an
+/// `other` leaf absorbing the unattributed glue (LayerNorms, residuals,
+/// stem, classifier) — so the children sum to the compute duration
+/// exactly, the invariant the span-partition tests assert.
+pub fn compute_span(profile: &OpProfile) -> Span {
+    let mut children: Vec<Span> = profile
+        .layers
+        .iter()
+        .enumerate()
+        .map(|(i, layer)| {
+            let ops = OP_NAMES
+                .iter()
+                .zip(&layer.seconds)
+                .map(|(name, s)| Span::leaf(*name, *s))
+                .collect();
+            Span::with_children(format!("layer{i}"), layer.total_s(), ops)
+        })
+        .collect();
+    children.push(Span::leaf(
+        "other",
+        (profile.total_s - profile.attributed_s()).max(0.0),
+    ));
+    Span::with_children("compute", profile.total_s, children)
+}
+
+/// Stage timings one served request reports back through its ticket —
+/// the serve-side half of the span tree the transport assembles.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct StageReport {
+    /// Seconds from enqueue to batch admission.
+    pub queue_wait_s: f64,
+    /// Seconds from admission to the batch starting compute.
+    pub batch_assembly_s: f64,
+    /// Seconds of engine compute: the batch wall for unsampled
+    /// requests, the sample's own profiled forward when sampled.
+    pub compute_s: f64,
+    /// The full compute span with per-layer op children; `None` for
+    /// unsampled requests (the transport builds a childless compute
+    /// leaf from `compute_s` instead).
+    pub compute: Option<Span>,
+}
+
+/// One finished request's retained span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishedTrace {
+    /// Global record order within the ring (drains sort by it).
+    pub seq: u64,
+    /// Seconds since the server started, stamped at retention.
+    pub at_s: f64,
+    /// The request's trace id (ingress-generated or client-supplied).
+    pub trace_id: String,
+    /// Model the request targeted.
+    pub model: String,
+    /// Whether the request was head-sampled (its compute span carries
+    /// per-layer op children).
+    pub sampled: bool,
+    /// End-to-end seconds, first request byte to response written.
+    pub total_s: f64,
+    /// The `request` span.
+    pub root: Span,
+}
+
+/// A bounded, sharded ring of [`FinishedTrace`]s: same design as the
+/// event [`crate::trace::TraceBuffer`] — writers pick a shard by thread
+/// id, full shards evict their oldest entry (counted, not hidden), and
+/// reads merge shards in record order. Shard mutexes are leaf locks.
+pub(crate) struct SpanRing {
+    start: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    shards: Vec<Mutex<VecDeque<FinishedTrace>>>,
+}
+
+impl SpanRing {
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            shards: (0..SPAN_RING_SHARDS)
+                .map(|_| {
+                    Mutex::new(VecDeque::with_capacity(
+                        SPAN_RING_CAPACITY / SPAN_RING_SHARDS,
+                    ))
+                })
+                .collect(),
+        }
+    }
+
+    /// Retains one finished trace, assigning its ring sequence number
+    /// and retention timestamp.
+    pub fn record(&self, trace_id: String, model: String, sampled: bool, total_s: f64, root: Span) {
+        let trace = FinishedTrace {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            at_s: self.start.elapsed().as_secs_f64(),
+            trace_id,
+            model,
+            sampled,
+            total_s,
+            root,
+        };
+        let shard_idx = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            std::thread::current().id().hash(&mut h);
+            (h.finish() as usize) % self.shards.len().max(1)
+        };
+        if let Some(shard) = self.shards.get(shard_idx) {
+            let mut ring = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            if ring.len() >= SPAN_RING_CAPACITY / SPAN_RING_SHARDS {
+                ring.pop_front();
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+            ring.push_back(trace);
+        }
+    }
+
+    /// Drains every shard and returns the traces in record order.
+    pub fn take(&self) -> Vec<FinishedTrace> {
+        let mut traces: Vec<FinishedTrace> = Vec::new();
+        for shard in &self.shards {
+            let mut ring = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            traces.extend(ring.drain(..));
+        }
+        traces.sort_by_key(|t| t.seq);
+        traces
+    }
+
+    /// Copies every shard's traces in record order without draining —
+    /// the `?peek=1` read.
+    pub fn peek(&self) -> Vec<FinishedTrace> {
+        let mut traces: Vec<FinishedTrace> = Vec::new();
+        for shard in &self.shards {
+            let ring = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            traces.extend(ring.iter().cloned());
+        }
+        traces.sort_by_key(|t| t.seq);
+        traces
+    }
+
+    /// Traces evicted before being drained, since the server started.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vitcod_engine::{LayerOps, OP_COUNT};
+
+    fn trace_root() -> Span {
+        Span::with_children(
+            "request",
+            1.0,
+            vec![Span::leaf("parse", 0.1), Span::leaf("compute", 0.7)],
+        )
+    }
+
+    #[test]
+    fn sampler_rate_bounds_and_fraction() {
+        assert!(!Sampler::new(0.0).sample());
+        assert!(Sampler::new(1.0).sample());
+        let s = Sampler::new(0.25);
+        let hits = (0..1000).filter(|_| s.sample()).count();
+        assert_eq!(hits, 250, "deterministic quarter sampling");
+        // Out-of-range rates clamp instead of misbehaving.
+        assert!(Sampler::new(7.5).sample());
+        assert!(!Sampler::new(-1.0).sample());
+    }
+
+    #[test]
+    fn slow_threshold_prefers_half_the_deadline() {
+        let cfg = TracingConfig {
+            slow_threshold: Some(Duration::from_secs(3)),
+            ..Default::default()
+        };
+        assert_eq!(
+            cfg.slow_threshold_for(Some(Duration::from_secs(4))),
+            Some(Duration::from_secs(2))
+        );
+        assert_eq!(cfg.slow_threshold_for(None), Some(Duration::from_secs(3)));
+        assert_eq!(TracingConfig::default().slow_threshold_for(None), None);
+    }
+
+    #[test]
+    fn compute_span_partitions_exactly() {
+        let mut layer = LayerOps::default();
+        for i in 0..OP_COUNT {
+            layer.seconds[i] = 0.001 * (i + 1) as f64;
+        }
+        let profile = OpProfile {
+            layers: vec![layer, layer],
+            total_s: 0.1,
+        };
+        let span = compute_span(&profile);
+        assert_eq!(span.name, "compute");
+        assert!((span.duration_s - 0.1).abs() < 1e-12);
+        // Layers plus the `other` leaf partition compute exactly.
+        assert_eq!(span.children.len(), 3);
+        assert!((span.children_s() - span.duration_s).abs() < 1e-9);
+        for (i, layer_span) in span.children[..2].iter().enumerate() {
+            assert_eq!(layer_span.name, format!("layer{i}"));
+            assert_eq!(layer_span.children.len(), OP_COUNT);
+            assert!((layer_span.children_s() - layer_span.duration_s).abs() < 1e-9);
+            let names: Vec<&str> = layer_span
+                .children
+                .iter()
+                .map(|c| c.name.as_str())
+                .collect();
+            assert_eq!(names, OP_NAMES.to_vec());
+        }
+        assert_eq!(span.children[2].name, "other");
+    }
+
+    #[test]
+    fn ring_records_in_order_peeks_without_draining_and_counts_evictions() {
+        let ring = SpanRing::new();
+        let per_shard = SPAN_RING_CAPACITY / SPAN_RING_SHARDS;
+        for i in 0..per_shard + 5 {
+            ring.record(format!("t{i}"), "m".into(), false, 0.5, trace_root());
+        }
+        let peeked = ring.peek();
+        assert_eq!(peeked.len(), per_shard);
+        assert_eq!(ring.dropped(), 5);
+        assert!(peeked.windows(2).all(|w| w[0].seq < w[1].seq));
+        // Oldest evicted; peek left everything in place for take.
+        assert_eq!(peeked.first().map(|t| t.trace_id.as_str()), Some("t5"));
+        assert_eq!(ring.take(), peeked);
+        assert!(ring.take().is_empty());
+    }
+}

@@ -25,6 +25,8 @@ use std::collections::HashMap;
 use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
+use vitcod_engine::{OP_COUNT, OP_NAMES};
+
 /// Per-request latency samples kept per model; older samples are
 /// discarded ring-buffer style so a long-lived server's snapshot cost
 /// stays bounded. Saturation sets
@@ -117,7 +119,10 @@ impl Default for Histogram {
 
 impl Histogram {
     fn observe(&mut self, d: Duration) {
-        let s = d.as_secs_f64();
+        self.observe_s(d.as_secs_f64());
+    }
+
+    fn observe_s(&mut self, s: f64) {
         if let Some(slot) = self.counts.get_mut(bucket_index(s)) {
             *slot += 1;
         }
@@ -241,6 +246,15 @@ struct ModelAccum {
     batch_assembly: Histogram,
     compute: Histogram,
     serialize: Histogram,
+    /// Engine busy seconds: each drained batch's compute wall, summed
+    /// once per batch (the compute histogram above observes the wall
+    /// once per *request*) — the denominator of the achieved-Gop/s
+    /// gauge.
+    compute_batch_s: f64,
+    /// Per-op seconds from profiled forwards, one observation per
+    /// sampled request per op (summed over layers); allocated lazily on
+    /// the first profiled batch.
+    ops: Vec<Histogram>,
 }
 
 /// A point-in-time snapshot of one model's serving statistics.
@@ -286,6 +300,21 @@ pub struct ModelStats {
     pub batch_fill: Vec<u64>,
     /// Served requests per second of server uptime.
     pub requests_per_s: f64,
+    /// Engine busy seconds: each drained batch's compute wall summed
+    /// once per batch.
+    pub compute_batch_s: f64,
+    /// Per-op latency histograms from profiled (head-sampled) forwards,
+    /// in [`vitcod_engine::OP_NAMES`] order — the
+    /// `vitcod_engine_op_seconds{model,op}` series. Empty until the
+    /// model serves its first sampled request, keeping the exposition's
+    /// cardinality bounded at 7 ops regardless of model depth.
+    pub ops: Vec<(&'static str, HistogramSnapshot)>,
+    /// Live achieved arithmetic throughput in Gop/s —
+    /// `ops_per_sample × requests / compute_batch_s / 10⁹` — enriched
+    /// from the engine's analytic op count by
+    /// [`crate::Server::stats`]; `None` straight out of
+    /// [`StatsRecorder::snapshot`] or before any batch completed.
+    pub achieved_gops: Option<f64>,
 }
 
 /// A point-in-time snapshot of a server's statistics, one entry per
@@ -337,15 +366,17 @@ impl StatsRecorder {
         inner.entry(model.to_string()).or_default().timed_out += 1;
     }
 
-    /// Records one drained batch: its fill and every request's
-    /// end-to-end latency and per-stage breakdown.
-    pub fn record_batch(&self, model: &str, timings: &[RequestTiming]) {
+    /// Records one drained batch: its compute wall (engine busy time,
+    /// counted once per batch), its fill and every request's end-to-end
+    /// latency and per-stage breakdown.
+    pub fn record_batch(&self, model: &str, batch_compute: Duration, timings: &[RequestTiming]) {
         let fill = timings.len();
         if fill == 0 {
             return;
         }
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         let accum = inner.entry(model.to_string()).or_default();
+        accum.compute_batch_s += batch_compute.as_secs_f64();
         accum.batches += 1;
         accum.requests += fill as u64;
         if accum.fill_histogram.len() < fill {
@@ -370,6 +401,25 @@ impl StatsRecorder {
             accum.queue_wait.observe(t.queue_wait);
             accum.batch_assembly.observe(t.batch_assembly);
             accum.compute.observe(t.compute);
+        }
+    }
+
+    /// Records the per-op seconds of profiled (head-sampled) forwards:
+    /// one `[f64; OP_COUNT]` per sampled request, each op's seconds
+    /// already summed over layers ([`vitcod_engine::OpProfile::op_totals`]).
+    pub fn record_ops(&self, model: &str, per_sample: &[[f64; OP_COUNT]]) {
+        if per_sample.is_empty() {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        let accum = inner.entry(model.to_string()).or_default();
+        if accum.ops.len() < OP_COUNT {
+            accum.ops = vec![Histogram::default(); OP_COUNT];
+        }
+        for sample in per_sample {
+            for (hist, &s) in accum.ops.iter_mut().zip(sample) {
+                hist.observe_s(s);
+            }
         }
     }
 
@@ -429,6 +479,14 @@ impl StatsRecorder {
                     } else {
                         0.0
                     },
+                    compute_batch_s: a.compute_batch_s,
+                    ops: a
+                        .ops
+                        .iter()
+                        .zip(OP_NAMES)
+                        .map(|(h, name)| (name, h.snapshot()))
+                        .collect(),
+                    achieved_gops: None,
                 }
             })
             .collect();
@@ -464,8 +522,8 @@ mod tests {
     #[test]
     fn percentiles_and_histogram_track_recorded_batches() {
         let r = StatsRecorder::new();
-        r.record_batch("m", &timings(&[10, 20, 30]));
-        r.record_batch("m", &timings(&[40]));
+        r.record_batch("m", Duration::from_millis(30), &timings(&[10, 20, 30]));
+        r.record_batch("m", Duration::from_millis(40), &timings(&[40]));
         let s = r.snapshot(1.0);
         let m = s.model("m").expect("model recorded");
         assert_eq!(m.requests, 4);
@@ -480,6 +538,33 @@ mod tests {
         assert_eq!(m.latency_histogram.count, 4);
         assert_eq!(s.total_requests(), 4);
         assert!(s.model("other").is_none());
+        // The compute wall accumulates once per batch, not per request.
+        assert!((m.compute_batch_s - 0.070).abs() < 1e-9);
+        // Never profiled: no per-op series, and the recorder leaves the
+        // gauge for the server to enrich.
+        assert!(m.ops.is_empty());
+        assert_eq!(m.achieved_gops, None);
+    }
+
+    #[test]
+    fn op_histograms_observe_per_sample_in_name_order() {
+        let r = StatsRecorder::new();
+        let mut a = [0.0f64; OP_COUNT];
+        let mut b = [0.0f64; OP_COUNT];
+        for i in 0..OP_COUNT {
+            a[i] = 0.001 * (i + 1) as f64;
+            b[i] = 0.002 * (i + 1) as f64;
+        }
+        r.record_ops("m", &[a, b]);
+        r.record_ops("m", &[]); // no-op
+        let s = r.snapshot(1.0);
+        let m = s.model("m").expect("recorded");
+        assert_eq!(m.ops.len(), OP_COUNT);
+        for (i, (name, h)) in m.ops.iter().enumerate() {
+            assert_eq!(*name, OP_NAMES[i]);
+            assert_eq!(h.count, 2, "{name}");
+            assert!((h.sum_s - 0.003 * (i + 1) as f64).abs() < 1e-9, "{name}");
+        }
     }
 
     #[test]
@@ -504,6 +589,7 @@ mod tests {
         let r = StatsRecorder::new();
         r.record_batch(
             "m",
+            Duration::from_millis(5),
             &[RequestTiming {
                 total: Duration::from_millis(10),
                 queue_wait: Duration::from_millis(2),

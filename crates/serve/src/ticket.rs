@@ -25,6 +25,8 @@ use std::time::{Duration, Instant};
 
 use vitcod_engine::Prediction;
 
+use crate::spans::StageReport;
+
 /// Why a deadline-aware wait did not produce a prediction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RequestError {
@@ -64,6 +66,10 @@ enum State {
 pub(crate) struct TicketInner {
     state: Mutex<State>,
     ready: Condvar,
+    /// Per-stage timing filled in by the worker just before completion;
+    /// a separate leaf mutex so span bookkeeping never contends with
+    /// waiters parked on `state`.
+    report: Mutex<Option<StageReport>>,
 }
 
 impl TicketInner {
@@ -71,7 +77,14 @@ impl TicketInner {
         Arc::new(Self {
             state: Mutex::new(State::Pending),
             ready: Condvar::new(),
+            report: Mutex::new(None),
         })
+    }
+
+    /// Attaches the per-stage timing report. Called by the worker before
+    /// [`TicketInner::complete`] so a woken waiter always observes it.
+    pub fn set_report(&self, report: StageReport) {
+        *self.report.lock().unwrap_or_else(PoisonError::into_inner) = Some(report);
     }
 
     /// Resolves the ticket. A pending ticket becomes ready; an expired
@@ -139,6 +152,18 @@ impl Ticket {
                 None
             }
         }
+    }
+
+    /// Takes the per-stage timing report, if the worker attached one.
+    /// Present after a successful wait/take on every served request
+    /// (span-tree detail only on sampled ones); `None` before service
+    /// and forever after the first `Some`.
+    pub fn take_stage_report(&self) -> Option<StageReport> {
+        self.inner
+            .report
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .take()
     }
 
     /// Whether the prediction has arrived and has not been taken yet.

@@ -140,6 +140,19 @@ impl TraceBuffer {
         events
     }
 
+    /// Copies every shard's events in record order **without draining**
+    /// — the `?peek=1` read for scraping tools, which must not race a
+    /// human draining the ring.
+    pub fn peek(&self) -> Vec<TraceEvent> {
+        let mut events: Vec<TraceEvent> = Vec::new();
+        for shard in &self.shards {
+            let ring = shard.lock().unwrap_or_else(PoisonError::into_inner);
+            events.extend(ring.iter().cloned());
+        }
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
     /// Events evicted before being drained (ring saturation), since the
     /// server started.
     pub fn dropped(&self) -> u64 {
@@ -166,6 +179,20 @@ mod tests {
         assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
         assert!(b.take().is_empty(), "take drains");
         assert_eq!(b.dropped(), 0);
+    }
+
+    #[test]
+    fn peek_is_non_destructive() {
+        let b = TraceBuffer::new();
+        b.record(TraceKind::Enqueue, "m", 1);
+        b.record(TraceKind::Dispatch, "m", 1);
+        let peeked = b.peek();
+        assert_eq!(peeked.len(), 2);
+        assert!(peeked.windows(2).all(|w| w[0].seq < w[1].seq));
+        // A second peek sees the same events; a take still drains them.
+        assert_eq!(b.peek(), peeked);
+        assert_eq!(b.take(), peeked);
+        assert!(b.peek().is_empty());
     }
 
     #[test]

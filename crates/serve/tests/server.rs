@@ -11,7 +11,7 @@ use rand_chacha::ChaCha8Rng;
 use vitcod_autograd::ParamStore;
 use vitcod_engine::{save_compiled_vit, CompiledVit, Engine, Precision};
 use vitcod_model::{Sample, SparsityPlan, ViTConfig, VisionTransformer};
-use vitcod_serve::{BatchConfig, ModelRegistry, Server, SubmitError};
+use vitcod_serve::{BatchConfig, ModelRegistry, Server, Span, SubmitError, TracingConfig};
 use vitcod_tensor::{Initializer, Matrix};
 
 const IN_DIM: usize = 8;
@@ -634,4 +634,83 @@ fn stage_histograms_partition_the_end_to_end_latency() {
         (m.latency_histogram.mean_s() - e2e_sum / total as f64).abs() < 1e-12,
         "histogram mean must be sum/count"
     );
+}
+
+/// Head-sampled requests report a compute span tree that exactly
+/// partitions into per-layer op leaves; unsampled requests report only
+/// stage totals; per-op histograms and the achieved-Gop/s gauge land in
+/// the stats; and the span rings round-trip with a non-destructive peek.
+#[test]
+fn traced_submits_report_partitioned_span_trees_and_op_stats() {
+    let model = tiny_model(21, true);
+    let depth = model.config().depth;
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    let server = Server::start_with_tracing(
+        registry,
+        BatchConfig {
+            max_batch_size: 2,
+            max_wait: Duration::from_millis(5),
+            queue_capacity: 64,
+            workers: 1,
+        },
+        TracingConfig {
+            sample_rate: 1.0,
+            slow_threshold: None,
+        },
+    );
+    let client = server.client();
+    assert!(client.sample_trace(), "rate 1.0 samples every request");
+
+    let sampled = client
+        .submit_traced("m", tokens_for(&model, 1), None, true)
+        .unwrap();
+    assert!(sampled.wait_timeout(Duration::from_secs(60)).is_ok());
+    let report = sampled.take_stage_report().expect("sampled report");
+    assert!(report.queue_wait_s >= 0.0 && report.batch_assembly_s >= 0.0);
+    let compute = report.compute.expect("sampled compute span");
+    assert_eq!(compute.name, "compute");
+    assert!((compute.duration_s - report.compute_s).abs() < 1e-12);
+    // Layers plus the `other` leaf partition compute exactly, and every
+    // layer partitions into the engine's named ops.
+    assert_eq!(compute.children.len(), depth + 1);
+    assert!((compute.children_s() - compute.duration_s).abs() < 1e-9);
+    for (i, layer) in compute.children[..depth].iter().enumerate() {
+        assert_eq!(layer.name, format!("layer{i}"));
+        let names: Vec<&str> = layer.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vitcod_engine::OP_NAMES.to_vec());
+        assert!((layer.children_s() - layer.duration_s).abs() < 1e-9);
+    }
+
+    let plain = client.submit("m", tokens_for(&model, 2)).unwrap();
+    assert!(plain.wait_timeout(Duration::from_secs(60)).is_ok());
+    let report = plain.take_stage_report().expect("unsampled report");
+    assert!(report.compute.is_none(), "fast path carries no span tree");
+    assert!(report.compute_s > 0.0);
+
+    let stats = server.stats();
+    let m = stats.model("m").unwrap();
+    assert_eq!(m.ops.len(), vitcod_engine::OP_COUNT);
+    assert!(m.ops.iter().all(|(_, h)| h.count >= 1));
+    assert!(m.achieved_gops.expect("gauge enriched from the engine") > 0.0);
+    assert!(m.compute_batch_s > 0.0);
+
+    // Ring round trip: record → peek (non-destructive) → take (drains).
+    client.record_trace("t-1".into(), "m".into(), 0.5, Span::leaf("request", 0.5));
+    client.record_slow(
+        "t-1".into(),
+        "m".into(),
+        true,
+        0.6,
+        Span::leaf("request", 0.6),
+    );
+    assert_eq!(client.peek_traces().len(), 1);
+    assert_eq!(client.take_traces().len(), 1);
+    assert!(client.take_traces().is_empty());
+    assert_eq!(client.peek_slowlog().len(), 1);
+    assert_eq!(server.take_slowlog().len(), 1);
+    assert_eq!(client.traces_dropped() + client.slowlog_dropped(), 0);
+    server.shutdown();
 }

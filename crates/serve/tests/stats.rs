@@ -35,7 +35,7 @@ fn percentiles_match_exact_sort_across_ring_rollover() {
         batch.push(timing_ms(latency_ms(i)));
         recorded.push(latency_ms(i) as f64 / 1e3);
         if batch.len() == 256 {
-            r.record_batch("m", &batch);
+            r.record_batch("m", Duration::from_millis(1), &batch);
             batch.clear();
         }
     }
@@ -69,7 +69,7 @@ fn percentiles_match_exact_sort_across_ring_rollover() {
 fn truncation_flag_stays_clear_below_capacity() {
     let r = StatsRecorder::new();
     let batch: Vec<RequestTiming> = (0..1000).map(|i| timing_ms(i % 50 + 1)).collect();
-    r.record_batch("m", &batch);
+    r.record_batch("m", Duration::from_millis(1), &batch);
     let m = r.snapshot(1.0);
     let m = m.model("m").expect("recorded");
     assert!(!m.latency_samples_truncated);
@@ -90,7 +90,7 @@ fn concurrent_recording_and_snapshotting_stays_consistent() {
                     let batch: Vec<RequestTiming> = (0..FILL)
                         .map(|i| timing_ms((w * 7 + b + i) as u64 % 100 + 1))
                         .collect();
-                    r.record_batch("m", &batch);
+                    r.record_batch("m", Duration::from_millis(1), &batch);
                     if b % 3 == 0 {
                         r.record_timeout("m");
                     }
@@ -164,7 +164,7 @@ fn histogram_boundaries_hold_through_the_public_api() {
         .iter()
         .map(|&s| RequestTiming::from_total(Duration::from_secs_f64(s)))
         .collect();
-    r.record_batch("m", &timings);
+    r.record_batch("m", Duration::from_millis(1), &timings);
     let snap = r.snapshot(1.0);
     let h = &snap.model("m").expect("recorded").latency_histogram;
     assert_eq!(
@@ -187,7 +187,7 @@ fn histogram_boundaries_hold_through_the_public_api() {
 fn quantile_estimate_brackets_the_exact_value() {
     let r = StatsRecorder::new();
     let batch: Vec<RequestTiming> = (1..=1000).map(timing_ms).collect();
-    r.record_batch("m", &batch);
+    r.record_batch("m", Duration::from_millis(1), &batch);
     let s = r.snapshot(1.0);
     let m = s.model("m").expect("recorded");
     // The histogram's interpolated quantile must bracket the exact one

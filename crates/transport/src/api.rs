@@ -20,7 +20,7 @@
 use std::fmt;
 
 use vitcod_engine::Prediction;
-use vitcod_serve::{HistogramSnapshot, ModelStats, ServerStats, TraceEvent};
+use vitcod_serve::{FinishedTrace, HistogramSnapshot, ModelStats, ServerStats, Span, TraceEvent};
 use vitcod_tensor::Matrix;
 
 use crate::json::Json;
@@ -210,6 +210,23 @@ fn model_stats_json(m: &ModelStats) -> Json {
             ),
         ),
         ("requests_per_s".into(), Json::Number(m.requests_per_s)),
+        ("compute_batch_s".into(), Json::Number(m.compute_batch_s)),
+        (
+            "ops".into(),
+            Json::Object(
+                m.ops
+                    .iter()
+                    .map(|(name, h)| (name.to_string(), stage_json(h)))
+                    .collect(),
+            ),
+        ),
+        (
+            "achieved_gops".into(),
+            match m.achieved_gops {
+                Some(g) => Json::Number(g),
+                None => Json::Null,
+            },
+        ),
     ])
 }
 
@@ -253,6 +270,46 @@ pub fn trace_json(events: &[TraceEvent], dropped: u64) -> Json {
                             ("kind".into(), Json::String(e.kind.as_str().into())),
                             ("model".into(), Json::String(e.model.clone())),
                             ("n".into(), Json::Number(e.n as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("dropped".into(), Json::Number(dropped as f64)),
+    ])
+}
+
+/// Encodes one span-tree node recursively: name, duration, children.
+pub fn span_json(span: &Span) -> Json {
+    Json::Object(vec![
+        ("name".into(), Json::String(span.name.clone())),
+        ("duration_s".into(), Json::Number(span.duration_s)),
+        (
+            "children".into(),
+            Json::Array(span.children.iter().map(span_json).collect()),
+        ),
+    ])
+}
+
+/// Encodes a drained (or peeked) span-tree ring — the shared body shape
+/// of `GET /v1/traces` and `GET /v1/slowlog`: the retained trees in
+/// record order plus the ring's lifetime eviction counter.
+pub fn traces_json(traces: &[FinishedTrace], dropped: u64) -> Json {
+    Json::Object(vec![
+        (
+            "traces".into(),
+            Json::Array(
+                traces
+                    .iter()
+                    .map(|t| {
+                        Json::Object(vec![
+                            ("seq".into(), Json::Number(t.seq as f64)),
+                            ("at_s".into(), Json::Number(t.at_s)),
+                            ("trace_id".into(), Json::String(t.trace_id.clone())),
+                            ("model".into(), Json::String(t.model.clone())),
+                            ("sampled".into(), Json::Bool(t.sampled)),
+                            ("total_s".into(), Json::Number(t.total_s)),
+                            ("root".into(), span_json(&t.root)),
                         ])
                     })
                     .collect(),

@@ -33,7 +33,7 @@ impl HttpClient {
     ///
     /// I/O errors, or `InvalidData` on a malformed response.
     pub fn get(&mut self, path: &str) -> io::Result<HttpResponse> {
-        self.request("GET", path, None)
+        self.request("GET", path, None, None)
     }
 
     /// Sends a `POST` with a JSON body and reads the response.
@@ -42,7 +42,22 @@ impl HttpClient {
     ///
     /// I/O errors, or `InvalidData` on a malformed response.
     pub fn post(&mut self, path: &str, body: &str) -> io::Result<HttpResponse> {
-        self.request("POST", path, Some(body))
+        self.request("POST", path, Some(body), None)
+    }
+
+    /// Sends a `POST` carrying one extra header (e.g.
+    /// `x-vitcod-trace-id` to force a request into the span sampler).
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, or `InvalidData` on a malformed response.
+    pub fn post_with_header(
+        &mut self,
+        path: &str,
+        body: &str,
+        header: (&str, &str),
+    ) -> io::Result<HttpResponse> {
+        self.request("POST", path, Some(body), Some(header))
     }
 
     fn request(
@@ -50,10 +65,14 @@ impl HttpClient {
         method: &str,
         path: &str,
         body: Option<&str>,
+        extra: Option<(&str, &str)>,
     ) -> io::Result<HttpResponse> {
         let body = body.unwrap_or("");
+        let extra = extra
+            .map(|(k, v)| format!("{k}: {v}\r\n"))
+            .unwrap_or_default();
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: vitcod\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: vitcod\r\nContent-Type: application/json\r\n{extra}Content-Length: {}\r\n\r\n",
             body.len()
         );
         self.stream.write_all(head.as_bytes())?;

@@ -91,6 +91,9 @@ pub struct HttpRequest {
     pub method: String,
     /// Request target with any query string stripped (`/v1/stats`).
     pub path: String,
+    /// The query string, without the leading `?` (empty when absent) —
+    /// the ring endpoints read their `peek=1` flag from it.
+    pub query: String,
     /// Header name/value pairs, names lower-cased.
     pub headers: Vec<(String, String)>,
     /// The body, exactly `Content-Length` bytes.
@@ -144,7 +147,10 @@ pub fn parse_request(
     {
         return Err(HttpParseError::BadRequestLine);
     }
-    let path = target.split('?').next().unwrap_or("").to_string();
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -200,6 +206,7 @@ pub fn parse_request(
     let request = HttpRequest {
         method,
         path,
+        query,
         headers,
         body: buf[body_start..body_start + content_length].to_vec(),
         keep_alive,
@@ -375,6 +382,7 @@ mod tests {
         let (req, used) = parse_request(raw, &limits()).unwrap().unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/v1/models/m/classify");
+        assert_eq!(req.query, "x=1");
         assert_eq!(req.body, b"abcd");
         assert!(req.keep_alive);
         assert_eq!(&raw[used..], b"EXTRA");

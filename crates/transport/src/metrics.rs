@@ -15,6 +15,8 @@
 //! | `vitcod_uptime_seconds` | gauge | — |
 //! | `vitcod_queue_depth` | gauge | — |
 //! | `vitcod_trace_dropped_total` | counter | — |
+//! | `vitcod_traces_dropped_total` | counter | — |
+//! | `vitcod_slowlog_dropped_total` | counter | — |
 //! | `vitcod_requests_total` | counter | `model` |
 //! | `vitcod_timeouts_total` | counter | `model` |
 //! | `vitcod_batches_total` | counter | `model` |
@@ -23,6 +25,15 @@
 //! | `vitcod_batch_fill` | histogram | `model` |
 //! | `vitcod_request_latency_seconds` | histogram | `model` |
 //! | `vitcod_stage_latency_seconds` | histogram | `model`, `stage` |
+//! | `vitcod_engine_op_seconds` | histogram | `model`, `op` |
+//! | `vitcod_engine_achieved_gops` | gauge | `model` |
+//!
+//! **Cardinality policy**: `vitcod_engine_op_seconds` labels by op name
+//! only — per-op seconds are summed over layers before they reach the
+//! histogram, so the series count per model is bounded at the engine's
+//! seven named ops regardless of model depth. Per-layer detail lives
+//! exclusively in sampled span trees (`GET /v1/traces`), never in the
+//! exposition.
 
 use std::fmt::Write as _;
 
@@ -104,10 +115,21 @@ fn fill_histogram(out: &mut String, name: &str, labels: &str, fills: &[u64]) {
     let _ = writeln!(out, "{name}_count{{{labels}}} {cum}");
 }
 
-/// Renders the full exposition body from a stats snapshot plus the two
-/// live gauges the snapshot does not carry (ingress queue depth and the
-/// trace ring's eviction counter).
-pub fn render(stats: &ServerStats, queued: usize, trace_dropped: u64) -> String {
+/// The three ring-eviction counters the snapshot does not carry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RingDrops {
+    /// Event-trace ring evictions (`/v1/trace`).
+    pub trace: u64,
+    /// Sampled span-tree ring evictions (`/v1/traces`).
+    pub traces: u64,
+    /// Slow-request ring evictions (`/v1/slowlog`).
+    pub slowlog: u64,
+}
+
+/// Renders the full exposition body from a stats snapshot plus the
+/// live values the snapshot does not carry (ingress queue depth and
+/// the ring eviction counters).
+pub fn render(stats: &ServerStats, queued: usize, drops: RingDrops) -> String {
     let mut out = String::with_capacity(4096);
 
     header(
@@ -132,7 +154,23 @@ pub fn render(stats: &ServerStats, queued: usize, trace_dropped: u64) -> String 
         "counter",
         "Trace events evicted from the ring before being drained.",
     );
-    let _ = writeln!(out, "vitcod_trace_dropped_total {trace_dropped}");
+    let _ = writeln!(out, "vitcod_trace_dropped_total {}", drops.trace);
+
+    header(
+        &mut out,
+        "vitcod_traces_dropped_total",
+        "counter",
+        "Sampled span trees evicted from the traces ring before being drained.",
+    );
+    let _ = writeln!(out, "vitcod_traces_dropped_total {}", drops.traces);
+
+    header(
+        &mut out,
+        "vitcod_slowlog_dropped_total",
+        "counter",
+        "Slow-request traces evicted from the slowlog ring before being drained.",
+    );
+    let _ = writeln!(out, "vitcod_slowlog_dropped_total {}", drops.slowlog);
 
     header(
         &mut out,
@@ -250,6 +288,36 @@ pub fn render(stats: &ServerStats, queued: usize, trace_dropped: u64) -> String 
         }
     }
 
+    header(
+        &mut out,
+        "vitcod_engine_op_seconds",
+        "histogram",
+        "Per-op engine compute seconds from profiled (head-sampled) forwards, summed over layers.",
+    );
+    for m in &stats.models {
+        for (op, h) in &m.ops {
+            let labels = format!("model=\"{}\",op=\"{op}\"", escape_label(&m.model));
+            histogram(&mut out, "vitcod_engine_op_seconds", &labels, h);
+        }
+    }
+
+    header(
+        &mut out,
+        "vitcod_engine_achieved_gops",
+        "gauge",
+        "Achieved arithmetic throughput in Gop/s (analytic ops per sample x served samples / engine busy seconds).",
+    );
+    for m in &stats.models {
+        if let Some(gops) = m.achieved_gops {
+            let _ = writeln!(
+                out,
+                "vitcod_engine_achieved_gops{{model=\"{}\"}} {}",
+                escape_label(&m.model),
+                num(gops)
+            );
+        }
+    }
+
     out
 }
 
@@ -265,6 +333,7 @@ mod tests {
         let r = StatsRecorder::new();
         r.record_batch(
             "deit\"tiny",
+            Duration::from_millis(5),
             &[
                 RequestTiming {
                     total: Duration::from_millis(10),
@@ -277,16 +346,35 @@ mod tests {
         );
         r.record_serialize("deit\"tiny", Duration::from_micros(100));
         r.record_timeout("deit\"tiny");
-        r.snapshot(12.5)
+        let mut ops = [0.0f64; vitcod_engine::OP_COUNT];
+        for (i, slot) in ops.iter_mut().enumerate() {
+            *slot = 1e-4 * (i + 1) as f64;
+        }
+        r.record_ops("deit\"tiny", &[ops]);
+        let mut stats = r.snapshot(12.5);
+        for m in &mut stats.models {
+            m.achieved_gops = Some(3.25);
+        }
+        stats
+    }
+
+    fn drops() -> RingDrops {
+        RingDrops {
+            trace: 7,
+            traces: 2,
+            slowlog: 1,
+        }
     }
 
     #[test]
     fn exposition_carries_every_family() {
-        let body = render(&sample_stats(), 3, 7);
+        let body = render(&sample_stats(), 3, drops());
         for family in [
             "vitcod_uptime_seconds",
             "vitcod_queue_depth",
             "vitcod_trace_dropped_total",
+            "vitcod_traces_dropped_total",
+            "vitcod_slowlog_dropped_total",
             "vitcod_requests_total",
             "vitcod_timeouts_total",
             "vitcod_batches_total",
@@ -295,6 +383,8 @@ mod tests {
             "vitcod_batch_fill",
             "vitcod_request_latency_seconds",
             "vitcod_stage_latency_seconds",
+            "vitcod_engine_op_seconds",
+            "vitcod_engine_achieved_gops",
         ] {
             assert!(
                 body.contains(&format!("# TYPE {family}")),
@@ -303,19 +393,38 @@ mod tests {
         }
         assert!(body.contains("vitcod_queue_depth 3"));
         assert!(body.contains("vitcod_trace_dropped_total 7"));
+        assert!(body.contains("vitcod_traces_dropped_total 2"));
+        assert!(body.contains("vitcod_slowlog_dropped_total 1"));
         assert!(body.contains("vitcod_uptime_seconds 12.5"));
     }
 
     #[test]
+    fn op_series_stay_bounded_at_the_named_ops_and_gauge_renders() {
+        let body = render(&sample_stats(), 0, RingDrops::default());
+        for op in vitcod_engine::OP_NAMES {
+            assert!(
+                body.contains(&format!("op=\"{op}\"")),
+                "missing op series {op}"
+            );
+        }
+        // Cardinality policy: ops are labelled by name only — no
+        // per-layer labels ever reach the exposition.
+        assert!(!body.contains("layer="));
+        let series = body.matches("vitcod_engine_op_seconds_count{").count();
+        assert_eq!(series, vitcod_engine::OP_NAMES.len());
+        assert!(body.contains("vitcod_engine_achieved_gops{model=\"deit\\\"tiny\"} 3.25"));
+    }
+
+    #[test]
     fn label_values_are_escaped() {
-        let body = render(&sample_stats(), 0, 0);
+        let body = render(&sample_stats(), 0, RingDrops::default());
         assert!(body.contains(r#"model="deit\"tiny""#), "{body}");
         assert!(!body.contains("model=\"deit\"tiny\""));
     }
 
     #[test]
     fn histogram_buckets_are_cumulative_and_close_at_inf() {
-        let body = render(&sample_stats(), 0, 0);
+        let body = render(&sample_stats(), 0, RingDrops::default());
         // Each histogram's +Inf bucket equals its _count.
         let mut last_counts: Vec<(String, u64)> = Vec::new();
         for line in body.lines() {
@@ -355,7 +464,7 @@ mod tests {
 
     #[test]
     fn stage_series_cover_all_four_stages() {
-        let body = render(&sample_stats(), 0, 0);
+        let body = render(&sample_stats(), 0, RingDrops::default());
         for stage in ["queue_wait", "batch_assembly", "compute", "serialize"] {
             assert!(
                 body.contains(&format!("stage=\"{stage}\"")),

@@ -6,8 +6,13 @@
 //! | GET    | `/v1/stats`                   | serving statistics snapshot |
 //! | GET    | `/v1/metrics`                 | Prometheus text exposition  |
 //! | GET    | `/v1/trace`                   | drain the event-trace ring  |
+//! | GET    | `/v1/traces`                  | drain sampled span trees    |
+//! | GET    | `/v1/slowlog`                 | drain the slow-request log  |
 //! | POST   | `/v1/models/{id}/classify`    | classify (single or batch)  |
 //! | POST   | `/v1/models/{id}/reload`      | hot-swap the model artifact |
+//!
+//! The three ring endpoints accept `?peek=1` for a non-destructive
+//! read.
 
 /// A resolved endpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -20,6 +25,10 @@ pub enum Route {
     Metrics,
     /// `GET /v1/trace`.
     Trace,
+    /// `GET /v1/traces`.
+    Traces,
+    /// `GET /v1/slowlog`.
+    Slowlog,
     /// `POST /v1/models/{id}/classify`.
     Classify {
         /// The model id from the path.
@@ -84,6 +93,20 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
                 Err(RouteError::MethodNotAllowed)
             }
         }
+        "/v1/traces" => {
+            if method == "GET" {
+                Ok(Route::Traces)
+            } else {
+                Err(RouteError::MethodNotAllowed)
+            }
+        }
+        "/v1/slowlog" => {
+            if method == "GET" {
+                Ok(Route::Slowlog)
+            } else {
+                Err(RouteError::MethodNotAllowed)
+            }
+        }
         _ => match model_action(path) {
             Some((model, action)) if action == "classify" || action == "reload" => {
                 if method != "POST" {
@@ -110,6 +133,8 @@ mod tests {
         assert_eq!(route("GET", "/v1/stats"), Ok(Route::Stats));
         assert_eq!(route("GET", "/v1/metrics"), Ok(Route::Metrics));
         assert_eq!(route("GET", "/v1/trace"), Ok(Route::Trace));
+        assert_eq!(route("GET", "/v1/traces"), Ok(Route::Traces));
+        assert_eq!(route("GET", "/v1/slowlog"), Ok(Route::Slowlog));
         assert_eq!(
             route("POST", "/v1/models/deit-tiny/classify"),
             Ok(Route::Classify {
@@ -131,6 +156,14 @@ mod tests {
         );
         assert_eq!(
             route("POST", "/v1/trace"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("POST", "/v1/traces"),
+            Err(RouteError::MethodNotAllowed)
+        );
+        assert_eq!(
+            route("POST", "/v1/slowlog"),
             Err(RouteError::MethodNotAllowed)
         );
         assert_eq!(

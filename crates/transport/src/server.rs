@@ -25,7 +25,9 @@ use std::time::{Duration, Instant};
 
 use vitcod_engine::{load_compiled_vit, Engine};
 use vitcod_serve::queue::{BoundedQueue, Pop};
-use vitcod_serve::{Client, RequestError, Server, ServerStats, SubmitError, Ticket};
+use vitcod_serve::{
+    Client, RequestError, Server, ServerStats, Span, StageReport, SubmitError, Ticket,
+};
 
 use crate::api;
 use crate::http::{self, Limits};
@@ -39,6 +41,26 @@ const JSON_TYPE: &str = "application/json";
 
 /// How often blocked socket reads wake up to check the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// The header a client uses to bring its own trace id. Its presence
+/// forces head sampling for that request.
+pub const TRACE_ID_HEADER: &str = "x-vitcod-trace-id";
+
+/// An ingress-generated trace id: a per-process random-ish prefix
+/// (boot-time nanos) plus a monotonic counter — unique within a process
+/// and practically unique across restarts, with no RNG dependency.
+fn next_trace_id() -> String {
+    static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    static PREFIX: std::sync::OnceLock<u64> = std::sync::OnceLock::new();
+    let prefix = PREFIX.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed)
+    });
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    format!("{prefix:016x}-{n}")
+}
 
 /// Transport tuning knobs; see [`HttpServer::bind`].
 #[derive(Debug, Clone)]
@@ -55,6 +77,13 @@ pub struct TransportConfig {
     /// Idle keep-alive connections (and stalled mid-request reads) are
     /// closed after this long without a byte.
     pub idle_timeout: Duration,
+    /// A request whose first byte has arrived must parse completely
+    /// within this budget, however steadily bytes trickle in — the
+    /// slow-loris defense (`idle_timeout` alone resets on every byte,
+    /// so one header byte per poll interval would pin a handler
+    /// forever). Idle time *between* keep-alive requests is governed
+    /// by [`TransportConfig::idle_timeout`] instead.
+    pub request_deadline: Duration,
     /// Directory `POST …/reload` may load `*.vitcod` artifacts from.
     /// `None` (the default) disables wire-triggered reloads entirely:
     /// an unauthenticated endpoint that reads operator-chosen paths
@@ -70,6 +99,7 @@ impl Default for TransportConfig {
             limits: Limits::default(),
             default_timeout: None,
             idle_timeout: Duration::from_secs(30),
+            request_deadline: Duration::from_secs(10),
             artifact_root: None,
         }
     }
@@ -248,13 +278,23 @@ fn handle_connection(shared: &TransportShared, mut stream: TcpStream) {
     let mut buf: Vec<u8> = Vec::new();
     let mut last_byte = Instant::now();
     let mut chunk = [0u8; 16 * 1024];
+    // Stamped when the first byte of a request lands in the buffer — the
+    // span tree's `request` root starts here, so queueing inside the
+    // kernel's socket buffer is the only wait a trace cannot see.
+    let mut request_started: Option<Instant> = None;
     loop {
         match http::parse_request(&buf, &shared.config.limits) {
             Ok(Some((request, consumed))) => {
                 buf.drain(..consumed);
+                let ingress = request_started.take().unwrap_or_else(Instant::now);
+                if !buf.is_empty() {
+                    // Pipelined: the next request's first bytes are
+                    // already buffered.
+                    request_started = Some(Instant::now());
+                }
                 let shutting_down = shared.shutting_down.load(Ordering::SeqCst);
                 let close = !request.keep_alive || shutting_down;
-                let (status, content_type, body) = dispatch(shared, &request);
+                let (status, content_type, body) = dispatch(shared, &request, ingress);
                 if http::write_response_with_type(&mut stream, status, content_type, &body, close)
                     .is_err()
                     || close
@@ -288,6 +328,19 @@ fn handle_connection(shared: &TransportShared, mut stream: TcpStream) {
                     }
                     return;
                 }
+                // Slow-loris shedding: a trickle of header bytes keeps
+                // `last_byte` fresh forever, so partial requests also
+                // burn a total per-request budget.
+                if request_started.is_some_and(|s| s.elapsed() >= shared.config.request_deadline) {
+                    let _ = http::write_response(
+                        &mut stream,
+                        408,
+                        &api::error_json("request did not complete within the request deadline"),
+                        true,
+                    );
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
                 match stream.read(&mut chunk) {
                     Ok(0) => {
                         if !buf.is_empty() {
@@ -301,6 +354,9 @@ fn handle_connection(shared: &TransportShared, mut stream: TcpStream) {
                         return;
                     }
                     Ok(n) => {
+                        if buf.is_empty() && n > 0 {
+                            request_started = Some(Instant::now());
+                        }
                         buf.extend_from_slice(&chunk[..n]);
                         last_byte = Instant::now();
                     }
@@ -326,9 +382,16 @@ fn handle_connection(shared: &TransportShared, mut stream: TcpStream) {
 
 /// Routes and executes one request; infallible by construction (every
 /// failure becomes a status + JSON error body). Returns status,
-/// `Content-Type` and body.
-fn dispatch(shared: &TransportShared, request: &http::HttpRequest) -> (u16, &'static str, String) {
+/// `Content-Type` and body. `ingress` is when the request's first byte
+/// arrived — the root of its span tree.
+fn dispatch(
+    shared: &TransportShared,
+    request: &http::HttpRequest,
+    ingress: Instant,
+) -> (u16, &'static str, String) {
     let json = |(status, body): (u16, String)| (status, JSON_TYPE, body);
+    // `?peek=1` on the ring endpoints: non-destructive read.
+    let peek = request.query.split('&').any(|kv| kv == "peek=1");
     match route(&request.method, &request.path) {
         Err(RouteError::NotFound) => json((404, api::error_json("no such endpoint"))),
         Err(RouteError::MethodNotAllowed) => {
@@ -348,17 +411,43 @@ fn dispatch(shared: &TransportShared, request: &http::HttpRequest) -> (u16, &'st
             let body = metrics::render(
                 &stats,
                 shared.client.queued_requests(),
-                shared.client.trace_dropped(),
+                metrics::RingDrops {
+                    trace: shared.client.trace_dropped(),
+                    traces: shared.client.traces_dropped(),
+                    slowlog: shared.client.slowlog_dropped(),
+                },
             );
             (200, metrics::CONTENT_TYPE, body)
         }
         Ok(Route::Trace) => {
-            let events = shared.client.take_trace();
+            let events = if peek {
+                shared.client.peek_trace()
+            } else {
+                shared.client.take_trace()
+            };
             let body = api::trace_json(&events, shared.client.trace_dropped());
             json((200, body.to_string()))
         }
+        Ok(Route::Traces) => {
+            let traces = if peek {
+                shared.client.peek_traces()
+            } else {
+                shared.client.take_traces()
+            };
+            let body = api::traces_json(&traces, shared.client.traces_dropped());
+            json((200, body.to_string()))
+        }
+        Ok(Route::Slowlog) => {
+            let traces = if peek {
+                shared.client.peek_slowlog()
+            } else {
+                shared.client.take_slowlog()
+            };
+            let body = api::traces_json(&traces, shared.client.slowlog_dropped());
+            json((200, body.to_string()))
+        }
         Ok(Route::Classify { model }) => json(match parse_body(request) {
-            Ok(body) => classify(shared, &model, &body),
+            Ok(body) => classify(shared, &model, &body, request, ingress),
             Err(resp) => resp,
         }),
         Ok(Route::Reload { model }) => json(match parse_body(request) {
@@ -387,11 +476,25 @@ fn submit_status(err: &SubmitError) -> u16 {
     }
 }
 
-fn classify(shared: &TransportShared, model: &str, body: &Json) -> (u16, String) {
+fn classify(
+    shared: &TransportShared,
+    model: &str,
+    body: &Json,
+    request: &http::HttpRequest,
+    ingress: Instant,
+) -> (u16, String) {
     let payload = match api::parse_classify(body) {
         Ok(p) => p,
         Err(e) => return (400, api::error_json(&e.to_string())),
     };
+    // Trace identity and the head-sampling decision, at ingress: an
+    // explicit `x-vitcod-trace-id` header forces sampling; otherwise
+    // the server's deterministic sampler decides.
+    let header_id = request.header(TRACE_ID_HEADER).map(str::to_string);
+    let sampled = header_id.is_some() || shared.client.sample_trace();
+    let trace_id = header_id.unwrap_or_else(next_trace_id);
+    // The parse span: first byte on the wire to a validated payload.
+    let parse_s = ingress.elapsed().as_secs_f64();
     let timeout = payload
         .timeout_ms
         .map(Duration::from_millis)
@@ -400,11 +503,7 @@ fn classify(shared: &TransportShared, model: &str, body: &Json) -> (u16, String)
     // the whole burst at once, so the dynamic batcher can co-batch it.
     let mut tickets: Vec<Ticket> = Vec::with_capacity(payload.items.len());
     for tokens in payload.items {
-        let submitted = match timeout {
-            Some(t) => shared.client.submit_with_timeout(model, tokens, t),
-            None => shared.client.submit(model, tokens),
-        };
-        match submitted {
+        match shared.client.submit_traced(model, tokens, timeout, sampled) {
             Ok(ticket) => tickets.push(ticket),
             // Already-submitted samples of a failed batch are still
             // served (their tickets resolve unobserved); the request as
@@ -429,23 +528,100 @@ fn classify(shared: &TransportShared, model: &str, body: &Json) -> (u16, String)
             }
         }
     }
+    // The span tree reports the first sample's stage timings: a batch
+    // body is one wire request, its samples co-batch, and their stage
+    // stamps are near-identical — one tree per trace id keeps the rings
+    // and their JSON bounded.
+    let report = tickets.first().and_then(Ticket::take_stage_report);
+    let finish = |serialize_s: f64| TraceFinish {
+        trace_id: trace_id.clone(),
+        sampled,
+        ingress,
+        parse_s,
+        serialize_s,
+    };
     // Serialize stage: time the JSON encode of the response body and
     // record it once per sample actually served (every sample in the
     // response observed the same encode latency).
     let served = tickets.len().saturating_sub(timed_out);
     if !payload.batch {
         if timed_out > 0 {
+            finish_trace(shared, model, timeout, report, finish(0.0));
             return (504, api::error_json("timed out"));
         }
         let encode_start = Instant::now();
         let body = results.remove(0).to_string();
-        record_serialize(shared, model, encode_start.elapsed(), served);
+        let encode = encode_start.elapsed();
+        record_serialize(shared, model, encode, served);
+        finish_trace(shared, model, timeout, report, finish(encode.as_secs_f64()));
         return (200, body);
     }
     let encode_start = Instant::now();
     let body = Json::Object(vec![("results".into(), Json::Array(results))]).to_string();
-    record_serialize(shared, model, encode_start.elapsed(), served);
+    let encode = encode_start.elapsed();
+    record_serialize(shared, model, encode, served);
+    finish_trace(shared, model, timeout, report, finish(encode.as_secs_f64()));
     (200, body)
+}
+
+/// The transport-side half of one finished request's span tree; the
+/// serve-side half arrives as the ticket's [`StageReport`].
+struct TraceFinish {
+    trace_id: String,
+    sampled: bool,
+    ingress: Instant,
+    parse_s: f64,
+    serialize_s: f64,
+}
+
+/// Assembles the `request` span tree and retains it: in the traces ring
+/// when the request was head-sampled, in the slowlog ring when its
+/// end-to-end latency exceeded the slow threshold (deadline × 0.5, or
+/// the configured fallback). Ordinary fast-path requests return without
+/// touching either ring.
+fn finish_trace(
+    shared: &TransportShared,
+    model: &str,
+    timeout: Option<Duration>,
+    report: Option<StageReport>,
+    f: TraceFinish,
+) {
+    let total_s = f.ingress.elapsed().as_secs_f64();
+    let slow = shared
+        .client
+        .tracing()
+        .slow_threshold_for(timeout)
+        .is_some_and(|t| total_s > t.as_secs_f64());
+    if !f.sampled && !slow {
+        return;
+    }
+    // A request that expired before serving has no report; its stage
+    // leaves read zero and the gap under `request` is the wait.
+    let report = report.unwrap_or_default();
+    let compute = report
+        .compute
+        .unwrap_or_else(|| Span::leaf("compute", report.compute_s));
+    let root = Span::with_children(
+        "request",
+        total_s,
+        vec![
+            Span::leaf("parse", f.parse_s),
+            Span::leaf("queue", report.queue_wait_s),
+            Span::leaf("batch_assembly", report.batch_assembly_s),
+            compute,
+            Span::leaf("serialize", f.serialize_s),
+        ],
+    );
+    if f.sampled {
+        shared
+            .client
+            .record_trace(f.trace_id.clone(), model.to_string(), total_s, root.clone());
+    }
+    if slow {
+        shared
+            .client
+            .record_slow(f.trace_id, model.to_string(), f.sampled, total_s, root);
+    }
 }
 
 /// Feeds the serialize-stage histogram: one observation per served

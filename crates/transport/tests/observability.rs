@@ -12,9 +12,11 @@ use rand_chacha::ChaCha8Rng;
 use vitcod_autograd::ParamStore;
 use vitcod_engine::{CompiledVit, Engine, Precision};
 use vitcod_model::{ViTConfig, VisionTransformer};
-use vitcod_serve::{BatchConfig, ModelRegistry, Server};
+use vitcod_serve::{BatchConfig, ModelRegistry, Server, TracingConfig};
 use vitcod_tensor::Initializer;
-use vitcod_transport::{api::tokens_json, HttpClient, HttpServer, Json, TransportConfig};
+use vitcod_transport::{
+    api::tokens_json, HttpClient, HttpServer, Json, TransportConfig, TRACE_ID_HEADER,
+};
 
 const IN_DIM: usize = 8;
 const CLASSES: usize = 4;
@@ -437,4 +439,294 @@ fn trace_endpoint_drains_typed_events() {
         );
     }
     http.shutdown();
+}
+
+/// Walks a span tree in its JSON shape.
+fn span_name(span: &Json) -> String {
+    span.get("name").unwrap().as_str().unwrap().to_string()
+}
+
+fn span_duration(span: &Json) -> f64 {
+    span.get("duration_s").unwrap().as_f64().unwrap()
+}
+
+fn span_children(span: &Json) -> Vec<Json> {
+    span.get("children").unwrap().as_array().unwrap().to_vec()
+}
+
+/// The tentpole acceptance path, end to end over loopback: a request
+/// carrying `x-vitcod-trace-id` is force-sampled, its span tree is
+/// fetchable from `/v1/traces` (non-destructively via `?peek=1` first),
+/// the tree partitions correctly, and its compute subtree names every
+/// per-layer op. The per-op histograms and the achieved-GFLOP/s gauge
+/// surface in `/v1/metrics`.
+#[test]
+fn trace_id_header_yields_partitioned_span_tree_and_op_metrics() {
+    let model = tiny_model(21);
+    let depth = model.config().depth;
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    // sample_rate 0: only the header can force a request into the ring.
+    let server = Server::start_with_tracing(
+        registry,
+        BatchConfig::default(),
+        TracingConfig {
+            sample_rate: 0.0,
+            slow_threshold: None,
+        },
+    );
+    let http = HttpServer::bind(
+        "127.0.0.1:0",
+        server,
+        TransportConfig {
+            idle_timeout: Duration::from_secs(5),
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = HttpClient::connect(http.local_addr()).unwrap();
+
+    // One unsampled request (must NOT land in the ring)…
+    let resp = client
+        .post("/v1/models/m/classify", &classify_body(&model, 30))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    // …and one force-sampled request with a caller-chosen trace id.
+    let resp = client
+        .post_with_header(
+            "/v1/models/m/classify",
+            &classify_body(&model, 31),
+            (TRACE_ID_HEADER, "forensics-1"),
+        )
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    // `?peek=1` is non-destructive: the trace is still there afterwards.
+    let peeked = client.get("/v1/traces?peek=1").unwrap().json().unwrap();
+    let peeked = peeked.get("traces").unwrap().as_array().unwrap().to_vec();
+    assert_eq!(peeked.len(), 1, "exactly the header-forced request");
+
+    let drained = client.get("/v1/traces").unwrap().json().unwrap();
+    assert_eq!(drained.get("dropped").unwrap().as_u64(), Some(0));
+    let traces = drained.get("traces").unwrap().as_array().unwrap().to_vec();
+    assert_eq!(traces.len(), 1);
+    let t = &traces[0];
+    assert_eq!(t.get("trace_id").unwrap().as_str(), Some("forensics-1"));
+    assert_eq!(t.get("model").unwrap().as_str(), Some("m"));
+    assert_eq!(t.get("sampled").unwrap().as_bool(), Some(true));
+    let total_s = t.get("total_s").unwrap().as_f64().unwrap();
+    assert!(total_s > 0.0);
+
+    // Root partition: request → parse, queue, batch_assembly, compute,
+    // serialize; children never sum past the parent (gaps are real
+    // waiting, not accounting error).
+    let root = t.get("root").unwrap().clone();
+    assert_eq!(span_name(&root), "request");
+    assert!((span_duration(&root) - total_s).abs() < 1e-9);
+    let stages = span_children(&root);
+    let stage_names: Vec<String> = stages.iter().map(span_name).collect();
+    assert_eq!(
+        stage_names,
+        ["parse", "queue", "batch_assembly", "compute", "serialize"]
+    );
+    let stage_sum: f64 = stages.iter().map(span_duration).sum();
+    assert!(
+        stage_sum <= span_duration(&root) + 1e-9,
+        "stage sum {stage_sum} exceeds request {}",
+        span_duration(&root)
+    );
+
+    // Compute partition is exact: per-layer spans plus an `other` leaf
+    // account for every second, and each layer names every op.
+    let compute = stages[3].clone();
+    let layers = span_children(&compute);
+    assert_eq!(layers.len(), depth + 1, "depth layers + other");
+    let layer_sum: f64 = layers.iter().map(span_duration).sum();
+    assert!(
+        (layer_sum - span_duration(&compute)).abs() < 1e-9,
+        "compute children must partition compute exactly"
+    );
+    for (i, layer) in layers.iter().take(depth).enumerate() {
+        assert_eq!(span_name(layer), format!("layer{i}"));
+        let ops = span_children(layer);
+        let op_names: Vec<String> = ops.iter().map(span_name).collect();
+        assert_eq!(op_names, vitcod_engine::OP_NAMES, "layer{i} ops");
+        let op_sum: f64 = ops.iter().map(span_duration).sum();
+        assert!((op_sum - span_duration(layer)).abs() < 1e-9);
+    }
+    assert_eq!(span_name(&layers[depth]), "other");
+
+    // Drain is destructive: the ring is empty now.
+    let again = client.get("/v1/traces").unwrap().json().unwrap();
+    assert!(again.get("traces").unwrap().as_array().unwrap().is_empty());
+
+    // The per-op histograms parse out of /v1/metrics with bounded
+    // cardinality: one series per op name, no per-layer labels.
+    let resp = client.get("/v1/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    let prom = PromText::parse(&resp.body_str());
+    for op in vitcod_engine::OP_NAMES {
+        let count = check_histogram(
+            &prom,
+            "vitcod_engine_op_seconds",
+            &[("model", "m"), ("op", op)],
+        );
+        assert!(count >= 1.0, "op {op} must have observations");
+    }
+    let op_series = prom.with("vitcod_engine_op_seconds_count", &[("model", "m")]);
+    assert_eq!(op_series.len(), vitcod_engine::OP_NAMES.len());
+    assert!(prom.one("vitcod_engine_achieved_gops", &[("model", "m")]) > 0.0);
+    http.shutdown();
+}
+
+/// Slow-request forensics without sampling: with a tiny configured
+/// threshold every request is "slow", so its span tree is retained in
+/// the slowlog ring even though head sampling never selected it.
+#[test]
+fn slowlog_retains_unsampled_requests_past_threshold() {
+    let model = tiny_model(22);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    let server = Server::start_with_tracing(
+        registry,
+        BatchConfig::default(),
+        TracingConfig {
+            sample_rate: 0.0,
+            slow_threshold: Some(Duration::from_nanos(1)),
+        },
+    );
+    let http = HttpServer::bind(
+        "127.0.0.1:0",
+        server,
+        TransportConfig {
+            idle_timeout: Duration::from_secs(5),
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = HttpClient::connect(http.local_addr()).unwrap();
+    let resp = client
+        .post("/v1/models/m/classify", &classify_body(&model, 40))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    // Nothing was head-sampled, so /v1/traces stays empty…
+    let traces = client.get("/v1/traces?peek=1").unwrap().json().unwrap();
+    assert!(traces.get("traces").unwrap().as_array().unwrap().is_empty());
+    // …but the slowlog kept the whole tree. Peek first, then drain.
+    let peeked = client.get("/v1/slowlog?peek=1").unwrap().json().unwrap();
+    assert_eq!(
+        peeked.get("traces").unwrap().as_array().unwrap().len(),
+        1,
+        "peek must not drain"
+    );
+    let slow = client.get("/v1/slowlog").unwrap().json().unwrap();
+    let entries = slow.get("traces").unwrap().as_array().unwrap().to_vec();
+    assert_eq!(entries.len(), 1);
+    let e = &entries[0];
+    assert_eq!(e.get("sampled").unwrap().as_bool(), Some(false));
+    let root = e.get("root").unwrap().clone();
+    assert_eq!(span_name(&root), "request");
+    // Unsampled → the compute span is an unexploded leaf.
+    let stages = span_children(&root);
+    assert_eq!(span_name(&stages[3]), "compute");
+    assert!(span_children(&stages[3]).is_empty());
+    assert!(span_duration(&stages[3]) > 0.0);
+    let again = client.get("/v1/slowlog").unwrap().json().unwrap();
+    assert!(again.get("traces").unwrap().as_array().unwrap().is_empty());
+    http.shutdown();
+}
+
+/// `/v1/metrics` scrapes racing a hot model reload: every scrape must
+/// be a complete, parseable exposition — never a torn snapshot — while
+/// the artifact behind the model id is swapped under load.
+#[test]
+fn metrics_scrape_races_hot_model_reload() {
+    let model = tiny_model(23);
+    let dir = {
+        let dir = std::env::temp_dir().join(format!(
+            "vitcod-observability-reload-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create temp dir");
+        dir
+    };
+    std::fs::write(
+        dir.join("m.vitcod"),
+        vitcod_engine::save_compiled_vit(&model, Precision::Fp32),
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("m-int8.vitcod"),
+        vitcod_engine::save_compiled_vit(&tiny_model(24), Precision::Int8),
+    )
+    .unwrap();
+    let registry = ModelRegistry::load_dir(&dir).unwrap();
+    let server = Server::start_with_tracing(
+        registry,
+        BatchConfig::default(),
+        TracingConfig {
+            sample_rate: 1.0,
+            slow_threshold: None,
+        },
+    );
+    let http = HttpServer::bind(
+        "127.0.0.1:0",
+        server,
+        TransportConfig {
+            idle_timeout: Duration::from_secs(5),
+            artifact_root: Some(dir.clone()),
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let addr = http.local_addr();
+
+    let reload_dir = dir.clone();
+    let reloader = std::thread::spawn(move || {
+        let mut client = HttpClient::connect(addr).expect("reloader connect");
+        for i in 0..10u32 {
+            let artifact = if i % 2 == 0 {
+                "m-int8.vitcod"
+            } else {
+                "m.vitcod"
+            };
+            let body = Json::Object(vec![(
+                "path".into(),
+                Json::String(reload_dir.join(artifact).display().to_string()),
+            )])
+            .to_string();
+            let resp = client.post("/v1/models/m/reload", &body).expect("reload");
+            assert_eq!(resp.status, 200, "{}", resp.body_str());
+        }
+    });
+    let mut client = HttpClient::connect(addr).unwrap();
+    for i in 0..20u32 {
+        if i % 4 == 0 {
+            // Keep compute stats flowing while artifacts swap; both
+            // artifacts share the tiny config, so tokens stay valid.
+            let resp = client
+                .post(
+                    "/v1/models/m/classify",
+                    &classify_body(&model, 50 + i as u64),
+                )
+                .unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.body_str());
+        }
+        let resp = client.get("/v1/metrics").unwrap();
+        assert_eq!(resp.status, 200);
+        let prom = PromText::parse(&resp.body_str());
+        // The model_info series must always be whole (exactly one per
+        // registered id), whichever precision is live at scrape time.
+        assert_eq!(prom.with("vitcod_model_info", &[("model", "m")]).len(), 1);
+        assert!(prom.one("vitcod_uptime_seconds", &[]) > 0.0);
+    }
+    reloader.join().expect("reloader thread");
+    http.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
