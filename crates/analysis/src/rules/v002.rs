@@ -59,8 +59,16 @@ const BLOCKING_NO_ARGS: [&str; 2] = ["flush", "join"];
 /// Blocking calls that require at least one argument (`stream.read(buf)`
 /// vs the zero-argument `RwLock::read()`; `HttpClient::post` and
 /// `post_with_header` are full request/response round trips on a
-/// blocking socket).
-const BLOCKING_WITH_ARGS: [&str; 5] = ["read", "write", "write_all", "post", "post_with_header"];
+/// blocking socket, and `vitcod_obs::fetch_metrics` is a whole
+/// connect-request-parse scrape).
+const BLOCKING_WITH_ARGS: [&str; 6] = [
+    "read",
+    "write",
+    "write_all",
+    "post",
+    "post_with_header",
+    "fetch_metrics",
+];
 
 #[derive(Debug)]
 struct Guard {

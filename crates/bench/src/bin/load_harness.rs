@@ -25,14 +25,25 @@
 //!   half-open connects, never-read clients) riding alongside steady
 //!   traffic; gates that the transport sheds every hostile connection
 //!   while the well-behaved load still meets its SLO.
+//! * `degrade` — two phases under an in-process `vitcod-obs` burn-rate
+//!   monitor: an induced outage (1 ms deadlines → mass expiry) followed
+//!   by clean recovery traffic. Gates that the availability alert walks
+//!   `pending → firing → resolved` as load recedes, that the recovery
+//!   phase still meets the SLO, and that `/v1/traces` holds tail-kept
+//!   (not head-sampled) span trees from the outage; writes the
+//!   transition log to `alerts.json`.
 //! * `smoke`  — a few hundred requests at a low rate plus an
-//!   `/v1/metrics` format check; the CI workflow runs this one.
+//!   `/v1/metrics` format check; the CI workflow runs this one (with
+//!   `--hold-s` so the `vitcod-obs` monitor binary can scrape the live
+//!   server before shutdown).
 //!
 //! Every scenario writes `report.json` (arrival process, counts,
 //! latency percentiles, final `/v1/stats` snapshot), `metrics.txt`
 //! (the Prometheus exposition), `trace.json` (the drained event
-//! ring), `traces.json` (sampled span trees) and `slowlog.json` (the
-//! slow-request forensics ring) into `--out`.
+//! ring), `traces.json` (sampled span trees), `slowlog.json` (the
+//! slow-request forensics ring) and `addr.txt` (the bound loopback
+//! address, written before load starts so an external monitor can
+//! attach) into `--out`.
 //!
 //! The model is the reduced DeiT-Tiny training shape, so the harness
 //! exercises the full stack in seconds even on one CPU; the
@@ -51,7 +62,8 @@ use vitcod_autograd::ParamStore;
 use vitcod_bench::load::{self, HostileConfig, LoadConfig, Target};
 use vitcod_engine::{save_compiled_vit, CompiledVit, Engine, Precision, Prediction};
 use vitcod_model::{Sample, ViTConfig, VisionTransformer};
-use vitcod_serve::{BatchConfig, ModelRegistry, Server, TracingConfig};
+use vitcod_obs::{fetch_metrics, AlertState, Objective, SloConfig, SloTracker, Transition};
+use vitcod_serve::{BatchConfig, ModelRegistry, Server, TailConfig, TracingConfig};
 use vitcod_tensor::{Initializer, Matrix};
 use vitcod_transport::{api, HttpClient, HttpServer, Json, TransportConfig};
 
@@ -66,6 +78,10 @@ struct Args {
     out: PathBuf,
     requests: Option<usize>,
     rate: Option<f64>,
+    /// Keep the server alive this many seconds after the load finishes
+    /// (before draining and shutdown), so an external monitor —
+    /// `vitcod-obs` in CI — can scrape the live endpoints.
+    hold_s: Option<u64>,
 }
 
 fn parse_args() -> Args {
@@ -74,6 +90,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("target/load"),
         requests: None,
         rate: None,
+        hold_s: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -83,7 +100,10 @@ fn parse_args() -> Args {
             "--out" => args.out = PathBuf::from(value("--out")),
             "--requests" => args.requests = Some(value("--requests").parse().expect("--requests")),
             "--rate" => args.rate = Some(value("--rate").parse().expect("--rate")),
-            other => panic!("unknown flag '{other}' (see --scenario/--out/--requests/--rate)"),
+            "--hold-s" => args.hold_s = Some(value("--hold-s").parse().expect("--hold-s")),
+            other => {
+                panic!("unknown flag '{other}' (see --scenario/--out/--requests/--rate/--hold-s)")
+            }
         }
     }
     args
@@ -137,6 +157,17 @@ fn fetch(addr: SocketAddr, path: &str) -> String {
     resp.body_str()
 }
 
+fn transition_json(t: &Transition) -> Json {
+    Json::Object(vec![
+        ("alert".into(), Json::String(t.alert.clone())),
+        ("at_s".into(), Json::Number(t.at_s)),
+        ("from".into(), Json::String(t.from.as_str().into())),
+        ("to".into(), Json::String(t.to.as_str().into())),
+        ("fast_burn".into(), Json::Number(t.fast_burn)),
+        ("slow_burn".into(), Json::Number(t.slow_burn)),
+    ])
+}
+
 fn main() {
     let args = parse_args();
     std::fs::create_dir_all(&args.out).expect("create --out dir");
@@ -186,6 +217,12 @@ fn main() {
         TracingConfig {
             sample_rate,
             slow_threshold: None,
+            // Tail retention on in every scenario: the serving bench
+            // gates its cost at ≤1% of p99, so the harness runs the
+            // production configuration, and degrade/storm rely on it to
+            // retain span trees for expired (never head-sampled)
+            // requests.
+            tail: Some(TailConfig::default()),
         },
     );
     let mut transport_config = TransportConfig::default();
@@ -197,6 +234,12 @@ fn main() {
         transport_config.idle_timeout = Duration::from_millis(750);
         transport_config.request_deadline = Duration::from_millis(500);
     }
+    if args.scenario == "degrade" {
+        // The induce phase saturates the default handler pool with
+        // expiring requests; give the monitoring plane headroom so the
+        // scraper stays on schedule *during* the outage it is watching.
+        transport_config.handler_threads = 12;
+    }
     if args.scenario == "reload" {
         // Save the artifact the background reloader will swap in.
         let path = args.out.join("tiny-fp32.vitcod");
@@ -206,6 +249,9 @@ fn main() {
     }
     let http = HttpServer::bind("127.0.0.1:0", server, transport_config).expect("bind loopback");
     let addr = http.local_addr();
+    // Published before any load starts so an external monitor (the CI
+    // `vitcod-obs` step) can attach to the live server.
+    std::fs::write(args.out.join("addr.txt"), addr.to_string()).expect("write addr.txt");
 
     let (requests, rate, timeout_ms, poisson) = match args.scenario.as_str() {
         "steady" | "mixed" | "reload" | "slowloris" => {
@@ -214,13 +260,18 @@ fn main() {
         // Deadline storm: same offered load, but a deadline shorter
         // than one batcher wait, so queued requests expire en masse.
         "storm" => (args.requests.unwrap_or(256), steady_rate, 1, true),
+        // Degrade: this is the *recovery* phase; an induced outage (1 ms
+        // deadlines) runs first under an in-process burn-rate monitor.
+        "degrade" => (args.requests.unwrap_or(400), steady_rate, deadline_ms, true),
         "smoke" => (
             args.requests.unwrap_or(200),
             args.rate.unwrap_or(steady_rate.min(50.0)),
             deadline_ms,
             true,
         ),
-        other => panic!("unknown scenario '{other}' (steady|mixed|reload|storm|slowloris|smoke)"),
+        other => {
+            panic!("unknown scenario '{other}' (steady|mixed|reload|storm|slowloris|degrade|smoke)")
+        }
     };
 
     let mut targets = vec![Target {
@@ -284,14 +335,96 @@ fn main() {
         std::thread::spawn(move || load::run_hostile(addr, &hostile_cfg))
     });
 
+    // Degrade: a burn-rate monitor scrapes the live /v1/metrics across
+    // both phases, exactly as the standalone `vitcod-obs` binary would
+    // from outside the process. Windows are scaled down to the harness
+    // timeline (each phase spans several seconds at MAX_RATE).
+    let monitor_stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let monitor = (args.scenario == "degrade").then(|| {
+        let stop = std::sync::Arc::clone(&monitor_stop);
+        std::thread::spawn(move || {
+            let mut tracker = SloTracker::new(SloConfig {
+                name: "availability".into(),
+                objective: Objective::Availability,
+                error_budget: 0.01,
+                fast_window_s: 1.0,
+                slow_window_s: 4.0,
+                fast_burn: 10.0,
+                slow_burn: 2.0,
+            });
+            let endpoint = addr.to_string();
+            let started = Instant::now();
+            loop {
+                let scraped = fetch_metrics(&endpoint);
+                // Stamp *after* the fetch: if the scrape stalled behind
+                // a saturated server, the counters reflect the time the
+                // response arrived, not the time the poll started.
+                let t_s = started.elapsed().as_secs_f64();
+                if let Ok(exp) = scraped {
+                    let requests = exp.sum("vitcod_requests_total", &[]);
+                    let timeouts = exp.sum("vitcod_timeouts_total", &[]);
+                    tracker.observe(t_s, requests, timeouts);
+                    if let Some(tr) = tracker.eval(t_s) {
+                        println!(
+                            "  alert '{}' {} -> {} at t={:.2}s (fast burn {:.1}, slow burn {:.1})",
+                            tr.alert, tr.from, tr.to, tr.at_s, tr.fast_burn, tr.slow_burn
+                        );
+                    }
+                }
+                if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(250));
+            }
+            tracker
+        })
+    });
+
+    // Degrade phase 1: the same offered load, but with deadlines shorter
+    // than one batcher wait — requests expire en masse and burn the
+    // availability budget. These requests are not head-sampled; the tail
+    // sampler must retain their span trees.
+    let induce = (args.scenario == "degrade").then(|| {
+        let storm_cfg = LoadConfig {
+            rate,
+            requests,
+            poisson: true,
+            seed: 0x0BE8,
+            senders: 4,
+            targets: vec![Target {
+                model: "tiny-fp32".into(),
+                body: classify_body(&tokens_for(&compiled, 0xA1), 1),
+            }],
+        };
+        println!(
+            "degrade phase 1 (induce): {} requests at {:.1} req/s, timeout 1 ms",
+            storm_cfg.requests, storm_cfg.rate
+        );
+        load::run(addr, &storm_cfg)
+    });
+
     println!(
         "scenario {}: {} requests at {:.1} req/s (poisson), timeout {} ms",
         args.scenario, cfg.requests, cfg.rate, timeout_ms
     );
     let report = load::run(addr, &cfg);
+    // Give the monitor one fast window of quiet so the firing alert can
+    // observe the recovery and resolve before we stop scraping.
+    let tracker = monitor.map(|handle| {
+        std::thread::sleep(Duration::from_millis(1500));
+        monitor_stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        handle.join().expect("monitor thread")
+    });
     let hostile = hostile.map(|h| h.join().expect("hostile mix"));
     reload_stop.store(true, std::sync::atomic::Ordering::Relaxed);
     let swaps = reloader.map(|h| h.join().expect("reloader"));
+
+    // Keep the server alive so an external monitor can finish scraping
+    // it (CI runs `vitcod-obs` against the smoke scenario this way).
+    if let Some(hold_s) = args.hold_s {
+        println!("holding server open for {hold_s}s (--hold-s)");
+        std::thread::sleep(Duration::from_secs(hold_s));
+    }
 
     // Drain observability endpoints over the wire BEFORE shutdown, then
     // take the final stats snapshot for the report.
@@ -318,6 +451,30 @@ fn main() {
     }
     if let Some(hostile) = &hostile {
         report_fields.push(("hostile".into(), hostile.to_json()));
+    }
+    if let Some(induce) = &induce {
+        report_fields.push(("induce".into(), induce.to_json()));
+    }
+    if let Some(tracker) = &tracker {
+        let transitions = tracker
+            .transitions()
+            .iter()
+            .map(transition_json)
+            .collect::<Vec<_>>();
+        let alerts = Json::Object(vec![
+            ("alert".into(), Json::String(tracker.config().name.clone())),
+            (
+                "objective".into(),
+                Json::String(tracker.config().objective.kind().into()),
+            ),
+            (
+                "final_state".into(),
+                Json::String(tracker.state().as_str().into()),
+            ),
+            ("transitions".into(), Json::Array(transitions)),
+        ]);
+        std::fs::write(args.out.join("alerts.json"), alerts.to_string())
+            .expect("write alerts.json");
     }
     std::fs::write(
         args.out.join("report.json"),
@@ -374,6 +531,53 @@ fn main() {
             assert!(
                 slowlog_body.contains("\"request\""),
                 "storm retained no span trees in the slowlog"
+            );
+        }
+        "degrade" => {
+            let induce = induce.as_ref().expect("degrade ran the induce phase");
+            let tracker = tracker.as_ref().expect("degrade ran the monitor");
+            assert!(
+                induce.timed_out > 0,
+                "degrade phase 1 induced no deadline expiries"
+            );
+            assert_eq!(induce.failed, 0, "induce phase requests failed outright");
+            // Recovery traffic must still meet the normal SLO — the
+            // outage must not poison the server.
+            assert_eq!(report.timed_out, 0, "recovery requests expired");
+            assert!(
+                report.p99_s <= deadline,
+                "recovery SLO violated: p99 {:.1} ms > deadline {:.1} ms",
+                report.p99_s * 1e3,
+                deadline * 1e3
+            );
+            // The burn-rate alert must have walked the full incident:
+            // armed on the fast window, confirmed by the slow window,
+            // and resolved once the recovery traffic cleared the fast
+            // window.
+            let seq: Vec<(AlertState, AlertState)> = tracker
+                .transitions()
+                .iter()
+                .map(|t| (t.from, t.to))
+                .collect();
+            assert!(
+                seq.contains(&(AlertState::Pending, AlertState::Firing)),
+                "availability alert never fired: {seq:?}"
+            );
+            assert!(
+                seq.contains(&(AlertState::Firing, AlertState::Resolved)),
+                "availability alert never resolved after recovery: {seq:?}"
+            );
+            // The outage's requests were not head-sampled (5% rate), so
+            // the span trees in /v1/traces must be tail keeps: errored
+            // expiries and deadline/2 slow completions.
+            assert!(
+                traces_body.contains("\"sampled\":false"),
+                "traces hold no tail-kept (unsampled) span trees"
+            );
+            assert!(
+                traces_body.contains("\"kept\":\"error\"")
+                    || traces_body.contains("\"kept\":\"slow\""),
+                "traces hold no slow/errored tail keeps from the outage"
             );
         }
         _ => {

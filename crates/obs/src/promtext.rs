@@ -1,0 +1,461 @@
+//! Parser for the Prometheus text exposition format `0.0.4` — the body
+//! of the transport's `GET /v1/metrics`.
+//!
+//! Strict-enough for a monitor that trusts nothing: every non-comment
+//! line must be `name{labels} value` or `name value`, every sample's
+//! family must be preceded by a `# TYPE` line, and label values must
+//! unescape cleanly (`\\`, `\"`, `\n`). Malformed input is an error,
+//! never a panic — a scrape target is remote data.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One parsed sample: metric name, sorted label set, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// The full series name (`vitcod_request_latency_seconds_bucket`).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: BTreeMap<String, String>,
+    /// The sample value (`+Inf` parses to [`f64::INFINITY`]).
+    pub value: f64,
+}
+
+/// Why a body failed to parse or a lookup failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PromError {
+    /// A line that is neither comment nor `name[{labels}] value`.
+    Syntax {
+        /// The offending line, verbatim.
+        line: String,
+        /// What was wrong with it.
+        reason: &'static str,
+    },
+    /// A sample appeared before any `# TYPE` line for its family.
+    MissingType {
+        /// The family name the sample belongs to.
+        family: String,
+    },
+    /// A lookup matched no sample.
+    MissingSample {
+        /// The series + label filter that matched nothing.
+        series: String,
+    },
+    /// A lookup expected one sample but matched several.
+    AmbiguousSample {
+        /// The series + label filter that matched more than one.
+        series: String,
+    },
+    /// A histogram family violated an invariant (non-cumulative
+    /// buckets, missing `+Inf`, `+Inf` != `_count`, …).
+    Histogram {
+        /// The histogram family name.
+        family: String,
+        /// Which invariant broke.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PromError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PromError::Syntax { line, reason } => {
+                write!(f, "bad exposition line {line:?}: {reason}")
+            }
+            PromError::MissingType { family } => {
+                write!(f, "sample family {family:?} has no preceding # TYPE")
+            }
+            PromError::MissingSample { series } => write!(f, "no sample matches {series}"),
+            PromError::AmbiguousSample { series } => {
+                write!(f, "more than one sample matches {series}")
+            }
+            PromError::Histogram { family, reason } => {
+                write!(f, "histogram {family:?}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PromError {}
+
+/// A parsed exposition body: the `# TYPE` table plus every sample in
+/// document order.
+#[derive(Debug, Clone, Default)]
+pub struct Exposition {
+    /// Family name → declared type (`counter` / `gauge` / `histogram`).
+    pub types: BTreeMap<String, String>,
+    /// Every sample line, in document order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// Parses a full exposition body.
+    ///
+    /// # Errors
+    ///
+    /// [`PromError::Syntax`] on a malformed line,
+    /// [`PromError::MissingType`] when a sample has no `# TYPE`.
+    pub fn parse(text: &str) -> Result<Exposition, PromError> {
+        let mut types = BTreeMap::new();
+        let mut samples = Vec::new();
+        for line in text.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut it = rest.splitn(2, ' ');
+                let name = it.next().unwrap_or_default().to_string();
+                let kind = it
+                    .next()
+                    .ok_or(PromError::Syntax {
+                        line: line.to_string(),
+                        reason: "TYPE line needs a kind",
+                    })?
+                    .to_string();
+                if !matches!(kind.as_str(), "counter" | "gauge" | "histogram") {
+                    return Err(PromError::Syntax {
+                        line: line.to_string(),
+                        reason: "unknown TYPE kind",
+                    });
+                }
+                types.insert(name, kind);
+                continue;
+            }
+            if line.starts_with('#') {
+                continue; // HELP or comment
+            }
+            let (series, value) = line.rsplit_once(' ').ok_or(PromError::Syntax {
+                line: line.to_string(),
+                reason: "sample line needs a value",
+            })?;
+            let value = if value == "+Inf" {
+                f64::INFINITY
+            } else {
+                value.parse::<f64>().map_err(|_| PromError::Syntax {
+                    line: line.to_string(),
+                    reason: "unparseable value",
+                })?
+            };
+            let (name, labels) = match series.split_once('{') {
+                None => (series.to_string(), BTreeMap::new()),
+                Some((name, rest)) => {
+                    let inner = rest.strip_suffix('}').ok_or(PromError::Syntax {
+                        line: line.to_string(),
+                        reason: "labels must close with }",
+                    })?;
+                    (name.to_string(), parse_labels(inner, line)?)
+                }
+            };
+            // Each sample's family (name minus a histogram suffix) must
+            // have a TYPE line before it.
+            let family = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .filter(|f| types.contains_key(*f))
+                .unwrap_or(&name);
+            if !types.contains_key(family) {
+                return Err(PromError::MissingType {
+                    family: family.to_string(),
+                });
+            }
+            samples.push(Sample {
+                name,
+                labels,
+                value,
+            });
+        }
+        Ok(Exposition { types, samples })
+    }
+
+    /// All samples of `name` whose labels include every `(k, v)` pair.
+    #[must_use]
+    pub fn with(&self, name: &str, want: &[(&str, &str)]) -> Vec<&Sample> {
+        self.samples
+            .iter()
+            .filter(|s| {
+                s.name == name
+                    && want
+                        .iter()
+                        .all(|(k, v)| s.labels.get(*k).map(String::as_str) == Some(*v))
+            })
+            .collect()
+    }
+
+    /// The single sample of `name` matching the label pairs.
+    ///
+    /// # Errors
+    ///
+    /// [`PromError::MissingSample`] / [`PromError::AmbiguousSample`].
+    pub fn one(&self, name: &str, want: &[(&str, &str)]) -> Result<f64, PromError> {
+        let hits = self.with(name, want);
+        match hits.len() {
+            0 => Err(PromError::MissingSample {
+                series: format!("{name}{want:?}"),
+            }),
+            1 => Ok(hits[0].value),
+            _ => Err(PromError::AmbiguousSample {
+                series: format!("{name}{want:?}"),
+            }),
+        }
+    }
+
+    /// Sum of every sample of `name` matching the label pairs — the
+    /// way a monitor aggregates a per-model counter family into one
+    /// total (e.g. `vitcod_requests_total` across models).
+    #[must_use]
+    pub fn sum(&self, name: &str, want: &[(&str, &str)]) -> f64 {
+        self.with(name, want).iter().map(|s| s.value).sum()
+    }
+}
+
+fn parse_labels(inner: &str, line: &str) -> Result<BTreeMap<String, String>, PromError> {
+    let syntax = |reason: &'static str| PromError::Syntax {
+        line: line.to_string(),
+        reason,
+    };
+    let mut labels = BTreeMap::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        let eq = rest.find("=\"").ok_or_else(|| syntax("label needs =\""))?;
+        let key = rest[..eq].trim_start_matches(',').to_string();
+        rest = &rest[eq + 2..];
+        // Find the closing quote, honouring backslash escapes.
+        let mut value = String::new();
+        let mut chars = rest.char_indices();
+        let close = loop {
+            let (i, c) = chars
+                .next()
+                .ok_or_else(|| syntax("unterminated label value"))?;
+            match c {
+                '\\' => {
+                    let (_, e) = chars.next().ok_or_else(|| syntax("dangling escape"))?;
+                    value.push(match e {
+                        'n' => '\n',
+                        other => other, // \" and \\ unescape to themselves
+                    });
+                }
+                '"' => break i,
+                other => value.push(other),
+            }
+        };
+        labels.insert(key, value);
+        rest = &rest[close + 1..];
+    }
+    Ok(labels)
+}
+
+/// Validates one histogram family entry and returns its `_count`: the
+/// `_bucket` series must be cumulative in `le`, close with `+Inf` equal
+/// to `_count`, and `_sum`/`_count` must exist.
+///
+/// # Errors
+///
+/// [`PromError::Histogram`] naming the broken invariant.
+pub fn check_histogram(
+    exp: &Exposition,
+    name: &str,
+    labels: &[(&str, &str)],
+) -> Result<f64, PromError> {
+    let broken = |reason: String| PromError::Histogram {
+        family: name.to_string(),
+        reason,
+    };
+    if exp.types.get(name).map(String::as_str) != Some("histogram") {
+        return Err(broken("not declared TYPE histogram".to_string()));
+    }
+    let mut buckets: Vec<(f64, f64)> = Vec::new();
+    for s in exp.with(&format!("{name}_bucket"), labels) {
+        let le = s
+            .labels
+            .get("le")
+            .ok_or_else(|| broken("bucket without le".to_string()))?;
+        let le = if le == "+Inf" {
+            f64::INFINITY
+        } else {
+            le.parse()
+                .map_err(|_| broken(format!("unparseable le {le:?}")))?
+        };
+        buckets.push((le, s.value));
+    }
+    if buckets.is_empty() {
+        return Err(broken(format!("no buckets for labels {labels:?}")));
+    }
+    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+    if !buckets.windows(2).all(|w| w[1].1 >= w[0].1) {
+        return Err(broken("buckets are not cumulative".to_string()));
+    }
+    let &(last_le, inf_count) = buckets.last().unwrap_or(&(0.0, 0.0));
+    if !last_le.is_infinite() {
+        return Err(broken("series does not close with +Inf".to_string()));
+    }
+    let count = exp.one(&format!("{name}_count"), labels)?;
+    let sum = exp.one(&format!("{name}_sum"), labels)?;
+    if (inf_count - count).abs() >= 0.5 {
+        return Err(broken(format!("+Inf bucket {inf_count} != count {count}")));
+    }
+    if sum < 0.0 {
+        return Err(broken(format!("negative sum {sum}")));
+    }
+    Ok(count)
+}
+
+/// The fraction of observations at or under `threshold` in one
+/// histogram entry, from its cumulative buckets: the numerator is the
+/// smallest bucket whose bound covers `threshold`. Returns
+/// `(good, total)` so callers can difference the counts over time.
+///
+/// # Errors
+///
+/// [`PromError::Histogram`] when no finite bucket bound covers
+/// `threshold`, plus anything [`check_histogram`] reports.
+pub fn good_under(
+    exp: &Exposition,
+    name: &str,
+    labels: &[(&str, &str)],
+    threshold: f64,
+) -> Result<(f64, f64), PromError> {
+    let total = check_histogram(exp, name, labels)?;
+    let mut best: Option<(f64, f64)> = None;
+    for s in exp.with(&format!("{name}_bucket"), labels) {
+        let Some(le) = s.labels.get("le") else {
+            continue;
+        };
+        if le == "+Inf" {
+            continue;
+        }
+        let le: f64 = le.parse().map_err(|_| PromError::Histogram {
+            family: name.to_string(),
+            reason: format!("unparseable le {le:?}"),
+        })?;
+        if le >= threshold && best.is_none_or(|(b, _)| le < b) {
+            best = Some((le, s.value));
+        }
+    }
+    let (_, good) = best.ok_or_else(|| PromError::Histogram {
+        family: name.to_string(),
+        reason: format!("no bucket bound covers threshold {threshold}"),
+    })?;
+    Ok((good, total))
+}
+
+/// [`good_under`] summed across every entry of the family (one per
+/// label set, i.e. per model): the fleet-wide `(good, total)` a
+/// latency SLO differences over time. `(0, 0)` when the family has no
+/// entries yet (a replica that has served nothing).
+///
+/// # Errors
+///
+/// Anything [`good_under`] reports for any entry.
+pub fn good_under_all(
+    exp: &Exposition,
+    name: &str,
+    threshold: f64,
+) -> Result<(f64, f64), PromError> {
+    let count_name = format!("{name}_count");
+    let mut good = 0.0;
+    let mut total = 0.0;
+    for s in exp.with(&count_name, &[]) {
+        let labels: Vec<(&str, &str)> = s
+            .labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect();
+        let (g, t) = good_under(exp, name, &labels, threshold)?;
+        good += g;
+        total += t;
+    }
+    Ok((good, total))
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value assertions on parsed integer-valued counters
+mod tests {
+    use super::*;
+
+    const BODY: &str = "\
+# HELP vitcod_requests_total Requests served.
+# TYPE vitcod_requests_total counter
+vitcod_requests_total{model=\"deit\\\"tiny\"} 6
+vitcod_requests_total{model=\"other\"} 3
+# TYPE vitcod_uptime_seconds gauge
+vitcod_uptime_seconds 12.5
+# TYPE vitcod_request_latency_seconds histogram
+vitcod_request_latency_seconds_bucket{model=\"m\",le=\"0.1\"} 4
+vitcod_request_latency_seconds_bucket{model=\"m\",le=\"0.5\"} 9
+vitcod_request_latency_seconds_bucket{model=\"m\",le=\"+Inf\"} 10
+vitcod_request_latency_seconds_sum{model=\"m\"} 1.25
+vitcod_request_latency_seconds_count{model=\"m\"} 10
+";
+
+    #[test]
+    fn parses_types_labels_and_escapes() {
+        let exp = Exposition::parse(BODY).unwrap();
+        assert_eq!(exp.types.get("vitcod_requests_total").unwrap(), "counter");
+        assert_eq!(
+            exp.one("vitcod_requests_total", &[("model", "deit\"tiny")])
+                .unwrap(),
+            6.0
+        );
+        assert_eq!(exp.one("vitcod_uptime_seconds", &[]).unwrap(), 12.5);
+        assert_eq!(exp.sum("vitcod_requests_total", &[]), 9.0);
+        assert!(matches!(
+            exp.one("vitcod_requests_total", &[]),
+            Err(PromError::AmbiguousSample { .. })
+        ));
+        assert!(matches!(
+            exp.one("vitcod_nope", &[]),
+            Err(PromError::MissingSample { .. })
+        ));
+    }
+
+    #[test]
+    fn histogram_invariants_check_and_good_under_picks_covering_bucket() {
+        let exp = Exposition::parse(BODY).unwrap();
+        let count =
+            check_histogram(&exp, "vitcod_request_latency_seconds", &[("model", "m")]).unwrap();
+        assert_eq!(count, 10.0);
+        let (good, total) = good_under(
+            &exp,
+            "vitcod_request_latency_seconds",
+            &[("model", "m")],
+            0.25,
+        )
+        .unwrap();
+        assert_eq!((good, total), (9.0, 10.0));
+        let (good, _) = good_under(
+            &exp,
+            "vitcod_request_latency_seconds",
+            &[("model", "m")],
+            0.1,
+        )
+        .unwrap();
+        assert_eq!(good, 4.0);
+        assert!(good_under(
+            &exp,
+            "vitcod_request_latency_seconds",
+            &[("model", "m")],
+            2.0
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn malformed_input_errors_instead_of_panicking() {
+        assert!(matches!(
+            Exposition::parse("orphan_sample 1\n"),
+            Err(PromError::MissingType { .. })
+        ));
+        assert!(matches!(
+            Exposition::parse("# TYPE x counter\nx{a=\"unterminated} 1\n"),
+            Err(PromError::Syntax { .. })
+        ));
+        assert!(matches!(
+            Exposition::parse("# TYPE x counter\nx notanumber\n"),
+            Err(PromError::Syntax { .. })
+        ));
+        assert!(matches!(
+            Exposition::parse("# TYPE x summary\n"),
+            Err(PromError::Syntax { .. })
+        ));
+    }
+}

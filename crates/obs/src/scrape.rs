@@ -1,0 +1,158 @@
+//! A polling scraper over the transport's blocking HTTP client.
+//!
+//! One scrape = connect, `GET /v1/metrics`, parse the exposition,
+//! disconnect. Connections are per-poll rather than kept alive: a
+//! monitor outlives replica restarts, and a fresh connect per tick
+//! means a bounced replica is rediscovered with no reconnect logic.
+//! [`Scraper`] fans one poll across every configured endpoint and
+//! never fails as a whole — each endpoint reports its own
+//! `Result`, so one dead replica cannot blind the monitor to the rest.
+
+use std::fmt;
+use std::io;
+
+use vitcod_transport::HttpClient;
+
+use crate::promtext::{Exposition, PromError};
+
+/// Why one endpoint's scrape failed.
+#[derive(Debug)]
+pub enum ScrapeError {
+    /// Connect / request I/O failure.
+    Io(io::Error),
+    /// The endpoint answered with a non-200 status.
+    Status(u16),
+    /// The body was not valid text exposition.
+    Parse(PromError),
+}
+
+impl fmt::Display for ScrapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScrapeError::Io(e) => write!(f, "scrape i/o: {e}"),
+            ScrapeError::Status(s) => write!(f, "scrape got HTTP {s}"),
+            ScrapeError::Parse(e) => write!(f, "scrape body: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ScrapeError {}
+
+/// One successful scrape of one endpoint.
+#[derive(Debug)]
+pub struct Scrape {
+    /// The endpoint polled (`host:port`).
+    pub endpoint: String,
+    /// Caller-supplied observation timestamp (seconds on the caller's
+    /// clock — the scraper itself is clock-free).
+    pub t_s: f64,
+    /// The parsed exposition.
+    pub exposition: Exposition,
+}
+
+/// Fetches and parses `GET /v1/metrics` from one endpoint over a fresh
+/// connection.
+///
+/// # Errors
+///
+/// [`ScrapeError`] on connect/request failure, non-200 status, or a
+/// body that fails exposition parsing.
+pub fn fetch_metrics(endpoint: &str) -> Result<Exposition, ScrapeError> {
+    let mut client = HttpClient::connect(endpoint).map_err(ScrapeError::Io)?;
+    let resp = client.get("/v1/metrics").map_err(ScrapeError::Io)?;
+    if resp.status != 200 {
+        return Err(ScrapeError::Status(resp.status));
+    }
+    Exposition::parse(&resp.body_str()).map_err(ScrapeError::Parse)
+}
+
+/// A multi-endpoint poller.
+#[derive(Debug, Clone)]
+pub struct Scraper {
+    endpoints: Vec<String>,
+}
+
+impl Scraper {
+    /// A scraper over `endpoints` (`host:port` strings).
+    #[must_use]
+    pub fn new(endpoints: Vec<String>) -> Scraper {
+        Scraper { endpoints }
+    }
+
+    /// The configured endpoints.
+    #[must_use]
+    pub fn endpoints(&self) -> &[String] {
+        &self.endpoints
+    }
+
+    /// Polls every endpoint once, stamping successes with `t_s`.
+    /// Always returns one entry per endpoint, in configuration order.
+    pub fn poll(&self, t_s: f64) -> Vec<Result<Scrape, (String, ScrapeError)>> {
+        self.endpoints
+            .iter()
+            .map(|ep| match fetch_metrics(ep) {
+                Ok(exposition) => Ok(Scrape {
+                    endpoint: ep.clone(),
+                    t_s,
+                    exposition,
+                }),
+                Err(e) => Err((ep.clone(), e)),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::float_cmp)] // exact-value assertions on parsed integer-valued counters
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::TcpListener;
+
+    /// Serves `body` as one canned HTTP response, then exits.
+    fn canned_endpoint(status: u16, body: &str) -> String {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let body = body.to_string();
+        std::thread::spawn(move || {
+            if let Ok((mut stream, _)) = listener.accept() {
+                let mut buf = [0u8; 4096];
+                let _ = stream.read(&mut buf); // drain the request head
+                let reason = if status == 200 { "OK" } else { "Err" };
+                let resp = format!(
+                    "HTTP/1.1 {status} {reason}\r\nContent-Type: text/plain\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(resp.as_bytes());
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn fetch_parses_a_canned_exposition() {
+        let addr = canned_endpoint(
+            200,
+            "# TYPE vitcod_uptime_seconds gauge\nvitcod_uptime_seconds 3\n",
+        );
+        let exp = fetch_metrics(&addr).unwrap();
+        assert_eq!(exp.one("vitcod_uptime_seconds", &[]).unwrap(), 3.0);
+    }
+
+    #[test]
+    fn non_200_and_dead_endpoints_surface_as_errors() {
+        let addr = canned_endpoint(503, "down");
+        assert!(matches!(
+            fetch_metrics(&addr),
+            Err(ScrapeError::Status(503))
+        ));
+        // A port nothing listens on: connect fails, poll still returns
+        // one entry per endpoint.
+        let dead = canned_endpoint(200, "# TYPE x gauge\nx 1\n");
+        let scraper = Scraper::new(vec![dead, "127.0.0.1:1".to_string()]);
+        let polled = scraper.poll(0.5);
+        assert_eq!(polled.len(), 2);
+        assert!(polled[0].is_ok());
+        assert!(matches!(&polled[1], Err((_, ScrapeError::Io(_)))));
+    }
+}

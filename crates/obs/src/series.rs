@@ -1,0 +1,196 @@
+//! Fixed-capacity time-series rings — the storage behind the SLO
+//! windows.
+//!
+//! Two flavours: [`GaugeSeries`] keeps raw `(t, value)` points;
+//! [`CounterSeries`] additionally corrects for counter resets (a
+//! restarted replica re-exports from zero) so `delta`/`rate` stay
+//! monotone across restarts. Both are bounded: pushing past capacity
+//! evicts the oldest point, so a long-running monitor's memory is flat
+//! no matter how long it polls.
+
+use std::collections::VecDeque;
+
+/// A bounded ring of `(t_s, value)` gauge observations.
+#[derive(Debug, Clone)]
+pub struct GaugeSeries {
+    cap: usize,
+    points: VecDeque<(f64, f64)>,
+}
+
+impl GaugeSeries {
+    /// An empty ring holding at most `cap` points (`cap` ≥ 1 enforced).
+    #[must_use]
+    pub fn new(cap: usize) -> GaugeSeries {
+        GaugeSeries {
+            cap: cap.max(1),
+            points: VecDeque::new(),
+        }
+    }
+
+    /// Appends an observation, evicting the oldest at capacity.
+    /// Out-of-order timestamps (clock skew between scrapes) are
+    /// dropped rather than corrupting window math.
+    pub fn push(&mut self, t_s: f64, value: f64) {
+        if self.points.back().is_some_and(|&(last, _)| t_s < last) {
+            return;
+        }
+        if self.points.len() == self.cap {
+            self.points.pop_front();
+        }
+        self.points.push_back((t_s, value));
+    }
+
+    /// The most recent observation.
+    #[must_use]
+    pub fn latest(&self) -> Option<(f64, f64)> {
+        self.points.back().copied()
+    }
+
+    /// Number of retained points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the ring is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Maximum value among points with `t_s >= latest_t - window_s`.
+    #[must_use]
+    pub fn max_over(&self, window_s: f64) -> Option<f64> {
+        let (latest_t, _) = self.latest()?;
+        self.points
+            .iter()
+            .filter(|&&(t, _)| t >= latest_t - window_s)
+            .map(|&(_, v)| v)
+            .max_by(f64::total_cmp)
+    }
+}
+
+/// A bounded ring of cumulative-counter observations with reset
+/// correction: each pushed raw total is turned into a corrected
+/// monotone total by carrying an offset across resets.
+#[derive(Debug, Clone)]
+pub struct CounterSeries {
+    ring: GaugeSeries,
+    last_raw: f64,
+    offset: f64,
+}
+
+impl CounterSeries {
+    /// An empty ring holding at most `cap` points.
+    #[must_use]
+    pub fn new(cap: usize) -> CounterSeries {
+        CounterSeries {
+            ring: GaugeSeries::new(cap),
+            last_raw: 0.0,
+            offset: 0.0,
+        }
+    }
+
+    /// Appends a raw cumulative total. A raw value below the previous
+    /// one means the target restarted: the previous total folds into
+    /// the offset, so the corrected series never decreases.
+    pub fn push(&mut self, t_s: f64, raw: f64) {
+        if raw < self.last_raw {
+            self.offset += self.last_raw;
+        }
+        self.last_raw = raw;
+        self.ring.push(t_s, raw + self.offset);
+    }
+
+    /// The corrected (monotone) latest total.
+    #[must_use]
+    pub fn latest(&self) -> Option<(f64, f64)> {
+        self.ring.latest()
+    }
+
+    /// Increase over the trailing `window_s`: latest corrected total
+    /// minus the total at the window start (the newest point at or
+    /// before `latest_t - window_s`, falling back to the oldest
+    /// retained point when the ring does not yet span the window).
+    /// `None` until two points exist.
+    #[must_use]
+    pub fn delta(&self, window_s: f64) -> Option<f64> {
+        self.baseline(window_s).map(|(b, l)| l.1 - b.1)
+    }
+
+    /// [`CounterSeries::delta`] divided by the actual elapsed seconds
+    /// between the two points used (not the nominal window, so a short
+    /// history does not understate the rate).
+    #[must_use]
+    pub fn rate(&self, window_s: f64) -> Option<f64> {
+        let (b, l) = self.baseline(window_s)?;
+        let dt = l.0 - b.0;
+        (dt > 0.0).then(|| (l.1 - b.1) / dt)
+    }
+
+    fn baseline(&self, window_s: f64) -> Option<((f64, f64), (f64, f64))> {
+        let latest = self.ring.latest()?;
+        if self.ring.points.len() < 2 {
+            return None;
+        }
+        let start = latest.0 - window_s;
+        let baseline = self
+            .ring
+            .points
+            .iter()
+            .rev()
+            .skip(1) // never difference the latest point against itself
+            .find(|&&(t, _)| t <= start)
+            .or_else(|| self.ring.points.front())
+            .copied()?;
+        Some((baseline, latest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_ring_is_bounded_and_drops_out_of_order() {
+        let mut g = GaugeSeries::new(3);
+        for i in 0..10 {
+            g.push(i as f64, i as f64 * 2.0);
+        }
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.latest(), Some((9.0, 18.0)));
+        g.push(5.0, 100.0); // stale timestamp: ignored
+        assert_eq!(g.latest(), Some((9.0, 18.0)));
+        assert_eq!(g.max_over(2.0), Some(18.0));
+        assert_eq!(g.max_over(100.0), Some(18.0));
+    }
+
+    #[test]
+    fn counter_delta_and_rate_use_window_baseline() {
+        let mut c = CounterSeries::new(64);
+        for i in 0..=10 {
+            c.push(i as f64, (i * 10) as f64); // +10 per second
+        }
+        assert_eq!(c.delta(4.0), Some(40.0));
+        assert_eq!(c.rate(4.0), Some(10.0));
+        // Window longer than history: falls back to the oldest point.
+        assert_eq!(c.delta(100.0), Some(100.0));
+        assert_eq!(c.rate(100.0), Some(10.0));
+        // One point only: no delta.
+        let mut one = CounterSeries::new(8);
+        one.push(0.0, 5.0);
+        assert_eq!(one.delta(10.0), None);
+    }
+
+    #[test]
+    fn counter_reset_folds_into_offset() {
+        let mut c = CounterSeries::new(64);
+        c.push(0.0, 100.0);
+        c.push(1.0, 150.0);
+        c.push(2.0, 20.0); // restart: raw fell below previous
+        c.push(3.0, 40.0);
+        // Corrected totals: 100, 150, 170, 190 → monotone.
+        assert_eq!(c.latest(), Some((3.0, 190.0)));
+        assert_eq!(c.delta(10.0), Some(90.0));
+    }
+}

@@ -1,0 +1,434 @@
+//! Multi-window burn-rate SLO alerting.
+//!
+//! An SLO is "at most `error_budget` of requests may be bad". The
+//! *burn rate* over a window is the observed bad fraction divided by
+//! the budget: burn 1.0 consumes the budget exactly on schedule,
+//! burn 10 consumes it ten times too fast. Following the classic
+//! multi-window recipe, an alert arms on the **fast** window (quick to
+//! react) and fires only when the **slow** window agrees (immune to
+//! blips), then resolves when the fast window clears:
+//!
+//! ```text
+//! Inactive ──fast ≥ thr──▶ Pending ──fast ∧ slow ≥ thr──▶ Firing
+//!     ▲                       │fast < thr                   │fast < thr
+//!     │                       ▼                             ▼
+//!     └────slow < thr──── Resolved ◀──────────────────── (from Firing)
+//!                             │fast ≥ thr (re-breach)
+//!                             └──────────▶ Pending
+//! ```
+//!
+//! `Resolved` is a real state, not a terminal event: the alert lingers
+//! there while the slow window still carries the incident's bad
+//! events, so a re-breach re-arms instantly instead of looking like a
+//! fresh incident.
+//!
+//! [`SloTracker`] is deliberately clock-free: callers feed explicit
+//! `(t_s, good_total, bad_total)` cumulative observations and call
+//! [`SloTracker::eval`] with the same timestamps, so the exact alert
+//! sequence for a synthetic series is unit-testable.
+
+use std::fmt;
+
+use crate::series::CounterSeries;
+
+/// How many counter points each window ring retains. At the monitor's
+/// default 500 ms poll interval this spans over eight minutes — far
+/// past any sane slow window for a load-test-scale SLO.
+const SERIES_CAPACITY: usize = 1024;
+
+/// What counts as a bad event for an objective.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Objective {
+    /// Bad = requests that never produced a prediction (timeouts).
+    Availability,
+    /// Bad = requests slower than this many seconds end to end.
+    Latency {
+        /// The latency threshold in seconds.
+        threshold_s: f64,
+    },
+}
+
+impl Objective {
+    /// Short wire name for reports (`"availability"` / `"latency"`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Objective::Availability => "availability",
+            Objective::Latency { .. } => "latency",
+        }
+    }
+}
+
+/// One SLO: an objective, a budget, and the two burn windows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloConfig {
+    /// Alert name carried into the transition log.
+    pub name: String,
+    /// What counts as bad.
+    pub objective: Objective,
+    /// Allowed bad fraction (0 < budget < 1), e.g. `0.01` for 99%.
+    pub error_budget: f64,
+    /// The fast (arming/resolving) window, seconds.
+    pub fast_window_s: f64,
+    /// The slow (confirming) window, seconds.
+    pub slow_window_s: f64,
+    /// Burn threshold the fast window must reach.
+    pub fast_burn: f64,
+    /// Burn threshold the slow window must reach to fire.
+    pub slow_burn: f64,
+}
+
+impl SloConfig {
+    /// A load-test-scale availability SLO: 99% of requests complete,
+    /// fast window 5 s at burn 10, slow window 30 s at burn 2.
+    #[must_use]
+    pub fn availability(name: &str) -> SloConfig {
+        SloConfig {
+            name: name.to_string(),
+            objective: Objective::Availability,
+            error_budget: 0.01,
+            fast_window_s: 5.0,
+            slow_window_s: 30.0,
+            fast_burn: 10.0,
+            slow_burn: 2.0,
+        }
+    }
+
+    /// A load-test-scale latency SLO: 95% of requests under
+    /// `threshold_s`, same windows as [`SloConfig::availability`].
+    #[must_use]
+    pub fn latency(name: &str, threshold_s: f64) -> SloConfig {
+        SloConfig {
+            name: name.to_string(),
+            objective: Objective::Latency { threshold_s },
+            error_budget: 0.05,
+            fast_window_s: 5.0,
+            slow_window_s: 30.0,
+            fast_burn: 10.0,
+            slow_burn: 2.0,
+        }
+    }
+}
+
+/// The alert state machine's states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlertState {
+    /// No breach anywhere.
+    Inactive,
+    /// Fast window breached; waiting for the slow window to confirm.
+    Pending,
+    /// Both windows breached: the alert is live.
+    Firing,
+    /// Fast window cleared after firing; slow window still carries the
+    /// incident.
+    Resolved,
+}
+
+impl AlertState {
+    /// Lower-case wire name (`"inactive"`, `"pending"`, …).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AlertState::Inactive => "inactive",
+            AlertState::Pending => "pending",
+            AlertState::Firing => "firing",
+            AlertState::Resolved => "resolved",
+        }
+    }
+}
+
+impl fmt::Display for AlertState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One recorded state change.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// Alert name (from [`SloConfig::name`]).
+    pub alert: String,
+    /// Evaluation timestamp.
+    pub at_s: f64,
+    /// State before.
+    pub from: AlertState,
+    /// State after.
+    pub to: AlertState,
+    /// Fast-window burn at the transition.
+    pub fast_burn: f64,
+    /// Slow-window burn at the transition.
+    pub slow_burn: f64,
+}
+
+/// Tracks one SLO: feed cumulative good/bad totals, evaluate, and the
+/// state machine walks `pending → firing → resolved`.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    good: CounterSeries,
+    bad: CounterSeries,
+    state: AlertState,
+    transitions: Vec<Transition>,
+}
+
+impl SloTracker {
+    /// A fresh tracker in [`AlertState::Inactive`].
+    #[must_use]
+    pub fn new(cfg: SloConfig) -> SloTracker {
+        SloTracker {
+            cfg,
+            good: CounterSeries::new(SERIES_CAPACITY),
+            bad: CounterSeries::new(SERIES_CAPACITY),
+            state: AlertState::Inactive,
+            transitions: Vec::new(),
+        }
+    }
+
+    /// The configuration this tracker was built with.
+    #[must_use]
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Records one scrape: cumulative good and bad event totals at
+    /// `t_s`. Totals may reset (replica restart); the series correct
+    /// for that.
+    pub fn observe(&mut self, t_s: f64, good_total: f64, bad_total: f64) {
+        self.good.push(t_s, good_total);
+        self.bad.push(t_s, bad_total);
+    }
+
+    /// Burn rate over the trailing `window_s`: bad fraction of the
+    /// window's events divided by the budget. Zero while fewer than
+    /// two observations (or zero events) span the window.
+    #[must_use]
+    pub fn burn(&self, window_s: f64) -> f64 {
+        let bad = self.bad.delta(window_s).unwrap_or(0.0);
+        let good = self.good.delta(window_s).unwrap_or(0.0);
+        let total = good + bad;
+        if total <= 0.0 {
+            return 0.0;
+        }
+        (bad / total) / self.cfg.error_budget
+    }
+
+    /// Current alert state.
+    #[must_use]
+    pub fn state(&self) -> AlertState {
+        self.state
+    }
+
+    /// Every transition recorded so far, oldest first.
+    #[must_use]
+    pub fn transitions(&self) -> &[Transition] {
+        &self.transitions
+    }
+
+    /// Evaluates the state machine at `t_s` against the latest
+    /// observations; returns the transition if the state changed.
+    pub fn eval(&mut self, t_s: f64) -> Option<Transition> {
+        let fast = self.burn(self.cfg.fast_window_s);
+        let slow = self.burn(self.cfg.slow_window_s);
+        let fast_hot = fast >= self.cfg.fast_burn;
+        let slow_hot = slow >= self.cfg.slow_burn;
+        let next = match self.state {
+            AlertState::Inactive if fast_hot => AlertState::Pending,
+            AlertState::Pending if fast_hot && slow_hot => AlertState::Firing,
+            AlertState::Pending if !fast_hot => AlertState::Inactive,
+            AlertState::Firing if !fast_hot => AlertState::Resolved,
+            AlertState::Resolved if fast_hot => AlertState::Pending,
+            AlertState::Resolved if !slow_hot => AlertState::Inactive,
+            same => same,
+        };
+        if next == self.state {
+            return None;
+        }
+        let t = Transition {
+            alert: self.cfg.name.clone(),
+            at_s: t_s,
+            from: self.state,
+            to: next,
+            fast_burn: fast,
+            slow_burn: slow,
+        };
+        self.state = next;
+        self.transitions.push(t.clone());
+        Some(t)
+    }
+}
+
+#[cfg(test)]
+// Exact float equality below checks hand-computed burn rates.
+#[allow(clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> SloConfig {
+        SloConfig {
+            name: "avail".to_string(),
+            objective: Objective::Availability,
+            error_budget: 0.01,
+            fast_window_s: 4.0,
+            slow_window_s: 12.0,
+            fast_burn: 10.0,
+            // With a 3:1 window ratio the slow threshold must sit high
+            // enough that a single-scrape blip cannot confirm: a blip
+            // hot enough to arm (≥ 10% of a 4 s window) is at most ~4%
+            // of the 12 s window, safely under 6% (burn 6).
+            slow_burn: 6.0,
+        }
+    }
+
+    /// Walks a tracker through `(t, good, bad)` points, collecting the
+    /// `(t, from, to)` of every transition.
+    fn walk(points: &[(f64, f64, f64)]) -> (SloTracker, Vec<(f64, AlertState, AlertState)>) {
+        let mut tr = SloTracker::new(cfg());
+        let mut out = Vec::new();
+        for &(t, g, b) in points {
+            tr.observe(t, g, b);
+            if let Some(x) = tr.eval(t) {
+                out.push((x.at_s, x.from, x.to));
+            }
+        }
+        (tr, out)
+    }
+
+    #[test]
+    fn burn_math_matches_hand_computation() {
+        let mut tr = SloTracker::new(cfg());
+        // 100 req/s, 20% bad from t=4 on.
+        for t in 0..=4 {
+            tr.observe(t as f64, (t * 100) as f64, 0.0);
+        }
+        for t in 5..=8 {
+            tr.observe(t as f64, (400 + (t - 4) * 80) as f64, ((t - 4) * 20) as f64);
+        }
+        // Fast window (4 s): 320 good + 80 bad → bad fraction 0.2,
+        // burn = 0.2 / 0.01 = 20.
+        assert_eq!(tr.burn(4.0), 20.0);
+        // Slow window (12 s, clipped to history): 720 good + 80 bad.
+        assert_eq!(tr.burn(12.0), (80.0 / 800.0) / 0.01);
+    }
+
+    #[test]
+    fn full_incident_walks_pending_firing_resolved_inactive() {
+        let mut pts = Vec::new();
+        // Healthy for 8 s.
+        for t in 0..=8 {
+            pts.push((t as f64, (t * 100) as f64, 0.0));
+        }
+        // Incident: 30% of requests bad for 8 s (burn 30 on both
+        // windows once they fill).
+        let (mut g, mut b) = (800.0, 0.0);
+        for t in 9..=16 {
+            g += 70.0;
+            b += 30.0;
+            pts.push((t as f64, g, b));
+        }
+        // Recovery: clean traffic again.
+        for t in 17..=40 {
+            g += 100.0;
+            pts.push((t as f64, g, b));
+        }
+        let (tr, trans) = walk(&pts);
+        let seq: Vec<(AlertState, AlertState)> = trans.iter().map(|&(_, f, t)| (f, t)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                (AlertState::Inactive, AlertState::Pending),
+                (AlertState::Pending, AlertState::Firing),
+                (AlertState::Firing, AlertState::Resolved),
+                (AlertState::Resolved, AlertState::Inactive),
+            ],
+            "{trans:?}"
+        );
+        // Arming takes two bad-heavy scrapes: at 30% bad, one second
+        // of incident is 7.5% of the 4 s window (burn 7.5 < 10), two
+        // seconds are 15%.
+        assert_eq!(trans[0].0, 10.0);
+        // Firing waits a further scrape for the slow window to cross
+        // its threshold against the clean traffic it still holds.
+        assert!(trans[1].0 > trans[0].0);
+        assert!(trans[2].0 > 16.0, "resolve only after the incident ends");
+        assert!(trans[3].0 > trans[2].0);
+        assert_eq!(tr.state(), AlertState::Inactive);
+    }
+
+    #[test]
+    fn blip_arms_then_disarms_without_firing() {
+        let mut pts = Vec::new();
+        for t in 0..=8 {
+            pts.push((t as f64, (t * 100) as f64, 0.0));
+        }
+        // One scrape with 50% bad (enough to arm the fast window),
+        // then clean again.
+        pts.push((9.0, 850.0, 50.0));
+        let (mut g, b) = (850.0, 50.0);
+        for t in 10..=20 {
+            g += 100.0;
+            pts.push((t as f64, g, b));
+        }
+        let (tr, trans) = walk(&pts);
+        let seq: Vec<(AlertState, AlertState)> = trans.iter().map(|&(_, f, t)| (f, t)).collect();
+        assert_eq!(
+            seq,
+            vec![
+                (AlertState::Inactive, AlertState::Pending),
+                (AlertState::Pending, AlertState::Inactive),
+            ],
+            "{trans:?}"
+        );
+        assert_eq!(tr.state(), AlertState::Inactive);
+        assert!(
+            !trans.iter().any(|&(_, _, to)| to == AlertState::Firing),
+            "a one-scrape blip must never fire"
+        );
+    }
+
+    #[test]
+    fn rebreach_from_resolved_rearms_to_pending() {
+        let mut pts = Vec::new();
+        for t in 0..=4 {
+            pts.push((t as f64, (t * 100) as f64, 0.0));
+        }
+        // Incident long enough to fire.
+        let (mut g, mut b) = (400.0, 0.0);
+        for t in 5..=12 {
+            g += 70.0;
+            b += 30.0;
+            pts.push((t as f64, g, b));
+        }
+        // Brief recovery (fast window clears → Resolved)…
+        for t in 13..=17 {
+            g += 100.0;
+            pts.push((t as f64, g, b));
+        }
+        let (mut tr, trans) = walk(&pts);
+        assert_eq!(tr.state(), AlertState::Resolved, "{trans:?}");
+        // …then the incident returns, worse (70% bad — enough to heat
+        // the fast window in one scrape), while slow is still hot.
+        g += 30.0;
+        b += 70.0;
+        tr.observe(18.0, g, b);
+        let x = tr.eval(18.0).expect("re-breach transitions");
+        assert_eq!((x.from, x.to), (AlertState::Resolved, AlertState::Pending));
+    }
+
+    #[test]
+    fn counter_reset_does_not_fake_an_incident() {
+        let mut tr = SloTracker::new(cfg());
+        for t in 0..=5 {
+            tr.observe(t as f64, (t * 100) as f64, 2.0);
+            assert!(tr.eval(t as f64).is_none());
+        }
+        // Replica restart: totals fall to near zero. Without reset
+        // correction the bad delta would go negative / the good delta
+        // negative, producing nonsense burns.
+        tr.observe(6.0, 50.0, 0.0);
+        assert!(tr.eval(6.0).is_none());
+        tr.observe(7.0, 150.0, 0.0);
+        assert!(tr.eval(7.0).is_none());
+        assert_eq!(tr.state(), AlertState::Inactive);
+        assert!(tr.burn(4.0) < 10.0);
+    }
+}

@@ -82,7 +82,8 @@ pub use batcher::BatchConfig;
 pub use registry::{ModelRegistry, RegistryError, ARTIFACT_EXTENSION};
 pub use server::{Client, Server, SubmitError};
 pub use spans::{
-    compute_span, FinishedTrace, Span, StageReport, TracingConfig, SPAN_RING_CAPACITY,
+    compute_span, FinishedTrace, KeepReason, PendingSpan, RequestOutcome, Span, StageReport,
+    TailConfig, TracingConfig, SPAN_RING_CAPACITY,
 };
 pub use stats::{
     HistogramSnapshot, ModelStats, RequestTiming, ServerStats, StageStats, StatsRecorder,

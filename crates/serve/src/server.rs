@@ -36,7 +36,8 @@ use crate::batcher::{Batch, BatchAssembler, BatchConfig, Request};
 use crate::queue::{BoundedQueue, Pop};
 use crate::registry::ModelRegistry;
 use crate::spans::{
-    compute_span, FinishedTrace, Sampler, Span, SpanRing, StageReport, TracingConfig,
+    compute_span, FinishedTrace, KeepReason, PendingSpan, RequestOutcome, Sampler, Span, SpanRing,
+    StageReport, TailSampler, TracingConfig,
 };
 use crate::stats::{RequestTiming, ServerStats, StatsRecorder};
 use crate::ticket::{RequestError, Ticket, TicketInner};
@@ -100,6 +101,9 @@ struct Shared {
     /// Span trees of requests that blew their slow threshold
     /// (`GET /v1/slowlog`).
     slowlog: SpanRing,
+    /// Completion-time retention ([`TracingConfig::tail`]); `None`
+    /// keeps the traces ring head-sampled only.
+    tail: Option<TailSampler>,
 }
 
 impl Shared {
@@ -201,6 +205,7 @@ impl Server {
             sampler: Sampler::new(tracing.sample_rate),
             traces: SpanRing::new(),
             slowlog: SpanRing::new(),
+            tail: tracing.tail.map(TailSampler::new),
         });
         let batcher = {
             let shared = Arc::clone(&shared);
@@ -564,13 +569,16 @@ impl Client {
     pub fn record_trace(&self, trace_id: String, model: String, total_s: f64, root: Span) {
         self.shared
             .traces
-            .record(trace_id, model, true, total_s, root);
+            .record(trace_id, model, true, "head", total_s, root);
     }
 
     /// Retains one slow request's span tree in the slowlog ring
     /// (`GET /v1/slowlog`): the transport calls this when the
     /// end-to-end latency exceeded
     /// [`TracingConfig::slow_threshold_for`] the request's deadline.
+    /// Also bumps the model's `slow` counter (the
+    /// `vitcod_slow_requests_total` scrape family), so slow rates are
+    /// computable without draining the ring.
     pub fn record_slow(
         &self,
         trace_id: String,
@@ -579,9 +587,95 @@ impl Client {
         total_s: f64,
         root: Span,
     ) {
+        self.shared.stats.record_slow_request(&model);
         self.shared
             .slowlog
-            .record(trace_id, model, sampled, total_s, root);
+            .record(trace_id, model, sampled, "slow", total_s, root);
+    }
+
+    /// Retains one tail-kept request's span tree in the traces ring
+    /// (`GET /v1/traces`), labelled with its [`KeepReason`]. Tail-kept
+    /// traces are `sampled: false` — their compute span is a stage
+    /// leaf, not a profiled per-layer tree.
+    pub fn record_tail(
+        &self,
+        trace_id: String,
+        model: String,
+        total_s: f64,
+        root: Span,
+        reason: KeepReason,
+    ) {
+        self.shared
+            .traces
+            .record(trace_id, model, false, reason.as_str(), total_s, root);
+    }
+
+    /// Whether tail-based retention is configured
+    /// ([`TracingConfig::tail`]).
+    pub fn tail_enabled(&self) -> bool {
+        self.shared.tail.is_some()
+    }
+
+    /// Registers an in-flight request with the tail sampler's pending
+    /// buffer. `None` when the tail is off or the buffer is full
+    /// (counted via [`Client::tail_pending_dropped`]); the request
+    /// stays eligible for the slow/error keeps either way.
+    pub fn tail_register(&self, trace_id: &str, model: &str) -> Option<u64> {
+        self.shared
+            .tail
+            .as_ref()
+            .and_then(|t| t.register(trace_id, model))
+    }
+
+    /// Completes a request against the tail sampler: unregisters its
+    /// pending entry and returns the keep decision (`None` when the
+    /// trace is dropped, or already retained by head sampling).
+    pub fn tail_complete(
+        &self,
+        key: Option<u64>,
+        sampled: bool,
+        slow: bool,
+        outcome: RequestOutcome,
+    ) -> Option<KeepReason> {
+        self.shared
+            .tail
+            .as_ref()
+            .and_then(|t| t.complete(key, sampled, slow, outcome))
+    }
+
+    /// Snapshot of the tail sampler's in-flight pending buffer (empty
+    /// when the tail is off).
+    pub fn tail_pending(&self) -> Vec<PendingSpan> {
+        self.shared
+            .tail
+            .as_ref()
+            .map(TailSampler::pending)
+            .unwrap_or_default()
+    }
+
+    /// Requests that skipped tail registration on a full pending
+    /// buffer.
+    pub fn tail_pending_dropped(&self) -> u64 {
+        self.shared
+            .tail
+            .as_ref()
+            .map(TailSampler::pending_dropped)
+            .unwrap_or(0)
+    }
+
+    /// The compiled token-matrix shape `(tokens, in_dim)` the model
+    /// expects, or `None` for an unknown id — what a health prober
+    /// needs to build a valid one-sample input.
+    pub fn model_shape(&self, model: &str) -> Option<(usize, usize)> {
+        self.shared
+            .engines
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(model)
+            .map(|engine| {
+                let compiled = engine.compiled();
+                (compiled.config().tokens, compiled.in_dim())
+            })
     }
 
     /// Drains and returns the sampled span-tree ring in record order.

@@ -233,6 +233,7 @@ struct ModelAccum {
     requests: u64,
     batches: u64,
     timed_out: u64,
+    slow: u64,
     latencies_s: Vec<f64>,
     latency_cursor: usize,
     /// Set the first time the ring overwrites a sample: from then on
@@ -276,6 +277,12 @@ pub struct ModelStats {
     /// slot (resolved as [`crate::RequestError::TimedOut`]); not
     /// counted in `requests` or the latency percentiles.
     pub timed_out: u64,
+    /// Requests whose end-to-end latency exceeded their slow threshold
+    /// (the slowlog admissions counter, monotonic — the
+    /// `vitcod_slow_requests_total` scrape family). Unlike the slowlog
+    /// ring itself this is never drained, so slow rates stay computable
+    /// from scrapes alone.
+    pub slow: u64,
     /// Median end-to-end request latency (enqueue → prediction), in
     /// seconds; 0 when no request finished yet.
     pub p50_latency_s: f64,
@@ -364,6 +371,13 @@ impl StatsRecorder {
     pub fn record_timeout(&self, model: &str) {
         let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
         inner.entry(model.to_string()).or_default().timed_out += 1;
+    }
+
+    /// Records one request that exceeded its slow threshold (admitted
+    /// to the slowlog ring).
+    pub fn record_slow_request(&self, model: &str) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.entry(model.to_string()).or_default().slow += 1;
     }
 
     /// Records one drained batch: its compute wall (engine busy time,
@@ -457,6 +471,7 @@ impl StatsRecorder {
                     requests: a.requests,
                     batches: a.batches,
                     timed_out: a.timed_out,
+                    slow: a.slow,
                     p50_latency_s: percentile(&sorted, 0.50),
                     p99_latency_s: percentile(&sorted, 0.99),
                     p999_latency_s: percentile(&sorted, 0.999),
@@ -565,6 +580,18 @@ mod tests {
             assert_eq!(h.count, 2, "{name}");
             assert!((h.sum_s - 0.003 * (i + 1) as f64).abs() < 1e-9, "{name}");
         }
+    }
+
+    #[test]
+    fn slow_counter_accumulates_independently_of_requests() {
+        let r = StatsRecorder::new();
+        r.record_slow_request("m");
+        r.record_slow_request("m");
+        r.record_batch("m", Duration::from_millis(1), &timings(&[1]));
+        let m = r.snapshot(1.0);
+        let m = m.model("m").expect("recorded");
+        assert_eq!(m.slow, 2);
+        assert_eq!(m.requests, 1);
     }
 
     #[test]

@@ -11,7 +11,10 @@ use rand_chacha::ChaCha8Rng;
 use vitcod_autograd::ParamStore;
 use vitcod_engine::{save_compiled_vit, CompiledVit, Engine, Precision};
 use vitcod_model::{Sample, SparsityPlan, ViTConfig, VisionTransformer};
-use vitcod_serve::{BatchConfig, ModelRegistry, Server, Span, SubmitError, TracingConfig};
+use vitcod_serve::{
+    BatchConfig, KeepReason, ModelRegistry, RequestOutcome, Server, Span, SubmitError, TailConfig,
+    TracingConfig,
+};
 use vitcod_tensor::{Initializer, Matrix};
 
 const IN_DIM: usize = 8;
@@ -659,6 +662,7 @@ fn traced_submits_report_partitioned_span_trees_and_op_stats() {
         TracingConfig {
             sample_rate: 1.0,
             slow_threshold: None,
+            tail: None,
         },
     );
     let client = server.client();
@@ -712,5 +716,77 @@ fn traced_submits_report_partitioned_span_trees_and_op_stats() {
     assert_eq!(client.peek_slowlog().len(), 1);
     assert_eq!(server.take_slowlog().len(), 1);
     assert_eq!(client.traces_dropped() + client.slowlog_dropped(), 0);
+    server.shutdown();
+}
+
+/// Tail mode through the `Client` API: off by default (register/complete
+/// are no-ops), on it tracks the pending buffer, keeps by completion
+/// outcome, and `record_tail` lands in the traces ring with `sampled:
+/// false` and the keep reason — the "tail-kept, not head-sampled"
+/// distinction `/v1/traces` consumers rely on.
+#[test]
+fn tail_retention_tracks_pending_and_labels_kept_traces() {
+    let model = tiny_model(23, false);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model).build())
+        .unwrap();
+    let server = Server::start(registry, BatchConfig::default());
+    let client = server.client();
+    assert!(!client.tail_enabled(), "Server::start leaves the tail off");
+    assert_eq!(client.tail_register("t-0", "m"), None);
+    assert_eq!(
+        client.tail_complete(None, false, true, RequestOutcome::Ok),
+        None,
+        "tail off: even slow completions are not tail-kept"
+    );
+    drop(server);
+
+    let model = tiny_model(23, false);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model).build())
+        .unwrap();
+    let server = Server::start_with_tracing(
+        registry,
+        BatchConfig::default(),
+        TracingConfig {
+            sample_rate: 0.0,
+            slow_threshold: None,
+            tail: Some(TailConfig {
+                reservoir: 1,
+                seed: 9,
+                pending_capacity: 2,
+            }),
+        },
+    );
+    let client = server.client();
+    assert!(client.tail_enabled());
+    assert_eq!(client.model_shape("m").map(|(_, d)| d), Some(IN_DIM));
+    assert_eq!(client.model_shape("nope"), None);
+    let k0 = client.tail_register("t-0", "m");
+    let k1 = client.tail_register("t-1", "m");
+    assert!(k0.is_some() && k1.is_some());
+    assert!(client.tail_register("t-2", "m").is_none(), "buffer full");
+    assert_eq!(client.tail_pending().len(), 2);
+    assert_eq!(client.tail_pending_dropped(), 1);
+    // First completion: reservoir of 1 always keeps completion #1.
+    let kept = client.tail_complete(k0, false, false, RequestOutcome::Ok);
+    assert_eq!(kept, Some(KeepReason::Reservoir));
+    client.record_tail(
+        "t-0".into(),
+        "m".into(),
+        0.4,
+        Span::leaf("request", 0.4),
+        KeepReason::Reservoir,
+    );
+    // Expired completions are always kept.
+    let kept = client.tail_complete(k1, false, false, RequestOutcome::Expired);
+    assert_eq!(kept, Some(KeepReason::Error));
+    assert!(client.tail_pending().is_empty());
+    let traces = client.take_traces();
+    assert_eq!(traces.len(), 1);
+    assert!(!traces[0].sampled);
+    assert_eq!(traces[0].kept, "reservoir");
     server.shutdown();
 }

@@ -183,6 +183,7 @@ fn model_stats_json(m: &ModelStats) -> Json {
         ("requests".into(), Json::Number(m.requests as f64)),
         ("batches".into(), Json::Number(m.batches as f64)),
         ("timed_out".into(), Json::Number(m.timed_out as f64)),
+        ("slow".into(), Json::Number(m.slow as f64)),
         ("p50_latency_s".into(), Json::Number(m.p50_latency_s)),
         ("p99_latency_s".into(), Json::Number(m.p99_latency_s)),
         ("p999_latency_s".into(), Json::Number(m.p999_latency_s)),
@@ -254,6 +255,55 @@ pub fn health_json(models: &[String], queued: usize, uptime_s: f64) -> Json {
     ])
 }
 
+/// One model's deep-health probe result: did a one-sample inference
+/// through the full serving path come back, and how long it took.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProbe {
+    /// Model id probed.
+    pub model: String,
+    /// Whether the probe came back with a prediction in budget.
+    pub ok: bool,
+    /// Probe round trip in seconds (submit → prediction or give-up).
+    pub latency_s: f64,
+}
+
+/// Encodes the `GET /v1/health?deep=1` body: the shallow health fields
+/// plus per-model probe results, `status` flipping to `degraded` when
+/// any probe failed.
+pub fn deep_health_json(
+    models: &[String],
+    queued: usize,
+    uptime_s: f64,
+    healthy: bool,
+    probes: &[ModelProbe],
+) -> Json {
+    let status = if healthy { "ok" } else { "degraded" };
+    Json::Object(vec![
+        ("status".into(), Json::String(status.into())),
+        ("uptime_s".into(), Json::Number(uptime_s)),
+        (
+            "models".into(),
+            Json::Array(models.iter().map(|m| Json::String(m.clone())).collect()),
+        ),
+        ("queued".into(), Json::Number(queued as f64)),
+        (
+            "probes".into(),
+            Json::Array(
+                probes
+                    .iter()
+                    .map(|p| {
+                        Json::Object(vec![
+                            ("model".into(), Json::String(p.model.clone())),
+                            ("ok".into(), Json::Bool(p.ok)),
+                            ("latency_s".into(), Json::Number(p.latency_s)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
 /// Encodes the `GET /v1/trace` body: the drained event ring plus the
 /// ring's lifetime eviction counter.
 pub fn trace_json(events: &[TraceEvent], dropped: u64) -> Json {
@@ -308,6 +358,7 @@ pub fn traces_json(traces: &[FinishedTrace], dropped: u64) -> Json {
                             ("trace_id".into(), Json::String(t.trace_id.clone())),
                             ("model".into(), Json::String(t.model.clone())),
                             ("sampled".into(), Json::Bool(t.sampled)),
+                            ("kept".into(), Json::String(t.kept.into())),
                             ("total_s".into(), Json::Number(t.total_s)),
                             ("root".into(), span_json(&t.root)),
                         ])

@@ -19,6 +19,7 @@
 //! | GET    | `/v1/traces`               | — (drains sampled span trees)      |
 //! | GET    | `/v1/slowlog`              | — (drains the slow-request log)    |
 //! | GET    | `/healthz`                 | —                                  |
+//! | GET    | `/v1/health`               | — (`?deep=1` runs a one-sample inference probe per model) |
 //! | POST   | `/v1/models/{id}/reload`   | `{"path": "models/m.vitcod"}`      |
 //!
 //! The three ring endpoints (`/v1/trace`, `/v1/traces`, `/v1/slowlog`)

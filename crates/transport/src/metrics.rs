@@ -19,6 +19,7 @@
 //! | `vitcod_slowlog_dropped_total` | counter | — |
 //! | `vitcod_requests_total` | counter | `model` |
 //! | `vitcod_timeouts_total` | counter | `model` |
+//! | `vitcod_slow_requests_total` | counter | `model` |
 //! | `vitcod_batches_total` | counter | `model` |
 //! | `vitcod_model_info` | gauge | `model`, `backend`, `precision` |
 //! | `vitcod_latency_samples_truncated` | gauge | `model` |
@@ -204,6 +205,21 @@ pub fn render(stats: &ServerStats, queued: usize, drops: RingDrops) -> String {
 
     header(
         &mut out,
+        "vitcod_slow_requests_total",
+        "counter",
+        "Requests whose end-to-end latency exceeded their slow threshold (slowlog admissions).",
+    );
+    for m in &stats.models {
+        let _ = writeln!(
+            out,
+            "vitcod_slow_requests_total{{model=\"{}\"}} {}",
+            escape_label(&m.model),
+            m.slow
+        );
+    }
+
+    header(
+        &mut out,
         "vitcod_batches_total",
         "counter",
         "Batches drained through the engine.",
@@ -346,6 +362,8 @@ mod tests {
         );
         r.record_serialize("deit\"tiny", Duration::from_micros(100));
         r.record_timeout("deit\"tiny");
+        r.record_slow_request("deit\"tiny");
+        r.record_slow_request("deit\"tiny");
         let mut ops = [0.0f64; vitcod_engine::OP_COUNT];
         for (i, slot) in ops.iter_mut().enumerate() {
             *slot = 1e-4 * (i + 1) as f64;
@@ -377,6 +395,7 @@ mod tests {
             "vitcod_slowlog_dropped_total",
             "vitcod_requests_total",
             "vitcod_timeouts_total",
+            "vitcod_slow_requests_total",
             "vitcod_batches_total",
             "vitcod_model_info",
             "vitcod_latency_samples_truncated",
@@ -392,6 +411,7 @@ mod tests {
             );
         }
         assert!(body.contains("vitcod_queue_depth 3"));
+        assert!(body.contains("vitcod_slow_requests_total{model=\"deit\\\"tiny\"} 2"));
         assert!(body.contains("vitcod_trace_dropped_total 7"));
         assert!(body.contains("vitcod_traces_dropped_total 2"));
         assert!(body.contains("vitcod_slowlog_dropped_total 1"));

@@ -3,6 +3,7 @@
 //! | method | path                          | endpoint                    |
 //! |--------|-------------------------------|-----------------------------|
 //! | GET    | `/healthz`                    | liveness + model list       |
+//! | GET    | `/v1/health`                  | same; `?deep=1` probes      |
 //! | GET    | `/v1/stats`                   | serving statistics snapshot |
 //! | GET    | `/v1/metrics`                 | Prometheus text exposition  |
 //! | GET    | `/v1/trace`                   | drain the event-trace ring  |
@@ -17,7 +18,8 @@
 /// A resolved endpoint.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Route {
-    /// `GET /healthz`.
+    /// `GET /healthz` or `GET /v1/health` (the latter accepts
+    /// `?deep=1` for a per-model inference readiness probe).
     Health,
     /// `GET /v1/stats`.
     Stats,
@@ -65,7 +67,7 @@ pub fn route(method: &str, path: &str) -> Result<Route, RouteError> {
         Some((model.to_string(), action.to_string()))
     };
     match path {
-        "/healthz" => {
+        "/healthz" | "/v1/health" => {
             if method == "GET" {
                 Ok(Route::Health)
             } else {
@@ -130,6 +132,7 @@ mod tests {
     #[test]
     fn routes_resolve() {
         assert_eq!(route("GET", "/healthz"), Ok(Route::Health));
+        assert_eq!(route("GET", "/v1/health"), Ok(Route::Health));
         assert_eq!(route("GET", "/v1/stats"), Ok(Route::Stats));
         assert_eq!(route("GET", "/v1/metrics"), Ok(Route::Metrics));
         assert_eq!(route("GET", "/v1/trace"), Ok(Route::Trace));
@@ -150,6 +153,10 @@ mod tests {
     #[test]
     fn wrong_method_is_405_unknown_path_is_404() {
         assert_eq!(route("POST", "/healthz"), Err(RouteError::MethodNotAllowed));
+        assert_eq!(
+            route("POST", "/v1/health"),
+            Err(RouteError::MethodNotAllowed)
+        );
         assert_eq!(
             route("POST", "/v1/metrics"),
             Err(RouteError::MethodNotAllowed)

@@ -26,7 +26,8 @@ use std::time::{Duration, Instant};
 use vitcod_engine::{load_compiled_vit, Engine};
 use vitcod_serve::queue::{BoundedQueue, Pop};
 use vitcod_serve::{
-    Client, RequestError, Server, ServerStats, Span, StageReport, SubmitError, Ticket,
+    Client, RequestError, RequestOutcome, Server, ServerStats, Span, StageReport, SubmitError,
+    Ticket,
 };
 
 use crate::api;
@@ -398,12 +399,19 @@ fn dispatch(
             json((405, api::error_json("method not allowed on this endpoint")))
         }
         Ok(Route::Health) => {
-            let body = api::health_json(
-                &shared.client.model_ids(),
-                shared.client.queued_requests(),
-                shared.client.uptime_s(),
-            );
-            json((200, body.to_string()))
+            // `?deep=1`: readiness, not just liveness — run one real
+            // inference per registered model through the full queue →
+            // batcher → engine path.
+            if request.query.split('&').any(|kv| kv == "deep=1") {
+                json(deep_health(shared))
+            } else {
+                let body = api::health_json(
+                    &shared.client.model_ids(),
+                    shared.client.queued_requests(),
+                    shared.client.uptime_s(),
+                );
+                json((200, body.to_string()))
+            }
         }
         Ok(Route::Stats) => json((200, api::stats_json(&shared.client.stats()).to_string())),
         Ok(Route::Metrics) => {
@@ -493,6 +501,10 @@ fn classify(
     let header_id = request.header(TRACE_ID_HEADER).map(str::to_string);
     let sampled = header_id.is_some() || shared.client.sample_trace();
     let trace_id = header_id.unwrap_or_else(next_trace_id);
+    // Tail mode: every in-flight request registers in the bounded
+    // pending buffer; the keep decision happens in `finish_trace`, at
+    // completion. A no-op (`None`) with the tail off or the buffer full.
+    let tail_key = shared.client.tail_register(&trace_id, model);
     // The parse span: first byte on the wire to a validated payload.
     let parse_s = ingress.elapsed().as_secs_f64();
     let timeout = payload
@@ -508,7 +520,24 @@ fn classify(
             // Already-submitted samples of a failed batch are still
             // served (their tickets resolve unobserved); the request as
             // a whole reports the error.
-            Err(e) => return (submit_status(&e), api::error_json(&e.to_string())),
+            Err(e) => {
+                finish_trace(
+                    shared,
+                    model,
+                    timeout,
+                    None,
+                    TraceFinish {
+                        trace_id: trace_id.clone(),
+                        sampled,
+                        tail_key,
+                        outcome: RequestOutcome::Failed,
+                        ingress,
+                        parse_s,
+                        serialize_s: 0.0,
+                    },
+                );
+                return (submit_status(&e), api::error_json(&e.to_string()));
+            }
         }
     }
     let mut results = Vec::with_capacity(tickets.len());
@@ -524,6 +553,21 @@ fn classify(
                 )]));
             }
             Err(RequestError::Cancelled) => {
+                finish_trace(
+                    shared,
+                    model,
+                    timeout,
+                    None,
+                    TraceFinish {
+                        trace_id: trace_id.clone(),
+                        sampled,
+                        tail_key,
+                        outcome: RequestOutcome::Failed,
+                        ingress,
+                        parse_s,
+                        serialize_s: 0.0,
+                    },
+                );
                 return (503, api::error_json("server shut down before serving"));
             }
         }
@@ -533,9 +577,16 @@ fn classify(
     // stamps are near-identical — one tree per trace id keeps the rings
     // and their JSON bounded.
     let report = tickets.first().and_then(Ticket::take_stage_report);
+    let outcome = if timed_out > 0 {
+        RequestOutcome::Expired
+    } else {
+        RequestOutcome::Ok
+    };
     let finish = |serialize_s: f64| TraceFinish {
         trace_id: trace_id.clone(),
         sampled,
+        tail_key,
+        outcome,
         ingress,
         parse_s,
         serialize_s,
@@ -569,6 +620,12 @@ fn classify(
 struct TraceFinish {
     trace_id: String,
     sampled: bool,
+    /// The request's tail pending-buffer key, when tail mode registered
+    /// it at ingress.
+    tail_key: Option<u64>,
+    /// How the request ended, for the tail sampler's errored/expired
+    /// keep rule.
+    outcome: RequestOutcome,
     ingress: Instant,
     parse_s: f64,
     serialize_s: f64,
@@ -577,8 +634,11 @@ struct TraceFinish {
 /// Assembles the `request` span tree and retains it: in the traces ring
 /// when the request was head-sampled, in the slowlog ring when its
 /// end-to-end latency exceeded the slow threshold (deadline × 0.5, or
-/// the configured fallback). Ordinary fast-path requests return without
-/// touching either ring.
+/// the configured fallback). With tail mode on
+/// ([`vitcod_serve::TracingConfig::tail`]) the traces ring additionally
+/// keeps slow, errored/expired and reservoir-selected requests, decided
+/// here — at completion, when the end-to-end total is known. Ordinary
+/// fast-path requests return without touching any ring.
 fn finish_trace(
     shared: &TransportShared,
     model: &str,
@@ -592,7 +652,13 @@ fn finish_trace(
         .tracing()
         .slow_threshold_for(timeout)
         .is_some_and(|t| total_s > t.as_secs_f64());
-    if !f.sampled && !slow {
+    // Completion-time keep decision; also unregisters the pending
+    // entry. `None` whenever the tail is off, so the default path is
+    // exactly the head-sampling semantics.
+    let tail_keep = shared
+        .client
+        .tail_complete(f.tail_key, f.sampled, slow, f.outcome);
+    if !f.sampled && !slow && tail_keep.is_none() {
         return;
     }
     // A request that expired before serving has no report; its stage
@@ -618,9 +684,72 @@ fn finish_trace(
             .record_trace(f.trace_id.clone(), model.to_string(), total_s, root.clone());
     }
     if slow {
+        shared.client.record_slow(
+            f.trace_id.clone(),
+            model.to_string(),
+            f.sampled,
+            total_s,
+            root.clone(),
+        );
+    }
+    if let Some(reason) = tail_keep {
         shared
             .client
-            .record_slow(f.trace_id, model.to_string(), f.sampled, total_s, root);
+            .record_tail(f.trace_id, model.to_string(), total_s, root, reason);
+    }
+}
+
+/// Per-model budget of the deep health probe: generous against batching
+/// waits (`max_wait` flushes) but bounded, so a wedged model degrades
+/// the probe instead of hanging it.
+const PROBE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// `GET /v1/health?deep=1`: runs a one-sample inference per registered
+/// model through the normal serving path and reports per-model
+/// readiness. Any failed probe turns the status to `degraded` and the
+/// response to 503 — the shape a load balancer's readiness check wants.
+/// Probe requests are real requests: they count in the model's stats
+/// (and are never head-sampled or tail-registered, so they cannot crowd
+/// the trace rings).
+fn deep_health(shared: &TransportShared) -> (u16, String) {
+    let models = shared.client.model_ids();
+    let probes: Vec<api::ModelProbe> = models
+        .iter()
+        .map(|model| {
+            let started = Instant::now();
+            let ok = probe_model(shared, model);
+            api::ModelProbe {
+                model: model.clone(),
+                ok,
+                latency_s: started.elapsed().as_secs_f64(),
+            }
+        })
+        .collect();
+    let healthy = probes.iter().all(|p| p.ok);
+    let body = api::deep_health_json(
+        &models,
+        shared.client.queued_requests(),
+        shared.client.uptime_s(),
+        healthy,
+        &probes,
+    );
+    (if healthy { 200 } else { 503 }, body.to_string())
+}
+
+/// One probe: a zero token matrix of the model's compiled shape,
+/// submitted with a deadline and waited to a prediction.
+fn probe_model(shared: &TransportShared, model: &str) -> bool {
+    let Some((tokens, in_dim)) = shared.client.model_shape(model) else {
+        // Racing an unregister; a model that is gone cannot be ready.
+        return false;
+    };
+    let sample = vitcod_tensor::Matrix::zeros(tokens, in_dim);
+    match shared
+        .client
+        .submit_traced(model, sample, Some(PROBE_TIMEOUT), false)
+    {
+        Ok(ticket) => wait_for(shared, &ticket, Some(PROBE_TIMEOUT)).is_ok(),
+        Err(_) => false,
     }
 }
 

@@ -1,10 +1,11 @@
 //! Loopback e2e for the observability surface: `/v1/metrics` is valid
-//! Prometheus text exposition (parsed and cross-checked against
-//! `/v1/stats`, per the acceptance criterion), `/v1/trace` drains typed
-//! events, and `/healthz` + `/v1/stats` report uptime and per-model
+//! Prometheus text exposition (parsed through `vitcod_obs::promtext` —
+//! the same parser the monitor binary ships — and cross-checked
+//! against `/v1/stats`, per the acceptance criterion), `/v1/trace`
+//! drains typed events, `/v1/health?deep=1` runs per-model inference
+//! probes, and `/healthz` + `/v1/stats` report uptime and per-model
 //! backend/precision/stage breakdowns.
 
-use std::collections::BTreeMap;
 use std::time::Duration;
 
 use rand::SeedableRng;
@@ -12,7 +13,8 @@ use rand_chacha::ChaCha8Rng;
 use vitcod_autograd::ParamStore;
 use vitcod_engine::{CompiledVit, Engine, Precision};
 use vitcod_model::{ViTConfig, VisionTransformer};
-use vitcod_serve::{BatchConfig, ModelRegistry, Server, TracingConfig};
+use vitcod_obs::promtext::{check_histogram, Exposition};
+use vitcod_serve::{BatchConfig, ModelRegistry, Server, TailConfig, TracingConfig};
 use vitcod_tensor::Initializer;
 use vitcod_transport::{
     api::tokens_json, HttpClient, HttpServer, Json, TransportConfig, TRACE_ID_HEADER,
@@ -34,171 +36,21 @@ fn classify_body(model: &CompiledVit, seed: u64) -> String {
     Json::Object(vec![("tokens".into(), tokens_json(&tokens))]).to_string()
 }
 
-/// One parsed Prometheus sample: metric name, sorted label set, value.
-#[derive(Debug, Clone, PartialEq)]
-struct PromSample {
-    name: String,
-    labels: BTreeMap<String, String>,
-    value: f64,
+/// Parses an exposition body through the shared `vitcod-obs` parser,
+/// panicking (test context) on malformed input.
+fn parse_prom(text: &str) -> Exposition {
+    Exposition::parse(text).expect("valid text exposition")
 }
 
-/// A strict-enough parser for the text exposition format 0.0.4: every
-/// non-comment line must be `name{labels} value` or `name value`, every
-/// samples line must be preceded by a `# TYPE` for its family, and
-/// label values must unescape cleanly.
-struct PromText {
-    types: BTreeMap<String, String>,
-    samples: Vec<PromSample>,
+/// The single sample of `name` matching the label pairs.
+fn prom_one(prom: &Exposition, name: &str, want: &[(&str, &str)]) -> f64 {
+    prom.one(name, want)
+        .unwrap_or_else(|e| panic!("{name}{want:?}: {e}"))
 }
 
-impl PromText {
-    fn parse(text: &str) -> Self {
-        let mut types = BTreeMap::new();
-        let mut samples = Vec::new();
-        for line in text.lines() {
-            if line.is_empty() {
-                continue;
-            }
-            if let Some(rest) = line.strip_prefix("# TYPE ") {
-                let mut it = rest.splitn(2, ' ');
-                let name = it.next().expect("type name").to_string();
-                let kind = it.next().expect("type kind").to_string();
-                assert!(
-                    matches!(kind.as_str(), "counter" | "gauge" | "histogram"),
-                    "unknown TYPE {kind} for {name}"
-                );
-                types.insert(name, kind);
-                continue;
-            }
-            if line.starts_with('#') {
-                continue; // HELP or comment
-            }
-            let (series, value) = line.rsplit_once(' ').expect("sample line needs a value");
-            let value = if value == "+Inf" {
-                f64::INFINITY
-            } else {
-                value
-                    .parse::<f64>()
-                    .unwrap_or_else(|_| panic!("unparseable value {value:?} in line {line:?}"))
-            };
-            let (name, labels) = match series.split_once('{') {
-                None => (series.to_string(), BTreeMap::new()),
-                Some((name, rest)) => {
-                    let inner = rest.strip_suffix('}').expect("labels close with }");
-                    (name.to_string(), Self::parse_labels(inner))
-                }
-            };
-            // Each sample's family (name minus a histogram suffix) must
-            // have a TYPE line before it.
-            let family = ["_bucket", "_sum", "_count"]
-                .iter()
-                .find_map(|s| name.strip_suffix(s))
-                .filter(|f| types.contains_key(*f))
-                .unwrap_or(&name);
-            assert!(
-                types.contains_key(family),
-                "sample {name} has no preceding # TYPE for {family}"
-            );
-            samples.push(PromSample {
-                name,
-                labels,
-                value,
-            });
-        }
-        Self { types, samples }
-    }
-
-    fn parse_labels(inner: &str) -> BTreeMap<String, String> {
-        let mut labels = BTreeMap::new();
-        let mut rest = inner;
-        while !rest.is_empty() {
-            let eq = rest.find("=\"").expect("label needs =\"");
-            let key = rest[..eq].trim_start_matches(',').to_string();
-            rest = &rest[eq + 2..];
-            // Find the closing quote, honouring backslash escapes.
-            let mut value = String::new();
-            let mut chars = rest.char_indices();
-            let close = loop {
-                let (i, c) = chars.next().expect("unterminated label value");
-                match c {
-                    '\\' => {
-                        let (_, e) = chars.next().expect("dangling escape");
-                        value.push(match e {
-                            'n' => '\n',
-                            other => other, // \" and \\ unescape to themselves
-                        });
-                    }
-                    '"' => break i,
-                    other => value.push(other),
-                }
-            };
-            labels.insert(key, value);
-            rest = &rest[close + 1..];
-        }
-        labels
-    }
-
-    /// All samples of `name` whose labels include every `(k, v)` pair.
-    fn with(&self, name: &str, want: &[(&str, &str)]) -> Vec<&PromSample> {
-        self.samples
-            .iter()
-            .filter(|s| {
-                s.name == name
-                    && want
-                        .iter()
-                        .all(|(k, v)| s.labels.get(*k).map(String::as_str) == Some(*v))
-            })
-            .collect()
-    }
-
-    /// The single sample of `name` matching the label pairs.
-    fn one(&self, name: &str, want: &[(&str, &str)]) -> f64 {
-        let hits = self.with(name, want);
-        assert_eq!(hits.len(), 1, "{name}{want:?} → {hits:?}");
-        hits[0].value
-    }
-}
-
-/// A histogram family's `_bucket` series must be cumulative in `le`,
-/// close with `+Inf` equal to `_count`, and `_sum`/`_count` must exist.
-fn check_histogram(prom: &PromText, name: &str, labels: &[(&str, &str)]) -> f64 {
-    assert_eq!(
-        prom.types.get(name).map(String::as_str),
-        Some("histogram"),
-        "{name} must be TYPE histogram"
-    );
-    let mut buckets: Vec<(f64, f64)> = prom
-        .with(&format!("{name}_bucket"), labels)
-        .iter()
-        .map(|s| {
-            let le = s.labels.get("le").expect("bucket needs le");
-            let le = if le == "+Inf" {
-                f64::INFINITY
-            } else {
-                le.parse().expect("finite le")
-            };
-            (le, s.value)
-        })
-        .collect();
-    assert!(!buckets.is_empty(), "{name}{labels:?} has no buckets");
-    buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
-    assert!(
-        buckets.windows(2).all(|w| w[1].1 >= w[0].1),
-        "{name}{labels:?} buckets must be cumulative"
-    );
-    let (last_le, inf_count) = *buckets.last().expect("nonempty");
-    assert!(
-        last_le.is_infinite(),
-        "{name}{labels:?} must close with +Inf"
-    );
-    let count = prom.one(&format!("{name}_count"), labels);
-    let sum = prom.one(&format!("{name}_sum"), labels);
-    assert!(
-        (inf_count - count).abs() < 0.5,
-        "{name}{labels:?}: +Inf bucket {inf_count} != count {count}"
-    );
-    assert!(sum >= 0.0);
-    count
+/// Validates one histogram entry, returning its `_count`.
+fn prom_histogram(prom: &Exposition, name: &str, labels: &[(&str, &str)]) -> f64 {
+    check_histogram(prom, name, labels).unwrap_or_else(|e| panic!("{name}{labels:?}: {e}"))
 }
 
 #[test]
@@ -267,23 +119,25 @@ fn metrics_exposition_parses_and_matches_stats() {
         "exposition content type, got {content_type}"
     );
     let text = resp.body_str();
-    let prom = PromText::parse(&text);
+    let prom = parse_prom(&text);
 
     // Request counters match what we actually sent, per model.
     assert!(
-        (prom.one("vitcod_requests_total", &[("model", "tiny-fp32")]) - FP32_REQS as f64).abs()
+        (prom_one(&prom, "vitcod_requests_total", &[("model", "tiny-fp32")]) - FP32_REQS as f64)
+            .abs()
             < 0.5
     );
     assert!(
-        (prom.one("vitcod_requests_total", &[("model", "tiny-int8")]) - INT8_REQS as f64).abs()
+        (prom_one(&prom, "vitcod_requests_total", &[("model", "tiny-int8")]) - INT8_REQS as f64)
+            .abs()
             < 0.5
     );
     assert_eq!(
         prom.types.get("vitcod_requests_total").map(String::as_str),
         Some("counter")
     );
-    assert!(prom.one("vitcod_uptime_seconds", &[]) > 0.0);
-    assert!(prom.one("vitcod_queue_depth", &[]) >= 0.0);
+    assert!(prom_one(&prom, "vitcod_uptime_seconds", &[]) > 0.0);
+    assert!(prom_one(&prom, "vitcod_queue_depth", &[]) >= 0.0);
 
     // Backend/precision surface as model_info labels.
     let info = prom.with("vitcod_model_info", &[("model", "tiny-int8")]);
@@ -295,7 +149,7 @@ fn metrics_exposition_parses_and_matches_stats() {
     assert!(info[0].labels.contains_key("backend"));
 
     // End-to-end latency histogram: cumulative, +Inf == count == reqs.
-    let count = check_histogram(
+    let count = prom_histogram(
         &prom,
         "vitcod_request_latency_seconds",
         &[("model", "tiny-fp32")],
@@ -306,7 +160,7 @@ fn metrics_exposition_parses_and_matches_stats() {
     // serialize stage included, since responses went over the wire.
     for model_id in ["tiny-fp32", "tiny-int8"] {
         for stage in ["queue_wait", "batch_assembly", "compute", "serialize"] {
-            let count = check_histogram(
+            let count = prom_histogram(
                 &prom,
                 "vitcod_stage_latency_seconds",
                 &[("model", model_id), ("stage", stage)],
@@ -314,8 +168,8 @@ fn metrics_exposition_parses_and_matches_stats() {
             assert!(count > 0.0, "{model_id}/{stage} must have observations");
         }
     }
-    check_histogram(&prom, "vitcod_batch_fill", &[("model", "tiny-fp32")]);
-    check_histogram(&prom, "vitcod_batch_fill", &[("model", "tiny-int8")]);
+    prom_histogram(&prom, "vitcod_batch_fill", &[("model", "tiny-fp32")]);
+    prom_histogram(&prom, "vitcod_batch_fill", &[("model", "tiny-int8")]);
 
     // The exposition agrees with the JSON stats surface.
     let stats = client.get("/v1/stats").unwrap().json().unwrap();
@@ -324,7 +178,7 @@ fn metrics_exposition_parses_and_matches_stats() {
         let id = m.get("model").unwrap().as_str().unwrap().to_string();
         let json_reqs = m.get("requests").unwrap().as_u64().unwrap() as f64;
         assert!(
-            (prom.one("vitcod_requests_total", &[("model", &id)]) - json_reqs).abs() < 0.5,
+            (prom_one(&prom, "vitcod_requests_total", &[("model", &id)]) - json_reqs).abs() < 0.5,
             "{id}: /v1/metrics and /v1/stats disagree on requests"
         );
     }
@@ -475,6 +329,7 @@ fn trace_id_header_yields_partitioned_span_tree_and_op_metrics() {
         TracingConfig {
             sample_rate: 0.0,
             slow_threshold: None,
+            tail: None,
         },
     );
     let http = HttpServer::bind(
@@ -566,9 +421,9 @@ fn trace_id_header_yields_partitioned_span_tree_and_op_metrics() {
     // cardinality: one series per op name, no per-layer labels.
     let resp = client.get("/v1/metrics").unwrap();
     assert_eq!(resp.status, 200);
-    let prom = PromText::parse(&resp.body_str());
+    let prom = parse_prom(&resp.body_str());
     for op in vitcod_engine::OP_NAMES {
-        let count = check_histogram(
+        let count = prom_histogram(
             &prom,
             "vitcod_engine_op_seconds",
             &[("model", "m"), ("op", op)],
@@ -577,7 +432,7 @@ fn trace_id_header_yields_partitioned_span_tree_and_op_metrics() {
     }
     let op_series = prom.with("vitcod_engine_op_seconds_count", &[("model", "m")]);
     assert_eq!(op_series.len(), vitcod_engine::OP_NAMES.len());
-    assert!(prom.one("vitcod_engine_achieved_gops", &[("model", "m")]) > 0.0);
+    assert!(prom_one(&prom, "vitcod_engine_achieved_gops", &[("model", "m")]) > 0.0);
     http.shutdown();
 }
 
@@ -597,6 +452,7 @@ fn slowlog_retains_unsampled_requests_past_threshold() {
         TracingConfig {
             sample_rate: 0.0,
             slow_threshold: Some(Duration::from_nanos(1)),
+            tail: None,
         },
     );
     let http = HttpServer::bind(
@@ -673,6 +529,7 @@ fn metrics_scrape_races_hot_model_reload() {
         TracingConfig {
             sample_rate: 1.0,
             slow_threshold: None,
+            tail: None,
         },
     );
     let http = HttpServer::bind(
@@ -720,13 +577,136 @@ fn metrics_scrape_races_hot_model_reload() {
         }
         let resp = client.get("/v1/metrics").unwrap();
         assert_eq!(resp.status, 200);
-        let prom = PromText::parse(&resp.body_str());
+        let prom = parse_prom(&resp.body_str());
         // The model_info series must always be whole (exactly one per
         // registered id), whichever precision is live at scrape time.
         assert_eq!(prom.with("vitcod_model_info", &[("model", "m")]).len(), 1);
-        assert!(prom.one("vitcod_uptime_seconds", &[]) > 0.0);
+        assert!(prom_one(&prom, "vitcod_uptime_seconds", &[]) > 0.0);
     }
     reloader.join().expect("reloader thread");
     http.shutdown();
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Tail-based retention over the wire: with head sampling off and a
+/// tiny slow threshold, an ordinary request (no trace header) is kept
+/// at completion time — `/v1/traces` carries it labelled
+/// `kept: "slow"` with `sampled: false`, and the scrape-only slow
+/// counter advances in `/v1/metrics`.
+#[test]
+fn tail_retention_keeps_slow_requests_over_the_wire() {
+    let model = tiny_model(25);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m", Engine::builder(model.clone()).build())
+        .unwrap();
+    let server = Server::start_with_tracing(
+        registry,
+        BatchConfig::default(),
+        TracingConfig {
+            sample_rate: 0.0,
+            slow_threshold: Some(Duration::from_nanos(1)),
+            tail: Some(TailConfig {
+                reservoir: 0, // only slow/errored keeps — deterministic
+                seed: 7,
+                pending_capacity: 64,
+            }),
+        },
+    );
+    let http = HttpServer::bind(
+        "127.0.0.1:0",
+        server,
+        TransportConfig {
+            idle_timeout: Duration::from_secs(5),
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = HttpClient::connect(http.local_addr()).unwrap();
+    let resp = client
+        .post("/v1/models/m/classify", &classify_body(&model, 60))
+        .unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+
+    let drained = client.get("/v1/traces").unwrap().json().unwrap();
+    let traces = drained.get("traces").unwrap().as_array().unwrap().to_vec();
+    assert_eq!(traces.len(), 1, "tail keep must land in /v1/traces");
+    let t = &traces[0];
+    assert_eq!(
+        t.get("sampled").unwrap().as_bool(),
+        Some(false),
+        "tail-kept, not head-sampled"
+    );
+    assert_eq!(t.get("kept").unwrap().as_str(), Some("slow"));
+    let root = t.get("root").unwrap().clone();
+    assert_eq!(span_name(&root), "request");
+
+    // The slowlog kept it too, and the scrape-only counter advanced.
+    let slow = client.get("/v1/slowlog?peek=1").unwrap().json().unwrap();
+    assert_eq!(slow.get("traces").unwrap().as_array().unwrap().len(), 1);
+    let prom = parse_prom(&client.get("/v1/metrics").unwrap().body_str());
+    assert!(
+        (prom_one(&prom, "vitcod_slow_requests_total", &[("model", "m")]) - 1.0).abs() < 0.5,
+        "slow-rate SLOs must be computable by scrape alone"
+    );
+    http.shutdown();
+}
+
+/// `GET /v1/health?deep=1` runs a one-sample inference probe per
+/// registered model through the real queue → batcher → engine path;
+/// the shallow form stays cheap and probe-free.
+#[test]
+fn deep_health_probes_every_model() {
+    let model = tiny_model(26);
+    let mut registry = ModelRegistry::new();
+    registry
+        .register("m-a", Engine::builder(model.clone()).build())
+        .unwrap();
+    registry
+        .register(
+            "m-b",
+            Engine::builder(model.clone())
+                .precision(Precision::Int8)
+                .build(),
+        )
+        .unwrap();
+    let http = HttpServer::bind(
+        "127.0.0.1:0",
+        Server::start(registry, BatchConfig::default()),
+        TransportConfig {
+            idle_timeout: Duration::from_secs(5),
+            ..TransportConfig::default()
+        },
+    )
+    .expect("bind loopback");
+    let mut client = HttpClient::connect(http.local_addr()).unwrap();
+
+    // Shallow: no probes key, no inference served.
+    let shallow = client.get("/v1/health").unwrap().json().unwrap();
+    assert_eq!(shallow.get("status").unwrap().as_str(), Some("ok"));
+    assert!(shallow.get("probes").is_none());
+
+    let resp = client.get("/v1/health?deep=1").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.body_str());
+    let deep = resp.json().unwrap();
+    assert_eq!(deep.get("status").unwrap().as_str(), Some("ok"));
+    let probes = deep.get("probes").unwrap().as_array().unwrap().to_vec();
+    assert_eq!(probes.len(), 2, "one probe per registered model");
+    for p in &probes {
+        assert_eq!(p.get("ok").unwrap().as_bool(), Some(true));
+        assert!(p.get("latency_s").unwrap().as_f64().unwrap() > 0.0);
+        assert!(p.get("model").unwrap().as_str().is_some());
+    }
+
+    // The probes went through the real serving path: requests counted.
+    let stats = client.get("/v1/stats").unwrap().json().unwrap();
+    let models = stats.get("models").unwrap().as_array().unwrap().to_vec();
+    for m in &models {
+        assert_eq!(
+            m.get("requests").unwrap().as_u64(),
+            Some(1),
+            "each model served exactly its probe"
+        );
+    }
+    http.shutdown();
 }
